@@ -1,0 +1,63 @@
+// A1 (ablation) -- the abstract's mechanism: "convex relaxation adversarial
+// training to improve the bound tightening for each successive neural
+// network layer."
+//
+// Ablates the per-neuron lower-relaxation slope: the CROWN heuristic vs
+// coordinate-descent-optimized alphas.  Reports mean bound improvement and
+// how many borderline (unknown-under-CROWN) queries the tuned slopes promote
+// to verified.
+#include <cstdio>
+
+#include "rcr/verify/verifier.hpp"
+
+int main() {
+  using namespace rcr::verify;
+
+  std::printf("=== A1: alpha bound tightening vs the CROWN heuristic ===\n\n");
+
+  rcr::num::Rng rng(17);
+  constexpr int kInstances = 30;
+
+  double total_improvement = 0.0;
+  double max_improvement = 0.0;
+  std::size_t strict_improvements = 0;
+  std::size_t borderline = 0;
+  std::size_t promoted = 0;
+  std::size_t evaluations = 0;
+
+  for (int trial = 0; trial < kInstances; ++trial) {
+    const ReluNetwork net = ReluNetwork::random({3, 10, 10, 2}, rng);
+    const rcr::Vec x = rng.normal_vec(3);
+    const rcr::Vec y = net.forward(x);
+    Spec spec;
+    spec.c = {1.0, -1.0};
+    spec.d = -(y[0] - y[1]) + 1e-3;  // tight margin property around x
+    const Box ball = Box::around(x, 0.12);
+
+    const AlphaTightenResult r = tighten_lower_bound_alpha(net, ball, spec);
+    const double gain = r.optimized_bound - r.initial_bound;
+    total_improvement += gain;
+    max_improvement = std::max(max_improvement, gain);
+    if (gain > 1e-9) ++strict_improvements;
+    evaluations += r.evaluations;
+    if (r.initial_bound <= 0.0) {
+      ++borderline;
+      if (r.optimized_bound > 0.0) ++promoted;
+    }
+  }
+
+  std::printf("instances:                      %d\n", kInstances);
+  std::printf("strict bound improvements:      %zu\n", strict_improvements);
+  std::printf("mean bound gain:                %.5f\n",
+              total_improvement / kInstances);
+  std::printf("max bound gain:                 %.5f\n", max_improvement);
+  std::printf("borderline (CROWN unknown):     %zu\n", borderline);
+  std::printf("promoted to verified by alpha:  %zu\n", promoted);
+  std::printf("bound evaluations per instance: %.0f\n",
+              static_cast<double>(evaluations) / kInstances);
+
+  const bool shape_ok = strict_improvements > 0 && total_improvement >= 0.0;
+  std::printf("\nshape check: layer-wise slope tuning tightens bounds and "
+              "never hurts = %s\n", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// E9 -- Sec. II-B-2: batchnorm placement in a GAN.
+//
+// Paper shape: "Simply applying batchnorm to all the layers ... can result
+// in oscillation and instability"; applying it selectively (generator output
+// / discriminator input) avoids this.  We train the ring GAN under the three
+// placement policies and report loss oscillation, sample quality, and mode
+// coverage, averaged over seeds.
+#include <cstdio>
+
+#include "rcr/nn/gan.hpp"
+
+int main() {
+  using namespace rcr::nn;
+
+  std::printf("=== E9: batchnorm placement vs GAN stability ===\n\n");
+
+  const RingDistribution ring;  // 8 modes
+  constexpr int kSeeds = 3;
+
+  std::printf("%-14s %-18s %-16s %-14s %-14s\n", "placement",
+              "D-loss oscill.", "quality frac", "modes (of 8)",
+              "fwd amplif.");
+  double oscillation[3] = {0.0, 0.0, 0.0};
+  double quality_by[3] = {0.0, 0.0, 0.0};
+  int idx = 0;
+  for (BatchNormPlacement placement :
+       {BatchNormPlacement::kNone, BatchNormPlacement::kSelective,
+        BatchNormPlacement::kAllLayers}) {
+    double osc = 0.0;
+    double quality = 0.0;
+    double modes = 0.0;
+    double amp = 0.0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      GanConfig config;
+      config.placement = placement;
+      config.steps = 6000;
+      config.seed = static_cast<std::uint64_t>(seed);
+      GanTrainer trainer(config, ring);
+      trainer.train();
+      const GanMetrics m = trainer.metrics(512);
+      osc += m.d_loss_oscillation / kSeeds;
+      quality += m.high_quality_fraction / kSeeds;
+      modes += static_cast<double>(m.modes_covered) / kSeeds;
+      amp += m.forward_amplification / kSeeds;
+    }
+    std::printf("%-14s %-18.4f %-16.3f %-14.1f %-14.2f\n",
+                to_string(placement).c_str(), osc, quality, modes, amp);
+    oscillation[idx] = osc;
+    quality_by[idx] = quality;
+    ++idx;
+  }
+  (void)oscillation;
+
+  // Sec. II-B-2's "counterproductive consequences": indiscriminate batchnorm
+  // destabilizes GAN training; the robust observable at this scale is
+  // collapsed sample quality (and, when it limps along, noisier losses).
+  const bool shape_ok = quality_by[1] > quality_by[2];
+  std::printf("\nshape check: selective placement out-trains all-layers "
+              "batchnorm = %s\n", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// E10 -- Sec. IV: mode-collapse mitigation with a mixture of generators
+// (the paper's DCGAN #3, "an additional generator ... to assist in
+// mitigating mode failure"), plus the forward-stability probe ("a forward
+// stable DCGAN does not amplify perturbations of the input set").
+#include <cstdio>
+
+#include "rcr/nn/gan.hpp"
+
+int main() {
+  using namespace rcr::nn;
+
+  std::printf("=== E10: mode coverage vs number of generators ===\n\n");
+
+  RingDistribution ring;
+  ring.modes = 8;
+  constexpr int kSeeds = 3;
+
+  std::printf("%-14s %-14s %-16s %-16s\n", "generators", "modes (of 8)",
+              "quality frac", "fwd amplif.");
+  double coverage[3] = {0.0, 0.0, 0.0};
+  int idx = 0;
+  for (std::size_t generators : {1u, 2u, 4u}) {
+    double modes = 0.0;
+    double quality = 0.0;
+    double amp = 0.0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      GanConfig config;
+      config.generators = generators;
+      config.steps = 6000 * generators;  // equal per-generator update budget
+      config.seed = static_cast<std::uint64_t>(seed);
+      GanTrainer trainer(config, ring);
+      trainer.train();
+      const GanMetrics m = trainer.metrics(1024);
+      modes += static_cast<double>(m.modes_covered) / kSeeds;
+      quality += m.high_quality_fraction / kSeeds;
+      amp += m.forward_amplification / kSeeds;
+    }
+    std::printf("%-14zu %-14.1f %-16.3f %-16.2f\n", generators, modes,
+                quality, amp);
+    coverage[idx++] = modes;
+  }
+
+  const bool shape_ok = coverage[2] >= coverage[0];
+  std::printf("\nshape check: the generator mixture covers at least as many "
+              "modes as a single generator = %s\n", shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

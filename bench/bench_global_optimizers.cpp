@@ -1,0 +1,103 @@
+// A3 (ablation) -- Sec. I/II-A: the stochastic-search family for nonconvex
+// problems.  The paper surveys Langevin diffusions (premature stagnation
+// caveat), swarm methods (PSO chosen for robustness at small swarm sizes),
+// and local methods hybridized with global search.
+//
+// Head-to-head on the multimodal suite: PSO, annealed Langevin, trust-region
+// BFGS (purely local), and random search at a matched evaluation budget.
+#include <cstdio>
+
+#include "rcr/opt/langevin.hpp"
+#include "rcr/opt/trust_region.hpp"
+#include "rcr/pso/swarm.hpp"
+
+namespace {
+
+using rcr::Vec;
+
+double run_pso(const rcr::pso::Objective& objective, std::uint64_t seed,
+               std::size_t budget) {
+  rcr::pso::PsoConfig c;
+  c.swarm_size = 20;
+  c.max_iterations = budget / c.swarm_size;
+  c.seed = seed;
+  return rcr::pso::minimize(objective, c).best_value;
+}
+
+double run_langevin(const rcr::pso::Objective& objective, std::uint64_t seed,
+                    std::size_t budget) {
+  rcr::opt::Smooth f = rcr::opt::with_numerical_gradient(objective.value);
+  rcr::opt::LangevinOptions opts;
+  // Each Langevin iteration costs 1 value + 2n gradient probes; charge ~3
+  // evaluations per iteration for parity.
+  opts.iterations = budget / 3;
+  // Langevin is scale-sensitive: tie the step and temperature to the domain
+  // width so one setting serves the whole suite.
+  const double range = objective.upper[0] - objective.lower[0];
+  opts.step = 1e-4 * range;
+  opts.initial_temperature = 0.05 * range;
+  opts.cooling = 0.997;
+  opts.seed = seed;
+  opts.lower = objective.lower;
+  opts.upper = objective.upper;
+  rcr::num::Rng rng(seed + 77);
+  Vec x0(objective.dim());
+  for (std::size_t j = 0; j < x0.size(); ++j)
+    x0[j] = rng.uniform(objective.lower[j], objective.upper[j]);
+  return rcr::opt::langevin_minimize(f, x0, opts).best_value;
+}
+
+double run_local(const rcr::pso::Objective& objective, std::uint64_t seed) {
+  rcr::opt::Smooth f = rcr::opt::with_numerical_gradient(objective.value);
+  rcr::num::Rng rng(seed + 99);
+  Vec x0(objective.dim());
+  for (std::size_t j = 0; j < x0.size(); ++j)
+    x0[j] = rng.uniform(objective.lower[j], objective.upper[j]);
+  return rcr::opt::trust_region_bfgs(f, x0).value;
+}
+
+double run_random(const rcr::pso::Objective& objective, std::uint64_t seed,
+                  std::size_t budget) {
+  rcr::num::Rng rng(seed + 123);
+  double best = 1e300;
+  for (std::size_t i = 0; i < budget; ++i) {
+    Vec x(objective.dim());
+    for (std::size_t j = 0; j < x.size(); ++j)
+      x[j] = rng.uniform(objective.lower[j], objective.upper[j]);
+    best = std::min(best, objective.value(x));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kBudget = 4000;
+  constexpr int kSeeds = 6;
+
+  std::printf("=== A3: global optimizers on the multimodal suite "
+              "(dim 4, ~%zu evals, %d seeds) ===\n\n", kBudget, kSeeds);
+  std::printf("%-14s %-12s %-12s %-12s %-12s\n", "objective", "PSO",
+              "Langevin", "TR-BFGS", "random");
+
+  for (const auto& objective : rcr::pso::standard_suite(4)) {
+    double pso = 0.0;
+    double langevin = 0.0;
+    double local = 0.0;
+    double random = 0.0;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      pso += run_pso(objective, seed, kBudget) / kSeeds;
+      langevin += run_langevin(objective, seed, kBudget) / kSeeds;
+      local += run_local(objective, seed) / kSeeds;
+      random += run_random(objective, seed, kBudget) / kSeeds;
+    }
+    std::printf("%-14s %-12.3f %-12.3f %-12.3f %-12.3f\n",
+                objective.name.c_str(), pso, langevin, local, random);
+  }
+
+  std::printf("\nexpected shapes: PSO robust across the suite (the paper's "
+              "selection rationale); Langevin competitive but cooling-"
+              "sensitive; pure local search trapped on multimodal surfaces; "
+              "random search weakest on narrow funnels.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E6 -- Secs. II-A and III: PSO premature stagnation under integer rounding
+// and the effect of inertia schedules, plus the swarm-size tradeoff.
+//
+// Paper shapes:
+//  - rounding velocities to integers -> particles stagnate prematurely;
+//  - increasing/adapting inertia lets particles progress past local optima;
+//  - small swarms gravitate to local minima, large swarms find better optima
+//    at higher evaluation cost.
+#include <cstdio>
+
+#include "rcr/pso/swarm.hpp"
+
+int main() {
+  using namespace rcr::pso;
+
+  constexpr int kSeeds = 10;
+  const Objective objective = rastrigin(4);
+
+  std::printf("=== E6a: integer rounding induces premature stagnation ===\n\n");
+  std::printf("%-14s %-16s %-16s %-14s\n", "mode", "mean best val",
+              "stagn. events", "stuck at end");
+  for (Rounding mode : {Rounding::kNone, Rounding::kInteger}) {
+    double best = 0.0;
+    double stagnation = 0.0;
+    double stuck = 0.0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      PsoConfig c;
+      c.swarm_size = 15;
+      c.max_iterations = 120;
+      c.seed = static_cast<std::uint64_t>(seed);
+      c.rounding = mode;
+      const PsoResult r = minimize(objective, c);
+      best += r.best_value / kSeeds;
+      stagnation += static_cast<double>(r.stagnation_events) / kSeeds;
+      stuck += r.final_stagnant_fraction / kSeeds;
+    }
+    std::printf("%-14s %-16.3f %-16.2f %-14.2f\n",
+                mode == Rounding::kNone ? "continuous" : "integer", best,
+                stagnation, stuck);
+  }
+
+  std::printf("\n=== E6b: inertia schedules on integer-rounded PSO ===\n\n");
+  std::printf("%-20s %-16s %-16s %-14s\n", "schedule", "mean best val",
+              "stagn. events", "dispersions");
+  struct Entry {
+    const char* name;
+    std::unique_ptr<InertiaSchedule> (*make)();
+  };
+  const Entry entries[] = {
+      {"constant-0.7", [] { return constant_inertia(0.7); }},
+      {"linear-decay", [] { return linear_decay_inertia(0.9, 0.4); }},
+      {"chaotic", [] { return chaotic_inertia(0.4); }},
+      {"adaptive-distance", [] { return adaptive_distance_inertia(); }},
+      {"adaptive-qp", [] { return adaptive_qp_inertia(); }},
+  };
+  for (const Entry& e : entries) {
+    double best = 0.0;
+    double stagnation = 0.0;
+    double dispersions = 0.0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      PsoConfig c;
+      c.swarm_size = 15;
+      c.max_iterations = 120;
+      c.seed = static_cast<std::uint64_t>(seed);
+      c.rounding = Rounding::kInteger;
+      c.disperse_on_stagnation = true;
+      auto schedule = e.make();
+      const PsoResult r = minimize(objective, c, schedule.get());
+      best += r.best_value / kSeeds;
+      stagnation += static_cast<double>(r.stagnation_events) / kSeeds;
+      dispersions += static_cast<double>(r.dispersions) / kSeeds;
+    }
+    std::printf("%-20s %-16.3f %-16.2f %-14.2f\n", e.name, best, stagnation,
+                dispersions);
+  }
+
+  std::printf("\n=== E6c: swarm-size tradeoff (continuous rastrigin-4) ===\n\n");
+  std::printf("%-12s %-16s %-16s\n", "swarm", "mean best val", "evaluations");
+  for (std::size_t swarm : {5u, 10u, 20u, 40u, 80u}) {
+    double best = 0.0;
+    double evals = 0.0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      PsoConfig c;
+      c.swarm_size = swarm;
+      c.max_iterations = 100;
+      c.seed = static_cast<std::uint64_t>(seed);
+      const PsoResult r = minimize(objective, c);
+      best += r.best_value / kSeeds;
+      evals += static_cast<double>(r.evaluations) / kSeeds;
+    }
+    std::printf("%-12zu %-16.3f %-16.0f\n", swarm, best, evals);
+  }
+
+  std::printf("\nexpected shapes: integer mode stagnates more; adaptive "
+              "schedules reduce stagnation; bigger swarms find better optima "
+              "at more evaluations.\n");
+  return 0;
+}

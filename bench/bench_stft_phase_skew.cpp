@@ -1,0 +1,66 @@
+// E3 -- Sec. IV-B (Eqs. 5-6): phase skew between the time-invariant and
+// simplified time-invariant STFT conventions vs stored window length, and
+// its exact removal by point-wise multiplication with the a-priori phase-
+// factor matrix.
+//
+// Paper shape: the skew (delay + per-bin phase rotation) depends on the
+// stored window length L_g and "would have severe effects on any ensuing
+// phase analysis"; conversion between conventions equates to a point-wise
+// multiplication with a matrix of phase factors.
+#include <cstdio>
+
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/waveform.hpp"
+
+int main() {
+  using namespace rcr::sig;
+  using rcr::Vec;
+
+  std::printf("=== E3: STFT phase skew vs stored window length ===\n\n");
+
+  rcr::num::Rng rng(13);
+  Vec signal = chirp(512, 3.0, 50.0, 256.0);
+  for (double& v : signal) v += rng.normal(0.0, 0.02);
+
+  std::printf("%-8s %-16s %-16s %-16s\n", "L_g", "raw skew (rad)",
+              "pred. bin-1 skew", "resid. after fix");
+  bool shape_ok = true;
+  double prev_skew = 0.0;
+  for (std::size_t lg : {16u, 24u, 32u, 48u, 64u}) {
+    StftConfig sti;
+    sti.window = make_window(WindowKind::kHann, lg);
+    sti.hop = 8;
+    sti.fft_size = 64;
+    sti.convention = StftConvention::kSimplifiedTimeInvariant;
+    StftConfig ti = sti;
+    ti.convention = StftConvention::kTimeInvariant;
+
+    const TfGrid g_sti = stft(signal, sti);
+    const TfGrid g_ti = stft(signal, ti);
+    const double floor = 1e-5 * g_ti.max_magnitude();
+    const double raw = max_phase_discrepancy(g_sti, g_ti, floor);
+
+    // Predicted per-bin skew at bin 1: 2*pi*floor(Lg/2)/M.
+    const double predicted =
+        2.0 * 3.14159265358979323846 * static_cast<double>(lg / 2) / 64.0;
+
+    // Correction: STI on the Lg/2-delayed signal, times the phase matrix,
+    // equals TI exactly.
+    const Vec delayed =
+        circular_shift(signal, static_cast<std::ptrdiff_t>(lg / 2));
+    const TfGrid fixed =
+        convert_sti_to_ti(stft(delayed, sti), lg, sti.fft_size);
+    const double resid =
+        TfGrid::max_abs_diff(fixed, g_ti) / (1.0 + g_ti.max_magnitude());
+
+    std::printf("%-8zu %-16.4f %-16.4f %-16.3e\n", lg, raw, predicted, resid);
+    if (resid > 1e-10) shape_ok = false;
+    if (lg > 16 && predicted <= prev_skew) shape_ok = false;
+    prev_skew = predicted;
+  }
+
+  std::printf("\nshape check: skew grows with L_g and the phase-factor "
+              "matrix removes it to machine precision = %s\n",
+              shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

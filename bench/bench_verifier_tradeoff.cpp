@@ -1,0 +1,137 @@
+// E8 -- Sec. II-B-2: exact vs relaxed verification tradeoff.
+//
+// Paper shapes:
+//  - exact verifiers (BnB/MIP-style) have "no false positives or false
+//    negatives" but solve NP-hard problems -> slow;
+//  - relaxed verifiers (convex relaxation) "can be more quickly resolved and
+//    are more scalable, but their effectiveness (false negative rate)
+//    degrades quickly" as the perturbation grows.
+//
+// We train a small robust classifier, then for a sweep of epsilon measure:
+// verified fraction (relaxed IBP / relaxed CROWN / exact BnB), the relaxed
+// false-negative rate (robust per exact verifier but missed by the
+// relaxation), and wall-clock per query via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "rcr/verify/attack.hpp"
+#include "rcr/verify/certified.hpp"
+#include "rcr/verify/verifier.hpp"
+
+namespace {
+
+using namespace rcr::verify;
+
+struct Fixture {
+  CertifiedTrainer trainer{{2, 12, 12, 3}, 11};
+  std::vector<LabeledPoint> test;
+
+  Fixture() {
+    rcr::num::Rng rng(4);
+    const auto train = make_blob_dataset(3, 30, 1.0, 0.15, rng);
+    test = make_blob_dataset(3, 15, 1.0, 0.15, rng);
+    CertifiedTrainConfig cfg;
+    cfg.epochs = 100;
+    cfg.epsilon = 0.12;
+    cfg.kappa = 0.3;
+    trainer.train(train, test, cfg);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void report_table() {
+  Fixture& f = fixture();
+  std::printf("\n=== E8: verified fraction and relaxed false negatives ===\n\n");
+  std::printf("%-8s %-8s %-8s %-8s %-8s %-14s %-14s\n", "eps", "IBP",
+              "CROWN", "exact", "PGD", "FN rate (IBP)", "FN rate (CROWN)");
+  for (double eps : {0.05, 0.10, 0.20, 0.30, 0.35, 0.40, 0.50}) {
+    std::size_t ibp = 0;
+    std::size_t crown = 0;
+    std::size_t exact = 0;
+    std::size_t pgd_robust = 0;
+    std::size_t fn_ibp = 0;
+    std::size_t fn_crown = 0;
+    for (const auto& p : f.test) {
+      const auto ri = certify_classification(f.trainer.network(), p.x, eps,
+                                             p.label, BoundMethod::kIbp);
+      const auto rc = certify_classification(f.trainer.network(), p.x, eps,
+                                             p.label, BoundMethod::kCrown);
+      ExactOptions opts;
+      opts.max_branches = 4000;
+      const auto re = certify_classification_exact(f.trainer.network(), p.x,
+                                                   eps, p.label, opts);
+      if (ri.verdict == Verdict::kVerified) ++ibp;
+      if (rc.verdict == Verdict::kVerified) ++crown;
+      if (re.verdict == Verdict::kVerified) ++exact;
+      if (!pgd_attack(f.trainer.network(), p.x, eps, p.label).success)
+        ++pgd_robust;
+      if (re.verdict == Verdict::kVerified) {
+        if (ri.verdict != Verdict::kVerified) ++fn_ibp;
+        if (rc.verdict != Verdict::kVerified) ++fn_crown;
+      }
+    }
+    const double n = static_cast<double>(f.test.size());
+    const double e = std::max<std::size_t>(exact, 1);
+    std::printf("%-8.2f %-8.2f %-8.2f %-8.2f %-8.2f %-14.2f %-14.2f\n", eps,
+                ibp / n, crown / n, exact / n, pgd_robust / n,
+                static_cast<double>(fn_ibp) / e,
+                static_cast<double>(fn_crown) / e);
+  }
+  std::printf("\nexpected shapes: IBP <= CROWN <= exact <= PGD-robust (the "
+              "certification bracket); fractions fall with eps; relaxed "
+              "false-negative rates grow with eps (loosest relaxation "
+              "degrades first).\n\n");
+}
+
+void BM_RelaxedIbp(benchmark::State& state) {
+  Fixture& f = fixture();
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.test[i++ % f.test.size()];
+    benchmark::DoNotOptimize(certify_classification(
+        f.trainer.network(), p.x, eps, p.label, BoundMethod::kIbp));
+  }
+}
+BENCHMARK(BM_RelaxedIbp)->Arg(5)->Arg(15);
+
+void BM_RelaxedCrown(benchmark::State& state) {
+  Fixture& f = fixture();
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.test[i++ % f.test.size()];
+    benchmark::DoNotOptimize(certify_classification(
+        f.trainer.network(), p.x, eps, p.label, BoundMethod::kCrown));
+  }
+}
+BENCHMARK(BM_RelaxedCrown)->Arg(5)->Arg(15);
+
+void BM_ExactBnb(benchmark::State& state) {
+  Fixture& f = fixture();
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  ExactOptions opts;
+  opts.max_branches = 4000;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = f.test[i++ % f.test.size()];
+    benchmark::DoNotOptimize(certify_classification_exact(
+        f.trainer.network(), p.x, eps, p.label, opts));
+  }
+}
+BENCHMARK(BM_ExactBnb)->Arg(5)->Arg(15);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

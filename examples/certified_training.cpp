@@ -1,0 +1,64 @@
+// Convex-relaxation adversarial training walkthrough (Sec. II-B-2).
+//
+// Trains two identical networks on the same classification task -- one with
+// the standard cross-entropy, one against the IBP worst case -- then
+// certifies both with the relaxed (IBP/CROWN) and exact (branch-and-bound)
+// verifiers, printing the layer-wise bound-tightening table.
+#include <cstdio>
+
+#include "rcr/verify/certified.hpp"
+#include "rcr/verify/verifier.hpp"
+
+int main() {
+  using namespace rcr::verify;
+
+  std::printf("=== convex-relaxation adversarial (certified) training ===\n\n");
+
+  rcr::num::Rng rng(2026);
+  const auto train = make_blob_dataset(3, 30, 1.0, 0.15, rng);
+  const auto test = make_blob_dataset(3, 15, 1.0, 0.15, rng);
+
+  CertifiedTrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.epsilon = 0.15;
+  cfg.kappa = 0.3;
+
+  CertifiedTrainer robust({2, 12, 12, 3}, 1);
+  const CertifiedTrainReport robust_report = robust.train(train, test, cfg);
+
+  CertifiedTrainer standard({2, 12, 12, 3}, 1);
+  const CertifiedTrainReport std_report =
+      standard.train_standard(train, test, cfg);
+
+  std::printf("%-22s %-12s %-14s %-14s\n", "training", "clean acc",
+              "certified IBP", "certified CROWN");
+  std::printf("%-22s %-12.3f %-14.3f %-14.3f\n", "standard CE",
+              std_report.clean_accuracy, std_report.certified_accuracy_ibp,
+              std_report.certified_accuracy_crown);
+  std::printf("%-22s %-12.3f %-14.3f %-14.3f\n", "IBP worst-case",
+              robust_report.clean_accuracy,
+              robust_report.certified_accuracy_ibp,
+              robust_report.certified_accuracy_crown);
+
+  // Exact verification of a handful of test points at a larger epsilon.
+  std::printf("\nexact verification at eps = %.2f (first 5 test points):\n",
+              2.0 * cfg.epsilon);
+  for (std::size_t i = 0; i < 5 && i < test.size(); ++i) {
+    const auto r = certify_classification_exact(
+        robust.network(), test[i].x, 2.0 * cfg.epsilon, test[i].label);
+    std::printf("  point %zu: %s (%zu branches)\n", i,
+                to_string(r.verdict).c_str(), r.branches);
+  }
+
+  // Layer-wise tightening around the origin.
+  const Box domain = Box::around({0.0, 0.0}, cfg.epsilon);
+  const TightnessReport tight = tightness_report(robust.network(), domain);
+  std::printf("\nlayer-wise mean pre-activation width (robust net):\n");
+  std::printf("  %-8s %-12s %-12s %-18s\n", "layer", "IBP", "CROWN",
+              "unstable (IBP/CROWN)");
+  for (std::size_t k = 0; k < tight.ibp_mean_width.size(); ++k)
+    std::printf("  %-8zu %-12.4f %-12.4f %zu / %zu\n", k,
+                tight.ibp_mean_width[k], tight.crown_mean_width[k],
+                tight.ibp_unstable[k], tight.crown_unstable[k]);
+  return 0;
+}

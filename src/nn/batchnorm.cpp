@@ -1,0 +1,194 @@
+#include "rcr/nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::nn {
+
+std::string to_string(BatchNormPlacement p) {
+  switch (p) {
+    case BatchNormPlacement::kNone:
+      return "none";
+    case BatchNormPlacement::kSelective:
+      return "selective";
+    case BatchNormPlacement::kAllLayers:
+      return "all-layers";
+  }
+  return "unknown";
+}
+
+BatchNorm1d::BatchNorm1d(std::size_t features, double momentum, double epsilon)
+    : features_(features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(features, 1.0),
+      beta_(features, 0.0),
+      gamma_grad_(features, 0.0),
+      beta_grad_(features, 0.0),
+      running_mean_(features, 0.0),
+      running_var_(features, 1.0) {}
+
+Tensor BatchNorm1d::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != features_)
+    throw std::invalid_argument("BatchNorm1d::forward: bad shape " +
+                                input.shape_string());
+  const std::size_t batch = input.dim(0);
+  Tensor out(input.shape());
+  normalized_cache_ = Tensor(input.shape());
+  batch_inv_std_.assign(features_, 0.0);
+
+  for (std::size_t f = 0; f < features_; ++f) {
+    double mean;
+    double var;
+    if (training) {
+      mean = 0.0;
+      for (std::size_t b = 0; b < batch; ++b) mean += input.at2(b, f);
+      mean /= static_cast<double>(batch);
+      var = 0.0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double d = input.at2(b, f) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(batch);
+      running_mean_[f] = (1.0 - momentum_) * running_mean_[f] + momentum_ * mean;
+      running_var_[f] = (1.0 - momentum_) * running_var_[f] + momentum_ * var;
+    } else {
+      mean = running_mean_[f];
+      var = running_var_[f];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    batch_inv_std_[f] = inv_std;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double xhat = (input.at2(b, f) - mean) * inv_std;
+      normalized_cache_.at2(b, f) = xhat;
+      out.at2(b, f) = gamma_[f] * xhat + beta_[f];
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.dim(0);
+  const auto nb = static_cast<double>(batch);
+  Tensor grad_input(grad_output.shape());
+
+  for (std::size_t f = 0; f < features_; ++f) {
+    double sum_g = 0.0;
+    double sum_gx = 0.0;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double g = grad_output.at2(b, f);
+      sum_g += g;
+      sum_gx += g * normalized_cache_.at2(b, f);
+    }
+    beta_grad_[f] += sum_g;
+    gamma_grad_[f] += sum_gx;
+    // dL/dx = gamma * inv_std / N * (N*g - sum_g - xhat * sum_gx).
+    const double coeff = gamma_[f] * batch_inv_std_[f] / nb;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double g = grad_output.at2(b, f);
+      grad_input.at2(b, f) =
+          coeff * (nb * g - sum_g - normalized_cache_.at2(b, f) * sum_gx);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BatchNorm1d::params() {
+  return {{&gamma_, &gamma_grad_, "bn1d.gamma"},
+          {&beta_, &beta_grad_, "bn1d.beta"}};
+}
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, double momentum, double epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(channels, 1.0),
+      beta_(channels, 0.0),
+      gamma_grad_(channels, 0.0),
+      beta_grad_(channels, 0.0),
+      running_mean_(channels, 0.0),
+      running_var_(channels, 1.0) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
+  if (input.rank() != 4 || input.dim(1) != channels_)
+    throw std::invalid_argument("BatchNorm2d::forward: bad shape " +
+                                input.shape_string());
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t area = h * w;
+  const auto count = static_cast<double>(batch * area);
+
+  Tensor out(input.shape());
+  normalized_cache_ = Tensor(input.shape());
+  batch_inv_std_.assign(channels_, 0.0);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double mean;
+    double var;
+    if (training) {
+      mean = 0.0;
+      for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t k = 0; k < area; ++k)
+          mean += input[(b * channels_ + c) * area + k];
+      mean /= count;
+      var = 0.0;
+      for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t k = 0; k < area; ++k) {
+          const double d = input[(b * channels_ + c) * area + k] - mean;
+          var += d * d;
+        }
+      var /= count;
+      running_mean_[c] = (1.0 - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0 - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    batch_inv_std_[c] = inv_std;
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t k = 0; k < area; ++k) {
+        const std::size_t idx = (b * channels_ + c) * area + k;
+        const double xhat = (input[idx] - mean) * inv_std;
+        normalized_cache_[idx] = xhat;
+        out[idx] = gamma_[c] * xhat + beta_[c];
+      }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.dim(0);
+  const std::size_t area = grad_output.dim(2) * grad_output.dim(3);
+  const auto count = static_cast<double>(batch * area);
+  Tensor grad_input(grad_output.shape());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_g = 0.0;
+    double sum_gx = 0.0;
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t k = 0; k < area; ++k) {
+        const std::size_t idx = (b * channels_ + c) * area + k;
+        sum_g += grad_output[idx];
+        sum_gx += grad_output[idx] * normalized_cache_[idx];
+      }
+    beta_grad_[c] += sum_g;
+    gamma_grad_[c] += sum_gx;
+    const double coeff = gamma_[c] * batch_inv_std_[c] / count;
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t k = 0; k < area; ++k) {
+        const std::size_t idx = (b * channels_ + c) * area + k;
+        grad_input[idx] = coeff * (count * grad_output[idx] - sum_g -
+                                   normalized_cache_[idx] * sum_gx);
+      }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> BatchNorm2d::params() {
+  return {{&gamma_, &gamma_grad_, "bn2d.gamma"},
+          {&beta_, &beta_grad_, "bn2d.beta"}};
+}
+
+}  // namespace rcr::nn

@@ -1,0 +1,196 @@
+#include "rcr/nn/conv.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rcr::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               num::Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(out_channels * in_channels * kernel * kernel),
+      bias_(out_channels, 0.0),
+      weight_grad_(weight_.size(), 0.0),
+      bias_grad_(out_channels, 0.0) {
+  if (kernel == 0 || stride == 0)
+    throw std::invalid_argument("Conv2d: zero kernel or stride");
+  const double bound = he_bound(in_channels * kernel * kernel);
+  for (double& w : weight_) w = rng.uniform(-bound, bound);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool) {
+  if (input.rank() != 4 || input.dim(1) != in_ch_)
+    throw std::invalid_argument("Conv2d::forward: expected {B," +
+                                std::to_string(in_ch_) + ",H,W}, got " +
+                                input.shape_string());
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  if (h + 2 * padding_ < kernel_ || w + 2 * padding_ < kernel_)
+    throw std::invalid_argument("Conv2d::forward: input smaller than kernel");
+  const std::size_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+
+  input_cache_ = input;
+  Tensor out({batch, out_ch_, oh, ow});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          double acc = bias_[o];
+          for (std::size_t i = 0; i < in_ch_; ++i) {
+            for (std::size_t r = 0; r < kernel_; ++r) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y * stride_ + r) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t c = 0; c < kernel_; ++c) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x * stride_ + c) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += weight_[widx(o, i, r, c)] *
+                       input.at4(b, i, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix));
+              }
+            }
+          }
+          out.at4(b, o, y, x) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = grad_output.dim(2);
+  const std::size_t ow = grad_output.dim(3);
+
+  Tensor grad_input(input.shape());
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_ch_; ++o) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          const double g = grad_output.at4(b, o, y, x);
+          if (g == 0.0) continue;
+          bias_grad_[o] += g;
+          for (std::size_t i = 0; i < in_ch_; ++i) {
+            for (std::size_t r = 0; r < kernel_; ++r) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(y * stride_ + r) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t c = 0; c < kernel_; ++c) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x * stride_ + c) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const auto uy = static_cast<std::size_t>(iy);
+                const auto ux = static_cast<std::size_t>(ix);
+                weight_grad_[widx(o, i, r, c)] += g * input.at4(b, i, uy, ux);
+                grad_input.at4(b, i, uy, ux) += g * weight_[widx(o, i, r, c)];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  return {{&weight_, &weight_grad_, "conv2d.weight"},
+          {&bias_, &bias_grad_, "conv2d.bias"}};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("MaxPool2d::forward: expected rank-4 input");
+  const std::size_t batch = input.dim(0);
+  const std::size_t ch = input.dim(1);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  if (h % 2 != 0 || w % 2 != 0)
+    throw std::invalid_argument("MaxPool2d::forward: odd spatial dims");
+  input_shape_ = input.shape();
+
+  Tensor out({batch, ch, h / 2, w / 2});
+  argmax_.assign(out.size(), 0);
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      for (std::size_t y = 0; y < h; y += 2) {
+        for (std::size_t x = 0; x < w; x += 2) {
+          double best = -std::numeric_limits<double>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t flat =
+                  ((b * ch + c) * h + (y + dy)) * w + (x + dx);
+              if (input[flat] > best) {
+                best = input[flat];
+                best_idx = flat;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax_[oi] = best_idx;
+          ++oi;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i)
+    grad_input[argmax_[i]] += grad_output[i];
+  return grad_input;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("GlobalAvgPool::forward: expected rank-4");
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  const std::size_t ch = input.dim(1);
+  const std::size_t area = input.dim(2) * input.dim(3);
+  Tensor out({batch, ch});
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t c = 0; c < ch; ++c) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < area; ++k)
+        acc += input[(b * ch + c) * area + k];
+      out.at2(b, c) = acc / static_cast<double>(area);
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  const std::size_t batch = input_shape_[0];
+  const std::size_t ch = input_shape_[1];
+  const std::size_t area = input_shape_[2] * input_shape_[3];
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t c = 0; c < ch; ++c) {
+      const double g = grad_output.at2(b, c) / static_cast<double>(area);
+      for (std::size_t k = 0; k < area; ++k)
+        grad_input[(b * ch + c) * area + k] = g;
+    }
+  return grad_input;
+}
+
+}  // namespace rcr::nn

@@ -1,0 +1,158 @@
+#include "rcr/nn/dcgan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::nn {
+
+Sequential build_dcgan_generator(const DcganConfig& config) {
+  num::Rng rng(config.seed);
+  const std::size_t c = config.base_channels;
+  Sequential g;
+  g.emplace<Dense>(config.latent_dim, c * 4 * 4, rng);
+  g.emplace<Relu>();
+  g.emplace<Reshape>(std::vector<std::size_t>{c, 4, 4});
+  // 4x4 -> 8x8.
+  g.emplace<Upsample2x>();
+  g.emplace<Conv2d>(c, c, 3, 1, 1, rng);
+  if (config.placement != BatchNormPlacement::kNone)
+    g.emplace<BatchNorm2d>(c);
+  g.emplace<Relu>();
+  // 8x8 -> 16x16.
+  g.emplace<Upsample2x>();
+  g.emplace<Conv2d>(c, c, 3, 1, 1, rng);
+  if (config.placement == BatchNormPlacement::kAllLayers)
+    g.emplace<BatchNorm2d>(c);  // generator output side (unstable recipe)
+  g.emplace<Relu>();
+  g.emplace<Conv2d>(c, 1, 3, 1, 1, rng);
+  g.emplace<Sigmoid>();  // pixels in [0, 1]
+  return g;
+}
+
+Sequential build_dcgan_discriminator(const DcganConfig& config) {
+  num::Rng rng(config.seed + 1);
+  const std::size_t c = config.base_channels;
+  Sequential d;
+  if (config.placement == BatchNormPlacement::kAllLayers)
+    d.emplace<BatchNorm2d>(1);  // raw input (unstable recipe)
+  d.emplace<Conv2d>(1, c, 3, 2, 1, rng);  // 16 -> 8
+  d.emplace<LeakyRelu>(0.2);
+  d.emplace<Conv2d>(c, 2 * c, 3, 2, 1, rng);  // 8 -> 4
+  if (config.placement != BatchNormPlacement::kNone)
+    d.emplace<BatchNorm2d>(2 * c);
+  d.emplace<LeakyRelu>(0.2);
+  d.emplace<Flatten>();
+  d.emplace<Dense>(2 * c * 4 * 4, 1, rng);
+  return d;
+}
+
+DcganTrainer::DcganTrainer(const DcganConfig& config,
+                           const std::vector<ImageSample>& data)
+    : config_(config),
+      data_(data),
+      rng_(config.seed + 7),
+      generator_(build_dcgan_generator(config)),
+      discriminator_(build_dcgan_discriminator(config)),
+      g_opt_(config.lr_generator),
+      d_opt_(config.lr_discriminator) {
+  if (data_.empty())
+    throw std::invalid_argument("DcganTrainer: empty dataset");
+  for (const auto& s : data_)
+    if (s.height != 16 || s.width != 16)
+      throw std::invalid_argument("DcganTrainer: expects 16x16 images");
+}
+
+Tensor DcganTrainer::sample_latent(std::size_t n) {
+  Tensor z({n, config_.latent_dim});
+  for (double& v : z.data()) v = rng_.normal();
+  return z;
+}
+
+Tensor DcganTrainer::sample_real(std::size_t n) {
+  Tensor x({n, 1, 16, 16});
+  for (std::size_t i = 0; i < n; ++i) {
+    const ImageSample& s =
+        data_[static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<int>(data_.size()) - 1))];
+    for (std::size_t k = 0; k < 256; ++k) x[i * 256 + k] = s.pixels[k];
+  }
+  return x;
+}
+
+void DcganTrainer::train() {
+  const std::size_t half = config_.batch_size;
+  for (std::size_t step = 0; step < config_.steps; ++step) {
+    // ---- Discriminator: real and fake as separate batches (batchnorm
+    // statistics stay per-type, matching the dense-GAN trainer).
+    const Tensor real = sample_real(half);
+    const Tensor fake = generator_.forward(sample_latent(half), true);
+
+    discriminator_.zero_grad();
+    const Tensor d_real = discriminator_.forward(real, true);
+    const LossResult real_loss = bce_with_logits(d_real, Vec(half, 1.0));
+    discriminator_.backward(real_loss.grad);
+    const Tensor d_fake = discriminator_.forward(fake, true);
+    const LossResult fake_loss = bce_with_logits(d_fake, Vec(half, 0.0));
+    discriminator_.backward(fake_loss.grad);
+    d_opt_.step(discriminator_.params());
+    d_loss_history_.push_back(0.5 * (real_loss.value + fake_loss.value));
+
+    // ---- Generator: non-saturating loss through the frozen D.
+    generator_.zero_grad();
+    const Tensor g_out = generator_.forward(sample_latent(half), true);
+    discriminator_.zero_grad();
+    const Tensor g_logits = discriminator_.forward(g_out, true);
+    const LossResult g_loss = bce_with_logits(g_logits, Vec(half, 1.0));
+    const Tensor grad_at_g = discriminator_.backward(g_loss.grad);
+    generator_.backward(grad_at_g);
+    g_opt_.step(generator_.params());
+    discriminator_.zero_grad();
+    g_loss_history_.push_back(g_loss.value);
+  }
+}
+
+Tensor DcganTrainer::sample(std::size_t n) {
+  return generator_.forward(sample_latent(n), false);
+}
+
+DcganMetrics DcganTrainer::metrics(std::size_t n) {
+  DcganMetrics m;
+  if (!d_loss_history_.empty()) m.d_loss_final = d_loss_history_.back();
+  if (!g_loss_history_.empty()) m.g_loss_final = g_loss_history_.back();
+  m.d_loss_history = d_loss_history_;
+  m.g_loss_history = g_loss_history_;
+
+  const Tensor gen = sample(n);
+  // Mean pixel comparison.
+  double gen_mean = 0.0;
+  for (std::size_t i = 0; i < gen.size(); ++i) gen_mean += gen[i];
+  gen_mean /= static_cast<double>(gen.size());
+  double data_mean = 0.0;
+  std::size_t data_count = 0;
+  for (const auto& s : data_)
+    for (double v : s.pixels) {
+      data_mean += v;
+      ++data_count;
+    }
+  data_mean /= static_cast<double>(data_count);
+  m.mean_pixel_error = std::abs(gen_mean - data_mean);
+
+  // Per-row energy profile (frequency occupancy for spectrograms).
+  Vec gen_profile(16, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t r = 0; r < 16; ++r)
+      for (std::size_t c = 0; c < 16; ++c)
+        gen_profile[r] += gen.at4(i, 0, r, c);
+  Vec data_profile(16, 0.0);
+  for (const auto& s : data_)
+    for (std::size_t r = 0; r < 16; ++r)
+      for (std::size_t c = 0; c < 16; ++c)
+        data_profile[r] += s.pixels[r * 16 + c];
+  const double denom =
+      num::norm2(gen_profile) * num::norm2(data_profile);
+  m.row_profile_cosine =
+      denom > 0.0 ? num::dot(gen_profile, data_profile) / denom : 0.0;
+  return m;
+}
+
+}  // namespace rcr::nn

@@ -1,0 +1,82 @@
+#include "rcr/nn/fire.hpp"
+
+#include <stdexcept>
+
+namespace rcr::nn {
+
+Fire::Fire(std::size_t in_channels, std::size_t squeeze, std::size_t expand1,
+           std::size_t expand3, num::Rng& rng, std::size_t squeeze_stride)
+    : expand1_ch_(expand1),
+      expand3_ch_(expand3),
+      squeeze_(in_channels, squeeze, 1, squeeze_stride, 0, rng),
+      expand1_(squeeze, expand1, 1, 1, 0, rng),
+      expand3_(squeeze, expand3, 3, 1, 1, rng) {
+  if (expand1 == 0 && expand3 == 0)
+    throw std::invalid_argument("Fire: no expand channels");
+}
+
+Tensor Fire::forward(const Tensor& input, bool training) {
+  const Tensor squeezed =
+      squeeze_relu_.forward(squeeze_.forward(input, training), training);
+  squeezed_cache_ = squeezed;
+  const Tensor e1 = expand1_.forward(squeezed, training);
+  const Tensor e3 = expand3_.forward(squeezed, training);
+
+  // Channel concatenation [e1 || e3].
+  const std::size_t batch = e1.dim(0);
+  const std::size_t h = e1.dim(2);
+  const std::size_t w = e1.dim(3);
+  const std::size_t area = h * w;
+  Tensor cat({batch, expand1_ch_ + expand3_ch_, h, w});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < expand1_ch_; ++c)
+      for (std::size_t k = 0; k < area; ++k)
+        cat[(b * (expand1_ch_ + expand3_ch_) + c) * area + k] =
+            e1[(b * expand1_ch_ + c) * area + k];
+    for (std::size_t c = 0; c < expand3_ch_; ++c)
+      for (std::size_t k = 0; k < area; ++k)
+        cat[(b * (expand1_ch_ + expand3_ch_) + expand1_ch_ + c) * area + k] =
+            e3[(b * expand3_ch_ + c) * area + k];
+  }
+  return out_relu_.forward(cat, training);
+}
+
+Tensor Fire::backward(const Tensor& grad_output) {
+  const Tensor grad_cat = out_relu_.backward(grad_output);
+
+  const std::size_t batch = grad_cat.dim(0);
+  const std::size_t h = grad_cat.dim(2);
+  const std::size_t w = grad_cat.dim(3);
+  const std::size_t area = h * w;
+  Tensor g1({batch, expand1_ch_, h, w});
+  Tensor g3({batch, expand3_ch_, h, w});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t c = 0; c < expand1_ch_; ++c)
+      for (std::size_t k = 0; k < area; ++k)
+        g1[(b * expand1_ch_ + c) * area + k] =
+            grad_cat[(b * (expand1_ch_ + expand3_ch_) + c) * area + k];
+    for (std::size_t c = 0; c < expand3_ch_; ++c)
+      for (std::size_t k = 0; k < area; ++k)
+        g3[(b * expand3_ch_ + c) * area + k] =
+            grad_cat[(b * (expand1_ch_ + expand3_ch_) + expand1_ch_ + c) *
+                         area +
+                     k];
+  }
+
+  Tensor grad_squeezed = expand1_.backward(g1);
+  const Tensor grad_squeezed3 = expand3_.backward(g3);
+  for (std::size_t i = 0; i < grad_squeezed.size(); ++i)
+    grad_squeezed[i] += grad_squeezed3[i];
+
+  return squeeze_.backward(squeeze_relu_.backward(grad_squeezed));
+}
+
+std::vector<ParamRef> Fire::params() {
+  std::vector<ParamRef> out;
+  for (auto& p : squeeze_.params()) out.push_back(p);
+  for (auto& p : expand1_.params()) out.push_back(p);
+  for (auto& p : expand3_.params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace rcr::nn

@@ -1,0 +1,231 @@
+#include "rcr/nn/gan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "rcr/nn/layers_basic.hpp"
+
+namespace rcr::nn {
+
+Vec RingDistribution::center(std::size_t k) const {
+  const double ang = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                     static_cast<double>(modes);
+  return {radius * std::cos(ang), radius * std::sin(ang)};
+}
+
+Vec RingDistribution::sample(num::Rng& rng) const {
+  const auto k =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(modes) - 1));
+  const Vec c = center(k);
+  return {c[0] + rng.normal(0.0, stddev), c[1] + rng.normal(0.0, stddev)};
+}
+
+std::size_t RingDistribution::nearest_mode(double x, double y) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < modes; ++k) {
+    const Vec c = center(k);
+    const double d = (x - c[0]) * (x - c[0]) + (y - c[1]) * (y - c[1]);
+    if (d < best_d) {
+      best_d = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+double RingDistribution::distance_to_mode(double x, double y) const {
+  const Vec c = center(nearest_mode(x, y));
+  return std::hypot(x - c[0], y - c[1]);
+}
+
+namespace {
+
+// The DCGAN stability recipe the paper invokes (Sec. II-B-2): batchnorm
+// helps on interior layers, but applying it indiscriminately -- in
+// particular to the generator's output side and the discriminator's input
+// side -- "can result in oscillation and instability".
+//   kSelective: batchnorm on interior hidden layers only.
+//   kAllLayers: batchnorm everywhere, including the G output side and the
+//               raw D input (the unstable recipe).
+Sequential build_generator(const GanConfig& config, num::Rng& rng) {
+  Sequential g;
+  g.emplace<Dense>(config.latent_dim, config.hidden, rng);
+  if (config.placement != BatchNormPlacement::kNone)
+    g.emplace<BatchNorm1d>(config.hidden);
+  g.emplace<Relu>();
+  g.emplace<Dense>(config.hidden, config.hidden, rng);
+  if (config.placement == BatchNormPlacement::kAllLayers)
+    g.emplace<BatchNorm1d>(config.hidden);  // generator output side
+  g.emplace<Relu>();
+  g.emplace<Dense>(config.hidden, 2, rng);
+  return g;
+}
+
+Sequential build_discriminator(const GanConfig& config, num::Rng& rng) {
+  Sequential d;
+  if (config.placement == BatchNormPlacement::kAllLayers)
+    d.emplace<BatchNorm1d>(2);  // raw discriminator input
+  d.emplace<Dense>(2, config.hidden, rng);
+  if (config.placement == BatchNormPlacement::kAllLayers)
+    d.emplace<BatchNorm1d>(config.hidden);  // discriminator input side
+  d.emplace<LeakyRelu>(0.2);
+  d.emplace<Dense>(config.hidden, config.hidden, rng);
+  if (config.placement != BatchNormPlacement::kNone)
+    d.emplace<BatchNorm1d>(config.hidden);
+  d.emplace<LeakyRelu>(0.2);
+  d.emplace<Dense>(config.hidden, 1, rng);
+  return d;
+}
+
+}  // namespace
+
+GanTrainer::GanTrainer(const GanConfig& config, const RingDistribution& target)
+    : config_(config), target_(target), rng_(config.seed),
+      d_opt_(config.lr_discriminator) {
+  for (std::size_t k = 0; k < std::max<std::size_t>(1, config.generators); ++k) {
+    generators_.push_back(build_generator(config_, rng_));
+    g_opts_.push_back(std::make_unique<Adam>(config_.lr_generator));
+  }
+  discriminator_ = build_discriminator(config_, rng_);
+}
+
+Tensor GanTrainer::sample_latent(std::size_t n) {
+  Tensor z({n, config_.latent_dim});
+  for (double& v : z.data()) v = rng_.normal(0.0, 1.0);
+  return z;
+}
+
+Tensor GanTrainer::generate(std::size_t generator_index, const Tensor& z,
+                            bool training) {
+  return generators_[generator_index].forward(z, training);
+}
+
+void GanTrainer::train() {
+  const std::size_t half = config_.batch_size / 2;
+  for (std::size_t step = 0; step < config_.steps; ++step) {
+    const std::size_t gi = step % generators_.size();
+
+    // ---- Discriminator step: real half labelled 1, fake half labelled 0.
+    Tensor real({half, 2});
+    for (std::size_t i = 0; i < half; ++i) {
+      const Vec p = target_.sample(rng_);
+      real.at2(i, 0) = p[0];
+      real.at2(i, 1) = p[1];
+    }
+    const Tensor z_d = sample_latent(half);
+    const Tensor fake = generate(gi, z_d, /*training=*/true);
+
+    // Real and fake halves run through D as separate batches, so batchnorm
+    // statistics are computed per batch type (the standard DCGAN practice;
+    // mixing them makes the D and G passes see inconsistent normalizations).
+    discriminator_.zero_grad();
+    const Tensor d_real = discriminator_.forward(real, /*training=*/true);
+    const LossResult real_loss = bce_with_logits(d_real, Vec(half, 1.0));
+    discriminator_.backward(real_loss.grad);
+    const Tensor d_fake = discriminator_.forward(fake, /*training=*/true);
+    const LossResult fake_loss = bce_with_logits(d_fake, Vec(half, 0.0));
+    discriminator_.backward(fake_loss.grad);
+    d_opt_.step(discriminator_.params());
+    d_loss_history_.push_back(0.5 * (real_loss.value + fake_loss.value));
+
+    // ---- Generator step: fool the discriminator (non-saturating loss).
+    const Tensor z_g = sample_latent(config_.batch_size);
+    generators_[gi].zero_grad();
+    const Tensor g_out = generate(gi, z_g, /*training=*/true);
+    discriminator_.zero_grad();  // discard D grads from this pass
+    const Tensor g_logits = discriminator_.forward(g_out, /*training=*/true);
+    const LossResult g_loss =
+        bce_with_logits(g_logits, Vec(config_.batch_size, 1.0));
+    const Tensor grad_at_g = discriminator_.backward(g_loss.grad);
+    generators_[gi].backward(grad_at_g);
+    g_opts_[gi]->step(generators_[gi].params());
+    discriminator_.zero_grad();
+    g_loss_history_.push_back(g_loss.value);
+  }
+}
+
+std::vector<Vec> GanTrainer::sample(std::size_t n) {
+  std::vector<Vec> out;
+  out.reserve(n);
+  const std::size_t per =
+      (n + generators_.size() - 1) / generators_.size();
+  for (std::size_t gi = 0; gi < generators_.size() && out.size() < n; ++gi) {
+    const std::size_t take = std::min(per, n - out.size());
+    const Tensor z = sample_latent(take);
+    const Tensor pts = generate(gi, z, /*training=*/false);
+    for (std::size_t i = 0; i < take; ++i)
+      out.push_back({pts.at2(i, 0), pts.at2(i, 1)});
+  }
+  return out;
+}
+
+GanMetrics GanTrainer::metrics(std::size_t n) {
+  GanMetrics m;
+  m.d_loss_history = d_loss_history_;
+  m.g_loss_history = g_loss_history_;
+
+  const std::vector<Vec> pts = sample(n);
+  std::vector<std::size_t> per_mode(target_.modes, 0);
+  std::size_t good = 0;
+  for (const Vec& p : pts) {
+    const double d = target_.distance_to_mode(p[0], p[1]);
+    if (d <= 4.0 * target_.stddev) {
+      ++good;
+      ++per_mode[target_.nearest_mode(p[0], p[1])];
+    }
+  }
+  const auto min_hits = static_cast<std::size_t>(0.02 * static_cast<double>(n));
+  for (std::size_t k = 0; k < target_.modes; ++k)
+    if (per_mode[k] >= std::max<std::size_t>(1, min_hits)) ++m.modes_covered;
+  m.high_quality_fraction = static_cast<double>(good) / static_cast<double>(n);
+
+  // Forward stability: median amplification of a small latent perturbation
+  // through the (first) generator.
+  const double delta = 1e-4;
+  Vec amps;
+  for (std::size_t trial = 0; trial < 64; ++trial) {
+    Tensor z = sample_latent(1);
+    Tensor z2 = z;
+    Vec d(config_.latent_dim);
+    for (std::size_t j = 0; j < config_.latent_dim; ++j) {
+      d[j] = rng_.normal(0.0, 1.0);
+    }
+    const double dn = num::norm2(d);
+    for (std::size_t j = 0; j < config_.latent_dim; ++j)
+      z2.at2(0, j) += delta * d[j] / dn;
+    const Tensor a = generate(0, z, false);
+    const Tensor b = generate(0, z2, false);
+    const double diff = std::hypot(a.at2(0, 0) - b.at2(0, 0),
+                                   a.at2(0, 1) - b.at2(0, 1));
+    amps.push_back(diff / delta);
+  }
+  std::sort(amps.begin(), amps.end());
+  m.forward_amplification = amps[amps.size() / 2];
+
+  // Oscillation: RMS of step-to-step D-loss differences over the last half.
+  if (d_loss_history_.size() >= 4) {
+    const std::size_t start = d_loss_history_.size() / 2;
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = start + 1; i < d_loss_history_.size(); ++i) {
+      const double diff = d_loss_history_[i] - d_loss_history_[i - 1];
+      acc += diff * diff;
+      ++count;
+    }
+    m.d_loss_oscillation = std::sqrt(acc / static_cast<double>(count));
+  }
+  return m;
+}
+
+std::size_t GanTrainer::generator_param_count() {
+  return generators_[0].param_count();
+}
+
+std::size_t GanTrainer::discriminator_param_count() {
+  return discriminator_.param_count();
+}
+
+}  // namespace rcr::nn

@@ -1,0 +1,81 @@
+// Batch normalization with the *placement policy* the paper discusses
+// (Sec. II-B-2): applying batchnorm to every layer of a DCGAN causes
+// oscillation and instability; applying it selectively (generator output /
+// discriminator input only) avoids it.  The policy enum lives here so GAN
+// builders and the E9 bench share one vocabulary.
+#pragma once
+
+#include "rcr/nn/layer.hpp"
+
+namespace rcr::nn {
+
+/// Where batchnorm layers are inserted when building a GAN.
+enum class BatchNormPlacement {
+  kNone,              ///< No batchnorm anywhere.
+  kSelective,         ///< Interior hidden layers only -- skipping the
+                      ///< generator output side and discriminator input
+                      ///< side (the paper's "proven fashion").
+  kAllLayers,         ///< Everywhere, including the G output side and raw D
+                      ///< input (the unstable recipe).
+};
+
+std::string to_string(BatchNormPlacement p);
+
+/// Batch normalization over {B, F}: per-feature statistics across the batch.
+class BatchNorm1d final : public Layer {
+ public:
+  explicit BatchNorm1d(std::size_t features, double momentum = 0.1,
+                       double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return "batchnorm1d"; }
+
+  const Vec& running_mean() const { return running_mean_; }
+  const Vec& running_var() const { return running_var_; }
+
+ private:
+  std::size_t features_;
+  double momentum_;
+  double epsilon_;
+  Vec gamma_;
+  Vec beta_;
+  Vec gamma_grad_;
+  Vec beta_grad_;
+  Vec running_mean_;
+  Vec running_var_;
+
+  // Caches for backward.
+  Tensor normalized_cache_;
+  Vec batch_inv_std_;
+};
+
+/// Batch normalization over {B, C, H, W}: per-channel statistics across the
+/// batch and spatial dimensions.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, double momentum = 0.1,
+                       double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return "batchnorm2d"; }
+
+ private:
+  std::size_t channels_;
+  double momentum_;
+  double epsilon_;
+  Vec gamma_;
+  Vec beta_;
+  Vec gamma_grad_;
+  Vec beta_grad_;
+  Vec running_mean_;
+  Vec running_var_;
+
+  Tensor normalized_cache_;
+  Vec batch_inv_std_;
+};
+
+}  // namespace rcr::nn

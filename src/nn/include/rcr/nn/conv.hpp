@@ -1,0 +1,66 @@
+// 2D convolution and pooling layers (channels-first, batch-first).
+#pragma once
+
+#include "rcr/nn/layer.hpp"
+
+namespace rcr::nn {
+
+/// 2D convolution: {B, Cin, H, W} -> {B, Cout, H', W'} with
+/// H' = (H + 2*pad - k)/stride + 1.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t padding,
+         num::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return "conv2d"; }
+
+  std::size_t in_channels() const { return in_ch_; }
+  std::size_t out_channels() const { return out_ch_; }
+  std::size_t kernel() const { return kernel_; }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  Vec weight_;  ///< [out][in][k][k] flattened.
+  Vec bias_;
+  Vec weight_grad_;
+  Vec bias_grad_;
+  Tensor input_cache_;
+
+  std::size_t widx(std::size_t o, std::size_t i, std::size_t r,
+                   std::size_t c) const {
+    return ((o * in_ch_ + i) * kernel_ + r) * kernel_ + c;
+  }
+};
+
+/// 2x2 max pooling with stride 2 (dimensions must be even).
+class MaxPool2d final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "maxpool2d"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+  std::vector<std::size_t> argmax_;  ///< Flat input index per output element.
+};
+
+/// Global average pooling: {B, C, H, W} -> {B, C}.
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "global_avg_pool"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace rcr::nn

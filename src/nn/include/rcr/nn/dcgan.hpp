@@ -1,0 +1,83 @@
+// Convolutional DCGAN over spectrogram images -- the paper's literal
+// DC-YOLO-GAN substrate (a convolutional generator/discriminator pair
+// trained adversarially on time-frequency images), at laptop scale.
+//
+// Generator: latent -> Dense -> reshape 4x4 -> [Upsample2x -> Conv -> BN ->
+// ReLU] x2 -> Conv -> Sigmoid (16x16 single-channel image in [0,1]).
+// Discriminator: strided Conv stack -> Dense logit, batchnorm placed per
+// the Sec. II-B-2 policy.
+#pragma once
+
+#include <cstdint>
+
+#include "rcr/nn/batchnorm.hpp"
+#include "rcr/nn/conv.hpp"
+#include "rcr/nn/msy3i.hpp"
+#include "rcr/nn/network.hpp"
+#include "rcr/nn/shape_ops.hpp"
+
+namespace rcr::nn {
+
+/// DCGAN configuration (16x16 single-channel images).
+struct DcganConfig {
+  std::size_t latent_dim = 16;
+  std::size_t base_channels = 8;   ///< Generator channel width at 4x4.
+  BatchNormPlacement placement = BatchNormPlacement::kSelective;
+  std::size_t batch_size = 8;
+  std::size_t steps = 200;
+  double lr_generator = 2e-3;
+  double lr_discriminator = 2e-3;
+  std::uint64_t seed = 1;
+};
+
+/// Build the convolutional generator: {B, latent} -> {B, 1, 16, 16}.
+Sequential build_dcgan_generator(const DcganConfig& config);
+
+/// Build the convolutional discriminator: {B, 1, 16, 16} -> {B, 1} logit.
+Sequential build_dcgan_discriminator(const DcganConfig& config);
+
+/// Post-training image statistics.
+struct DcganMetrics {
+  double d_loss_final = 0.0;
+  double g_loss_final = 0.0;
+  double mean_pixel_error = 0.0;   ///< |mean(generated) - mean(data)|.
+  double row_profile_cosine = 0.0; ///< Cosine similarity of per-row energy
+                                   ///< profiles, generated vs data.
+  Vec d_loss_history;
+  Vec g_loss_history;
+};
+
+/// Adversarial trainer on a set of spectrogram images.
+class DcganTrainer {
+ public:
+  DcganTrainer(const DcganConfig& config,
+               const std::vector<ImageSample>& data);
+
+  /// Run the configured number of adversarial steps.
+  void train();
+
+  /// Generate `n` images ({n, 1, 16, 16}).
+  Tensor sample(std::size_t n);
+
+  /// Compute statistics on `n` generated images against the data set.
+  DcganMetrics metrics(std::size_t n = 64);
+
+  Sequential& generator() { return generator_; }
+  Sequential& discriminator() { return discriminator_; }
+
+ private:
+  Tensor sample_latent(std::size_t n);
+  Tensor sample_real(std::size_t n);
+
+  DcganConfig config_;
+  std::vector<ImageSample> data_;
+  num::Rng rng_;
+  Sequential generator_;
+  Sequential discriminator_;
+  Adam g_opt_;
+  Adam d_opt_;
+  Vec d_loss_history_;
+  Vec g_loss_history_;
+};
+
+}  // namespace rcr::nn

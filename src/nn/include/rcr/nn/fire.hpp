@@ -1,0 +1,51 @@
+// Fire layers (SqueezeNet [5]) and Special Fire Layers (SqueezeDet [6]).
+//
+// The paper's MSY3I replaces YOLO-v3 convolution stacks with fire layers to
+// cut the parameter count: a 1x1 "squeeze" convolution down to s channels,
+// then parallel 1x1 and 3x3 "expand" convolutions whose outputs concatenate.
+// A Special Fire Layer additionally downsamples (stride-2 squeeze), replacing
+// conv+pool pairs.
+#pragma once
+
+#include "rcr/nn/conv.hpp"
+#include "rcr/nn/layers_basic.hpp"
+
+namespace rcr::nn {
+
+/// Fire layer: squeeze(1x1, s) -> ReLU -> [expand1x1(e1) || expand3x3(e3)]
+/// -> ReLU, output channels e1 + e3.
+class Fire : public Layer {
+ public:
+  Fire(std::size_t in_channels, std::size_t squeeze, std::size_t expand1,
+       std::size_t expand3, num::Rng& rng, std::size_t squeeze_stride = 1);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return "fire"; }
+
+  std::size_t out_channels() const { return expand1_ch_ + expand3_ch_; }
+
+ private:
+  std::size_t expand1_ch_;
+  std::size_t expand3_ch_;
+  Conv2d squeeze_;
+  Conv2d expand1_;
+  Conv2d expand3_;
+  Relu squeeze_relu_;
+  Relu out_relu_;
+  Tensor squeezed_cache_;  ///< post-ReLU squeeze output
+};
+
+/// Special Fire Layer: a fire layer whose squeeze convolution has stride 2,
+/// halving the spatial dimensions (the SqueezeDet-style conv+pool
+/// replacement).
+class SpecialFire final : public Fire {
+ public:
+  SpecialFire(std::size_t in_channels, std::size_t squeeze,
+              std::size_t expand1, std::size_t expand3, num::Rng& rng)
+      : Fire(in_channels, squeeze, expand1, expand3, rng, 2) {}
+  std::string name() const override { return "special_fire"; }
+};
+
+}  // namespace rcr::nn

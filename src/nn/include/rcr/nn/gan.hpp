@@ -1,0 +1,94 @@
+// GAN substrate: generator/discriminator training on a Gaussian-ring
+// distribution, mixture-of-generators (the paper's DCGAN #3 "additional
+// generator ... to assist in mitigating mode failure"), batchnorm placement
+// policies (Sec. II-B-2), and the stability metrics of Sec. IV:
+//  - mode coverage / mode collapse detection,
+//  - forward stability ("a forward stable DCGAN does not amplify
+//    perturbations of the input set"),
+//  - training-loss oscillation (the all-layers-batchnorm pathology).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rcr/nn/batchnorm.hpp"
+#include "rcr/nn/network.hpp"
+
+namespace rcr::nn {
+
+/// The target distribution: `modes` Gaussians equally spaced on a circle.
+struct RingDistribution {
+  std::size_t modes = 8;
+  double radius = 2.0;
+  double stddev = 0.05;
+
+  /// Sample one 2D point.
+  Vec sample(num::Rng& rng) const;
+
+  /// Index of the nearest mode center to a point.
+  std::size_t nearest_mode(double x, double y) const;
+
+  /// Distance from the point to its nearest mode center.
+  double distance_to_mode(double x, double y) const;
+
+  /// Center of mode k.
+  Vec center(std::size_t k) const;
+};
+
+/// GAN training configuration.
+struct GanConfig {
+  std::size_t latent_dim = 8;
+  std::size_t hidden = 64;
+  std::size_t generators = 1;      ///< Mixture size (1 = plain GAN).
+  BatchNormPlacement placement = BatchNormPlacement::kNone;
+  std::size_t batch_size = 32;
+  std::size_t steps = 800;         ///< Discriminator/generator step pairs.
+  double lr_generator = 1e-3;
+  double lr_discriminator = 1e-3;
+  std::uint64_t seed = 1;
+};
+
+/// Post-training metrics.
+struct GanMetrics {
+  std::size_t modes_covered = 0;       ///< Modes hit by >= 2% of samples.
+  double high_quality_fraction = 0.0;  ///< Samples within 4 stddev of a mode.
+  double forward_amplification = 0.0;  ///< ||G(z+d)-G(z)|| / ||d||, median.
+  double d_loss_oscillation = 0.0;     ///< RMS step-to-step D-loss change,
+                                       ///< last half of training.
+  Vec d_loss_history;
+  Vec g_loss_history;
+};
+
+/// Trainer for a (mixture-of-generators) GAN on the ring distribution.
+class GanTrainer {
+ public:
+  GanTrainer(const GanConfig& config, const RingDistribution& target);
+
+  /// Run the configured number of adversarial steps.
+  void train();
+
+  /// Draw `n` samples from the (mixture of) trained generator(s).
+  std::vector<Vec> sample(std::size_t n);
+
+  /// Compute all metrics on `n` fresh samples.
+  GanMetrics metrics(std::size_t n = 1024);
+
+  std::size_t generator_param_count();
+  std::size_t discriminator_param_count();
+
+ private:
+  Tensor sample_latent(std::size_t n);
+  Tensor generate(std::size_t generator_index, const Tensor& z, bool training);
+
+  GanConfig config_;
+  RingDistribution target_;
+  num::Rng rng_;
+  std::vector<Sequential> generators_;
+  Sequential discriminator_;
+  std::vector<std::unique_ptr<Adam>> g_opts_;
+  Adam d_opt_;
+  Vec d_loss_history_;
+  Vec g_loss_history_;
+};
+
+}  // namespace rcr::nn

@@ -1,0 +1,54 @@
+// Layer interface for the from-scratch network library.
+//
+// Layers cache whatever they need during forward() and consume it in the
+// matching backward(); training code must call them in forward-then-backward
+// pairs on the same batch (the Sequential container enforces this order).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcr/nn/tensor.hpp"
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::nn {
+
+/// A view of one learnable parameter block and its gradient accumulator.
+struct ParamRef {
+  Vec* value = nullptr;
+  Vec* grad = nullptr;
+  std::string name;
+};
+
+/// Abstract layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass on a batch; `training` toggles batch-statistics behaviour.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backward pass: gradient of the loss w.r.t. this layer's input, given the
+  /// gradient w.r.t. its output.  Parameter gradients are *accumulated* into
+  /// the blocks exposed by params().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameter blocks (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Human-readable layer name.
+  virtual std::string name() const = 0;
+
+  /// Number of learnable scalars.
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (const auto& p : params()) n += p.value->size();
+    return n;
+  }
+};
+
+/// He/Kaiming-uniform initialization bound for fan_in inputs.
+double he_bound(std::size_t fan_in);
+
+}  // namespace rcr::nn

@@ -1,0 +1,88 @@
+// Dense, activation, and reshaping layers.
+#pragma once
+
+#include "rcr/nn/layer.hpp"
+
+namespace rcr::nn {
+
+/// Fully connected layer: {B, in} -> {B, out}.
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, num::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return "dense"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Vec weight_;  ///< out x in, row-major.
+  Vec bias_;
+  Vec weight_grad_;
+  Vec bias_grad_;
+  Tensor input_cache_;
+};
+
+/// ReLU.
+class Relu final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  Tensor input_cache_;
+};
+
+/// LeakyReLU with the given negative slope (DCGAN discriminators use 0.2).
+class LeakyRelu final : public Layer {
+ public:
+  explicit LeakyRelu(double slope = 0.2) : slope_(slope) {}
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "leaky_relu"; }
+
+ private:
+  double slope_;
+  Tensor input_cache_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "sigmoid"; }
+
+ private:
+  Tensor output_cache_;
+};
+
+/// Hyperbolic tangent (DCGAN generator output).
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "tanh"; }
+
+ private:
+  Tensor output_cache_;
+};
+
+/// Flatten {B, C, H, W} (or any rank >= 2) to {B, F}.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace rcr::nn

@@ -1,0 +1,114 @@
+// Sequential container, losses, and optimizers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcr/nn/layer.hpp"
+
+namespace rcr::nn {
+
+/// Ordered stack of layers with joint forward/backward.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer (builder style).
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: construct the layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input, bool training);
+
+  /// Backpropagate from the loss gradient w.r.t. the network output;
+  /// accumulates parameter gradients and returns the gradient w.r.t. the
+  /// network input.
+  Tensor backward(const Tensor& grad_output);
+
+  std::vector<ParamRef> params();
+  std::size_t param_count();
+  void zero_grad();
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Loss value and gradient w.r.t. the network output.
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;
+};
+
+/// Mean softmax cross-entropy over the batch, computed with the *fused*
+/// stable log-softmax (Sec. V's stability requirement).  `labels` has one
+/// class index per batch row.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels);
+
+/// Mean binary cross-entropy with logits: targets in [0, 1], one per row
+/// element.  Fused sigmoid+log for stability.
+LossResult bce_with_logits(const Tensor& logits, const Vec& targets);
+
+/// Mean squared error against a target tensor of identical shape.
+LossResult mse_loss(const Tensor& output, const Tensor& target);
+
+/// Predicted class per batch row (argmax of logits).
+std::vector<std::size_t> argmax_rows(const Tensor& logits);
+
+/// Save every parameter block of the network to a text file (one header
+/// line with the block count, then per block: name, size, values).
+/// Throws std::runtime_error when the file cannot be written.
+void save_parameters(Sequential& net, const std::string& path);
+
+/// Load parameters saved by save_parameters into a structurally identical
+/// network.  Throws std::runtime_error on I/O failure and
+/// std::invalid_argument on any block-count/name/size mismatch.
+void load_parameters(Sequential& net, const std::string& path);
+
+/// Optimizer interface over a parameter set.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<ParamRef>& params) = 0;
+};
+
+/// SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+  void step(const std::vector<ParamRef>& params) override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Vec> velocity_;
+};
+
+/// Adam.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+  void step(const std::vector<ParamRef>& params) override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::size_t t_ = 0;
+  std::vector<Vec> m_;
+  std::vector<Vec> v_;
+};
+
+}  // namespace rcr::nn

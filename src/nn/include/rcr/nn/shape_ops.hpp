@@ -1,0 +1,35 @@
+// Shape-manipulation layers needed by convolutional generators.
+#pragma once
+
+#include "rcr/nn/layer.hpp"
+
+namespace rcr::nn {
+
+/// Reshape each sample to a fixed per-sample shape (batch dim preserved).
+class Reshape final : public Layer {
+ public:
+  /// `sample_shape` excludes the batch dimension, e.g. {8, 4, 4}.
+  explicit Reshape(std::vector<std::size_t> sample_shape)
+      : sample_shape_(std::move(sample_shape)) {}
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "reshape"; }
+
+ private:
+  std::vector<std::size_t> sample_shape_;
+  std::vector<std::size_t> input_shape_;
+};
+
+/// Nearest-neighbour 2x spatial upsampling: {B,C,H,W} -> {B,C,2H,2W}.
+class Upsample2x final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "upsample2x"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace rcr::nn

@@ -1,0 +1,73 @@
+// Minimal dense tensor for the neural-network substrate.
+//
+// Layout is row-major with the batch dimension first:
+//   {B, F}        for dense features,
+//   {B, C, H, W}  for images.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::nn {
+
+/// Dense N-dimensional array of doubles (batch-first).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Construct with the given shape, zero-filled.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  /// Construct with shape and existing data; throws std::invalid_argument
+  /// when sizes disagree.
+  Tensor(std::vector<std::size_t> shape, Vec data);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  Vec& data() { return data_; }
+  const Vec& data() const { return data_; }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2D access {B, F}.
+  double& at2(std::size_t b, std::size_t f) {
+    return data_[b * shape_[1] + f];
+  }
+  double at2(std::size_t b, std::size_t f) const {
+    return data_[b * shape_[1] + f];
+  }
+
+  /// 4D access {B, C, H, W}.
+  double& at4(std::size_t b, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  double at4(std::size_t b, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// Reshape preserving the element count; throws std::invalid_argument on
+  /// count mismatch.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// Zero tensor with the same shape.
+  Tensor zeros_like() const { return Tensor(shape_); }
+
+  /// "BxCxHxW"-style shape string for diagnostics.
+  std::string shape_string() const;
+
+  /// Total elements implied by a shape.
+  static std::size_t element_count(const std::vector<std::size_t>& shape);
+
+ private:
+  std::vector<std::size_t> shape_;
+  Vec data_;
+};
+
+}  // namespace rcr::nn

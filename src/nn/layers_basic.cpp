@@ -1,0 +1,137 @@
+#include "rcr/nn/layers_basic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::nn {
+
+double he_bound(std::size_t fan_in) {
+  return std::sqrt(6.0 / static_cast<double>(fan_in == 0 ? 1 : fan_in));
+}
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, num::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(in_features * out_features),
+      bias_(out_features, 0.0),
+      weight_grad_(in_features * out_features, 0.0),
+      bias_grad_(out_features, 0.0) {
+  const double bound = he_bound(in_features);
+  for (double& w : weight_) w = rng.uniform(-bound, bound);
+}
+
+Tensor Dense::forward(const Tensor& input, bool) {
+  if (input.rank() != 2 || input.dim(1) != in_)
+    throw std::invalid_argument("Dense::forward: expected {B, " +
+                                std::to_string(in_) + "}, got " +
+                                input.shape_string());
+  input_cache_ = input;
+  const std::size_t batch = input.dim(0);
+  Tensor out({batch, out_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_; ++o) {
+      double acc = bias_[o];
+      const std::size_t row = o * in_;
+      for (std::size_t i = 0; i < in_; ++i)
+        acc += weight_[row + i] * input.at2(b, i);
+      out.at2(b, o) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const std::size_t batch = input_cache_.dim(0);
+  Tensor grad_input({batch, in_});
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_; ++o) {
+      const double g = grad_output.at2(b, o);
+      bias_grad_[o] += g;
+      const std::size_t row = o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        weight_grad_[row + i] += g * input_cache_.at2(b, i);
+        grad_input.at2(b, i) += g * weight_[row + i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{&weight_, &weight_grad_, "dense.weight"},
+          {&bias_, &bias_grad_, "dense.bias"}};
+}
+
+Tensor Relu::forward(const Tensor& input, bool) {
+  input_cache_ = input;
+  Tensor out = input;
+  for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    if (input_cache_[i] <= 0.0) grad[i] = 0.0;
+  return grad;
+}
+
+Tensor LeakyRelu::forward(const Tensor& input, bool) {
+  input_cache_ = input;
+  Tensor out = input;
+  for (double& v : out.data()) v = v > 0.0 ? v : slope_ * v;
+  return out;
+}
+
+Tensor LeakyRelu::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    if (input_cache_[i] <= 0.0) grad[i] *= slope_;
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool) {
+  Tensor out = input;
+  for (double& v : out.data()) v = 1.0 / (1.0 + std::exp(-v));
+  output_cache_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double s = output_cache_[i];
+    grad[i] *= s * (1.0 - s);
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool) {
+  Tensor out = input;
+  for (double& v : out.data()) v = std::tanh(v);
+  output_cache_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const double t = output_cache_[i];
+    grad[i] *= 1.0 - t * t;
+  }
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool) {
+  if (input.rank() < 2)
+    throw std::invalid_argument("Flatten::forward: rank < 2");
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  return input.reshaped({batch, input.size() / batch});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace rcr::nn

@@ -1,0 +1,230 @@
+#include "rcr/nn/msy3i.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <stdexcept>
+
+namespace rcr::nn {
+
+namespace {
+
+// Shared backbone: stem conv, then two downsampling stages of fire blocks.
+// Returns the channel count feeding the head.
+std::size_t build_squeezed_backbone(Sequential& net, const Msy3iConfig& config,
+                                    num::Rng& rng) {
+  net.emplace<Conv2d>(1, config.stem_filters, 3, 1, 1, rng);
+  net.emplace<Relu>();
+
+  std::size_t channels = config.stem_filters;
+  for (int stage = 0; stage < 2; ++stage) {
+    // Downsample: SFL (stride-2 fire) or maxpool.
+    if (config.use_special_fire) {
+      net.emplace<SpecialFire>(channels, config.fire_squeeze,
+                               config.fire_expand, config.fire_expand, rng);
+      channels = 2 * config.fire_expand;
+    } else {
+      net.emplace<MaxPool2d>();
+    }
+    for (std::size_t k = 0; k + 1 < config.num_fire_blocks; ++k) {
+      net.emplace<Fire>(channels, config.fire_squeeze, config.fire_expand,
+                        config.fire_expand, rng);
+      channels = 2 * config.fire_expand;
+    }
+  }
+  return channels;
+}
+
+std::size_t build_conv_backbone(Sequential& net, const Msy3iConfig& config,
+                                num::Rng& rng) {
+  // Same receptive-field structure, plain 3x3 convs throughout (the
+  // unsqueezed YOLO-style stack): width doubles at each stage.
+  net.emplace<Conv2d>(1, config.stem_filters, 3, 1, 1, rng);
+  net.emplace<Relu>();
+
+  std::size_t channels = config.stem_filters;
+  for (int stage = 0; stage < 2; ++stage) {
+    const std::size_t next = 2 * config.fire_expand;  // match MSY3I width
+    net.emplace<Conv2d>(channels, next, 3, 2, 1, rng);  // strided conv
+    net.emplace<Relu>();
+    channels = next;
+    for (std::size_t k = 0; k + 1 < config.num_fire_blocks; ++k) {
+      net.emplace<Conv2d>(channels, channels, 3, 1, 1, rng);
+      net.emplace<Relu>();
+    }
+  }
+  return channels;
+}
+
+}  // namespace
+
+Sequential build_msy3i_classifier(const Msy3iConfig& config) {
+  num::Rng rng(config.seed);
+  Sequential net;
+  const std::size_t channels = build_squeezed_backbone(net, config, rng);
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Dense>(channels, config.classes, rng);
+  return net;
+}
+
+Sequential build_conv_baseline(const Msy3iConfig& config) {
+  num::Rng rng(config.seed);
+  Sequential net;
+  const std::size_t channels = build_conv_backbone(net, config, rng);
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Dense>(channels, config.classes, rng);
+  return net;
+}
+
+Sequential build_msy3i_detector(const Msy3iConfig& config) {
+  num::Rng rng(config.seed);
+  Sequential net;
+  const std::size_t channels = build_squeezed_backbone(net, config, rng);
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Dense>(channels, 4, rng);
+  net.emplace<Sigmoid>();  // normalized box coordinates
+  return net;
+}
+
+Tensor batch_images(const std::vector<ImageSample>& samples,
+                    const std::vector<std::size_t>& indices) {
+  if (indices.empty())
+    throw std::invalid_argument("batch_images: empty index set");
+  const std::size_t h = samples.at(indices[0]).height;
+  const std::size_t w = samples.at(indices[0]).width;
+  Tensor batch({indices.size(), 1, h, w});
+  for (std::size_t b = 0; b < indices.size(); ++b) {
+    const ImageSample& s = samples.at(indices[b]);
+    if (s.height != h || s.width != w || s.pixels.size() != h * w)
+      throw std::invalid_argument("batch_images: inconsistent image sizes");
+    for (std::size_t k = 0; k < h * w; ++k) batch[b * h * w + k] = s.pixels[k];
+  }
+  return batch;
+}
+
+double evaluate_classifier(Sequential& net,
+                           const std::vector<ImageSample>& samples) {
+  if (samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Tensor x = batch_images(samples, {i});
+    const Tensor logits = net.forward(x, /*training=*/false);
+    if (argmax_rows(logits)[0] == samples[i].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+TrainReport train_classifier(Sequential& net,
+                             const std::vector<ImageSample>& train,
+                             const std::vector<ImageSample>& test,
+                             const TrainConfig& config) {
+  if (train.empty())
+    throw std::invalid_argument("train_classifier: empty training set");
+  num::Rng rng(config.seed);
+  Adam opt(config.learning_rate);
+
+  TrainReport report;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(train.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                   order.begin() + static_cast<std::ptrdiff_t>(end));
+      const Tensor x = batch_images(train, idx);
+      std::vector<std::size_t> labels(idx.size());
+      for (std::size_t k = 0; k < idx.size(); ++k)
+        labels[k] = train[idx[k]].label;
+
+      net.zero_grad();
+      const Tensor logits = net.forward(x, /*training=*/true);
+      const LossResult loss = softmax_cross_entropy(logits, labels);
+      net.backward(loss.grad);
+      opt.step(net.params());
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    report.loss_history.push_back(epoch_loss /
+                                  static_cast<double>(std::max<std::size_t>(1, batches)));
+  }
+  report.train_accuracy = evaluate_classifier(net, train);
+  report.test_accuracy = evaluate_classifier(net, test);
+  report.param_count = net.param_count();
+  return report;
+}
+
+DetectReport train_detector(Sequential& net,
+                            const std::vector<BoxSample>& train,
+                            const std::vector<BoxSample>& test,
+                            const TrainConfig& config) {
+  if (train.empty())
+    throw std::invalid_argument("train_detector: empty training set");
+  num::Rng rng(config.seed);
+  Adam opt(config.learning_rate);
+
+  auto batch_boxes = [](const std::vector<BoxSample>& samples,
+                        const std::vector<std::size_t>& idx) {
+    const std::size_t h = samples.at(idx[0]).height;
+    const std::size_t w = samples.at(idx[0]).width;
+    Tensor x({idx.size(), 1, h, w});
+    Tensor y({idx.size(), 4});
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      const BoxSample& s = samples[idx[b]];
+      for (std::size_t k = 0; k < h * w; ++k) x[b * h * w + k] = s.pixels[k];
+      for (std::size_t k = 0; k < 4; ++k) y.at2(b, k) = s.box[k];
+    }
+    return std::pair<Tensor, Tensor>(std::move(x), std::move(y));
+  };
+
+  DetectReport report;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(train.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(order.size(), start + config.batch_size);
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                   order.begin() + static_cast<std::ptrdiff_t>(end));
+      auto [x, y] = batch_boxes(train, idx);
+      net.zero_grad();
+      const Tensor pred = net.forward(x, /*training=*/true);
+      const LossResult loss = mse_loss(pred, y);
+      net.backward(loss.grad);
+      opt.step(net.params());
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    report.loss_history.push_back(epoch_loss /
+                                  static_cast<double>(std::max<std::size_t>(1, batches)));
+  }
+
+  // Mean IoU on the test set.
+  double iou_acc = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    auto [x, y] = batch_boxes(test, {i});
+    const Tensor pred = net.forward(x, /*training=*/false);
+    // IoU of center-format boxes.
+    const double ax = pred.at2(0, 0), ay = pred.at2(0, 1);
+    const double aw = pred.at2(0, 2), ah = pred.at2(0, 3);
+    const double bx = y.at2(0, 0), by = y.at2(0, 1);
+    const double bw = y.at2(0, 2), bh = y.at2(0, 3);
+    const double ix = std::max(
+        0.0, std::min(ax + aw / 2, bx + bw / 2) - std::max(ax - aw / 2, bx - bw / 2));
+    const double iy = std::max(
+        0.0, std::min(ay + ah / 2, by + bh / 2) - std::max(ay - ah / 2, by - bh / 2));
+    const double inter = ix * iy;
+    const double uni = aw * ah + bw * bh - inter;
+    iou_acc += uni > 0.0 ? inter / uni : 0.0;
+  }
+  report.mean_iou =
+      test.empty() ? 0.0 : iou_acc / static_cast<double>(test.size());
+  report.param_count = net.param_count();
+  return report;
+}
+
+}  // namespace rcr::nn

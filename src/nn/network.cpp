@@ -1,0 +1,204 @@
+#include "rcr/nn/network.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "rcr/numerics/stable.hpp"
+
+namespace rcr::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
+  return g;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_)
+    for (auto& p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::size_t Sequential::param_count() {
+  std::size_t n = 0;
+  for (auto& layer : layers_) n += layer->param_count();
+  return n;
+}
+
+void Sequential::zero_grad() {
+  for (auto& p : params())
+    for (double& g : *p.grad) g = 0.0;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  if (logits.rank() != 2)
+    throw std::invalid_argument("softmax_cross_entropy: expected {B, K}");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != batch)
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    Vec row(classes);
+    for (std::size_t k = 0; k < classes; ++k) row[k] = logits.at2(b, k);
+    const Vec log_probs = num::log_softmax(row);
+    if (labels[b] >= classes)
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    total -= log_probs[labels[b]];
+    // d/dlogits = softmax - onehot, averaged over the batch.
+    for (std::size_t k = 0; k < classes; ++k) {
+      const double p = std::exp(log_probs[k]);
+      result.grad.at2(b, k) =
+          (p - (k == labels[b] ? 1.0 : 0.0)) / static_cast<double>(batch);
+    }
+  }
+  result.value = total / static_cast<double>(batch);
+  return result;
+}
+
+LossResult bce_with_logits(const Tensor& logits, const Vec& targets) {
+  if (logits.size() != targets.size())
+    throw std::invalid_argument("bce_with_logits: size mismatch");
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  const auto n = static_cast<double>(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double z = logits[i];
+    const double t = targets[i];
+    // Stable: log(1 + e^{-|z|}) + max(z, 0) - z*t.
+    total += std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0) - z * t;
+    const double sigma = 1.0 / (1.0 + std::exp(-z));
+    result.grad[i] = (sigma - t) / n;
+  }
+  result.value = total / n;
+  return result;
+}
+
+LossResult mse_loss(const Tensor& output, const Tensor& target) {
+  if (output.size() != target.size())
+    throw std::invalid_argument("mse_loss: size mismatch");
+  LossResult result;
+  result.grad = Tensor(output.shape());
+  const auto n = static_cast<double>(output.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const double d = output[i] - target[i];
+    total += d * d;
+    result.grad[i] = 2.0 * d / n;
+  }
+  result.value = total / n;
+  return result;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& logits) {
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  std::vector<std::size_t> out(batch, 0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    double best = logits.at2(b, 0);
+    for (std::size_t k = 1; k < classes; ++k)
+      if (logits.at2(b, k) > best) {
+        best = logits.at2(b, k);
+        out[b] = k;
+      }
+  }
+  return out;
+}
+
+void save_parameters(Sequential& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  const auto params = net.params();
+  out << params.size() << "\n";
+  out.precision(17);
+  for (const auto& p : params) {
+    out << p.name << " " << p.value->size() << "\n";
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      out << (*p.value)[i];
+      out << (i + 1 == p.value->size() ? '\n' : ' ');
+    }
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed: " + path);
+}
+
+void load_parameters(Sequential& net, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  std::size_t count = 0;
+  in >> count;
+  const auto params = net.params();
+  if (count != params.size())
+    throw std::invalid_argument("load_parameters: block count mismatch");
+  for (const auto& p : params) {
+    std::string name;
+    std::size_t size = 0;
+    in >> name >> size;
+    if (name != p.name || size != p.value->size())
+      throw std::invalid_argument("load_parameters: block '" + p.name +
+                                  "' mismatch (found '" + name + "')");
+    for (std::size_t i = 0; i < size; ++i) in >> (*p.value)[i];
+  }
+  if (!in) throw std::runtime_error("load_parameters: truncated file: " + path);
+}
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const auto& p : params) velocity_.emplace_back(p.value->size(), 0.0);
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Vec& w = *params[i].value;
+    const Vec& g = *params[i].grad;
+    Vec& v = velocity_[i];
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      v[j] = momentum_ * v[j] - lr_ * g[j];
+      w[j] += v[j];
+    }
+  }
+}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const auto& p : params) {
+      m_.emplace_back(p.value->size(), 0.0);
+      v_.emplace_back(p.value->size(), 0.0);
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Vec& w = *params[i].value;
+    const Vec& g = *params[i].grad;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m_[i][j] = beta1_ * m_[i][j] + (1.0 - beta1_) * g[j];
+      v_[i][j] = beta2_ * v_[i][j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace rcr::nn

@@ -1,0 +1,68 @@
+#include "rcr/nn/shape_ops.hpp"
+
+#include <stdexcept>
+
+namespace rcr::nn {
+
+Tensor Reshape::forward(const Tensor& input, bool) {
+  if (input.rank() < 1)
+    throw std::invalid_argument("Reshape::forward: empty tensor");
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  std::vector<std::size_t> out_shape;
+  out_shape.push_back(batch);
+  std::size_t per_sample = 1;
+  for (std::size_t d : sample_shape_) {
+    out_shape.push_back(d);
+    per_sample *= d;
+  }
+  if (per_sample * batch != input.size())
+    throw std::invalid_argument("Reshape::forward: element count mismatch");
+  return input.reshaped(std::move(out_shape));
+}
+
+Tensor Reshape::backward(const Tensor& grad_output) {
+  return grad_output.reshaped(input_shape_);
+}
+
+Tensor Upsample2x::forward(const Tensor& input, bool) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("Upsample2x::forward: expected rank-4");
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0);
+  const std::size_t ch = input.dim(1);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  Tensor out({batch, ch, 2 * h, 2 * w});
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t c = 0; c < ch; ++c)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x) {
+          const double v = input.at4(b, c, y, x);
+          out.at4(b, c, 2 * y, 2 * x) = v;
+          out.at4(b, c, 2 * y, 2 * x + 1) = v;
+          out.at4(b, c, 2 * y + 1, 2 * x) = v;
+          out.at4(b, c, 2 * y + 1, 2 * x + 1) = v;
+        }
+  return out;
+}
+
+Tensor Upsample2x::backward(const Tensor& grad_output) {
+  Tensor grad(input_shape_);
+  const std::size_t batch = input_shape_[0];
+  const std::size_t ch = input_shape_[1];
+  const std::size_t h = input_shape_[2];
+  const std::size_t w = input_shape_[3];
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t c = 0; c < ch; ++c)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x) {
+          grad.at4(b, c, y, x) = grad_output.at4(b, c, 2 * y, 2 * x) +
+                                 grad_output.at4(b, c, 2 * y, 2 * x + 1) +
+                                 grad_output.at4(b, c, 2 * y + 1, 2 * x) +
+                                 grad_output.at4(b, c, 2 * y + 1, 2 * x + 1);
+        }
+  return grad;
+}
+
+}  // namespace rcr::nn

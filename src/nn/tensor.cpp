@@ -1,0 +1,37 @@
+#include "rcr/nn/tensor.hpp"
+
+#include <stdexcept>
+
+namespace rcr::nn {
+
+std::size_t Tensor::element_count(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(element_count(shape_), 0.0) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, Vec data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != element_count(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape");
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (element_count(new_shape) != data_.size())
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::string Tensor::shape_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) s += "x";
+    s += std::to_string(shape_[i]);
+  }
+  return s;
+}
+
+}  // namespace rcr::nn

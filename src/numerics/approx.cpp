@@ -1,0 +1,85 @@
+#include "rcr/numerics/approx.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::num {
+
+double exp_taylor(double x, std::size_t n_terms) {
+  // Accumulate 1 + x + x^2/2! + ... + x^n/n! with compensated summation so
+  // that the measured error is the truncation error, not round-off.
+  double sum = 0.0;
+  double comp = 0.0;
+  double term = 1.0;
+  for (std::size_t k = 0; k <= n_terms; ++k) {
+    const double y = term - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+    term *= x / static_cast<double>(k + 1);
+  }
+  return sum;
+}
+
+double exp_taylor_error(double x, std::size_t n_terms) {
+  return std::abs(exp_taylor(x, n_terms) - std::exp(x));
+}
+
+std::size_t exp_taylor_terms_for(double x, double tol, std::size_t max_terms) {
+  for (std::size_t n = 0; n <= max_terms; ++n)
+    if (exp_taylor_error(x, n) <= tol) return n;
+  return max_terms;
+}
+
+double trapezoid(const std::function<double(double)>& f, double a, double b,
+                 std::size_t n) {
+  if (n == 0) throw std::invalid_argument("trapezoid: n must be positive");
+  if (b < a) throw std::invalid_argument("trapezoid: b < a");
+  const double h = (b - a) / static_cast<double>(n);
+  double acc = 0.5 * (f(a) + f(b));
+  for (std::size_t i = 1; i < n; ++i)
+    acc += f(a + h * static_cast<double>(i));
+  return h * acc;
+}
+
+double trapezoid_error_estimate(const std::function<double(double)>& f,
+                                double a, double b, std::size_t n) {
+  return std::abs(trapezoid(f, a, b, n) - trapezoid(f, a, b, 2 * n)) / 3.0;
+}
+
+double simpson(const std::function<double(double)>& f, double a, double b,
+               std::size_t n) {
+  if (n == 0 || n % 2 != 0)
+    throw std::invalid_argument("simpson: n must be positive and even");
+  if (b < a) throw std::invalid_argument("simpson: b < a");
+  const double h = (b - a) / static_cast<double>(n);
+  double acc = f(a) + f(b);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double w = (i % 2 == 0) ? 2.0 : 4.0;
+    acc += w * f(a + h * static_cast<double>(i));
+  }
+  return h / 3.0 * acc;
+}
+
+double central_difference(const std::function<double(double)>& f, double x,
+                          double h) {
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+Vec numerical_gradient(const std::function<double(const Vec&)>& f, const Vec& x,
+                       double h) {
+  Vec g(x.size());
+  Vec probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    probe[i] = xi + h;
+    const double fp = f(probe);
+    probe[i] = xi - h;
+    const double fm = f(probe);
+    probe[i] = xi;
+    g[i] = (fp - fm) / (2.0 * h);
+  }
+  return g;
+}
+
+}  // namespace rcr::num

@@ -1,0 +1,210 @@
+#include "rcr/numerics/decompositions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rcr::num {
+
+namespace {
+// Deliberately tiny: ill-conditioned but non-singular systems (e.g. barrier
+// KKT matrices near a constraint boundary) must still factor; only an
+// (essentially) exact zero pivot is treated as singular.
+constexpr double kSingularTol = 1e-200;
+}
+
+LuDecomposition lu_decompose(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("lu_decompose: not square");
+  const std::size_t n = a.rows();
+  LuDecomposition out;
+  out.lu = a;
+  out.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest remaining entry in column k.
+    std::size_t pivot = k;
+    double best = std::abs(out.lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(out.lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best <= kSingularTol * (1.0 + a.max_abs())) {
+      out.singular = true;
+      continue;
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(out.lu(k, j), out.lu(pivot, j));
+      std::swap(out.perm[k], out.perm[pivot]);
+      out.sign = -out.sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      out.lu(i, k) /= out.lu(k, k);
+      const double lik = out.lu(i, k);
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j)
+        out.lu(i, j) -= lik * out.lu(k, j);
+    }
+  }
+  return out;
+}
+
+Vec LuDecomposition::solve(const Vec& b) const {
+  if (singular) throw std::runtime_error("LuDecomposition::solve: singular matrix");
+  const std::size_t n = lu.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+  Vec y(n);
+  // Forward substitution with permuted right-hand side.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * x[j];
+    x[ii] = acc / lu(ii, ii);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  if (singular) return 0.0;
+  double det = sign;
+  for (std::size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+Vec solve(const Matrix& a, const Vec& b) { return lu_decompose(a).solve(b); }
+
+Matrix solve(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("solve(Matrix): row mismatch");
+  const LuDecomposition f = lu_decompose(a);
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const Vec xj = f.solve(b.col(j));
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = xj[i];
+  }
+  return x;
+}
+
+Matrix inverse(const Matrix& a) {
+  return solve(a, Matrix::identity(a.rows()));
+}
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("cholesky: not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return std::nullopt;
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vec cholesky_solve(const Matrix& a, const Vec& b) {
+  const auto l = cholesky(a);
+  if (!l) throw std::runtime_error("cholesky_solve: matrix not SPD");
+  const std::size_t n = a.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  // L y = b
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= (*l)(i, j) * y[j];
+    y[i] = acc / (*l)(i, i);
+  }
+  // L^T x = y
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= (*l)(j, ii) * x[j];
+    x[ii] = acc / (*l)(ii, ii);
+  }
+  return x;
+}
+
+std::optional<LdltDecomposition> ldlt(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("ldlt: not square");
+  const std::size_t n = a.rows();
+  LdltDecomposition out;
+  out.l = Matrix::identity(n);
+  out.d.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k)
+      dj -= out.l(j, k) * out.l(j, k) * out.d[k];
+    if (std::abs(dj) < kSingularTol || !std::isfinite(dj)) return std::nullopt;
+    out.d[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k)
+        acc -= out.l(i, k) * out.l(j, k) * out.d[k];
+      out.l(i, j) = acc / dj;
+    }
+  }
+  return out;
+}
+
+Vec LdltDecomposition::solve(const Vec& b) const {
+  const std::size_t n = l.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("LdltDecomposition::solve: size mismatch");
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc;
+  }
+  for (std::size_t i = 0; i < n; ++i) y[i] /= d[i];
+  Vec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l(j, ii) * x[j];
+    x[ii] = acc;
+  }
+  return x;
+}
+
+bool is_psd(const Matrix& a, double tol) {
+  if (!a.square()) return false;
+  Matrix shifted = a;
+  const double bump = tol * (1.0 + a.max_abs());
+  for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += bump;
+  return cholesky(shifted).has_value();
+}
+
+double condition_number_1(const Matrix& a) {
+  const LuDecomposition f = lu_decompose(a);
+  if (f.singular) return std::numeric_limits<double>::infinity();
+  const Matrix ainv = inverse(a);
+  auto norm1 = [](const Matrix& m) {
+    double best = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      double colsum = 0.0;
+      for (std::size_t i = 0; i < m.rows(); ++i) colsum += std::abs(m(i, j));
+      best = std::max(best, colsum);
+    }
+    return best;
+  };
+  return norm1(a) * norm1(ainv);
+}
+
+}  // namespace rcr::num

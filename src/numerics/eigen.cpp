@@ -1,0 +1,140 @@
+#include "rcr/numerics/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rcr::num {
+
+Matrix EigenDecomposition::reconstruct(const Vec& mapped) const {
+  if (mapped.size() != eigenvalues.size())
+    throw std::invalid_argument("EigenDecomposition::reconstruct: size mismatch");
+  const std::size_t n = mapped.size();
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (mapped[k] == 0.0) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vik = eigenvectors(i, k);
+      if (vik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        out(i, j) += mapped[k] * vik * eigenvectors(j, k);
+    }
+  }
+  return out;
+}
+
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps) {
+  if (!a.square()) throw std::invalid_argument("eigen_symmetric: not square");
+  const double scale = 1.0 + a.max_abs();
+  if (!a.is_symmetric(1e-8 * scale))
+    throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  m.symmetrize();
+  Matrix v = Matrix::identity(n);
+
+  // Cyclic Jacobi: sweep over all off-diagonal pairs, rotating each to zero.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    if (std::sqrt(off) <= 1e-14 * scale * static_cast<double>(n)) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Vec lambda(n);
+  for (std::size_t i = 0; i < n; ++i) lambda[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return lambda[x] < lambda[y]; });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.eigenvalues[k] = lambda[order[k]];
+    for (std::size_t i = 0; i < n; ++i)
+      out.eigenvectors(i, k) = v(i, order[k]);
+  }
+  return out;
+}
+
+Matrix project_psd(const Matrix& a) {
+  Matrix sym = a;
+  sym.symmetrize();
+  EigenDecomposition e = eigen_symmetric(sym);
+  Vec clamped = e.eigenvalues;
+  for (double& l : clamped) l = std::max(l, 0.0);
+  return e.reconstruct(clamped);
+}
+
+Matrix project_psd_floor(const Matrix& a, double eps) {
+  Matrix sym = a;
+  sym.symmetrize();
+  EigenDecomposition e = eigen_symmetric(sym);
+  Vec clamped = e.eigenvalues;
+  for (double& l : clamped) l = std::max(l, eps);
+  return e.reconstruct(clamped);
+}
+
+std::size_t symmetric_rank(const Matrix& a, double tol) {
+  const EigenDecomposition e = eigen_symmetric(a);
+  double max_abs = 0.0;
+  for (double l : e.eigenvalues) max_abs = std::max(max_abs, std::abs(l));
+  if (max_abs == 0.0) return 0;
+  std::size_t r = 0;
+  for (double l : e.eigenvalues)
+    if (std::abs(l) > tol * max_abs) ++r;
+  return r;
+}
+
+double max_eigenvalue(const Matrix& a) {
+  const EigenDecomposition e = eigen_symmetric(a);
+  return e.eigenvalues.back();
+}
+
+double min_eigenvalue(const Matrix& a) {
+  const EigenDecomposition e = eigen_symmetric(a);
+  return e.eigenvalues.front();
+}
+
+double spectral_norm(const Matrix& a) {
+  const Matrix ata = a.transpose() * a;
+  return std::sqrt(std::max(0.0, max_eigenvalue(ata)));
+}
+
+}  // namespace rcr::num

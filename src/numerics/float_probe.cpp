@@ -1,0 +1,90 @@
+#include "rcr/numerics/float_probe.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace rcr::num {
+
+FloatClass classify(double x) {
+  switch (std::fpclassify(x)) {
+    case FP_NAN:
+      return FloatClass::kNan;
+    case FP_INFINITE:
+      return FloatClass::kOverflow;
+    case FP_ZERO:
+      return FloatClass::kZero;
+    case FP_SUBNORMAL:
+      return FloatClass::kSubnormal;
+    default:
+      return FloatClass::kNormal;
+  }
+}
+
+std::string to_string(FloatClass c) {
+  switch (c) {
+    case FloatClass::kNormal:
+      return "normal";
+    case FloatClass::kSubnormal:
+      return "subnormal";
+    case FloatClass::kZero:
+      return "zero";
+    case FloatClass::kOverflow:
+      return "overflow";
+    case FloatClass::kNan:
+      return "nan";
+  }
+  return "unknown";
+}
+
+FloatProfile profile(const Vec& x) {
+  FloatProfile p;
+  for (double v : x) {
+    switch (classify(v)) {
+      case FloatClass::kNormal:
+        ++p.normals;
+        break;
+      case FloatClass::kSubnormal:
+        ++p.subnormals;
+        break;
+      case FloatClass::kZero:
+        ++p.zeros;
+        break;
+      case FloatClass::kOverflow:
+        ++p.overflows;
+        break;
+      case FloatClass::kNan:
+        ++p.nans;
+        break;
+    }
+  }
+  return p;
+}
+
+double ulp_distance(double a, double b) {
+  constexpr double kSaturated = 1e18;
+  if (!std::isfinite(a) || !std::isfinite(b)) return kSaturated;
+  if (a == b) return 0.0;
+  if ((a < 0.0) != (b < 0.0)) return kSaturated;
+  auto to_ordered = [](double x) {
+    const auto bits = std::bit_cast<std::uint64_t>(std::abs(x));
+    return bits;
+  };
+  const std::uint64_t ua = to_ordered(a);
+  const std::uint64_t ub = to_ordered(b);
+  return static_cast<double>(ua > ub ? ua - ub : ub - ua);
+}
+
+int matching_digits(double a, double b) {
+  if (a == b) return 17;
+  if (!std::isfinite(a) || !std::isfinite(b)) return 0;
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) return 17;
+  const double rel = std::abs(a - b) / denom;
+  if (rel >= 1.0) return 0;
+  const int digits = static_cast<int>(-std::log10(rel));
+  return std::min(17, std::max(0, digits));
+}
+
+}  // namespace rcr::num

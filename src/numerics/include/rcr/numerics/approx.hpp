@@ -1,0 +1,47 @@
+// Finite approximations of infinite objects (paper Eqs. 3-4) and their
+// truncation-error estimates.  These illustrate, and let the benches measure,
+// the truncation-vs-round-off tradeoff Sec. IV-B discusses.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::num {
+
+/// Taylor polynomial approximation of e^x truncated after the x^n/n! term
+/// (paper Eq. 3).  Terms are accumulated with compensated summation.
+double exp_taylor(double x, std::size_t n_terms);
+
+/// Absolute truncation error |exp_taylor(x, n) - std::exp(x)|.
+double exp_taylor_error(double x, std::size_t n_terms);
+
+/// Smallest number of terms for which the Taylor series of e^x achieves the
+/// requested absolute tolerance (capped at `max_terms`).
+std::size_t exp_taylor_terms_for(double x, double tol, std::size_t max_terms = 512);
+
+/// Composite trapezoidal rule over [a, b] with n subintervals (paper Eq. 4).
+/// Throws std::invalid_argument when n == 0 or b < a.
+double trapezoid(const std::function<double(double)>& f, double a, double b,
+                 std::size_t n);
+
+/// Richardson-style error estimate: |T(n) - T(2n)| / 3, the standard
+/// a-posteriori bound for the O(h^2) trapezoidal rule.
+double trapezoid_error_estimate(const std::function<double(double)>& f, double a,
+                                double b, std::size_t n);
+
+/// Composite Simpson rule (n must be even; throws otherwise) -- used as the
+/// higher-order reference when benchmarking trapezoid truncation error.
+double simpson(const std::function<double(double)>& f, double a, double b,
+               std::size_t n);
+
+/// Central finite difference df/dx with step h.
+double central_difference(const std::function<double(double)>& f, double x,
+                          double h);
+
+/// Numerical gradient of a multivariate function via central differences.
+Vec numerical_gradient(const std::function<double(const Vec&)>& f, const Vec& x,
+                       double h = 1e-6);
+
+}  // namespace rcr::num

@@ -1,0 +1,64 @@
+// Direct factorizations and linear solvers used by the convex-optimization
+// substrate (KKT systems, Newton steps, PSD tests).
+#pragma once
+
+#include <optional>
+
+#include "rcr/numerics/matrix.hpp"
+
+namespace rcr::num {
+
+/// LU factorization with partial pivoting of a square matrix.
+struct LuDecomposition {
+  Matrix lu;                   ///< Packed L (unit lower) and U factors.
+  std::vector<std::size_t> perm;  ///< Row permutation applied to the input.
+  int sign = 1;                ///< Permutation parity (determinant sign).
+  bool singular = false;       ///< True when a pivot vanished.
+
+  /// Solve A x = b using the stored factors; throws std::runtime_error when
+  /// the matrix was singular.
+  Vec solve(const Vec& b) const;
+
+  /// det(A); 0 when singular.
+  double determinant() const;
+};
+
+/// Factor a square matrix; throws std::invalid_argument when not square.
+LuDecomposition lu_decompose(const Matrix& a);
+
+/// Solve A x = b via LU with partial pivoting.
+/// Throws std::runtime_error when A is singular to working precision.
+Vec solve(const Matrix& a, const Vec& b);
+
+/// Solve A X = B column-by-column (B has the same row count as A).
+Matrix solve(const Matrix& a, const Matrix& b);
+
+/// Inverse via LU; throws std::runtime_error when singular.
+Matrix inverse(const Matrix& a);
+
+/// Cholesky factor L of a symmetric positive-definite A (A = L L^T).
+/// Returns std::nullopt when A is not positive definite to working precision.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::runtime_error when A is not SPD.
+Vec cholesky_solve(const Matrix& a, const Vec& b);
+
+/// LDL^T factorization for symmetric (possibly indefinite, but non-pivoting)
+/// matrices; returns std::nullopt when a zero pivot is hit.
+struct LdltDecomposition {
+  Matrix l;  ///< Unit lower-triangular factor.
+  Vec d;     ///< Diagonal of D.
+  Vec solve(const Vec& b) const;
+};
+std::optional<LdltDecomposition> ldlt(const Matrix& a);
+
+/// True when symmetric A is positive semidefinite within tolerance `tol`
+/// (checked via Cholesky of A + tol*I).
+bool is_psd(const Matrix& a, double tol = 1e-9);
+
+/// 1-norm condition number estimate via explicit inverse (small matrices).
+/// Returns +inf for singular matrices.
+double condition_number_1(const Matrix& a);
+
+}  // namespace rcr::num

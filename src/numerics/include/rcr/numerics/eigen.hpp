@@ -1,0 +1,44 @@
+// Symmetric eigenvalue machinery: cyclic Jacobi rotations, spectral
+// projections onto the PSD cone, and rank estimation.  These are the
+// workhorses behind the SDP/TMP solvers of Sec. IV-C of the paper.
+#pragma once
+
+#include "rcr/numerics/matrix.hpp"
+
+namespace rcr::num {
+
+/// Spectral decomposition A = V diag(lambda) V^T of a symmetric matrix.
+struct EigenDecomposition {
+  Vec eigenvalues;   ///< Ascending order.
+  Matrix eigenvectors;  ///< Column j is the eigenvector for eigenvalues[j].
+
+  /// Reconstruct V diag(f(lambda)) V^T for an arbitrary spectral map.
+  Matrix reconstruct(const Vec& mapped_eigenvalues) const;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+/// Throws std::invalid_argument when A is not square or not symmetric
+/// (tolerance 1e-8 relative to the largest entry).
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps = 64);
+
+/// Euclidean projection of symmetric A onto the PSD cone:
+/// clamp negative eigenvalues to zero.
+Matrix project_psd(const Matrix& a);
+
+/// Projection onto {X : X >= eps*I} (used to keep barriers strictly feasible).
+Matrix project_psd_floor(const Matrix& a, double eps);
+
+/// Number of eigenvalues with |lambda| > tol * max|lambda| (numerical rank of
+/// a symmetric matrix).
+std::size_t symmetric_rank(const Matrix& a, double tol = 1e-8);
+
+/// Largest eigenvalue via the symmetric eigendecomposition.
+double max_eigenvalue(const Matrix& a);
+
+/// Smallest eigenvalue via the symmetric eigendecomposition.
+double min_eigenvalue(const Matrix& a);
+
+/// Spectral norm of an arbitrary matrix: sqrt(lambda_max(A^T A)).
+double spectral_norm(const Matrix& a);
+
+}  // namespace rcr::num

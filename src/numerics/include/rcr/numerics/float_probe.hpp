@@ -1,0 +1,54 @@
+// Floating-point representation probes (Sec. IV-B's third error source:
+// overflow, underflow, and round-off in the representation of reals).
+//
+// The issue detector in rcr::signal uses these classifications to label the
+// defect classes of Fig. 3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::num {
+
+/// Classification of a computed floating-point result.
+enum class FloatClass {
+  kNormal,      ///< Finite, normal magnitude.
+  kSubnormal,   ///< Finite but denormalized (gradual underflow).
+  kZero,        ///< Exactly zero.
+  kOverflow,    ///< Infinite.
+  kNan,         ///< Not a number.
+};
+
+/// Classify a single double.
+FloatClass classify(double x);
+
+/// Human-readable name for a FloatClass.
+std::string to_string(FloatClass c);
+
+/// Summary of the float classes present in a vector.
+struct FloatProfile {
+  std::size_t normals = 0;
+  std::size_t subnormals = 0;
+  std::size_t zeros = 0;
+  std::size_t overflows = 0;
+  std::size_t nans = 0;
+
+  bool clean() const { return overflows == 0 && nans == 0; }
+  /// True when underflow has begun eating precision.
+  bool underflowing() const { return subnormals > 0; }
+};
+
+/// Profile every entry of x.
+FloatProfile profile(const Vec& x);
+
+/// Units-in-the-last-place distance between two doubles; returns a saturated
+/// large value when signs differ or either input is non-finite.
+double ulp_distance(double a, double b);
+
+/// Number of significant decimal digits on which a and b agree
+/// (0 when they differ in the leading digit, capped at 17).
+int matching_digits(double a, double b);
+
+}  // namespace rcr::num

@@ -1,0 +1,113 @@
+// Dense row-major matrix type for the numerics substrate.
+//
+// The class maintains the invariant data.size() == rows*cols.  It is a value
+// type (copyable, movable) sized for the small/medium problems the RCR
+// framework solves (SDP blocks, network layer bounds, channel matrices).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::num {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all entries `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested initializer list; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from vector d.
+  static Matrix diag(const Vec& d);
+
+  /// Column vector (n x 1) view of v.
+  static Matrix column(const Vec& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Raw row-major storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Row i as a vector copy.
+  Vec row(std::size_t i) const;
+  /// Column j as a vector copy.
+  Vec col(std::size_t j) const;
+  /// Main diagonal as a vector copy (length min(rows, cols)).
+  Vec diagonal() const;
+
+  Matrix transpose() const;
+
+  /// Sum of diagonal entries; requires a square matrix.
+  double trace() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max absolute entry; 0 for empty.
+  double max_abs() const;
+
+  /// Symmetrize in place: A <- (A + A^T)/2.  Requires square.
+  void symmetrize();
+
+  /// True when max |A_ij - A_ji| <= tol.  Requires square.
+  bool is_symmetric(double tol = 1e-12) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  /// Matrix product; throws std::invalid_argument on inner-dimension mismatch.
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x.  Throws std::invalid_argument on dimension mismatch.
+Vec matvec(const Matrix& a, const Vec& x);
+
+/// y = A^T x.  Throws std::invalid_argument on dimension mismatch.
+Vec matvec_transposed(const Matrix& a, const Vec& x);
+
+/// x^T A y (bilinear form).  Throws std::invalid_argument on mismatch.
+double quad_form(const Vec& x, const Matrix& a, const Vec& y);
+
+/// Outer product x y^T.
+Matrix outer(const Vec& x, const Vec& y);
+
+/// <A, B> = tr(A^T B), the Frobenius inner product.
+double frobenius_dot(const Matrix& a, const Matrix& b);
+
+/// True when all entries differ by at most tol.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace rcr::num

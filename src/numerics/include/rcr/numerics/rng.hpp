@@ -1,0 +1,59 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic component in the framework (PSO, channel fading, GAN
+// training, workload generators) draws from an explicitly seeded Rng so that
+// experiments are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::num {
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal (mean 0, stddev 1) scaled/shifted.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with given rate.
+  double exponential(double rate);
+
+  /// Rayleigh-distributed magnitude with scale sigma
+  /// (|h| for h ~ CN(0, 2 sigma^2); used by the fading channel model).
+  double rayleigh(double sigma);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Vector of iid uniforms.
+  Vec uniform_vec(std::size_t n, double lo = 0.0, double hi = 1.0);
+
+  /// Vector of iid normals.
+  Vec normal_vec(std::size_t n, double mean = 0.0, double stddev = 1.0);
+
+  /// Sample an index from an unnormalized non-negative weight vector.
+  /// Throws std::invalid_argument when weights are empty or all zero.
+  std::size_t categorical(const Vec& weights);
+
+  /// Fisher-Yates shuffle of indices 0..n-1.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Underlying engine (for std:: distributions not wrapped here).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rcr::num

@@ -1,0 +1,51 @@
+// Numerically stable primitives, plus their deliberately *naive* counterparts.
+//
+// Sec. V of the paper observes that "mathematical equivalence does not
+// necessarily segue to correct results": computing log(softmax(x)) as two
+// separate operations blows up as softmax outputs approach 0, while the fused
+// log-softmax is stable.  This header provides both forms so the instability
+// onset can be measured (experiment E13), along with compensated summation
+// and log-sum-exp.
+#pragma once
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::num {
+
+/// Kahan compensated summation; accurate to O(eps) independent of length.
+double kahan_sum(const Vec& values);
+
+/// Plain left-to-right summation (round-off grows with length).
+double naive_sum(const Vec& values);
+
+/// log(sum_i exp(x_i)) computed with the max-shift trick; never overflows for
+/// finite inputs.  Returns -inf for the empty vector.
+double log_sum_exp(const Vec& x);
+
+/// Stable softmax: exp(x - max) / sum.  Every output is finite and in [0, 1].
+Vec softmax(const Vec& x);
+
+/// Naive softmax: exp(x) / sum(exp(x)).  Overflows for large logits.
+Vec softmax_naive(const Vec& x);
+
+/// Fused, stable log-softmax: x - max - log(sum exp(x - max)).
+Vec log_softmax(const Vec& x);
+
+/// The unstable composition log(softmax_naive(x)) the paper warns about:
+/// underflowed softmax entries produce -inf/NaN.
+Vec log_softmax_naive(const Vec& x);
+
+/// Stable two-norm avoiding overflow/underflow (scaled accumulation, as in
+/// LAPACK's dnrm2).
+double stable_norm2(const Vec& x);
+
+/// hypot-style stable sqrt(a^2 + b^2).
+double stable_hypot(double a, double b);
+
+/// Relative error |approx - exact| / max(|exact|, floor).
+double relative_error(double approx, double exact, double floor = 1e-300);
+
+/// True when every component is finite.
+bool all_finite(const Vec& x);
+
+}  // namespace rcr::num

@@ -1,0 +1,63 @@
+// Dense real-vector algebra used throughout the RCR framework.
+//
+// Vectors are plain std::vector<double>; all operations are free functions so
+// that callers can interoperate with any container of doubles without
+// wrapping.  Shape mismatches are programming errors and throw
+// std::invalid_argument.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rcr {
+
+/// Dense column vector of doubles.
+using Vec = std::vector<double>;
+
+namespace num {
+
+/// Elementwise sum a + b.  Throws std::invalid_argument on size mismatch.
+Vec add(const Vec& a, const Vec& b);
+
+/// Elementwise difference a - b.  Throws std::invalid_argument on size mismatch.
+Vec sub(const Vec& a, const Vec& b);
+
+/// Scalar multiple s * a.
+Vec scale(const Vec& a, double s);
+
+/// In-place axpy: y += s * x.  Throws std::invalid_argument on size mismatch.
+void axpy(double s, const Vec& x, Vec& y);
+
+/// Inner product <a, b>.  Throws std::invalid_argument on size mismatch.
+double dot(const Vec& a, const Vec& b);
+
+/// Euclidean (L2) norm.
+double norm2(const Vec& a);
+
+/// Infinity norm (max absolute entry); 0 for the empty vector.
+double norm_inf(const Vec& a);
+
+/// L1 norm (sum of absolute entries).
+double norm1(const Vec& a);
+
+/// Euclidean distance ||a - b||_2.
+double distance(const Vec& a, const Vec& b);
+
+/// Elementwise (Hadamard) product.
+Vec hadamard(const Vec& a, const Vec& b);
+
+/// Vector filled with `value`, length n.
+Vec constant(std::size_t n, double value);
+
+/// Clamp every component of `v` into [lo[i], hi[i]].
+/// Throws std::invalid_argument on size mismatch.
+Vec clamp(const Vec& v, const Vec& lo, const Vec& hi);
+
+/// Linear interpolation (1-t)*a + t*b.
+Vec lerp(const Vec& a, const Vec& b, double t);
+
+/// True when ||a - b||_inf <= tol.
+bool approx_equal(const Vec& a, const Vec& b, double tol);
+
+}  // namespace num
+}  // namespace rcr

@@ -1,0 +1,198 @@
+#include "rcr/numerics/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::num {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_)
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diag(const Vec& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::column(const Vec& v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(i, j);
+}
+
+Vec Matrix::row(std::size_t i) const {
+  if (i >= rows_) throw std::out_of_range("Matrix::row");
+  return Vec(data_.begin() + static_cast<std::ptrdiff_t>(i * cols_),
+             data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols_));
+}
+
+Vec Matrix::col(std::size_t j) const {
+  if (j >= cols_) throw std::out_of_range("Matrix::col");
+  Vec out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Vec Matrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vec out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = (*this)(i, i);
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+double Matrix::trace() const {
+  if (!square()) throw std::invalid_argument("Matrix::trace: not square");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) acc += (*this)(i, i);
+  return acc;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void Matrix::symmetrize() {
+  if (!square()) throw std::invalid_argument("Matrix::symmetrize: not square");
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      const double avg = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = avg;
+      (*this)(j, i) = avg;
+    }
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (!square()) return false;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j)
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+  return true;
+}
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument(std::string(op) + ": shape mismatch");
+}
+}  // namespace
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require_same_shape(*this, rhs, "Matrix+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  require_same_shape(*this, rhs, "Matrix-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("Matrix*: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Vec matvec(const Matrix& a, const Vec& x) {
+  if (a.cols() != x.size())
+    throw std::invalid_argument("matvec: dimension mismatch");
+  Vec y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) y[i] += a(i, j) * x[j];
+  return y;
+}
+
+Vec matvec_transposed(const Matrix& a, const Vec& x) {
+  if (a.rows() != x.size())
+    throw std::invalid_argument("matvec_transposed: dimension mismatch");
+  Vec y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * x[i];
+  return y;
+}
+
+double quad_form(const Vec& x, const Matrix& a, const Vec& y) {
+  return dot(x, matvec(a, y));
+}
+
+Matrix outer(const Vec& x, const Vec& y) {
+  Matrix out(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = 0; j < y.size(); ++j) out(i, j) = x[i] * y[j];
+  return out;
+}
+
+double frobenius_dot(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("frobenius_dot: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    acc += a.data()[i] * b.data()[i];
+  return acc;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    if (std::abs(a.data()[i] - b.data()[i]) > tol) return false;
+  return true;
+}
+
+}  // namespace rcr::num

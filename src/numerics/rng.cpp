@@ -1,0 +1,81 @@
+#include "rcr/numerics/rng.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace rcr::num {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+double Rng::rayleigh(double sigma) {
+  // Inverse-CDF sampling: F^{-1}(u) = sigma * sqrt(-2 ln(1-u)).
+  const double u = uniform(0.0, 1.0);
+  return sigma * std::sqrt(-2.0 * std::log(1.0 - u));
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+Vec Rng::uniform_vec(std::size_t n, double lo, double hi) {
+  Vec out(n);
+  for (double& v : out) v = uniform(lo, hi);
+  return out;
+}
+
+Vec Rng::normal_vec(std::size_t n, double mean, double stddev) {
+  Vec out(n);
+  for (double& v : out) v = normal(mean, stddev);
+  return out;
+}
+
+std::size_t Rng::categorical(const Vec& weights) {
+  if (weights.empty())
+    throw std::invalid_argument("Rng::categorical: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("Rng::categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("Rng::categorical: all-zero weights");
+  const double r = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t i = n; i-- > 1;) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<int>(i)));
+    std::swap(p[i], p[j]);
+  }
+  return p;
+}
+
+}  // namespace rcr::num

@@ -1,0 +1,102 @@
+#include "rcr/numerics/stable.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rcr::num {
+
+double kahan_sum(const Vec& values) {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (double v : values) {
+    const double y = v - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double naive_sum(const Vec& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+double log_sum_exp(const Vec& x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;
+  double acc = 0.0;
+  for (double v : x) acc += std::exp(v - m);
+  return m + std::log(acc);
+}
+
+Vec softmax(const Vec& x) {
+  if (x.empty()) return {};
+  const double m = *std::max_element(x.begin(), x.end());
+  Vec out(x.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::exp(x[i] - m);
+    denom += out[i];
+  }
+  for (double& v : out) v /= denom;
+  return out;
+}
+
+Vec softmax_naive(const Vec& x) {
+  Vec out(x.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::exp(x[i]);
+    denom += out[i];
+  }
+  for (double& v : out) v /= denom;
+  return out;
+}
+
+Vec log_softmax(const Vec& x) {
+  Vec out(x.size());
+  const double lse = log_sum_exp(x);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - lse;
+  return out;
+}
+
+Vec log_softmax_naive(const Vec& x) {
+  Vec s = softmax_naive(x);
+  for (double& v : s) v = std::log(v);
+  return s;
+}
+
+double stable_norm2(const Vec& x) {
+  // LAPACK dnrm2-style scaled accumulation.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (double v : x) {
+    if (v == 0.0) continue;
+    const double av = std::abs(v);
+    if (scale < av) {
+      ssq = 1.0 + ssq * (scale / av) * (scale / av);
+      scale = av;
+    } else {
+      ssq += (av / scale) * (av / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double stable_hypot(double a, double b) { return std::hypot(a, b); }
+
+double relative_error(double approx, double exact, double floor) {
+  return std::abs(approx - exact) / std::max(std::abs(exact), floor);
+}
+
+bool all_finite(const Vec& x) {
+  for (double v : x)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace rcr::num

@@ -1,0 +1,100 @@
+#include "rcr/numerics/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::num {
+
+namespace {
+void require_same_size(const Vec& a, const Vec& b, const char* op) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(op) + ": size mismatch (" +
+                                std::to_string(a.size()) + " vs " +
+                                std::to_string(b.size()) + ")");
+  }
+}
+}  // namespace
+
+Vec add(const Vec& a, const Vec& b) {
+  require_same_size(a, b, "add");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec sub(const Vec& a, const Vec& b) {
+  require_same_size(a, b, "sub");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec scale(const Vec& a, double s) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void axpy(double s, const Vec& x, Vec& y) {
+  require_same_size(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+}
+
+double dot(const Vec& a, const Vec& b) {
+  require_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vec& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double norm1(const Vec& a) {
+  double acc = 0.0;
+  for (double v : a) acc += std::abs(v);
+  return acc;
+}
+
+double distance(const Vec& a, const Vec& b) { return norm2(sub(a, b)); }
+
+Vec hadamard(const Vec& a, const Vec& b) {
+  require_same_size(a, b, "hadamard");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vec constant(std::size_t n, double value) { return Vec(n, value); }
+
+Vec clamp(const Vec& v, const Vec& lo, const Vec& hi) {
+  require_same_size(v, lo, "clamp(lo)");
+  require_same_size(v, hi, "clamp(hi)");
+  Vec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = std::clamp(v[i], lo[i], hi[i]);
+  return out;
+}
+
+Vec lerp(const Vec& a, const Vec& b, double t) {
+  require_same_size(a, b, "lerp");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = (1.0 - t) * a[i] + t * b[i];
+  return out;
+}
+
+bool approx_equal(const Vec& a, const Vec& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  return true;
+}
+
+}  // namespace rcr::num

@@ -1,0 +1,118 @@
+#include "rcr/opt/admm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rcr/numerics/decompositions.hpp"
+
+namespace rcr::opt {
+
+Vec soft_threshold(const Vec& v, double kappa) {
+  Vec out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] > kappa) {
+      out[i] = v[i] - kappa;
+    } else if (v[i] < -kappa) {
+      out[i] = v[i] + kappa;
+    } else {
+      out[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
+                       const Vec& hi, const AdmmOptions& options) {
+  const std::size_t n = q.size();
+  if (p.rows() != n || p.cols() != n || lo.size() != n || hi.size() != n)
+    throw std::invalid_argument("admm_box_qp: dimension mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    if (lo[i] > hi[i])
+      throw std::invalid_argument("admm_box_qp: lo > hi");
+
+  // x-update solves (P + rho I) x = rho (z - u) - q; factor once.
+  Matrix m = p;
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += options.rho;
+  const num::LuDecomposition factor = num::lu_decompose(m);
+  if (factor.singular)
+    throw std::runtime_error("admm_box_qp: P + rho I singular (P not PSD?)");
+
+  Vec x(n, 0.0);
+  Vec z = num::clamp(Vec(n, 0.0), lo, hi);
+  Vec u(n, 0.0);
+
+  AdmmResult result;
+  const double scale = 1.0 + num::norm_inf(q);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    Vec rhs(n);
+    for (std::size_t i = 0; i < n; ++i)
+      rhs[i] = options.rho * (z[i] - u[i]) - q[i];
+    x = factor.solve(rhs);
+
+    Vec z_prev = z;
+    Vec xu = num::add(x, u);
+    z = num::clamp(xu, lo, hi);
+    for (std::size_t i = 0; i < n; ++i) u[i] += x[i] - z[i];
+
+    const double primal = num::norm2(num::sub(x, z));
+    const double dual = options.rho * num::norm2(num::sub(z, z_prev));
+    result.iterations = it + 1;
+    if (primal <= options.tolerance * scale &&
+        dual <= options.tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.x = z;  // feasible by construction
+  result.objective = 0.5 * num::quad_form(result.x, p, result.x) +
+                     num::dot(q, result.x);
+  return result;
+}
+
+AdmmResult admm_lasso(const Matrix& a, const Vec& b, double lambda,
+                      const AdmmOptions& options) {
+  const std::size_t n = a.cols();
+  if (a.rows() != b.size())
+    throw std::invalid_argument("admm_lasso: dimension mismatch");
+  if (lambda < 0.0)
+    throw std::invalid_argument("admm_lasso: negative lambda");
+
+  // x-update solves (A^T A + rho I) x = A^T b + rho (z - u).
+  Matrix m = a.transpose() * a;
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += options.rho;
+  const num::LuDecomposition factor = num::lu_decompose(m);
+  const Vec atb = num::matvec_transposed(a, b);
+
+  Vec x(n, 0.0);
+  Vec z(n, 0.0);
+  Vec u(n, 0.0);
+
+  AdmmResult result;
+  const double scale = 1.0 + num::norm_inf(atb);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    Vec rhs(n);
+    for (std::size_t i = 0; i < n; ++i)
+      rhs[i] = atb[i] + options.rho * (z[i] - u[i]);
+    x = factor.solve(rhs);
+
+    Vec z_prev = z;
+    z = soft_threshold(num::add(x, u), lambda / options.rho);
+    for (std::size_t i = 0; i < n; ++i) u[i] += x[i] - z[i];
+
+    const double primal = num::norm2(num::sub(x, z));
+    const double dual = options.rho * num::norm2(num::sub(z, z_prev));
+    result.iterations = it + 1;
+    if (primal <= options.tolerance * scale &&
+        dual <= options.tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.x = z;
+  const Vec resid = num::sub(num::matvec(a, result.x), b);
+  result.objective =
+      0.5 * num::dot(resid, resid) + lambda * num::norm1(result.x);
+  return result;
+}
+
+}  // namespace rcr::opt

@@ -1,0 +1,45 @@
+// Alternating Direction Method of Multipliers.
+//
+// Sec. I of the paper lists ADMM among the general-purpose routes "for
+// nonconvex and nonsmooth functions" once a problem has been decomposed.
+// This module provides the two decompositions the RCR pipeline uses:
+//  - box-constrained QP (cross-checks the barrier solver), and
+//  - lasso (the sum-of-smooth-plus-nonsmooth decomposition of [1]).
+#pragma once
+
+#include "rcr/opt/quadratic.hpp"
+
+namespace rcr::opt {
+
+/// Shared ADMM options.
+struct AdmmOptions {
+  double rho = 1.0;
+  double tolerance = 1e-8;
+  std::size_t max_iterations = 10000;
+};
+
+/// ADMM outcome.
+struct AdmmResult {
+  Vec x;
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Box-constrained QP:
+///   minimize (1/2) x^T P x + q^T x   subject to  lo <= x <= hi.
+/// P must be symmetric PSD.  Splitting: x unconstrained quadratic prox
+/// (factorized once), z clamped to the box.
+AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
+                       const Vec& hi, const AdmmOptions& options = {});
+
+/// Lasso:
+///   minimize (1/2) ||A x - b||^2 + lambda ||x||_1.
+/// Splitting: least-squares prox + soft-thresholding.
+AdmmResult admm_lasso(const Matrix& a, const Vec& b, double lambda,
+                      const AdmmOptions& options = {});
+
+/// Soft-thresholding operator: sign(v) * max(|v| - kappa, 0).
+Vec soft_threshold(const Vec& v, double kappa);
+
+}  // namespace rcr::opt

@@ -1,0 +1,47 @@
+// Langevin-diffusion global optimization (paper Sec. I: "there are indeed
+// forays, such as Langevin Diffusions (with the possibility of premature
+// stagnation of particles at local optima) for nonconvex problems").
+//
+// Unadjusted Langevin dynamics with temperature annealing:
+//   x_{k+1} = x_k - step * grad f(x_k) + sqrt(2 * step * T_k) * xi_k
+// with T_k cooled geometrically.  At T = 0 this degenerates to plain
+// gradient descent; cooled too fast it stagnates at local optima -- exactly
+// the failure mode the paper flags.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/opt/lbfgs.hpp"
+
+namespace rcr::opt {
+
+/// Annealed-Langevin options.
+struct LangevinOptions {
+  std::size_t iterations = 2000;
+  double step = 1e-3;
+  double initial_temperature = 1.0;
+  double cooling = 0.999;   ///< T <- cooling * T each iteration.
+  std::uint64_t seed = 1;
+  /// Optional box projection (both empty = unconstrained).
+  Vec lower;
+  Vec upper;
+};
+
+/// Outcome: the best point visited (not the final iterate -- the chain is
+/// noisy by design).
+struct LangevinResult {
+  Vec best_x;
+  double best_value = 0.0;
+  Vec final_x;
+  double final_temperature = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Minimize a smooth (possibly nonconvex) objective with annealed Langevin
+/// dynamics.  Throws std::invalid_argument on malformed options.
+LangevinResult langevin_minimize(const Smooth& f, Vec x0,
+                                 const LangevinOptions& options = {});
+
+}  // namespace rcr::opt

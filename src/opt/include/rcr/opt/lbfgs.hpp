@@ -1,0 +1,52 @@
+// Smooth unconstrained minimizers: gradient descent, BFGS, and L-BFGS.
+//
+// Sec. IV-C of the paper motivates BFGS-style Hessian proxies (computing the
+// exact Hessian being "computationally impractical") with trust-region
+// safeguards; the trust-region drivers live in trust_region.hpp.
+#pragma once
+
+#include <functional>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::opt {
+
+/// Smooth objective: value and gradient at x.
+struct Smooth {
+  std::function<double(const Vec&)> value;
+  std::function<Vec(const Vec&)> gradient;
+};
+
+/// Common minimizer options.
+struct MinimizeOptions {
+  std::size_t max_iterations = 500;
+  double gradient_tolerance = 1e-8;  ///< Stop when ||g||_inf <= this.
+  std::size_t history = 10;          ///< L-BFGS memory.
+};
+
+/// Minimizer outcome.
+struct MinimizeResult {
+  Vec x;
+  double value = 0.0;
+  double gradient_norm = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Steepest descent with Armijo backtracking (baseline).
+MinimizeResult gradient_descent(const Smooth& f, Vec x0,
+                                const MinimizeOptions& options = {});
+
+/// Dense BFGS with explicit inverse-Hessian approximation.
+MinimizeResult bfgs(const Smooth& f, Vec x0,
+                    const MinimizeOptions& options = {});
+
+/// Limited-memory BFGS (two-loop recursion).
+MinimizeResult lbfgs(const Smooth& f, Vec x0,
+                     const MinimizeOptions& options = {});
+
+/// Wrap a value function with numerical gradients (testing convenience).
+Smooth with_numerical_gradient(std::function<double(const Vec&)> value,
+                               double h = 1e-6);
+
+}  // namespace rcr::opt

@@ -1,0 +1,26 @@
+// Backtracking line searches shared by the smooth solvers.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::opt {
+
+/// Result of a line search.
+struct LineSearchResult {
+  double step = 0.0;
+  double value = 0.0;   ///< f(x + step * d).
+  bool success = false; ///< Sufficient decrease achieved before min step.
+};
+
+/// Armijo backtracking: find t with
+/// f(x + t d) <= f(x) + c1 * t * <g, d>, halving from t0.
+LineSearchResult armijo_backtrack(const std::function<double(const Vec&)>& f,
+                                  const Vec& x, const Vec& direction,
+                                  const Vec& gradient, double f_x,
+                                  double t0 = 1.0, double c1 = 1e-4,
+                                  double shrink = 0.5, double min_step = 1e-14);
+
+}  // namespace rcr::opt

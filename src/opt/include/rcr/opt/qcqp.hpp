@@ -1,0 +1,72 @@
+// Convex QP / QCQP solver: log-barrier interior-point method with
+// equality-constrained Newton steps (Boyd & Vandenberghe Ch. 11).
+//
+// This is the solver the paper's Sec. IV-C relies on: a QCQP with PSD P_i is
+// convex and solvable in polynomial time; the barrier method here certifies
+// its answer with the m/t duality-gap bound.
+#pragma once
+
+#include <optional>
+
+#include "rcr/opt/quadratic.hpp"
+
+namespace rcr::opt {
+
+/// Linear-constraint QP: minimize (1/2) x^T P x + q^T x subject to
+/// G x <= h and A x = b.
+struct Qp {
+  Matrix p;
+  Vec q;
+  Matrix g;  ///< Possibly 0 x n.
+  Vec h;
+  Matrix a;  ///< Possibly 0 x n.
+  Vec b;
+
+  /// Lift to a QCQP with linear inequality forms (P_i = 0).
+  Qcqp to_qcqp() const;
+};
+
+/// Barrier-method options.
+struct BarrierOptions {
+  double t0 = 1.0;          ///< Initial barrier weight.
+  double mu = 10.0;         ///< Barrier growth factor per outer iteration.
+  double duality_gap = 1e-8;  ///< Stop when m/t falls below this.
+  double newton_tolerance = 1e-10;  ///< Newton decrement^2 / 2 threshold.
+  std::size_t max_newton = 60;      ///< Newton steps per centering.
+  std::size_t max_outer = 60;
+};
+
+/// Solver outcome.
+struct QcqpResult {
+  Vec x;
+  double value = 0.0;
+  bool converged = false;
+  std::size_t newton_iterations = 0;  ///< Total across centerings.
+  double duality_gap_bound = 0.0;     ///< m/t certificate at exit.
+  std::string message;
+};
+
+/// Find a strictly feasible point of a convex QCQP (phase I): penalized
+/// smooth minimization, then exact restoration of the equality constraints.
+/// Returns std::nullopt when no strictly feasible point is found.
+std::optional<Vec> find_strictly_feasible(const Qcqp& problem,
+                                          double margin = 1e-3);
+
+/// Solve a convex QCQP via the barrier method.  When `x0` is absent, phase I
+/// runs first.  Throws std::invalid_argument on malformed problems; returns
+/// converged = false (with message) when no strictly feasible point exists.
+QcqpResult solve_qcqp_barrier(const Qcqp& problem,
+                              std::optional<Vec> x0 = std::nullopt,
+                              const BarrierOptions& options = {});
+
+/// Solve a convex QP via the same machinery.
+QcqpResult solve_qp(const Qp& problem, std::optional<Vec> x0 = std::nullopt,
+                    const BarrierOptions& options = {});
+
+/// Solve the equality-constrained QP  min (1/2)x^T P x + q^T x  s.t. A x = b
+/// directly via its KKT system (no inequalities).  Throws std::runtime_error
+/// when the KKT matrix is singular.
+Vec solve_equality_qp(const Matrix& p, const Vec& q, const Matrix& a,
+                      const Vec& b);
+
+}  // namespace rcr::opt

@@ -1,0 +1,60 @@
+// Quadratic forms and QCQP problem data (paper Eq. 7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::opt {
+
+using num::Matrix;
+
+/// f(x) = (1/2) x^T P x + q^T x + r.
+struct QuadraticForm {
+  Matrix p;
+  Vec q;
+  double r = 0.0;
+
+  std::size_t dim() const { return q.size(); }
+  double value(const Vec& x) const;
+  Vec gradient(const Vec& x) const;
+
+  /// True when P is symmetric PSD within tolerance (the convexity envelope
+  /// condition of Sec. IV-C).
+  bool is_convex(double tol = 1e-9) const;
+};
+
+/// Quadratically constrained quadratic program (paper Eq. 7):
+///   minimize   f0(x)
+///   subject to fi(x) <= 0, i = 1..m
+///              A x = b.
+struct Qcqp {
+  QuadraticForm objective;
+  std::vector<QuadraticForm> constraints;
+  Matrix a;  ///< Equality matrix (possibly 0 x n).
+  Vec b;
+
+  std::size_t dim() const { return objective.dim(); }
+
+  /// max_i fi(x); -inf when there are no inequality constraints.
+  double max_constraint_violation(const Vec& x) const;
+
+  /// ||Ax - b||_inf; 0 when there are no equality constraints.
+  double equality_residual(const Vec& x) const;
+
+  /// Validates dimensional consistency; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Random convex QCQP with known strictly feasible interior (all constraints
+/// are balls around points near the origin); used by the E5 bench and tests.
+Qcqp random_convex_qcqp(std::size_t n, std::size_t m_ineq,
+                        std::size_t m_eq, num::Rng& rng);
+
+/// Random symmetric PSD matrix with the given rank: sum of r random
+/// outer products.
+Matrix random_psd(std::size_t n, std::size_t rank, num::Rng& rng);
+
+}  // namespace rcr::opt

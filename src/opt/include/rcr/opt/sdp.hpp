@@ -1,0 +1,68 @@
+// Semidefinite programming via ADMM (conic splitting), plus the Shor
+// relaxation that turns a QCQP into an SDP -- the "numerous SDP solvers"
+// role SDPT3 plays in the paper's M-GNU-O platform (Sec. IV-C, Eq. 10).
+//
+// Problem form (all matrices n x n symmetric):
+//   minimize   <C, X>
+//   subject to <Aeq_i, X>  =  beq_i,   i = 1..m_eq
+//              <Ain_j, X>  <= bin_j,   j = 1..m_in
+//              X is symmetric PSD.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcr/opt/quadratic.hpp"
+
+namespace rcr::opt {
+
+/// SDP problem data.
+struct Sdp {
+  Matrix c;
+  std::vector<Matrix> a_eq;
+  Vec b_eq;
+  std::vector<Matrix> a_in;
+  Vec b_in;
+
+  std::size_t dim() const { return c.rows(); }
+  void validate() const;  ///< Throws std::invalid_argument on inconsistency.
+};
+
+/// ADMM options.
+struct SdpOptions {
+  double rho = 1.0;         ///< Augmented-Lagrangian penalty.
+  double tolerance = 1e-6;  ///< Primal & dual residual threshold.
+  std::size_t max_iterations = 8000;
+};
+
+/// Solver outcome.
+struct SdpResult {
+  Matrix x;
+  double objective = 0.0;
+  double primal_residual = 0.0;  ///< Constraint + cone violation at exit.
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solve the SDP via ADMM: an affine proximal step (equality-constrained
+/// quadratic, KKT factorized once) alternating with projection onto
+/// PSD-cone x nonnegative-slack.
+SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options = {});
+
+/// Shor semidefinite relaxation of a QCQP: lift to
+/// X = [1, x^T; x, x x^T] >= 0, drop the rank-1 constraint.  Objective and
+/// constraints become linear in X; the equality X_00 = 1 pins the corner.
+/// Equality constraints a_k^T x = b_k are embedded as linear rows of X.
+Sdp shor_relaxation(const Qcqp& problem);
+
+/// Lower bound on the QCQP optimum from its Shor relaxation (tight for
+/// convex problems -- the E5 measurement; a strict lower bound otherwise).
+struct ShorBound {
+  double bound = 0.0;
+  Vec x_extracted;              ///< Candidate solution X[1:,0] / X[0,0].
+  double extraction_value = 0.0;  ///< f0(x_extracted).
+  bool converged = false;
+};
+ShorBound shor_lower_bound(const Qcqp& problem, const SdpOptions& options = {});
+
+}  // namespace rcr::opt

@@ -1,0 +1,62 @@
+// The paper's RMP -> TMP -> SDP chain (Sec. IV-C, Eqs. 8-10).
+//
+// Rank Minimization Problem (Eq. 8): split a sample matrix R_s into a
+// low-rank PSD part R_c and a diagonal part R_n by minimizing rank(R_c) --
+// nonconvex and discontinuous, so not directly solvable.  The convex
+// surrogate replaces rank with trace (Eq. 9, the Trace Minimization
+// Problem), which is an SDP (Eq. 10).  This module solves the TMP with a
+// specialized ADMM (its feasible set fixes the off-diagonal of R_c, making
+// both proximal steps closed-form) and provides ground-truth instance
+// generators for measuring recovery (experiment E5).
+#pragma once
+
+#include "rcr/opt/quadratic.hpp"
+
+namespace rcr::opt {
+
+/// TMP solver options.
+struct TraceMinOptions {
+  double rho = 1.0;
+  double tolerance = 1e-9;
+  std::size_t max_iterations = 20000;
+};
+
+/// TMP outcome: R_s ~= r_c + r_n with r_c PSD and r_n diagonal.
+struct TraceMinResult {
+  Matrix r_c;
+  Matrix r_n;
+  double trace = 0.0;            ///< tr(r_c), the surrogate objective.
+  std::size_t iterations = 0;
+  bool converged = false;
+  double offdiag_residual = 0.0;  ///< max off-diag |R_s - r_c| (should be ~0).
+};
+
+/// Solve Eq. 9: minimize tr(R_c) s.t. R_c + R_n = R_s, R_c PSD, R_n diagonal.
+/// Throws std::invalid_argument when R_s is not square/symmetric.
+TraceMinResult solve_trace_min(const Matrix& r_s,
+                               const TraceMinOptions& options = {});
+
+/// Ground-truth instance R_s = R_c* + R_n* with rank(R_c*) = rank and
+/// R_n* = diag(uniform noise levels in [noise_lo, noise_hi]).
+struct TraceMinInstance {
+  Matrix r_s;
+  Matrix r_c_true;
+  Matrix r_n_true;
+};
+TraceMinInstance random_trace_min_instance(std::size_t n, std::size_t rank,
+                                           double noise_lo, double noise_hi,
+                                           num::Rng& rng);
+
+/// Recovery metrics for E5.
+struct RecoveryReport {
+  double rc_error = 0.0;        ///< ||r_c - r_c*||_F / ||r_c*||_F.
+  double rn_error = 0.0;        ///< ||diag(r_n) - diag(r_n*)||_inf.
+  std::size_t recovered_rank = 0;
+  std::size_t true_rank = 0;
+  bool rank_recovered = false;
+};
+RecoveryReport evaluate_recovery(const TraceMinInstance& instance,
+                                 const TraceMinResult& result,
+                                 double rank_tol = 1e-5);
+
+}  // namespace rcr::opt

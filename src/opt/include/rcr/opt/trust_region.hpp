@@ -1,0 +1,46 @@
+// Trust-region machinery (paper Sec. IV-C): quadratic-model subproblem
+// solvers and a BFGS-proxy trust-region driver, following the
+// L-BFGS-initialized trust-region approach the paper cites [28].
+#pragma once
+
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/opt/lbfgs.hpp"
+
+namespace rcr::opt {
+
+/// Solution of min_{||p|| <= radius} (1/2) p^T B p + g^T p.
+struct TrustRegionStep {
+  Vec p;
+  double model_decrease = 0.0;  ///< -(model value at p).
+  bool on_boundary = false;     ///< ||p|| == radius (to working precision).
+};
+
+/// Exact small-scale subproblem solver (More-Sorensen style): finds the
+/// multiplier lambda >= 0 with (B + lambda I) p = -g, ||p|| <= radius via the
+/// spectral decomposition of B.  B must be symmetric.
+TrustRegionStep solve_trust_region_exact(const num::Matrix& b, const Vec& g,
+                                         double radius);
+
+/// Steihaug-Toint truncated conjugate gradient: matrix-free, stops at the
+/// boundary or at negative curvature.  Suitable for larger problems.
+TrustRegionStep solve_trust_region_cg(
+    const std::function<Vec(const Vec&)>& hessian_vec, const Vec& g,
+    double radius, double tolerance = 1e-10, std::size_t max_iterations = 200);
+
+/// Options for the trust-region driver.
+struct TrustRegionOptions {
+  std::size_t max_iterations = 200;
+  double gradient_tolerance = 1e-8;
+  double initial_radius = 1.0;
+  double max_radius = 100.0;
+  double eta_accept = 0.1;   ///< rho below this rejects the step.
+  double eta_expand = 0.75;  ///< rho above this grows the radius.
+};
+
+/// Trust-region minimizer with a BFGS Hessian proxy (not inverse), guarded by
+/// curvature checks -- the "avoid false curvature information" requirement of
+/// Sec. IV-C.
+MinimizeResult trust_region_bfgs(const Smooth& f, Vec x0,
+                                 const TrustRegionOptions& options = {});
+
+}  // namespace rcr::opt

@@ -1,0 +1,50 @@
+#include "rcr/opt/langevin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::opt {
+
+LangevinResult langevin_minimize(const Smooth& f, Vec x0,
+                                 const LangevinOptions& options) {
+  if (options.step <= 0.0)
+    throw std::invalid_argument("langevin_minimize: non-positive step");
+  if (options.cooling <= 0.0 || options.cooling > 1.0)
+    throw std::invalid_argument("langevin_minimize: cooling must be in (0,1]");
+  if (options.initial_temperature < 0.0)
+    throw std::invalid_argument("langevin_minimize: negative temperature");
+  const bool boxed = !options.lower.empty() || !options.upper.empty();
+  if (boxed && (options.lower.size() != x0.size() ||
+                options.upper.size() != x0.size()))
+    throw std::invalid_argument("langevin_minimize: box size mismatch");
+
+  num::Rng rng(options.seed);
+  Vec x = std::move(x0);
+
+  LangevinResult result;
+  result.best_x = x;
+  result.best_value = f.value(x);
+  double temperature = options.initial_temperature;
+
+  for (std::size_t it = 0; it < options.iterations; ++it) {
+    const Vec g = f.gradient(x);
+    const double noise_scale = std::sqrt(2.0 * options.step * temperature);
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] += -options.step * g[j] + noise_scale * rng.normal();
+      if (boxed) x[j] = std::clamp(x[j], options.lower[j], options.upper[j]);
+    }
+    const double value = f.value(x);
+    if (value < result.best_value) {
+      result.best_value = value;
+      result.best_x = x;
+    }
+    temperature *= options.cooling;
+    result.iterations = it + 1;
+  }
+  result.final_x = std::move(x);
+  result.final_temperature = temperature;
+  return result;
+}
+
+}  // namespace rcr::opt

@@ -1,0 +1,152 @@
+#include "rcr/opt/lbfgs.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "rcr/numerics/approx.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/opt/linesearch.hpp"
+
+namespace rcr::opt {
+
+namespace {
+
+bool stop(const Vec& g, const MinimizeOptions& options) {
+  return num::norm_inf(g) <= options.gradient_tolerance;
+}
+
+MinimizeResult finish(Vec x, const Smooth& f, std::size_t iters,
+                      const MinimizeOptions& options) {
+  MinimizeResult r;
+  const Vec g = f.gradient(x);
+  r.gradient_norm = num::norm_inf(g);
+  r.converged = r.gradient_norm <= options.gradient_tolerance;
+  r.value = f.value(x);
+  r.x = std::move(x);
+  r.iterations = iters;
+  return r;
+}
+
+}  // namespace
+
+MinimizeResult gradient_descent(const Smooth& f, Vec x0,
+                                const MinimizeOptions& options) {
+  Vec x = std::move(x0);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const Vec g = f.gradient(x);
+    if (stop(g, options)) return finish(std::move(x), f, it, options);
+    const Vec d = num::scale(g, -1.0);
+    const auto ls = armijo_backtrack(f.value, x, d, g, f.value(x));
+    if (!ls.success) return finish(std::move(x), f, it, options);
+    num::axpy(ls.step, d, x);
+  }
+  return finish(std::move(x), f, options.max_iterations, options);
+}
+
+MinimizeResult bfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
+  const std::size_t n = x0.size();
+  Vec x = std::move(x0);
+  num::Matrix h_inv = num::Matrix::identity(n);
+  Vec g = f.gradient(x);
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (stop(g, options)) return finish(std::move(x), f, it, options);
+    Vec d = num::scale(num::matvec(h_inv, g), -1.0);
+    if (num::dot(d, g) >= 0.0) {
+      // Reset on loss of descent direction.
+      h_inv = num::Matrix::identity(n);
+      d = num::scale(g, -1.0);
+    }
+    const auto ls = armijo_backtrack(f.value, x, d, g, f.value(x));
+    if (!ls.success) return finish(std::move(x), f, it, options);
+
+    Vec x_new = x;
+    num::axpy(ls.step, d, x_new);
+    const Vec g_new = f.gradient(x_new);
+    const Vec s = num::sub(x_new, x);
+    const Vec y = num::sub(g_new, g);
+    const double sy = num::dot(s, y);
+    if (sy > 1e-12 * num::norm2(s) * num::norm2(y)) {
+      // Standard BFGS inverse update:
+      // H <- (I - rho s y^T) H (I - rho y s^T) + rho s s^T.
+      const double rho = 1.0 / sy;
+      const num::Matrix eye = num::Matrix::identity(n);
+      num::Matrix left = eye - rho * num::outer(s, y);
+      num::Matrix right = eye - rho * num::outer(y, s);
+      h_inv = left * h_inv * right + rho * num::outer(s, s);
+    }
+    x = std::move(x_new);
+    g = g_new;
+  }
+  return finish(std::move(x), f, options.max_iterations, options);
+}
+
+MinimizeResult lbfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
+  Vec x = std::move(x0);
+  Vec g = f.gradient(x);
+  std::deque<Vec> s_hist;
+  std::deque<Vec> y_hist;
+  std::deque<double> rho_hist;
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (stop(g, options)) return finish(std::move(x), f, it, options);
+
+    // Two-loop recursion for d = -H g.
+    Vec q = g;
+    std::vector<double> alpha(s_hist.size());
+    for (std::size_t k = s_hist.size(); k-- > 0;) {
+      alpha[k] = rho_hist[k] * num::dot(s_hist[k], q);
+      num::axpy(-alpha[k], y_hist[k], q);
+    }
+    // Initial scaling gamma = s'y / y'y (Nocedal & Wright 7.20).
+    double gamma = 1.0;
+    if (!s_hist.empty()) {
+      const Vec& s = s_hist.back();
+      const Vec& y = y_hist.back();
+      const double yy = num::dot(y, y);
+      if (yy > 0.0) gamma = num::dot(s, y) / yy;
+    }
+    Vec d = num::scale(q, -gamma);
+    for (std::size_t k = 0; k < s_hist.size(); ++k) {
+      const double beta = rho_hist[k] * num::dot(y_hist[k], d);
+      num::axpy(-(alpha[k] + beta), s_hist[k], d);
+    }
+    // `d` accumulated the corrections with flipped sign because q was negated
+    // up front; recompute cleanly if not a descent direction.
+    if (num::dot(d, g) >= 0.0) d = num::scale(g, -1.0);
+
+    const auto ls = armijo_backtrack(f.value, x, d, g, f.value(x));
+    if (!ls.success) return finish(std::move(x), f, it, options);
+
+    Vec x_new = x;
+    num::axpy(ls.step, d, x_new);
+    const Vec g_new = f.gradient(x_new);
+    const Vec s = num::sub(x_new, x);
+    const Vec y = num::sub(g_new, g);
+    const double sy = num::dot(s, y);
+    if (sy > 1e-12 * num::norm2(s) * num::norm2(y)) {
+      s_hist.push_back(s);
+      y_hist.push_back(y);
+      rho_hist.push_back(1.0 / sy);
+      if (s_hist.size() > options.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+        rho_hist.pop_front();
+      }
+    }
+    x = std::move(x_new);
+    g = g_new;
+  }
+  return finish(std::move(x), f, options.max_iterations, options);
+}
+
+Smooth with_numerical_gradient(std::function<double(const Vec&)> value,
+                               double h) {
+  Smooth s;
+  s.value = value;
+  s.gradient = [value = std::move(value), h](const Vec& x) {
+    return num::numerical_gradient(value, x, h);
+  };
+  return s;
+}
+
+}  // namespace rcr::opt

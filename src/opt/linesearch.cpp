@@ -1,0 +1,30 @@
+#include "rcr/opt/linesearch.hpp"
+
+namespace rcr::opt {
+
+LineSearchResult armijo_backtrack(const std::function<double(const Vec&)>& f,
+                                  const Vec& x, const Vec& direction,
+                                  const Vec& gradient, double f_x, double t0,
+                                  double c1, double shrink, double min_step) {
+  LineSearchResult out;
+  const double slope = num::dot(gradient, direction);
+  double t = t0;
+  while (t >= min_step) {
+    Vec trial = x;
+    num::axpy(t, direction, trial);
+    const double ft = f(trial);
+    if (std::isfinite(ft) && ft <= f_x + c1 * t * slope) {
+      out.step = t;
+      out.value = ft;
+      out.success = true;
+      return out;
+    }
+    t *= shrink;
+  }
+  out.step = 0.0;
+  out.value = f_x;
+  out.success = false;
+  return out;
+}
+
+}  // namespace rcr::opt

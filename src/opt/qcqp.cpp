@@ -1,0 +1,241 @@
+#include "rcr/opt/qcqp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/opt/lbfgs.hpp"
+
+namespace rcr::opt {
+
+Qcqp Qp::to_qcqp() const {
+  const std::size_t n = q.size();
+  Qcqp out;
+  out.objective.p = p;
+  out.objective.q = q;
+  out.objective.r = 0.0;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    QuadraticForm c;
+    c.p = Matrix(n, n);
+    c.q = g.row(i);
+    c.r = -h[i];
+    out.constraints.push_back(std::move(c));
+  }
+  out.a = a;
+  out.b = b;
+  return out;
+}
+
+Vec solve_equality_qp(const Matrix& p, const Vec& q, const Matrix& a,
+                      const Vec& b) {
+  const std::size_t n = q.size();
+  const std::size_t m = a.rows();
+  if (m == 0) {
+    return num::solve(p, num::scale(q, -1.0));
+  }
+  // KKT system: [P A^T; A 0] [x; nu] = [-q; b].
+  Matrix kkt(n + m, n + m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) kkt(i, j) = p(i, j);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      kkt(n + i, j) = a(i, j);
+      kkt(j, n + i) = a(i, j);
+    }
+  Vec rhs(n + m);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = -q[i];
+  for (std::size_t i = 0; i < m; ++i) rhs[n + i] = b[i];
+  const Vec sol = num::solve(kkt, rhs);
+  return Vec(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+namespace {
+
+// Restore A x = b exactly: x += A^T (A A^T)^{-1} (b - A x).
+Vec restore_equalities(const Qcqp& prob, Vec x) {
+  if (prob.a.rows() == 0) return x;
+  const Vec resid = num::sub(prob.b, num::matvec(prob.a, x));
+  const Matrix aat = prob.a * prob.a.transpose();
+  const Vec w = num::solve(aat, resid);
+  const Vec corr = num::matvec_transposed(prob.a, w);
+  return num::add(x, corr);
+}
+
+}  // namespace
+
+std::optional<Vec> find_strictly_feasible(const Qcqp& problem, double margin) {
+  problem.validate();
+  const std::size_t n = problem.dim();
+
+  // Penalized smooth surrogate: sum softplus-squared of (f_i + margin) plus
+  // a heavy equality penalty; convex, minimized by L-BFGS.
+  const double eq_weight = 1e4;
+  auto value = [&](const Vec& x) {
+    double acc = 0.0;
+    for (const auto& c : problem.constraints) {
+      const double v = c.value(x) + margin;
+      if (v > 0.0) acc += v * v;
+    }
+    if (problem.a.rows() > 0) {
+      const Vec r = num::sub(num::matvec(problem.a, x), problem.b);
+      acc += eq_weight * num::dot(r, r);
+    }
+    return acc;
+  };
+  auto gradient = [&](const Vec& x) {
+    Vec g(n, 0.0);
+    for (const auto& c : problem.constraints) {
+      const double v = c.value(x) + margin;
+      if (v > 0.0) num::axpy(2.0 * v, c.gradient(x), g);
+    }
+    if (problem.a.rows() > 0) {
+      const Vec r = num::sub(num::matvec(problem.a, x), problem.b);
+      num::axpy(2.0 * eq_weight, num::matvec_transposed(problem.a, r), g);
+    }
+    return g;
+  };
+
+  Smooth f{value, gradient};
+  MinimizeOptions opts;
+  opts.max_iterations = 2000;
+  opts.gradient_tolerance = 1e-10;
+  MinimizeResult r = lbfgs(f, Vec(n, 0.0), opts);
+  Vec x = restore_equalities(problem, std::move(r.x));
+
+  for (const auto& c : problem.constraints)
+    if (c.value(x) >= -margin / 2.0) return std::nullopt;
+  if (problem.equality_residual(x) > 1e-7) return std::nullopt;
+  return x;
+}
+
+QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
+                              const BarrierOptions& options) {
+  problem.validate();
+  const std::size_t n = problem.dim();
+  const std::size_t m_ineq = problem.constraints.size();
+  const std::size_t m_eq = problem.a.rows();
+
+  QcqpResult result;
+  Vec x;
+  if (x0) {
+    x = *x0;
+    if (x.size() != n)
+      throw std::invalid_argument("solve_qcqp_barrier: x0 dimension mismatch");
+  } else {
+    auto feasible = find_strictly_feasible(problem);
+    if (!feasible) {
+      result.message = "no strictly feasible point found (phase I failed)";
+      return result;
+    }
+    x = std::move(*feasible);
+  }
+  for (const auto& c : problem.constraints) {
+    if (c.value(x) >= 0.0) {
+      result.message = "initial point not strictly feasible";
+      return result;
+    }
+  }
+
+  // No inequalities: the problem is an equality-constrained QP.
+  if (m_ineq == 0) {
+    result.x = solve_equality_qp(problem.objective.p, problem.objective.q,
+                                 problem.a, problem.b);
+    result.value = problem.objective.value(result.x);
+    result.converged = true;
+    return result;
+  }
+
+  double t = options.t0;
+  for (std::size_t outer = 0; outer < options.max_outer; ++outer) {
+    // Centering: Newton on t*f0 + phi restricted to {A x = b}.
+    for (std::size_t newton = 0; newton < options.max_newton; ++newton) {
+      // Gradient and Hessian of the barrier-augmented objective.
+      Vec grad = num::scale(problem.objective.gradient(x), t);
+      Matrix hess = problem.objective.p * t;
+      for (const auto& c : problem.constraints) {
+        const double fi = c.value(x);
+        const Vec gi = c.gradient(x);
+        const double inv = -1.0 / fi;  // fi < 0
+        num::axpy(inv, gi, grad);
+        hess += inv * c.p;
+        hess += (inv * inv) * num::outer(gi, gi);
+      }
+      hess.symmetrize();
+
+      // KKT step: [H A^T; A 0][dx; w] = [-grad; 0].
+      Vec dx;
+      if (m_eq == 0) {
+        // Regularize slightly for safety.
+        Matrix h_reg = hess;
+        for (std::size_t i = 0; i < n; ++i) h_reg(i, i) += 1e-12;
+        dx = num::solve(h_reg, num::scale(grad, -1.0));
+      } else {
+        Matrix kkt(n + m_eq, n + m_eq);
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j < n; ++j) kkt(i, j) = hess(i, j);
+        for (std::size_t i = 0; i < m_eq; ++i)
+          for (std::size_t j = 0; j < n; ++j) {
+            kkt(n + i, j) = problem.a(i, j);
+            kkt(j, n + i) = problem.a(i, j);
+          }
+        Vec rhs(n + m_eq, 0.0);
+        for (std::size_t i = 0; i < n; ++i) rhs[i] = -grad[i];
+        const Vec sol = num::solve(kkt, rhs);
+        dx = Vec(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+      }
+      ++result.newton_iterations;
+
+      const double decrement2 = -num::dot(grad, dx);
+      if (decrement2 / 2.0 <= options.newton_tolerance) break;
+
+      // Backtracking: stay strictly feasible, then Armijo on the barrier
+      // objective.
+      auto barrier_value = [&](const Vec& xt) {
+        double v = t * problem.objective.value(xt);
+        for (const auto& c : problem.constraints) {
+          const double fi = c.value(xt);
+          if (fi >= 0.0) return std::numeric_limits<double>::infinity();
+          v -= std::log(-fi);
+        }
+        return v;
+      };
+      const double f_x = barrier_value(x);
+      double step = 1.0;
+      bool moved = false;
+      while (step >= 1e-14) {
+        Vec trial = x;
+        num::axpy(step, dx, trial);
+        const double ft = barrier_value(trial);
+        if (std::isfinite(ft) && ft <= f_x - 1e-4 * step * decrement2) {
+          x = std::move(trial);
+          moved = true;
+          break;
+        }
+        step *= 0.5;
+      }
+      if (!moved) break;
+    }
+
+    result.duality_gap_bound = static_cast<double>(m_ineq) / t;
+    if (result.duality_gap_bound <= options.duality_gap) {
+      result.converged = true;
+      break;
+    }
+    t *= options.mu;
+  }
+
+  result.x = std::move(x);
+  result.value = problem.objective.value(result.x);
+  if (!result.converged)
+    result.message = "barrier method exhausted outer iterations";
+  return result;
+}
+
+QcqpResult solve_qp(const Qp& problem, std::optional<Vec> x0,
+                    const BarrierOptions& options) {
+  return solve_qcqp_barrier(problem.to_qcqp(), std::move(x0), options);
+}
+
+}  // namespace rcr::opt

@@ -1,0 +1,99 @@
+#include "rcr/opt/quadratic.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rcr/numerics/decompositions.hpp"
+
+namespace rcr::opt {
+
+double QuadraticForm::value(const Vec& x) const {
+  return 0.5 * num::quad_form(x, p, x) + num::dot(q, x) + r;
+}
+
+Vec QuadraticForm::gradient(const Vec& x) const {
+  Vec g = num::matvec(p, x);
+  // Guard against mildly asymmetric P: gradient of x^T P x / 2 is
+  // (P + P^T) x / 2.
+  const Vec gt = num::matvec_transposed(p, x);
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = 0.5 * (g[i] + gt[i]) + q[i];
+  return g;
+}
+
+bool QuadraticForm::is_convex(double tol) const {
+  if (!p.is_symmetric(1e-9 * (1.0 + p.max_abs()))) return false;
+  return num::is_psd(p, tol);
+}
+
+double Qcqp::max_constraint_violation(const Vec& x) const {
+  double worst = -std::numeric_limits<double>::infinity();
+  for (const auto& c : constraints) worst = std::max(worst, c.value(x));
+  return worst;
+}
+
+double Qcqp::equality_residual(const Vec& x) const {
+  if (a.rows() == 0) return 0.0;
+  const Vec ax = num::matvec(a, x);
+  return num::norm_inf(num::sub(ax, b));
+}
+
+void Qcqp::validate() const {
+  const std::size_t n = dim();
+  if (objective.p.rows() != n || objective.p.cols() != n)
+    throw std::invalid_argument("Qcqp: objective P shape mismatch");
+  for (const auto& c : constraints) {
+    if (c.dim() != n || c.p.rows() != n || c.p.cols() != n)
+      throw std::invalid_argument("Qcqp: constraint shape mismatch");
+  }
+  if (a.rows() != b.size())
+    throw std::invalid_argument("Qcqp: equality rows != b size");
+  if (a.rows() > 0 && a.cols() != n)
+    throw std::invalid_argument("Qcqp: equality cols != dim");
+}
+
+Matrix random_psd(std::size_t n, std::size_t rank, num::Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t k = 0; k < rank; ++k) {
+    const Vec v = rng.normal_vec(n);
+    m += num::outer(v, v);
+  }
+  m.symmetrize();
+  return m;
+}
+
+Qcqp random_convex_qcqp(std::size_t n, std::size_t m_ineq, std::size_t m_eq,
+                        num::Rng& rng) {
+  Qcqp prob;
+  prob.objective.p = random_psd(n, n, rng);
+  // Regularize so the objective is strongly convex.
+  for (std::size_t i = 0; i < n; ++i) prob.objective.p(i, i) += 1.0;
+  prob.objective.q = rng.normal_vec(n);
+  prob.objective.r = rng.normal(0.0, 1.0);
+
+  // Ball constraints ||x - c_i||^2 <= rho_i^2 with centers close enough to
+  // the origin that x = 0 is strictly feasible for all of them.
+  for (std::size_t i = 0; i < m_ineq; ++i) {
+    QuadraticForm c;
+    c.p = Matrix::identity(n) * 2.0;  // (1/2) x^T (2I) x = ||x||^2
+    const Vec center = rng.normal_vec(n, 0.0, 0.3);
+    c.q = num::scale(center, -2.0);
+    const double rho = 2.0 + rng.uniform(0.0, 1.0);
+    c.r = num::dot(center, center) - rho * rho;
+    prob.constraints.push_back(std::move(c));
+  }
+
+  if (m_eq > 0) {
+    // Rows orthogonal-ish; right-hand side consistent with x = 0 for strict
+    // feasibility of the full problem.
+    prob.a = Matrix(m_eq, n);
+    for (std::size_t i = 0; i < m_eq; ++i) {
+      const Vec row = rng.normal_vec(n);
+      for (std::size_t j = 0; j < n; ++j) prob.a(i, j) = row[j];
+    }
+    prob.b = Vec(m_eq, 0.0);
+  }
+  return prob;
+}
+
+}  // namespace rcr::opt

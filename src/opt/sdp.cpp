@@ -1,0 +1,191 @@
+#include "rcr/opt/sdp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/eigen.hpp"
+
+namespace rcr::opt {
+
+void Sdp::validate() const {
+  const std::size_t n = dim();
+  if (!c.square()) throw std::invalid_argument("Sdp: C not square");
+  if (a_eq.size() != b_eq.size())
+    throw std::invalid_argument("Sdp: equality count mismatch");
+  if (a_in.size() != b_in.size())
+    throw std::invalid_argument("Sdp: inequality count mismatch");
+  for (const auto& m : a_eq)
+    if (m.rows() != n || m.cols() != n)
+      throw std::invalid_argument("Sdp: A_eq shape mismatch");
+  for (const auto& m : a_in)
+    if (m.rows() != n || m.cols() != n)
+      throw std::invalid_argument("Sdp: A_in shape mismatch");
+}
+
+SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
+  problem.validate();
+  const std::size_t n = problem.dim();
+  const std::size_t nn = n * n;
+  const std::size_t m_eq = problem.a_eq.size();
+  const std::size_t m_in = problem.a_in.size();
+  const std::size_t dim_y = nn + m_in;        // [vec(X); slacks]
+  const std::size_t m = m_eq + m_in;          // affine rows
+  const double rho = options.rho;
+
+  // Stack the affine system M y = d.
+  Matrix big(dim_y + m, dim_y + m);
+  for (std::size_t i = 0; i < dim_y; ++i) big(i, i) = rho;
+  auto fill_row = [&](std::size_t row, const Matrix& a_mat, bool with_slack,
+                      std::size_t slack_index) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        big(dim_y + row, i * n + j) = a_mat(i, j);
+        big(i * n + j, dim_y + row) = a_mat(i, j);
+      }
+    if (with_slack) {
+      big(dim_y + row, nn + slack_index) = 1.0;
+      big(nn + slack_index, dim_y + row) = 1.0;
+    }
+  };
+  Vec d(m);
+  for (std::size_t i = 0; i < m_eq; ++i) {
+    fill_row(i, problem.a_eq[i], false, 0);
+    d[i] = problem.b_eq[i];
+  }
+  for (std::size_t j = 0; j < m_in; ++j) {
+    fill_row(m_eq + j, problem.a_in[j], true, j);
+    d[m_eq + j] = problem.b_in[j];
+  }
+  const num::LuDecomposition kkt = num::lu_decompose(big);
+  if (kkt.singular)
+    throw std::runtime_error("solve_sdp: degenerate constraint system");
+
+  Vec cvec(dim_y, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) cvec[i * n + j] = problem.c(i, j);
+
+  Vec z(dim_y, 0.0);
+  Vec u(dim_y, 0.0);
+  Vec y(dim_y, 0.0);
+  Vec rhs(dim_y + m, 0.0);
+
+  SdpResult result;
+  const double scale = 1.0 + problem.c.max_abs() + num::norm_inf(d);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // y-update: min c^T y + rho/2 ||y - z + u||^2  s.t.  M y = d.
+    for (std::size_t i = 0; i < dim_y; ++i)
+      rhs[i] = rho * (z[i] - u[i]) - cvec[i];
+    for (std::size_t i = 0; i < m; ++i) rhs[dim_y + i] = d[i];
+    const Vec sol = kkt.solve(rhs);
+    for (std::size_t i = 0; i < dim_y; ++i) y[i] = sol[i];
+
+    // z-update: project y + u onto PSD-cone x nonnegative-orthant.
+    Vec w = num::add(y, u);
+    Matrix xw(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) xw(i, j) = w[i * n + j];
+    const Matrix xp = num::project_psd(xw);
+    Vec z_next(dim_y);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) z_next[i * n + j] = xp(i, j);
+    for (std::size_t k = 0; k < m_in; ++k)
+      z_next[nn + k] = std::max(0.0, w[nn + k]);
+
+    const double dual_res = rho * num::norm2(num::sub(z_next, z));
+    z = std::move(z_next);
+    for (std::size_t i = 0; i < dim_y; ++i) u[i] += y[i] - z[i];
+    const double primal_res = num::norm2(num::sub(y, z));
+
+    result.iterations = it + 1;
+    if (primal_res <= options.tolerance * scale &&
+        dual_res <= options.tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.x = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) result.x(i, j) = z[i * n + j];
+  result.x.symmetrize();
+  result.objective = num::frobenius_dot(problem.c, result.x);
+
+  double viol = 0.0;
+  for (std::size_t i = 0; i < m_eq; ++i)
+    viol = std::max(viol, std::abs(num::frobenius_dot(problem.a_eq[i],
+                                                      result.x) -
+                                   problem.b_eq[i]));
+  for (std::size_t j = 0; j < m_in; ++j)
+    viol = std::max(viol, num::frobenius_dot(problem.a_in[j], result.x) -
+                              problem.b_in[j]);
+  result.primal_residual = viol;
+  return result;
+}
+
+namespace {
+
+// Embed f(x) = (1/2) x^T P x + q^T x + r as <M, [1 x^T; x xx^T]>.
+Matrix lift_quadratic(const QuadraticForm& f) {
+  const std::size_t n = f.dim();
+  Matrix m(n + 1, n + 1);
+  m(0, 0) = f.r;
+  for (std::size_t i = 0; i < n; ++i) {
+    m(0, i + 1) = f.q[i] / 2.0;
+    m(i + 1, 0) = f.q[i] / 2.0;
+    for (std::size_t j = 0; j < n; ++j) m(i + 1, j + 1) = f.p(i, j) / 2.0;
+  }
+  m.symmetrize();
+  return m;
+}
+
+}  // namespace
+
+Sdp shor_relaxation(const Qcqp& problem) {
+  problem.validate();
+  const std::size_t n = problem.dim();
+  Sdp sdp;
+  sdp.c = lift_quadratic(problem.objective);
+
+  // Corner normalization X_00 = 1.
+  {
+    Matrix corner(n + 1, n + 1);
+    corner(0, 0) = 1.0;
+    sdp.a_eq.push_back(std::move(corner));
+    sdp.b_eq.push_back(1.0);
+  }
+  // Linear equalities a_k^T x = b_k.
+  for (std::size_t k = 0; k < problem.a.rows(); ++k) {
+    Matrix e(n + 1, n + 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      e(0, j + 1) = problem.a(k, j) / 2.0;
+      e(j + 1, 0) = problem.a(k, j) / 2.0;
+    }
+    sdp.a_eq.push_back(std::move(e));
+    sdp.b_eq.push_back(problem.b[k]);
+  }
+  // Quadratic inequalities f_i(x) <= 0.
+  for (const auto& c : problem.constraints) {
+    sdp.a_in.push_back(lift_quadratic(c));
+    sdp.b_in.push_back(0.0);
+  }
+  return sdp;
+}
+
+ShorBound shor_lower_bound(const Qcqp& problem, const SdpOptions& options) {
+  const Sdp sdp = shor_relaxation(problem);
+  const SdpResult r = solve_sdp(sdp, options);
+  ShorBound out;
+  out.bound = r.objective;
+  out.converged = r.converged;
+  const std::size_t n = problem.dim();
+  out.x_extracted.resize(n);
+  const double corner = std::max(r.x(0, 0), 1e-12);
+  for (std::size_t i = 0; i < n; ++i)
+    out.x_extracted[i] = r.x(i + 1, 0) / corner;
+  out.extraction_value = problem.objective.value(out.x_extracted);
+  return out;
+}
+
+}  // namespace rcr::opt

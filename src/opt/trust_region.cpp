@@ -1,0 +1,182 @@
+#include "rcr/opt/trust_region.hpp"
+
+#include <cmath>
+
+#include "rcr/numerics/eigen.hpp"
+
+namespace rcr::opt {
+
+TrustRegionStep solve_trust_region_exact(const num::Matrix& b, const Vec& g,
+                                         double radius) {
+  const auto eig = num::eigen_symmetric(b);
+  const std::size_t n = g.size();
+  // Work in the eigenbasis: p = V z, model = sum (1/2) lam_i z_i^2 + gh_i z_i.
+  const Vec gh = num::matvec_transposed(eig.eigenvectors, g);
+
+  auto z_for_lambda = [&](double lambda) {
+    Vec z(n);
+    for (std::size_t i = 0; i < n; ++i)
+      z[i] = -gh[i] / (eig.eigenvalues[i] + lambda);
+    return z;
+  };
+
+  const double lambda_min = eig.eigenvalues.front();
+  TrustRegionStep step;
+
+  // Try the interior solution first (only valid when B is PD).
+  if (lambda_min > 1e-12) {
+    const Vec z = z_for_lambda(0.0);
+    if (num::norm2(z) <= radius) {
+      step.p = num::matvec(eig.eigenvectors, z);
+      step.on_boundary = false;
+      double m = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        m += 0.5 * eig.eigenvalues[i] * z[i] * z[i] + gh[i] * z[i];
+      step.model_decrease = -m;
+      return step;
+    }
+  }
+
+  // Boundary solution: bisection on lambda > max(0, -lambda_min) so that
+  // ||z(lambda)|| = radius.  ||z|| is decreasing in lambda.
+  double lo = std::max(0.0, -lambda_min) + 1e-12;
+  double hi = lo + 1.0;
+  while (num::norm2(z_for_lambda(hi)) > radius && hi < 1e12) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (num::norm2(z_for_lambda(mid)) > radius) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Vec z = z_for_lambda(hi);
+  step.p = num::matvec(eig.eigenvectors, z);
+  step.on_boundary = true;
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    m += 0.5 * eig.eigenvalues[i] * z[i] * z[i] + gh[i] * z[i];
+  step.model_decrease = -m;
+  return step;
+}
+
+TrustRegionStep solve_trust_region_cg(
+    const std::function<Vec(const Vec&)>& hessian_vec, const Vec& g,
+    double radius, double tolerance, std::size_t max_iterations) {
+  const std::size_t n = g.size();
+  TrustRegionStep step;
+  step.p = Vec(n, 0.0);
+  Vec r = num::scale(g, -1.0);  // residual of B p = -g at p = 0
+  Vec d = r;
+  double r_norm2 = num::dot(r, r);
+  if (std::sqrt(r_norm2) <= tolerance) return step;
+
+  auto boundary_tau = [&](const Vec& p, const Vec& dir) {
+    // Positive root of ||p + tau dir||^2 = radius^2.
+    const double dd = num::dot(dir, dir);
+    const double pd = num::dot(p, dir);
+    const double pp = num::dot(p, p);
+    const double disc = pd * pd - dd * (pp - radius * radius);
+    return (-pd + std::sqrt(std::max(0.0, disc))) / dd;
+  };
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    const Vec bd = hessian_vec(d);
+    const double curvature = num::dot(d, bd);
+    if (curvature <= 0.0) {
+      // Negative curvature: walk to the boundary along d.
+      const double tau = boundary_tau(step.p, d);
+      num::axpy(tau, d, step.p);
+      step.on_boundary = true;
+      break;
+    }
+    const double alpha = r_norm2 / curvature;
+    Vec p_next = step.p;
+    num::axpy(alpha, d, p_next);
+    if (num::norm2(p_next) >= radius) {
+      const double tau = boundary_tau(step.p, d);
+      num::axpy(tau, d, step.p);
+      step.on_boundary = true;
+      break;
+    }
+    step.p = std::move(p_next);
+    num::axpy(-alpha, bd, r);
+    const double r_norm2_next = num::dot(r, r);
+    if (std::sqrt(r_norm2_next) <= tolerance) break;
+    const double beta = r_norm2_next / r_norm2;
+    r_norm2 = r_norm2_next;
+    Vec d_next = r;
+    num::axpy(beta, d, d_next);
+    d = std::move(d_next);
+  }
+
+  const Vec bp = hessian_vec(step.p);
+  step.model_decrease = -(0.5 * num::dot(step.p, bp) + num::dot(g, step.p));
+  return step;
+}
+
+MinimizeResult trust_region_bfgs(const Smooth& f, Vec x0,
+                                 const TrustRegionOptions& options) {
+  const std::size_t n = x0.size();
+  Vec x = std::move(x0);
+  num::Matrix b = num::Matrix::identity(n);  // Hessian proxy (not inverse)
+  double radius = options.initial_radius;
+
+  MinimizeResult result;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const Vec g = f.gradient(x);
+    if (num::norm_inf(g) <= options.gradient_tolerance) {
+      result.iterations = it;
+      break;
+    }
+    const TrustRegionStep step = solve_trust_region_exact(b, g, radius);
+    if (num::norm2(step.p) <= 1e-15) {
+      result.iterations = it;
+      break;
+    }
+    Vec x_trial = num::add(x, step.p);
+    const double actual = f.value(x) - f.value(x_trial);
+    const double rho =
+        step.model_decrease > 0.0 ? actual / step.model_decrease : -1.0;
+
+    if (rho >= options.eta_accept) {
+      // BFGS update of the Hessian proxy with curvature guard (skip updates
+      // that would inject "false curvature information", Sec. IV-C).
+      const Vec g_new = f.gradient(x_trial);
+      const Vec s = step.p;
+      const Vec y = num::sub(g_new, g);
+      const double sy = num::dot(s, y);
+      if (sy > 1e-12 * num::norm2(s) * num::norm2(y)) {
+        const Vec bs = num::matvec(b, s);
+        const double sbs = num::dot(s, bs);
+        // B <- B - (B s s^T B)/(s^T B s) + (y y^T)/(s^T y)
+        if (sbs > 0.0) {
+          b -= (1.0 / sbs) * num::outer(bs, bs);
+          b += (1.0 / sy) * num::outer(y, y);
+          b.symmetrize();
+        }
+      }
+      x = std::move(x_trial);
+    }
+
+    if (rho < 0.25) {
+      radius *= 0.25;
+    } else if (rho > options.eta_expand && step.on_boundary) {
+      radius = std::min(2.0 * radius, options.max_radius);
+    }
+    if (radius < 1e-14) {
+      result.iterations = it;
+      break;
+    }
+    result.iterations = it + 1;
+  }
+
+  const Vec g = f.gradient(x);
+  result.gradient_norm = num::norm_inf(g);
+  result.converged = result.gradient_norm <= options.gradient_tolerance;
+  result.value = f.value(x);
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace rcr::opt

@@ -1,0 +1,183 @@
+#include "rcr/pso/discrete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rcr::pso {
+
+namespace {
+
+void normalize_distribution(Vec& p) {
+  double total = 0.0;
+  for (double& v : p) {
+    v = std::max(v, 1e-6);  // keep every value reachable
+    total += v;
+  }
+  for (double& v : p) v /= total;
+}
+
+/// One-hot vector for index k over m values.
+Vec one_hot(std::size_t m, std::size_t k) {
+  Vec v(m, 0.0);
+  v[k] = 1.0;
+  return v;
+}
+
+}  // namespace
+
+DiscretePsoResult minimize_discrete(
+    const std::vector<CategoricalAttribute>& attributes,
+    const DiscreteObjective& objective, const DiscretePsoConfig& config,
+    InertiaSchedule* inertia) {
+  if (attributes.empty())
+    throw std::invalid_argument("minimize_discrete: no attributes");
+  for (const auto& a : attributes)
+    if (a.values.empty())
+      throw std::invalid_argument("minimize_discrete: attribute '" + a.name +
+                                  "' has no values");
+  if (config.swarm_size == 0)
+    throw std::invalid_argument("minimize_discrete: empty swarm");
+
+  num::Rng rng(config.seed);
+  const std::size_t n_attr = attributes.size();
+  const std::size_t swarm = config.swarm_size;
+
+  // Particle state: per-attribute distribution + velocity in simplex space.
+  struct Particle {
+    std::vector<Vec> dist;
+    std::vector<Vec> vel;
+    std::vector<Vec> best_dist;      // distributions at personal best
+    DiscreteAssignment best_sample;  // personal best concrete assignment
+    double best_value = std::numeric_limits<double>::infinity();
+    std::size_t stagnant = 0;
+  };
+  std::vector<Particle> particles(swarm);
+
+  DiscretePsoResult result;
+  DiscreteAssignment gbest_sample;
+  std::vector<Vec> gbest_dist;
+  double gbest_value = std::numeric_limits<double>::infinity();
+
+  auto sample_assignment = [&](const std::vector<Vec>& dist) {
+    DiscreteAssignment a(n_attr);
+    for (std::size_t k = 0; k < n_attr; ++k) a[k] = rng.categorical(dist[k]);
+    return a;
+  };
+
+  // Initialize with uniform distributions and zero velocity.
+  for (auto& p : particles) {
+    p.dist.resize(n_attr);
+    p.vel.resize(n_attr);
+    for (std::size_t k = 0; k < n_attr; ++k) {
+      const std::size_t m = attributes[k].values.size();
+      p.dist[k] = Vec(m, 1.0 / static_cast<double>(m));
+      p.vel[k] = Vec(m, 0.0);
+    }
+    p.best_dist = p.dist;
+  }
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < swarm; ++i) {
+      Particle& p = particles[i];
+
+      // Evaluate: sample concrete assignments from the distributions.
+      for (std::size_t s = 0; s < config.samples_per_eval; ++s) {
+        const DiscreteAssignment a = sample_assignment(p.dist);
+        const double f = objective(a);
+        ++result.evaluations;
+        if (f < p.best_value) {
+          p.best_value = f;
+          p.best_sample = a;
+          // Personal best distribution: sharpen toward the sampled values.
+          for (std::size_t k = 0; k < n_attr; ++k)
+            p.best_dist[k] = one_hot(attributes[k].values.size(), a[k]);
+          p.stagnant = 0;
+        }
+        if (f < gbest_value) {
+          gbest_value = f;
+          gbest_sample = a;
+          gbest_dist = p.best_dist;
+        }
+      }
+      ++p.stagnant;
+
+      // Velocity/position update in distribution space (Eqs. 1-2 applied to
+      // probability vectors, then re-projection onto the simplex).
+      double w = config.inertia;
+      if (inertia != nullptr) {
+        InertiaContext ctx;
+        ctx.iteration = iter;
+        ctx.max_iterations = config.max_iterations;
+        ctx.particle = i;
+        ctx.stagnant_iters = p.stagnant;
+        double vnorm = 0.0;
+        double dist_best = 0.0;
+        for (std::size_t k = 0; k < n_attr; ++k) {
+          vnorm += num::dot(p.vel[k], p.vel[k]);
+          const Vec diff = num::sub(p.best_dist[k], p.dist[k]);
+          dist_best += num::dot(diff, diff);
+        }
+        ctx.velocity_norm = std::sqrt(vnorm);
+        ctx.dist_to_pbest = std::sqrt(dist_best);
+        ctx.dist_to_gbest = ctx.dist_to_pbest;
+        w = inertia->weight(ctx);
+      }
+
+      for (std::size_t k = 0; k < n_attr; ++k) {
+        const std::size_t m = attributes[k].values.size();
+        const Vec& gtarget =
+            gbest_dist.empty() ? p.best_dist[k] : gbest_dist[k];
+        for (std::size_t j = 0; j < m; ++j) {
+          const double b1 = rng.uniform();
+          const double b2 = rng.uniform();
+          p.vel[k][j] = w * p.vel[k][j] +
+                        config.alpha1 * b1 * (p.best_dist[k][j] - p.dist[k][j]) +
+                        config.alpha2 * b2 * (gtarget[j] - p.dist[k][j]);
+          p.dist[k][j] += p.vel[k][j];
+        }
+        normalize_distribution(p.dist[k]);
+      }
+    }
+    result.best_value_history.push_back(gbest_value);
+  }
+
+  result.best_assignment = std::move(gbest_sample);
+  result.best_value = gbest_value;
+  result.best_distributions = std::move(gbest_dist);
+  return result;
+}
+
+ExhaustiveResult minimize_exhaustive(
+    const std::vector<CategoricalAttribute>& attributes,
+    const DiscreteObjective& objective, std::size_t max_space) {
+  std::size_t space = 1;
+  for (const auto& a : attributes) {
+    if (a.values.empty())
+      throw std::invalid_argument("minimize_exhaustive: empty attribute");
+    if (space > max_space / a.values.size())
+      throw std::invalid_argument("minimize_exhaustive: space too large");
+    space *= a.values.size();
+  }
+
+  ExhaustiveResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+  DiscreteAssignment a(attributes.size(), 0);
+  for (std::size_t idx = 0; idx < space; ++idx) {
+    std::size_t rem = idx;
+    for (std::size_t k = 0; k < attributes.size(); ++k) {
+      a[k] = rem % attributes[k].values.size();
+      rem /= attributes[k].values.size();
+    }
+    const double f = objective(a);
+    ++result.evaluations;
+    if (f < result.best_value) {
+      result.best_value = f;
+      result.best_assignment = a;
+    }
+  }
+  return result;
+}
+
+}  // namespace rcr::pso

@@ -1,0 +1,75 @@
+// Distribution-based discrete PSO (the paper's [9], Strasser et al.):
+// "each attribute of a PSO particle is a distribution over its possible
+// values rather than a specific value", which preserves the continuous
+// update semantics when the search space is categorical -- exactly what the
+// MSY3I hyperparameter-tuning phase needs.
+//
+// Each particle holds, per attribute, a probability vector over that
+// attribute's candidate values.  Velocities act on the probability simplex;
+// evaluation samples a concrete configuration from the distributions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/pso/inertia.hpp"
+
+namespace rcr::pso {
+
+/// One categorical hyperparameter: a name and its candidate values.
+struct CategoricalAttribute {
+  std::string name;
+  Vec values;  ///< Candidate values (interpreted by the objective).
+};
+
+/// A concrete configuration: one chosen value index per attribute.
+using DiscreteAssignment = std::vector<std::size_t>;
+
+/// Objective over concrete assignments (lower is better).
+using DiscreteObjective = std::function<double(const DiscreteAssignment&)>;
+
+/// Configuration of the discrete swarm.
+struct DiscretePsoConfig {
+  std::size_t swarm_size = 12;
+  std::size_t max_iterations = 60;
+  double alpha1 = 1.3;  ///< Cognitive pull on the distributions.
+  double alpha2 = 1.3;  ///< Social pull on the distributions.
+  double inertia = 0.6; ///< Used when no schedule is supplied.
+  std::uint64_t seed = 1;
+  std::size_t samples_per_eval = 1;  ///< Draws per particle per iteration.
+};
+
+/// Run outcome.
+struct DiscretePsoResult {
+  DiscreteAssignment best_assignment;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  Vec best_value_history;
+  /// Final per-attribute distributions of the best particle (insight into
+  /// how confident the swarm became).
+  std::vector<Vec> best_distributions;
+};
+
+/// Minimize a discrete objective with distribution-based PSO.
+/// Throws std::invalid_argument when attributes are empty or any attribute
+/// has no values.
+DiscretePsoResult minimize_discrete(
+    const std::vector<CategoricalAttribute>& attributes,
+    const DiscreteObjective& objective, const DiscretePsoConfig& config,
+    InertiaSchedule* inertia = nullptr);
+
+/// Exhaustive search over all assignments (tiny spaces only; throws
+/// std::invalid_argument when the space exceeds `max_space`).  Oracle for
+/// tests and the E6/E12 quality comparisons.
+struct ExhaustiveResult {
+  DiscreteAssignment best_assignment;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+};
+ExhaustiveResult minimize_exhaustive(
+    const std::vector<CategoricalAttribute>& attributes,
+    const DiscreteObjective& objective, std::size_t max_space = 200000);
+
+}  // namespace rcr::pso

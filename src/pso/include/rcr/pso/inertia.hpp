@@ -1,0 +1,92 @@
+// Inertia-weight schedules for PSO (paper Secs. II-A-2 and III).
+//
+// The paper's Phase-3 enabler ("M-GNU-O") supplies *adaptive inertial
+// weighting* so that integer-rounded particles do not stagnate prematurely;
+// choosing the weights is itself framed as a convex optimization problem.
+// AdaptiveQpInertia realizes that framing: each iteration it solves a small
+// box-constrained convex QP for the per-particle weights (closed form via
+// the separable structure; opt::solve_qp reproduces the same answer, which
+// the test suite cross-checks).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::pso {
+
+/// Per-particle state visible to an inertia schedule.
+struct InertiaContext {
+  std::size_t iteration = 0;
+  std::size_t max_iterations = 1;
+  std::size_t particle = 0;
+  double velocity_norm = 0.0;     ///< ||v_i|| before the update.
+  double dist_to_pbest = 0.0;     ///< ||x_i - I_i||.
+  double dist_to_gbest = 0.0;     ///< ||x_i - G||.
+  double swarm_diversity = 0.0;   ///< Mean pairwise distance proxy.
+  std::size_t stagnant_iters = 0; ///< Consecutive near-zero-velocity steps.
+};
+
+/// Interface: produce iota^(k) for one particle.
+class InertiaSchedule {
+ public:
+  virtual ~InertiaSchedule() = default;
+  virtual double weight(const InertiaContext& context) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Fixed weight.
+std::unique_ptr<InertiaSchedule> constant_inertia(double w);
+
+/// Linear decay from w_start to w_end across the run (the classic schedule).
+std::unique_ptr<InertiaSchedule> linear_decay_inertia(double w_start,
+                                                      double w_end);
+
+/// Chaotic-random inertia: w = 0.5 * z + base with z from a logistic map
+/// (deterministic chaos keeps runs reproducible).
+std::unique_ptr<InertiaSchedule> chaotic_inertia(double base = 0.4);
+
+/// Distance-adaptive inertia: grows with the particle's stagnation count and
+/// distance to its local optimum ("weighting the distance from the
+/// particle's local optimum", Sec. II-A-2), so stalled particles get pushed
+/// past their current local optimum.
+std::unique_ptr<InertiaSchedule> adaptive_distance_inertia(double w_min = 0.4,
+                                                           double w_max = 1.2);
+
+/// QP-based adaptive inertia (the paper's "yet another convex optimization
+/// problem"): per iteration solve
+///   min_w  sum_i (w_i * v_i - d_i)^2 + lambda * (w_i - w_ref)^2
+///   s.t.   w_min <= w_i <= w_max
+/// where d_i is the particle's distance to the global best (the step scale
+/// that would reach it) and w_ref recenters toward a nominal weight.  The
+/// problem is separable; the closed-form solution is the clamped ridge
+/// estimate.
+class AdaptiveQpInertia final : public InertiaSchedule {
+ public:
+  AdaptiveQpInertia(double w_min = 0.3, double w_max = 1.4,
+                    double w_ref = 0.7, double lambda = 0.5)
+      : w_min_(w_min), w_max_(w_max), w_ref_(w_ref), lambda_(lambda) {}
+
+  double weight(const InertiaContext& context) override;
+  std::string name() const override { return "adaptive-qp"; }
+
+  /// The underlying scalar QP solution for one particle (exposed so tests
+  /// can cross-check it against opt::solve_qp).
+  static double solve_scalar_qp(double v, double d, double w_ref,
+                                double lambda, double w_min, double w_max);
+
+ private:
+  double w_min_;
+  double w_max_;
+  double w_ref_;
+  double lambda_;
+};
+
+std::unique_ptr<InertiaSchedule> adaptive_qp_inertia(double w_min = 0.3,
+                                                     double w_max = 1.4,
+                                                     double w_ref = 0.7,
+                                                     double lambda = 0.5);
+
+}  // namespace rcr::pso

@@ -1,0 +1,45 @@
+// Benchmark objective suite for the PSO experiments (E6): standard
+// multimodal test functions with known global optima, used to measure
+// premature stagnation and inertia-schedule quality.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::pso {
+
+/// A box-bounded objective with a known global optimum.
+struct Objective {
+  std::string name;
+  std::function<double(const Vec&)> value;
+  Vec lower;           ///< Per-dimension lower bound.
+  Vec upper;           ///< Per-dimension upper bound.
+  Vec optimum;         ///< Global minimizer.
+  double optimum_value = 0.0;
+
+  std::size_t dim() const { return lower.size(); }
+};
+
+/// Convex bowl: sum x_i^2.  Optimum at 0.
+Objective sphere(std::size_t n);
+
+/// Rosenbrock valley.  Optimum at (1,...,1).
+Objective rosenbrock(std::size_t n);
+
+/// Rastrigin: highly multimodal with a regular lattice of local minima --
+/// the canonical trap for integer-rounded particles.  Optimum at 0.
+Objective rastrigin(std::size_t n);
+
+/// Ackley: nearly flat outer region, sharp funnel at 0.
+Objective ackley(std::size_t n);
+
+/// Griewank: product term couples dimensions.  Optimum at 0.
+Objective griewank(std::size_t n);
+
+/// The full suite in canonical order.
+std::vector<Objective> standard_suite(std::size_t n);
+
+}  // namespace rcr::pso

@@ -1,0 +1,70 @@
+// Particle Swarm Optimization (paper Eqs. 1-2) with the implementation
+// choices Sec. II-A-2 discusses: position/velocity updates with cognitive
+// (I) and social (G) pulls, optional integer rounding of positions (the
+// "artificial paradigm" that causes premature stagnation), stagnation
+// detection with dispersion, and pluggable inertia schedules.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/pso/inertia.hpp"
+#include "rcr/pso/objective.hpp"
+
+namespace rcr::pso {
+
+/// How positions are quantized after each update.
+enum class Rounding {
+  kNone,     ///< Continuous PSO.
+  kInteger,  ///< Round every coordinate to the nearest integer (MINLP mode).
+};
+
+/// Swarm configuration.
+struct PsoConfig {
+  std::size_t swarm_size = 20;
+  std::size_t max_iterations = 200;
+  double alpha1 = 1.49445;  ///< Cognitive acceleration (alpha_1 in Eq. 2).
+  double alpha2 = 1.49445;  ///< Social acceleration (alpha_2 in Eq. 2).
+  double velocity_clamp_fraction = 0.5;  ///< v_max as a fraction of range.
+  Rounding rounding = Rounding::kNone;
+  /// MINLP mode: when non-empty, marks which coordinates are integer
+  /// (true) vs continuous (false); overrides `rounding` per dimension.
+  /// Must be empty or match the objective dimension.
+  std::vector<bool> integer_mask;
+  std::uint64_t seed = 1;
+
+  // Stagnation machinery (Sec. II-A-2 / [15]).
+  double stagnation_velocity_eps = 1e-6;  ///< ||v|| below this counts as stalled.
+  std::size_t stagnation_patience = 10;   ///< Stalled iterations before "stuck".
+  bool disperse_on_stagnation = false;    ///< Re-energize stuck particles.
+
+  /// Stop early once the best value reaches target_value (when set).
+  std::optional<double> target_value;
+};
+
+/// Run outcome and diagnostics.
+struct PsoResult {
+  Vec best_position;
+  double best_value = 0.0;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  Vec best_value_history;         ///< gbest value per iteration.
+  std::size_t stagnation_events = 0;  ///< Particles that hit the patience cap.
+  std::size_t dispersions = 0;        ///< Re-energizations performed.
+  double final_stagnant_fraction = 0.0;  ///< Share of particles stalled at exit.
+  bool reached_target = false;
+};
+
+/// Minimize `objective` within its box bounds.  The inertia schedule is
+/// consulted per particle per iteration (pass nullptr for the classic 0.7
+/// constant).
+PsoResult minimize(const Objective& objective, const PsoConfig& config,
+                   InertiaSchedule* inertia = nullptr);
+
+/// Convenience overload owning a schedule.
+PsoResult minimize(const Objective& objective, const PsoConfig& config,
+                   const std::unique_ptr<InertiaSchedule>& inertia);
+
+}  // namespace rcr::pso

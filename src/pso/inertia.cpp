@@ -1,0 +1,120 @@
+#include "rcr/pso/inertia.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcr::pso {
+
+namespace {
+
+class ConstantInertia final : public InertiaSchedule {
+ public:
+  explicit ConstantInertia(double w) : w_(w) {}
+  double weight(const InertiaContext&) override { return w_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double w_;
+};
+
+class LinearDecayInertia final : public InertiaSchedule {
+ public:
+  LinearDecayInertia(double w_start, double w_end)
+      : w_start_(w_start), w_end_(w_end) {}
+  double weight(const InertiaContext& context) override {
+    const double t = static_cast<double>(context.iteration) /
+                     static_cast<double>(std::max<std::size_t>(
+                         1, context.max_iterations - 1));
+    return w_start_ + (w_end_ - w_start_) * std::min(1.0, t);
+  }
+  std::string name() const override { return "linear-decay"; }
+
+ private:
+  double w_start_;
+  double w_end_;
+};
+
+class ChaoticInertia final : public InertiaSchedule {
+ public:
+  explicit ChaoticInertia(double base) : base_(base) {}
+  double weight(const InertiaContext&) override {
+    z_ = 4.0 * z_ * (1.0 - z_);  // logistic map, r = 4
+    return base_ + 0.5 * z_;
+  }
+  std::string name() const override { return "chaotic"; }
+
+ private:
+  double base_;
+  double z_ = 0.37;
+};
+
+class AdaptiveDistanceInertia final : public InertiaSchedule {
+ public:
+  AdaptiveDistanceInertia(double w_min, double w_max)
+      : w_min_(w_min), w_max_(w_max) {}
+  double weight(const InertiaContext& context) override {
+    // Stalled particles (many near-zero-velocity iterations, still far from
+    // their own best) get weights near w_max; freely moving particles decay
+    // toward w_min as the run progresses.
+    const double stall = 1.0 - std::exp(-0.5 * static_cast<double>(
+                                                   context.stagnant_iters));
+    const double spread =
+        context.swarm_diversity > 0.0
+            ? std::min(1.0, context.dist_to_pbest / context.swarm_diversity)
+            : 0.0;
+    const double boost = std::max(stall, 0.5 * spread);
+    const double t = static_cast<double>(context.iteration) /
+                     static_cast<double>(std::max<std::size_t>(
+                         1, context.max_iterations - 1));
+    const double base = w_min_ + (0.9 - w_min_) * (1.0 - std::min(1.0, t));
+    return std::min(w_max_, base + (w_max_ - base) * boost);
+  }
+  std::string name() const override { return "adaptive-distance"; }
+
+ private:
+  double w_min_;
+  double w_max_;
+};
+
+}  // namespace
+
+std::unique_ptr<InertiaSchedule> constant_inertia(double w) {
+  return std::make_unique<ConstantInertia>(w);
+}
+
+std::unique_ptr<InertiaSchedule> linear_decay_inertia(double w_start,
+                                                      double w_end) {
+  return std::make_unique<LinearDecayInertia>(w_start, w_end);
+}
+
+std::unique_ptr<InertiaSchedule> chaotic_inertia(double base) {
+  return std::make_unique<ChaoticInertia>(base);
+}
+
+std::unique_ptr<InertiaSchedule> adaptive_distance_inertia(double w_min,
+                                                           double w_max) {
+  return std::make_unique<AdaptiveDistanceInertia>(w_min, w_max);
+}
+
+double AdaptiveQpInertia::solve_scalar_qp(double v, double d, double w_ref,
+                                          double lambda, double w_min,
+                                          double w_max) {
+  // min_w (w v - d)^2 + lambda (w - w_ref)^2 over [w_min, w_max]:
+  // stationary point w* = (v d + lambda w_ref) / (v^2 + lambda), clamped.
+  const double denom = v * v + lambda;
+  const double w_star = denom > 0.0 ? (v * d + lambda * w_ref) / denom : w_ref;
+  return std::clamp(w_star, w_min, w_max);
+}
+
+double AdaptiveQpInertia::weight(const InertiaContext& context) {
+  return solve_scalar_qp(context.velocity_norm, context.dist_to_gbest, w_ref_,
+                         lambda_, w_min_, w_max_);
+}
+
+std::unique_ptr<InertiaSchedule> adaptive_qp_inertia(double w_min, double w_max,
+                                                     double w_ref,
+                                                     double lambda) {
+  return std::make_unique<AdaptiveQpInertia>(w_min, w_max, w_ref, lambda);
+}
+
+}  // namespace rcr::pso

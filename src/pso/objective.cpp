@@ -1,0 +1,96 @@
+#include "rcr/pso/objective.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rcr::pso {
+
+namespace {
+Objective make(std::string name, std::size_t n, double lo, double hi,
+               std::function<double(const Vec&)> f, Vec opt, double opt_val) {
+  Objective o;
+  o.name = std::move(name);
+  o.value = std::move(f);
+  o.lower = Vec(n, lo);
+  o.upper = Vec(n, hi);
+  o.optimum = std::move(opt);
+  o.optimum_value = opt_val;
+  return o;
+}
+}  // namespace
+
+Objective sphere(std::size_t n) {
+  return make(
+      "sphere", n, -5.12, 5.12,
+      [](const Vec& x) {
+        double acc = 0.0;
+        for (double v : x) acc += v * v;
+        return acc;
+      },
+      Vec(n, 0.0), 0.0);
+}
+
+Objective rosenbrock(std::size_t n) {
+  return make(
+      "rosenbrock", n, -2.048, 2.048,
+      [](const Vec& x) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+          const double a = x[i + 1] - x[i] * x[i];
+          const double b = 1.0 - x[i];
+          acc += 100.0 * a * a + b * b;
+        }
+        return acc;
+      },
+      Vec(n, 1.0), 0.0);
+}
+
+Objective rastrigin(std::size_t n) {
+  return make(
+      "rastrigin", n, -5.12, 5.12,
+      [](const Vec& x) {
+        double acc = 10.0 * static_cast<double>(x.size());
+        for (double v : x)
+          acc += v * v - 10.0 * std::cos(2.0 * std::numbers::pi * v);
+        return acc;
+      },
+      Vec(n, 0.0), 0.0);
+}
+
+Objective ackley(std::size_t n) {
+  return make(
+      "ackley", n, -32.768, 32.768,
+      [](const Vec& x) {
+        const auto d = static_cast<double>(x.size());
+        double sum_sq = 0.0;
+        double sum_cos = 0.0;
+        for (double v : x) {
+          sum_sq += v * v;
+          sum_cos += std::cos(2.0 * std::numbers::pi * v);
+        }
+        return -20.0 * std::exp(-0.2 * std::sqrt(sum_sq / d)) -
+               std::exp(sum_cos / d) + 20.0 + std::numbers::e;
+      },
+      Vec(n, 0.0), 0.0);
+}
+
+Objective griewank(std::size_t n) {
+  return make(
+      "griewank", n, -600.0, 600.0,
+      [](const Vec& x) {
+        double sum = 0.0;
+        double prod = 1.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          sum += x[i] * x[i] / 4000.0;
+          prod *= std::cos(x[i] / std::sqrt(static_cast<double>(i + 1)));
+        }
+        return sum - prod + 1.0;
+      },
+      Vec(n, 0.0), 0.0);
+}
+
+std::vector<Objective> standard_suite(std::size_t n) {
+  return {sphere(n), rosenbrock(n), rastrigin(n), ackley(n), griewank(n)};
+}
+
+}  // namespace rcr::pso

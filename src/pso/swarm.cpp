@@ -1,0 +1,177 @@
+#include "rcr/pso/swarm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rcr::pso {
+
+namespace {
+
+double swarm_diversity(const std::vector<Vec>& positions, const Vec& centroid) {
+  double acc = 0.0;
+  for (const auto& p : positions) acc += num::distance(p, centroid);
+  return positions.empty() ? 0.0 : acc / static_cast<double>(positions.size());
+}
+
+}  // namespace
+
+PsoResult minimize(const Objective& objective, const PsoConfig& config,
+                   InertiaSchedule* inertia) {
+  if (config.swarm_size == 0)
+    throw std::invalid_argument("pso::minimize: empty swarm");
+  if (objective.dim() == 0)
+    throw std::invalid_argument("pso::minimize: zero-dimensional objective");
+
+  const std::size_t n = objective.dim();
+  if (!config.integer_mask.empty() && config.integer_mask.size() != n)
+    throw std::invalid_argument("pso::minimize: integer_mask size mismatch");
+  const std::size_t swarm = config.swarm_size;
+  num::Rng rng(config.seed);
+
+  std::unique_ptr<InertiaSchedule> default_inertia;
+  if (inertia == nullptr) {
+    default_inertia = constant_inertia(0.7);
+    inertia = default_inertia.get();
+  }
+
+  // Velocity clamp per dimension.
+  Vec vmax(n);
+  for (std::size_t j = 0; j < n; ++j)
+    vmax[j] = config.velocity_clamp_fraction *
+              (objective.upper[j] - objective.lower[j]);
+
+  auto quantize = [&](Vec& x) {
+    if (!config.integer_mask.empty()) {
+      for (std::size_t j = 0; j < x.size(); ++j)
+        if (config.integer_mask[j]) x[j] = std::round(x[j]);
+    } else if (config.rounding == Rounding::kInteger) {
+      for (double& v : x) v = std::round(v);
+    }
+  };
+
+  // Initialization: uniform positions, small random velocities.
+  std::vector<Vec> x(swarm), v(swarm), pbest(swarm);
+  Vec pbest_val(swarm);
+  std::vector<std::size_t> stagnant(swarm, 0);
+  Vec gbest;
+  double gbest_val = std::numeric_limits<double>::infinity();
+
+  PsoResult result;
+  for (std::size_t i = 0; i < swarm; ++i) {
+    x[i].resize(n);
+    v[i].resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      x[i][j] = rng.uniform(objective.lower[j], objective.upper[j]);
+      v[i][j] = rng.uniform(-vmax[j], vmax[j]) * 0.1;
+    }
+    quantize(x[i]);
+    pbest[i] = x[i];
+    pbest_val[i] = objective.value(x[i]);
+    ++result.evaluations;
+    if (pbest_val[i] < gbest_val) {
+      gbest_val = pbest_val[i];
+      gbest = x[i];
+    }
+  }
+
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Centroid-based diversity feeds the adaptive schedules.
+    Vec centroid(n, 0.0);
+    for (const auto& p : x) num::axpy(1.0 / static_cast<double>(swarm), p, centroid);
+    const double diversity = swarm_diversity(x, centroid);
+
+    for (std::size_t i = 0; i < swarm; ++i) {
+      InertiaContext ctx;
+      ctx.iteration = iter;
+      ctx.max_iterations = config.max_iterations;
+      ctx.particle = i;
+      ctx.velocity_norm = num::norm2(v[i]);
+      ctx.dist_to_pbest = num::distance(x[i], pbest[i]);
+      ctx.dist_to_gbest = num::distance(x[i], gbest);
+      ctx.swarm_diversity = diversity;
+      ctx.stagnant_iters = stagnant[i];
+      const double w = inertia->weight(ctx);
+
+      // Eq. 2: v <- iota*v + a1*[b1 .* (I - x)] + a2*[b2 .* (G - x)].
+      for (std::size_t j = 0; j < n; ++j) {
+        const double b1 = rng.uniform();
+        const double b2 = rng.uniform();
+        v[i][j] = w * v[i][j] + config.alpha1 * b1 * (pbest[i][j] - x[i][j]) +
+                  config.alpha2 * b2 * (gbest[j] - x[i][j]);
+        v[i][j] = std::clamp(v[i][j], -vmax[j], vmax[j]);
+      }
+      // Eq. 1: x <- x + v, then the MINLP quantization (the step that
+      // creates the "artificial paradigm" of premature stagnation).
+      for (std::size_t j = 0; j < n; ++j) {
+        x[i][j] = std::clamp(x[i][j] + v[i][j], objective.lower[j],
+                             objective.upper[j]);
+      }
+      quantize(x[i]);
+
+      // Stagnation bookkeeping: in integer mode a sub-half-unit velocity
+      // cannot move the particle, so count that as stalled too.
+      const double vn = num::norm2(v[i]);
+      const bool all_integer = config.integer_mask.empty()
+                                   ? config.rounding == Rounding::kInteger
+                                   : false;
+      const bool stalled =
+          vn < config.stagnation_velocity_eps ||
+          (all_integer && num::norm_inf(v[i]) < 0.5);
+      if (stalled) {
+        if (++stagnant[i] == config.stagnation_patience)
+          ++result.stagnation_events;
+      } else {
+        stagnant[i] = 0;
+      }
+
+      if (config.disperse_on_stagnation &&
+          stagnant[i] >= config.stagnation_patience) {
+        // Dispersion [15]: relaunch the particle from a random position with
+        // a fresh velocity; its memory (pbest) is kept.
+        for (std::size_t j = 0; j < n; ++j) {
+          x[i][j] = rng.uniform(objective.lower[j], objective.upper[j]);
+          v[i][j] = rng.uniform(-vmax[j], vmax[j]);
+        }
+        quantize(x[i]);
+        stagnant[i] = 0;
+        ++result.dispersions;
+      }
+
+      const double f = objective.value(x[i]);
+      ++result.evaluations;
+      if (f < pbest_val[i]) {
+        pbest_val[i] = f;
+        pbest[i] = x[i];
+      }
+      if (f < gbest_val) {
+        gbest_val = f;
+        gbest = x[i];
+      }
+    }
+
+    result.best_value_history.push_back(gbest_val);
+    result.iterations = iter + 1;
+    if (config.target_value && gbest_val <= *config.target_value) {
+      result.reached_target = true;
+      break;
+    }
+  }
+
+  std::size_t stalled_now = 0;
+  for (std::size_t i = 0; i < swarm; ++i)
+    if (stagnant[i] >= config.stagnation_patience) ++stalled_now;
+  result.final_stagnant_fraction =
+      static_cast<double>(stalled_now) / static_cast<double>(swarm);
+  result.best_position = std::move(gbest);
+  result.best_value = gbest_val;
+  return result;
+}
+
+PsoResult minimize(const Objective& objective, const PsoConfig& config,
+                   const std::unique_ptr<InertiaSchedule>& inertia) {
+  return minimize(objective, config, inertia.get());
+}
+
+}  // namespace rcr::pso

@@ -1,0 +1,58 @@
+#include "rcr/qos/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::qos {
+
+double spectral_efficiency(double snr) { return std::log2(1.0 + snr); }
+
+namespace {
+
+void fill_gains(const ChannelConfig& config, const Vec& distances,
+                num::Rng& rng, ChannelRealization& out) {
+  const double noise_w = std::pow(10.0, (config.noise_power_dbm - 30.0) / 10.0);
+  const double ref_gain = std::pow(10.0, config.reference_gain_db / 10.0);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    const double pathloss =
+        ref_gain * std::pow(distances[u], -config.pathloss_exponent);
+    for (std::size_t rb = 0; rb < config.num_rbs; ++rb) {
+      // Rayleigh amplitude with unit average power: |h|^2 ~ Exp(1).
+      const double amp = rng.rayleigh(1.0 / std::sqrt(2.0));
+      out.gain(u, rb) = pathloss * amp * amp / noise_w;
+    }
+  }
+}
+
+}  // namespace
+
+ChannelRealization make_channel_faded(const ChannelConfig& config,
+                                      const Vec& distances,
+                                      std::uint64_t fade_seed) {
+  if (distances.size() != config.num_users)
+    throw std::invalid_argument("make_channel_faded: distance count mismatch");
+  num::Rng rng(fade_seed);
+  ChannelRealization out;
+  out.gain = Matrix(config.num_users, config.num_rbs);
+  out.user_distance_m = distances;
+  fill_gains(config, distances, rng, out);
+  return out;
+}
+
+ChannelRealization make_channel(const ChannelConfig& config) {
+  num::Rng rng(config.seed);
+  ChannelRealization out;
+  out.gain = Matrix(config.num_users, config.num_rbs);
+  out.user_distance_m.resize(config.num_users);
+
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    // Uniform over the cell area: d = R * sqrt(U(0,1)), floored.
+    out.user_distance_m[u] = std::max(
+        config.min_distance_m,
+        config.cell_radius_m * std::sqrt(rng.uniform(0.0, 1.0)));
+  }
+  fill_gains(config, out.user_distance_m, rng, out);
+  return out;
+}
+
+}  // namespace rcr::qos

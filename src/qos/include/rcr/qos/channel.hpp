@@ -1,0 +1,50 @@
+// OFDM channel model for the 5G QoS problems of Sec. I: per-user, per-
+// resource-block channel gains from log-distance path loss with Rayleigh
+// fading, normalized by noise power.  Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::qos {
+
+using num::Matrix;
+
+/// Scenario parameters.
+struct ChannelConfig {
+  std::size_t num_users = 4;
+  std::size_t num_rbs = 8;        ///< Frequency-time resource blocks.
+  double cell_radius_m = 500.0;
+  double min_distance_m = 35.0;
+  double pathloss_exponent = 3.5;
+  double reference_gain_db = -30.0;  ///< Gain at 1 m.
+  double noise_power_dbm = -100.0;
+  std::uint64_t seed = 1;
+};
+
+/// Channel realization: normalized gains g(u, rb) such that a transmit power
+/// p (in watts) on RB rb for user u yields SNR = p * g(u, rb).
+struct ChannelRealization {
+  Matrix gain;         ///< num_users x num_rbs, linear scale.
+  Vec user_distance_m; ///< Drawn distances.
+
+  std::size_t num_users() const { return gain.rows(); }
+  std::size_t num_rbs() const { return gain.cols(); }
+};
+
+/// Draw a channel realization (distances and fading together).
+ChannelRealization make_channel(const ChannelConfig& config);
+
+/// Redraw only the fast fading for fixed user distances (slow path loss);
+/// used by the multi-slot RRM scheduler so users keep their geometry.
+/// Throws std::invalid_argument when distances.size() != num_users.
+ChannelRealization make_channel_faded(const ChannelConfig& config,
+                                      const Vec& distances,
+                                      std::uint64_t fade_seed);
+
+/// Shannon spectral efficiency log2(1 + snr) in bit/s/Hz.
+double spectral_efficiency(double snr);
+
+}  // namespace rcr::qos

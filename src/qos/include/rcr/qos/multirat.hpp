@@ -1,0 +1,58 @@
+// Multi-RAT (Radio Access Technology) selection (Sec. I): assign users to
+// RATs "each with its own QoS requirements" -- a capacity-constrained
+// assignment MINLP.
+//
+//   maximize   sum_u utility(u, rat_u)
+//   subject to |{u : rat_u = r}| <= capacity_r
+//              latency(u, rat_u) <= latency_budget_u
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::qos {
+
+/// Problem data for multi-RAT selection.
+struct MultiRatProblem {
+  num::Matrix rate;      ///< users x RATs achievable rate.
+  num::Matrix latency;   ///< users x RATs latency (ms).
+  std::vector<std::size_t> capacity;  ///< Per-RAT connection capacity.
+  Vec latency_budget;    ///< Per-user latency requirement (ms).
+
+  std::size_t num_users() const { return rate.rows(); }
+  std::size_t num_rats() const { return rate.cols(); }
+  void validate() const;  ///< Throws std::invalid_argument on inconsistency.
+};
+
+/// A selection: one RAT index per user (or kUnassigned when dropped).
+inline constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+struct MultiRatSolution {
+  std::vector<std::size_t> rat_of_user;
+  double total_rate = 0.0;
+  std::size_t users_served = 0;
+  bool feasible = false;  ///< Capacities respected and latency budgets met
+                          ///< for every *served* user.
+};
+
+/// Random instance: eMBB-style wide-band RAT, URLLC-style low-latency RAT,
+/// legacy RAT; users drawn with mixed requirements.
+MultiRatProblem random_multirat(std::size_t users, std::uint64_t seed);
+
+/// Exact solver (branch and bound over users; exponential, for small
+/// instances).  `max_nodes` caps the search.
+MultiRatSolution solve_multirat_exact(const MultiRatProblem& problem,
+                                      std::size_t max_nodes = 2000000);
+
+/// Greedy: users in decreasing best-rate order take their best feasible RAT
+/// with remaining capacity.
+MultiRatSolution solve_multirat_greedy(const MultiRatProblem& problem);
+
+/// Evaluate a given selection.
+MultiRatSolution evaluate_selection(const MultiRatProblem& problem,
+                                    const std::vector<std::size_t>& selection);
+
+}  // namespace rcr::qos

@@ -1,0 +1,113 @@
+// Radio Resource Allocation -- the paper's flagship MINLP (Sec. I):
+// "optimally assigning frequency-time blocks (integer variables) to a number
+// of served connections while simultaneously determining the appropriate
+// transmit powers (continuous variables)".
+//
+//   maximize   sum_rb log2(1 + p_rb * g(a_rb, rb))
+//   subject to sum_rb p_rb <= P_max,  p_rb >= 0
+//              a_rb in {0..U-1}            (RB exclusivity)
+//              rate_u >= min_rate_u        (per-user QoS)
+//
+// Solvers: exact enumeration/branch-and-bound, continuous relaxation upper
+// bound, greedy max-gain, and integer-rounded PSO -- the E11 comparison set.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rcr/qos/channel.hpp"
+
+namespace rcr::qos {
+
+/// Problem data.
+struct RraProblem {
+  Matrix gain;          ///< users x RBs normalized channel gains.
+  double total_power = 1.0;   ///< P_max (watts).
+  Vec min_rate;         ///< Per-user minimum sum rate (bit/s/Hz); may be 0.
+
+  std::size_t num_users() const { return gain.rows(); }
+  std::size_t num_rbs() const { return gain.cols(); }
+  void validate() const;  ///< Throws std::invalid_argument on inconsistency.
+};
+
+/// RB-to-user assignment (one user index per RB).
+using Assignment = std::vector<std::size_t>;
+
+/// A complete solution.
+struct RraSolution {
+  Assignment assignment;
+  Vec power;            ///< Per-RB transmit power.
+  double sum_rate = 0.0;
+  Vec user_rate;        ///< Achieved per-user rates.
+  bool feasible = false;  ///< All QoS minima met.
+  std::size_t nodes_explored = 0;  ///< Exact solver accounting.
+};
+
+/// Water-filling over the RBs of a fixed assignment: maximize sum rate
+/// subject to the power budget only (no per-user minima).  Gains must be
+/// positive; zero-gain RBs receive no power.
+Vec waterfill(const Vec& gains, double total_power);
+
+/// Two-phase power allocation for a fixed assignment: first the minimum
+/// power meeting each user's QoS floor (on that user's best assigned RBs),
+/// then water-filling of the residual budget.  Returns std::nullopt when the
+/// QoS floors alone exceed the budget.
+std::optional<Vec> qos_power_allocation(const RraProblem& problem,
+                                        const Assignment& assignment);
+
+/// Evaluate a (possibly infeasible) assignment with QoS-aware powers.
+RraSolution evaluate_assignment(const RraProblem& problem,
+                                const Assignment& assignment);
+
+/// Exact solver: depth-first branch-and-bound over assignments with an
+/// optimistic bound (best-gain relaxation) for pruning.
+/// Throws std::invalid_argument when users^RBs would overflow the budget
+/// of `max_nodes`... the search simply reports the best found with
+/// `nodes_explored` == max_nodes when the budget is hit.
+RraSolution solve_exact(const RraProblem& problem,
+                        std::size_t max_nodes = 2000000);
+
+/// Continuous relaxation upper bound: every RB served by its best-gain user,
+/// QoS minima dropped, water-filled power.  Always >= the exact optimum.
+double relaxation_upper_bound(const RraProblem& problem);
+
+/// Greedy baseline: each RB to its best-gain user, equal power split, then a
+/// repair pass that reassigns RBs toward QoS-violating users.
+RraSolution solve_greedy(const RraProblem& problem);
+
+/// Minimum transmit power that meets every user's QoS floor under a fixed
+/// assignment (Sec. I's "without excessive allocation of network
+/// resources"); std::nullopt when some constrained user holds no RB.
+std::optional<double> minimum_power_for_qos(const RraProblem& problem,
+                                            const Assignment& assignment);
+
+/// Power-minimization outcome.
+struct MinPowerSolution {
+  Assignment assignment;
+  double power = 0.0;          ///< Total transmit power needed.
+  bool feasible = false;       ///< A serving assignment exists.
+  std::size_t nodes_explored = 0;
+};
+
+/// Exact assignment search minimizing the total power that meets the QoS
+/// floors (ignores the budget; compare the result against total_power to
+/// decide admission).
+MinPowerSolution solve_min_power_exact(const RraProblem& problem,
+                                       std::size_t max_nodes = 2000000);
+
+/// Greedy baseline: each user takes its strongest RBs round-robin.
+MinPowerSolution solve_min_power_greedy(const RraProblem& problem);
+
+/// PSO-based solver (integer-rounded particles over the assignment vector,
+/// penalized QoS violations) -- the paper's MINLP-via-PSO route.
+struct RraPsoOptions {
+  std::size_t swarm_size = 24;
+  std::size_t max_iterations = 120;
+  double qos_penalty = 50.0;  ///< Scaled by the relaxation bound internally.
+  std::uint64_t seed = 5;
+  bool adaptive_inertia = true;  ///< Adaptive-QP schedule vs constant 0.7.
+};
+RraSolution solve_pso(const RraProblem& problem,
+                      const RraPsoOptions& options = {});
+
+}  // namespace rcr::qos

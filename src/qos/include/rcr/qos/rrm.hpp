@@ -1,0 +1,57 @@
+// Radio Resource Management across time (Sec. I): a multi-slot scheduler
+// serving "connections with varied QoS requirements".
+//
+// Each slot, every resource block goes to one user according to the policy;
+// rates follow the per-slot fading realization.  Policies:
+//  - max-rate (spectral-efficiency-greedy, starves cell-edge users),
+//  - round-robin (fair in slots, wasteful in rate),
+//  - proportional fair (the production default: marginal rate over average
+//    throughput), and
+//  - QoS-aware PF: PF weight boosted for users below their GBR floor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rcr/qos/channel.hpp"
+
+namespace rcr::qos {
+
+/// Scheduling policy.
+enum class SchedulerPolicy { kMaxRate, kRoundRobin, kProportionalFair,
+                             kQosProportionalFair };
+
+std::string to_string(SchedulerPolicy p);
+
+/// Scenario configuration.
+struct RrmConfig {
+  std::size_t num_users = 4;
+  std::size_t num_rbs = 8;
+  std::size_t num_slots = 200;
+  double power_per_rb = 0.125;       ///< Fixed per-RB transmit power (W).
+  Vec gbr;                           ///< Guaranteed bit rate per user
+                                     ///< (bit/s/Hz, averaged); may be empty.
+  double pf_smoothing = 0.05;        ///< EWMA factor for average throughput.
+  double qos_boost = 4.0;            ///< Weight multiplier below the GBR.
+  std::uint64_t seed = 1;
+  ChannelConfig channel;             ///< num_users/num_rbs overridden.
+};
+
+/// Scheduler outcome.
+struct RrmReport {
+  Vec mean_rate;                 ///< Per-user average rate over the run.
+  double cell_throughput = 0.0;  ///< Sum of mean rates.
+  double jain_fairness = 0.0;    ///< Jain's index over mean rates, in (0,1].
+  std::size_t gbr_violations = 0;  ///< Users below their GBR at the end.
+  std::vector<std::size_t> slots_served;  ///< Slots in which each user got
+                                          ///< at least one RB.
+};
+
+/// Run the scheduler for the configured number of slots.
+/// Throws std::invalid_argument on inconsistent configuration.
+RrmReport run_scheduler(const RrmConfig& config, SchedulerPolicy policy);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+double jain_index(const Vec& x);
+
+}  // namespace rcr::qos

@@ -1,0 +1,52 @@
+// Network-slicing admission control across the three 5G service categories
+// (eMBB / URLLC / mMTC, Sec. I): requests ask for resource blocks; admit a
+// subset maximizing utility under the RB budget -- an exact-DP-solvable
+// knapsack with per-class QoS weighting, plus the greedy baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::qos {
+
+/// 5G service categories.
+enum class ServiceClass { kEmbb, kUrllc, kMmtc };
+
+std::string to_string(ServiceClass c);
+
+/// One slice request.
+struct SliceRequest {
+  ServiceClass service = ServiceClass::kEmbb;
+  std::size_t rb_demand = 1;   ///< Resource blocks required.
+  double utility = 1.0;        ///< Operator value when admitted.
+};
+
+/// Admission problem: requests against a total RB budget.
+struct SlicingProblem {
+  std::vector<SliceRequest> requests;
+  std::size_t rb_budget = 0;
+};
+
+/// Admission decision.
+struct SlicingSolution {
+  std::vector<bool> admitted;
+  double total_utility = 0.0;
+  std::size_t rbs_used = 0;
+  std::size_t admitted_count = 0;
+};
+
+/// Random workload: URLLC requests are small but high-utility (reliability
+/// premium), eMBB large and moderately valued, mMTC tiny and cheap.
+SlicingProblem random_slicing(std::size_t requests, std::size_t rb_budget,
+                              std::uint64_t seed);
+
+/// Exact 0/1-knapsack dynamic program (pseudo-polynomial in rb_budget).
+SlicingSolution solve_slicing_exact(const SlicingProblem& problem);
+
+/// Greedy by utility-per-RB density.
+SlicingSolution solve_slicing_greedy(const SlicingProblem& problem);
+
+}  // namespace rcr::qos

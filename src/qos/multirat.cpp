@@ -1,0 +1,172 @@
+#include "rcr/qos/multirat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rcr::qos {
+
+void MultiRatProblem::validate() const {
+  if (rate.empty()) throw std::invalid_argument("MultiRatProblem: empty rate");
+  if (latency.rows() != rate.rows() || latency.cols() != rate.cols())
+    throw std::invalid_argument("MultiRatProblem: latency shape mismatch");
+  if (capacity.size() != rate.cols())
+    throw std::invalid_argument("MultiRatProblem: capacity size mismatch");
+  if (latency_budget.size() != rate.rows())
+    throw std::invalid_argument("MultiRatProblem: budget size mismatch");
+}
+
+MultiRatProblem random_multirat(std::size_t users, std::uint64_t seed) {
+  num::Rng rng(seed);
+  MultiRatProblem p;
+  const std::size_t rats = 3;
+  p.rate = num::Matrix(users, rats);
+  p.latency = num::Matrix(users, rats);
+  p.capacity = {std::max<std::size_t>(1, users / 2),
+                std::max<std::size_t>(1, users / 3),
+                users};  // legacy RAT never runs out
+  p.latency_budget.resize(users);
+
+  for (std::size_t u = 0; u < users; ++u) {
+    // RAT 0: eMBB millimeter-wave -- high rate, moderate latency.
+    p.rate(u, 0) = rng.uniform(80.0, 150.0);
+    p.latency(u, 0) = rng.uniform(8.0, 20.0);
+    // RAT 1: URLLC slice -- modest rate, very low latency.
+    p.rate(u, 1) = rng.uniform(10.0, 30.0);
+    p.latency(u, 1) = rng.uniform(0.5, 2.0);
+    // RAT 2: legacy wide-area -- low rate, high latency.
+    p.rate(u, 2) = rng.uniform(5.0, 15.0);
+    p.latency(u, 2) = rng.uniform(25.0, 60.0);
+    // A third of users are latency-critical.
+    p.latency_budget[u] = (u % 3 == 0) ? rng.uniform(1.5, 5.0)
+                                       : rng.uniform(20.0, 80.0);
+  }
+  return p;
+}
+
+MultiRatSolution evaluate_selection(
+    const MultiRatProblem& problem, const std::vector<std::size_t>& selection) {
+  MultiRatSolution sol;
+  sol.rat_of_user = selection;
+  sol.feasible = true;
+  std::vector<std::size_t> load(problem.num_rats(), 0);
+  for (std::size_t u = 0; u < selection.size(); ++u) {
+    const std::size_t r = selection[u];
+    if (r == kUnassigned) continue;
+    if (r >= problem.num_rats())
+      throw std::invalid_argument("evaluate_selection: RAT index out of range");
+    ++load[r];
+    ++sol.users_served;
+    sol.total_rate += problem.rate(u, r);
+    if (problem.latency(u, r) > problem.latency_budget[u]) sol.feasible = false;
+  }
+  for (std::size_t r = 0; r < problem.num_rats(); ++r)
+    if (load[r] > problem.capacity[r]) sol.feasible = false;
+  return sol;
+}
+
+namespace {
+
+struct RatSearch {
+  const MultiRatProblem& problem;
+  std::size_t max_nodes;
+  std::vector<std::size_t> load;
+  std::vector<std::size_t> current;
+  MultiRatSolution best;
+  std::size_t nodes = 0;
+  double best_possible_rest = 0.0;  // unused placeholder for clarity
+
+  void dfs(std::size_t user, double rate_so_far, std::size_t served_so_far) {
+    if (nodes >= max_nodes) return;
+    if (user == problem.num_users()) {
+      ++nodes;
+      if (rate_so_far > best.total_rate ||
+          (best.rat_of_user.empty() && best.users_served == 0)) {
+        best.rat_of_user = current;
+        best.total_rate = rate_so_far;
+        best.users_served = served_so_far;
+        best.feasible = true;  // construction maintains feasibility
+      }
+      return;
+    }
+    // Optimistic bound: every remaining user gets its best feasible rate.
+    double bound = rate_so_far;
+    for (std::size_t v = user; v < problem.num_users(); ++v) {
+      double b = 0.0;
+      for (std::size_t r = 0; r < problem.num_rats(); ++r)
+        if (problem.latency(v, r) <= problem.latency_budget[v])
+          b = std::max(b, problem.rate(v, r));
+      bound += b;
+    }
+    if (bound <= best.total_rate) return;
+
+    for (std::size_t r = 0; r < problem.num_rats(); ++r) {
+      if (load[r] >= problem.capacity[r]) continue;
+      if (problem.latency(user, r) > problem.latency_budget[user]) continue;
+      ++load[r];
+      current[user] = r;
+      dfs(user + 1, rate_so_far + problem.rate(user, r), served_so_far + 1);
+      --load[r];
+      if (nodes >= max_nodes) return;
+    }
+    // Option: drop the user.
+    current[user] = kUnassigned;
+    dfs(user + 1, rate_so_far, served_so_far);
+    current[user] = kUnassigned;
+  }
+};
+
+}  // namespace
+
+MultiRatSolution solve_multirat_exact(const MultiRatProblem& problem,
+                                      std::size_t max_nodes) {
+  problem.validate();
+  RatSearch search{problem,
+                   max_nodes,
+                   std::vector<std::size_t>(problem.num_rats(), 0),
+                   std::vector<std::size_t>(problem.num_users(), kUnassigned),
+                   MultiRatSolution{},
+                   0,
+                   0.0};
+  search.dfs(0, 0.0, 0);
+  return search.best;
+}
+
+MultiRatSolution solve_multirat_greedy(const MultiRatProblem& problem) {
+  problem.validate();
+  std::vector<std::size_t> order(problem.num_users());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    auto best = [&](std::size_t u) {
+      double v = 0.0;
+      for (std::size_t r = 0; r < problem.num_rats(); ++r)
+        if (problem.latency(u, r) <= problem.latency_budget[u])
+          v = std::max(v, problem.rate(u, r));
+      return v;
+    };
+    return best(a) > best(b);
+  });
+
+  std::vector<std::size_t> selection(problem.num_users(), kUnassigned);
+  std::vector<std::size_t> load(problem.num_rats(), 0);
+  for (std::size_t u : order) {
+    double best_rate = -1.0;
+    std::size_t best_rat = kUnassigned;
+    for (std::size_t r = 0; r < problem.num_rats(); ++r) {
+      if (load[r] >= problem.capacity[r]) continue;
+      if (problem.latency(u, r) > problem.latency_budget[u]) continue;
+      if (problem.rate(u, r) > best_rate) {
+        best_rate = problem.rate(u, r);
+        best_rat = r;
+      }
+    }
+    if (best_rat != kUnassigned) {
+      selection[u] = best_rat;
+      ++load[best_rat];
+    }
+  }
+  return evaluate_selection(problem, selection);
+}
+
+}  // namespace rcr::qos

@@ -1,0 +1,449 @@
+#include "rcr/qos/rra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rcr/pso/swarm.hpp"
+
+namespace rcr::qos {
+
+void RraProblem::validate() const {
+  if (gain.empty()) throw std::invalid_argument("RraProblem: empty gain matrix");
+  if (min_rate.size() != gain.rows())
+    throw std::invalid_argument("RraProblem: min_rate size != users");
+  if (total_power <= 0.0)
+    throw std::invalid_argument("RraProblem: non-positive power budget");
+  for (double g : gain.data())
+    if (g < 0.0) throw std::invalid_argument("RraProblem: negative gain");
+}
+
+Vec waterfill(const Vec& gains, double total_power) {
+  // p_i = max(0, mu - 1/g_i) with mu chosen so sum p_i = total_power.
+  Vec p(gains.size(), 0.0);
+  double inv_min = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (double g : gains) {
+    if (g > 0.0) {
+      any = true;
+      inv_min = std::min(inv_min, 1.0 / g);
+    }
+  }
+  if (!any || total_power <= 0.0) return p;
+
+  auto used = [&](double mu) {
+    double acc = 0.0;
+    for (double g : gains)
+      if (g > 0.0) acc += std::max(0.0, mu - 1.0 / g);
+    return acc;
+  };
+  double lo = inv_min;
+  double hi = inv_min + total_power + 1.0;
+  while (used(hi) < total_power) hi *= 2.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (used(mid) < total_power) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  for (std::size_t i = 0; i < gains.size(); ++i)
+    if (gains[i] > 0.0) p[i] = std::max(0.0, hi - 1.0 / gains[i]);
+  return p;
+}
+
+namespace {
+
+// Minimal-power water level for a user to reach `target_rate` on the RBs
+// with the given gains; returns the per-RB powers.  Infinite cost when the
+// user has no usable RB.
+std::optional<Vec> min_power_for_rate(const Vec& gains, double target_rate) {
+  bool any = false;
+  for (double g : gains)
+    if (g > 0.0) any = true;
+  if (!any) return std::nullopt;
+  if (target_rate <= 0.0) return Vec(gains.size(), 0.0);
+
+  auto rate_at = [&](double mu) {
+    double acc = 0.0;
+    for (double g : gains)
+      if (g > 0.0) {
+        const double p = std::max(0.0, mu - 1.0 / g);
+        acc += std::log2(1.0 + p * g);
+      }
+    return acc;
+  };
+  double lo = 0.0;
+  double hi = 1.0;
+  while (rate_at(hi) < target_rate && hi < 1e12) hi *= 2.0;
+  if (rate_at(hi) < target_rate) return std::nullopt;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (rate_at(mid) < target_rate) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  Vec p(gains.size(), 0.0);
+  for (std::size_t i = 0; i < gains.size(); ++i)
+    if (gains[i] > 0.0) p[i] = std::max(0.0, hi - 1.0 / gains[i]);
+  return p;
+}
+
+}  // namespace
+
+std::optional<Vec> qos_power_allocation(const RraProblem& problem,
+                                        const Assignment& assignment) {
+  const std::size_t n_rb = problem.num_rbs();
+  Vec power(n_rb, 0.0);
+  double spent = 0.0;
+
+  // Phase 1: minimum power per QoS-constrained user on its own RBs.
+  for (std::size_t u = 0; u < problem.num_users(); ++u) {
+    if (problem.min_rate[u] <= 0.0) continue;
+    Vec gains(n_rb, 0.0);
+    bool has_rb = false;
+    for (std::size_t rb = 0; rb < n_rb; ++rb)
+      if (assignment[rb] == u) {
+        gains[rb] = problem.gain(u, rb);
+        has_rb = true;
+      }
+    if (!has_rb) return std::nullopt;
+    const auto p_min = min_power_for_rate(gains, problem.min_rate[u]);
+    if (!p_min) return std::nullopt;
+    for (std::size_t rb = 0; rb < n_rb; ++rb) {
+      power[rb] += (*p_min)[rb];
+      spent += (*p_min)[rb];
+    }
+  }
+  if (spent > problem.total_power * (1.0 + 1e-9)) return std::nullopt;
+
+  // Phase 2: water-fill the residual budget over all RBs, starting from the
+  // phase-1 powers: q_rb = max(0, mu - (1/g + p0)).
+  const double residual = problem.total_power - spent;
+  if (residual > 0.0) {
+    Vec offset_inv(n_rb, std::numeric_limits<double>::infinity());
+    for (std::size_t rb = 0; rb < n_rb; ++rb) {
+      const double g = problem.gain(assignment[rb], rb);
+      if (g > 0.0) offset_inv[rb] = 1.0 / g + power[rb];
+    }
+    auto used = [&](double mu) {
+      double acc = 0.0;
+      for (double o : offset_inv)
+        if (std::isfinite(o)) acc += std::max(0.0, mu - o);
+      return acc;
+    };
+    double lo = 0.0;
+    double hi = residual + 1.0;
+    for (double o : offset_inv)
+      if (std::isfinite(o)) hi = std::max(hi, o + residual);
+    for (int it = 0; it < 200; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (used(mid) < residual) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    for (std::size_t rb = 0; rb < n_rb; ++rb)
+      if (std::isfinite(offset_inv[rb]))
+        power[rb] += std::max(0.0, hi - offset_inv[rb]);
+  }
+  return power;
+}
+
+RraSolution evaluate_assignment(const RraProblem& problem,
+                                const Assignment& assignment) {
+  RraSolution sol;
+  sol.assignment = assignment;
+  auto power = qos_power_allocation(problem, assignment);
+  if (!power) {
+    // QoS-infeasible assignment: fall back to plain water-filling so the
+    // solution still reports an achieved rate.
+    Vec gains(problem.num_rbs());
+    for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)
+      gains[rb] = problem.gain(assignment[rb], rb);
+    sol.power = waterfill(gains, problem.total_power);
+  } else {
+    sol.power = *power;
+  }
+
+  sol.user_rate.assign(problem.num_users(), 0.0);
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb) {
+    const std::size_t u = assignment[rb];
+    sol.user_rate[u] +=
+        std::log2(1.0 + sol.power[rb] * problem.gain(u, rb));
+  }
+  sol.sum_rate = 0.0;
+  for (double r : sol.user_rate) sol.sum_rate += r;
+  sol.feasible = power.has_value();
+  for (std::size_t u = 0; u < problem.num_users(); ++u)
+    if (sol.user_rate[u] < problem.min_rate[u] - 1e-9) sol.feasible = false;
+  return sol;
+}
+
+double relaxation_upper_bound(const RraProblem& problem) {
+  Vec best_gain(problem.num_rbs(), 0.0);
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)
+    for (std::size_t u = 0; u < problem.num_users(); ++u)
+      best_gain[rb] = std::max(best_gain[rb], problem.gain(u, rb));
+  const Vec p = waterfill(best_gain, problem.total_power);
+  double rate = 0.0;
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)
+    rate += std::log2(1.0 + p[rb] * best_gain[rb]);
+  return rate;
+}
+
+namespace {
+
+struct ExactSearch {
+  const RraProblem& problem;
+  std::size_t max_nodes;
+  Vec best_gain_per_rb;          // for the optimistic bound
+  RraSolution best;              // best feasible (or best overall)
+  bool have_feasible = false;
+  std::size_t nodes = 0;
+  Assignment current;
+
+  double optimistic_bound() const {
+    // Each RB could get the whole budget on the best remaining gain: a valid
+    // (loose) upper bound on the total achievable rate of any completion.
+    double ub = 0.0;
+    for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb) {
+      const double g = rb < current.size()
+                           ? problem.gain(current[rb], rb)
+                           : best_gain_per_rb[rb];
+      ub += std::log2(1.0 + problem.total_power * g);
+    }
+    return ub;
+  }
+
+  void dfs() {
+    if (nodes >= max_nodes) return;
+    if (current.size() == problem.num_rbs()) {
+      ++nodes;
+      RraSolution sol = evaluate_assignment(problem, current);
+      const bool better =
+          (sol.feasible && !have_feasible) ||
+          (sol.feasible == have_feasible && sol.sum_rate > best.sum_rate) ||
+          best.assignment.empty();
+      if (better && (sol.feasible || !have_feasible)) {
+        best = sol;
+        have_feasible = have_feasible || sol.feasible;
+      }
+      return;
+    }
+    if (have_feasible && optimistic_bound() <= best.sum_rate) return;  // prune
+    for (std::size_t u = 0; u < problem.num_users(); ++u) {
+      current.push_back(u);
+      dfs();
+      current.pop_back();
+      if (nodes >= max_nodes) return;
+    }
+  }
+};
+
+}  // namespace
+
+RraSolution solve_exact(const RraProblem& problem, std::size_t max_nodes) {
+  problem.validate();
+  ExactSearch search{problem, max_nodes, Vec(problem.num_rbs(), 0.0),
+                     RraSolution{}, false, 0, {}};
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)
+    for (std::size_t u = 0; u < problem.num_users(); ++u)
+      search.best_gain_per_rb[rb] =
+          std::max(search.best_gain_per_rb[rb], problem.gain(u, rb));
+  search.dfs();
+  search.best.nodes_explored = search.nodes;
+  return search.best;
+}
+
+RraSolution solve_greedy(const RraProblem& problem) {
+  problem.validate();
+  Assignment assignment(problem.num_rbs(), 0);
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb) {
+    std::size_t best_u = 0;
+    for (std::size_t u = 1; u < problem.num_users(); ++u)
+      if (problem.gain(u, rb) > problem.gain(best_u, rb)) best_u = u;
+    assignment[rb] = best_u;
+  }
+  RraSolution sol = evaluate_assignment(problem, assignment);
+
+  // Repair pass: hand RBs to QoS-starved users (best relative gain first).
+  for (int round = 0; round < 8 && !sol.feasible; ++round) {
+    bool changed = false;
+    for (std::size_t u = 0; u < problem.num_users(); ++u) {
+      if (sol.user_rate[u] >= problem.min_rate[u] - 1e-9) continue;
+      double best_ratio = -1.0;
+      std::size_t best_rb = 0;
+      for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb) {
+        if (assignment[rb] == u) continue;
+        const double owner_gain = problem.gain(assignment[rb], rb);
+        const double ratio =
+            problem.gain(u, rb) / std::max(owner_gain, 1e-30);
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_rb = rb;
+        }
+      }
+      if (best_ratio >= 0.0) {
+        assignment[best_rb] = u;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    sol = evaluate_assignment(problem, assignment);
+  }
+  return sol;
+}
+
+std::optional<double> minimum_power_for_qos(const RraProblem& problem,
+                                            const Assignment& assignment) {
+  const std::size_t n_rb = problem.num_rbs();
+  double total = 0.0;
+  for (std::size_t u = 0; u < problem.num_users(); ++u) {
+    if (problem.min_rate[u] <= 0.0) continue;
+    Vec gains(n_rb, 0.0);
+    bool has_rb = false;
+    for (std::size_t rb = 0; rb < n_rb; ++rb)
+      if (assignment[rb] == u) {
+        gains[rb] = problem.gain(u, rb);
+        has_rb = true;
+      }
+    if (!has_rb) return std::nullopt;
+    const auto p_min = min_power_for_rate(gains, problem.min_rate[u]);
+    if (!p_min) return std::nullopt;
+    for (double p : *p_min) total += p;
+  }
+  return total;
+}
+
+namespace {
+
+struct MinPowerSearch {
+  const RraProblem& problem;
+  std::size_t max_nodes;
+  MinPowerSolution best;
+  std::size_t nodes = 0;
+  Assignment current;
+
+  void dfs() {
+    if (nodes >= max_nodes) return;
+    if (current.size() == problem.num_rbs()) {
+      ++nodes;
+      const auto power = minimum_power_for_qos(problem, current);
+      if (power && (!best.feasible || *power < best.power)) {
+        best.feasible = true;
+        best.power = *power;
+        best.assignment = current;
+      }
+      return;
+    }
+    for (std::size_t u = 0; u < problem.num_users(); ++u) {
+      current.push_back(u);
+      dfs();
+      current.pop_back();
+      if (nodes >= max_nodes) return;
+    }
+  }
+};
+
+}  // namespace
+
+MinPowerSolution solve_min_power_exact(const RraProblem& problem,
+                                       std::size_t max_nodes) {
+  problem.validate();
+  MinPowerSearch search{problem, max_nodes, MinPowerSolution{}, 0, {}};
+  search.dfs();
+  search.best.nodes_explored = search.nodes;
+  return search.best;
+}
+
+MinPowerSolution solve_min_power_greedy(const RraProblem& problem) {
+  problem.validate();
+  const std::size_t n_rb = problem.num_rbs();
+  const std::size_t users = problem.num_users();
+
+  // Round-robin over users; each pick takes the user's strongest free RB.
+  Assignment assignment(n_rb, 0);
+  std::vector<bool> taken(n_rb, false);
+  std::size_t assigned = 0;
+  while (assigned < n_rb) {
+    for (std::size_t u = 0; u < users && assigned < n_rb; ++u) {
+      double best_gain = -1.0;
+      std::size_t best_rb = 0;
+      for (std::size_t rb = 0; rb < n_rb; ++rb)
+        if (!taken[rb] && problem.gain(u, rb) > best_gain) {
+          best_gain = problem.gain(u, rb);
+          best_rb = rb;
+        }
+      if (best_gain >= 0.0) {
+        assignment[best_rb] = u;
+        taken[best_rb] = true;
+        ++assigned;
+      }
+    }
+  }
+
+  MinPowerSolution sol;
+  sol.assignment = assignment;
+  const auto power = minimum_power_for_qos(problem, assignment);
+  sol.feasible = power.has_value();
+  sol.power = power.value_or(0.0);
+  return sol;
+}
+
+RraSolution solve_pso(const RraProblem& problem, const RraPsoOptions& options) {
+  problem.validate();
+  const std::size_t n_rb = problem.num_rbs();
+  const auto users = static_cast<double>(problem.num_users());
+
+  pso::Objective objective;
+  objective.name = "rra";
+  objective.lower = Vec(n_rb, 0.0);
+  objective.upper = Vec(n_rb, users - 1.0);
+  objective.optimum = Vec(n_rb, 0.0);
+  objective.optimum_value = -1e30;  // unknown; unused by the solver
+  // Scale the QoS penalty by the achievable rate so no feasible solution is
+  // ever dominated by an infeasible one with a slightly higher raw rate.
+  const double penalty_scale =
+      options.qos_penalty * (1.0 + relaxation_upper_bound(problem));
+  objective.value = [&problem, penalty_scale](const Vec& x) {
+    Assignment a(x.size());
+    for (std::size_t rb = 0; rb < x.size(); ++rb)
+      a[rb] = static_cast<std::size_t>(
+          std::clamp(std::llround(x[rb]), 0ll,
+                     static_cast<long long>(problem.num_users() - 1)));
+    const RraSolution sol = evaluate_assignment(problem, a);
+    double penalty = 0.0;
+    for (std::size_t u = 0; u < problem.num_users(); ++u)
+      penalty += std::max(0.0, problem.min_rate[u] - sol.user_rate[u]);
+    return -sol.sum_rate + penalty_scale * penalty;
+  };
+
+  pso::PsoConfig config;
+  config.swarm_size = options.swarm_size;
+  config.max_iterations = options.max_iterations;
+  config.rounding = pso::Rounding::kInteger;
+  config.seed = options.seed;
+  config.disperse_on_stagnation = true;
+
+  std::unique_ptr<pso::InertiaSchedule> schedule =
+      options.adaptive_inertia ? pso::adaptive_qp_inertia()
+                               : pso::constant_inertia(0.7);
+  const pso::PsoResult r = pso::minimize(objective, config, schedule.get());
+
+  Assignment a(n_rb);
+  for (std::size_t rb = 0; rb < n_rb; ++rb)
+    a[rb] = static_cast<std::size_t>(
+        std::clamp(std::llround(r.best_position[rb]), 0ll,
+                   static_cast<long long>(problem.num_users() - 1)));
+  RraSolution sol = evaluate_assignment(problem, a);
+  sol.nodes_explored = r.evaluations;
+  return sol;
+}
+
+}  // namespace rcr::qos

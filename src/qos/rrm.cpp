@@ -1,0 +1,120 @@
+#include "rcr/qos/rrm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::qos {
+
+std::string to_string(SchedulerPolicy p) {
+  switch (p) {
+    case SchedulerPolicy::kMaxRate:
+      return "max-rate";
+    case SchedulerPolicy::kRoundRobin:
+      return "round-robin";
+    case SchedulerPolicy::kProportionalFair:
+      return "proportional-fair";
+    case SchedulerPolicy::kQosProportionalFair:
+      return "qos-pf";
+  }
+  return "?";
+}
+
+double jain_index(const Vec& x) {
+  if (x.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+RrmReport run_scheduler(const RrmConfig& config, SchedulerPolicy policy) {
+  const std::size_t users = config.num_users;
+  const std::size_t rbs = config.num_rbs;
+  if (users == 0 || rbs == 0 || config.num_slots == 0)
+    throw std::invalid_argument("run_scheduler: empty scenario");
+  if (!config.gbr.empty() && config.gbr.size() != users)
+    throw std::invalid_argument("run_scheduler: gbr size mismatch");
+  if (config.power_per_rb <= 0.0)
+    throw std::invalid_argument("run_scheduler: non-positive power");
+
+  // Draw user geometry once; only the fast fading changes slot to slot.
+  ChannelConfig base = config.channel;
+  base.num_users = users;
+  base.num_rbs = rbs;
+  base.seed = config.seed;
+  const Vec distances = make_channel(base).user_distance_m;
+
+  Vec avg(users, 1e-6);  // EWMA throughput (avoid division by zero)
+  Vec total(users, 0.0);
+  std::vector<std::size_t> served(users, 0);
+  std::size_t rr_cursor = 0;
+
+  for (std::size_t slot = 0; slot < config.num_slots; ++slot) {
+    const ChannelRealization ch =
+        make_channel_faded(base, distances, config.seed + 1000 + slot);
+
+    Vec slot_rate(users, 0.0);
+    for (std::size_t rb = 0; rb < rbs; ++rb) {
+      std::size_t pick = 0;
+      switch (policy) {
+        case SchedulerPolicy::kMaxRate: {
+          for (std::size_t u = 1; u < users; ++u)
+            if (ch.gain(u, rb) > ch.gain(pick, rb)) pick = u;
+          break;
+        }
+        case SchedulerPolicy::kRoundRobin: {
+          pick = rr_cursor;
+          rr_cursor = (rr_cursor + 1) % users;
+          break;
+        }
+        case SchedulerPolicy::kProportionalFair:
+        case SchedulerPolicy::kQosProportionalFair: {
+          double best = -1.0;
+          for (std::size_t u = 0; u < users; ++u) {
+            const double inst = spectral_efficiency(
+                config.power_per_rb * ch.gain(u, rb));
+            double metric = inst / avg[u];
+            if (policy == SchedulerPolicy::kQosProportionalFair &&
+                !config.gbr.empty() && avg[u] < config.gbr[u]) {
+              metric *= config.qos_boost;
+            }
+            if (metric > best) {
+              best = metric;
+              pick = u;
+            }
+          }
+          break;
+        }
+      }
+      slot_rate[pick] +=
+          spectral_efficiency(config.power_per_rb * ch.gain(pick, rb));
+    }
+
+    for (std::size_t u = 0; u < users; ++u) {
+      if (slot_rate[u] > 0.0) ++served[u];
+      total[u] += slot_rate[u];
+      avg[u] = (1.0 - config.pf_smoothing) * avg[u] +
+               config.pf_smoothing * slot_rate[u];
+    }
+  }
+
+  RrmReport report;
+  report.mean_rate.resize(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    report.mean_rate[u] = total[u] / static_cast<double>(config.num_slots);
+    report.cell_throughput += report.mean_rate[u];
+  }
+  report.jain_fairness = jain_index(report.mean_rate);
+  if (!config.gbr.empty()) {
+    for (std::size_t u = 0; u < users; ++u)
+      if (report.mean_rate[u] < config.gbr[u]) ++report.gbr_violations;
+  }
+  report.slots_served = std::move(served);
+  return report;
+}
+
+}  // namespace rcr::qos

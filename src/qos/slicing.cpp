@@ -1,0 +1,113 @@
+#include "rcr/qos/slicing.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rcr::qos {
+
+std::string to_string(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kEmbb:
+      return "eMBB";
+    case ServiceClass::kUrllc:
+      return "URLLC";
+    case ServiceClass::kMmtc:
+      return "mMTC";
+  }
+  return "?";
+}
+
+SlicingProblem random_slicing(std::size_t requests, std::size_t rb_budget,
+                              std::uint64_t seed) {
+  num::Rng rng(seed);
+  SlicingProblem p;
+  p.rb_budget = rb_budget;
+  for (std::size_t i = 0; i < requests; ++i) {
+    SliceRequest r;
+    const int k = rng.uniform_int(0, 2);
+    if (k == 0) {
+      r.service = ServiceClass::kEmbb;
+      r.rb_demand = static_cast<std::size_t>(rng.uniform_int(6, 16));
+      r.utility = rng.uniform(4.0, 10.0);
+    } else if (k == 1) {
+      r.service = ServiceClass::kUrllc;
+      r.rb_demand = static_cast<std::size_t>(rng.uniform_int(2, 5));
+      r.utility = rng.uniform(5.0, 9.0);  // reliability premium
+    } else {
+      r.service = ServiceClass::kMmtc;
+      r.rb_demand = 1;
+      r.utility = rng.uniform(0.3, 1.2);
+    }
+    p.requests.push_back(r);
+  }
+  return p;
+}
+
+SlicingSolution solve_slicing_exact(const SlicingProblem& problem) {
+  const std::size_t n = problem.requests.size();
+  const std::size_t budget = problem.rb_budget;
+
+  // Classic 0/1 knapsack table with choice reconstruction.
+  std::vector<std::vector<double>> value(n + 1,
+                                         std::vector<double>(budget + 1, 0.0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    const SliceRequest& r = problem.requests[i - 1];
+    for (std::size_t b = 0; b <= budget; ++b) {
+      value[i][b] = value[i - 1][b];
+      if (r.rb_demand <= b) {
+        const double take = value[i - 1][b - r.rb_demand] + r.utility;
+        if (take > value[i][b]) value[i][b] = take;
+      }
+    }
+  }
+
+  // Standard reconstruction: item i was taken exactly when the table value
+  // changed between rows i and i+1 at the current budget.
+  SlicingSolution sol;
+  sol.admitted.assign(n, false);
+  std::size_t b = budget;
+  for (std::size_t i = n; i-- > 0;) {
+    if (value[i + 1][b] != value[i][b]) {
+      sol.admitted[i] = true;
+      b -= problem.requests[i].rb_demand;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sol.admitted[i]) {
+      sol.total_utility += problem.requests[i].utility;
+      sol.rbs_used += problem.requests[i].rb_demand;
+      ++sol.admitted_count;
+    }
+  }
+  return sol;
+}
+
+SlicingSolution solve_slicing_greedy(const SlicingProblem& problem) {
+  std::vector<std::size_t> order(problem.requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto density = [&](std::size_t i) {
+      return problem.requests[i].utility /
+             static_cast<double>(problem.requests[i].rb_demand);
+    };
+    return density(a) > density(b);
+  });
+
+  SlicingSolution sol;
+  sol.admitted.assign(problem.requests.size(), false);
+  std::size_t remaining = problem.rb_budget;
+  for (std::size_t i : order) {
+    const SliceRequest& r = problem.requests[i];
+    if (r.rb_demand <= remaining) {
+      sol.admitted[i] = true;
+      remaining -= r.rb_demand;
+      sol.total_utility += r.utility;
+      sol.rbs_used += r.rb_demand;
+      ++sol.admitted_count;
+    }
+  }
+  return sol;
+}
+
+}  // namespace rcr::qos

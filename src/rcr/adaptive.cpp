@@ -1,0 +1,63 @@
+#include "rcr/rcr/adaptive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::core {
+
+Vec solve_inertia_qp_closed_form(const InertiaQpInstance& instance) {
+  if (instance.velocity_norm.size() != instance.dist_to_gbest.size())
+    throw std::invalid_argument("InertiaQpInstance: size mismatch");
+  Vec w(instance.velocity_norm.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = pso::AdaptiveQpInertia::solve_scalar_qp(
+        instance.velocity_norm[i], instance.dist_to_gbest[i], instance.w_ref,
+        instance.lambda, instance.w_min, instance.w_max);
+  return w;
+}
+
+Vec solve_inertia_qp_barrier(const InertiaQpInstance& instance) {
+  const std::size_t n = instance.velocity_norm.size();
+  if (n != instance.dist_to_gbest.size())
+    throw std::invalid_argument("InertiaQpInstance: size mismatch");
+
+  // The batch problem is separable, and the objective expands to
+  //   sum_i (v_i^2 + lambda) w_i^2 - 2 (v_i d_i + lambda w_ref) w_i + const,
+  // i.e. a diagonal convex QP with box constraints -> barrier solver.
+  opt::Qp qp;
+  qp.p = opt::Matrix(n, n);
+  qp.q.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = instance.velocity_norm[i];
+    const double d = instance.dist_to_gbest[i];
+    qp.p(i, i) = 2.0 * (v * v + instance.lambda);
+    qp.q[i] = -2.0 * (v * d + instance.lambda * instance.w_ref);
+  }
+  // Box: w <= w_max and -w <= -w_min.
+  qp.g = opt::Matrix(2 * n, n);
+  qp.h.assign(2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    qp.g(i, i) = 1.0;
+    qp.h[i] = instance.w_max;
+    qp.g(n + i, i) = -1.0;
+    qp.h[n + i] = -instance.w_min;
+  }
+
+  // The reference weight is strictly interior, so it is a valid start.
+  const Vec start(n, 0.5 * (instance.w_min + instance.w_max));
+  const opt::QcqpResult r = opt::solve_qp(qp, start);
+  if (!r.converged)
+    throw std::runtime_error("solve_inertia_qp_barrier: " + r.message);
+  return r.x;
+}
+
+double inertia_qp_consistency(const InertiaQpInstance& instance) {
+  const Vec a = solve_inertia_qp_closed_form(instance);
+  const Vec b = solve_inertia_qp_barrier(instance);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace rcr::core

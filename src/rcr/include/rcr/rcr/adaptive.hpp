@@ -1,0 +1,40 @@
+// Phase 3 of the RCR stack: adaptive inertial weighting as a convex
+// optimization problem (the paper's "M-GNU-O accelerant", Secs. II-A-2 and
+// III).  The per-particle weight QP
+//
+//   min_w  (w v - d)^2 + lambda (w - w_ref)^2   s.t.  w_min <= w <= w_max
+//
+// is solved two ways: the closed-form clamped ridge estimate used inside the
+// PSO loop (pso::AdaptiveQpInertia) and the general-purpose barrier QP solver
+// (opt::solve_qp).  Keeping both wired together lets the tests and the E12
+// bench certify that the fast path solves the *same* convex program the
+// paper frames -- the "succession of convex optimization problems" claim.
+#pragma once
+
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/pso/inertia.hpp"
+
+namespace rcr::core {
+
+/// Inertia-QP instance for a batch of particles.
+struct InertiaQpInstance {
+  Vec velocity_norm;   ///< v_i per particle.
+  Vec dist_to_gbest;   ///< d_i per particle.
+  double w_ref = 0.7;
+  double lambda = 0.5;
+  double w_min = 0.3;
+  double w_max = 1.4;
+};
+
+/// Closed-form per-particle solution (what the PSO loop uses).
+Vec solve_inertia_qp_closed_form(const InertiaQpInstance& instance);
+
+/// The same QP solved by the general barrier method (reference/cross-check);
+/// returns the per-particle weights.
+Vec solve_inertia_qp_barrier(const InertiaQpInstance& instance);
+
+/// Max |closed_form - barrier| over the batch (the M-GNU-O consistency
+/// check the tests assert on).
+double inertia_qp_consistency(const InertiaQpInstance& instance);
+
+}  // namespace rcr::core

@@ -1,0 +1,88 @@
+// The RCR architectural stack (paper Fig. 1): three mutually enabling
+// phases orchestrated end to end.
+//
+//   Phase 3  adaptive inertial weighting (convex QP per iteration)
+//      |
+//   Phase 2  discrete PSO tunes the MSY3I hyperparameters
+//      |
+//   Phase 1  the tuned MSY3I is trained (with convex-relaxation adversarial
+//            training for its dense verification head), certified layer-wise,
+//            and applied to 5G QoS convex optimization problems.
+//
+// RcrStack::run() executes the full pipeline on seeded synthetic workloads
+// and returns the consolidated report the E12 bench prints.
+#pragma once
+
+#include <cstdint>
+
+#include "rcr/nn/msy3i.hpp"
+#include "rcr/qos/rra.hpp"
+#include "rcr/rcr/adaptive.hpp"
+#include "rcr/verify/certified.hpp"
+#include "rcr/verify/verifier.hpp"
+
+namespace rcr::core {
+
+/// Stack configuration (sizes kept laptop-scale; all phases seeded).
+struct RcrStackConfig {
+  // Data.
+  std::size_t image_size = 16;
+  std::size_t train_per_class = 20;
+  std::size_t test_per_class = 10;
+  double noise_stddev = 0.05;
+
+  // Phase 2 (discrete PSO over MSY3I hyperparameters).
+  std::size_t pso_swarm = 6;
+  std::size_t pso_iterations = 8;
+  std::size_t tuning_epochs = 3;   ///< Short proxy training per evaluation.
+  double param_weight = 0.02;      ///< Objective: -accuracy + w * params/1e4.
+
+  // Phase 1 (final training + certification + QoS).
+  std::size_t final_epochs = 12;
+  double certify_epsilon = 0.08;
+  std::size_t certify_epochs = 40;
+  std::size_t qos_users = 3;
+  std::size_t qos_rbs = 6;
+
+  std::uint64_t seed = 11;
+};
+
+/// Phase-2 outcome.
+struct TuningResult {
+  nn::Msy3iConfig best_config;
+  double best_objective = 0.0;
+  double best_accuracy = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Consolidated report.
+struct RcrStackReport {
+  double inertia_qp_consistency = 0.0;  ///< Phase-3 cross-check residual.
+  TuningResult tuning;                  ///< Phase 2.
+  nn::TrainReport final_training;       ///< Phase 1a: tuned MSY3I.
+  nn::TrainReport untuned_training;     ///< Default config for comparison.
+  verify::CertifiedTrainReport certified;  ///< Phase 1b: robust dense head.
+  verify::TightnessReport tightness;    ///< Layer-wise IBP-vs-CROWN widths.
+  verify::AlphaTightenResult alpha;     ///< Layer-wise slope optimization on
+                                        ///< the certified net's margin spec.
+  qos::RraSolution qos_pso;             ///< Phase 1c: QoS via RCR PSO.
+  qos::RraSolution qos_exact;           ///< Oracle for the gap.
+  double qos_relaxation_bound = 0.0;
+};
+
+/// The full pipeline.
+class RcrStack {
+ public:
+  explicit RcrStack(const RcrStackConfig& config) : config_(config) {}
+
+  /// Execute Phase 3 -> 2 -> 1 and return the consolidated report.
+  RcrStackReport run();
+
+  /// Phase 2 in isolation (used by tests).
+  TuningResult tune_hyperparameters();
+
+ private:
+  RcrStackConfig config_;
+};
+
+}  // namespace rcr::core

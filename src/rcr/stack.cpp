@@ -1,0 +1,208 @@
+#include "rcr/rcr/stack.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "rcr/pso/discrete.hpp"
+#include "rcr/signal/spectrogram.hpp"
+#include "rcr/verify/verifier.hpp"
+
+namespace rcr::core {
+
+namespace {
+
+std::vector<nn::ImageSample> to_image_samples(
+    const std::vector<sig::ClassSample>& samples) {
+  std::vector<nn::ImageSample> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    nn::ImageSample img;
+    img.pixels = s.image.pixels;
+    img.height = s.image.height;
+    img.width = s.image.width;
+    img.label = s.label;
+    out.push_back(std::move(img));
+  }
+  return out;
+}
+
+/// The Phase-2 search space: the MSY3I knobs the paper says the PSO reduces
+/// and tunes.
+std::vector<pso::CategoricalAttribute> msy3i_search_space() {
+  return {
+      {"stem_filters", {4.0, 8.0}},
+      {"fire_squeeze", {2.0, 4.0}},
+      {"fire_expand", {4.0, 8.0}},
+      {"num_fire_blocks", {1.0, 2.0}},
+      {"learning_rate", {1e-3, 3e-3}},
+  };
+}
+
+nn::Msy3iConfig config_from_assignment(
+    const std::vector<pso::CategoricalAttribute>& space,
+    const pso::DiscreteAssignment& a, std::size_t image_size,
+    std::uint64_t seed, double* learning_rate) {
+  nn::Msy3iConfig cfg;
+  cfg.image_size = image_size;
+  cfg.classes = sig::modulation_classes().size();
+  cfg.stem_filters = static_cast<std::size_t>(space[0].values[a[0]]);
+  cfg.fire_squeeze = static_cast<std::size_t>(space[1].values[a[1]]);
+  cfg.fire_expand = static_cast<std::size_t>(space[2].values[a[2]]);
+  cfg.num_fire_blocks = static_cast<std::size_t>(space[3].values[a[3]]);
+  cfg.use_special_fire = true;
+  cfg.seed = seed;
+  *learning_rate = space[4].values[a[4]];
+  return cfg;
+}
+
+}  // namespace
+
+TuningResult RcrStack::tune_hyperparameters() {
+  num::Rng data_rng(config_.seed);
+  const auto train = to_image_samples(sig::make_classification_dataset(
+      config_.train_per_class, config_.image_size, config_.noise_stddev,
+      data_rng));
+  const auto val = to_image_samples(sig::make_classification_dataset(
+      config_.test_per_class, config_.image_size, config_.noise_stddev,
+      data_rng));
+
+  const auto space = msy3i_search_space();
+
+  // Memoize evaluations: the swarm revisits assignments often.
+  std::map<pso::DiscreteAssignment, std::pair<double, double>> cache;
+  auto objective = [&](const pso::DiscreteAssignment& a) {
+    if (auto it = cache.find(a); it != cache.end()) return it->second.first;
+    double lr = 1e-3;
+    const nn::Msy3iConfig cfg = config_from_assignment(
+        space, a, config_.image_size, config_.seed + 100, &lr);
+    nn::Sequential net = nn::build_msy3i_classifier(cfg);
+    nn::TrainConfig tc;
+    tc.epochs = config_.tuning_epochs;
+    tc.learning_rate = lr;
+    tc.seed = config_.seed + 7;
+    const nn::TrainReport report = nn::train_classifier(net, train, val, tc);
+    // Phase-2 objective: accuracy traded against parameter count -- the
+    // "reduce the computational cost" goal of the squeezed network.
+    const double obj =
+        -report.test_accuracy +
+        config_.param_weight * static_cast<double>(report.param_count) / 1e4;
+    cache[a] = {obj, report.test_accuracy};
+    return obj;
+  };
+
+  pso::DiscretePsoConfig pso_config;
+  pso_config.swarm_size = config_.pso_swarm;
+  pso_config.max_iterations = config_.pso_iterations;
+  pso_config.seed = config_.seed + 3;
+
+  // Phase 3 feeds Phase 2: the adaptive-QP inertia schedule.
+  auto inertia = pso::adaptive_qp_inertia();
+  const pso::DiscretePsoResult r =
+      pso::minimize_discrete(space, objective, pso_config, inertia.get());
+
+  TuningResult out;
+  double lr = 1e-3;
+  out.best_config = config_from_assignment(space, r.best_assignment,
+                                           config_.image_size,
+                                           config_.seed + 100, &lr);
+  out.best_objective = r.best_value;
+  out.best_accuracy = cache.at(r.best_assignment).second;
+  out.evaluations = r.evaluations;
+  return out;
+}
+
+RcrStackReport RcrStack::run() {
+  RcrStackReport report;
+
+  // ---- Phase 3: certify the adaptive-inertia convex program (closed form
+  // against the barrier QP solver).
+  {
+    num::Rng rng(config_.seed + 31);
+    InertiaQpInstance instance;
+    instance.velocity_norm = rng.uniform_vec(6, 0.0, 3.0);
+    instance.dist_to_gbest = rng.uniform_vec(6, 0.0, 5.0);
+    report.inertia_qp_consistency = inertia_qp_consistency(instance);
+  }
+
+  // ---- Phase 2: PSO-tuned MSY3I.
+  report.tuning = tune_hyperparameters();
+
+  // ---- Phase 1a: full training of the tuned configuration vs the default.
+  num::Rng data_rng(config_.seed + 50);
+  const auto train = to_image_samples(sig::make_classification_dataset(
+      config_.train_per_class, config_.image_size, config_.noise_stddev,
+      data_rng));
+  const auto test = to_image_samples(sig::make_classification_dataset(
+      config_.test_per_class, config_.image_size, config_.noise_stddev,
+      data_rng));
+
+  nn::TrainConfig tc;
+  tc.epochs = config_.final_epochs;
+  tc.learning_rate = 3e-3;
+  tc.seed = config_.seed + 8;
+  {
+    nn::Sequential tuned = nn::build_msy3i_classifier(report.tuning.best_config);
+    report.final_training = nn::train_classifier(tuned, train, test, tc);
+  }
+  {
+    nn::Msy3iConfig default_cfg;
+    default_cfg.image_size = config_.image_size;
+    default_cfg.classes = sig::modulation_classes().size();
+    default_cfg.seed = config_.seed + 100;
+    nn::Sequential untuned = nn::build_msy3i_classifier(default_cfg);
+    report.untuned_training = nn::train_classifier(untuned, train, test, tc);
+  }
+
+  // ---- Phase 1b: convex-relaxation adversarial training of the dense head
+  // plus the layer-wise tightness report.
+  {
+    num::Rng rng(config_.seed + 71);
+    const auto blobs_train =
+        verify::make_blob_dataset(3, 40, 1.0, 0.15, rng);
+    const auto blobs_test = verify::make_blob_dataset(3, 20, 1.0, 0.15, rng);
+    verify::CertifiedTrainer trainer({2, 16, 16, 3}, config_.seed + 72);
+    verify::CertifiedTrainConfig cc;
+    cc.epochs = config_.certify_epochs;
+    cc.epsilon = config_.certify_epsilon;
+    report.certified = trainer.train(blobs_train, blobs_test, cc);
+
+    const verify::Box domain =
+        verify::Box::around(Vec{0.0, 0.0}, config_.certify_epsilon);
+    report.tightness = verify::tightness_report(trainer.network(), domain);
+
+    // The abstract's layer-wise tightening: optimize the lower-relaxation
+    // slopes for the class-0-vs-1 margin around a test point.
+    verify::Spec margin;
+    margin.c = {1.0, -1.0, 0.0};
+    margin.d = 0.0;
+    const verify::Box ball =
+        verify::Box::around(blobs_test.front().x, config_.certify_epsilon);
+    report.alpha =
+        verify::tighten_lower_bound_alpha(trainer.network(), ball, margin);
+  }
+
+  // ---- Phase 1c: solve a QoS RRA instance through the RCR PSO machinery
+  // and gauge it against the exact optimum and the convex relaxation bound.
+  {
+    qos::ChannelConfig ch;
+    ch.num_users = config_.qos_users;
+    ch.num_rbs = config_.qos_rbs;
+    ch.seed = config_.seed + 90;
+    const qos::ChannelRealization channel = qos::make_channel(ch);
+
+    qos::RraProblem problem;
+    problem.gain = channel.gain;
+    problem.total_power = 1.0;
+    problem.min_rate = Vec(ch.num_users, 0.5);
+
+    qos::RraPsoOptions pso_opts;
+    pso_opts.seed = config_.seed + 91;
+    report.qos_pso = qos::solve_pso(problem, pso_opts);
+    report.qos_exact = qos::solve_exact(problem);
+    report.qos_relaxation_bound = qos::relaxation_upper_bound(problem);
+  }
+
+  return report;
+}
+
+}  // namespace rcr::core

@@ -1,0 +1,159 @@
+#include "rcr/signal/fft.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace rcr::sig {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// In-place iterative radix-2 Cooley-Tukey; requires power-of-two size.
+void fft_radix2(CVec& a, bool inverse) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z transform: arbitrary-N DFT via a power-of-two
+// convolution.  Handles the non-power-of-two frame sizes STFT produces.
+CVec fft_bluestein(const CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  CVec chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Reduce k^2 mod 2n before the trig call to keep the argument small.
+    const auto k2 = static_cast<double>((static_cast<unsigned long long>(k) * k) %
+                                        (2ull * n));
+    const double ang = sign * std::numbers::pi * k2 / static_cast<double>(n);
+    chirp[k] = {std::cos(ang), std::sin(ang)};
+  }
+
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  CVec a(m, {0.0, 0.0});
+  CVec b(m, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  for (std::size_t k = 0; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) b[m - k] = std::conj(chirp[k]);
+  }
+  fft_radix2(a, false);
+  fft_radix2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, true);
+  for (auto& v : a) v /= static_cast<double>(m);
+
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  return out;
+}
+
+CVec transform(const CVec& x, bool inverse) {
+  if (x.empty()) return {};
+  CVec y = x;
+  if (is_power_of_two(y.size())) {
+    fft_radix2(y, inverse);
+  } else {
+    y = fft_bluestein(y, inverse);
+  }
+  if (inverse) {
+    for (auto& v : y) v /= static_cast<double>(y.size());
+  }
+  return y;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+CVec fft(const CVec& x) { return transform(x, false); }
+
+CVec ifft(const CVec& x) { return transform(x, true); }
+
+CVec rfft(const Vec& x) {
+  const CVec full = fft(to_complex(x));
+  const std::size_t bins = x.size() / 2 + 1;
+  return CVec(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(bins));
+}
+
+Vec irfft(const CVec& spectrum, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("irfft: zero output length");
+  if (spectrum.size() != n / 2 + 1)
+    throw std::invalid_argument(
+        "irfft: spectrum length must equal n/2 + 1 for output length n");
+  // Rebuild the full Hermitian spectrum, then a plain inverse DFT.
+  CVec full(n);
+  for (std::size_t k = 0; k < spectrum.size(); ++k) full[k] = spectrum[k];
+  for (std::size_t k = spectrum.size(); k < n; ++k)
+    full[k] = std::conj(spectrum[n - k]);
+  return real_part(ifft(full));
+}
+
+CVec dft_reference(const CVec& x) {
+  const std::size_t n = x.size();
+  CVec out(n, {0.0, 0.0});
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t l = 0; l < n; ++l) {
+      const double ang = -kTwoPi * static_cast<double>(m) *
+                         static_cast<double>(l) / static_cast<double>(n);
+      out[m] += x[l] * std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+  }
+  return out;
+}
+
+CVec to_complex(const Vec& x) {
+  CVec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = {x[i], 0.0};
+  return out;
+}
+
+Vec real_part(const CVec& x) {
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i].real();
+  return out;
+}
+
+Vec magnitude(const CVec& x) {
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::abs(x[i]);
+  return out;
+}
+
+double max_abs_diff(const CVec& a, const CVec& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace rcr::sig

@@ -1,0 +1,97 @@
+#include "rcr/signal/gabor.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rcr::sig {
+
+namespace {
+// Wrap an angle difference into (-pi, pi].
+double wrap_angle(double a) {
+  constexpr double kPi = std::numbers::pi;
+  while (a > kPi) a -= 2.0 * kPi;
+  while (a <= -kPi) a += 2.0 * kPi;
+  return a;
+}
+}  // namespace
+
+TfGrid gabor_transform(const Vec& signal, std::size_t window_length,
+                       std::size_t hop, std::size_t fft_size) {
+  StftConfig config;
+  config.window = make_window(WindowKind::kGaussian, window_length);
+  config.hop = hop;
+  config.fft_size = fft_size;
+  config.convention = StftConvention::kTimeInvariant;
+  config.padding = FramePadding::kCircular;
+  return stft(signal, config);
+}
+
+PhaseDerivative gabphasederiv(const TfGrid& grid, PhaseDerivKind kind,
+                              std::size_t hop, double magnitude_floor_rel) {
+  PhaseDerivative out;
+  out.bins = grid.bins();
+  out.frames = grid.frames();
+  out.values.assign(out.bins, Vec(out.frames, 0.0));
+  out.reliable.assign(out.bins, std::vector<bool>(out.frames, false));
+
+  const double floor = magnitude_floor_rel * grid.max_magnitude();
+
+  for (std::size_t m = 0; m < out.bins; ++m) {
+    for (std::size_t n = 0; n < out.frames; ++n) {
+      std::complex<double> prev;
+      std::complex<double> next;
+      double step = 1.0;
+      if (kind == PhaseDerivKind::kTime) {
+        const std::size_t np = (n + out.frames - 1) % out.frames;
+        const std::size_t nn = (n + 1) % out.frames;
+        prev = grid(m, np);
+        next = grid(m, nn);
+        step = 2.0 * static_cast<double>(hop);  // distance in samples
+      } else {
+        const std::size_t mp = (m + out.bins - 1) % out.bins;
+        const std::size_t mn = (m + 1) % out.bins;
+        prev = grid(mp, n);
+        next = grid(mn, n);
+        step = 2.0;  // two bins apart
+      }
+      // Centered difference of the (wrapped) phase.  Near the magnitude
+      // floor the phase is dominated by round-off and the estimate is
+      // essentially random -- exactly the caveat the paper quotes.
+      const double dphi = wrap_angle(std::arg(next) - std::arg(prev));
+      out.values[m][n] = dphi / step;
+      out.reliable[m][n] = std::abs(grid(m, n)) > floor &&
+                           std::abs(prev) > floor && std::abs(next) > floor;
+    }
+  }
+  return out;
+}
+
+PhaseDerivError phase_deriv_error_vs_constant(const PhaseDerivative& deriv,
+                                              double true_value) {
+  PhaseDerivError err;
+  double acc_rel = 0.0;
+  double acc_unrel = 0.0;
+  for (std::size_t m = 0; m < deriv.bins; ++m) {
+    for (std::size_t n = 0; n < deriv.frames; ++n) {
+      // A real tone carries conjugate components at +/- the tone frequency,
+      // so match against either sign of the target.
+      const double e = std::min(std::abs(deriv.values[m][n] - true_value),
+                                std::abs(deriv.values[m][n] + true_value));
+      if (deriv.reliable[m][n]) {
+        acc_rel += e * e;
+        ++err.n_reliable;
+      } else {
+        acc_unrel += e * e;
+        ++err.n_unreliable;
+      }
+    }
+  }
+  if (err.n_reliable > 0)
+    err.rms_reliable = std::sqrt(acc_rel / static_cast<double>(err.n_reliable));
+  if (err.n_unreliable > 0)
+    err.rms_unreliable =
+        std::sqrt(acc_unrel / static_cast<double>(err.n_unreliable));
+  return err;
+}
+
+}  // namespace rcr::sig

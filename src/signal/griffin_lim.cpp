@@ -1,0 +1,79 @@
+#include "rcr/signal/griffin_lim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::sig {
+
+TfGrid magnitude_grid(const TfGrid& grid) {
+  TfGrid out(grid.bins(), grid.frames());
+  for (std::size_t i = 0; i < grid.data().size(); ++i)
+    out.data()[i] = {std::abs(grid.data()[i]), 0.0};
+  return out;
+}
+
+namespace {
+
+double convergence(const TfGrid& candidate, const TfGrid& target) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < target.data().size(); ++i) {
+    const double t = target.data()[i].real();
+    const double c = std::abs(candidate.data()[i]);
+    num += (c - t) * (c - t);
+    den += t * t;
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+}  // namespace
+
+double spectral_convergence(const Vec& signal, const TfGrid& target_magnitude,
+                            const StftConfig& config) {
+  return convergence(stft(signal, config), target_magnitude);
+}
+
+GriffinLimResult griffin_lim(const TfGrid& target_magnitude,
+                             const StftConfig& config, std::size_t n,
+                             const GriffinLimOptions& options) {
+  config.validate();
+  if (config.padding != FramePadding::kCircular)
+    throw std::invalid_argument("griffin_lim: requires circular padding");
+  if (target_magnitude.bins() != config.fft_size ||
+      target_magnitude.frames() != config.frame_count(n))
+    throw std::invalid_argument("griffin_lim: magnitude grid shape mismatch");
+
+  num::Rng rng(options.seed);
+  // Initialize with random phases on the target magnitudes.
+  TfGrid s(target_magnitude.bins(), target_magnitude.frames());
+  for (std::size_t i = 0; i < s.data().size(); ++i) {
+    const double mag = target_magnitude.data()[i].real();
+    const double phase = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    s.data()[i] = std::polar(mag, phase);
+  }
+
+  GriffinLimResult result;
+  result.signal = Vec(n, 0.0);
+  result.spectral_convergence = 1.0;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    // Project onto the set of consistent spectrograms...
+    result.signal = istft(s, config, n);
+    const TfGrid consistent = stft(result.signal, config);
+    result.spectral_convergence = convergence(consistent, target_magnitude);
+    result.iterations = it + 1;
+    if (result.spectral_convergence <= options.tolerance) break;
+    // ...then back onto the set with the target magnitudes.
+    for (std::size_t i = 0; i < s.data().size(); ++i) {
+      const double mag = target_magnitude.data()[i].real();
+      const std::complex<double> c = consistent.data()[i];
+      const double abs_c = std::abs(c);
+      s.data()[i] = abs_c > 1e-300 ? mag * c / abs_c
+                                   : std::complex<double>(mag, 0.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace rcr::sig

@@ -1,0 +1,57 @@
+// Gabor transform (Gaussian-window STFT) and phase derivatives.
+//
+// Sec. IV-B of the paper quotes the LTFAT `gabphasederiv` documentation: the
+// computed phase derivative "is inaccurate when the absolute value of the
+// Gabor coefficients is low", because the phase of complex numbers near
+// machine precision is essentially random.  This module reproduces that
+// behaviour and exposes the magnitude-based reliability mask used to measure
+// it (experiment E4).
+#pragma once
+
+#include "rcr/signal/stft.hpp"
+
+namespace rcr::sig {
+
+/// Gabor transform: STFT with a Gaussian window of length `window_length`
+/// under the time-invariant convention.
+TfGrid gabor_transform(const Vec& signal, std::size_t window_length,
+                       std::size_t hop, std::size_t fft_size);
+
+/// Which phase derivative to compute.
+enum class PhaseDerivKind {
+  kTime,       ///< d(phase)/dt -- local instantaneous frequency direction.
+  kFrequency,  ///< d(phase)/df -- local group delay direction.
+};
+
+/// Phase derivative of a time-frequency grid via centered, phase-unwrapped
+/// finite differences (distances measured in samples, matching the LTFAT
+/// convention quoted in the paper).  Entries are meaningful only where the
+/// reliability mask is true.
+struct PhaseDerivative {
+  std::vector<Vec> values;       ///< [bin][frame] derivative estimates.
+  std::vector<std::vector<bool>> reliable;  ///< Magnitude above the floor.
+  std::size_t bins = 0;
+  std::size_t frames = 0;
+};
+
+/// Compute the phase derivative.  `magnitude_floor_rel` is the reliability
+/// threshold relative to the grid's max coefficient magnitude.
+PhaseDerivative gabphasederiv(const TfGrid& grid, PhaseDerivKind kind,
+                              std::size_t hop,
+                              double magnitude_floor_rel = 1e-8);
+
+/// RMS error of a phase-derivative estimate against ground truth, split into
+/// reliable and unreliable regions (E4's measurement).
+struct PhaseDerivError {
+  double rms_reliable = 0.0;
+  double rms_unreliable = 0.0;
+  std::size_t n_reliable = 0;
+  std::size_t n_unreliable = 0;
+};
+
+/// Compare a time-direction phase derivative of a pure tone against its known
+/// constant instantaneous frequency (radians/sample).
+PhaseDerivError phase_deriv_error_vs_constant(const PhaseDerivative& deriv,
+                                              double true_value);
+
+}  // namespace rcr::sig

@@ -1,0 +1,45 @@
+// Griffin-Lim phase reconstruction from magnitude spectrograms.
+//
+// The paper's time-frequency reference [26] (Marafioti et al., "Adversarial
+// Generation of Time-Frequency Features") generates magnitude spectrograms
+// and needs a phase-aware inversion; Griffin-Lim is the standard baseline.
+// It also exercises exactly the phase conventions Sec. IV-B audits: an
+// implementation using a skewed STFT convention silently fails to converge.
+#pragma once
+
+#include <cstdint>
+
+#include "rcr/signal/stft.hpp"
+
+namespace rcr::sig {
+
+/// Result of Griffin-Lim inversion.
+struct GriffinLimResult {
+  Vec signal;                   ///< Reconstructed time-domain signal.
+  double spectral_convergence;  ///< || |STFT(x)| - target ||_F / ||target||_F.
+  std::size_t iterations;       ///< Iterations actually run.
+};
+
+/// Options.
+struct GriffinLimOptions {
+  std::size_t max_iterations = 60;
+  double tolerance = 1e-4;   ///< Stop when spectral convergence falls below.
+  std::uint64_t seed = 1;    ///< Random initial phases.
+};
+
+/// Reconstruct a length-n signal whose STFT magnitude matches
+/// `target_magnitude` (bins x frames, as produced by stft() under `config`).
+/// The config must use circular padding.  Throws std::invalid_argument on
+/// shape mismatch.
+GriffinLimResult griffin_lim(const TfGrid& target_magnitude,
+                             const StftConfig& config, std::size_t n,
+                             const GriffinLimOptions& options = {});
+
+/// Magnitude-only copy of a grid (phases dropped).
+TfGrid magnitude_grid(const TfGrid& grid);
+
+/// Spectral convergence of a signal against a target magnitude grid.
+double spectral_convergence(const Vec& signal, const TfGrid& target_magnitude,
+                            const StftConfig& config);
+
+}  // namespace rcr::sig

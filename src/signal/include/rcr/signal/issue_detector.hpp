@@ -1,0 +1,78 @@
+// Numerical-issue detector: reproduces Fig. 3 of the paper -- a matrix of
+// issue classes found in FFT/IFFT/RFFT/IRFFT/STFT/ISTFT across library
+// implementations -- by differential testing each simulated library against
+// the reference transforms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/signal/variants.hpp"
+
+namespace rcr::sig {
+
+/// The six functions audited in Sec. IV / Fig. 3.
+enum class FftFunction { kFft, kIfft, kRfft, kIrfft, kStft, kIstft };
+
+std::string to_string(FftFunction f);
+
+/// All six functions in display order.
+const std::vector<FftFunction>& all_fft_functions();
+
+/// Issue classification produced by differential testing.
+enum class IssueKind {
+  kOk,             ///< Matches reference within tolerance.
+  kShapeMismatch,  ///< Output dimensions differ from reference.
+  kScaleError,     ///< Proportional to reference with non-unit constant.
+  kPhaseError,     ///< Magnitudes match, phases differ.
+  kWrongValues,    ///< Values differ beyond tolerance (not scale/phase-only).
+  kNonFinite,      ///< Output contains inf/NaN.
+  kRaisedError,    ///< The call threw.
+};
+
+std::string to_string(IssueKind k);
+
+/// One cell of the issue matrix.
+struct IssueReport {
+  IssueKind kind = IssueKind::kOk;
+  double max_rel_error = 0.0;   ///< Against reference (0 when shapes differ).
+  std::string detail;           ///< Human-readable note.
+};
+
+/// Full differential-testing result: rows = libraries, cols = functions.
+struct IssueMatrix {
+  std::vector<std::string> library_names;
+  std::vector<FftFunction> functions;
+  std::vector<std::vector<IssueReport>> cells;  ///< [library][function]
+
+  /// Count of non-OK cells for a library row.
+  std::size_t issue_count(std::size_t library_index) const;
+
+  /// Render as an aligned text table (the Fig. 3 reproduction).
+  std::string to_table() const;
+};
+
+/// Parameters for the differential test battery.
+struct DetectorConfig {
+  std::size_t signal_length = 256;  ///< Test-signal length (power of two).
+  std::size_t window_length = 48;  // != fft_size so signature defects show
+  std::size_t hop = 16;
+  std::size_t fft_size = 64;
+  double tolerance = 1e-9;          ///< Relative mismatch threshold.
+  std::uint64_t seed = 7;
+};
+
+/// Run the battery for every library in the roster over every function.
+IssueMatrix detect_issues(const std::vector<SimulatedLibrary>& roster,
+                          const DetectorConfig& config);
+
+/// Classify a complex output against the reference output.
+IssueReport classify_outputs(const CVec& reference, const CVec& candidate,
+                             double tolerance);
+
+/// Classify a real output against the reference output.
+IssueReport classify_outputs(const Vec& reference, const Vec& candidate,
+                             double tolerance);
+
+}  // namespace rcr::sig

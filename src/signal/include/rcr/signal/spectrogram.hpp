@@ -1,0 +1,73 @@
+// Spectrogram images and labelled datasets for the MSY3I network.
+//
+// The paper trains its squeezed-YOLO DCGAN on 5G signal workloads (STFT-based
+// "signal detection and classification", Sec. IV-A).  These helpers turn
+// rcr::signal waveforms into fixed-size log-magnitude images with
+// classification labels (modulation scheme) and detection labels (burst
+// bounding box in the time-frequency plane).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/waveform.hpp"
+
+namespace rcr::sig {
+
+/// A dense height x width single-channel image, values normalized to [0, 1].
+struct Image {
+  std::size_t height = 0;
+  std::size_t width = 0;
+  Vec pixels;  ///< Row-major, height*width entries.
+
+  double& at(std::size_t r, std::size_t c) { return pixels[r * width + c]; }
+  double at(std::size_t r, std::size_t c) const { return pixels[r * width + c]; }
+};
+
+/// Log-magnitude spectrogram of a signal resampled (area-averaged) to a fixed
+/// height x width image; dynamic range clipped to `dynamic_range_db` below the
+/// peak and mapped to [0, 1].
+Image spectrogram_image(const Vec& signal, const StftConfig& config,
+                        std::size_t height, std::size_t width,
+                        double dynamic_range_db = 60.0);
+
+/// Classification sample: spectrogram image + modulation label.
+struct ClassSample {
+  Image image;
+  std::size_t label = 0;  ///< Index into modulation_classes().
+};
+
+/// The label set for the classification dataset.
+const std::vector<Modulation>& modulation_classes();
+
+/// Generate a balanced, seeded modulation-classification dataset of
+/// spectrogram images (`per_class` samples per modulation) at the given SNR.
+std::vector<ClassSample> make_classification_dataset(std::size_t per_class,
+                                                     std::size_t image_size,
+                                                     double noise_stddev,
+                                                     num::Rng& rng);
+
+/// Detection sample: image + normalized box [x_center, y_center, w, h] of the
+/// burst in time(x)-frequency(y) coordinates, all in [0, 1].
+struct DetectSample {
+  Image image;
+  double x_center = 0.0;
+  double y_center = 0.0;
+  double box_w = 0.0;
+  double box_h = 0.0;
+};
+
+/// Generate a burst-detection dataset: OFDM bursts embedded in noise at
+/// random time offsets; the label is the burst's time-frequency box.
+std::vector<DetectSample> make_detection_dataset(std::size_t count,
+                                                 std::size_t image_size,
+                                                 double noise_stddev,
+                                                 num::Rng& rng);
+
+/// Intersection-over-union of two center-format normalized boxes.
+double box_iou(double ax, double ay, double aw, double ah, double bx, double by,
+               double bw, double bh);
+
+}  // namespace rcr::sig

@@ -1,0 +1,116 @@
+// Short-time Fourier transform under the two conventions the paper contrasts
+// (Sec. IV-B, Eqs. 5-6), plus the phase-factor conversion between them and a
+// least-squares inverse.
+//
+// Eq. 6, "simplified time-invariant" (STI):
+//   STFT[m,n] = sum_{l=0}^{Lg-1} s[l + n*a] g[l] e^{-2*pi*i*m*l/M}
+// where the stored window g has its peak at g[floor(Lg/2)] rather than g[0].
+//
+// Eq. 5, "time-invariant" (TI): the window is referenced to its center,
+//   STFT[m,n] = sum_{l=-floor(Lg/2)}^{floor(Lg/2)-1} s[l + n*a] g_c[l] e^{-2*pi*i*m*l/M}.
+//
+// Substituting l' = l + floor(Lg/2) shows the two are related by a delay of
+// floor(Lg/2) samples and a per-bin phase factor e^{+2*pi*i*m*floor(Lg/2)/M}
+// -- the "phase skew dependency on the stored window" that Sec. IV-B warns
+// corrupts downstream phase analysis when ignored.
+#pragma once
+
+#include <cstddef>
+
+#include "rcr/signal/fft.hpp"
+#include "rcr/signal/window.hpp"
+
+namespace rcr::sig {
+
+/// Complex time-frequency grid: `bins` frequency rows x `frames` time columns.
+class TfGrid {
+ public:
+  TfGrid() = default;
+  TfGrid(std::size_t bins, std::size_t frames)
+      : bins_(bins), frames_(frames), data_(bins * frames, {0.0, 0.0}) {}
+
+  std::size_t bins() const { return bins_; }
+  std::size_t frames() const { return frames_; }
+
+  std::complex<double>& operator()(std::size_t m, std::size_t n) {
+    return data_[m * frames_ + n];
+  }
+  std::complex<double> operator()(std::size_t m, std::size_t n) const {
+    return data_[m * frames_ + n];
+  }
+
+  const CVec& data() const { return data_; }
+  CVec& data() { return data_; }
+
+  /// Max_ij |a_ij - b_ij|; +inf on shape mismatch.
+  static double max_abs_diff(const TfGrid& a, const TfGrid& b);
+
+  /// Largest coefficient magnitude (0 for empty grid).
+  double max_magnitude() const;
+
+ private:
+  std::size_t bins_ = 0;
+  std::size_t frames_ = 0;
+  CVec data_;
+};
+
+/// Which of the paper's two STFT phase conventions to use.
+enum class StftConvention {
+  kSimplifiedTimeInvariant,  ///< Eq. 6 -- window referenced to its first sample.
+  kTimeInvariant,            ///< Eq. 5 -- window referenced to its center.
+};
+
+/// How frames that extend past the end of the signal are handled.
+enum class FramePadding {
+  kCircular,   ///< s is treated circularly (reference behaviour).
+  kTruncate,   ///< only frames fully inside the signal: n <= (L - Lg)/a.
+};
+
+/// STFT parameters.  `fft_size` M may exceed the window length (zero-padded
+/// frames); it must not be smaller.
+struct StftConfig {
+  Vec window;                ///< Stored analysis window g, length Lg.
+  std::size_t hop = 0;       ///< Time shift a between frames.
+  std::size_t fft_size = 0;  ///< M; number of frequency bins is M.
+  StftConvention convention = StftConvention::kSimplifiedTimeInvariant;
+  FramePadding padding = FramePadding::kCircular;
+
+  /// Validates the invariants; throws std::invalid_argument when violated.
+  void validate() const;
+
+  /// Number of frames produced for a signal of length `n`.
+  std::size_t frame_count(std::size_t n) const;
+};
+
+/// Forward STFT of a real signal under the configured convention.
+/// Throws std::invalid_argument when the config is invalid or the signal is
+/// shorter than the window (for kTruncate padding).
+TfGrid stft(const Vec& signal, const StftConfig& config);
+
+/// Least-squares inverse STFT (overlap-add with window-square normalization)
+/// for circular padding; reconstructs a signal of length `n`.
+/// Throws std::invalid_argument on shape mismatch or when the window/hop pair
+/// leaves some sample uncovered.
+Vec istft(const TfGrid& grid, const StftConfig& config, std::size_t n);
+
+/// The a-priori phase-factor matrix P with
+/// P[m,n] = e^{+2*pi*i*m*floor(Lg/2)/M}; point-wise multiplying an STI STFT by
+/// P converts it to the TI convention (Sec. IV-B's "conversion between
+/// conventions").
+TfGrid phase_factor_matrix(std::size_t bins, std::size_t frames,
+                           std::size_t window_length, std::size_t fft_size);
+
+/// Point-wise product a .* b.  Throws std::invalid_argument on shape mismatch.
+TfGrid pointwise_multiply(const TfGrid& a, const TfGrid& b);
+
+/// Convert an STFT computed under the STI convention (Eq. 6) to the TI
+/// convention (Eq. 5) by applying the phase-factor matrix.
+TfGrid convert_sti_to_ti(const TfGrid& sti, std::size_t window_length,
+                         std::size_t fft_size);
+
+/// Worst-case phase discrepancy (radians, in [0, pi]) between two grids over
+/// coefficients whose magnitude exceeds `magnitude_floor` in both.
+double max_phase_discrepancy(const TfGrid& a, const TfGrid& b,
+                             double magnitude_floor);
+
+}  // namespace rcr::sig

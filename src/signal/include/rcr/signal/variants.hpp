@@ -1,0 +1,81 @@
+// Simulated ML-library implementations of the FFT family, each reproducing a
+// defect class from the paper's Fig. 3 survey of numerical issues in Caffe/
+// Caffe2/Julia/PyTorch/SciPy/TensorFlow.
+//
+// The paper's experiments measure *discrepancies between implementations*
+// (signature changes across PyTorch versions, phase-skew conventions in
+// TensorFlow, non-circular framing, unstable compositions); injecting the
+// same defect classes into from-scratch implementations reproduces the same
+// discrepancy structure without the original closed binaries (see DESIGN.md
+// substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rcr/signal/stft.hpp"
+
+namespace rcr::sig {
+
+/// Defect classes injected by the simulated libraries.
+enum class Defect {
+  kNone,              ///< Reference behaviour.
+  kLegacySignature,   ///< Pre-v0.4.1 torch.stft argument semantics
+                      ///< (window-length and fft-size interpretations swapped).
+  kPhaseSkew,         ///< STI convention reported as TI (stored-window phase
+                      ///< skew of Sec. IV-B, uncorrected).
+  kNonCircular,       ///< Frames only for n <= (L - Lg)/a; tail dropped.
+  kMissingScale,      ///< Inverse transforms missing the 1/N normalization.
+  kConjugateFlip,     ///< Forward transform computed with e^{+i...} kernel
+                      ///< (sign-of-exponent inconsistency across libraries).
+  kUnstableCompose,   ///< Log-magnitude computed as log(naive softmax-style
+                      ///< normalized power): underflows to -inf.
+};
+
+std::string to_string(Defect defect);
+
+/// A simulated library: a named bundle of FFT-family entry points whose
+/// behaviour deviates from the reference according to its defect.
+class SimulatedLibrary {
+ public:
+  SimulatedLibrary(std::string name, Defect defect)
+      : name_(std::move(name)), defect_(defect) {}
+
+  const std::string& name() const { return name_; }
+  Defect defect() const { return defect_; }
+
+  CVec fft(const CVec& x) const;
+  CVec ifft(const CVec& x) const;
+  CVec rfft(const Vec& x) const;
+  Vec irfft(const CVec& spectrum, std::size_t n) const;
+
+  /// STFT with a librosa-consistent signature:
+  /// (signal, fft_size, hop, window).  A library with the
+  /// kLegacySignature defect interprets fft_size as the window length and
+  /// zero-pads to window.size() (the pre-v0.4.1 semantics) -- callers using
+  /// the modern signature silently get wrong shapes/values.
+  TfGrid stft(const Vec& signal, std::size_t fft_size, std::size_t hop,
+              const Vec& window) const;
+
+  /// Inverse STFT paired with this library's forward conventions.
+  Vec istft(const TfGrid& grid, std::size_t fft_size, std::size_t hop,
+            const Vec& window, std::size_t n) const;
+
+  /// Log-power spectrogram column for one frame (exercises the
+  /// kUnstableCompose defect: log of an underflowed normalized power).
+  Vec log_power(const Vec& frame) const;
+
+ private:
+  StftConfig make_config(std::size_t fft_size, std::size_t hop,
+                         const Vec& window) const;
+
+  std::string name_;
+  Defect defect_;
+};
+
+/// The simulated library roster used by the Fig. 3 reproduction: one
+/// reference implementation plus one library per defect class, named after
+/// the toolkit whose issue class it mimics.
+std::vector<SimulatedLibrary> standard_library_roster();
+
+}  // namespace rcr::sig

@@ -1,0 +1,71 @@
+// Synthetic waveform generators.
+//
+// The paper's experiments run on 5G/B5G signal-processing workloads (OFDM,
+// STFT-based detection/classification) but cite no dataset; these generators
+// provide the deterministic, seeded substitutes (see DESIGN.md table of
+// substitutions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/signal/fft.hpp"
+
+namespace rcr::sig {
+
+/// Pure tone: amplitude * sin(2*pi*freq*t + phase), t = k/sample_rate.
+Vec tone(std::size_t n, double freq, double sample_rate, double amplitude = 1.0,
+         double phase = 0.0);
+
+/// Linear chirp sweeping f0 -> f1 over the buffer.
+Vec chirp(std::size_t n, double f0, double f1, double sample_rate,
+          double amplitude = 1.0);
+
+/// Additive white Gaussian noise of the given standard deviation.
+Vec awgn(std::size_t n, double stddev, num::Rng& rng);
+
+/// x + noise (sizes must match; throws std::invalid_argument otherwise).
+Vec add_noise(const Vec& x, double stddev, num::Rng& rng);
+
+/// Circular shift: out[k] = x[(k - shift) mod n].
+Vec circular_shift(const Vec& x, std::ptrdiff_t shift);
+
+/// Subcarrier modulation schemes for the OFDM generator.
+enum class Modulation { kBpsk, kQpsk, kQam16 };
+
+std::string to_string(Modulation m);
+
+/// Parameters of a synthetic OFDM burst.
+struct OfdmParams {
+  std::size_t fft_size = 64;        ///< Subcarriers per symbol.
+  std::size_t cyclic_prefix = 16;   ///< CP samples per symbol.
+  std::size_t num_symbols = 8;      ///< OFDM symbols in the burst.
+  std::size_t active_subcarriers = 48;  ///< Centered occupied band.
+  Modulation modulation = Modulation::kQpsk;
+
+  std::size_t samples_per_symbol() const { return fft_size + cyclic_prefix; }
+  std::size_t total_samples() const {
+    return samples_per_symbol() * num_symbols;
+  }
+};
+
+/// Time-domain OFDM burst (real passband-like signal: real part of the
+/// complex baseband, unit average power before noise).
+Vec ofdm_burst(const OfdmParams& params, num::Rng& rng);
+
+/// A burst embedded at `offset` inside a longer noisy capture; used by the
+/// detection example and the MSY3I detector dataset.
+struct BurstCapture {
+  Vec samples;            ///< Full capture.
+  std::size_t offset;     ///< Burst start sample.
+  std::size_t length;     ///< Burst length in samples.
+};
+
+/// Place an OFDM burst of the given modulation at a random offset inside a
+/// capture of `capture_len` samples with AWGN at `noise_stddev`.
+BurstCapture embedded_burst(std::size_t capture_len, const OfdmParams& params,
+                            double noise_stddev, num::Rng& rng);
+
+}  // namespace rcr::sig

@@ -1,0 +1,41 @@
+// Analysis windows for the STFT/Gabor machinery.
+//
+// Windows are generated "periodic" (DFT-even) so that hop sizes dividing the
+// length satisfy the constant-overlap-add (COLA) property used by ISTFT.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::sig {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kGaussian,  ///< sigma = length/8; the Gabor-transform window.
+};
+
+/// Human-readable name.
+std::string to_string(WindowKind kind);
+
+/// Generate a window of the given length.  Throws std::invalid_argument when
+/// length == 0.
+Vec make_window(WindowKind kind, std::size_t length);
+
+/// Sum_n w[k - n*hop] over all integer n, evaluated at k in [0, hop)
+/// (periodic extension).  A window/hop pair satisfies COLA when this is
+/// constant over k.
+Vec overlap_add_profile(const Vec& window, std::size_t hop);
+
+/// True when the window satisfies COLA for the given hop within `tol`
+/// relative ripple.
+bool satisfies_cola(const Vec& window, std::size_t hop, double tol = 1e-8);
+
+/// Peak index of the window (ties broken toward the center).
+std::size_t window_peak_index(const Vec& window);
+
+}  // namespace rcr::sig

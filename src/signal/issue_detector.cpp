@@ -1,0 +1,262 @@
+#include "rcr/signal/issue_detector.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "rcr/numerics/float_probe.hpp"
+#include "rcr/signal/waveform.hpp"
+
+namespace rcr::sig {
+
+std::string to_string(FftFunction f) {
+  switch (f) {
+    case FftFunction::kFft:
+      return "FFT";
+    case FftFunction::kIfft:
+      return "IFFT";
+    case FftFunction::kRfft:
+      return "RFFT";
+    case FftFunction::kIrfft:
+      return "IRFFT";
+    case FftFunction::kStft:
+      return "STFT";
+    case FftFunction::kIstft:
+      return "ISTFT";
+  }
+  return "?";
+}
+
+const std::vector<FftFunction>& all_fft_functions() {
+  static const std::vector<FftFunction> kAll = {
+      FftFunction::kFft,  FftFunction::kIfft,  FftFunction::kRfft,
+      FftFunction::kIrfft, FftFunction::kStft, FftFunction::kIstft};
+  return kAll;
+}
+
+std::string to_string(IssueKind k) {
+  switch (k) {
+    case IssueKind::kOk:
+      return "ok";
+    case IssueKind::kShapeMismatch:
+      return "shape";
+    case IssueKind::kScaleError:
+      return "scale";
+    case IssueKind::kPhaseError:
+      return "phase";
+    case IssueKind::kWrongValues:
+      return "wrong";
+    case IssueKind::kNonFinite:
+      return "nonfinite";
+    case IssueKind::kRaisedError:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+bool has_non_finite(const CVec& x) {
+  for (const auto& v : x)
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) return true;
+  return false;
+}
+
+double grid_scale(const CVec& x) {
+  double m = 0.0;
+  for (const auto& v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace
+
+IssueReport classify_outputs(const CVec& reference, const CVec& candidate,
+                             double tolerance) {
+  IssueReport report;
+  if (reference.size() != candidate.size()) {
+    report.kind = IssueKind::kShapeMismatch;
+    report.detail = "size " + std::to_string(candidate.size()) + " vs " +
+                    std::to_string(reference.size());
+    return report;
+  }
+  if (has_non_finite(candidate)) {
+    report.kind = IssueKind::kNonFinite;
+    report.detail = "inf/NaN in output";
+    return report;
+  }
+
+  const double scale = grid_scale(reference);
+  if (scale == 0.0) return report;
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    max_err = std::max(max_err, std::abs(reference[i] - candidate[i]) / scale);
+  report.max_rel_error = max_err;
+  if (max_err <= tolerance) return report;
+
+  // Scale-only error: candidate == c * reference for a single constant c.
+  {
+    std::complex<double> c{0.0, 0.0};
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const double w = std::norm(reference[i]);
+      if (w > 1e-20 * scale * scale) {
+        c += candidate[i] * std::conj(reference[i]);
+        wsum += w;
+      }
+    }
+    if (wsum > 0.0) {
+      c /= wsum;
+      double resid = 0.0;
+      for (std::size_t i = 0; i < reference.size(); ++i)
+        resid = std::max(resid,
+                         std::abs(candidate[i] - c * reference[i]) / scale);
+      if (resid <= tolerance * 10.0 && std::abs(std::abs(c) - 1.0) > tolerance &&
+          std::abs(std::arg(c)) < 1e-9) {
+        report.kind = IssueKind::kScaleError;
+        std::ostringstream os;
+        os << "scale factor " << std::setprecision(4) << std::abs(c);
+        report.detail = os.str();
+        return report;
+      }
+    }
+  }
+
+  // Phase-only error: |candidate| == |reference| but values differ.
+  {
+    double mag_err = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      mag_err = std::max(
+          mag_err, std::abs(std::abs(reference[i]) - std::abs(candidate[i])) /
+                       scale);
+    if (mag_err <= tolerance * 100.0) {
+      report.kind = IssueKind::kPhaseError;
+      report.detail = "magnitudes agree, phases differ";
+      return report;
+    }
+  }
+
+  report.kind = IssueKind::kWrongValues;
+  std::ostringstream os;
+  os << "max rel err " << std::scientific << std::setprecision(2) << max_err;
+  report.detail = os.str();
+  return report;
+}
+
+IssueReport classify_outputs(const Vec& reference, const Vec& candidate,
+                             double tolerance) {
+  CVec cref(reference.size());
+  CVec ccan(candidate.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) cref[i] = {reference[i], 0.0};
+  for (std::size_t i = 0; i < candidate.size(); ++i) ccan[i] = {candidate[i], 0.0};
+  return classify_outputs(cref, ccan, tolerance);
+}
+
+std::size_t IssueMatrix::issue_count(std::size_t library_index) const {
+  std::size_t n = 0;
+  for (const auto& cell : cells.at(library_index))
+    if (cell.kind != IssueKind::kOk) ++n;
+  return n;
+}
+
+std::string IssueMatrix::to_table() const {
+  std::ostringstream os;
+  os << std::left << std::setw(20) << "library";
+  for (FftFunction f : functions) os << std::setw(11) << to_string(f);
+  os << "\n";
+  for (std::size_t r = 0; r < library_names.size(); ++r) {
+    os << std::left << std::setw(20) << library_names[r];
+    for (std::size_t c = 0; c < functions.size(); ++c)
+      os << std::setw(11) << to_string(cells[r][c].kind);
+    os << "\n";
+  }
+  return os.str();
+}
+
+IssueMatrix detect_issues(const std::vector<SimulatedLibrary>& roster,
+                          const DetectorConfig& config) {
+  num::Rng rng(config.seed);
+  // Broadband test signal: chirp + tone + noise, so every bin carries energy.
+  Vec signal = chirp(config.signal_length, 2.0, 60.0, 256.0);
+  {
+    const Vec t = tone(config.signal_length, 17.0, 256.0, 0.5);
+    for (std::size_t i = 0; i < signal.size(); ++i)
+      signal[i] += t[i] + rng.normal(0.0, 0.05);
+  }
+  const CVec csignal = to_complex(signal);
+  const Vec window = make_window(WindowKind::kHann, config.window_length);
+
+  const SimulatedLibrary reference("reference", Defect::kNone);
+  const CVec ref_fft = reference.fft(csignal);
+  const CVec ref_ifft = reference.ifft(ref_fft);
+  const CVec ref_rfft = reference.rfft(signal);
+  const Vec ref_irfft = reference.irfft(ref_rfft, signal.size());
+  const TfGrid ref_stft =
+      reference.stft(signal, config.fft_size, config.hop, window);
+  const Vec ref_istft = reference.istft(ref_stft, config.fft_size, config.hop,
+                                        window, signal.size());
+
+  IssueMatrix matrix;
+  matrix.functions = all_fft_functions();
+  for (const SimulatedLibrary& lib : roster) {
+    matrix.library_names.push_back(lib.name());
+    std::vector<IssueReport> row;
+    for (FftFunction f : matrix.functions) {
+      IssueReport report;
+      try {
+        switch (f) {
+          case FftFunction::kFft:
+            report = classify_outputs(ref_fft, lib.fft(csignal),
+                                      config.tolerance);
+            break;
+          case FftFunction::kIfft:
+            report = classify_outputs(ref_ifft, lib.ifft(ref_fft),
+                                      config.tolerance);
+            break;
+          case FftFunction::kRfft:
+            report = classify_outputs(ref_rfft, lib.rfft(signal),
+                                      config.tolerance);
+            break;
+          case FftFunction::kIrfft:
+            report = classify_outputs(
+                ref_irfft, lib.irfft(ref_rfft, signal.size()),
+                config.tolerance);
+            break;
+          case FftFunction::kStft: {
+            const TfGrid g =
+                lib.stft(signal, config.fft_size, config.hop, window);
+            report = classify_outputs(ref_stft.data(), g.data(),
+                                      config.tolerance);
+            if (g.bins() != ref_stft.bins() ||
+                g.frames() != ref_stft.frames()) {
+              report.kind = IssueKind::kShapeMismatch;
+              report.detail = std::to_string(g.bins()) + "x" +
+                              std::to_string(g.frames()) + " vs " +
+                              std::to_string(ref_stft.bins()) + "x" +
+                              std::to_string(ref_stft.frames());
+            }
+            break;
+          }
+          case FftFunction::kIstft: {
+            const TfGrid own =
+                lib.stft(signal, config.fft_size, config.hop, window);
+            const Vec rec = lib.istft(own, config.fft_size, config.hop, window,
+                                      signal.size());
+            // Round-trip test: the library's own ISTFT(STFT(x)) should
+            // return x.
+            report = classify_outputs(signal, rec, config.tolerance * 100.0);
+            break;
+          }
+        }
+      } catch (const std::exception& e) {
+        report.kind = IssueKind::kRaisedError;
+        report.detail = e.what();
+      }
+      row.push_back(std::move(report));
+    }
+    matrix.cells.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+}  // namespace rcr::sig

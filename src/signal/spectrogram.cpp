@@ -1,0 +1,159 @@
+#include "rcr/signal/spectrogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::sig {
+
+Image spectrogram_image(const Vec& signal, const StftConfig& config,
+                        std::size_t height, std::size_t width,
+                        double dynamic_range_db) {
+  if (height == 0 || width == 0)
+    throw std::invalid_argument("spectrogram_image: zero output size");
+  const TfGrid grid = stft(signal, config);
+  // Keep only the non-redundant lower half of the spectrum of a real signal.
+  const std::size_t bins = grid.bins() / 2 + 1;
+  const std::size_t frames = grid.frames();
+
+  // Log magnitude in dB, tracking the peak for normalization.
+  std::vector<Vec> db(bins, Vec(frames, 0.0));
+  double peak = -1e30;
+  for (std::size_t m = 0; m < bins; ++m) {
+    for (std::size_t n = 0; n < frames; ++n) {
+      const double mag = std::abs(grid(m, n));
+      db[m][n] = 20.0 * std::log10(std::max(mag, 1e-30));
+      peak = std::max(peak, db[m][n]);
+    }
+  }
+
+  // Area-average resample onto the fixed image grid.  Row 0 = highest
+  // frequency (image convention), column 0 = first frame.
+  Image img;
+  img.height = height;
+  img.width = width;
+  img.pixels.assign(height * width, 0.0);
+  for (std::size_t r = 0; r < height; ++r) {
+    const std::size_t m_lo = (height - 1 - r) * bins / height;
+    const std::size_t m_hi = std::max(m_lo + 1, (height - r) * bins / height);
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t n_lo = c * frames / width;
+      const std::size_t n_hi = std::max(n_lo + 1, (c + 1) * frames / width);
+      double acc = 0.0;
+      std::size_t count = 0;
+      for (std::size_t m = m_lo; m < m_hi && m < bins; ++m)
+        for (std::size_t n = n_lo; n < n_hi && n < frames; ++n) {
+          acc += db[m][n];
+          ++count;
+        }
+      const double val = count > 0 ? acc / static_cast<double>(count) : peak - dynamic_range_db;
+      // Map [peak - range, peak] -> [0, 1].
+      img.at(r, c) = std::clamp(
+          (val - (peak - dynamic_range_db)) / dynamic_range_db, 0.0, 1.0);
+    }
+  }
+  return img;
+}
+
+const std::vector<Modulation>& modulation_classes() {
+  static const std::vector<Modulation> kClasses = {
+      Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16};
+  return kClasses;
+}
+
+namespace {
+
+StftConfig dataset_stft_config() {
+  StftConfig config;
+  config.window = make_window(WindowKind::kHann, 64);
+  config.hop = 16;
+  config.fft_size = 64;
+  config.convention = StftConvention::kSimplifiedTimeInvariant;
+  config.padding = FramePadding::kCircular;
+  return config;
+}
+
+}  // namespace
+
+std::vector<ClassSample> make_classification_dataset(std::size_t per_class,
+                                                     std::size_t image_size,
+                                                     double noise_stddev,
+                                                     num::Rng& rng) {
+  std::vector<ClassSample> out;
+  const StftConfig config = dataset_stft_config();
+  const auto& classes = modulation_classes();
+  for (std::size_t label = 0; label < classes.size(); ++label) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      OfdmParams params;
+      params.modulation = classes[label];
+      // Distinguishing cue: occupied bandwidth scales with the modulation
+      // order (narrow BPSK control channel, wider QAM data channel), the way
+      // 5G service classes occupy different slice widths.
+      params.active_subcarriers = 16 + 16 * label;
+      params.num_symbols = 8;
+      const Vec burst = ofdm_burst(params, rng);
+      const Vec noisy = add_noise(burst, noise_stddev, rng);
+      ClassSample sample;
+      sample.image = spectrogram_image(noisy, config, image_size, image_size);
+      sample.label = label;
+      out.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
+std::vector<DetectSample> make_detection_dataset(std::size_t count,
+                                                 std::size_t image_size,
+                                                 double noise_stddev,
+                                                 num::Rng& rng) {
+  std::vector<DetectSample> out;
+  const StftConfig config = dataset_stft_config();
+  const std::size_t capture_len = 2048;
+  for (std::size_t i = 0; i < count; ++i) {
+    OfdmParams params;
+    params.modulation = Modulation::kQpsk;
+    params.num_symbols = static_cast<std::size_t>(rng.uniform_int(3, 8));
+    params.active_subcarriers =
+        static_cast<std::size_t>(rng.uniform_int(16, 48));
+    const BurstCapture cap =
+        embedded_burst(capture_len, params, noise_stddev, rng);
+
+    DetectSample sample;
+    sample.image =
+        spectrogram_image(cap.samples, config, image_size, image_size);
+    // Time extent (x axis) from the sample offsets.
+    const double x0 = static_cast<double>(cap.offset) /
+                      static_cast<double>(capture_len);
+    const double xw = static_cast<double>(cap.length) /
+                      static_cast<double>(capture_len);
+    sample.x_center = x0 + 0.5 * xw;
+    sample.box_w = xw;
+    // Frequency extent (y axis): occupied band is centered in the lower half
+    // spectrum; image row 0 is the highest frequency.
+    const double band = static_cast<double>(params.active_subcarriers) /
+                        static_cast<double>(params.fft_size);
+    sample.y_center = 0.5;
+    sample.box_h = band;
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+double box_iou(double ax, double ay, double aw, double ah, double bx, double by,
+               double bw, double bh) {
+  const double ax0 = ax - aw / 2.0;
+  const double ax1 = ax + aw / 2.0;
+  const double ay0 = ay - ah / 2.0;
+  const double ay1 = ay + ah / 2.0;
+  const double bx0 = bx - bw / 2.0;
+  const double bx1 = bx + bw / 2.0;
+  const double by0 = by - bh / 2.0;
+  const double by1 = by + bh / 2.0;
+  const double ix = std::max(0.0, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const double iy = std::max(0.0, std::min(ay1, by1) - std::max(ay0, by0));
+  const double inter = ix * iy;
+  const double uni = aw * ah + bw * bh - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+}  // namespace rcr::sig

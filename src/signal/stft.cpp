@@ -1,0 +1,180 @@
+#include "rcr/signal/stft.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace rcr::sig {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+std::size_t wrap(std::ptrdiff_t idx, std::size_t n) {
+  const auto len = static_cast<std::ptrdiff_t>(n);
+  std::ptrdiff_t r = idx % len;
+  if (r < 0) r += len;
+  return static_cast<std::size_t>(r);
+}
+}  // namespace
+
+double TfGrid::max_abs_diff(const TfGrid& a, const TfGrid& b) {
+  if (a.bins() != b.bins() || a.frames() != b.frames())
+    return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+double TfGrid::max_magnitude() const {
+  double m = 0.0;
+  for (const auto& v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void StftConfig::validate() const {
+  if (window.empty()) throw std::invalid_argument("StftConfig: empty window");
+  if (hop == 0) throw std::invalid_argument("StftConfig: zero hop");
+  if (fft_size < window.size())
+    throw std::invalid_argument("StftConfig: fft_size smaller than window");
+}
+
+std::size_t StftConfig::frame_count(std::size_t n) const {
+  if (padding == FramePadding::kCircular) {
+    return (n + hop - 1) / hop;  // frame origins 0, a, 2a, ... < n
+  }
+  if (n < window.size()) return 0;
+  return (n - window.size()) / hop + 1;
+}
+
+TfGrid stft(const Vec& signal, const StftConfig& config) {
+  config.validate();
+  if (signal.empty()) throw std::invalid_argument("stft: empty signal");
+  const std::size_t lg = config.window.size();
+  const std::size_t m = config.fft_size;
+  const std::size_t frames = config.frame_count(signal.size());
+  if (frames == 0)
+    throw std::invalid_argument("stft: signal shorter than window");
+
+  // Eq. 5 (TI) equals Eq. 6 (STI) applied to frames advanced by
+  // floor(Lg/2) samples, times a per-bin phase factor (see header).
+  const std::ptrdiff_t offset =
+      config.convention == StftConvention::kTimeInvariant
+          ? -static_cast<std::ptrdiff_t>(lg / 2)
+          : 0;
+
+  TfGrid out(m, frames);
+  CVec frame(m);
+  for (std::size_t n = 0; n < frames; ++n) {
+    const auto start = static_cast<std::ptrdiff_t>(n * config.hop) + offset;
+    for (std::size_t l = 0; l < m; ++l) frame[l] = {0.0, 0.0};
+    for (std::size_t l = 0; l < lg; ++l) {
+      const std::size_t src =
+          config.padding == FramePadding::kCircular
+              ? wrap(start + static_cast<std::ptrdiff_t>(l), signal.size())
+              : static_cast<std::size_t>(start) + l;
+      frame[l] = {signal[src] * config.window[l], 0.0};
+    }
+    const CVec spectrum = fft(frame);
+    for (std::size_t bin = 0; bin < m; ++bin) out(bin, n) = spectrum[bin];
+  }
+
+  if (config.convention == StftConvention::kTimeInvariant) {
+    const TfGrid p = phase_factor_matrix(m, frames, lg, m);
+    return pointwise_multiply(out, p);
+  }
+  return out;
+}
+
+Vec istft(const TfGrid& grid, const StftConfig& config, std::size_t n) {
+  config.validate();
+  if (grid.bins() != config.fft_size)
+    throw std::invalid_argument("istft: bin count != fft_size");
+  if (config.padding != FramePadding::kCircular)
+    throw std::invalid_argument("istft: only circular padding is invertible");
+  if (grid.frames() != config.frame_count(n))
+    throw std::invalid_argument("istft: frame count mismatch for length n");
+
+  const std::size_t lg = config.window.size();
+  const std::size_t m = config.fft_size;
+
+  // Undo the TI phase factor so both conventions share one overlap-add path.
+  TfGrid work = grid;
+  std::ptrdiff_t offset = 0;
+  if (config.convention == StftConvention::kTimeInvariant) {
+    const TfGrid p = phase_factor_matrix(m, grid.frames(), lg, m);
+    for (std::size_t i = 0; i < work.data().size(); ++i)
+      work.data()[i] = grid.data()[i] * std::conj(p.data()[i]);
+    offset = -static_cast<std::ptrdiff_t>(lg / 2);
+  }
+
+  Vec numer(n, 0.0);
+  Vec denom(n, 0.0);
+  CVec column(m);
+  for (std::size_t fr = 0; fr < work.frames(); ++fr) {
+    for (std::size_t bin = 0; bin < m; ++bin) column[bin] = work(bin, fr);
+    const CVec time = ifft(column);
+    const auto start = static_cast<std::ptrdiff_t>(fr * config.hop) + offset;
+    for (std::size_t l = 0; l < lg; ++l) {
+      const std::size_t dst = wrap(start + static_cast<std::ptrdiff_t>(l), n);
+      numer[dst] += config.window[l] * time[l].real();
+      denom[dst] += config.window[l] * config.window[l];
+    }
+  }
+
+  Vec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (denom[i] <= 1e-12)
+      throw std::invalid_argument(
+          "istft: window/hop pair leaves samples uncovered");
+    out[i] = numer[i] / denom[i];
+  }
+  return out;
+}
+
+TfGrid phase_factor_matrix(std::size_t bins, std::size_t frames,
+                           std::size_t window_length, std::size_t fft_size) {
+  TfGrid p(bins, frames);
+  const double shift = static_cast<double>(window_length / 2);
+  for (std::size_t m = 0; m < bins; ++m) {
+    const double ang =
+        kTwoPi * static_cast<double>(m) * shift / static_cast<double>(fft_size);
+    const std::complex<double> factor(std::cos(ang), std::sin(ang));
+    for (std::size_t n = 0; n < frames; ++n) p(m, n) = factor;
+  }
+  return p;
+}
+
+TfGrid pointwise_multiply(const TfGrid& a, const TfGrid& b) {
+  if (a.bins() != b.bins() || a.frames() != b.frames())
+    throw std::invalid_argument("pointwise_multiply: shape mismatch");
+  TfGrid out(a.bins(), a.frames());
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+TfGrid convert_sti_to_ti(const TfGrid& sti, std::size_t window_length,
+                         std::size_t fft_size) {
+  const TfGrid p =
+      phase_factor_matrix(sti.bins(), sti.frames(), window_length, fft_size);
+  return pointwise_multiply(sti, p);
+}
+
+double max_phase_discrepancy(const TfGrid& a, const TfGrid& b,
+                             double magnitude_floor) {
+  if (a.bins() != b.bins() || a.frames() != b.frames())
+    return std::numbers::pi;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const auto& x = a.data()[i];
+    const auto& y = b.data()[i];
+    if (std::abs(x) <= magnitude_floor || std::abs(y) <= magnitude_floor)
+      continue;
+    worst = std::max(worst, std::abs(std::arg(x * std::conj(y))));
+  }
+  return worst;
+}
+
+}  // namespace rcr::sig

@@ -1,0 +1,170 @@
+#include "rcr/signal/variants.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::sig {
+
+std::string to_string(Defect defect) {
+  switch (defect) {
+    case Defect::kNone:
+      return "none";
+    case Defect::kLegacySignature:
+      return "legacy-signature";
+    case Defect::kPhaseSkew:
+      return "phase-skew";
+    case Defect::kNonCircular:
+      return "non-circular";
+    case Defect::kMissingScale:
+      return "missing-scale";
+    case Defect::kConjugateFlip:
+      return "conjugate-flip";
+    case Defect::kUnstableCompose:
+      return "unstable-compose";
+  }
+  return "unknown";
+}
+
+namespace {
+CVec conjugate(const CVec& x) {
+  CVec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::conj(x[i]);
+  return out;
+}
+}  // namespace
+
+CVec SimulatedLibrary::fft(const CVec& x) const {
+  if (defect_ == Defect::kConjugateFlip) {
+    // e^{+i...} kernel == conjugate of the DFT of the conjugated input.
+    return conjugate(::rcr::sig::fft(conjugate(x)));
+  }
+  return ::rcr::sig::fft(x);
+}
+
+CVec SimulatedLibrary::ifft(const CVec& x) const {
+  CVec out = defect_ == Defect::kConjugateFlip
+                 ? conjugate(::rcr::sig::ifft(conjugate(x)))
+                 : ::rcr::sig::ifft(x);
+  if (defect_ == Defect::kMissingScale) {
+    for (auto& v : out) v *= static_cast<double>(out.size());
+  }
+  return out;
+}
+
+CVec SimulatedLibrary::rfft(const Vec& x) const {
+  if (defect_ == Defect::kConjugateFlip) {
+    const CVec full = fft(to_complex(x));
+    return CVec(full.begin(),
+                full.begin() + static_cast<std::ptrdiff_t>(x.size() / 2 + 1));
+  }
+  return ::rcr::sig::rfft(x);
+}
+
+Vec SimulatedLibrary::irfft(const CVec& spectrum, std::size_t n) const {
+  Vec out = ::rcr::sig::irfft(spectrum, n);
+  if (defect_ == Defect::kMissingScale) {
+    for (auto& v : out) v *= static_cast<double>(n);
+  }
+  return out;
+}
+
+StftConfig SimulatedLibrary::make_config(std::size_t fft_size, std::size_t hop,
+                                         const Vec& window) const {
+  StftConfig config;
+  config.hop = hop;
+  config.convention = StftConvention::kSimplifiedTimeInvariant;
+  config.padding = FramePadding::kCircular;
+
+  switch (defect_) {
+    case Defect::kLegacySignature: {
+      // Pre-v0.4.1 semantics: the transform size follows the *frame* (the
+      // window length), silently ignoring the requested fft_size -- callers
+      // using the Librosa-consistent signature get a grid with the wrong
+      // number of frequency bins.
+      config.window = window;
+      config.fft_size = window.size();
+      break;
+    }
+    case Defect::kNonCircular:
+      config.window = window;
+      config.fft_size = fft_size;
+      config.padding = FramePadding::kTruncate;
+      break;
+    default:
+      config.window = window;
+      config.fft_size = fft_size;
+      break;
+  }
+  return config;
+}
+
+TfGrid SimulatedLibrary::stft(const Vec& signal, std::size_t fft_size,
+                              std::size_t hop, const Vec& window) const {
+  const StftConfig config = make_config(fft_size, hop, window);
+  TfGrid grid = ::rcr::sig::stft(signal, config);
+  if (defect_ == Defect::kPhaseSkew) {
+    // The library bakes the stored-window phase factors into its output
+    // (Sec. IV-B's "phase skew dependency on the stored window"): callers
+    // expecting the plain STI convention see every coefficient rotated by
+    // e^{2*pi*i*m*floor(Lg/2)/M} -- magnitudes intact, phases corrupted.
+    return convert_sti_to_ti(grid, config.window.size(), config.fft_size);
+  }
+  if (defect_ == Defect::kConjugateFlip) {
+    for (auto& v : grid.data()) v = std::conj(v);
+  }
+  return grid;
+}
+
+Vec SimulatedLibrary::istft(const TfGrid& grid, std::size_t fft_size,
+                            std::size_t hop, const Vec& window,
+                            std::size_t n) const {
+  const StftConfig config = make_config(fft_size, hop, window);
+  if (config.padding != FramePadding::kCircular) {
+    // Truncating libraries cannot reconstruct the tail; report via exception
+    // like their real counterparts do via shape errors.
+    throw std::invalid_argument("SimulatedLibrary::istft: non-invertible framing");
+  }
+  Vec out = ::rcr::sig::istft(grid, config, n);
+  if (defect_ == Defect::kMissingScale) {
+    for (auto& v : out) v *= static_cast<double>(config.fft_size);
+  }
+  return out;
+}
+
+Vec SimulatedLibrary::log_power(const Vec& frame) const {
+  // Normalized per-bin power of the frame's spectrum, then log.
+  const CVec spec = ::rcr::sig::rfft(frame);
+  Vec power(spec.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    power[i] = std::norm(spec[i]);
+    total += power[i];
+  }
+  Vec out(power.size());
+  if (defect_ == Defect::kUnstableCompose) {
+    // Separate normalize-then-log: tiny bins underflow to 0 -> log -> -inf,
+    // the exact softmax/log pathology Sec. V calls out.
+    for (std::size_t i = 0; i < power.size(); ++i)
+      out[i] = std::log(power[i] / total);
+  } else {
+    // Fused form: log(p_i) - log(total), stable for tiny p_i.
+    const double log_total = std::log(total);
+    for (std::size_t i = 0; i < power.size(); ++i)
+      out[i] = (power[i] > 0.0 ? std::log(power[i]) : -745.0) - log_total;
+  }
+  return out;
+}
+
+std::vector<SimulatedLibrary> standard_library_roster() {
+  return {
+      SimulatedLibrary("reference", Defect::kNone),
+      SimulatedLibrary("torch-0.3-sim", Defect::kLegacySignature),
+      SimulatedLibrary("tensorflow-sim", Defect::kPhaseSkew),
+      SimulatedLibrary("caffe2-sim", Defect::kNonCircular),
+      SimulatedLibrary("julia-sim", Defect::kMissingScale),
+      SimulatedLibrary("scipy-legacy-sim", Defect::kConjugateFlip),
+      SimulatedLibrary("caffe-sim", Defect::kUnstableCompose),
+  };
+}
+
+}  // namespace rcr::sig

@@ -1,0 +1,141 @@
+#include "rcr/signal/waveform.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rcr::sig {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+Vec tone(std::size_t n, double freq, double sample_rate, double amplitude,
+         double phase) {
+  Vec out(n);
+  for (std::size_t k = 0; k < n; ++k)
+    out[k] = amplitude * std::sin(kTwoPi * freq * static_cast<double>(k) /
+                                      sample_rate +
+                                  phase);
+  return out;
+}
+
+Vec chirp(std::size_t n, double f0, double f1, double sample_rate,
+          double amplitude) {
+  Vec out(n);
+  const double duration = static_cast<double>(n) / sample_rate;
+  const double rate = (f1 - f0) / duration;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) / sample_rate;
+    out[k] = amplitude * std::sin(kTwoPi * (f0 * t + 0.5 * rate * t * t));
+  }
+  return out;
+}
+
+Vec awgn(std::size_t n, double stddev, num::Rng& rng) {
+  return rng.normal_vec(n, 0.0, stddev);
+}
+
+Vec add_noise(const Vec& x, double stddev, num::Rng& rng) {
+  Vec out = x;
+  for (double& v : out) v += rng.normal(0.0, stddev);
+  return out;
+}
+
+Vec circular_shift(const Vec& x, std::ptrdiff_t shift) {
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  if (n == 0) return {};
+  Vec out(x.size());
+  for (std::ptrdiff_t k = 0; k < n; ++k) {
+    std::ptrdiff_t src = (k - shift) % n;
+    if (src < 0) src += n;
+    out[static_cast<std::size_t>(k)] = x[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+std::string to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk:
+      return "BPSK";
+    case Modulation::kQpsk:
+      return "QPSK";
+    case Modulation::kQam16:
+      return "QAM16";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::complex<double> draw_symbol(Modulation mod, num::Rng& rng) {
+  switch (mod) {
+    case Modulation::kBpsk:
+      return {rng.bernoulli(0.5) ? 1.0 : -1.0, 0.0};
+    case Modulation::kQpsk: {
+      const double re = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      const double im = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      return std::complex<double>(re, im) / std::sqrt(2.0);
+    }
+    case Modulation::kQam16: {
+      // Gray-mapped 16-QAM levels {-3,-1,1,3}/sqrt(10).
+      const double levels[4] = {-3.0, -1.0, 1.0, 3.0};
+      const double re = levels[rng.uniform_int(0, 3)];
+      const double im = levels[rng.uniform_int(0, 3)];
+      return std::complex<double>(re, im) / std::sqrt(10.0);
+    }
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace
+
+Vec ofdm_burst(const OfdmParams& params, num::Rng& rng) {
+  if (params.active_subcarriers > params.fft_size)
+    throw std::invalid_argument("ofdm_burst: active subcarriers > fft size");
+  if (params.fft_size == 0)
+    throw std::invalid_argument("ofdm_burst: zero fft size");
+
+  Vec out;
+  out.reserve(params.total_samples());
+  const std::size_t guard = (params.fft_size - params.active_subcarriers) / 2;
+
+  for (std::size_t sym = 0; sym < params.num_symbols; ++sym) {
+    CVec freq(params.fft_size, {0.0, 0.0});
+    for (std::size_t sc = 0; sc < params.active_subcarriers; ++sc)
+      freq[guard + sc] = draw_symbol(params.modulation, rng);
+    CVec time = ifft(freq);
+    // Normalize to unit average power over the occupied band.
+    double power = 0.0;
+    for (const auto& v : time) power += std::norm(v);
+    power /= static_cast<double>(time.size());
+    const double scale = power > 0.0 ? 1.0 / std::sqrt(power) : 1.0;
+
+    // Cyclic prefix, then the symbol body (real part as the transmitted
+    // waveform).
+    for (std::size_t k = params.fft_size - params.cyclic_prefix;
+         k < params.fft_size; ++k)
+      out.push_back(time[k].real() * scale);
+    for (std::size_t k = 0; k < params.fft_size; ++k)
+      out.push_back(time[k].real() * scale);
+  }
+  return out;
+}
+
+BurstCapture embedded_burst(std::size_t capture_len, const OfdmParams& params,
+                            double noise_stddev, num::Rng& rng) {
+  const Vec burst = ofdm_burst(params, rng);
+  if (burst.size() > capture_len)
+    throw std::invalid_argument("embedded_burst: burst longer than capture");
+
+  BurstCapture cap;
+  cap.samples = awgn(capture_len, noise_stddev, rng);
+  cap.length = burst.size();
+  cap.offset = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(capture_len - burst.size())));
+  for (std::size_t k = 0; k < burst.size(); ++k)
+    cap.samples[cap.offset + k] += burst[k];
+  return cap;
+}
+
+}  // namespace rcr::sig

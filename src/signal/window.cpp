@@ -1,0 +1,92 @@
+#include "rcr/signal/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rcr::sig {
+
+std::string to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return "rectangular";
+    case WindowKind::kHann:
+      return "hann";
+    case WindowKind::kHamming:
+      return "hamming";
+    case WindowKind::kBlackman:
+      return "blackman";
+    case WindowKind::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+Vec make_window(WindowKind kind, std::size_t length) {
+  if (length == 0) throw std::invalid_argument("make_window: zero length");
+  Vec w(length, 1.0);
+  const double n = static_cast<double>(length);  // periodic form
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (std::size_t k = 0; k < length; ++k) {
+    const double t = static_cast<double>(k);
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[k] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[k] = 0.5 - 0.5 * std::cos(kTwoPi * t / n);
+        break;
+      case WindowKind::kHamming:
+        w[k] = 0.54 - 0.46 * std::cos(kTwoPi * t / n);
+        break;
+      case WindowKind::kBlackman:
+        w[k] = 0.42 - 0.5 * std::cos(kTwoPi * t / n) +
+               0.08 * std::cos(2.0 * kTwoPi * t / n);
+        break;
+      case WindowKind::kGaussian: {
+        const double sigma = n / 8.0;
+        const double c = (t - n / 2.0) / sigma;
+        w[k] = std::exp(-0.5 * c * c);
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+Vec overlap_add_profile(const Vec& window, std::size_t hop) {
+  if (hop == 0) throw std::invalid_argument("overlap_add_profile: zero hop");
+  Vec profile(hop, 0.0);
+  for (std::size_t k = 0; k < window.size(); ++k)
+    profile[k % hop] += window[k];
+  return profile;
+}
+
+bool satisfies_cola(const Vec& window, std::size_t hop, double tol) {
+  const Vec p = overlap_add_profile(window, hop);
+  double lo = p[0];
+  double hi = p[0];
+  for (double v : p) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= 0.0) return false;
+  return (hi - lo) / hi <= tol;
+}
+
+std::size_t window_peak_index(const Vec& window) {
+  std::size_t best = 0;
+  const std::size_t center = window.size() / 2;
+  for (std::size_t k = 1; k < window.size(); ++k) {
+    if (window[k] > window[best] ||
+        (window[k] == window[best] &&
+         std::llabs(static_cast<long long>(k) - static_cast<long long>(center)) <
+             std::llabs(static_cast<long long>(best) -
+                        static_cast<long long>(center)))) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace rcr::sig

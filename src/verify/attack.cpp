@@ -1,0 +1,126 @@
+#include "rcr/verify/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::verify {
+
+Vec margin_input_gradient(const ReluNetwork& net, const Vec& x,
+                          std::size_t label) {
+  const std::size_t classes = net.output_dim();
+  if (label >= classes)
+    throw std::invalid_argument("margin_input_gradient: label out of range");
+
+  // Forward pass caching post-activation values and ReLU masks.
+  std::vector<Vec> activations;  // a_0 = x, a_k after ReLU
+  std::vector<std::vector<bool>> active;
+  activations.push_back(x);
+  Vec a = x;
+  for (std::size_t k = 0; k < net.layers.size(); ++k) {
+    Vec z = num::matvec(net.layers[k].w, a);
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += net.layers[k].b[i];
+    if (k + 1 < net.layers.size()) {
+      std::vector<bool> mask(z.size());
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        mask[i] = z[i] > 0.0;
+        if (!mask[i]) z[i] = 0.0;
+      }
+      active.push_back(std::move(mask));
+    }
+    activations.push_back(z);
+    a = activations.back();
+  }
+  const Vec& y = activations.back();
+
+  // Runner-up class.
+  std::size_t runner = label == 0 ? 1 : 0;
+  for (std::size_t k = 0; k < classes; ++k)
+    if (k != label && y[k] > y[runner]) runner = k;
+
+  // Backward: delta over the output is e_label - e_runner.
+  Vec delta(classes, 0.0);
+  delta[label] = 1.0;
+  delta[runner] = -1.0;
+  for (std::size_t k = net.layers.size(); k-- > 0;) {
+    Vec prev = num::matvec_transposed(net.layers[k].w, delta);
+    if (k > 0) {
+      const auto& mask = active[k - 1];
+      for (std::size_t i = 0; i < prev.size(); ++i)
+        if (!mask[i]) prev[i] = 0.0;
+    }
+    delta = std::move(prev);
+  }
+  return delta;
+}
+
+namespace {
+
+double margin_at(const ReluNetwork& net, const Vec& x, std::size_t label) {
+  const Vec y = net.forward(x);
+  double best_other = -1e300;
+  for (std::size_t k = 0; k < y.size(); ++k)
+    if (k != label) best_other = std::max(best_other, y[k]);
+  return y[label] - best_other;
+}
+
+}  // namespace
+
+AttackResult pgd_attack(const ReluNetwork& net, const Vec& x, double eps,
+                        std::size_t label, const PgdOptions& options) {
+  if (label >= net.output_dim())
+    throw std::invalid_argument("pgd_attack: label out of range");
+
+  num::Rng rng(options.seed);
+  const double step = options.step_fraction * eps;
+
+  AttackResult result;
+  result.worst_margin = margin_at(net, x, label);
+  ++result.queries;
+
+  for (std::size_t restart = 0; restart < options.restarts; ++restart) {
+    // Start at x for the first restart, random inside the ball afterwards.
+    Vec p = x;
+    if (restart > 0)
+      for (std::size_t j = 0; j < p.size(); ++j)
+        p[j] += rng.uniform(-eps, eps);
+
+    for (std::size_t it = 0; it < options.steps; ++it) {
+      // Descend the margin: signed-gradient step, projected onto the ball.
+      const Vec g = margin_input_gradient(net, p, label);
+      ++result.queries;
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        p[j] -= step * (g[j] > 0.0 ? 1.0 : (g[j] < 0.0 ? -1.0 : 0.0));
+        p[j] = std::clamp(p[j], x[j] - eps, x[j] + eps);
+      }
+      const double m = margin_at(net, p, label);
+      ++result.queries;
+      if (m < result.worst_margin) {
+        result.worst_margin = m;
+        if (m < 0.0) {
+          result.success = true;
+          result.adversarial = p;
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double adversarial_accuracy(const ReluNetwork& net,
+                            const std::vector<LabeledInput>& points,
+                            double eps, const PgdOptions& options) {
+  if (points.empty()) return 0.0;
+  std::size_t robust = 0;
+  PgdOptions opts = options;
+  for (const auto& p : points) {
+    ++opts.seed;  // decorrelate restarts across points
+    if (!pgd_attack(net, p.x, eps, p.label, opts).success) ++robust;
+  }
+  return static_cast<double>(robust) / static_cast<double>(points.size());
+}
+
+}  // namespace rcr::verify

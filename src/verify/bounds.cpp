@@ -1,0 +1,364 @@
+#include "rcr/verify/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::verify {
+
+Vec Box::center() const {
+  Vec c(lower.size());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    c[i] = 0.5 * (lower[i] + upper[i]);
+  return c;
+}
+
+Vec Box::radius() const {
+  Vec r(lower.size());
+  for (std::size_t i = 0; i < r.size(); ++i)
+    r[i] = 0.5 * (upper[i] - lower[i]);
+  return r;
+}
+
+double Box::max_width() const {
+  double w = 0.0;
+  for (std::size_t i = 0; i < lower.size(); ++i)
+    w = std::max(w, upper[i] - lower[i]);
+  return w;
+}
+
+Box Box::around(const Vec& x, double eps) {
+  Box b;
+  b.lower = x;
+  b.upper = x;
+  for (double& v : b.lower) v -= eps;
+  for (double& v : b.upper) v += eps;
+  return b;
+}
+
+void Box::validate() const {
+  if (lower.size() != upper.size())
+    throw std::invalid_argument("Box: dimension mismatch");
+  for (std::size_t i = 0; i < lower.size(); ++i)
+    if (lower[i] > upper[i])
+      throw std::invalid_argument("Box: lower > upper");
+}
+
+std::string to_string(BoundMethod m) {
+  return m == BoundMethod::kIbp ? "ibp" : "crown";
+}
+
+double LayerBounds::mean_width(std::size_t k) const {
+  const Box& b = pre_activation.at(k);
+  if (b.dim() == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.dim(); ++i) acc += b.upper[i] - b.lower[i];
+  return acc / static_cast<double>(b.dim());
+}
+
+std::size_t LayerBounds::unstable_count(std::size_t k) const {
+  const Box& b = pre_activation.at(k);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < b.dim(); ++i)
+    if (b.lower[i] < 0.0 && b.upper[i] > 0.0) ++n;
+  return n;
+}
+
+namespace {
+
+// Apply a phase constraint to a pre-activation interval.  Returns false when
+// the constraint empties the interval (infeasible branch).
+// Snap ULP-scale inversions (which arise when two independently rounded
+// bound computations are intersected) back to a point interval; report only
+// genuine inversions.
+bool repair_interval(double& l, double& u) {
+  if (l <= u) return true;
+  if (l - u <= 1e-9 * (1.0 + std::abs(l) + std::abs(u))) {
+    const double mid = 0.5 * (l + u);
+    l = mid;
+    u = mid;
+    return true;
+  }
+  return false;
+}
+
+bool apply_phase(int phase, double& l, double& u) {
+  if (phase > 0) l = std::max(l, 0.0);
+  if (phase < 0) u = std::min(u, 0.0);
+  return repair_interval(l, u);
+}
+
+// ReLU activation interval from a (possibly phase-clipped) pre-activation
+// interval.
+void relu_interval(double l, double u, double& al, double& au) {
+  al = std::max(l, 0.0);
+  au = std::max(u, 0.0);
+}
+
+}  // namespace
+
+LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input) {
+  net.validate();
+  input.validate();
+  LayerBounds out;
+  Vec mu = input.center();
+  Vec r = input.radius();
+
+  for (std::size_t k = 0; k < net.layers.size(); ++k) {
+    const AffineLayer& layer = net.layers[k];
+    // mu' = W mu + b;  r' = |W| r.
+    Vec mu_next = num::matvec(layer.w, mu);
+    for (std::size_t i = 0; i < mu_next.size(); ++i) mu_next[i] += layer.b[i];
+    Vec r_next(layer.out_dim(), 0.0);
+    for (std::size_t i = 0; i < layer.w.rows(); ++i)
+      for (std::size_t j = 0; j < layer.w.cols(); ++j)
+        r_next[i] += std::abs(layer.w(i, j)) * r[j];
+
+    Box pre;
+    pre.lower = num::sub(mu_next, r_next);
+    pre.upper = num::add(mu_next, r_next);
+    out.pre_activation.push_back(pre);
+
+    if (k + 1 < net.layers.size()) {
+      mu.assign(pre.lower.size(), 0.0);
+      r.assign(pre.lower.size(), 0.0);
+      for (std::size_t i = 0; i < pre.lower.size(); ++i) {
+        double al;
+        double au;
+        relu_interval(pre.lower[i], pre.upper[i], al, au);
+        mu[i] = 0.5 * (al + au);
+        r[i] = 0.5 * (au - al);
+      }
+    } else {
+      out.output = pre;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Per-neuron linear ReLU relaxation coefficients over [l, u].
+struct ReluRelax {
+  double up_slope = 0.0;
+  double up_intercept = 0.0;
+  double low_slope = 0.0;  // intercept of lower relaxation is always 0
+};
+
+ReluRelax relax_neuron(double l, double u) {
+  ReluRelax r;
+  if (u <= 0.0) {
+    return r;  // inactive: a = 0
+  }
+  if (l >= 0.0) {
+    r.up_slope = 1.0;
+    r.low_slope = 1.0;
+    return r;  // active: a = z
+  }
+  r.up_slope = u / (u - l);
+  r.up_intercept = -l * u / (u - l);
+  // Adaptive lower bound (CROWN heuristic): identity when the interval leans
+  // positive, zero otherwise.
+  r.low_slope = (u >= -l) ? 1.0 : 0.0;
+  return r;
+}
+
+struct CrownEngine {
+  const ReluNetwork& net;
+  const Box& input;
+  const PhaseAssignment* phases;  // may be null
+  const AlphaAssignment* alpha;   // may be null
+  std::vector<Box> pre;           // clipped pre-activation bounds so far
+  bool infeasible = false;
+
+  int phase_of(std::size_t layer, std::size_t neuron) const {
+    if (phases == nullptr) return 0;
+    if (layer >= phases->size()) return 0;
+    if (neuron >= (*phases)[layer].size()) return 0;
+    return (*phases)[layer][neuron];
+  }
+
+  // Lower-relaxation slope for an unstable neuron: the tuned alpha when one
+  // is supplied, the adaptive heuristic otherwise.
+  double lower_slope_of(std::size_t layer, std::size_t neuron,
+                        double heuristic) const {
+    if (alpha == nullptr) return heuristic;
+    if (layer >= alpha->size()) return heuristic;
+    if (neuron >= (*alpha)[layer].size()) return heuristic;
+    return (*alpha)[layer][neuron];
+  }
+
+  // Backward-propagate linear bounds for the pre-activations of layer k
+  // (0-based), given clipped bounds for layers 0..k-1 in `pre`.
+  Box bound_layer(std::size_t k) {
+    const std::size_t n_out = net.layers[k].out_dim();
+    // Linear forms: z_k <= LU * a_{j} + cu  and  z_k >= LL * a_j + cl,
+    // initialized at a_{k-1}.
+    Matrix lu = net.layers[k].w;
+    Matrix ll = net.layers[k].w;
+    Vec cu = net.layers[k].b;
+    Vec cl = net.layers[k].b;
+
+    for (std::size_t j = k; j-- > 0;) {
+      // Substitute a_j = ReLU(z_j) using the per-neuron relaxations.
+      const std::size_t width = net.layers[j].out_dim();
+      Matrix lu_z(n_out, width);
+      Matrix ll_z(n_out, width);
+      for (std::size_t col = 0; col < width; ++col) {
+        double l = pre[j].lower[col];
+        double u = pre[j].upper[col];
+        ReluRelax rx = relax_neuron(l, u);
+        if (l < 0.0 && u > 0.0)
+          rx.low_slope = lower_slope_of(j, col, rx.low_slope);
+        for (std::size_t row = 0; row < n_out; ++row) {
+          // Upper form: positive coefficient picks the over-estimator,
+          // negative picks the under-estimator.
+          const double cu_coeff = lu(row, col);
+          if (cu_coeff >= 0.0) {
+            lu_z(row, col) = cu_coeff * rx.up_slope;
+            cu[row] += cu_coeff * rx.up_intercept;
+          } else {
+            lu_z(row, col) = cu_coeff * rx.low_slope;
+          }
+          // Lower form: mirrored.
+          const double cl_coeff = ll(row, col);
+          if (cl_coeff >= 0.0) {
+            ll_z(row, col) = cl_coeff * rx.low_slope;
+          } else {
+            ll_z(row, col) = cl_coeff * rx.up_slope;
+            cl[row] += cl_coeff * rx.up_intercept;
+          }
+        }
+      }
+      // Through the affine layer j: z_j = W_j a_{j-1} + b_j.
+      cu = num::add(cu, num::matvec(lu_z, net.layers[j].b));
+      cl = num::add(cl, num::matvec(ll_z, net.layers[j].b));
+      lu = lu_z * net.layers[j].w;
+      ll = ll_z * net.layers[j].w;
+    }
+
+    // Concretize on the input box.
+    Box out;
+    out.lower.assign(n_out, 0.0);
+    out.upper.assign(n_out, 0.0);
+    for (std::size_t row = 0; row < n_out; ++row) {
+      double hi = cu[row];
+      double lo = cl[row];
+      for (std::size_t col = 0; col < input.dim(); ++col) {
+        const double wu = lu(row, col);
+        hi += wu >= 0.0 ? wu * input.upper[col] : wu * input.lower[col];
+        const double wl = ll(row, col);
+        lo += wl >= 0.0 ? wl * input.lower[col] : wl * input.upper[col];
+      }
+      out.lower[row] = lo;
+      out.upper[row] = hi;
+    }
+    return out;
+  }
+
+  LayerBounds run() {
+    // Backward linear bounds with the adaptive lower slope are usually far
+    // tighter than intervals, but are not *elementwise* dominant (the slope
+    // heuristic can lose to plain intervals on some neurons).  Intersecting
+    // with IBP restores elementwise dominance at negligible cost; both sets
+    // are sound, so their intersection is too.
+    const LayerBounds ibp = ibp_bounds(net, input);
+    LayerBounds result;
+    for (std::size_t k = 0; k < net.layers.size(); ++k) {
+      Box b = bound_layer(k);
+      for (std::size_t i = 0; i < b.dim(); ++i) {
+        b.lower[i] = std::max(b.lower[i], ibp.pre_activation[k].lower[i]);
+        b.upper[i] = std::min(b.upper[i], ibp.pre_activation[k].upper[i]);
+        repair_interval(b.lower[i], b.upper[i]);
+      }
+      // Record the raw bounds, then clip by phases for downstream layers.
+      result.pre_activation.push_back(b);
+      if (k + 1 < net.layers.size()) {
+        for (std::size_t i = 0; i < b.dim(); ++i) {
+          if (!apply_phase(phase_of(k, i), b.lower[i], b.upper[i]))
+            infeasible = true;
+        }
+        if (infeasible) {
+          // The branch admits no inputs; give vacuous (empty-set) bounds.
+          for (std::size_t i = 0; i < b.dim(); ++i) {
+            b.lower[i] = 0.0;
+            b.upper[i] = 0.0;
+          }
+        }
+      } else {
+        result.output = b;
+      }
+      pre.push_back(b);
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+LayerBounds crown_bounds(const ReluNetwork& net, const Box& input) {
+  net.validate();
+  input.validate();
+  CrownEngine engine{net, input, nullptr, nullptr, {}, false};
+  return engine.run();
+}
+
+LayerBounds crown_bounds_with_phases(const ReluNetwork& net, const Box& input,
+                                     const PhaseAssignment& phases) {
+  net.validate();
+  input.validate();
+  CrownEngine engine{net, input, &phases, nullptr, {}, false};
+  return engine.run();
+}
+
+LayerBounds crown_bounds_with_alpha(const ReluNetwork& net, const Box& input,
+                                    const AlphaAssignment& alpha) {
+  net.validate();
+  input.validate();
+  for (const auto& layer : alpha)
+    for (double a : layer)
+      if (a < 0.0 || a > 1.0)
+        throw std::invalid_argument(
+            "crown_bounds_with_alpha: alpha outside [0, 1]");
+  CrownEngine engine{net, input, nullptr, &alpha, {}, false};
+  return engine.run();
+}
+
+LayerBounds compute_bounds(const ReluNetwork& net, const Box& input,
+                           BoundMethod method) {
+  return method == BoundMethod::kIbp ? ibp_bounds(net, input)
+                                     : crown_bounds(net, input);
+}
+
+ReluEnvelope relu_envelope(double l, double u) {
+  if (l > u) throw std::invalid_argument("relu_envelope: l > u");
+  ReluEnvelope e;
+  if (u <= 0.0 || l >= 0.0) {
+    // Stable: the envelope is the function itself.
+    e.upper_slope = l >= 0.0 ? 1.0 : 0.0;
+    e.lower_slope = e.upper_slope;
+    return e;
+  }
+  e.upper_slope = u / (u - l);
+  e.upper_intercept = -l * u / (u - l);
+  e.lower_slope = (u >= -l) ? 1.0 : 0.0;
+  // Gap(z) = (upper) - max(lower_slope*z, relu(z)); maximized at z = 0 for
+  // the triangle relaxation.
+  e.max_gap = e.upper_intercept;
+  return e;
+}
+
+TightnessReport tightness_report(const ReluNetwork& net, const Box& input) {
+  const LayerBounds ibp = ibp_bounds(net, input);
+  const LayerBounds crown = crown_bounds(net, input);
+  TightnessReport report;
+  for (std::size_t k = 0; k < net.layers.size(); ++k) {
+    report.ibp_mean_width.push_back(ibp.mean_width(k));
+    report.crown_mean_width.push_back(crown.mean_width(k));
+    report.ibp_unstable.push_back(ibp.unstable_count(k));
+    report.crown_unstable.push_back(crown.unstable_count(k));
+  }
+  return report;
+}
+
+}  // namespace rcr::verify

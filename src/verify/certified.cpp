@@ -1,0 +1,222 @@
+#include "rcr/verify/certified.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "rcr/numerics/stable.hpp"
+#include "rcr/verify/verifier.hpp"
+
+namespace rcr::verify {
+
+std::vector<LabeledPoint> make_blob_dataset(std::size_t classes,
+                                            std::size_t per_class,
+                                            double separation, double stddev,
+                                            num::Rng& rng) {
+  std::vector<LabeledPoint> out;
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(c) /
+                       static_cast<double>(classes);
+    const double cx = separation * std::cos(ang);
+    const double cy = separation * std::sin(ang);
+    for (std::size_t i = 0; i < per_class; ++i) {
+      LabeledPoint p;
+      p.x = {cx + rng.normal(0.0, stddev), cy + rng.normal(0.0, stddev)};
+      p.label = c;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+CertifiedTrainer::CertifiedTrainer(const std::vector<std::size_t>& widths,
+                                   std::uint64_t seed) {
+  num::Rng rng(seed);
+  net_ = ReluNetwork::random(widths, rng);
+}
+
+namespace {
+
+struct LayerGrads {
+  Matrix w;
+  Vec b;
+};
+
+// One IBP forward/backward pass for a single sample; accumulates gradients
+// scaled by `weight` into `grads` and returns the loss.  With eps == 0 this
+// degenerates to the standard forward/backward pass.
+double ibp_pass(const ReluNetwork& net, const Vec& x, std::size_t label,
+                double eps, double weight, std::vector<LayerGrads>& grads) {
+  const std::size_t depth = net.layers.size();
+
+  // ---- Forward, caching everything backward needs.
+  std::vector<Vec> mu(depth + 1), r(depth + 1);
+  std::vector<Vec> lo(depth), hi(depth);
+  mu[0] = x;
+  r[0].assign(x.size(), eps);
+  for (std::size_t k = 0; k < depth; ++k) {
+    const AffineLayer& L = net.layers[k];
+    Vec z = num::matvec(L.w, mu[k]);
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += L.b[i];
+    Vec rho(L.out_dim(), 0.0);
+    for (std::size_t i = 0; i < L.w.rows(); ++i)
+      for (std::size_t j = 0; j < L.w.cols(); ++j)
+        rho[i] += std::abs(L.w(i, j)) * r[k][j];
+    lo[k] = num::sub(z, rho);
+    hi[k] = num::add(z, rho);
+    if (k + 1 < depth) {
+      mu[k + 1].assign(z.size(), 0.0);
+      r[k + 1].assign(z.size(), 0.0);
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        const double al = std::max(lo[k][i], 0.0);
+        const double au = std::max(hi[k][i], 0.0);
+        mu[k + 1][i] = 0.5 * (al + au);
+        r[k + 1][i] = 0.5 * (au - al);
+      }
+    }
+  }
+
+  // Worst-case logits: the true class at its lower bound, others at upper.
+  const std::size_t classes = net.layers.back().out_dim();
+  Vec z_wc(classes);
+  for (std::size_t i = 0; i < classes; ++i)
+    z_wc[i] = (i == label) ? lo[depth - 1][i] : hi[depth - 1][i];
+
+  const Vec log_probs = num::log_softmax(z_wc);
+  const double loss = -log_probs[label];
+
+  // ---- Backward.
+  // dL/dz_wc = softmax(z_wc) - onehot.
+  Vec dz_wc(classes);
+  for (std::size_t i = 0; i < classes; ++i)
+    dz_wc[i] = std::exp(log_probs[i]) - (i == label ? 1.0 : 0.0);
+
+  // Split into gradients w.r.t. lower/upper of the last layer:
+  // l = z - rho, u = z + rho.
+  Vec dlo(classes, 0.0), dhi(classes, 0.0);
+  for (std::size_t i = 0; i < classes; ++i) {
+    if (i == label) {
+      dlo[i] = dz_wc[i];
+    } else {
+      dhi[i] = dz_wc[i];
+    }
+  }
+
+  for (std::size_t k = depth; k-- > 0;) {
+    const AffineLayer& L = net.layers[k];
+    // dz = dlo + dhi;  drho = dhi - dlo.
+    Vec dz = num::add(dlo, dhi);
+    Vec drho = num::sub(dhi, dlo);
+
+    // Affine backward.
+    for (std::size_t i = 0; i < L.w.rows(); ++i) {
+      grads[k].b[i] += weight * dz[i];
+      for (std::size_t j = 0; j < L.w.cols(); ++j) {
+        const double sgn = L.w(i, j) >= 0.0 ? 1.0 : -1.0;
+        grads[k].w(i, j) +=
+            weight * (dz[i] * mu[k][j] + drho[i] * r[k][j] * sgn);
+      }
+    }
+    if (k == 0) break;
+
+    // Propagate to the previous layer's (mu, r).
+    Vec dmu(L.w.cols(), 0.0), dr(L.w.cols(), 0.0);
+    for (std::size_t i = 0; i < L.w.rows(); ++i)
+      for (std::size_t j = 0; j < L.w.cols(); ++j) {
+        dmu[j] += L.w(i, j) * dz[i];
+        dr[j] += std::abs(L.w(i, j)) * drho[i];
+      }
+
+    // Through the ReLU interval of layer k-1:
+    // mu = (relu(l)+relu(u))/2, r = (relu(u)-relu(l))/2.
+    dlo.assign(L.w.cols(), 0.0);
+    dhi.assign(L.w.cols(), 0.0);
+    for (std::size_t j = 0; j < L.w.cols(); ++j) {
+      const double dal = 0.5 * (dmu[j] - dr[j]);
+      const double dau = 0.5 * (dmu[j] + dr[j]);
+      dlo[j] = lo[k - 1][j] > 0.0 ? dal : 0.0;
+      dhi[j] = hi[k - 1][j] > 0.0 ? dau : 0.0;
+    }
+  }
+  return loss;
+}
+
+}  // namespace
+
+double CertifiedTrainer::accuracy(
+    const std::vector<LabeledPoint>& test_set) const {
+  if (test_set.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& p : test_set) {
+    const Vec y = net_.forward(p.x);
+    std::size_t arg = 0;
+    for (std::size_t i = 1; i < y.size(); ++i)
+      if (y[i] > y[arg]) arg = i;
+    if (arg == p.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test_set.size());
+}
+
+double CertifiedTrainer::certified_accuracy(
+    const std::vector<LabeledPoint>& test_set, double eps,
+    BoundMethod method) const {
+  if (test_set.empty()) return 0.0;
+  std::size_t certified = 0;
+  for (const auto& p : test_set) {
+    const RobustnessResult r =
+        certify_classification(net_, p.x, eps, p.label, method);
+    if (r.verdict == Verdict::kVerified) ++certified;
+  }
+  return static_cast<double>(certified) /
+         static_cast<double>(test_set.size());
+}
+
+CertifiedTrainReport CertifiedTrainer::train(
+    const std::vector<LabeledPoint>& train_set,
+    const std::vector<LabeledPoint>& test_set,
+    const CertifiedTrainConfig& config) {
+  if (train_set.empty())
+    throw std::invalid_argument("CertifiedTrainer::train: empty dataset");
+
+  CertifiedTrainReport report;
+  std::vector<LayerGrads> grads(net_.layers.size());
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t k = 0; k < net_.layers.size(); ++k) {
+      grads[k].w = Matrix(net_.layers[k].w.rows(), net_.layers[k].w.cols());
+      grads[k].b.assign(net_.layers[k].b.size(), 0.0);
+    }
+    double total = 0.0;
+    const double inv_n = 1.0 / static_cast<double>(train_set.size());
+    for (const auto& p : train_set) {
+      if (config.kappa > 0.0)
+        total += config.kappa *
+                 ibp_pass(net_, p.x, p.label, 0.0, config.kappa * inv_n, grads);
+      if (config.kappa < 1.0)
+        total += (1.0 - config.kappa) *
+                 ibp_pass(net_, p.x, p.label, config.epsilon,
+                          (1.0 - config.kappa) * inv_n, grads);
+    }
+    for (std::size_t k = 0; k < net_.layers.size(); ++k) {
+      net_.layers[k].w -= config.learning_rate * grads[k].w;
+      num::axpy(-config.learning_rate, grads[k].b, net_.layers[k].b);
+    }
+    report.loss_history.push_back(total * inv_n);
+  }
+
+  report.clean_accuracy = accuracy(test_set);
+  report.certified_accuracy_ibp =
+      certified_accuracy(test_set, config.epsilon, BoundMethod::kIbp);
+  report.certified_accuracy_crown =
+      certified_accuracy(test_set, config.epsilon, BoundMethod::kCrown);
+  return report;
+}
+
+CertifiedTrainReport CertifiedTrainer::train_standard(
+    const std::vector<LabeledPoint>& train_set,
+    const std::vector<LabeledPoint>& test_set, CertifiedTrainConfig config) {
+  config.kappa = 1.0;
+  return train(train_set, test_set, config);
+}
+
+}  // namespace rcr::verify

@@ -1,0 +1,53 @@
+// Projected gradient descent (PGD) attacks: the empirical upper-bound
+// counterpart to certification.  Together with the verifiers this brackets
+// true robustness:
+//   certified(IBP) <= certified(CROWN) <= exact-verified == truly robust
+//                  <= PGD-survives.
+// The adversarial-training literature the paper builds on (its refs [21],
+// [23]) uses exactly this bracketing.
+#pragma once
+
+#include <cstdint>
+
+#include "rcr/verify/relu_network.hpp"
+
+namespace rcr::verify {
+
+/// PGD options (L_inf threat model).
+struct PgdOptions {
+  std::size_t steps = 40;        ///< Gradient steps per restart.
+  double step_fraction = 0.25;   ///< Step size as a fraction of eps.
+  std::size_t restarts = 4;      ///< Random restarts inside the ball.
+  std::uint64_t seed = 1;
+};
+
+/// Attack outcome.
+struct AttackResult {
+  bool success = false;       ///< Found an input classified differently.
+  Vec adversarial;            ///< The misclassified input (when success).
+  double worst_margin = 0.0;  ///< Smallest margin seen (negative = flipped).
+  std::size_t queries = 0;    ///< Forward/backward evaluations used.
+};
+
+/// Gradient of the classification margin
+/// m(x) = y_label(x) - max_{k != label} y_k(x) with respect to the input
+/// (at points where the max and ReLU patterns are locally constant).
+Vec margin_input_gradient(const ReluNetwork& net, const Vec& x,
+                          std::size_t label);
+
+/// L_inf PGD attack on the classification of `x`: minimize the margin within
+/// the eps-ball.  Throws std::invalid_argument when label is out of range.
+AttackResult pgd_attack(const ReluNetwork& net, const Vec& x, double eps,
+                        std::size_t label, const PgdOptions& options = {});
+
+/// Fraction of points whose classification PGD fails to flip at eps (the
+/// empirical robust accuracy; an upper bound on certified accuracy).
+struct LabeledInput {
+  Vec x;
+  std::size_t label = 0;
+};
+double adversarial_accuracy(const ReluNetwork& net,
+                            const std::vector<LabeledInput>& points,
+                            double eps, const PgdOptions& options = {});
+
+}  // namespace rcr::verify

@@ -1,0 +1,109 @@
+// Layer-wise convex relaxations of ReLU networks (the heart of the RCR
+// framework, Sec. II-B-2).
+//
+// Two bound propagators are provided:
+//  - Interval Bound Propagation (IBP): the loosest convex relaxation, cheap.
+//  - CROWN-style backward linear bounds: per-neuron linear under-/over-
+//    estimators propagated back to the input -- the "tightest convex
+//    under-estimator / concave over-estimator" (convex/concave envelope)
+//    machinery of Sec. II-B applied to the ReLU nonlinearity.
+//
+// The per-layer width gap between the two quantifies the bound tightening
+// the paper attributes to its relaxation stack (experiments E8/E12/E14).
+#pragma once
+
+#include "rcr/verify/relu_network.hpp"
+
+namespace rcr::verify {
+
+/// Axis-aligned box {x : lower <= x <= upper}.
+struct Box {
+  Vec lower;
+  Vec upper;
+
+  std::size_t dim() const { return lower.size(); }
+  Vec center() const;
+  Vec radius() const;
+  double max_width() const;
+
+  /// L_inf ball of radius eps around x.
+  static Box around(const Vec& x, double eps);
+
+  /// Validates lower <= upper; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Which relaxation computes the bounds.
+enum class BoundMethod { kIbp, kCrown };
+
+std::string to_string(BoundMethod m);
+
+/// Pre-activation bounds for every layer plus output bounds.
+struct LayerBounds {
+  std::vector<Box> pre_activation;  ///< One Box per affine stage.
+  Box output;                       ///< Bounds on the network output.
+
+  /// Mean width of layer k's pre-activation box.
+  double mean_width(std::size_t k) const;
+  /// Number of unstable ReLUs (l < 0 < u) at layer k.
+  std::size_t unstable_count(std::size_t k) const;
+};
+
+/// Interval bound propagation.
+LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input);
+
+/// CROWN-style backward linear relaxation; strictly tighter than IBP.
+LayerBounds crown_bounds(const ReluNetwork& net, const Box& input);
+
+/// Dispatch on method.
+LayerBounds compute_bounds(const ReluNetwork& net, const Box& input,
+                           BoundMethod method);
+
+/// Neuron phase constraints used by the branch-and-bound verifier: clip the
+/// pre-activation interval of selected neurons before the ReLU.
+/// phases[k][i]: 0 = free, +1 = forced active (z >= 0), -1 = forced inactive.
+using PhaseAssignment = std::vector<std::vector<int>>;
+
+/// CROWN bounds under a phase assignment (sound relaxation of the
+/// phase-constrained subproblem).
+LayerBounds crown_bounds_with_phases(const ReluNetwork& net, const Box& input,
+                                     const PhaseAssignment& phases);
+
+/// Per-neuron lower-relaxation slopes alpha in [0, 1] (one Vec per hidden
+/// layer).  ANY alpha in [0, 1] yields a sound lower estimator a >= alpha*z
+/// for an unstable ReLU, so the slopes are free parameters the verifier may
+/// tune -- the paper's "improve the bound tightening for each successive
+/// neural network layer".  Empty entries fall back to the adaptive
+/// heuristic.
+using AlphaAssignment = std::vector<Vec>;
+
+/// CROWN bounds with explicit lower slopes for unstable neurons.
+/// Throws std::invalid_argument when an alpha lies outside [0, 1].
+LayerBounds crown_bounds_with_alpha(const ReluNetwork& net, const Box& input,
+                                    const AlphaAssignment& alpha);
+
+/// ReLU convex envelope data on [l, u] (the triangle relaxation): the
+/// tightest convex under-estimator is max(0, z); the tightest concave
+/// over-estimator is the chord lambda*(z - l) with lambda = u/(u - l).
+struct ReluEnvelope {
+  double upper_slope = 0.0;      ///< lambda of the chord.
+  double upper_intercept = 0.0;  ///< mu: over-estimator = lambda*z + mu.
+  double lower_slope = 0.0;      ///< Adaptive linear under-estimator slope.
+  /// Maximum vertical gap between the over- and under-estimator on [l, u]
+  /// (0 when the neuron is stable).
+  double max_gap = 0.0;
+};
+
+/// Envelope of ReLU on [l, u].  For stable neurons the relaxation is exact.
+ReluEnvelope relu_envelope(double l, double u);
+
+/// Per-layer tightness comparison between two bound sets.
+struct TightnessReport {
+  Vec ibp_mean_width;
+  Vec crown_mean_width;
+  std::vector<std::size_t> ibp_unstable;
+  std::vector<std::size_t> crown_unstable;
+};
+TightnessReport tightness_report(const ReluNetwork& net, const Box& input);
+
+}  // namespace rcr::verify

@@ -1,0 +1,55 @@
+// Explicit-weight ReLU networks: the representation the verification
+// machinery operates on (affine -> ReLU -> ... -> affine).
+//
+// The RCR framework needs to reason about MSY3I-style networks layer by
+// layer; this module extracts dense heads from nn::Sequential models and
+// provides the generators used by the verifier tests and benches.
+#pragma once
+
+#include "rcr/nn/network.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::verify {
+
+using num::Matrix;
+
+/// One affine stage y = W x + b.
+struct AffineLayer {
+  Matrix w;
+  Vec b;
+
+  std::size_t in_dim() const { return w.cols(); }
+  std::size_t out_dim() const { return w.rows(); }
+};
+
+/// Feed-forward ReLU network: affine stages with ReLU between them (no ReLU
+/// after the final stage).
+struct ReluNetwork {
+  std::vector<AffineLayer> layers;
+
+  std::size_t input_dim() const { return layers.front().in_dim(); }
+  std::size_t output_dim() const { return layers.back().out_dim(); }
+  std::size_t depth() const { return layers.size(); }
+
+  /// Plain forward evaluation.
+  Vec forward(const Vec& x) const;
+
+  /// Pre-activation values at every layer (z_k = W_k a_{k-1} + b_k).
+  std::vector<Vec> pre_activations(const Vec& x) const;
+
+  /// Validates layer chaining; throws std::invalid_argument when
+  /// inconsistent or empty.
+  void validate() const;
+
+  /// Random network with the given layer widths (e.g. {2, 16, 16, 3}),
+  /// He-style initialization.
+  static ReluNetwork random(const std::vector<std::size_t>& widths,
+                            num::Rng& rng);
+
+  /// Extract a dense ReLU network from an nn::Sequential composed solely of
+  /// Dense and Relu layers; throws std::invalid_argument otherwise.
+  static ReluNetwork from_sequential(nn::Sequential& net);
+};
+
+}  // namespace rcr::verify

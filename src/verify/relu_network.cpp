@@ -1,0 +1,98 @@
+#include "rcr/verify/relu_network.hpp"
+
+#include <stdexcept>
+
+#include "rcr/nn/layers_basic.hpp"
+
+namespace rcr::verify {
+
+void ReluNetwork::validate() const {
+  if (layers.empty())
+    throw std::invalid_argument("ReluNetwork: no layers");
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    if (layers[k].b.size() != layers[k].w.rows())
+      throw std::invalid_argument("ReluNetwork: bias/weight mismatch");
+    if (k > 0 && layers[k].w.cols() != layers[k - 1].w.rows())
+      throw std::invalid_argument("ReluNetwork: layer chaining mismatch");
+  }
+}
+
+Vec ReluNetwork::forward(const Vec& x) const {
+  Vec a = x;
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    Vec z = num::matvec(layers[k].w, a);
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += layers[k].b[i];
+    if (k + 1 < layers.size()) {
+      for (double& v : z) v = v > 0.0 ? v : 0.0;
+    }
+    a = std::move(z);
+  }
+  return a;
+}
+
+std::vector<Vec> ReluNetwork::pre_activations(const Vec& x) const {
+  std::vector<Vec> out;
+  Vec a = x;
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    Vec z = num::matvec(layers[k].w, a);
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += layers[k].b[i];
+    out.push_back(z);
+    if (k + 1 < layers.size()) {
+      for (double& v : z) v = v > 0.0 ? v : 0.0;
+    }
+    a = std::move(z);
+  }
+  return out;
+}
+
+ReluNetwork ReluNetwork::random(const std::vector<std::size_t>& widths,
+                                num::Rng& rng) {
+  if (widths.size() < 2)
+    throw std::invalid_argument("ReluNetwork::random: need >= 2 widths");
+  ReluNetwork net;
+  for (std::size_t k = 0; k + 1 < widths.size(); ++k) {
+    AffineLayer layer;
+    layer.w = Matrix(widths[k + 1], widths[k]);
+    const double bound = nn::he_bound(widths[k]);
+    for (std::size_t i = 0; i < layer.w.rows(); ++i)
+      for (std::size_t j = 0; j < layer.w.cols(); ++j)
+        layer.w(i, j) = rng.uniform(-bound, bound);
+    layer.b = rng.uniform_vec(widths[k + 1], -0.1, 0.1);
+    net.layers.push_back(std::move(layer));
+  }
+  return net;
+}
+
+ReluNetwork ReluNetwork::from_sequential(nn::Sequential& net) {
+  ReluNetwork out;
+  bool expect_affine = true;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* dense = dynamic_cast<nn::Dense*>(&layer)) {
+      const auto params = dense->params();
+      const Vec& w = *params[0].value;
+      const Vec& b = *params[1].value;
+      AffineLayer affine;
+      affine.w = Matrix(dense->out_features(), dense->in_features());
+      for (std::size_t r = 0; r < dense->out_features(); ++r)
+        for (std::size_t c = 0; c < dense->in_features(); ++c)
+          affine.w(r, c) = w[r * dense->in_features() + c];
+      affine.b = b;
+      out.layers.push_back(std::move(affine));
+      expect_affine = false;
+    } else if (dynamic_cast<nn::Relu*>(&layer) != nullptr) {
+      if (expect_affine)
+        throw std::invalid_argument(
+            "ReluNetwork::from_sequential: ReLU before any Dense layer");
+      expect_affine = true;
+    } else {
+      throw std::invalid_argument(
+          "ReluNetwork::from_sequential: unsupported layer '" + layer.name() +
+          "' (only Dense and Relu are extractable)");
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace rcr::verify

@@ -1,0 +1,346 @@
+#include "rcr/verify/verifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace rcr::verify {
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kVerified:
+      return "verified";
+    case Verdict::kFalsified:
+      return "falsified";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// Fold the specification into the final affine layer, so bound propagation
+// bounds c^T y + d directly (tighter than interval-combining the output
+// box).  Composing into the existing layer -- rather than appending a new
+// one -- matters: every non-final layer is followed by a ReLU, and a spec
+// appended as an extra layer would insert a phantom ReLU after the network
+// output, corrupting the bound.
+ReluNetwork augment_with_spec(const ReluNetwork& net, const Spec& spec) {
+  if (spec.c.size() != net.output_dim())
+    throw std::invalid_argument("Spec: dimension mismatch with network output");
+  ReluNetwork aug = net;
+  AffineLayer& last = aug.layers.back();
+  Matrix w_new(1, last.w.cols());
+  double b_new = spec.d;
+  for (std::size_t i = 0; i < spec.c.size(); ++i) {
+    b_new += spec.c[i] * last.b[i];
+    for (std::size_t j = 0; j < last.w.cols(); ++j)
+      w_new(0, j) += spec.c[i] * last.w(i, j);
+  }
+  last.w = std::move(w_new);
+  last.b = {b_new};
+  return aug;
+}
+
+}  // namespace
+
+VerifyResult verify_relaxed(const ReluNetwork& net, const Box& input,
+                            const Spec& spec, BoundMethod method) {
+  const ReluNetwork aug = augment_with_spec(net, spec);
+  const LayerBounds bounds = compute_bounds(aug, input, method);
+
+  VerifyResult result;
+  result.lower_bound = bounds.output.lower[0];
+  if (result.lower_bound > 0.0) {
+    result.verdict = Verdict::kVerified;
+    return result;
+  }
+  // Cheap falsification attempt at the center and corners of the box.
+  const Vec center = input.center();
+  if (spec.evaluate(net.forward(center)) < 0.0) {
+    result.verdict = Verdict::kFalsified;
+    result.counterexample = center;
+    return result;
+  }
+  result.verdict = Verdict::kUnknown;
+  return result;
+}
+
+namespace {
+
+struct BnbNode {
+  Box box;
+  PhaseAssignment phases;
+  double lower_bound = 0.0;
+  // Best ReLU split candidate under this node's bounds.
+  bool has_unstable = false;
+  std::size_t split_layer = 0;
+  std::size_t split_neuron = 0;
+
+  bool operator<(const BnbNode& other) const {
+    // priority_queue pops the largest; we want the smallest lower bound.
+    return lower_bound > other.lower_bound;
+  }
+};
+
+// Compute the node's bound and split candidate.  Returns false when the
+// phase assignment is infeasible on this box (vacuously verified).
+bool evaluate_node(const ReluNetwork& aug, BnbNode& node) {
+  const LayerBounds bounds =
+      crown_bounds_with_phases(aug, node.box, node.phases);
+  node.lower_bound = bounds.output.lower[0];
+  node.has_unstable = false;
+  double best_gap = 0.0;
+  // Only hidden layers (all but the final affine) have ReLUs.
+  for (std::size_t k = 0; k + 1 < aug.layers.size(); ++k) {
+    const Box& pre = bounds.pre_activation[k];
+    for (std::size_t i = 0; i < pre.dim(); ++i) {
+      const int phase = (k < node.phases.size() && i < node.phases[k].size())
+                            ? node.phases[k][i]
+                            : 0;
+      if (phase != 0) continue;
+      if (pre.lower[i] < 0.0 && pre.upper[i] > 0.0) {
+        const double gap = std::min(-pre.lower[i], pre.upper[i]);
+        if (!node.has_unstable || gap > best_gap) {
+          node.has_unstable = true;
+          best_gap = gap;
+          node.split_layer = k;
+          node.split_neuron = i;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+PhaseAssignment with_phase(const ReluNetwork& aug, PhaseAssignment phases,
+                           std::size_t layer, std::size_t neuron, int value) {
+  if (phases.size() < aug.layers.size())
+    phases.resize(aug.layers.size());
+  if (phases[layer].size() < aug.layers[layer].out_dim())
+    phases[layer].resize(aug.layers[layer].out_dim(), 0);
+  phases[layer][neuron] = value;
+  return phases;
+}
+
+}  // namespace
+
+VerifyResult verify_exact(const ReluNetwork& net, const Box& input,
+                          const Spec& spec, const ExactOptions& options) {
+  const ReluNetwork aug = augment_with_spec(net, spec);
+
+  VerifyResult result;
+  std::priority_queue<BnbNode> queue;
+
+  BnbNode root;
+  root.box = input;
+  evaluate_node(aug, root);
+
+  // Falsification probe at the center.
+  {
+    const Vec center = input.center();
+    if (spec.evaluate(net.forward(center)) < 0.0) {
+      result.verdict = Verdict::kFalsified;
+      result.counterexample = center;
+      result.branches = 1;
+      return result;
+    }
+  }
+  queue.push(std::move(root));
+
+  double best_lb = -std::numeric_limits<double>::infinity();
+  while (!queue.empty()) {
+    if (result.branches >= options.max_branches) {
+      result.verdict = Verdict::kUnknown;
+      result.lower_bound = queue.top().lower_bound;
+      return result;
+    }
+    BnbNode node = queue.top();
+    queue.pop();
+    ++result.branches;
+    best_lb = node.lower_bound;
+
+    if (node.lower_bound > options.tolerance) {
+      // The global minimum over remaining subdomains is this bound.
+      result.verdict = Verdict::kVerified;
+      result.lower_bound = node.lower_bound;
+      return result;
+    }
+
+    // Concrete falsification probe at this subdomain's center.
+    const Vec center = node.box.center();
+    const double val = spec.evaluate(net.forward(center));
+    if (val < 0.0) {
+      result.verdict = Verdict::kFalsified;
+      result.counterexample = center;
+      result.lower_bound = val;
+      return result;
+    }
+
+    // Branch: prefer ReLU phase splitting, fall back to input bisection.
+    if (options.split_relu && node.has_unstable) {
+      for (int phase : {+1, -1}) {
+        BnbNode child;
+        child.box = node.box;
+        child.phases = with_phase(aug, node.phases, node.split_layer,
+                                  node.split_neuron, phase);
+        evaluate_node(aug, child);
+        if (child.lower_bound <= options.tolerance) queue.push(std::move(child));
+      }
+    } else {
+      // Bisect the widest input dimension.
+      std::size_t dim = 0;
+      double width = 0.0;
+      for (std::size_t j = 0; j < node.box.dim(); ++j) {
+        const double w = node.box.upper[j] - node.box.lower[j];
+        if (w > width) {
+          width = w;
+          dim = j;
+        }
+      }
+      if (width <= 1e-12) {
+        // Degenerate box that still cannot be verified: numerical limit.
+        result.verdict = Verdict::kUnknown;
+        result.lower_bound = node.lower_bound;
+        return result;
+      }
+      const double mid = 0.5 * (node.box.lower[dim] + node.box.upper[dim]);
+      for (int side = 0; side < 2; ++side) {
+        BnbNode child;
+        child.box = node.box;
+        child.phases = node.phases;
+        if (side == 0) {
+          child.box.upper[dim] = mid;
+        } else {
+          child.box.lower[dim] = mid;
+        }
+        evaluate_node(aug, child);
+        if (child.lower_bound <= options.tolerance) queue.push(std::move(child));
+      }
+    }
+  }
+
+  // Queue drained: every subdomain was verified.
+  result.verdict = Verdict::kVerified;
+  result.lower_bound = std::max(best_lb, 0.0);
+  return result;
+}
+
+namespace {
+
+Spec margin_spec(std::size_t classes, std::size_t label, std::size_t other) {
+  Spec s;
+  s.c.assign(classes, 0.0);
+  s.c[label] = 1.0;
+  s.c[other] = -1.0;
+  return s;
+}
+
+}  // namespace
+
+RobustnessResult certify_classification(const ReluNetwork& net, const Vec& x,
+                                        double eps, std::size_t label,
+                                        BoundMethod method) {
+  const Box ball = Box::around(x, eps);
+  RobustnessResult out;
+  out.verdict = Verdict::kVerified;
+  out.worst_margin_bound = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < net.output_dim(); ++k) {
+    if (k == label) continue;
+    const VerifyResult r =
+        verify_relaxed(net, ball, margin_spec(net.output_dim(), label, k),
+                       method);
+    out.worst_margin_bound = std::min(out.worst_margin_bound, r.lower_bound);
+    if (r.verdict == Verdict::kFalsified) {
+      out.verdict = Verdict::kFalsified;
+      return out;
+    }
+    if (r.verdict != Verdict::kVerified) out.verdict = Verdict::kUnknown;
+  }
+  return out;
+}
+
+AlphaTightenResult tighten_lower_bound_alpha(const ReluNetwork& net,
+                                             const Box& input,
+                                             const Spec& spec,
+                                             const AlphaTightenOptions& options) {
+  const ReluNetwork aug = augment_with_spec(net, spec);
+
+  AlphaTightenResult result;
+  // Seed alphas from the adaptive heuristic so optimization starts at the
+  // plain-CROWN bound.
+  const LayerBounds base = crown_bounds(aug, input);
+  result.initial_bound = base.output.lower[0];
+  result.alpha.resize(aug.layers.size());
+  for (std::size_t k = 0; k + 1 < aug.layers.size(); ++k) {
+    const Box& pre = base.pre_activation[k];
+    result.alpha[k].resize(pre.dim());
+    for (std::size_t i = 0; i < pre.dim(); ++i)
+      result.alpha[k][i] =
+          (pre.upper[i] >= -pre.lower[i]) ? 1.0 : 0.0;  // CROWN heuristic
+  }
+
+  auto bound_at = [&](const AlphaAssignment& a) {
+    return crown_bounds_with_alpha(aug, input, a).output.lower[0];
+  };
+  double best = bound_at(result.alpha);
+  ++result.evaluations;
+
+  for (std::size_t pass = 0; pass < options.passes; ++pass) {
+    bool improved = false;
+    for (std::size_t k = 0; k + 1 < aug.layers.size(); ++k) {
+      const Box& pre = base.pre_activation[k];
+      for (std::size_t i = 0; i < result.alpha[k].size(); ++i) {
+        // Only unstable neurons have a free slope.
+        if (!(pre.lower[i] < 0.0 && pre.upper[i] > 0.0)) continue;
+        const double original = result.alpha[k][i];
+        double best_here = original;
+        for (std::size_t g = 0; g < options.grid; ++g) {
+          const double candidate =
+              static_cast<double>(g) / static_cast<double>(options.grid - 1);
+          if (candidate == original) continue;
+          result.alpha[k][i] = candidate;
+          const double b = bound_at(result.alpha);
+          ++result.evaluations;
+          if (b > best) {
+            best = b;
+            best_here = candidate;
+            improved = true;
+          }
+        }
+        result.alpha[k][i] = best_here;
+      }
+    }
+    if (!improved) break;
+  }
+  result.optimized_bound = best;
+  return result;
+}
+
+RobustnessResult certify_classification_exact(const ReluNetwork& net,
+                                              const Vec& x, double eps,
+                                              std::size_t label,
+                                              const ExactOptions& options) {
+  const Box ball = Box::around(x, eps);
+  RobustnessResult out;
+  out.verdict = Verdict::kVerified;
+  out.worst_margin_bound = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < net.output_dim(); ++k) {
+    if (k == label) continue;
+    const VerifyResult r = verify_exact(
+        net, ball, margin_spec(net.output_dim(), label, k), options);
+    out.branches += r.branches;
+    out.worst_margin_bound = std::min(out.worst_margin_bound, r.lower_bound);
+    if (r.verdict == Verdict::kFalsified) {
+      out.verdict = Verdict::kFalsified;
+      return out;
+    }
+    if (r.verdict != Verdict::kVerified) out.verdict = Verdict::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace rcr::verify

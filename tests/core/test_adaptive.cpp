@@ -1,0 +1,58 @@
+#include "rcr/rcr/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcr::core {
+namespace {
+
+InertiaQpInstance sample_instance(std::uint64_t seed, std::size_t n = 6) {
+  num::Rng rng(seed);
+  InertiaQpInstance inst;
+  inst.velocity_norm = rng.uniform_vec(n, 0.0, 3.0);
+  inst.dist_to_gbest = rng.uniform_vec(n, 0.0, 5.0);
+  return inst;
+}
+
+TEST(InertiaQp, SizeMismatchThrows) {
+  InertiaQpInstance inst;
+  inst.velocity_norm = {1.0, 2.0};
+  inst.dist_to_gbest = {1.0};
+  EXPECT_THROW(solve_inertia_qp_closed_form(inst), std::invalid_argument);
+  EXPECT_THROW(solve_inertia_qp_barrier(inst), std::invalid_argument);
+}
+
+TEST(InertiaQp, ClosedFormInsideBox) {
+  const InertiaQpInstance inst = sample_instance(1);
+  const Vec w = solve_inertia_qp_closed_form(inst);
+  for (double v : w) {
+    EXPECT_GE(v, inst.w_min);
+    EXPECT_LE(v, inst.w_max);
+  }
+}
+
+class InertiaConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InertiaConsistency, BarrierAgreesWithClosedForm) {
+  // The "M-GNU-O" consistency claim: the in-loop fast path solves exactly
+  // the convex QP that the general-purpose barrier solver solves.
+  const InertiaQpInstance inst = sample_instance(GetParam());
+  EXPECT_LT(inertia_qp_consistency(inst), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InertiaConsistency,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(InertiaQp, ActiveBoxConstraintsHandledConsistently) {
+  // Force clamping: enormous distances push the unconstrained optimum far
+  // above w_max.
+  InertiaQpInstance inst;
+  inst.velocity_norm = {1.0, 1.0};
+  inst.dist_to_gbest = {100.0, 0.0};
+  const Vec closed = solve_inertia_qp_closed_form(inst);
+  EXPECT_DOUBLE_EQ(closed[0], inst.w_max);
+  const Vec barrier = solve_inertia_qp_barrier(inst);
+  EXPECT_NEAR(barrier[0], inst.w_max, 1e-3);
+}
+
+}  // namespace
+}  // namespace rcr::core

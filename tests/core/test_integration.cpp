@@ -1,0 +1,195 @@
+// Cross-module integration tests: the seams between substrates that the
+// per-module suites cannot see.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "rcr/nn/layers_basic.hpp"
+#include "rcr/nn/msy3i.hpp"
+#include "rcr/qos/rra.hpp"
+#include "rcr/signal/griffin_lim.hpp"
+#include "rcr/signal/spectrogram.hpp"
+#include "rcr/verify/certified.hpp"
+#include "rcr/verify/verifier.hpp"
+
+namespace rcr {
+namespace {
+
+// ---- nn -> verify: train a dense classifier with the layer library, then
+// extract and certify it with the verification machinery.
+TEST(Integration, TrainedDenseClassifierIsExtractableAndCertifiable) {
+  num::Rng rng(1);
+  const auto train = verify::make_blob_dataset(3, 30, 1.0, 0.15, rng);
+
+  nn::Sequential net;
+  net.emplace<nn::Dense>(2, 12, rng);
+  net.emplace<nn::Relu>();
+  net.emplace<nn::Dense>(12, 3, rng);
+
+  nn::Adam opt(0.05);
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    nn::Tensor x({train.size(), 2});
+    std::vector<std::size_t> labels(train.size());
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      x.at2(i, 0) = train[i].x[0];
+      x.at2(i, 1) = train[i].x[1];
+      labels[i] = train[i].label;
+    }
+    net.zero_grad();
+    const nn::LossResult loss =
+        nn::softmax_cross_entropy(net.forward(x, true), labels);
+    net.backward(loss.grad);
+    opt.step(net.params());
+  }
+
+  const verify::ReluNetwork extracted =
+      verify::ReluNetwork::from_sequential(net);
+
+  // Predictions agree between the two representations, and at least half of
+  // the (well-separated) points certify at a small radius.
+  std::size_t certified = 0;
+  for (const auto& p : train) {
+    const Vec y = extracted.forward(p.x);
+    nn::Tensor xt({1, 2});
+    xt.at2(0, 0) = p.x[0];
+    xt.at2(0, 1) = p.x[1];
+    const nn::Tensor ys = net.forward(xt, false);
+    for (std::size_t k = 0; k < 3; ++k)
+      ASSERT_NEAR(y[k], ys.at2(0, k), 1e-12);
+
+    const auto r = verify::certify_classification(
+        extracted, p.x, 0.03, p.label, verify::BoundMethod::kCrown);
+    if (r.verdict == verify::Verdict::kVerified) ++certified;
+  }
+  EXPECT_GT(certified, train.size() / 2);
+}
+
+// ---- signal -> nn -> serialization: spectrogram dataset round-trips
+// through training and a save/load cycle.
+TEST(Integration, SpectrogramClassifierSurvivesSaveLoad) {
+  num::Rng rng(2);
+  const auto raw = sig::make_classification_dataset(6, 16, 0.05, rng);
+  std::vector<nn::ImageSample> data;
+  for (const auto& s : raw)
+    data.push_back({s.image.pixels, s.image.height, s.image.width, s.label});
+
+  nn::Msy3iConfig cfg;
+  cfg.image_size = 16;
+  cfg.classes = 3;
+  cfg.stem_filters = 4;
+  cfg.fire_squeeze = 2;
+  cfg.fire_expand = 4;
+  cfg.num_fire_blocks = 1;
+  nn::Sequential net = nn::build_msy3i_classifier(cfg);
+  nn::TrainConfig tc;
+  tc.epochs = 6;
+  tc.learning_rate = 3e-3;
+  nn::train_classifier(net, data, data, tc);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "integration_msy3i.txt";
+  nn::save_parameters(net, path);
+  nn::Sequential fresh = nn::build_msy3i_classifier(cfg);
+  nn::load_parameters(fresh, path);
+  EXPECT_DOUBLE_EQ(nn::evaluate_classifier(net, data),
+                   nn::evaluate_classifier(fresh, data));
+  std::remove(path.c_str());
+}
+
+// ---- signal round trip at system level: spectrogram -> Griffin-Lim ->
+// spectrogram preserves the time-frequency structure an OFDM burst carries.
+TEST(Integration, GriffinLimPreservesBurstEnergyProfile) {
+  num::Rng rng(3);
+  sig::OfdmParams params;
+  const Vec burst = sig::ofdm_burst(params, rng);
+
+  sig::StftConfig config;
+  config.window = sig::make_window(sig::WindowKind::kHann, 64);
+  config.hop = 16;
+  config.fft_size = 64;
+  const sig::TfGrid target = sig::magnitude_grid(sig::stft(burst, config));
+
+  sig::GriffinLimOptions opts;
+  opts.max_iterations = 40;
+  const sig::GriffinLimResult rec =
+      sig::griffin_lim(target, config, burst.size(), opts);
+
+  // Per-bin mean energy profiles correlate strongly.
+  auto profile = [&](const Vec& signal) {
+    const sig::TfGrid g = sig::stft(signal, config);
+    Vec out(g.bins() / 2, 0.0);
+    for (std::size_t m = 0; m < out.size(); ++m)
+      for (std::size_t fr = 0; fr < g.frames(); ++fr)
+        out[m] += std::norm(g(m, fr));
+    return out;
+  };
+  const Vec a = profile(burst);
+  const Vec b = profile(rec.signal);
+  double dot = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  const double cosine = dot / (num::norm2(a) * num::norm2(b));
+  EXPECT_GT(cosine, 0.99);
+}
+
+// ---- qos cross-solver invariant on a batch of random instances.
+TEST(Integration, RraSolverOrderingInvariantAcrossSeeds) {
+  for (std::uint64_t seed = 30; seed < 36; ++seed) {
+    qos::ChannelConfig ch;
+    ch.num_users = 3;
+    ch.num_rbs = 5;
+    ch.seed = seed;
+    qos::RraProblem p;
+    p.gain = qos::make_channel(ch).gain;
+    p.total_power = 1.0;
+    p.min_rate = Vec(3, 0.3);
+
+    const double ub = qos::relaxation_upper_bound(p);
+    const qos::RraSolution exact = qos::solve_exact(p);
+    qos::RraPsoOptions opts;
+    opts.seed = seed;
+    const qos::RraSolution pso = qos::solve_pso(p, opts);
+
+    EXPECT_GE(ub, exact.sum_rate - 1e-9) << "seed " << seed;
+    if (pso.feasible && exact.feasible) {
+      EXPECT_LE(pso.sum_rate, exact.sum_rate + 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+// ---- verify: exact verifier agrees with brute-force sampling on the
+// certified trainer's network (deeper soundness check at system level).
+TEST(Integration, CertifiedNetworkExactVerdictsMatchSampling) {
+  num::Rng rng(4);
+  const auto train = verify::make_blob_dataset(3, 20, 1.0, 0.15, rng);
+  verify::CertifiedTrainer trainer({2, 8, 3}, 5);
+  verify::CertifiedTrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.epsilon = 0.1;
+  trainer.train(train, train, cfg);
+
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& p = train[i * 7];
+    const auto verdict = verify::certify_classification_exact(
+        trainer.network(), p.x, 0.15, p.label);
+    // Sample adversarially within the ball.
+    bool found_flip = false;
+    for (int trial = 0; trial < 500; ++trial) {
+      Vec x = p.x;
+      for (double& v : x) v += rng.uniform(-0.15, 0.15);
+      const Vec y = trainer.network().forward(x);
+      std::size_t arg = 0;
+      for (std::size_t k = 1; k < y.size(); ++k)
+        if (y[k] > y[arg]) arg = k;
+      if (arg != p.label) found_flip = true;
+    }
+    if (verdict.verdict == verify::Verdict::kVerified) {
+      EXPECT_FALSE(found_flip) << "point " << i;
+    }
+    if (found_flip) {
+      EXPECT_NE(verdict.verdict, verify::Verdict::kVerified) << "point " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcr

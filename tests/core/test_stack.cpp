@@ -1,0 +1,73 @@
+#include "rcr/rcr/stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcr::core {
+namespace {
+
+RcrStackConfig tiny_config() {
+  // Keep the integration run fast: small datasets, few PSO evaluations.
+  RcrStackConfig cfg;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 4;
+  cfg.pso_swarm = 3;
+  cfg.pso_iterations = 2;
+  cfg.tuning_epochs = 2;
+  cfg.final_epochs = 4;
+  cfg.certify_epochs = 25;
+  cfg.qos_users = 2;
+  cfg.qos_rbs = 4;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(RcrStack, TuningReturnsValidConfiguration) {
+  RcrStack stack(tiny_config());
+  const TuningResult r = stack.tune_hyperparameters();
+  EXPECT_GT(r.evaluations, 0u);
+  EXPECT_GE(r.best_accuracy, 0.0);
+  EXPECT_LE(r.best_accuracy, 1.0);
+  // The tuned configuration is buildable.
+  nn::Sequential net = nn::build_msy3i_classifier(r.best_config);
+  EXPECT_GT(net.param_count(), 0u);
+}
+
+TEST(RcrStack, EndToEndPipelineProducesCoherentReport) {
+  RcrStack stack(tiny_config());
+  const RcrStackReport report = stack.run();
+
+  // Phase 3: the closed-form inertia QP matches the barrier solver.
+  EXPECT_LT(report.inertia_qp_consistency, 1e-4);
+
+  // Phase 2: tuning ran and produced a trainable model.
+  EXPECT_GT(report.tuning.evaluations, 0u);
+  EXPECT_GT(report.final_training.param_count, 0u);
+
+  // Phase 1b: certified training produced sane numbers.
+  EXPECT_GE(report.certified.clean_accuracy, 0.0);
+  EXPECT_LE(report.certified.certified_accuracy_ibp, 1.0);
+  EXPECT_GE(report.certified.certified_accuracy_crown,
+            report.certified.certified_accuracy_ibp);
+
+  // Layer-wise tightness: CROWN never looser than IBP.
+  for (std::size_t k = 0; k < report.tightness.ibp_mean_width.size(); ++k)
+    EXPECT_LE(report.tightness.crown_mean_width[k],
+              report.tightness.ibp_mean_width[k] + 1e-9);
+
+  // Phase 1c: relaxation bound >= exact >= PSO.
+  EXPECT_GE(report.qos_relaxation_bound, report.qos_exact.sum_rate - 1e-9);
+  EXPECT_LE(report.qos_pso.sum_rate, report.qos_exact.sum_rate + 1e-9);
+  EXPECT_GT(report.qos_pso.sum_rate, 0.0);
+}
+
+TEST(RcrStack, DeterministicGivenSeed) {
+  RcrStack a(tiny_config());
+  RcrStack b(tiny_config());
+  const TuningResult ra = a.tune_hyperparameters();
+  const TuningResult rb = b.tune_hyperparameters();
+  EXPECT_EQ(ra.best_objective, rb.best_objective);
+  EXPECT_EQ(ra.evaluations, rb.evaluations);
+}
+
+}  // namespace
+}  // namespace rcr::core

@@ -1,0 +1,109 @@
+#include "rcr/nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradient_check.hpp"
+
+namespace rcr::nn {
+namespace {
+
+using testing::GradientCheck;
+using testing::random_tensor;
+
+TEST(BatchNorm1d, NormalizesBatchStatistics) {
+  BatchNorm1d layer(2);
+  Tensor x({4, 2});
+  for (std::size_t b = 0; b < 4; ++b) {
+    x.at2(b, 0) = static_cast<double>(b) * 10.0;    // mean 15, nonzero var
+    x.at2(b, 1) = 5.0 + static_cast<double>(b);      // mean 6.5
+  }
+  const Tensor y = layer.forward(x, /*training=*/true);
+  for (std::size_t f = 0; f < 2; ++f) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t b = 0; b < 4; ++b) mean += y.at2(b, f) / 4.0;
+    for (std::size_t b = 0; b < 4; ++b)
+      var += (y.at2(b, f) - mean) * (y.at2(b, f) - mean) / 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm1d, ShapeValidation) {
+  BatchNorm1d layer(3);
+  EXPECT_THROW(layer.forward(Tensor({2, 4}), true), std::invalid_argument);
+}
+
+TEST(BatchNorm1d, EvalUsesRunningStatistics) {
+  BatchNorm1d layer(1, /*momentum=*/1.0);  // running stats = last batch
+  Tensor x({4, 1}, Vec{0.0, 2.0, 4.0, 6.0});  // mean 3, var 5
+  layer.forward(x, /*training=*/true);
+  EXPECT_NEAR(layer.running_mean()[0], 3.0, 1e-12);
+  EXPECT_NEAR(layer.running_var()[0], 5.0, 1e-12);
+  // Eval on a single sample equal to the running mean -> output ~ 0.
+  Tensor probe({1, 1}, Vec{3.0});
+  const Tensor y = layer.forward(probe, /*training=*/false);
+  EXPECT_NEAR(y[0], 0.0, 1e-9);
+}
+
+TEST(BatchNorm1d, GammaBetaAffectOutput) {
+  BatchNorm1d layer(1);
+  auto params = layer.params();
+  (*params[0].value)[0] = 2.0;  // gamma
+  (*params[1].value)[0] = 1.0;  // beta
+  Tensor x({2, 1}, Vec{-1.0, 1.0});
+  const Tensor y = layer.forward(x, true);
+  // Normalized inputs are -1 and 1 (var eps shifts slightly).
+  EXPECT_NEAR(y[0], -2.0 + 1.0, 1e-2);
+  EXPECT_NEAR(y[1], 2.0 + 1.0, 1e-2);
+}
+
+TEST(BatchNorm1d, GradientCheck) {
+  BatchNorm1d layer(3);
+  GradientCheck check;
+  check.tolerance = 1e-4;
+  check.run(layer, random_tensor({5, 3}, 30));
+}
+
+TEST(BatchNorm2d, PerChannelNormalization) {
+  BatchNorm2d layer(2);
+  const Tensor x = random_tensor({3, 2, 4, 4}, 31);
+  const Tensor y = layer.forward(x, true);
+  // Each channel has ~zero mean and ~unit variance across batch+space.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    std::size_t count = 0;
+    for (std::size_t b = 0; b < 3; ++b)
+      for (std::size_t h = 0; h < 4; ++h)
+        for (std::size_t w = 0; w < 4; ++w) {
+          mean += y.at4(b, c, h, w);
+          ++count;
+        }
+    mean /= static_cast<double>(count);
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+  }
+}
+
+TEST(BatchNorm2d, ShapeValidation) {
+  BatchNorm2d layer(3);
+  EXPECT_THROW(layer.forward(Tensor({1, 2, 4, 4}), true),
+               std::invalid_argument);
+}
+
+TEST(BatchNorm2d, GradientCheck) {
+  BatchNorm2d layer(2);
+  GradientCheck check;
+  check.tolerance = 1e-4;
+  check.run(layer, random_tensor({3, 2, 3, 3}, 32));
+}
+
+TEST(BatchNormPlacement, Names) {
+  EXPECT_EQ(to_string(BatchNormPlacement::kNone), "none");
+  EXPECT_EQ(to_string(BatchNormPlacement::kSelective), "selective");
+  EXPECT_EQ(to_string(BatchNormPlacement::kAllLayers), "all-layers");
+}
+
+}  // namespace
+}  // namespace rcr::nn

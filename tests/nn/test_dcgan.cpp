@@ -1,0 +1,141 @@
+#include "rcr/nn/dcgan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+
+namespace rcr::nn {
+namespace {
+
+using testing::GradientCheck;
+using testing::random_tensor;
+
+TEST(Reshape, RoundTrip) {
+  Reshape layer({2, 3, 3});
+  const Tensor x = random_tensor({4, 18}, 1);
+  const Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{4, 2, 3, 3}));
+  const Tensor back = layer.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(back[i], y[i]);
+}
+
+TEST(Reshape, CountMismatchThrows) {
+  Reshape layer({5, 5});
+  EXPECT_THROW(layer.forward(Tensor({2, 18}), true), std::invalid_argument);
+}
+
+TEST(Upsample2x, ForwardRepeatsPixels) {
+  Upsample2x layer;
+  Tensor x({1, 1, 2, 2}, Vec{1.0, 2.0, 3.0, 4.0});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 4, 4}));
+  EXPECT_DOUBLE_EQ(y.at4(0, 0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(y.at4(0, 0, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(y.at4(0, 0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(y.at4(0, 0, 0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(y.at4(0, 0, 3, 3), 4.0);
+}
+
+TEST(Upsample2x, GradientCheck) {
+  Upsample2x layer;
+  GradientCheck{}.run(layer, random_tensor({2, 2, 3, 3}, 2));
+}
+
+TEST(Dcgan, GeneratorOutputShapeAndRange) {
+  DcganConfig config;
+  Sequential g = build_dcgan_generator(config);
+  num::Rng rng(3);
+  Tensor z({2, config.latent_dim});
+  for (double& v : z.data()) v = rng.normal();
+  const Tensor img = g.forward(z, false);
+  EXPECT_EQ(img.shape(), (std::vector<std::size_t>{2, 1, 16, 16}));
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_GT(img[i], 0.0);
+    EXPECT_LT(img[i], 1.0);
+  }
+}
+
+TEST(Dcgan, DiscriminatorOutputShape) {
+  DcganConfig config;
+  Sequential d = build_dcgan_discriminator(config);
+  const Tensor logits = d.forward(Tensor({3, 1, 16, 16}), false);
+  EXPECT_EQ(logits.shape(), (std::vector<std::size_t>{3, 1}));
+}
+
+TEST(Dcgan, PlacementChangesParamCount) {
+  DcganConfig none;
+  none.placement = BatchNormPlacement::kNone;
+  DcganConfig all;
+  all.placement = BatchNormPlacement::kAllLayers;
+  Sequential g_none = build_dcgan_generator(none);
+  Sequential g_all = build_dcgan_generator(all);
+  EXPECT_GT(g_all.param_count(), g_none.param_count());
+}
+
+std::vector<ImageSample> banded_images(std::size_t n, std::uint64_t seed) {
+  // Spectrogram-like data: bright band in the middle rows.
+  num::Rng rng(seed);
+  std::vector<ImageSample> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    ImageSample s;
+    s.height = 16;
+    s.width = 16;
+    s.pixels.assign(256, 0.0);
+    for (std::size_t r = 0; r < 16; ++r)
+      for (std::size_t c = 0; c < 16; ++c) {
+        const bool band = r >= 6 && r < 10;
+        s.pixels[r * 16 + c] =
+            band ? rng.uniform(0.7, 0.95) : rng.uniform(0.0, 0.1);
+      }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(Dcgan, RejectsWrongImageSize) {
+  std::vector<ImageSample> bad(1);
+  bad[0].height = 8;
+  bad[0].width = 8;
+  bad[0].pixels.assign(64, 0.0);
+  EXPECT_THROW(DcganTrainer(DcganConfig{}, bad), std::invalid_argument);
+  EXPECT_THROW(DcganTrainer(DcganConfig{}, {}), std::invalid_argument);
+}
+
+TEST(Dcgan, TrainingMovesGeneratedStatisticsTowardData) {
+  const auto data = banded_images(32, 5);
+  DcganConfig config;
+  config.steps = 0;
+  config.seed = 6;
+  DcganTrainer untrained(config, data);
+  const DcganMetrics before = untrained.metrics(32);
+
+  config.steps = 400;
+  DcganTrainer trained(config, data);
+  trained.train();
+  const DcganMetrics after = trained.metrics(32);
+
+  // The generator learns the dataset's mean brightness and row profile.
+  EXPECT_LT(after.mean_pixel_error, 0.08);
+  EXPECT_LT(after.mean_pixel_error, before.mean_pixel_error);
+  EXPECT_GT(after.row_profile_cosine, 0.95);
+  EXPECT_EQ(after.d_loss_history.size(), 400u);
+}
+
+TEST(Dcgan, DeterministicGivenSeed) {
+  const auto data = banded_images(8, 7);
+  DcganConfig config;
+  config.steps = 20;
+  config.seed = 8;
+  DcganTrainer a(config, data);
+  a.train();
+  DcganTrainer b(config, data);
+  b.train();
+  const Tensor sa = a.sample(2);
+  const Tensor sb = b.sample(2);
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+}  // namespace
+}  // namespace rcr::nn

@@ -1,0 +1,82 @@
+#include "rcr/nn/fire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+
+namespace rcr::nn {
+namespace {
+
+using testing::GradientCheck;
+using testing::random_tensor;
+
+TEST(Fire, OutputShapeConcatenatesExpandPaths) {
+  num::Rng rng(1);
+  Fire layer(3, 2, 4, 4, rng);
+  const Tensor y = layer.forward(Tensor({2, 3, 6, 6}), true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 8, 6, 6}));
+  EXPECT_EQ(layer.out_channels(), 8u);
+}
+
+TEST(Fire, RejectsNoExpandChannels) {
+  num::Rng rng(2);
+  EXPECT_THROW(Fire(3, 2, 0, 0, rng), std::invalid_argument);
+}
+
+TEST(Fire, OutputsNonNegative) {
+  num::Rng rng(3);
+  Fire layer(2, 2, 3, 3, rng);
+  const Tensor y = layer.forward(random_tensor({1, 2, 5, 5}, 40), true);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_GE(y[i], 0.0);
+}
+
+TEST(Fire, ParameterCountFormula) {
+  num::Rng rng(4);
+  const std::size_t in = 8;
+  const std::size_t s = 3;
+  const std::size_t e1 = 4;
+  const std::size_t e3 = 4;
+  Fire layer(in, s, e1, e3, rng);
+  const std::size_t expected = (in * s * 1 * 1 + s) +      // squeeze
+                               (s * e1 * 1 * 1 + e1) +     // expand 1x1
+                               (s * e3 * 3 * 3 + e3);      // expand 3x3
+  EXPECT_EQ(layer.param_count(), expected);
+}
+
+TEST(Fire, FewerParamsThanEquivalentConv) {
+  // The SqueezeNet claim behind MSY3I (Sec. II-B-1): a fire layer producing
+  // C output channels from C inputs uses far fewer parameters than a 3x3
+  // conv C -> C.
+  num::Rng rng(5);
+  const std::size_t c = 16;
+  Fire fire(c, c / 4, c / 2, c / 2, rng);
+  Conv2d conv(c, c, 3, 1, 1, rng);
+  EXPECT_LT(fire.param_count(), conv.param_count() / 2);
+}
+
+TEST(Fire, GradientCheck) {
+  num::Rng rng(6);
+  Fire layer(2, 2, 2, 2, rng);
+  GradientCheck check;
+  check.tolerance = 1e-4;
+  check.run(layer, random_tensor({1, 2, 4, 4}, 41));
+}
+
+TEST(SpecialFire, HalvesSpatialDimensions) {
+  num::Rng rng(7);
+  SpecialFire layer(3, 2, 4, 4, rng);
+  const Tensor y = layer.forward(Tensor({1, 3, 8, 8}), true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 8, 4, 4}));
+  EXPECT_EQ(layer.name(), "special_fire");
+}
+
+TEST(SpecialFire, GradientCheck) {
+  num::Rng rng(8);
+  SpecialFire layer(2, 2, 2, 2, rng);
+  GradientCheck check;
+  check.tolerance = 1e-4;
+  check.run(layer, random_tensor({1, 2, 6, 6}, 42));
+}
+
+}  // namespace
+}  // namespace rcr::nn

@@ -1,0 +1,202 @@
+#include "rcr/nn/layers_basic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "rcr/nn/conv.hpp"
+
+namespace rcr::nn {
+namespace {
+
+using testing::GradientCheck;
+using testing::random_tensor;
+
+TEST(Dense, ForwardKnownValues) {
+  num::Rng rng(1);
+  Dense layer(2, 1, rng);
+  auto params = layer.params();
+  (*params[0].value) = {2.0, -1.0};  // weight row
+  (*params[1].value) = {0.5};        // bias
+  Tensor x({1, 2}, Vec{3.0, 4.0});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_DOUBLE_EQ(y.at2(0, 0), 2.0 * 3.0 - 4.0 + 0.5);
+}
+
+TEST(Dense, ShapeValidation) {
+  num::Rng rng(2);
+  Dense layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({1, 4}), true), std::invalid_argument);
+  EXPECT_THROW(layer.forward(Tensor({4}), true), std::invalid_argument);
+}
+
+TEST(Dense, GradientCheck) {
+  num::Rng rng(3);
+  Dense layer(4, 3, rng);
+  GradientCheck{}.run(layer, random_tensor({2, 4}, 10));
+}
+
+TEST(Dense, ParamCount) {
+  num::Rng rng(4);
+  Dense layer(5, 3, rng);
+  EXPECT_EQ(layer.param_count(), 5u * 3u + 3u);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu layer;
+  Tensor x({1, 3}, Vec{-1.0, 0.0, 2.0});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(Relu, GradientCheck) {
+  Relu layer;
+  GradientCheck{}.run(layer, random_tensor({3, 5}, 11));
+}
+
+TEST(LeakyRelu, ForwardSlope) {
+  LeakyRelu layer(0.2);
+  Tensor x({1, 2}, Vec{-5.0, 5.0});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(LeakyRelu, GradientCheck) {
+  LeakyRelu layer(0.2);
+  GradientCheck{}.run(layer, random_tensor({2, 6}, 12));
+}
+
+TEST(Sigmoid, ForwardRangeAndMidpoint) {
+  Sigmoid layer;
+  Tensor x({1, 3}, Vec{-100.0, 0.0, 100.0});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_NEAR(y[0], 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_NEAR(y[2], 1.0, 1e-12);
+}
+
+TEST(Sigmoid, GradientCheck) {
+  Sigmoid layer;
+  GradientCheck{}.run(layer, random_tensor({2, 4}, 13));
+}
+
+TEST(Tanh, GradientCheck) {
+  Tanh layer;
+  GradientCheck{}.run(layer, random_tensor({2, 4}, 14));
+}
+
+TEST(Flatten, RoundTripShapes) {
+  Flatten layer;
+  const Tensor x = random_tensor({2, 3, 4, 4}, 15);
+  const Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  const Tensor back = layer.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(Flatten, GradientCheck) {
+  Flatten layer;
+  GradientCheck{}.run(layer, random_tensor({2, 2, 3, 3}, 16));
+}
+
+TEST(Conv2d, OutputShapeWithStrideAndPadding) {
+  num::Rng rng(5);
+  Conv2d same(1, 4, 3, 1, 1, rng);
+  EXPECT_EQ(same.forward(Tensor({2, 1, 8, 8}), true).shape(),
+            (std::vector<std::size_t>{2, 4, 8, 8}));
+  Conv2d strided(1, 2, 3, 2, 1, rng);
+  EXPECT_EQ(strided.forward(Tensor({1, 1, 8, 8}), true).shape(),
+            (std::vector<std::size_t>{1, 2, 4, 4}));
+  Conv2d valid(1, 2, 3, 1, 0, rng);
+  EXPECT_EQ(valid.forward(Tensor({1, 1, 8, 8}), true).shape(),
+            (std::vector<std::size_t>{1, 2, 6, 6}));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  num::Rng rng(6);
+  Conv2d layer(1, 1, 1, 1, 0, rng);
+  auto params = layer.params();
+  (*params[0].value) = {1.0};
+  (*params[1].value) = {0.0};
+  const Tensor x = random_tensor({1, 1, 4, 4}, 17);
+  const Tensor y = layer.forward(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, AveragingKernelComputesLocalMean) {
+  num::Rng rng(7);
+  Conv2d layer(1, 1, 3, 1, 0, rng);
+  auto params = layer.params();
+  for (double& w : *params[0].value) w = 1.0 / 9.0;
+  (*params[1].value) = {0.0};
+  Tensor x({1, 1, 3, 3}, Vec{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.size(), 1u);
+  EXPECT_NEAR(y[0], 5.0, 1e-12);
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  num::Rng rng(8);
+  Conv2d layer(2, 3, 3, 1, 1, rng);
+  EXPECT_THROW(layer.forward(Tensor({1, 1, 8, 8}), true),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, GradientCheckUnitStride) {
+  num::Rng rng(9);
+  Conv2d layer(2, 3, 3, 1, 1, rng);
+  GradientCheck{}.run(layer, random_tensor({2, 2, 5, 5}, 18));
+}
+
+TEST(Conv2d, GradientCheckStrideTwoNoPad) {
+  num::Rng rng(10);
+  Conv2d layer(1, 2, 3, 2, 0, rng);
+  GradientCheck{}.run(layer, random_tensor({1, 1, 7, 7}, 19));
+}
+
+TEST(MaxPool2d, ForwardSelectsMaxima) {
+  MaxPool2d layer;
+  Tensor x({1, 1, 2, 2}, Vec{1.0, 5.0, 3.0, 2.0});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(MaxPool2d, OddDimensionsThrow) {
+  MaxPool2d layer;
+  EXPECT_THROW(layer.forward(Tensor({1, 1, 3, 4}), true),
+               std::invalid_argument);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d layer;
+  Tensor x({1, 1, 2, 2}, Vec{1.0, 5.0, 3.0, 2.0});
+  layer.forward(x, true);
+  Tensor g({1, 1, 1, 1}, Vec{7.0});
+  const Tensor gi = layer.backward(g);
+  EXPECT_DOUBLE_EQ(gi[1], 7.0);  // position of the max
+  EXPECT_DOUBLE_EQ(gi[0], 0.0);
+}
+
+TEST(MaxPool2d, GradientCheck) {
+  MaxPool2d layer;
+  GradientCheck{}.run(layer, random_tensor({2, 2, 4, 4}, 20));
+}
+
+TEST(GlobalAvgPool, ForwardAverages) {
+  GlobalAvgPool layer;
+  Tensor x({1, 2, 2, 2}, Vec{1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor y = layer.forward(x, true);
+  EXPECT_DOUBLE_EQ(y.at2(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(y.at2(0, 1), 25.0);
+}
+
+TEST(GlobalAvgPool, GradientCheck) {
+  GlobalAvgPool layer;
+  GradientCheck{}.run(layer, random_tensor({2, 3, 4, 4}, 21));
+}
+
+}  // namespace
+}  // namespace rcr::nn

@@ -1,0 +1,161 @@
+#include "rcr/nn/msy3i.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::nn {
+namespace {
+
+// Tiny synthetic image dataset: class = brightest quadrant.
+std::vector<ImageSample> quadrant_dataset(std::size_t per_class,
+                                          std::size_t size,
+                                          std::uint64_t seed) {
+  num::Rng rng(seed);
+  std::vector<ImageSample> out;
+  for (std::size_t label = 0; label < 3; ++label) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      ImageSample s;
+      s.height = size;
+      s.width = size;
+      s.label = label;
+      s.pixels.assign(size * size, 0.0);
+      for (std::size_t r = 0; r < size; ++r)
+        for (std::size_t c = 0; c < size; ++c) {
+          double v = rng.uniform(0.0, 0.2);
+          const bool top = r < size / 2;
+          const bool left = c < size / 2;
+          if ((label == 0 && top && left) || (label == 1 && top && !left) ||
+              (label == 2 && !top && left))
+            v += rng.uniform(0.6, 0.9);
+          s.pixels[r * size + c] = std::min(1.0, v);
+        }
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+Msy3iConfig small_config() {
+  Msy3iConfig cfg;
+  cfg.image_size = 16;
+  cfg.classes = 3;
+  cfg.stem_filters = 4;
+  cfg.fire_squeeze = 2;
+  cfg.fire_expand = 4;
+  cfg.num_fire_blocks = 1;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Msy3i, ClassifierOutputShape) {
+  Sequential net = build_msy3i_classifier(small_config());
+  const Tensor y = net.forward(Tensor({2, 1, 16, 16}), false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Msy3i, BaselineOutputShape) {
+  Sequential net = build_conv_baseline(small_config());
+  const Tensor y = net.forward(Tensor({2, 1, 16, 16}), false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Msy3i, DetectorOutputsNormalizedBox) {
+  Sequential net = build_msy3i_detector(small_config());
+  const Tensor y = net.forward(Tensor({1, 1, 16, 16}), false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 4}));
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(y.at2(0, k), 0.0);
+    EXPECT_LT(y.at2(0, k), 1.0);
+  }
+}
+
+TEST(Msy3i, SqueezedHasFewerParamsThanConvBaseline) {
+  // The E7 headline: fire layers cut the parameter count substantially.
+  const Msy3iConfig cfg = small_config();
+  Sequential squeezed = build_msy3i_classifier(cfg);
+  Sequential baseline = build_conv_baseline(cfg);
+  EXPECT_LT(squeezed.param_count(), baseline.param_count() / 2);
+}
+
+TEST(Msy3i, MaxpoolVariantBuildsAndRuns) {
+  Msy3iConfig cfg = small_config();
+  cfg.use_special_fire = false;
+  cfg.num_fire_blocks = 2;
+  Sequential net = build_msy3i_classifier(cfg);
+  const Tensor y = net.forward(Tensor({1, 1, 16, 16}), false);
+  EXPECT_EQ(y.dim(1), 3u);
+}
+
+TEST(BatchImages, ValidationAndLayout) {
+  std::vector<ImageSample> samples = quadrant_dataset(1, 8, 1);
+  const Tensor b = batch_images(samples, {0, 2});
+  EXPECT_EQ(b.shape(), (std::vector<std::size_t>{2, 1, 8, 8}));
+  EXPECT_THROW(batch_images(samples, {}), std::invalid_argument);
+  samples[1].width = 4;  // corrupt
+  EXPECT_THROW(batch_images(samples, {0, 1}), std::invalid_argument);
+}
+
+TEST(TrainClassifier, LearnsQuadrantTask) {
+  const auto train = quadrant_dataset(16, 16, 2);
+  const auto test = quadrant_dataset(6, 16, 3);
+  Sequential net = build_msy3i_classifier(small_config());
+  TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 8;
+  tc.learning_rate = 5e-3;
+  const TrainReport report = train_classifier(net, train, test, tc);
+  EXPECT_EQ(report.loss_history.size(), 20u);
+  EXPECT_LT(report.loss_history.back(), report.loss_history.front());
+  EXPECT_GT(report.test_accuracy, 0.7);
+  EXPECT_EQ(report.param_count, net.param_count());
+}
+
+TEST(TrainClassifier, EmptyDatasetThrows) {
+  Sequential net = build_msy3i_classifier(small_config());
+  EXPECT_THROW(train_classifier(net, {}, {}, TrainConfig{}),
+               std::invalid_argument);
+}
+
+TEST(EvaluateClassifier, EmptyIsZero) {
+  Sequential net = build_msy3i_classifier(small_config());
+  EXPECT_DOUBLE_EQ(evaluate_classifier(net, {}), 0.0);
+}
+
+TEST(TrainDetector, LossDecreasesAndIouReported) {
+  // Synthetic detection: bright box at a known location.
+  num::Rng rng(4);
+  auto make_samples = [&](std::size_t n) {
+    std::vector<BoxSample> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      BoxSample s;
+      s.height = 16;
+      s.width = 16;
+      s.pixels.assign(256, 0.0);
+      const std::size_t cx = 4 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+      const std::size_t cy = 4 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+      for (std::size_t r = cy - 2; r <= cy + 2; ++r)
+        for (std::size_t c = cx - 2; c <= cx + 2; ++c)
+          s.pixels[r * 16 + c] = 0.9;
+      s.box[0] = static_cast<double>(cx) / 16.0;
+      s.box[1] = static_cast<double>(cy) / 16.0;
+      s.box[2] = 5.0 / 16.0;
+      s.box[3] = 5.0 / 16.0;
+      out.push_back(std::move(s));
+    }
+    return out;
+  };
+  const auto train = make_samples(24);
+  const auto test = make_samples(8);
+  Sequential net = build_msy3i_detector(small_config());
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 8;
+  tc.learning_rate = 3e-3;
+  const DetectReport report = train_detector(net, train, test, tc);
+  EXPECT_LT(report.loss_history.back(), report.loss_history.front());
+  EXPECT_GT(report.mean_iou, 0.2);
+}
+
+}  // namespace
+}  // namespace rcr::nn

@@ -1,0 +1,223 @@
+#include "rcr/nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradient_check.hpp"
+#include "rcr/nn/layers_basic.hpp"
+#include "rcr/numerics/stable.hpp"
+
+namespace rcr::nn {
+namespace {
+
+using testing::random_tensor;
+
+TEST(Sequential, ForwardComposesLayers) {
+  num::Rng rng(1);
+  Sequential net;
+  net.emplace<Dense>(2, 3, rng);
+  net.emplace<Relu>();
+  net.emplace<Dense>(3, 1, rng);
+  const Tensor y = net.forward(Tensor({4, 2}), true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{4, 1}));
+  EXPECT_EQ(net.layer_count(), 3u);
+}
+
+TEST(Sequential, ParamCountSumsLayers) {
+  num::Rng rng(2);
+  Sequential net;
+  net.emplace<Dense>(2, 3, rng);  // 9
+  net.emplace<Dense>(3, 1, rng);  // 4
+  EXPECT_EQ(net.param_count(), 13u);
+}
+
+TEST(Sequential, ZeroGradClearsAll) {
+  num::Rng rng(3);
+  Sequential net;
+  net.emplace<Dense>(2, 2, rng);
+  const Tensor x = random_tensor({2, 2}, 50);
+  const Tensor y = net.forward(x, true);
+  net.backward(y);  // nonzero grads
+  net.zero_grad();
+  for (auto& p : net.params())
+    for (double g : *p.grad) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(SoftmaxCrossEntropy, MatchesManualComputation) {
+  Tensor logits({1, 3}, Vec{1.0, 2.0, 3.0});
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  const Vec lp = num::log_softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(r.value, -lp[2], 1e-12);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Tensor logits({2, 4}, Vec{0.1, -0.2, 0.3, 0.4, 1.0, 2.0, 3.0, 4.0});
+  const LossResult r = softmax_cross_entropy(logits, {1, 3});
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < 4; ++k) sum += r.grad.at2(b, k);
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumerical) {
+  Tensor logits({2, 3}, Vec{0.5, -1.0, 0.2, 1.5, 0.0, -0.5});
+  const std::vector<std::size_t> labels = {0, 2};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits;
+    lp[i] += h;
+    Tensor lm = logits;
+    lm[i] -= h;
+    const double numeric = (softmax_cross_entropy(lp, labels).value -
+                            softmax_cross_entropy(lm, labels).value) /
+                           (2.0 * h);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, StableForExtremeLogits) {
+  Tensor logits({1, 2}, Vec{1000.0, -1000.0});
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(SoftmaxCrossEntropy, InvalidInputsThrow) {
+  Tensor logits({2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 5}), std::invalid_argument);
+}
+
+TEST(BceWithLogits, MatchesManual) {
+  Tensor logits({2, 1}, Vec{0.0, 2.0});
+  const LossResult r = bce_with_logits(logits, {1.0, 0.0});
+  const double expected =
+      0.5 * (-std::log(0.5) - std::log(1.0 - 1.0 / (1.0 + std::exp(-2.0))));
+  EXPECT_NEAR(r.value, expected, 1e-12);
+}
+
+TEST(BceWithLogits, GradientMatchesNumerical) {
+  Tensor logits({3, 1}, Vec{0.3, -1.2, 2.0});
+  const Vec targets = {1.0, 0.0, 0.5};
+  const LossResult r = bce_with_logits(logits, targets);
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor lp = logits;
+    lp[i] += h;
+    Tensor lm = logits;
+    lm[i] -= h;
+    const double numeric =
+        (bce_with_logits(lp, targets).value - bce_with_logits(lm, targets).value) /
+        (2.0 * h);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-6);
+  }
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+  Tensor logits({2, 1}, Vec{1000.0, -1000.0});
+  const LossResult r = bce_with_logits(logits, {1.0, 0.0});
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+}
+
+TEST(MseLoss, ValueAndGradient) {
+  Tensor out({1, 2}, Vec{1.0, 3.0});
+  Tensor target({1, 2}, Vec{0.0, 1.0});
+  const LossResult r = mse_loss(out, target);
+  EXPECT_DOUBLE_EQ(r.value, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad[0], 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad[1], 2.0 * 2.0 / 2.0);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Tensor logits({2, 3}, Vec{0.1, 0.9, 0.2, 5.0, 1.0, 2.0});
+  const auto pred = argmax_rows(logits);
+  EXPECT_EQ(pred[0], 1u);
+  EXPECT_EQ(pred[1], 0u);
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  Vec w = {1.0};
+  Vec g = {2.0};
+  Sgd opt(0.1);
+  opt.step({{&w, &g, "w"}});
+  EXPECT_NEAR(w[0], 1.0 - 0.1 * 2.0, 1e-12);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Vec w = {0.0};
+  Vec g = {1.0};
+  Sgd opt(0.1, 0.9);
+  opt.step({{&w, &g, "w"}});
+  const double w1 = w[0];
+  opt.step({{&w, &g, "w"}});
+  // Second step is larger in magnitude than the first.
+  EXPECT_LT(w[0] - w1, w1);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by iterating on its analytic gradient.
+  Vec w = {0.0};
+  Vec g(1);
+  Adam opt(0.1);
+  for (int it = 0; it < 500; ++it) {
+    g[0] = 2.0 * (w[0] - 3.0);
+    opt.step({{&w, &g, "w"}});
+  }
+  EXPECT_NEAR(w[0], 3.0, 1e-2);
+}
+
+TEST(Training, XorProblemLearned) {
+  num::Rng rng(7);
+  Sequential net;
+  net.emplace<Dense>(2, 8, rng);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(8, 2, rng);
+
+  const Vec inputs = {0, 0, 0, 1, 1, 0, 1, 1};
+  const std::vector<std::size_t> labels = {0, 1, 1, 0};
+  Tensor x({4, 2}, inputs);
+
+  Adam opt(0.05);
+  double final_loss = 1e9;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    net.zero_grad();
+    const Tensor logits = net.forward(x, true);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    net.backward(loss.grad);
+    opt.step(net.params());
+    final_loss = loss.value;
+  }
+  EXPECT_LT(final_loss, 0.05);
+  const Tensor logits = net.forward(x, false);
+  EXPECT_EQ(argmax_rows(logits), labels);
+}
+
+TEST(Training, LossDecreasesMonotonicallyOnAverage) {
+  num::Rng rng(8);
+  Sequential net;
+  net.emplace<Dense>(3, 6, rng);
+  net.emplace<Relu>();
+  net.emplace<Dense>(6, 2, rng);
+  const Tensor x = random_tensor({8, 3}, 60);
+  std::vector<std::size_t> labels(8);
+  for (std::size_t i = 0; i < 8; ++i) labels[i] = i % 2;
+
+  Adam opt(0.02);
+  Vec losses;
+  for (int epoch = 0; epoch < 100; ++epoch) {
+    net.zero_grad();
+    const LossResult loss =
+        softmax_cross_entropy(net.forward(x, true), labels);
+    net.backward(loss.grad);
+    opt.step(net.params());
+    losses.push_back(loss.value);
+  }
+  EXPECT_LT(losses.back(), losses.front() * 0.5);
+}
+
+}  // namespace
+}  // namespace rcr::nn

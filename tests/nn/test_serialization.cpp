@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include "rcr/nn/msy3i.hpp"
+#include "rcr/nn/network.hpp"
+
+namespace rcr::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+Sequential small_net(std::uint64_t seed) {
+  num::Rng rng(seed);
+  Sequential net;
+  net.emplace<Dense>(3, 8, rng);
+  net.emplace<Relu>();
+  net.emplace<Dense>(8, 2, rng);
+  return net;
+}
+
+TEST(Serialization, RoundTripPreservesOutputs) {
+  Sequential a = small_net(1);
+  const std::string path = temp_path("net_roundtrip.txt");
+  save_parameters(a, path);
+
+  Sequential b = small_net(99);  // different random init
+  Tensor x({2, 3}, Vec{0.1, -0.4, 0.7, 1.2, 0.0, -0.9});
+  const Tensor before = b.forward(x, false);
+  load_parameters(b, path);
+  const Tensor after = b.forward(x, false);
+  const Tensor reference = a.forward(x, false);
+
+  bool changed = false;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_NEAR(after[i], reference[i], 1e-12);
+    changed |= std::abs(after[i] - before[i]) > 1e-12;
+  }
+  EXPECT_TRUE(changed);  // the load actually did something
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, StructuralMismatchThrows) {
+  Sequential a = small_net(2);
+  const std::string path = temp_path("net_mismatch.txt");
+  save_parameters(a, path);
+
+  num::Rng rng(3);
+  Sequential wrong_shape;
+  wrong_shape.emplace<Dense>(3, 9, rng);  // different width
+  wrong_shape.emplace<Relu>();
+  wrong_shape.emplace<Dense>(9, 2, rng);
+  EXPECT_THROW(load_parameters(wrong_shape, path), std::invalid_argument);
+
+  Sequential wrong_depth;
+  wrong_depth.emplace<Dense>(3, 2, rng);
+  EXPECT_THROW(load_parameters(wrong_depth, path), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileThrows) {
+  Sequential a = small_net(4);
+  EXPECT_THROW(load_parameters(a, "/nonexistent/dir/net.txt"),
+               std::runtime_error);
+  EXPECT_THROW(save_parameters(a, "/nonexistent/dir/net.txt"),
+               std::runtime_error);
+}
+
+TEST(Serialization, TruncatedFileThrows) {
+  Sequential a = small_net(5);
+  const std::string path = temp_path("net_trunc.txt");
+  save_parameters(a, path);
+  // Truncate the file to its first 20 bytes.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), 20), 0);
+  }
+  Sequential b = small_net(6);
+  EXPECT_ANY_THROW(load_parameters(b, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, TrainedMsy3iSurvivesRoundTrip) {
+  // End-to-end: train briefly, save, reload into a fresh net, and verify
+  // predictions match exactly.
+  Msy3iConfig cfg;
+  cfg.image_size = 16;
+  cfg.classes = 3;
+  cfg.stem_filters = 4;
+  cfg.fire_squeeze = 2;
+  cfg.fire_expand = 4;
+  cfg.num_fire_blocks = 1;
+  cfg.seed = 7;
+
+  Sequential trained = build_msy3i_classifier(cfg);
+  num::Rng rng(8);
+  std::vector<ImageSample> data;
+  for (std::size_t label = 0; label < 3; ++label)
+    for (int i = 0; i < 4; ++i) {
+      ImageSample s;
+      s.height = 16;
+      s.width = 16;
+      s.label = label;
+      s.pixels = rng.uniform_vec(256, 0.0, 1.0);
+      data.push_back(std::move(s));
+    }
+  TrainConfig tc;
+  tc.epochs = 2;
+  train_classifier(trained, data, data, tc);
+
+  const std::string path = temp_path("msy3i.txt");
+  save_parameters(trained, path);
+  Sequential fresh = build_msy3i_classifier(cfg);
+  load_parameters(fresh, path);
+
+  const Tensor x = batch_images(data, {0, 5, 10});
+  const Tensor ya = trained.forward(x, false);
+  const Tensor yb = fresh.forward(x, false);
+  for (std::size_t i = 0; i < ya.size(); ++i)
+    EXPECT_NEAR(ya[i], yb[i], 1e-12);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rcr::nn

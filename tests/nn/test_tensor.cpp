@@ -1,0 +1,65 @@
+#include "rcr/nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rcr::nn {
+namespace {
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4, 4});
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.size(), 96u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.shape_string(), "2x3x4x4");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({3, 3});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t[i], 0.0);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, Vec{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW(Tensor({2, 2}, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(Tensor, At2RowMajor) {
+  Tensor t({2, 3}, Vec{0.0, 1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(t.at2(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(t.at2(1, 0), 3.0);
+  t.at2(1, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(t[4], 9.0);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0;
+  EXPECT_DOUBLE_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t[7] = 3.5;
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.rank(), 2u);
+  EXPECT_DOUBLE_EQ(r[7], 3.5);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ZerosLikeMatchesShape) {
+  Tensor t({4, 2});
+  t[0] = 1.0;
+  const Tensor z = t.zeros_like();
+  EXPECT_EQ(z.shape(), t.shape());
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(Tensor, ElementCountOfEmptyShape) {
+  EXPECT_EQ(Tensor::element_count({}), 0u);
+  EXPECT_EQ(Tensor::element_count({5}), 5u);
+}
+
+}  // namespace
+}  // namespace rcr::nn

@@ -1,0 +1,93 @@
+#include "rcr/numerics/approx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::num {
+namespace {
+
+TEST(ExpTaylor, ConvergesToExp) {
+  EXPECT_NEAR(exp_taylor(1.0, 30), std::exp(1.0), 1e-14);
+  EXPECT_NEAR(exp_taylor(-2.0, 40), std::exp(-2.0), 1e-13);
+}
+
+TEST(ExpTaylor, TruncationErrorDecreasesWithTerms) {
+  const double e5 = exp_taylor_error(2.0, 5);
+  const double e10 = exp_taylor_error(2.0, 10);
+  const double e20 = exp_taylor_error(2.0, 20);
+  EXPECT_GT(e5, e10);
+  EXPECT_GT(e10, e20);
+}
+
+TEST(ExpTaylor, ZeroTermsIsOne) { EXPECT_DOUBLE_EQ(exp_taylor(3.0, 0), 1.0); }
+
+TEST(ExpTaylor, TermsForToleranceGrowsWithX) {
+  const std::size_t n_small = exp_taylor_terms_for(1.0, 1e-10);
+  const std::size_t n_large = exp_taylor_terms_for(5.0, 1e-10);
+  EXPECT_LT(n_small, n_large);
+  EXPECT_LE(exp_taylor_error(1.0, n_small), 1e-10);
+}
+
+TEST(Trapezoid, ExactForLinearFunctions) {
+  const auto f = [](double x) { return 2.0 * x + 1.0; };
+  // Exact integral over [0, 2] is 6.
+  EXPECT_NEAR(trapezoid(f, 0.0, 2.0, 1), 6.0, 1e-14);
+  EXPECT_NEAR(trapezoid(f, 0.0, 2.0, 17), 6.0, 1e-13);
+}
+
+TEST(Trapezoid, ConvergesQuadratically) {
+  const auto f = [](double x) { return std::sin(x); };
+  const double exact = 1.0 - std::cos(1.0);
+  const double e10 = std::abs(trapezoid(f, 0.0, 1.0, 10) - exact);
+  const double e20 = std::abs(trapezoid(f, 0.0, 1.0, 20) - exact);
+  // Halving h should cut the error by ~4x.
+  EXPECT_NEAR(e10 / e20, 4.0, 0.3);
+}
+
+TEST(Trapezoid, InvalidArgumentsThrow) {
+  const auto f = [](double) { return 0.0; };
+  EXPECT_THROW(trapezoid(f, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(trapezoid(f, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Trapezoid, ErrorEstimateBoundsTrueError) {
+  const auto f = [](double x) { return std::exp(x); };
+  const double exact = std::exp(1.0) - 1.0;
+  const double est = trapezoid_error_estimate(f, 0.0, 1.0, 16);
+  const double err = std::abs(trapezoid(f, 0.0, 1.0, 16) - exact);
+  // The Richardson estimate should be the right order of magnitude.
+  EXPECT_GT(est, err / 10.0);
+  EXPECT_LT(est, err * 10.0);
+}
+
+TEST(Simpson, MoreAccurateThanTrapezoid) {
+  const auto f = [](double x) { return std::exp(x); };
+  const double exact = std::exp(1.0) - 1.0;
+  const double e_trap = std::abs(trapezoid(f, 0.0, 1.0, 16) - exact);
+  const double e_simp = std::abs(simpson(f, 0.0, 1.0, 16) - exact);
+  EXPECT_LT(e_simp, e_trap / 100.0);
+}
+
+TEST(Simpson, RequiresEvenIntervals) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_THROW(simpson(f, 0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(simpson(f, 0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(CentralDifference, ApproximatesDerivative) {
+  const auto f = [](double x) { return x * x * x; };
+  EXPECT_NEAR(central_difference(f, 2.0, 1e-6), 12.0, 1e-5);
+}
+
+TEST(NumericalGradient, MatchesAnalyticQuadratic) {
+  const auto f = [](const Vec& x) {
+    return x[0] * x[0] + 3.0 * x[0] * x[1] + 2.0 * x[1] * x[1];
+  };
+  const Vec g = numerical_gradient(f, {1.0, 2.0});
+  EXPECT_NEAR(g[0], 2.0 * 1.0 + 3.0 * 2.0, 1e-6);
+  EXPECT_NEAR(g[1], 3.0 * 1.0 + 4.0 * 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rcr::num

@@ -1,0 +1,149 @@
+#include "rcr/numerics/decompositions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::num {
+namespace {
+
+Matrix random_matrix(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix a = random_matrix(n, rng);
+  Matrix m = a * a.transpose();
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += static_cast<double>(n);
+  return m;
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  const Vec x = solve(a, Vec{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, DeterminantSignAndValue) {
+  const Matrix a = {{0.0, 1.0}, {1.0, 0.0}};  // permutation: det = -1
+  EXPECT_NEAR(lu_decompose(a).determinant(), -1.0, 1e-12);
+  const Matrix b = {{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(lu_decompose(b).determinant(), 6.0, 1e-12);
+}
+
+TEST(Lu, SingularDetected) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  const LuDecomposition f = lu_decompose(a);
+  EXPECT_TRUE(f.singular);
+  EXPECT_DOUBLE_EQ(f.determinant(), 0.0);
+  EXPECT_THROW(f.solve(Vec{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Lu, NotSquareThrows) {
+  EXPECT_THROW(lu_decompose(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix a = random_matrix(6, rng);
+    const Vec x_true = rng.normal_vec(6);
+    const Vec b = matvec(a, x_true);
+    const Vec x = solve(a, b);
+    EXPECT_TRUE(approx_equal(x, x_true, 1e-8));
+  }
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  Rng rng(2);
+  const Matrix a = random_matrix(5, rng);
+  const Matrix ainv = inverse(a);
+  EXPECT_TRUE(approx_equal(a * ainv, Matrix::identity(5), 1e-9));
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  Rng rng(3);
+  const Matrix a = random_spd(5, rng);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(approx_equal((*l) * l->transpose(), a, 1e-9));
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a = {{1.0, 0.0}, {0.0, -1.0}};
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(Cholesky, SolveMatchesLu) {
+  Rng rng(4);
+  const Matrix a = random_spd(6, rng);
+  const Vec b = rng.normal_vec(6);
+  EXPECT_TRUE(approx_equal(cholesky_solve(a, b), solve(a, b), 1e-8));
+}
+
+TEST(Cholesky, SolveThrowsOnNonSpd) {
+  const Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_THROW(cholesky_solve(a, Vec{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Ldlt, ReconstructsSymmetricIndefinite) {
+  // Indefinite but LDL^T-factorizable without pivoting.
+  const Matrix a = {{2.0, 1.0, 0.0}, {1.0, -3.0, 0.5}, {0.0, 0.5, 1.0}};
+  const auto f = ldlt(a);
+  ASSERT_TRUE(f.has_value());
+  const Matrix d = Matrix::diag(f->d);
+  EXPECT_TRUE(approx_equal(f->l * d * f->l.transpose(), a, 1e-10));
+  // Indefinite: D has a negative entry.
+  bool has_negative = false;
+  for (double v : f->d) has_negative |= v < 0.0;
+  EXPECT_TRUE(has_negative);
+}
+
+TEST(Ldlt, SolveMatchesLu) {
+  Rng rng(5);
+  const Matrix a = random_spd(4, rng);
+  const Vec b = rng.normal_vec(4);
+  const auto f = ldlt(a);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(approx_equal(f->solve(b), solve(a, b), 1e-8));
+}
+
+TEST(IsPsd, Classification) {
+  EXPECT_TRUE(is_psd(Matrix::identity(3)));
+  EXPECT_TRUE(is_psd(Matrix(3, 3)));  // zero matrix is PSD
+  EXPECT_FALSE(is_psd(Matrix{{-1.0, 0.0}, {0.0, 1.0}}));
+  Rng rng(6);
+  EXPECT_TRUE(is_psd(random_spd(5, rng)));
+}
+
+TEST(ConditionNumber, IdentityIsOne) {
+  EXPECT_NEAR(condition_number_1(Matrix::identity(4)), 1.0, 1e-12);
+}
+
+TEST(ConditionNumber, SingularIsInfinite) {
+  const Matrix a = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_TRUE(std::isinf(condition_number_1(a)));
+}
+
+TEST(ConditionNumber, GrowsWithIllConditioning) {
+  const Matrix mild = Matrix::diag({1.0, 0.5});
+  const Matrix harsh = Matrix::diag({1.0, 1e-8});
+  EXPECT_LT(condition_number_1(mild), condition_number_1(harsh));
+}
+
+TEST(SolveMatrix, MultipleRightHandSides) {
+  Rng rng(7);
+  const Matrix a = random_matrix(4, rng);
+  const Matrix x_true = random_matrix(4, rng);
+  const Matrix b = a * x_true;
+  EXPECT_TRUE(approx_equal(solve(a, b), x_true, 1e-8));
+}
+
+}  // namespace
+}  // namespace rcr::num

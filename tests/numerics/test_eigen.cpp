@@ -1,0 +1,145 @@
+#include "rcr/numerics/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::num {
+namespace {
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+  m.symmetrize();
+  return m;
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const Matrix d = Matrix::diag({3.0, 1.0, 2.0});
+  const EigenDecomposition e = eigen_symmetric(d);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const Matrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  const EigenDecomposition e = eigen_symmetric(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  const Matrix a = {{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(eigen_symmetric(a), std::invalid_argument);
+}
+
+TEST(Eigen, RejectsNonSquare) {
+  EXPECT_THROW(eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Eigen, ReconstructionRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Matrix a = random_symmetric(7, rng);
+    const EigenDecomposition e = eigen_symmetric(a);
+    EXPECT_TRUE(approx_equal(e.reconstruct(e.eigenvalues), a, 1e-9));
+  }
+}
+
+TEST(Eigen, EigenvectorsOrthonormal) {
+  Rng rng(2);
+  const Matrix a = random_symmetric(6, rng);
+  const EigenDecomposition e = eigen_symmetric(a);
+  const Matrix vtv = e.eigenvectors.transpose() * e.eigenvectors;
+  EXPECT_TRUE(approx_equal(vtv, Matrix::identity(6), 1e-9));
+}
+
+TEST(Eigen, EigenvalueEquationHolds) {
+  Rng rng(3);
+  const Matrix a = random_symmetric(5, rng);
+  const EigenDecomposition e = eigen_symmetric(a);
+  for (std::size_t k = 0; k < 5; ++k) {
+    const Vec v = e.eigenvectors.col(k);
+    const Vec av = matvec(a, v);
+    const Vec lv = scale(v, e.eigenvalues[k]);
+    EXPECT_TRUE(approx_equal(av, lv, 1e-8));
+  }
+}
+
+TEST(Eigen, TraceEqualsEigenvalueSum) {
+  Rng rng(4);
+  const Matrix a = random_symmetric(6, rng);
+  const EigenDecomposition e = eigen_symmetric(a);
+  double sum = 0.0;
+  for (double l : e.eigenvalues) sum += l;
+  EXPECT_NEAR(sum, a.trace(), 1e-9);
+}
+
+TEST(ProjectPsd, AlreadyPsdUnchanged) {
+  Rng rng(5);
+  Matrix a = random_symmetric(4, rng);
+  a = a * a.transpose();  // PSD
+  a.symmetrize();
+  EXPECT_TRUE(approx_equal(project_psd(a), a, 1e-8));
+}
+
+TEST(ProjectPsd, ClampsNegativeEigenvalues) {
+  const Matrix a = Matrix::diag({2.0, -3.0});
+  const Matrix p = project_psd(a);
+  EXPECT_NEAR(p(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(p(1, 1), 0.0, 1e-12);
+  EXPECT_TRUE(is_psd(p));
+}
+
+TEST(ProjectPsd, ResultIsAlwaysPsd) {
+  Rng rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Matrix a = random_symmetric(5, rng);
+    EXPECT_TRUE(is_psd(project_psd(a)));
+  }
+}
+
+TEST(ProjectPsd, IsIdempotent) {
+  Rng rng(7);
+  const Matrix a = random_symmetric(5, rng);
+  const Matrix p = project_psd(a);
+  EXPECT_TRUE(approx_equal(project_psd(p), p, 1e-8));
+}
+
+TEST(ProjectPsdFloor, EnforcesMinimumEigenvalue) {
+  const Matrix a = Matrix::diag({2.0, -1.0, 0.001});
+  const Matrix p = project_psd_floor(a, 0.5);
+  EXPECT_GE(min_eigenvalue(p), 0.5 - 1e-9);
+}
+
+TEST(SymmetricRank, MatchesConstruction) {
+  Rng rng(8);
+  const Vec v1 = rng.normal_vec(6);
+  const Vec v2 = rng.normal_vec(6);
+  Matrix rank2 = outer(v1, v1) + outer(v2, v2);
+  rank2.symmetrize();
+  EXPECT_EQ(symmetric_rank(rank2), 2u);
+  EXPECT_EQ(symmetric_rank(Matrix(4, 4)), 0u);
+  EXPECT_EQ(symmetric_rank(Matrix::identity(4)), 4u);
+}
+
+TEST(MinMaxEigenvalue, Diagonal) {
+  const Matrix a = Matrix::diag({-5.0, 2.0, 7.0});
+  EXPECT_NEAR(min_eigenvalue(a), -5.0, 1e-12);
+  EXPECT_NEAR(max_eigenvalue(a), 7.0, 1e-12);
+}
+
+TEST(SpectralNorm, MatchesLargestSingularValue) {
+  const Matrix a = {{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_NEAR(spectral_norm(a), 4.0, 1e-9);
+  // Rectangular case.
+  const Matrix b = {{1.0, 0.0, 0.0}, {0.0, 2.0, 0.0}};
+  EXPECT_NEAR(spectral_norm(b), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rcr::num

@@ -1,0 +1,73 @@
+#include "rcr/numerics/float_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rcr::num {
+namespace {
+
+TEST(Classify, AllClasses) {
+  EXPECT_EQ(classify(1.0), FloatClass::kNormal);
+  EXPECT_EQ(classify(0.0), FloatClass::kZero);
+  EXPECT_EQ(classify(-0.0), FloatClass::kZero);
+  EXPECT_EQ(classify(std::numeric_limits<double>::denorm_min()),
+            FloatClass::kSubnormal);
+  EXPECT_EQ(classify(std::numeric_limits<double>::infinity()),
+            FloatClass::kOverflow);
+  EXPECT_EQ(classify(-std::numeric_limits<double>::infinity()),
+            FloatClass::kOverflow);
+  EXPECT_EQ(classify(std::nan("")), FloatClass::kNan);
+}
+
+TEST(Classify, ToStringNames) {
+  EXPECT_EQ(to_string(FloatClass::kNormal), "normal");
+  EXPECT_EQ(to_string(FloatClass::kNan), "nan");
+  EXPECT_EQ(to_string(FloatClass::kOverflow), "overflow");
+}
+
+TEST(Profile, CountsAndCleanFlag) {
+  const Vec v = {1.0, 0.0, std::numeric_limits<double>::denorm_min()};
+  const FloatProfile p = profile(v);
+  EXPECT_EQ(p.normals, 1u);
+  EXPECT_EQ(p.zeros, 1u);
+  EXPECT_EQ(p.subnormals, 1u);
+  EXPECT_TRUE(p.clean());
+  EXPECT_TRUE(p.underflowing());
+}
+
+TEST(Profile, DirtyOnInfNan) {
+  const Vec v = {std::numeric_limits<double>::infinity(), std::nan("")};
+  const FloatProfile p = profile(v);
+  EXPECT_EQ(p.overflows, 1u);
+  EXPECT_EQ(p.nans, 1u);
+  EXPECT_FALSE(p.clean());
+}
+
+TEST(UlpDistance, ZeroForEqual) { EXPECT_DOUBLE_EQ(ulp_distance(1.5, 1.5), 0.0); }
+
+TEST(UlpDistance, OneForAdjacent) {
+  const double x = 1.0;
+  const double next = std::nextafter(x, 2.0);
+  EXPECT_DOUBLE_EQ(ulp_distance(x, next), 1.0);
+}
+
+TEST(UlpDistance, SaturatesOnSignMismatchAndNonFinite) {
+  EXPECT_GT(ulp_distance(-1.0, 1.0), 1e17);
+  EXPECT_GT(ulp_distance(1.0, std::nan("")), 1e17);
+}
+
+TEST(MatchingDigits, Extremes) {
+  EXPECT_EQ(matching_digits(1.0, 1.0), 17);
+  EXPECT_EQ(matching_digits(1.0, 2.0), 0);
+  EXPECT_EQ(matching_digits(0.0, 0.0), 17);
+}
+
+TEST(MatchingDigits, Graduated) {
+  EXPECT_GE(matching_digits(1.0, 1.0 + 1e-9), 8);
+  EXPECT_LE(matching_digits(1.0, 1.001), 4);
+}
+
+}  // namespace
+}  // namespace rcr::num

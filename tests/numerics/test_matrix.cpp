@@ -1,0 +1,136 @@
+#include "rcr/numerics/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rcr::num {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::diag({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, RowColDiagonalExtraction) {
+  const Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.row(1), (Vec{4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.col(2), (Vec{3.0, 6.0}));
+  EXPECT_EQ(m.diagonal(), (Vec{1.0, 5.0}));
+  EXPECT_THROW(m.row(2), std::out_of_range);
+  EXPECT_THROW(m.col(3), std::out_of_range);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, TraceRequiresSquare) {
+  const Matrix sq = {{1.0, 9.0}, {9.0, 2.0}};
+  EXPECT_DOUBLE_EQ(sq.trace(), 3.0);
+  const Matrix rect(2, 3);
+  EXPECT_THROW(rect.trace(), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputed) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a, 1e-15));
+  EXPECT_TRUE(approx_equal(Matrix::identity(2) * a, a, 1e-15));
+}
+
+TEST(Matrix, MatvecAndTransposedMatvec) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(matvec(a, {1.0, 1.0}), (Vec{3.0, 7.0, 11.0}));
+  EXPECT_EQ(matvec_transposed(a, {1.0, 1.0, 1.0}), (Vec{9.0, 12.0}));
+  EXPECT_THROW(matvec(a, {1.0}), std::invalid_argument);
+  EXPECT_THROW(matvec_transposed(a, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, QuadFormAndOuter) {
+  const Matrix a = {{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(quad_form({1.0, 2.0}, a, {1.0, 2.0}), 2.0 + 12.0);
+  const Matrix o = outer({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(o(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(o(0, 1), 4.0);
+}
+
+TEST(Matrix, SymmetrizeAndIsSymmetric) {
+  Matrix m = {{1.0, 2.0}, {4.0, 5.0}};
+  EXPECT_FALSE(m.is_symmetric());
+  m.symmetrize();
+  EXPECT_TRUE(m.is_symmetric());
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, FrobeniusNormAndDot) {
+  const Matrix m = {{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(frobenius_dot(m, Matrix::identity(2)), 7.0);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_TRUE(approx_equal(a + b, Matrix{{2.0, 3.0}, {4.0, 5.0}}, 1e-15));
+  EXPECT_TRUE(approx_equal(a - b, Matrix{{0.0, 1.0}, {2.0, 3.0}}, 1e-15));
+  EXPECT_TRUE(approx_equal(2.0 * a, Matrix{{2.0, 4.0}, {6.0, 8.0}}, 1e-15));
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix m = {{-9.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.max_abs(), 9.0);
+}
+
+}  // namespace
+}  // namespace rcr::num

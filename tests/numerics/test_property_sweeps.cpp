@@ -1,0 +1,110 @@
+// Parameterized property sweeps over matrix sizes: the invariants every
+// decomposition must satisfy regardless of dimension.
+#include <gtest/gtest.h>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/eigen.hpp"
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::num {
+namespace {
+
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  Matrix random_matrix(Rng& rng) const {
+    const std::size_t n = GetParam();
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+    return m;
+  }
+
+  Matrix random_spd(Rng& rng) const {
+    Matrix a = random_matrix(rng);
+    Matrix m = a * a.transpose();
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      m(i, i) += static_cast<double>(m.rows());
+    return m;
+  }
+};
+
+TEST_P(SizeSweep, LuSolveResidualSmall) {
+  Rng rng(GetParam());
+  const Matrix a = random_matrix(rng);
+  const Vec b = rng.normal_vec(GetParam());
+  const Vec x = solve(a, b);
+  const Vec residual = sub(matvec(a, x), b);
+  EXPECT_LT(norm_inf(residual), 1e-8 * (1.0 + norm_inf(b)));
+}
+
+TEST_P(SizeSweep, DeterminantMatchesEigenvalueProduct) {
+  Rng rng(GetParam() + 10);
+  Matrix a = random_matrix(rng);
+  a.symmetrize();
+  const double det = lu_decompose(a).determinant();
+  double prod = 1.0;
+  for (double l : eigen_symmetric(a).eigenvalues) prod *= l;
+  EXPECT_NEAR(det, prod, 1e-6 * (1.0 + std::abs(prod)));
+}
+
+TEST_P(SizeSweep, CholeskyMatchesLdltForSpd) {
+  Rng rng(GetParam() + 20);
+  const Matrix a = random_spd(rng);
+  const Vec b = rng.normal_vec(GetParam());
+  const auto f = ldlt(a);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(approx_equal(cholesky_solve(a, b), f->solve(b), 1e-7));
+  // All LDL^T pivots of an SPD matrix are positive.
+  for (double d : f->d) EXPECT_GT(d, 0.0);
+}
+
+TEST_P(SizeSweep, PsdProjectionVariationalInequality) {
+  // P = proj_PSD(A) is the closest PSD matrix to A in Frobenius norm:
+  // for any PSD Z,  <A - P, Z - P> <= 0.
+  Rng rng(GetParam() + 30);
+  Matrix a = random_matrix(rng);
+  a.symmetrize();
+  const Matrix p = project_psd(a);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix z = random_matrix(rng);
+    z = z * z.transpose();
+    z.symmetrize();
+    EXPECT_LE(frobenius_dot(a - p, z - p), 1e-8 * (1.0 + a.frobenius_norm() *
+                                                             z.frobenius_norm()));
+  }
+}
+
+TEST_P(SizeSweep, ProjectionDistanceIsNegativeEigenvalueMass) {
+  // ||A - proj(A)||_F^2 equals the sum of squared negative eigenvalues.
+  Rng rng(GetParam() + 40);
+  Matrix a = random_matrix(rng);
+  a.symmetrize();
+  const Matrix p = project_psd(a);
+  double neg_mass = 0.0;
+  for (double l : eigen_symmetric(a).eigenvalues)
+    if (l < 0.0) neg_mass += l * l;
+  const double dist2 = std::pow((a - p).frobenius_norm(), 2.0);
+  EXPECT_NEAR(dist2, neg_mass, 1e-6 * (1.0 + neg_mass));
+}
+
+TEST_P(SizeSweep, SpectralNormBoundsFrobenius) {
+  // ||A||_2 <= ||A||_F <= sqrt(n) ||A||_2.
+  Rng rng(GetParam() + 50);
+  const Matrix a = random_matrix(rng);
+  const double s = spectral_norm(a);
+  const double f = a.frobenius_norm();
+  EXPECT_LE(s, f + 1e-9);
+  EXPECT_LE(f, std::sqrt(static_cast<double>(GetParam())) * s + 1e-9);
+}
+
+TEST_P(SizeSweep, InverseOfInverseIsIdentityMap) {
+  Rng rng(GetParam() + 60);
+  const Matrix a = random_spd(rng);  // well-conditioned
+  EXPECT_TRUE(approx_equal(inverse(inverse(a)), a, 1e-6 * (1.0 + a.max_abs())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace rcr::num

@@ -1,0 +1,116 @@
+#include "rcr/numerics/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcr::num {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i)
+    differ |= a.uniform() != b.uniform();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const std::size_t n = 20000;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += rng.normal(2.0, 3.0);
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean, 2.0, 0.1);
+}
+
+TEST(Rng, RayleighMeanMatchesTheory) {
+  // E[Rayleigh(sigma)] = sigma * sqrt(pi/2).
+  Rng rng(6);
+  const double sigma = 2.0;
+  const std::size_t n = 20000;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += rng.rayleigh(sigma);
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(mean, sigma * std::sqrt(std::acos(-1.0) / 2.0), 0.05);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(7);
+  std::size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) ++counts[rng.categorical({1.0, 2.0, 7.0})];
+  const double total = 30000.0;
+  EXPECT_NEAR(counts[0] / total, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / total, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / total, 0.7, 0.02);
+}
+
+TEST(Rng, CategoricalNeverPicksZeroWeight) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_NE(rng.categorical({1.0, 0.0, 1.0}), 1u);
+}
+
+TEST(Rng, CategoricalInvalidInputsThrow) {
+  Rng rng(9);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(10);
+  auto p = rng.permutation(20);
+  std::sort(p.begin(), p.end());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, VectorHelpersSized) {
+  Rng rng(12);
+  EXPECT_EQ(rng.uniform_vec(7).size(), 7u);
+  EXPECT_EQ(rng.normal_vec(5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace rcr::num

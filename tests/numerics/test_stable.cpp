@@ -1,0 +1,109 @@
+#include "rcr/numerics/stable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rcr::num {
+namespace {
+
+TEST(KahanSum, MatchesNaiveOnBenignInput) {
+  const Vec v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(kahan_sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(naive_sum(v), 10.0);
+}
+
+TEST(KahanSum, BeatsNaiveOnCancellation) {
+  // Many tiny values against a huge one: naive summation loses them all.
+  Vec v;
+  v.push_back(1e16);
+  for (int i = 0; i < 10000; ++i) v.push_back(1.0);
+  v.push_back(-1e16);
+  const double exact = 10000.0;
+  EXPECT_DOUBLE_EQ(kahan_sum(v), exact);
+  EXPECT_NE(naive_sum(v), exact);  // demonstrates the round-off loss
+}
+
+TEST(LogSumExp, MatchesDirectForSmallInputs) {
+  const Vec x = {0.0, 1.0, 2.0};
+  const double direct =
+      std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(log_sum_exp(x), direct, 1e-12);
+}
+
+TEST(LogSumExp, NoOverflowForHugeLogits) {
+  const Vec x = {1000.0, 1000.0};
+  EXPECT_NEAR(log_sum_exp(x), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, EmptyIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_sum_exp({})));
+  EXPECT_LT(log_sum_exp({}), 0.0);
+}
+
+TEST(Softmax, SumsToOneAndOrdersPreserved) {
+  const Vec p = softmax({1.0, 2.0, 3.0});
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, StableForHugeLogitsWhereNaiveOverflows) {
+  const Vec x = {800.0, 800.5};
+  const Vec stable = softmax(x);
+  EXPECT_TRUE(all_finite(stable));
+  EXPECT_NEAR(stable[0] + stable[1], 1.0, 1e-12);
+
+  const Vec naive = softmax_naive(x);
+  EXPECT_FALSE(all_finite(naive));  // exp(800) overflows
+}
+
+TEST(LogSoftmax, FusedIsFiniteWhereNaiveUnderflows) {
+  // Sec. V of the paper: "as the softmax output approaches 0, the log output
+  // approaches infinity".  A large logit spread underflows the naive path.
+  const Vec x = {0.0, 1000.0};
+  const Vec fused = log_softmax(x);
+  EXPECT_TRUE(all_finite(fused));
+  EXPECT_NEAR(fused[1], 0.0, 1e-9);
+  EXPECT_NEAR(fused[0], -1000.0, 1e-6);
+
+  const Vec naive = log_softmax_naive(x);
+  EXPECT_FALSE(all_finite(naive));  // log(0) = -inf
+}
+
+TEST(LogSoftmax, AgreesWithNaiveInBenignRegime) {
+  const Vec x = {0.1, -0.3, 0.7};
+  const Vec fused = log_softmax(x);
+  const Vec naive = log_softmax_naive(x);
+  EXPECT_TRUE(approx_equal(fused, naive, 1e-12));
+}
+
+TEST(StableNorm2, MatchesHypotOnExtremeValues) {
+  // Components whose squares overflow.
+  const Vec x = {1e200, 1e200};
+  EXPECT_NEAR(stable_norm2(x) / (std::sqrt(2.0) * 1e200), 1.0, 1e-12);
+  // Components whose squares underflow.
+  const Vec y = {3e-200, 4e-200};
+  EXPECT_NEAR(stable_norm2(y) / 5e-200, 1.0, 1e-12);
+}
+
+TEST(StableNorm2, ZeroVector) { EXPECT_DOUBLE_EQ(stable_norm2({0.0, 0.0}), 0.0); }
+
+TEST(StableHypot, Basic) { EXPECT_DOUBLE_EQ(stable_hypot(3.0, 4.0), 5.0); }
+
+TEST(RelativeError, Basics) {
+  EXPECT_NEAR(relative_error(1.01, 1.0), 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+}
+
+TEST(AllFinite, DetectsInfAndNan) {
+  EXPECT_TRUE(all_finite({1.0, -2.0}));
+  EXPECT_FALSE(all_finite({1.0, std::numeric_limits<double>::infinity()}));
+  EXPECT_FALSE(all_finite({std::nan("")}));
+}
+
+}  // namespace
+}  // namespace rcr::num

@@ -1,0 +1,91 @@
+#include "rcr/numerics/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rcr::num {
+namespace {
+
+TEST(VectorOps, AddSubtractScale) {
+  const Vec a = {1.0, 2.0, 3.0};
+  const Vec b = {4.0, -5.0, 6.0};
+  EXPECT_EQ(add(a, b), (Vec{5.0, -3.0, 9.0}));
+  EXPECT_EQ(sub(a, b), (Vec{-3.0, 7.0, -3.0}));
+  EXPECT_EQ(scale(a, 2.0), (Vec{2.0, 4.0, 6.0}));
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  const Vec a = {1.0, 2.0};
+  const Vec b = {1.0};
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(sub(a, b), std::invalid_argument);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+  EXPECT_THROW(hadamard(a, b), std::invalid_argument);
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+  const Vec x = {1.0, 2.0};
+  Vec y = {10.0, 20.0};
+  axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const Vec a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+  EXPECT_DOUBLE_EQ(norm1(a), 7.0);
+}
+
+TEST(VectorOps, NormsOfEmptyVector) {
+  const Vec e;
+  EXPECT_DOUBLE_EQ(norm2(e), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(e), 0.0);
+  EXPECT_DOUBLE_EQ(norm1(e), 0.0);
+}
+
+TEST(VectorOps, NormInfHandlesNegatives) {
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0}), 7.0);
+}
+
+TEST(VectorOps, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOps, Hadamard) {
+  EXPECT_EQ(hadamard({1.0, 2.0, 3.0}, {2.0, 0.5, -1.0}),
+            (Vec{2.0, 1.0, -3.0}));
+}
+
+TEST(VectorOps, ClampRespectsBounds) {
+  const Vec v = {-2.0, 0.5, 9.0};
+  const Vec lo = {0.0, 0.0, 0.0};
+  const Vec hi = {1.0, 1.0, 1.0};
+  EXPECT_EQ(clamp(v, lo, hi), (Vec{0.0, 0.5, 1.0}));
+}
+
+TEST(VectorOps, LerpEndpointsAndMidpoint) {
+  const Vec a = {0.0, 10.0};
+  const Vec b = {2.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec{1.0, 15.0}));
+}
+
+TEST(VectorOps, ApproxEqual) {
+  EXPECT_TRUE(approx_equal({1.0, 2.0}, {1.0 + 1e-12, 2.0}, 1e-9));
+  EXPECT_FALSE(approx_equal({1.0, 2.0}, {1.1, 2.0}, 1e-9));
+  EXPECT_FALSE(approx_equal({1.0}, {1.0, 2.0}, 1e-9));
+}
+
+TEST(VectorOps, ConstantFill) {
+  const Vec c = constant(4, 3.5);
+  ASSERT_EQ(c.size(), 4u);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+}  // namespace
+}  // namespace rcr::num

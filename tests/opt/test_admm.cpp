@@ -1,0 +1,153 @@
+#include "rcr/opt/admm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/opt/qcqp.hpp"
+
+namespace rcr::opt {
+namespace {
+
+TEST(SoftThreshold, PiecewiseDefinition) {
+  const Vec v = {3.0, -3.0, 0.5, -0.5, 0.0};
+  const Vec s = soft_threshold(v, 1.0);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[1], -2.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+  EXPECT_DOUBLE_EQ(s[4], 0.0);
+}
+
+TEST(AdmmBoxQp, DimensionChecks) {
+  EXPECT_THROW(admm_box_qp(Matrix(2, 2), {1.0}, {0.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      admm_box_qp(Matrix::identity(1), {0.0}, {1.0}, {0.0}),  // lo > hi
+      std::invalid_argument);
+}
+
+TEST(AdmmBoxQp, InteriorOptimum) {
+  // min (x-0.3)^2 on [0,1] -> 0.3.
+  const AdmmResult r = admm_box_qp(Matrix{{2.0}}, {-0.6}, {0.0}, {1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 0.3, 1e-6);
+}
+
+TEST(AdmmBoxQp, ClampedOptimum) {
+  // min (x-3)^2 on [0,1] -> 1.
+  const AdmmResult r = admm_box_qp(Matrix{{2.0}}, {-6.0}, {0.0}, {1.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-6);
+}
+
+TEST(AdmmBoxQp, MatchesBarrierSolverOnRandomProblems) {
+  num::Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 4;
+    const Matrix p0 = random_psd(n, n, rng) + Matrix::identity(n);
+    const Vec q = rng.normal_vec(n);
+    const Vec lo(n, -1.0);
+    const Vec hi(n, 1.0);
+
+    const AdmmResult admm = admm_box_qp(p0, q, lo, hi);
+    ASSERT_TRUE(admm.converged);
+
+    Qp qp;
+    qp.p = p0;
+    qp.q = q;
+    qp.g = Matrix(2 * n, n);
+    qp.h.assign(2 * n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      qp.g(i, i) = 1.0;
+      qp.g(n + i, i) = -1.0;
+    }
+    const QcqpResult barrier = solve_qp(qp, Vec(n, 0.0));
+    ASSERT_TRUE(barrier.converged);
+
+    EXPECT_NEAR(admm.objective, barrier.value,
+                1e-4 * (1.0 + std::abs(barrier.value)));
+  }
+}
+
+TEST(AdmmBoxQp, SolutionAlwaysFeasible) {
+  num::Rng rng(2);
+  const Matrix p = random_psd(3, 3, rng);
+  const Vec q = rng.normal_vec(3, 0.0, 10.0);
+  const AdmmResult r = admm_box_qp(p, q, Vec(3, -0.5), Vec(3, 0.5));
+  for (double v : r.x) {
+    EXPECT_GE(v, -0.5 - 1e-12);
+    EXPECT_LE(v, 0.5 + 1e-12);
+  }
+}
+
+TEST(AdmmLasso, ZeroLambdaIsLeastSquares) {
+  num::Rng rng(3);
+  Matrix a(6, 3);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.normal();
+  const Vec x_true = {1.0, -2.0, 0.5};
+  const Vec b = num::matvec(a, x_true);
+  const AdmmResult r = admm_lasso(a, b, 0.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(num::approx_equal(r.x, x_true, 1e-5));
+}
+
+TEST(AdmmLasso, LargeLambdaZeroesSolution) {
+  num::Rng rng(4);
+  Matrix a(5, 3);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.normal();
+  const Vec b = rng.normal_vec(5);
+  const AdmmResult r = admm_lasso(a, b, 1e4);
+  EXPECT_TRUE(r.converged);
+  for (double v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(AdmmLasso, SparsityIncreasesWithLambda) {
+  num::Rng rng(5);
+  Matrix a(20, 8);
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 8; ++j) a(i, j) = rng.normal();
+  // Sparse ground truth.
+  Vec x_true(8, 0.0);
+  x_true[1] = 2.0;
+  x_true[5] = -1.5;
+  Vec b = num::matvec(a, x_true);
+  for (double& v : b) v += rng.normal(0.0, 0.01);
+
+  auto nnz = [](const Vec& x) {
+    std::size_t n = 0;
+    for (double v : x)
+      if (std::abs(v) > 1e-8) ++n;
+    return n;
+  };
+  const AdmmResult loose = admm_lasso(a, b, 0.01);
+  const AdmmResult tight = admm_lasso(a, b, 2.0);
+  EXPECT_GE(nnz(loose.x), nnz(tight.x));
+  // Moderate lambda recovers the support.
+  const AdmmResult mid = admm_lasso(a, b, 0.5);
+  EXPECT_GT(std::abs(mid.x[1]), 0.5);
+  EXPECT_GT(std::abs(mid.x[5]), 0.3);
+}
+
+TEST(AdmmLasso, NegativeLambdaThrows) {
+  EXPECT_THROW(admm_lasso(Matrix(2, 2), {0.0, 0.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(AdmmLasso, ObjectiveNeverBelowOptimalLeastSquares) {
+  // Sanity: lasso objective with lambda > 0 is >= the LS-residual part of
+  // the lambda = 0 solution.
+  num::Rng rng(6);
+  Matrix a(10, 4);
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  const Vec b = rng.normal_vec(10);
+  const AdmmResult ls = admm_lasso(a, b, 0.0);
+  const AdmmResult lasso = admm_lasso(a, b, 0.3);
+  EXPECT_GE(lasso.objective, ls.objective - 1e-8);
+}
+
+}  // namespace
+}  // namespace rcr::opt

@@ -1,0 +1,135 @@
+#include "rcr/opt/langevin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::opt {
+namespace {
+
+// Double well: f(x) = (x^2 - 1)^2 + 0.3 x.  Local minimum near x = +0.96,
+// global minimum near x = -1.04.
+Smooth double_well() {
+  Smooth f;
+  f.value = [](const Vec& x) {
+    const double a = x[0] * x[0] - 1.0;
+    return a * a + 0.3 * x[0];
+  };
+  f.gradient = [](const Vec& x) {
+    return Vec{4.0 * x[0] * (x[0] * x[0] - 1.0) + 0.3};
+  };
+  return f;
+}
+
+TEST(Langevin, OptionValidation) {
+  const Smooth f = double_well();
+  LangevinOptions bad;
+  bad.step = 0.0;
+  EXPECT_THROW(langevin_minimize(f, {0.0}, bad), std::invalid_argument);
+  bad = {};
+  bad.cooling = 1.5;
+  EXPECT_THROW(langevin_minimize(f, {0.0}, bad), std::invalid_argument);
+  bad = {};
+  bad.lower = {0.0};  // mismatched box
+  bad.upper = {};
+  EXPECT_THROW(langevin_minimize(f, {0.0}, bad), std::invalid_argument);
+}
+
+TEST(Langevin, ZeroTemperatureIsGradientDescent) {
+  const Smooth f = double_well();
+  LangevinOptions opts;
+  opts.initial_temperature = 0.0;
+  opts.iterations = 5000;
+  opts.step = 1e-2;
+  // Start in the *local* basin: T = 0 cannot escape it.
+  const LangevinResult r = langevin_minimize(f, {0.9}, opts);
+  EXPECT_NEAR(r.final_x[0], 0.961, 0.02);  // trapped at the local minimum
+}
+
+TEST(Langevin, NoiseEscapesLocalBasin) {
+  // With temperature, the chain crosses the barrier and finds the global
+  // minimum from the same bad start (aggregate over seeds).
+  const Smooth f = double_well();
+  std::size_t escaped = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    LangevinOptions opts;
+    opts.initial_temperature = 0.6;
+    opts.cooling = 0.999;
+    opts.iterations = 4000;
+    opts.step = 1e-2;
+    opts.seed = seed;
+    const LangevinResult r = langevin_minimize(f, {0.9}, opts);
+    if (r.best_x[0] < -0.8) ++escaped;
+  }
+  EXPECT_GE(escaped, 6u);
+}
+
+TEST(Langevin, PrematureStagnationUnderFastCooling) {
+  // The paper's caveat: cooled too fast, Langevin stagnates at local optima.
+  const Smooth f = double_well();
+  std::size_t escaped_slow = 0;
+  std::size_t escaped_fast = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    LangevinOptions slow;
+    slow.initial_temperature = 0.6;
+    slow.cooling = 0.999;
+    slow.iterations = 4000;
+    slow.step = 1e-2;
+    slow.seed = seed;
+    if (langevin_minimize(f, {0.9}, slow).best_x[0] < -0.8) ++escaped_slow;
+
+    LangevinOptions fast = slow;
+    fast.cooling = 0.95;  // temperature collapses within ~100 iterations
+    if (langevin_minimize(f, {0.9}, fast).best_x[0] < -0.8) ++escaped_fast;
+  }
+  EXPECT_GT(escaped_slow, escaped_fast);
+}
+
+TEST(Langevin, BoxProjectionRespected) {
+  const Smooth f = double_well();
+  LangevinOptions opts;
+  opts.lower = {0.0};
+  opts.upper = {2.0};
+  opts.initial_temperature = 0.5;
+  opts.iterations = 2000;
+  opts.seed = 3;
+  const LangevinResult r = langevin_minimize(f, {1.0}, opts);
+  EXPECT_GE(r.best_x[0], 0.0);
+  EXPECT_LE(r.best_x[0], 2.0);
+  EXPECT_GE(r.final_x[0], 0.0);
+  EXPECT_LE(r.final_x[0], 2.0);
+}
+
+TEST(Langevin, BestValueNeverWorseThanStart) {
+  const Smooth f = double_well();
+  LangevinOptions opts;
+  opts.seed = 4;
+  const double f0 = f.value({0.5});
+  const LangevinResult r = langevin_minimize(f, {0.5}, opts);
+  EXPECT_LE(r.best_value, f0);
+  EXPECT_NEAR(r.best_value, f.value(r.best_x), 1e-12);
+}
+
+TEST(Langevin, DeterministicGivenSeed) {
+  const Smooth f = double_well();
+  LangevinOptions opts;
+  opts.seed = 5;
+  opts.iterations = 500;
+  const LangevinResult a = langevin_minimize(f, {0.2}, opts);
+  const LangevinResult b = langevin_minimize(f, {0.2}, opts);
+  EXPECT_EQ(a.best_x, b.best_x);
+  EXPECT_EQ(a.final_x, b.final_x);
+}
+
+TEST(Langevin, TemperatureAnnealsGeometrically) {
+  const Smooth f = double_well();
+  LangevinOptions opts;
+  opts.initial_temperature = 1.0;
+  opts.cooling = 0.99;
+  opts.iterations = 100;
+  const LangevinResult r = langevin_minimize(f, {0.0}, opts);
+  EXPECT_NEAR(r.final_temperature, std::pow(0.99, 100), 1e-12);
+}
+
+}  // namespace
+}  // namespace rcr::opt

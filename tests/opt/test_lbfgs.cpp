@@ -1,0 +1,136 @@
+#include "rcr/opt/lbfgs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/opt/linesearch.hpp"
+
+namespace rcr::opt {
+namespace {
+
+Smooth quadratic_bowl() {
+  // f(x) = (x0-1)^2 + 10*(x1+2)^2, minimum at (1, -2).
+  Smooth f;
+  f.value = [](const Vec& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + 10.0 * (x[1] + 2.0) * (x[1] + 2.0);
+  };
+  f.gradient = [](const Vec& x) {
+    return Vec{2.0 * (x[0] - 1.0), 20.0 * (x[1] + 2.0)};
+  };
+  return f;
+}
+
+Smooth rosenbrock2() {
+  Smooth f;
+  f.value = [](const Vec& x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+  };
+  f.gradient = [](const Vec& x) {
+    const double a = x[1] - x[0] * x[0];
+    return Vec{-400.0 * a * x[0] - 2.0 * (1.0 - x[0]), 200.0 * a};
+  };
+  return f;
+}
+
+TEST(Armijo, FindsDecreaseOnDescentDirection) {
+  const Smooth f = quadratic_bowl();
+  const Vec x = {5.0, 5.0};
+  const Vec g = f.gradient(x);
+  const Vec d = num::scale(g, -1.0);
+  const auto r = armijo_backtrack(f.value, x, d, g, f.value(x));
+  EXPECT_TRUE(r.success);
+  EXPECT_LT(r.value, f.value(x));
+}
+
+TEST(GradientDescent, SolvesQuadratic) {
+  const MinimizeResult r = gradient_descent(quadratic_bowl(), {5.0, 5.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -2.0, 1e-5);
+}
+
+TEST(Bfgs, SolvesQuadraticFast) {
+  MinimizeOptions opts;
+  opts.max_iterations = 50;
+  const MinimizeResult r = bfgs(quadratic_bowl(), {5.0, 5.0}, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 0.0, 1e-10);
+}
+
+TEST(Bfgs, SolvesRosenbrock) {
+  MinimizeOptions opts;
+  opts.max_iterations = 500;
+  opts.gradient_tolerance = 1e-7;
+  const MinimizeResult r = bfgs(rosenbrock2(), {-1.2, 1.0}, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, SolvesRosenbrock) {
+  MinimizeOptions opts;
+  opts.max_iterations = 800;
+  opts.gradient_tolerance = 1e-7;
+  const MinimizeResult r = lbfgs(rosenbrock2(), {-1.2, 1.0}, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, HigherDimensionalConvexProblem) {
+  // f(x) = sum_i i * x_i^2 with minimum 0 at the origin.
+  Smooth f;
+  f.value = [](const Vec& x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      acc += static_cast<double>(i + 1) * x[i] * x[i];
+    return acc;
+  };
+  f.gradient = [](const Vec& x) {
+    Vec g(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+      g[i] = 2.0 * static_cast<double>(i + 1) * x[i];
+    return g;
+  };
+  num::Rng rng(1);
+  const MinimizeResult r = lbfgs(f, rng.normal_vec(20));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.value, 0.0, 1e-10);
+}
+
+TEST(Lbfgs, BeatsGradientDescentOnIllConditionedBowl) {
+  Smooth f;
+  f.value = [](const Vec& x) {
+    return x[0] * x[0] + 1000.0 * x[1] * x[1];
+  };
+  f.gradient = [](const Vec& x) {
+    return Vec{2.0 * x[0], 2000.0 * x[1]};
+  };
+  MinimizeOptions opts;
+  opts.max_iterations = 100;
+  const MinimizeResult gd = gradient_descent(f, {1.0, 1.0}, opts);
+  const MinimizeResult lb = lbfgs(f, {1.0, 1.0}, opts);
+  EXPECT_LE(lb.value, gd.value);
+  EXPECT_TRUE(lb.converged);
+}
+
+TEST(Lbfgs, AlreadyAtOptimumStopsImmediately) {
+  const MinimizeResult r = lbfgs(quadratic_bowl(), {1.0, -2.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(NumericalGradientWrapper, MatchesAnalytic) {
+  const Smooth analytic = quadratic_bowl();
+  const Smooth numeric = with_numerical_gradient(analytic.value);
+  const Vec x = {0.3, -0.7};
+  EXPECT_TRUE(num::approx_equal(analytic.gradient(x), numeric.gradient(x),
+                                1e-5));
+}
+
+}  // namespace
+}  // namespace rcr::opt

@@ -1,0 +1,90 @@
+#include "rcr/opt/quadratic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcr/numerics/approx.hpp"
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/eigen.hpp"
+
+namespace rcr::opt {
+namespace {
+
+TEST(QuadraticForm, ValueAndGradient) {
+  QuadraticForm f;
+  f.p = {{2.0, 0.0}, {0.0, 4.0}};
+  f.q = {1.0, -1.0};
+  f.r = 3.0;
+  const Vec x = {1.0, 2.0};
+  // 0.5*(2*1 + 4*4) + (1 - 2) + 3 = 9 - 1 + 3 = 11.
+  EXPECT_DOUBLE_EQ(f.value(x), 11.0);
+  const Vec g = f.gradient(x);
+  EXPECT_DOUBLE_EQ(g[0], 2.0 * 1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(g[1], 4.0 * 2.0 - 1.0);
+}
+
+TEST(QuadraticForm, GradientMatchesNumerical) {
+  num::Rng rng(1);
+  QuadraticForm f;
+  f.p = random_psd(4, 4, rng);
+  f.q = rng.normal_vec(4);
+  f.r = 0.7;
+  const Vec x = rng.normal_vec(4);
+  const Vec analytic = f.gradient(x);
+  const Vec numeric = num::numerical_gradient(
+      [&](const Vec& v) { return f.value(v); }, x);
+  EXPECT_TRUE(num::approx_equal(analytic, numeric, 1e-5));
+}
+
+TEST(QuadraticForm, ConvexityDetection) {
+  QuadraticForm convex;
+  convex.p = {{1.0, 0.0}, {0.0, 2.0}};
+  convex.q = {0.0, 0.0};
+  EXPECT_TRUE(convex.is_convex());
+
+  QuadraticForm nonconvex;
+  nonconvex.p = {{1.0, 0.0}, {0.0, -2.0}};
+  nonconvex.q = {0.0, 0.0};
+  EXPECT_FALSE(nonconvex.is_convex());
+}
+
+TEST(Qcqp, ValidationCatchesMismatches) {
+  num::Rng rng(2);
+  Qcqp p = random_convex_qcqp(3, 2, 1, rng);
+  EXPECT_NO_THROW(p.validate());
+  p.b.push_back(0.0);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Qcqp, RandomInstanceIsConvexAndStrictlyFeasibleAtOrigin) {
+  num::Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Qcqp p = random_convex_qcqp(5, 3, 2, rng);
+    EXPECT_TRUE(p.objective.is_convex());
+    for (const auto& c : p.constraints) {
+      EXPECT_TRUE(c.is_convex());
+      EXPECT_LT(c.value(Vec(5, 0.0)), 0.0);  // strictly feasible at 0
+    }
+    EXPECT_NEAR(p.equality_residual(Vec(5, 0.0)), 0.0, 1e-12);
+  }
+}
+
+TEST(Qcqp, ConstraintViolationReporting) {
+  num::Rng rng(4);
+  const Qcqp p = random_convex_qcqp(3, 2, 0, rng);
+  // Far away from the ball constraints everything is violated.
+  const Vec far(3, 100.0);
+  EXPECT_GT(p.max_constraint_violation(far), 0.0);
+  EXPECT_LT(p.max_constraint_violation(Vec(3, 0.0)), 0.0);
+}
+
+TEST(RandomPsd, RankControl) {
+  num::Rng rng(5);
+  const Matrix m2 = random_psd(6, 2, rng);
+  EXPECT_TRUE(num::is_psd(m2));
+  EXPECT_EQ(num::symmetric_rank(m2), 2u);
+  const Matrix full = random_psd(6, 6, rng);
+  EXPECT_EQ(num::symmetric_rank(full), 6u);
+}
+
+}  // namespace
+}  // namespace rcr::opt

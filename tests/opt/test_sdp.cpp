@@ -1,0 +1,128 @@
+#include "rcr/opt/sdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/eigen.hpp"
+#include "rcr/opt/qcqp.hpp"
+
+namespace rcr::opt {
+namespace {
+
+TEST(Sdp, ValidationCatchesShapeErrors) {
+  Sdp p;
+  p.c = Matrix::identity(3);
+  p.a_eq.push_back(Matrix::identity(2));  // wrong size
+  p.b_eq.push_back(1.0);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Sdp, TraceConstrainedMinimization) {
+  // min <C, X> s.t. tr(X) = 1, X PSD, with C = diag(1, 2, 3):
+  // optimum puts all mass on the smallest diagonal entry -> objective 1.
+  Sdp p;
+  p.c = Matrix::diag({1.0, 2.0, 3.0});
+  p.a_eq.push_back(Matrix::identity(3));
+  p.b_eq.push_back(1.0);
+  const SdpResult r = solve_sdp(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.objective, 1.0, 1e-3);
+  EXPECT_TRUE(num::is_psd(r.x, 1e-6));
+  EXPECT_NEAR(r.x.trace(), 1.0, 1e-4);
+}
+
+TEST(Sdp, InequalityConstraintRespected) {
+  // max <I, X> (i.e. min <-I, X>) s.t. tr(X) <= 2: objective -2.
+  Sdp p;
+  p.c = -1.0 * Matrix::identity(2);
+  p.a_in.push_back(Matrix::identity(2));
+  p.b_in.push_back(2.0);
+  const SdpResult r = solve_sdp(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.objective, -2.0, 1e-3);
+  EXPECT_LE(r.x.trace(), 2.0 + 1e-4);
+}
+
+TEST(Sdp, PsdConstraintBindsWhenObjectiveRewardsNegativity) {
+  // min <diag(1,1), X> s.t. X_00 = 1 (via E00), nothing else: free block
+  // X_11 would go to -inf without the PSD cone; with it, X_11 -> 0.
+  Sdp p;
+  p.c = Matrix::identity(2);
+  Matrix e00(2, 2);
+  e00(0, 0) = 1.0;
+  p.a_eq.push_back(e00);
+  p.b_eq.push_back(1.0);
+  const SdpResult r = solve_sdp(p);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x(0, 0), 1.0, 1e-4);
+  EXPECT_NEAR(r.x(1, 1), 0.0, 1e-4);
+}
+
+TEST(Shor, LiftedObjectiveEvaluatesQuadratic) {
+  num::Rng rng(1);
+  const Qcqp prob = random_convex_qcqp(3, 2, 0, rng);
+  const Sdp sdp = shor_relaxation(prob);
+  // <C, [1 x; x xx^T]> must equal f0(x) for any x.
+  const Vec x = rng.normal_vec(3);
+  Matrix lift(4, 4);
+  lift(0, 0) = 1.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    lift(0, i + 1) = x[i];
+    lift(i + 1, 0) = x[i];
+    for (std::size_t j = 0; j < 3; ++j) lift(i + 1, j + 1) = x[i] * x[j];
+  }
+  EXPECT_NEAR(num::frobenius_dot(sdp.c, lift), prob.objective.value(x), 1e-9);
+  // Same for each constraint row.
+  for (std::size_t k = 0; k < prob.constraints.size(); ++k)
+    EXPECT_NEAR(num::frobenius_dot(sdp.a_in[k], lift),
+                prob.constraints[k].value(x), 1e-9);
+}
+
+TEST(Shor, RelaxationIsLowerBoundOnConvexQcqp) {
+  num::Rng rng(2);
+  const Qcqp prob = random_convex_qcqp(3, 2, 0, rng);
+  const QcqpResult exact = solve_qcqp_barrier(prob);
+  ASSERT_TRUE(exact.converged);
+  SdpOptions opts;
+  opts.max_iterations = 20000;
+  const ShorBound bound = shor_lower_bound(prob, opts);
+  EXPECT_LE(bound.bound, exact.value + 1e-3);
+}
+
+TEST(Shor, TightForConvexProblems) {
+  // The paper's Sec. IV-C: once the QCQP is convex, the SDP relaxation is
+  // exact -- the E5 "shape".
+  num::Rng rng(3);
+  const Qcqp prob = random_convex_qcqp(3, 2, 0, rng);
+  const QcqpResult exact = solve_qcqp_barrier(prob);
+  ASSERT_TRUE(exact.converged);
+  SdpOptions opts;
+  opts.max_iterations = 30000;
+  const ShorBound bound = shor_lower_bound(prob, opts);
+  EXPECT_NEAR(bound.bound, exact.value, 5e-2 * (1.0 + std::abs(exact.value)));
+}
+
+TEST(Shor, StrictLowerBoundOnNonconvexQcqp) {
+  // Nonconvex: maximize ||x||^2 inside a box (as min of negative).  The Shor
+  // bound must stay below (or equal to) the true optimum.
+  Qcqp prob;
+  prob.objective.p = -2.0 * Matrix::identity(2);  // -||x||^2
+  prob.objective.q = {0.0, 0.0};
+  // Box via quadratic constraints x_i^2 <= 1.
+  for (std::size_t i = 0; i < 2; ++i) {
+    QuadraticForm c;
+    c.p = Matrix(2, 2);
+    c.p(i, i) = 2.0;
+    c.q = {0.0, 0.0};
+    c.r = -1.0;
+    prob.constraints.push_back(c);
+  }
+  // True optimum: x = (+-1, +-1), objective -2.
+  const ShorBound bound = shor_lower_bound(prob);
+  EXPECT_LE(bound.bound, -2.0 + 1e-2);
+}
+
+}  // namespace
+}  // namespace rcr::opt

@@ -1,0 +1,110 @@
+#include "rcr/opt/trust_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::opt {
+namespace {
+
+TEST(TrustRegionExact, InteriorSolutionForLargeRadius) {
+  // min 0.5 p^T I p + g^T p => p* = -g, norm sqrt(2) < 10.
+  const num::Matrix b = num::Matrix::identity(2);
+  const Vec g = {1.0, -1.0};
+  const TrustRegionStep s = solve_trust_region_exact(b, g, 10.0);
+  EXPECT_FALSE(s.on_boundary);
+  EXPECT_NEAR(s.p[0], -1.0, 1e-9);
+  EXPECT_NEAR(s.p[1], 1.0, 1e-9);
+  EXPECT_NEAR(s.model_decrease, 1.0, 1e-9);
+}
+
+TEST(TrustRegionExact, BoundarySolutionForSmallRadius) {
+  const num::Matrix b = num::Matrix::identity(2);
+  const Vec g = {3.0, 4.0};  // unconstrained step has norm 5
+  const TrustRegionStep s = solve_trust_region_exact(b, g, 1.0);
+  EXPECT_TRUE(s.on_boundary);
+  EXPECT_NEAR(num::norm2(s.p), 1.0, 1e-6);
+  // Direction is -g / ||g||.
+  EXPECT_NEAR(s.p[0], -0.6, 1e-6);
+  EXPECT_NEAR(s.p[1], -0.8, 1e-6);
+}
+
+TEST(TrustRegionExact, HandlesIndefiniteHessian) {
+  // Negative curvature: the step must reach the boundary.
+  const num::Matrix b = num::Matrix::diag({-2.0, 1.0});
+  const Vec g = {0.1, 0.1};
+  const TrustRegionStep s = solve_trust_region_exact(b, g, 2.0);
+  EXPECT_TRUE(s.on_boundary);
+  EXPECT_NEAR(num::norm2(s.p), 2.0, 1e-6);
+  EXPECT_GT(s.model_decrease, 0.0);
+}
+
+TEST(TrustRegionCg, MatchesExactOnConvexProblem) {
+  num::Rng rng(1);
+  num::Matrix b(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) b(i, j) = rng.normal();
+  b = b * b.transpose();
+  for (std::size_t i = 0; i < 4; ++i) b(i, i) += 4.0;
+  const Vec g = rng.normal_vec(4);
+
+  const TrustRegionStep exact = solve_trust_region_exact(b, g, 100.0);
+  const TrustRegionStep cg = solve_trust_region_cg(
+      [&](const Vec& v) { return num::matvec(b, v); }, g, 100.0);
+  EXPECT_TRUE(num::approx_equal(exact.p, cg.p, 1e-6));
+}
+
+TEST(TrustRegionCg, RespectsRadius) {
+  const num::Matrix b = num::Matrix::identity(3);
+  const Vec g = {10.0, 10.0, 10.0};
+  const TrustRegionStep s = solve_trust_region_cg(
+      [&](const Vec& v) { return num::matvec(b, v); }, g, 0.5);
+  EXPECT_TRUE(s.on_boundary);
+  EXPECT_LE(num::norm2(s.p), 0.5 + 1e-9);
+}
+
+TEST(TrustRegionCg, NegativeCurvatureWalksToBoundary) {
+  const num::Matrix b = num::Matrix::diag({-1.0, -1.0});
+  const Vec g = {1.0, 0.0};
+  const TrustRegionStep s = solve_trust_region_cg(
+      [&](const Vec& v) { return num::matvec(b, v); }, g, 3.0);
+  EXPECT_TRUE(s.on_boundary);
+  EXPECT_NEAR(num::norm2(s.p), 3.0, 1e-9);
+}
+
+TEST(TrustRegionBfgs, SolvesQuadratic) {
+  Smooth f;
+  f.value = [](const Vec& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0) + 5.0 * (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  f.gradient = [](const Vec& x) {
+    return Vec{2.0 * (x[0] - 2.0), 10.0 * (x[1] + 1.0)};
+  };
+  const MinimizeResult r = trust_region_bfgs(f, {10.0, 10.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-5);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-5);
+}
+
+TEST(TrustRegionBfgs, SolvesRosenbrock) {
+  Smooth f;
+  f.value = [](const Vec& x) {
+    const double a = x[1] - x[0] * x[0];
+    const double b = 1.0 - x[0];
+    return 100.0 * a * a + b * b;
+  };
+  f.gradient = [](const Vec& x) {
+    const double a = x[1] - x[0] * x[0];
+    return Vec{-400.0 * a * x[0] - 2.0 * (1.0 - x[0]), 200.0 * a};
+  };
+  TrustRegionOptions opts;
+  opts.max_iterations = 500;
+  const MinimizeResult r = trust_region_bfgs(f, {-1.2, 1.0}, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace rcr::opt

@@ -1,0 +1,167 @@
+#include "rcr/pso/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::pso {
+namespace {
+
+std::vector<CategoricalAttribute> small_space() {
+  return {
+      {"a", {0.0, 1.0, 2.0, 3.0}},
+      {"b", {10.0, 20.0}},
+      {"c", {-1.0, 0.0, 1.0}},
+  };
+}
+
+// Separable objective with unique optimum a=2, b=20, c=0.
+double separable(const DiscreteAssignment& x,
+                 const std::vector<CategoricalAttribute>& space) {
+  const double a = space[0].values[x[0]];
+  const double b = space[1].values[x[1]];
+  const double c = space[2].values[x[2]];
+  return (a - 2.0) * (a - 2.0) + std::abs(b - 20.0) + c * c;
+}
+
+TEST(Exhaustive, FindsGlobalOptimum) {
+  const auto space = small_space();
+  const ExhaustiveResult r = minimize_exhaustive(
+      space, [&](const DiscreteAssignment& x) { return separable(x, space); });
+  EXPECT_EQ(r.evaluations, 24u);
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+  EXPECT_EQ(r.best_assignment, (DiscreteAssignment{2, 1, 1}));
+}
+
+TEST(Exhaustive, RejectsHugeSpaces) {
+  std::vector<CategoricalAttribute> huge(10, {"x", Vec(10, 0.0)});
+  EXPECT_THROW(
+      minimize_exhaustive(huge, [](const DiscreteAssignment&) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(Exhaustive, RejectsEmptyAttribute) {
+  std::vector<CategoricalAttribute> space = {{"empty", {}}};
+  EXPECT_THROW(
+      minimize_exhaustive(space, [](const DiscreteAssignment&) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(DiscretePso, InvalidInputsThrow) {
+  DiscretePsoConfig c;
+  EXPECT_THROW(minimize_discrete({}, [](const DiscreteAssignment&) { return 0.0; }, c),
+               std::invalid_argument);
+  std::vector<CategoricalAttribute> bad = {{"x", {}}};
+  EXPECT_THROW(minimize_discrete(bad, [](const DiscreteAssignment&) { return 0.0; }, c),
+               std::invalid_argument);
+  c.swarm_size = 0;
+  EXPECT_THROW(minimize_discrete(small_space(),
+                                 [](const DiscreteAssignment&) { return 0.0; }, c),
+               std::invalid_argument);
+}
+
+TEST(DiscretePso, FindsSeparableOptimum) {
+  const auto space = small_space();
+  DiscretePsoConfig c;
+  c.swarm_size = 10;
+  c.max_iterations = 40;
+  c.seed = 1;
+  const DiscretePsoResult r = minimize_discrete(
+      space, [&](const DiscreteAssignment& x) { return separable(x, space); },
+      c);
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+  EXPECT_EQ(r.best_assignment, (DiscreteAssignment{2, 1, 1}));
+}
+
+TEST(DiscretePso, MatchesExhaustiveOnCoupledObjective) {
+  // Non-separable: reward a specific joint configuration.
+  const auto space = small_space();
+  auto coupled = [&](const DiscreteAssignment& x) {
+    const double a = space[0].values[x[0]];
+    const double b = space[1].values[x[1]];
+    const double c = space[2].values[x[2]];
+    return std::abs(a * c - 3.0) + std::abs(b - 10.0) * 0.1;
+  };
+  const ExhaustiveResult oracle = minimize_exhaustive(space, coupled);
+  DiscretePsoConfig c;
+  c.swarm_size = 12;
+  c.max_iterations = 60;
+  c.seed = 2;
+  const DiscretePsoResult r = minimize_discrete(space, coupled, c);
+  EXPECT_NEAR(r.best_value, oracle.best_value, 1e-12);
+}
+
+TEST(DiscretePso, DeterministicGivenSeed) {
+  const auto space = small_space();
+  auto objective = [&](const DiscreteAssignment& x) {
+    return separable(x, space);
+  };
+  DiscretePsoConfig c;
+  c.seed = 3;
+  const DiscretePsoResult a = minimize_discrete(space, objective, c);
+  const DiscretePsoResult b = minimize_discrete(space, objective, c);
+  EXPECT_EQ(a.best_assignment, b.best_assignment);
+  EXPECT_EQ(a.best_value, b.best_value);
+}
+
+TEST(DiscretePso, HistoryMonotoneNonIncreasing) {
+  const auto space = small_space();
+  DiscretePsoConfig c;
+  c.seed = 4;
+  const DiscretePsoResult r = minimize_discrete(
+      space, [&](const DiscreteAssignment& x) { return separable(x, space); },
+      c);
+  for (std::size_t k = 1; k < r.best_value_history.size(); ++k)
+    EXPECT_LE(r.best_value_history[k], r.best_value_history[k - 1]);
+}
+
+TEST(DiscretePso, DistributionsRemainValidSimplexPoints) {
+  const auto space = small_space();
+  DiscretePsoConfig c;
+  c.seed = 5;
+  c.max_iterations = 30;
+  const DiscretePsoResult r = minimize_discrete(
+      space, [&](const DiscreteAssignment& x) { return separable(x, space); },
+      c);
+  ASSERT_EQ(r.best_distributions.size(), space.size());
+  for (std::size_t k = 0; k < space.size(); ++k) {
+    double total = 0.0;
+    for (double p : r.best_distributions[k]) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(DiscretePso, WorksWithInertiaSchedule) {
+  const auto space = small_space();
+  DiscretePsoConfig c;
+  c.seed = 6;
+  auto inertia = adaptive_qp_inertia();
+  const DiscretePsoResult r = minimize_discrete(
+      space, [&](const DiscreteAssignment& x) { return separable(x, space); },
+      c, inertia.get());
+  EXPECT_DOUBLE_EQ(r.best_value, 0.0);
+}
+
+TEST(DiscretePso, EvaluationBudgetRespected) {
+  const auto space = small_space();
+  DiscretePsoConfig c;
+  c.swarm_size = 4;
+  c.max_iterations = 10;
+  c.samples_per_eval = 2;
+  std::size_t calls = 0;
+  const DiscretePsoResult r = minimize_discrete(
+      space,
+      [&](const DiscreteAssignment& x) {
+        ++calls;
+        return separable(x, space);
+      },
+      c);
+  EXPECT_EQ(calls, r.evaluations);
+  EXPECT_EQ(calls, 4u * 10u * 2u);
+}
+
+}  // namespace
+}  // namespace rcr::pso

@@ -1,0 +1,119 @@
+#include "rcr/pso/inertia.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcr::pso {
+namespace {
+
+InertiaContext context_at(std::size_t iter, std::size_t max_iter) {
+  InertiaContext c;
+  c.iteration = iter;
+  c.max_iterations = max_iter;
+  return c;
+}
+
+TEST(ConstantInertia, AlwaysSameWeight) {
+  auto s = constant_inertia(0.73);
+  EXPECT_DOUBLE_EQ(s->weight(context_at(0, 100)), 0.73);
+  EXPECT_DOUBLE_EQ(s->weight(context_at(99, 100)), 0.73);
+  EXPECT_EQ(s->name(), "constant");
+}
+
+TEST(LinearDecay, EndpointsAndMonotonicity) {
+  auto s = linear_decay_inertia(0.9, 0.4);
+  EXPECT_NEAR(s->weight(context_at(0, 101)), 0.9, 1e-12);
+  EXPECT_NEAR(s->weight(context_at(100, 101)), 0.4, 1e-12);
+  double prev = 1.0;
+  for (std::size_t k = 0; k < 101; k += 10) {
+    const double w = s->weight(context_at(k, 101));
+    EXPECT_LE(w, prev + 1e-12);
+    prev = w;
+  }
+}
+
+TEST(ChaoticInertia, BoundedAndVarying) {
+  auto s = chaotic_inertia(0.4);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int k = 0; k < 200; ++k) {
+    const double w = s->weight(context_at(0, 1));
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+    EXPECT_GE(w, 0.4);
+    EXPECT_LE(w, 0.9);
+  }
+  EXPECT_GT(hi - lo, 0.1);  // genuinely varying
+}
+
+TEST(AdaptiveDistance, StagnantParticleGetsBoosted) {
+  auto s = adaptive_distance_inertia(0.4, 1.2);
+  InertiaContext moving = context_at(50, 100);
+  moving.stagnant_iters = 0;
+  InertiaContext stuck = context_at(50, 100);
+  stuck.stagnant_iters = 20;
+  EXPECT_GT(s->weight(stuck), s->weight(moving));
+  EXPECT_LE(s->weight(stuck), 1.2 + 1e-12);
+}
+
+TEST(AdaptiveDistance, RespectsBounds) {
+  auto s = adaptive_distance_inertia(0.4, 1.2);
+  for (std::size_t it : {0u, 10u, 50u, 99u}) {
+    for (std::size_t stag : {0u, 5u, 100u}) {
+      InertiaContext c = context_at(it, 100);
+      c.stagnant_iters = stag;
+      c.swarm_diversity = 1.0;
+      c.dist_to_pbest = 2.0;
+      const double w = s->weight(c);
+      EXPECT_GE(w, 0.3);
+      EXPECT_LE(w, 1.2 + 1e-12);
+    }
+  }
+}
+
+TEST(AdaptiveQp, ScalarSolutionMatchesCalculus) {
+  // Unconstrained stationary point (v d + lambda w_ref) / (v^2 + lambda).
+  const double w = AdaptiveQpInertia::solve_scalar_qp(
+      /*v=*/2.0, /*d=*/3.0, /*w_ref=*/0.7, /*lambda=*/0.5, 0.0, 10.0);
+  EXPECT_NEAR(w, (2.0 * 3.0 + 0.5 * 0.7) / (4.0 + 0.5), 1e-12);
+}
+
+TEST(AdaptiveQp, ClampsToBox) {
+  EXPECT_DOUBLE_EQ(
+      AdaptiveQpInertia::solve_scalar_qp(1.0, 100.0, 0.7, 0.5, 0.3, 1.4), 1.4);
+  EXPECT_DOUBLE_EQ(
+      AdaptiveQpInertia::solve_scalar_qp(10.0, 0.0, 0.0, 0.01, 0.3, 1.4), 0.3);
+}
+
+TEST(AdaptiveQp, ZeroVelocityFallsBackToReference) {
+  const double w =
+      AdaptiveQpInertia::solve_scalar_qp(0.0, 5.0, 0.7, 0.5, 0.3, 1.4);
+  EXPECT_DOUBLE_EQ(w, 0.7);
+}
+
+TEST(AdaptiveQp, SolutionMinimizesTheQpObjective) {
+  // Grid-check: no w in the box does better than the returned w.
+  const double v = 1.7;
+  const double d = 2.3;
+  const double w_ref = 0.7;
+  const double lambda = 0.5;
+  auto objective = [&](double w) {
+    return (w * v - d) * (w * v - d) + lambda * (w - w_ref) * (w - w_ref);
+  };
+  const double w_star =
+      AdaptiveQpInertia::solve_scalar_qp(v, d, w_ref, lambda, 0.3, 1.4);
+  for (double w = 0.3; w <= 1.4; w += 0.01)
+    EXPECT_GE(objective(w), objective(w_star) - 1e-12);
+}
+
+TEST(AdaptiveQp, WeightUsesContext) {
+  AdaptiveQpInertia s(0.3, 1.4, 0.7, 0.5);
+  InertiaContext c = context_at(0, 10);
+  c.velocity_norm = 2.0;
+  c.dist_to_gbest = 3.0;
+  EXPECT_NEAR(s.weight(c),
+              AdaptiveQpInertia::solve_scalar_qp(2.0, 3.0, 0.7, 0.5, 0.3, 1.4),
+              1e-15);
+}
+
+}  // namespace
+}  // namespace rcr::pso

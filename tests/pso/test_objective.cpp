@@ -1,0 +1,67 @@
+#include "rcr/pso/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::pso {
+namespace {
+
+class SuiteOptima : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteOptima, OptimumValueAttainedAtOptimumPoint) {
+  for (const Objective& o : standard_suite(GetParam())) {
+    EXPECT_NEAR(o.value(o.optimum), o.optimum_value, 1e-9) << o.name;
+    EXPECT_EQ(o.dim(), GetParam()) << o.name;
+    EXPECT_EQ(o.lower.size(), GetParam()) << o.name;
+    EXPECT_EQ(o.upper.size(), GetParam()) << o.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SuiteOptima, ::testing::Values(1, 2, 5, 10));
+
+TEST(Objectives, ValuesAboveOptimumEverywhereSampled) {
+  num::Rng rng(1);
+  for (const Objective& o : standard_suite(4)) {
+    for (int trial = 0; trial < 200; ++trial) {
+      Vec x(4);
+      for (std::size_t j = 0; j < 4; ++j)
+        x[j] = rng.uniform(o.lower[j], o.upper[j]);
+      EXPECT_GE(o.value(x), o.optimum_value - 1e-12) << o.name;
+    }
+  }
+}
+
+TEST(Objectives, SphereIsExactSumOfSquares) {
+  const Objective s = sphere(3);
+  EXPECT_DOUBLE_EQ(s.value({1.0, 2.0, 3.0}), 14.0);
+}
+
+TEST(Objectives, RosenbrockValleyCurvature) {
+  const Objective r = rosenbrock(2);
+  // On the parabola x1 = x0^2, only the (1-x0)^2 term remains.
+  EXPECT_NEAR(r.value({0.5, 0.25}), 0.25, 1e-12);
+  // Off the parabola it is much larger.
+  EXPECT_GT(r.value({0.5, 1.0}), 10.0);
+}
+
+TEST(Objectives, RastriginHasLatticeLocalMinima) {
+  const Objective r = rastrigin(2);
+  // Integer points are local minima; (1, 0) is worse than (0, 0) but much
+  // better than nearby non-integer points.
+  const double at_origin = r.value({0.0, 0.0});
+  const double at_lattice = r.value({1.0, 0.0});
+  const double off_lattice = r.value({0.5, 0.0});
+  EXPECT_LT(at_origin, at_lattice);
+  EXPECT_LT(at_lattice, off_lattice);
+}
+
+TEST(Objectives, SuiteNamesDistinct) {
+  const auto suite = standard_suite(3);
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    for (std::size_t j = i + 1; j < suite.size(); ++j)
+      EXPECT_NE(suite[i].name, suite[j].name);
+}
+
+}  // namespace
+}  // namespace rcr::pso

@@ -1,0 +1,162 @@
+#include "rcr/pso/swarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcr::pso {
+namespace {
+
+PsoConfig fast_config(std::uint64_t seed = 1) {
+  PsoConfig c;
+  c.swarm_size = 20;
+  c.max_iterations = 150;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Pso, InvalidConfigThrows) {
+  PsoConfig c;
+  c.swarm_size = 0;
+  EXPECT_THROW(minimize(sphere(2), c), std::invalid_argument);
+}
+
+TEST(Pso, SolvesSphere) {
+  const PsoResult r = minimize(sphere(3), fast_config());
+  EXPECT_LT(r.best_value, 1e-3);
+  EXPECT_LT(num::norm_inf(r.best_position), 0.1);
+}
+
+TEST(Pso, DeterministicGivenSeed) {
+  const PsoResult a = minimize(sphere(3), fast_config(5));
+  const PsoResult b = minimize(sphere(3), fast_config(5));
+  EXPECT_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.best_position, b.best_position);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Pso, BestValueHistoryIsMonotoneNonIncreasing) {
+  const PsoResult r = minimize(rastrigin(3), fast_config(2));
+  for (std::size_t k = 1; k < r.best_value_history.size(); ++k)
+    EXPECT_LE(r.best_value_history[k], r.best_value_history[k - 1]);
+}
+
+TEST(Pso, BestPositionStaysInBounds) {
+  const Objective o = rastrigin(4);
+  const PsoResult r = minimize(o, fast_config(3));
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_GE(r.best_position[j], o.lower[j]);
+    EXPECT_LE(r.best_position[j], o.upper[j]);
+  }
+}
+
+TEST(Pso, TargetValueStopsEarly) {
+  PsoConfig c = fast_config(4);
+  c.max_iterations = 500;
+  c.target_value = 1e-2;
+  const PsoResult r = minimize(sphere(2), c);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LT(r.iterations, 500u);
+  EXPECT_LE(r.best_value, 1e-2);
+}
+
+TEST(Pso, EvaluationCountConsistent) {
+  PsoConfig c = fast_config(5);
+  c.max_iterations = 10;
+  c.swarm_size = 7;
+  const PsoResult r = minimize(sphere(2), c);
+  // init (7) + 10 iterations x 7 particles.
+  EXPECT_EQ(r.evaluations, 7u + 70u);
+}
+
+TEST(Pso, IntegerRoundingFindsIntegerOptimum) {
+  PsoConfig c = fast_config(6);
+  c.rounding = Rounding::kInteger;
+  const PsoResult r = minimize(sphere(3), c);
+  // Positions are integral; sphere optimum 0 is integral so reachable.
+  for (double v : r.best_position)
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  EXPECT_LT(r.best_value, 1e-9);
+}
+
+TEST(Pso, IntegerRoundingStagnatesMoreThanContinuous) {
+  // The paper's Sec. II-A-2 claim: rounding velocities to integers creates
+  // an artificial paradigm where particles stagnate prematurely.  Aggregate
+  // stagnation events across seeds.
+  std::size_t stagnation_continuous = 0;
+  std::size_t stagnation_integer = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    PsoConfig c = fast_config(seed);
+    c.swarm_size = 12;
+    c.max_iterations = 80;
+    const PsoResult cont = minimize(rastrigin(4), c);
+    c.rounding = Rounding::kInteger;
+    const PsoResult integer = minimize(rastrigin(4), c);
+    stagnation_continuous += cont.stagnation_events;
+    stagnation_integer += integer.stagnation_events;
+  }
+  EXPECT_GT(stagnation_integer, stagnation_continuous);
+}
+
+TEST(Pso, DispersionReenergizesStuckParticles) {
+  PsoConfig c = fast_config(7);
+  c.rounding = Rounding::kInteger;
+  c.max_iterations = 120;
+  c.disperse_on_stagnation = true;
+  const PsoResult with_dispersion = minimize(rastrigin(4), c);
+  EXPECT_GT(with_dispersion.dispersions, 0u);
+
+  c.disperse_on_stagnation = false;
+  const PsoResult without = minimize(rastrigin(4), c);
+  // Dispersion keeps fewer particles stuck at the end.
+  EXPECT_LE(with_dispersion.final_stagnant_fraction,
+            without.final_stagnant_fraction + 1e-12);
+}
+
+TEST(Pso, AdaptiveInertiaReducesIntegerModeStagnation) {
+  // The paper's claim (Secs. II-A-2, III): adaptive inertial weighting lets
+  // integer-rounded particles "progress past their current local optimum
+  // instead of stagnating prematurely".  Aggregate stagnation across seeds.
+  std::size_t stagnant_constant = 0;
+  std::size_t stagnant_adaptive = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    PsoConfig c = fast_config(seed);
+    c.swarm_size = 12;
+    c.max_iterations = 100;
+    c.rounding = Rounding::kInteger;
+    auto constant = constant_inertia(0.7);
+    stagnant_constant +=
+        minimize(rastrigin(4), c, constant.get()).stagnation_events;
+    auto adaptive = adaptive_distance_inertia();
+    stagnant_adaptive +=
+        minimize(rastrigin(4), c, adaptive.get()).stagnation_events;
+  }
+  EXPECT_LT(stagnant_adaptive, stagnant_constant);
+}
+
+TEST(Pso, LargerSwarmImprovesRastriginQuality) {
+  // Sec. II-A-1's size tradeoff: bigger swarms find better optima at higher
+  // evaluation cost.
+  double small_total = 0.0;
+  double large_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    PsoConfig small = fast_config(seed);
+    small.swarm_size = 5;
+    small.max_iterations = 100;
+    PsoConfig large = small;
+    large.swarm_size = 40;
+    small_total += minimize(rastrigin(4), small).best_value;
+    large_total += minimize(rastrigin(4), large).best_value;
+  }
+  EXPECT_LT(large_total, small_total);
+}
+
+TEST(Pso, UniquePtrOverloadWorks) {
+  const PsoResult r =
+      minimize(sphere(2), fast_config(8), adaptive_qp_inertia());
+  EXPECT_LT(r.best_value, 1e-2);
+}
+
+}  // namespace
+}  // namespace rcr::pso

@@ -1,0 +1,74 @@
+#include "rcr/qos/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::qos {
+namespace {
+
+TEST(Channel, ShapesMatchConfig) {
+  ChannelConfig cfg;
+  cfg.num_users = 5;
+  cfg.num_rbs = 12;
+  const ChannelRealization ch = make_channel(cfg);
+  EXPECT_EQ(ch.num_users(), 5u);
+  EXPECT_EQ(ch.num_rbs(), 12u);
+  EXPECT_EQ(ch.user_distance_m.size(), 5u);
+}
+
+TEST(Channel, DeterministicGivenSeed) {
+  ChannelConfig cfg;
+  cfg.seed = 77;
+  const ChannelRealization a = make_channel(cfg);
+  const ChannelRealization b = make_channel(cfg);
+  EXPECT_EQ(a.gain.data(), b.gain.data());
+}
+
+TEST(Channel, GainsPositive) {
+  ChannelConfig cfg;
+  cfg.num_users = 8;
+  cfg.num_rbs = 16;
+  const ChannelRealization ch = make_channel(cfg);
+  for (double g : ch.gain.data()) EXPECT_GT(g, 0.0);
+}
+
+TEST(Channel, DistancesWithinCell) {
+  ChannelConfig cfg;
+  cfg.num_users = 50;
+  const ChannelRealization ch = make_channel(cfg);
+  for (double d : ch.user_distance_m) {
+    EXPECT_GE(d, cfg.min_distance_m);
+    EXPECT_LE(d, cfg.cell_radius_m);
+  }
+}
+
+TEST(Channel, CloserUsersHaveHigherAverageGain) {
+  ChannelConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_rbs = 64;
+  cfg.seed = 3;
+  const ChannelRealization ch = make_channel(cfg);
+  // Compare the nearest and farthest user's mean gain.
+  std::size_t near = 0;
+  std::size_t far = 0;
+  for (std::size_t u = 1; u < 30; ++u) {
+    if (ch.user_distance_m[u] < ch.user_distance_m[near]) near = u;
+    if (ch.user_distance_m[u] > ch.user_distance_m[far]) far = u;
+  }
+  auto mean_gain = [&](std::size_t u) {
+    double acc = 0.0;
+    for (std::size_t rb = 0; rb < 64; ++rb) acc += ch.gain(u, rb);
+    return acc / 64.0;
+  };
+  EXPECT_GT(mean_gain(near), mean_gain(far));
+}
+
+TEST(SpectralEfficiency, ShannonValues) {
+  EXPECT_DOUBLE_EQ(spectral_efficiency(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(spectral_efficiency(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(spectral_efficiency(3.0), 2.0);
+}
+
+}  // namespace
+}  // namespace rcr::qos

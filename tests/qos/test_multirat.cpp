@@ -1,0 +1,84 @@
+#include "rcr/qos/multirat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcr::qos {
+namespace {
+
+TEST(MultiRat, RandomInstanceValid) {
+  const MultiRatProblem p = random_multirat(6, 1);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.num_users(), 6u);
+  EXPECT_EQ(p.num_rats(), 3u);
+}
+
+TEST(MultiRat, ValidationCatchesErrors) {
+  MultiRatProblem p = random_multirat(4, 2);
+  p.capacity.pop_back();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(MultiRat, EvaluateCountsAndFeasibility) {
+  const MultiRatProblem p = random_multirat(4, 3);
+  std::vector<std::size_t> selection(4, kUnassigned);
+  selection[0] = 2;  // legacy RAT has capacity for everyone
+  const MultiRatSolution sol = evaluate_selection(p, selection);
+  EXPECT_EQ(sol.users_served, 1u);
+  EXPECT_DOUBLE_EQ(sol.total_rate, p.rate(0, 2));
+}
+
+TEST(MultiRat, EvaluateDetectsCapacityViolation) {
+  MultiRatProblem p = random_multirat(4, 4);
+  p.capacity = {1, 1, 1};
+  std::vector<std::size_t> selection(4, 0);  // all users on RAT 0
+  // Force latency feasibility so only capacity binds.
+  for (std::size_t u = 0; u < 4; ++u) p.latency_budget[u] = 1e9;
+  const MultiRatSolution sol = evaluate_selection(p, selection);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(MultiRat, ExactSolutionFeasible) {
+  const MultiRatProblem p = random_multirat(6, 5);
+  const MultiRatSolution sol = solve_multirat_exact(p);
+  EXPECT_TRUE(sol.feasible);
+  // Re-evaluating the selection agrees.
+  const MultiRatSolution check = evaluate_selection(p, sol.rat_of_user);
+  EXPECT_NEAR(check.total_rate, sol.total_rate, 1e-9);
+  EXPECT_TRUE(check.feasible);
+}
+
+TEST(MultiRat, GreedyNeverBeatsExact) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const MultiRatProblem p = random_multirat(7, seed);
+    const MultiRatSolution exact = solve_multirat_exact(p);
+    const MultiRatSolution greedy = solve_multirat_greedy(p);
+    EXPECT_LE(greedy.total_rate, exact.total_rate + 1e-9) << "seed " << seed;
+    EXPECT_TRUE(greedy.feasible);
+  }
+}
+
+TEST(MultiRat, LatencyCriticalUsersAvoidSlowRats) {
+  const MultiRatProblem p = random_multirat(9, 6);
+  const MultiRatSolution sol = solve_multirat_exact(p);
+  for (std::size_t u = 0; u < 9; ++u) {
+    const std::size_t r = sol.rat_of_user[u];
+    if (r == kUnassigned) continue;
+    EXPECT_LE(p.latency(u, r), p.latency_budget[u]);
+  }
+}
+
+TEST(MultiRat, LenientBudgetUsersAlwaysServed) {
+  // The legacy RAT has capacity for everyone, so any user whose latency
+  // budget admits it is always worth serving (rates are positive).  Only
+  // latency-critical users competing for the scarce URLLC slice may drop.
+  const MultiRatProblem p = random_multirat(5, 7);
+  const MultiRatSolution sol = solve_multirat_exact(p);
+  for (std::size_t u = 0; u < 5; ++u) {
+    if (p.latency_budget[u] >= p.latency(u, 2)) {
+      EXPECT_NE(sol.rat_of_user[u], kUnassigned) << "user " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcr::qos

@@ -1,0 +1,218 @@
+#include "rcr/qos/rra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::qos {
+namespace {
+
+RraProblem small_problem(std::uint64_t seed = 1, std::size_t users = 3,
+                         std::size_t rbs = 5, double min_rate = 0.0) {
+  ChannelConfig cfg;
+  cfg.num_users = users;
+  cfg.num_rbs = rbs;
+  cfg.seed = seed;
+  RraProblem p;
+  p.gain = make_channel(cfg).gain;
+  p.total_power = 1.0;
+  p.min_rate = Vec(users, min_rate);
+  return p;
+}
+
+TEST(RraProblem, ValidationErrors) {
+  RraProblem p = small_problem();
+  EXPECT_NO_THROW(p.validate());
+  p.total_power = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.total_power = 1.0;
+  p.min_rate.pop_back();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Waterfill, BudgetFullySpent) {
+  const Vec gains = {1.0, 2.0, 10.0};
+  const Vec p = waterfill(gains, 3.0);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 3.0, 1e-6);
+  for (double v : p) EXPECT_GE(v, 0.0);
+}
+
+TEST(Waterfill, StrongerChannelsGetAtLeastAsMuchPower) {
+  const Vec gains = {0.5, 2.0, 8.0};
+  const Vec p = waterfill(gains, 2.0);
+  EXPECT_LE(p[0], p[1] + 1e-9);
+  EXPECT_LE(p[1], p[2] + 1e-9);
+}
+
+TEST(Waterfill, EqualWaterLevelOnActiveChannels) {
+  // KKT condition: mu = p_i + 1/g_i equal across channels with p_i > 0.
+  const Vec gains = {1.0, 3.0, 7.0};
+  const Vec p = waterfill(gains, 5.0);
+  Vec levels;
+  for (std::size_t i = 0; i < 3; ++i)
+    if (p[i] > 1e-9) levels.push_back(p[i] + 1.0 / gains[i]);
+  for (std::size_t i = 1; i < levels.size(); ++i)
+    EXPECT_NEAR(levels[i], levels[0], 1e-6);
+}
+
+TEST(Waterfill, WeakChannelShutOffUnderTightBudget) {
+  const Vec gains = {0.001, 100.0};
+  const Vec p = waterfill(gains, 0.01);
+  EXPECT_NEAR(p[0], 0.0, 1e-9);
+  EXPECT_NEAR(p[1], 0.01, 1e-6);
+}
+
+TEST(Waterfill, ZeroGainsGetNoPower) {
+  const Vec p = waterfill({0.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_NEAR(p[1], 1.0, 1e-6);
+}
+
+TEST(QosPower, MeetsMinRates) {
+  const RraProblem p = small_problem(2, 2, 4, 0.8);
+  const Assignment a = {0, 1, 0, 1};
+  const auto power = qos_power_allocation(p, a);
+  ASSERT_TRUE(power.has_value());
+  const RraSolution sol = evaluate_assignment(p, a);
+  EXPECT_TRUE(sol.feasible);
+  for (std::size_t u = 0; u < 2; ++u)
+    EXPECT_GE(sol.user_rate[u], 0.8 - 1e-9);
+}
+
+TEST(QosPower, InfeasibleWhenUserUnserved) {
+  const RraProblem p = small_problem(3, 2, 4, 0.5);
+  const Assignment all_to_user0 = {0, 0, 0, 0};
+  EXPECT_FALSE(qos_power_allocation(p, all_to_user0).has_value());
+}
+
+TEST(QosPower, InfeasibleWhenRatesExceedBudget) {
+  RraProblem p = small_problem(4, 2, 4, 0.0);
+  p.min_rate = Vec(2, 100.0);  // absurd requirement
+  const Assignment a = {0, 1, 0, 1};
+  EXPECT_FALSE(qos_power_allocation(p, a).has_value());
+}
+
+TEST(EvaluateAssignment, PowerBudgetRespected) {
+  const RraProblem p = small_problem(5, 3, 6, 0.3);
+  const Assignment a = {0, 1, 2, 0, 1, 2};
+  const RraSolution sol = evaluate_assignment(p, a);
+  double total = 0.0;
+  for (double v : sol.power) total += v;
+  EXPECT_LE(total, p.total_power + 1e-6);
+  // Sum rate equals the sum of user rates.
+  double sum = 0.0;
+  for (double r : sol.user_rate) sum += r;
+  EXPECT_NEAR(sum, sol.sum_rate, 1e-9);
+}
+
+TEST(SolveExact, MatchesBruteForceOnTinyInstance) {
+  const RraProblem p = small_problem(6, 2, 4, 0.0);
+  const RraSolution exact = solve_exact(p);
+  // Brute force.
+  double best = -1.0;
+  for (std::size_t mask = 0; mask < 16; ++mask) {
+    Assignment a(4);
+    for (std::size_t rb = 0; rb < 4; ++rb) a[rb] = (mask >> rb) & 1u;
+    best = std::max(best, evaluate_assignment(p, a).sum_rate);
+  }
+  EXPECT_NEAR(exact.sum_rate, best, 1e-9);
+  EXPECT_TRUE(exact.feasible);
+}
+
+TEST(SolveExact, PrefersFeasibleOverHigherRateInfeasible) {
+  // With binding QoS floors, the exact solver must return a feasible
+  // solution whenever one exists.
+  const RraProblem p = small_problem(7, 3, 6, 0.6);
+  const RraSolution sol = solve_exact(p);
+  EXPECT_TRUE(sol.feasible);
+}
+
+TEST(RelaxationBound, UpperBoundsExact) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RraProblem p = small_problem(seed, 3, 5, 0.2);
+    const RraSolution exact = solve_exact(p);
+    EXPECT_GE(relaxation_upper_bound(p), exact.sum_rate - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(SolveGreedy, NeverBeatsExact) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const RraProblem p = small_problem(seed, 3, 5, 0.0);
+    EXPECT_LE(solve_greedy(p).sum_rate, solve_exact(p).sum_rate + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(SolveGreedy, MaxGainAssignmentWithoutQos) {
+  const RraProblem p = small_problem(8, 3, 5, 0.0);
+  const RraSolution sol = solve_greedy(p);
+  for (std::size_t rb = 0; rb < 5; ++rb) {
+    for (std::size_t u = 0; u < 3; ++u)
+      EXPECT_LE(p.gain(u, rb), p.gain(sol.assignment[rb], rb) + 1e-15);
+  }
+}
+
+TEST(SolveGreedy, RepairImprovesFeasibility) {
+  // With QoS floors the repaired greedy should be feasible on most seeds.
+  std::size_t feasible = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const RraProblem p = small_problem(seed, 3, 6, 0.4);
+    if (solve_greedy(p).feasible) ++feasible;
+  }
+  EXPECT_GE(feasible, 6u);
+}
+
+TEST(SolvePso, FindsNearOptimalSolutions) {
+  double total_gap = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const RraProblem p = small_problem(seed, 3, 5, 0.2);
+    const RraSolution exact = solve_exact(p);
+    RraPsoOptions opts;
+    opts.seed = seed;
+    const RraSolution pso = solve_pso(p, opts);
+    EXPECT_LE(pso.sum_rate, exact.sum_rate + 1e-9);
+    total_gap += (exact.sum_rate - pso.sum_rate) / exact.sum_rate;
+  }
+  EXPECT_LT(total_gap / 4.0, 0.10);  // within 10% of optimal on average
+}
+
+TEST(SolvePso, MoreQosCompliantThanGreedyAtNearOptimalRate) {
+  // Under binding QoS floors, max-gain greedy posts high raw rates by
+  // *violating* the per-user minima; the PSO's penalized search stays
+  // feasible and tracks the exact feasible optimum.
+  std::size_t pso_feasible = 0;
+  std::size_t greedy_feasible = 0;
+  double worst_gap = 0.0;
+  for (std::uint64_t seed = 10; seed <= 15; ++seed) {
+    const RraProblem p = small_problem(seed, 4, 6, 0.3);
+    RraPsoOptions opts;
+    opts.seed = seed;
+    opts.swarm_size = 40;
+    opts.max_iterations = 250;
+    const RraSolution pso = solve_pso(p, opts);
+    const RraSolution greedy = solve_greedy(p);
+    if (greedy.feasible) ++greedy_feasible;
+    if (pso.feasible) {
+      ++pso_feasible;
+      const RraSolution exact = solve_exact(p);
+      worst_gap = std::max(
+          worst_gap, (exact.sum_rate - pso.sum_rate) / exact.sum_rate);
+    }
+  }
+  EXPECT_GT(pso_feasible, greedy_feasible);
+  EXPECT_GE(pso_feasible, 4u);
+  EXPECT_LT(worst_gap, 0.10);
+}
+
+TEST(SolveExact, NodeBudgetReported) {
+  const RraProblem p = small_problem(9, 2, 4, 0.0);
+  const RraSolution sol = solve_exact(p, 1000);
+  EXPECT_GT(sol.nodes_explored, 0u);
+  EXPECT_LE(sol.nodes_explored, 1000u);
+}
+
+}  // namespace
+}  // namespace rcr::qos

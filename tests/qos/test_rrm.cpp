@@ -1,0 +1,125 @@
+#include "rcr/qos/rrm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rcr::qos {
+namespace {
+
+RrmConfig base_config(std::uint64_t seed = 3) {
+  RrmConfig c;
+  c.num_users = 4;
+  c.num_rbs = 8;
+  c.num_slots = 150;
+  c.seed = seed;
+  return c;
+}
+
+TEST(JainIndex, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(jain_index({1.0, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 0.0);
+}
+
+TEST(Rrm, InvalidConfigThrows) {
+  RrmConfig c = base_config();
+  c.num_slots = 0;
+  EXPECT_THROW(run_scheduler(c, SchedulerPolicy::kMaxRate),
+               std::invalid_argument);
+  c = base_config();
+  c.gbr = {1.0};  // wrong size
+  EXPECT_THROW(run_scheduler(c, SchedulerPolicy::kQosProportionalFair),
+               std::invalid_argument);
+  c = base_config();
+  c.power_per_rb = 0.0;
+  EXPECT_THROW(run_scheduler(c, SchedulerPolicy::kMaxRate),
+               std::invalid_argument);
+}
+
+TEST(Rrm, DeterministicGivenSeed) {
+  const RrmConfig c = base_config(9);
+  const RrmReport a = run_scheduler(c, SchedulerPolicy::kProportionalFair);
+  const RrmReport b = run_scheduler(c, SchedulerPolicy::kProportionalFair);
+  EXPECT_EQ(a.mean_rate, b.mean_rate);
+}
+
+TEST(Rrm, MaxRateMaximizesCellThroughput) {
+  const RrmConfig c = base_config();
+  const double max_rate =
+      run_scheduler(c, SchedulerPolicy::kMaxRate).cell_throughput;
+  for (SchedulerPolicy p : {SchedulerPolicy::kRoundRobin,
+                            SchedulerPolicy::kProportionalFair}) {
+    EXPECT_GE(max_rate, run_scheduler(c, p).cell_throughput - 1e-9)
+        << to_string(p);
+  }
+}
+
+TEST(Rrm, ProportionalFairBeatsMaxRateOnFairness) {
+  const RrmConfig c = base_config();
+  const RrmReport mr = run_scheduler(c, SchedulerPolicy::kMaxRate);
+  const RrmReport pf = run_scheduler(c, SchedulerPolicy::kProportionalFair);
+  EXPECT_GT(pf.jain_fairness, mr.jain_fairness);
+}
+
+TEST(Rrm, ProportionalFairBeatsRoundRobinOnThroughput) {
+  // PF exploits multi-user diversity; RR ignores the channel entirely.
+  const RrmConfig c = base_config();
+  const RrmReport rr = run_scheduler(c, SchedulerPolicy::kRoundRobin);
+  const RrmReport pf = run_scheduler(c, SchedulerPolicy::kProportionalFair);
+  EXPECT_GT(pf.cell_throughput, rr.cell_throughput);
+}
+
+TEST(Rrm, RoundRobinServesEveryoneEverySlotOnAverage) {
+  const RrmConfig c = base_config();
+  const RrmReport rr = run_scheduler(c, SchedulerPolicy::kRoundRobin);
+  // 8 RBs across 4 users: everyone gets 2 RBs per slot.
+  for (std::size_t u = 0; u < c.num_users; ++u)
+    EXPECT_EQ(rr.slots_served[u], c.num_slots);
+}
+
+TEST(Rrm, MaxRateCanStarveCellEdgeUsers) {
+  const RrmConfig c = base_config(5);
+  const RrmReport mr = run_scheduler(c, SchedulerPolicy::kMaxRate);
+  const std::size_t least =
+      *std::min_element(mr.slots_served.begin(), mr.slots_served.end());
+  EXPECT_LT(least, c.num_slots / 2);  // someone is starved most slots
+  EXPECT_LT(mr.jain_fairness, 0.7);   // and the rate split is badly skewed
+}
+
+TEST(Rrm, QosBoostReducesGbrViolations) {
+  RrmConfig c = base_config(7);
+  // Set GBR floors near each user's PF rate so the weakest users need help.
+  const RrmReport pf = run_scheduler(c, SchedulerPolicy::kProportionalFair);
+  c.gbr.resize(c.num_users);
+  for (std::size_t u = 0; u < c.num_users; ++u)
+    c.gbr[u] = 1.15 * pf.mean_rate[u];
+
+  const RrmReport plain = run_scheduler(c, SchedulerPolicy::kProportionalFair);
+  const RrmReport qos =
+      run_scheduler(c, SchedulerPolicy::kQosProportionalFair);
+  EXPECT_LE(qos.gbr_violations, plain.gbr_violations);
+}
+
+TEST(Rrm, MeanRatesPositive) {
+  const RrmConfig c = base_config();
+  for (SchedulerPolicy p :
+       {SchedulerPolicy::kMaxRate, SchedulerPolicy::kRoundRobin,
+        SchedulerPolicy::kProportionalFair}) {
+    const RrmReport r = run_scheduler(c, p);
+    double sum = 0.0;
+    for (double v : r.mean_rate) sum += v;
+    EXPECT_NEAR(sum, r.cell_throughput, 1e-9) << to_string(p);
+    EXPECT_GT(r.cell_throughput, 0.0) << to_string(p);
+  }
+}
+
+TEST(Rrm, PolicyNamesDistinct) {
+  EXPECT_NE(to_string(SchedulerPolicy::kMaxRate),
+            to_string(SchedulerPolicy::kProportionalFair));
+  EXPECT_EQ(to_string(SchedulerPolicy::kQosProportionalFair), "qos-pf");
+}
+
+}  // namespace
+}  // namespace rcr::qos

@@ -1,0 +1,111 @@
+#include "rcr/qos/slicing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcr::qos {
+namespace {
+
+TEST(Slicing, RandomWorkloadShapes) {
+  const SlicingProblem p = random_slicing(20, 64, 1);
+  EXPECT_EQ(p.requests.size(), 20u);
+  EXPECT_EQ(p.rb_budget, 64u);
+  for (const auto& r : p.requests) {
+    EXPECT_GE(r.rb_demand, 1u);
+    EXPECT_GT(r.utility, 0.0);
+  }
+}
+
+TEST(Slicing, ClassNames) {
+  EXPECT_EQ(to_string(ServiceClass::kEmbb), "eMBB");
+  EXPECT_EQ(to_string(ServiceClass::kUrllc), "URLLC");
+  EXPECT_EQ(to_string(ServiceClass::kMmtc), "mMTC");
+}
+
+TEST(Slicing, ExactSolutionRespectsBudget) {
+  const SlicingProblem p = random_slicing(25, 40, 2);
+  const SlicingSolution sol = solve_slicing_exact(p);
+  EXPECT_LE(sol.rbs_used, p.rb_budget);
+  // Totals consistent with the admitted set.
+  double utility = 0.0;
+  std::size_t rbs = 0;
+  for (std::size_t i = 0; i < p.requests.size(); ++i) {
+    if (sol.admitted[i]) {
+      utility += p.requests[i].utility;
+      rbs += p.requests[i].rb_demand;
+    }
+  }
+  EXPECT_NEAR(utility, sol.total_utility, 1e-9);
+  EXPECT_EQ(rbs, sol.rbs_used);
+}
+
+TEST(Slicing, ExactMatchesBruteForceOnTinyInstance) {
+  const SlicingProblem p = random_slicing(12, 20, 3);
+  const SlicingSolution exact = solve_slicing_exact(p);
+  double best = 0.0;
+  for (std::size_t mask = 0; mask < (1u << 12); ++mask) {
+    double utility = 0.0;
+    std::size_t rbs = 0;
+    for (std::size_t i = 0; i < 12; ++i) {
+      if ((mask >> i) & 1u) {
+        utility += p.requests[i].utility;
+        rbs += p.requests[i].rb_demand;
+      }
+    }
+    if (rbs <= p.rb_budget) best = std::max(best, utility);
+  }
+  EXPECT_NEAR(exact.total_utility, best, 1e-9);
+}
+
+TEST(Slicing, GreedyNeverBeatsExact) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const SlicingProblem p = random_slicing(30, 50, seed);
+    const SlicingSolution exact = solve_slicing_exact(p);
+    const SlicingSolution greedy = solve_slicing_greedy(p);
+    EXPECT_LE(greedy.total_utility, exact.total_utility + 1e-9)
+        << "seed " << seed;
+    EXPECT_LE(greedy.rbs_used, p.rb_budget);
+  }
+}
+
+TEST(Slicing, ZeroBudgetAdmitsNothing) {
+  const SlicingProblem p = random_slicing(10, 0, 4);
+  const SlicingSolution sol = solve_slicing_exact(p);
+  EXPECT_EQ(sol.admitted_count, 0u);
+  EXPECT_DOUBLE_EQ(sol.total_utility, 0.0);
+}
+
+TEST(Slicing, AmpleBudgetAdmitsEverything) {
+  const SlicingProblem p = random_slicing(10, 100000, 5);
+  const SlicingSolution sol = solve_slicing_exact(p);
+  EXPECT_EQ(sol.admitted_count, 10u);
+}
+
+TEST(Slicing, UrllcDensityPreferredUnderScarcity) {
+  // URLLC requests have the highest utility density; under a tight budget
+  // the exact solution admits proportionally more of them.
+  const SlicingProblem p = random_slicing(40, 30, 6);
+  const SlicingSolution sol = solve_slicing_exact(p);
+  std::size_t urllc_admitted = 0;
+  std::size_t urllc_total = 0;
+  std::size_t embb_admitted = 0;
+  std::size_t embb_total = 0;
+  for (std::size_t i = 0; i < p.requests.size(); ++i) {
+    if (p.requests[i].service == ServiceClass::kUrllc) {
+      ++urllc_total;
+      if (sol.admitted[i]) ++urllc_admitted;
+    } else if (p.requests[i].service == ServiceClass::kEmbb) {
+      ++embb_total;
+      if (sol.admitted[i]) ++embb_admitted;
+    }
+  }
+  ASSERT_GT(urllc_total, 0u);
+  ASSERT_GT(embb_total, 0u);
+  const double urllc_frac =
+      static_cast<double>(urllc_admitted) / static_cast<double>(urllc_total);
+  const double embb_frac =
+      static_cast<double>(embb_admitted) / static_cast<double>(embb_total);
+  EXPECT_GT(urllc_frac, embb_frac);
+}
+
+}  // namespace
+}  // namespace rcr::qos

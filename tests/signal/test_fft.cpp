@@ -1,0 +1,159 @@
+#include "rcr/signal/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rcr/numerics/rng.hpp"
+
+namespace rcr::sig {
+namespace {
+
+CVec random_signal(std::size_t n, num::Rng& rng) {
+  CVec out(n);
+  for (auto& v : out) v = {rng.normal(), rng.normal()};
+  return out;
+}
+
+TEST(Fft, EmptyInput) { EXPECT_TRUE(fft({}).empty()); }
+
+TEST(Fft, SingleSampleIsIdentity) {
+  const CVec x = {{3.0, -1.0}};
+  const CVec y = fft(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_NEAR(std::abs(y[0] - x[0]), 0.0, 1e-15);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  CVec x(8, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const CVec y = fft(x);
+  for (const auto& v : y) EXPECT_NEAR(std::abs(v - std::complex<double>(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneHitsOneBin) {
+  const std::size_t n = 64;
+  CVec x(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = 2.0 * std::numbers::pi * 5.0 * static_cast<double>(k) /
+                       static_cast<double>(n);
+    x[k] = {std::cos(ang), std::sin(ang)};
+  }
+  const CVec y = fft(x);
+  EXPECT_NEAR(std::abs(y[5]), static_cast<double>(n), 1e-9);
+  for (std::size_t m = 0; m < n; ++m) {
+    if (m != 5) {
+      EXPECT_NEAR(std::abs(y[m]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, MatchesReferenceDftPowerOfTwo) {
+  num::Rng rng(1);
+  const CVec x = random_signal(32, rng);
+  EXPECT_LT(max_abs_diff(fft(x), dft_reference(x)), 1e-10);
+}
+
+TEST(Fft, MatchesReferenceDftNonPowerOfTwo) {
+  num::Rng rng(2);
+  for (std::size_t n : {3u, 5u, 12u, 17u, 31u, 100u}) {
+    const CVec x = random_signal(n, rng);
+    EXPECT_LT(max_abs_diff(fft(x), dft_reference(x)), 1e-9)
+        << "length " << n;
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  num::Rng rng(3);
+  const CVec a = random_signal(16, rng);
+  const CVec b = random_signal(16, rng);
+  CVec sum(16);
+  for (std::size_t i = 0; i < 16; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const CVec fa = fft(a);
+  const CVec fb = fft(b);
+  const CVec fsum = fft(sum);
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(std::abs(fsum[i] - (2.0 * fa[i] + 3.0 * fb[i])), 0.0, 1e-10);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  num::Rng rng(4);
+  const CVec x = random_signal(64, rng);
+  const CVec y = fft(x);
+  double ex = 0.0;
+  double ey = 0.0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * 64.0, 1e-8);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  num::Rng rng(GetParam());
+  const CVec x = random_signal(GetParam(), rng);
+  EXPECT_LT(max_abs_diff(ifft(fft(x)), x), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 7, 16, 27, 64, 100, 255,
+                                           256));
+
+TEST(Rfft, LengthAndConjugateSymmetryConsistency) {
+  num::Rng rng(5);
+  Vec x(20);
+  for (double& v : x) v = rng.normal();
+  const CVec half = rfft(x);
+  EXPECT_EQ(half.size(), 11u);
+  // Must match the first half of the full complex FFT.
+  const CVec full = fft(to_complex(x));
+  for (std::size_t k = 0; k < half.size(); ++k)
+    EXPECT_NEAR(std::abs(half[k] - full[k]), 0.0, 1e-10);
+}
+
+class RfftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RfftRoundTrip, IrfftInvertsRfft) {
+  num::Rng rng(GetParam() + 100);
+  Vec x(GetParam());
+  for (double& v : x) v = rng.normal();
+  const Vec back = irfft(rfft(x), x.size());
+  ASSERT_EQ(back.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, RfftRoundTrip,
+                         ::testing::Values(2, 3, 8, 9, 32, 33, 128));
+
+TEST(Irfft, RejectsInconsistentLengths) {
+  const CVec spec(5);  // consistent with n = 8 or 9 only
+  EXPECT_THROW(irfft(spec, 10), std::invalid_argument);
+  EXPECT_THROW(irfft(spec, 0), std::invalid_argument);
+}
+
+TEST(Helpers, PowerOfTwoPredicates) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(64), 64u);
+}
+
+TEST(Helpers, MagnitudeAndRealPart) {
+  const CVec x = {{3.0, 4.0}, {0.0, -1.0}};
+  EXPECT_EQ(real_part(x), (Vec{3.0, 0.0}));
+  const Vec m = magnitude(x);
+  EXPECT_DOUBLE_EQ(m[0], 5.0);
+  EXPECT_DOUBLE_EQ(m[1], 1.0);
+}
+
+TEST(Helpers, MaxAbsDiffSizeMismatchIsInfinite) {
+  EXPECT_TRUE(std::isinf(max_abs_diff(CVec(3), CVec(4))));
+}
+
+}  // namespace
+}  // namespace rcr::sig

@@ -1,0 +1,106 @@
+// Classic DFT theorems as property tests: these pin down the exact
+// conventions (sign of the exponent, normalization) that Sec. IV shows
+// libraries disagree about.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/signal/fft.hpp"
+#include "rcr/signal/waveform.hpp"
+
+namespace rcr::sig {
+namespace {
+
+CVec random_signal(std::size_t n, num::Rng& rng) {
+  CVec out(n);
+  for (auto& v : out) v = {rng.normal(), rng.normal()};
+  return out;
+}
+
+class FftTheorems : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftTheorems, CircularShiftTheorem) {
+  // fft(shift(x, k))[m] = fft(x)[m] * e^{-2*pi*i*m*k/N}.
+  const std::size_t n = GetParam();
+  num::Rng rng(n);
+  Vec x(n);
+  for (double& v : x) v = rng.normal();
+  const std::size_t k = n / 3 + 1;
+
+  const CVec fx = fft(to_complex(x));
+  const CVec fs = fft(to_complex(circular_shift(x, static_cast<std::ptrdiff_t>(k))));
+  for (std::size_t m = 0; m < n; ++m) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(m) *
+                       static_cast<double>(k) / static_cast<double>(n);
+    const std::complex<double> expected =
+        fx[m] * std::complex<double>(std::cos(ang), std::sin(ang));
+    EXPECT_NEAR(std::abs(fs[m] - expected), 0.0, 1e-9) << "bin " << m;
+  }
+}
+
+TEST_P(FftTheorems, ConvolutionTheorem) {
+  // ifft(fft(x) .* fft(y)) equals the circular convolution of x and y.
+  const std::size_t n = GetParam();
+  num::Rng rng(n + 100);
+  const CVec x = random_signal(n, rng);
+  const CVec y = random_signal(n, rng);
+
+  // Direct circular convolution.
+  CVec direct(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      direct[(i + j) % n] += x[i] * y[j];
+
+  const CVec fx = fft(x);
+  const CVec fy = fft(y);
+  CVec prod(n);
+  for (std::size_t m = 0; m < n; ++m) prod[m] = fx[m] * fy[m];
+  const CVec via_fft = ifft(prod);
+
+  EXPECT_LT(max_abs_diff(via_fft, direct), 1e-8 * (1.0 + static_cast<double>(n)));
+}
+
+TEST_P(FftTheorems, ConjugationMirrorsSpectrum) {
+  // fft(conj(x))[m] = conj(fft(x)[(-m) mod N]).
+  const std::size_t n = GetParam();
+  num::Rng rng(n + 200);
+  const CVec x = random_signal(n, rng);
+  CVec xc(n);
+  for (std::size_t i = 0; i < n; ++i) xc[i] = std::conj(x[i]);
+  const CVec fx = fft(x);
+  const CVec fxc = fft(xc);
+  for (std::size_t m = 0; m < n; ++m)
+    EXPECT_NEAR(std::abs(fxc[m] - std::conj(fx[(n - m) % n])), 0.0, 1e-9);
+}
+
+TEST_P(FftTheorems, RealSignalHermitianSymmetry) {
+  const std::size_t n = GetParam();
+  num::Rng rng(n + 300);
+  Vec x(n);
+  for (double& v : x) v = rng.normal();
+  const CVec fx = fft(to_complex(x));
+  for (std::size_t m = 1; m < n; ++m)
+    EXPECT_NEAR(std::abs(fx[m] - std::conj(fx[n - m])), 0.0, 1e-9);
+}
+
+TEST_P(FftTheorems, DcBinIsSum) {
+  const std::size_t n = GetParam();
+  num::Rng rng(n + 400);
+  Vec x(n);
+  double sum = 0.0;
+  for (double& v : x) {
+    v = rng.normal();
+    sum += v;
+  }
+  const CVec fx = fft(to_complex(x));
+  EXPECT_NEAR(fx[0].real(), sum, 1e-9);
+  EXPECT_NEAR(fx[0].imag(), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftTheorems,
+                         ::testing::Values(8, 12, 16, 27, 64));
+
+}  // namespace
+}  // namespace rcr::sig

@@ -1,0 +1,97 @@
+#include "rcr/signal/gabor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rcr/signal/waveform.hpp"
+
+namespace rcr::sig {
+namespace {
+
+TEST(Gabor, TransformShape) {
+  const Vec s = tone(256, 8.0, 256.0);
+  const TfGrid g = gabor_transform(s, 64, 16, 64);
+  EXPECT_EQ(g.bins(), 64u);
+  EXPECT_EQ(g.frames(), 16u);
+}
+
+TEST(Gabor, ToneEnergyAtExpectedBin) {
+  // freq 8 Hz at fs 256 with 64-point FFT -> bin = 8 * 64 / 256 = 2.
+  const Vec s = tone(256, 8.0, 256.0);
+  const TfGrid g = gabor_transform(s, 64, 16, 64);
+  for (std::size_t fr = 0; fr < g.frames(); ++fr) {
+    double best = 0.0;
+    std::size_t best_bin = 0;
+    for (std::size_t m = 1; m < 32; ++m)
+      if (std::abs(g(m, fr)) > best) {
+        best = std::abs(g(m, fr));
+        best_bin = m;
+      }
+    EXPECT_EQ(best_bin, 2u);
+  }
+}
+
+TEST(GabPhaseDeriv, ShapesAndMaskSizes) {
+  const Vec s = tone(256, 8.0, 256.0);
+  const TfGrid g = gabor_transform(s, 64, 16, 64);
+  const PhaseDerivative d = gabphasederiv(g, PhaseDerivKind::kTime, 16);
+  EXPECT_EQ(d.bins, g.bins());
+  EXPECT_EQ(d.frames, g.frames());
+  EXPECT_EQ(d.values.size(), g.bins());
+  EXPECT_EQ(d.reliable.size(), g.bins());
+}
+
+TEST(GabPhaseDeriv, ReliableCellsTrackToneFrequency) {
+  // Instantaneous frequency of the tone: omega = 2*pi*f/fs rad/sample.
+  const double fs = 256.0;
+  const double f = 8.0;
+  const Vec s = tone(512, f, fs);
+  const TfGrid g = gabor_transform(s, 64, 8, 64);
+  const PhaseDerivative d = gabphasederiv(g, PhaseDerivKind::kTime, 8, 1e-3);
+  const double omega = 2.0 * std::numbers::pi * f / fs;
+  const PhaseDerivError err = phase_deriv_error_vs_constant(d, omega);
+  ASSERT_GT(err.n_reliable, 0u);
+  EXPECT_LT(err.rms_reliable, 0.05);
+}
+
+TEST(GabPhaseDeriv, UnreliableCellsAreMuchWorse) {
+  // The LTFAT caveat the paper quotes: phase is "almost random" where the
+  // coefficient magnitude is near machine precision.
+  const Vec s = tone(512, 8.0, 256.0);
+  const TfGrid g = gabor_transform(s, 64, 8, 64);
+  const PhaseDerivative d = gabphasederiv(g, PhaseDerivKind::kTime, 8, 1e-3);
+  const double omega = 2.0 * std::numbers::pi * 8.0 / 256.0;
+  const PhaseDerivError err = phase_deriv_error_vs_constant(d, omega);
+  ASSERT_GT(err.n_unreliable, 0u);
+  EXPECT_GT(err.rms_unreliable, 5.0 * err.rms_reliable);
+}
+
+TEST(GabPhaseDeriv, MaskStricterWithHigherFloor) {
+  const Vec s = tone(256, 8.0, 256.0);
+  const TfGrid g = gabor_transform(s, 64, 16, 64);
+  auto count_reliable = [&](double floor) {
+    const PhaseDerivative d =
+        gabphasederiv(g, PhaseDerivKind::kTime, 16, floor);
+    std::size_t n = 0;
+    for (const auto& row : d.reliable)
+      for (bool b : row)
+        if (b) ++n;
+    return n;
+  };
+  EXPECT_GE(count_reliable(1e-8), count_reliable(1e-2));
+}
+
+TEST(GabPhaseDeriv, FrequencyDirectionRuns) {
+  const Vec s = chirp(256, 4.0, 30.0, 256.0);
+  const TfGrid g = gabor_transform(s, 64, 16, 64);
+  const PhaseDerivative d = gabphasederiv(g, PhaseDerivKind::kFrequency, 16);
+  EXPECT_EQ(d.bins, g.bins());
+  // Values must be finite everywhere.
+  for (const auto& row : d.values)
+    for (double v : row) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace rcr::sig

@@ -1,0 +1,114 @@
+#include "rcr/signal/griffin_lim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/signal/waveform.hpp"
+
+namespace rcr::sig {
+namespace {
+
+StftConfig gl_config() {
+  StftConfig c;
+  c.window = make_window(WindowKind::kHann, 64);
+  c.hop = 16;
+  c.fft_size = 64;
+  return c;
+}
+
+TEST(GriffinLim, MagnitudeGridDropsPhases) {
+  TfGrid g(1, 2);
+  g(0, 0) = {3.0, 4.0};
+  g(0, 1) = {-2.0, 0.0};
+  const TfGrid m = magnitude_grid(g);
+  EXPECT_DOUBLE_EQ(m(0, 0).real(), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0).imag(), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1).real(), 2.0);
+}
+
+TEST(GriffinLim, ShapeMismatchThrows) {
+  const StftConfig c = gl_config();
+  EXPECT_THROW(griffin_lim(TfGrid(32, 4), c, 256), std::invalid_argument);
+}
+
+TEST(GriffinLim, TruncatePaddingRejected) {
+  StftConfig c = gl_config();
+  c.padding = FramePadding::kTruncate;
+  EXPECT_THROW(griffin_lim(TfGrid(64, 4), c, 256), std::invalid_argument);
+}
+
+TEST(GriffinLim, ConvergenceImprovesOverIterations) {
+  const StftConfig c = gl_config();
+  const Vec original = tone(256, 16.0, 256.0);
+  const TfGrid target = magnitude_grid(stft(original, c));
+
+  GriffinLimOptions few;
+  few.max_iterations = 2;
+  few.tolerance = 0.0;
+  GriffinLimOptions many;
+  many.max_iterations = 60;
+  many.tolerance = 0.0;
+  const GriffinLimResult r_few = griffin_lim(target, c, 256, few);
+  const GriffinLimResult r_many = griffin_lim(target, c, 256, many);
+  EXPECT_LT(r_many.spectral_convergence, r_few.spectral_convergence);
+}
+
+TEST(GriffinLim, ReconstructsToneMagnitudeClosely) {
+  const StftConfig c = gl_config();
+  const Vec original = tone(256, 16.0, 256.0);
+  const TfGrid target = magnitude_grid(stft(original, c));
+
+  GriffinLimOptions opts;
+  opts.max_iterations = 80;
+  const GriffinLimResult r = griffin_lim(target, c, 256, opts);
+  EXPECT_LT(r.spectral_convergence, 0.3);  // GL converges slowly but surely
+  // The reconstruction concentrates energy at the same frequency.
+  const TfGrid rec = stft(r.signal, c);
+  double best = 0.0;
+  std::size_t best_bin = 0;
+  for (std::size_t m = 1; m < 32; ++m) {
+    double e = 0.0;
+    for (std::size_t fr = 0; fr < rec.frames(); ++fr)
+      e += std::norm(rec(m, fr));
+    if (e > best) {
+      best = e;
+      best_bin = m;
+    }
+  }
+  EXPECT_EQ(best_bin, 4u);  // 16 Hz at fs 256 with 64 bins -> bin 4
+}
+
+TEST(GriffinLim, ToleranceStopsEarly) {
+  const StftConfig c = gl_config();
+  const Vec original = tone(256, 16.0, 256.0);
+  const TfGrid target = magnitude_grid(stft(original, c));
+  GriffinLimOptions opts;
+  opts.max_iterations = 200;
+  opts.tolerance = 0.5;  // easily reached
+  const GriffinLimResult r = griffin_lim(target, c, 256, opts);
+  EXPECT_LT(r.iterations, 200u);
+  EXPECT_LE(r.spectral_convergence, 0.5);
+}
+
+TEST(GriffinLim, DeterministicGivenSeed) {
+  const StftConfig c = gl_config();
+  const Vec original = chirp(256, 4.0, 40.0, 256.0);
+  const TfGrid target = magnitude_grid(stft(original, c));
+  GriffinLimOptions opts;
+  opts.max_iterations = 10;
+  const GriffinLimResult a = griffin_lim(target, c, 256, opts);
+  const GriffinLimResult b = griffin_lim(target, c, 256, opts);
+  EXPECT_EQ(a.signal, b.signal);
+}
+
+TEST(GriffinLim, SpectralConvergenceHelperConsistent) {
+  const StftConfig c = gl_config();
+  const Vec original = tone(256, 16.0, 256.0);
+  const TfGrid target = magnitude_grid(stft(original, c));
+  // The original signal has convergence 0 against its own magnitudes.
+  EXPECT_NEAR(spectral_convergence(original, target, c), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rcr::sig

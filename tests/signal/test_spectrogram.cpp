@@ -1,0 +1,109 @@
+#include "rcr/signal/spectrogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcr::sig {
+namespace {
+
+StftConfig spec_config() {
+  StftConfig c;
+  c.window = make_window(WindowKind::kHann, 64);
+  c.hop = 16;
+  c.fft_size = 64;
+  return c;
+}
+
+TEST(SpectrogramImage, ShapeAndRange) {
+  num::Rng rng(1);
+  OfdmParams p;
+  const Vec burst = ofdm_burst(p, rng);
+  const Image img = spectrogram_image(burst, spec_config(), 16, 16);
+  EXPECT_EQ(img.height, 16u);
+  EXPECT_EQ(img.width, 16u);
+  EXPECT_EQ(img.pixels.size(), 256u);
+  for (double v : img.pixels) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SpectrogramImage, ZeroSizeThrows) {
+  const Vec s = tone(256, 8.0, 256.0);
+  EXPECT_THROW(spectrogram_image(s, spec_config(), 0, 16),
+               std::invalid_argument);
+  EXPECT_THROW(spectrogram_image(s, spec_config(), 16, 0),
+               std::invalid_argument);
+}
+
+TEST(SpectrogramImage, ToneMakesHorizontalRidge) {
+  // A tone should produce one bright row; its row-mean dominates others.
+  const Vec s = tone(1024, 32.0, 256.0);
+  const Image img = spectrogram_image(s, spec_config(), 16, 16);
+  Vec row_mean(16, 0.0);
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c) row_mean[r] += img.at(r, c) / 16.0;
+  std::size_t brightest = 0;
+  double second = 0.0;
+  for (std::size_t r = 1; r < 16; ++r)
+    if (row_mean[r] > row_mean[brightest]) brightest = r;
+  for (std::size_t r = 0; r < 16; ++r)
+    if (r != brightest) second = std::max(second, row_mean[r]);
+  EXPECT_GT(row_mean[brightest], second + 0.05);
+}
+
+TEST(ClassificationDataset, BalancedAndLabeled) {
+  num::Rng rng(2);
+  const auto ds = make_classification_dataset(5, 16, 0.05, rng);
+  ASSERT_EQ(ds.size(), 15u);  // 3 classes x 5
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& s : ds) {
+    ASSERT_LT(s.label, 3u);
+    ++counts[s.label];
+    EXPECT_EQ(s.image.height, 16u);
+    EXPECT_EQ(s.image.width, 16u);
+  }
+  EXPECT_EQ(counts[0], 5u);
+  EXPECT_EQ(counts[1], 5u);
+  EXPECT_EQ(counts[2], 5u);
+}
+
+TEST(ClassificationDataset, DeterministicGivenSeed) {
+  num::Rng rng1(3);
+  num::Rng rng2(3);
+  const auto a = make_classification_dataset(2, 8, 0.05, rng1);
+  const auto b = make_classification_dataset(2, 8, 0.05, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].image.pixels, b[i].image.pixels);
+}
+
+TEST(DetectionDataset, BoxesNormalized) {
+  num::Rng rng(4);
+  const auto ds = make_detection_dataset(6, 16, 0.05, rng);
+  ASSERT_EQ(ds.size(), 6u);
+  for (const auto& s : ds) {
+    EXPECT_GE(s.x_center, 0.0);
+    EXPECT_LE(s.x_center, 1.0);
+    EXPECT_GT(s.box_w, 0.0);
+    EXPECT_LE(s.box_w, 1.0);
+    EXPECT_GT(s.box_h, 0.0);
+    EXPECT_LE(s.box_h, 1.0);
+  }
+}
+
+TEST(BoxIou, KnownValues) {
+  // Identical boxes.
+  EXPECT_NEAR(box_iou(0.5, 0.5, 0.2, 0.2, 0.5, 0.5, 0.2, 0.2), 1.0, 1e-12);
+  // Disjoint boxes.
+  EXPECT_NEAR(box_iou(0.2, 0.2, 0.1, 0.1, 0.8, 0.8, 0.1, 0.1), 0.0, 1e-12);
+  // Half-overlapping along x: intersection 0.5*w*h, union 1.5*w*h.
+  EXPECT_NEAR(box_iou(0.4, 0.5, 0.2, 0.2, 0.5, 0.5, 0.2, 0.2), 1.0 / 3.0,
+              1e-9);
+}
+
+TEST(ModulationClasses, ThreeClasses) {
+  EXPECT_EQ(modulation_classes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace rcr::sig

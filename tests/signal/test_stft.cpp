@@ -1,0 +1,211 @@
+#include "rcr/signal/stft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/signal/waveform.hpp"
+
+namespace rcr::sig {
+namespace {
+
+StftConfig basic_config(StftConvention convention = StftConvention::kSimplifiedTimeInvariant) {
+  StftConfig c;
+  c.window = make_window(WindowKind::kHann, 32);
+  c.hop = 8;
+  c.fft_size = 32;
+  c.convention = convention;
+  c.padding = FramePadding::kCircular;
+  return c;
+}
+
+Vec test_signal(std::size_t n, std::uint64_t seed = 1) {
+  num::Rng rng(seed);
+  Vec s = chirp(n, 2.0, 40.0, 128.0);
+  for (double& v : s) v += rng.normal(0.0, 0.02);
+  return s;
+}
+
+TEST(StftConfig, ValidationErrors) {
+  StftConfig c;
+  EXPECT_THROW(c.validate(), std::invalid_argument);  // empty window
+  c.window = Vec(16, 1.0);
+  c.hop = 0;
+  c.fft_size = 16;
+  EXPECT_THROW(c.validate(), std::invalid_argument);  // zero hop
+  c.hop = 4;
+  c.fft_size = 8;
+  EXPECT_THROW(c.validate(), std::invalid_argument);  // fft < window
+}
+
+TEST(StftConfig, FrameCounts) {
+  StftConfig c = basic_config();
+  EXPECT_EQ(c.frame_count(128), 16u);  // circular: ceil(128/8)
+  c.padding = FramePadding::kTruncate;
+  EXPECT_EQ(c.frame_count(128), (128u - 32u) / 8u + 1u);
+  EXPECT_EQ(c.frame_count(16), 0u);  // shorter than window
+}
+
+TEST(Stft, ShapeMatchesConfig) {
+  const Vec s = test_signal(128);
+  const TfGrid g = stft(s, basic_config());
+  EXPECT_EQ(g.bins(), 32u);
+  EXPECT_EQ(g.frames(), 16u);
+}
+
+TEST(Stft, EmptySignalThrows) {
+  EXPECT_THROW(stft({}, basic_config()), std::invalid_argument);
+}
+
+TEST(Stft, ToneConcentratesEnergyInItsBin) {
+  // Tone at bin 4 of a 32-point FFT with sample rate mapping: freq = 4/32.
+  const std::size_t n = 128;
+  Vec s(n);
+  for (std::size_t k = 0; k < n; ++k)
+    s[k] = std::sin(2.0 * std::numbers::pi * 4.0 * static_cast<double>(k) / 32.0);
+  const TfGrid g = stft(s, basic_config());
+  // Bin 4 dominates every frame.
+  for (std::size_t fr = 0; fr < g.frames(); ++fr) {
+    double best = 0.0;
+    std::size_t best_bin = 0;
+    for (std::size_t m = 1; m < 16; ++m) {  // positive frequencies
+      if (std::abs(g(m, fr)) > best) {
+        best = std::abs(g(m, fr));
+        best_bin = m;
+      }
+    }
+    EXPECT_EQ(best_bin, 4u) << "frame " << fr;
+  }
+}
+
+TEST(Stft, LinearInTheSignal) {
+  const Vec a = test_signal(128, 2);
+  const Vec b = test_signal(128, 3);
+  Vec sum(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) sum[i] = a[i] + b[i];
+  const StftConfig c = basic_config();
+  const TfGrid ga = stft(a, c);
+  const TfGrid gb = stft(b, c);
+  const TfGrid gsum = stft(sum, c);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < gsum.data().size(); ++i)
+    worst = std::max(worst,
+                     std::abs(gsum.data()[i] - (ga.data()[i] + gb.data()[i])));
+  EXPECT_LT(worst, 1e-10);
+}
+
+class StftRoundTrip
+    : public ::testing::TestWithParam<std::tuple<StftConvention, std::size_t>> {
+};
+
+TEST_P(StftRoundTrip, IstftReconstructsSignal) {
+  const auto [convention, hop] = GetParam();
+  StftConfig c = basic_config(convention);
+  c.hop = hop;
+  const Vec s = test_signal(128, 7);
+  const TfGrid g = stft(s, c);
+  const Vec back = istft(g, c, s.size());
+  ASSERT_EQ(back.size(), s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_NEAR(back[i], s[i], 1e-9) << "sample " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConventionsAndHops, StftRoundTrip,
+    ::testing::Combine(
+        ::testing::Values(StftConvention::kSimplifiedTimeInvariant,
+                          StftConvention::kTimeInvariant),
+        ::testing::Values(std::size_t{4}, std::size_t{8}, std::size_t{16})));
+
+TEST(Istft, ShapeMismatchThrows) {
+  const StftConfig c = basic_config();
+  const TfGrid wrong_bins(16, 16);
+  EXPECT_THROW(istft(wrong_bins, c, 128), std::invalid_argument);
+  const TfGrid wrong_frames(32, 3);
+  EXPECT_THROW(istft(wrong_frames, c, 128), std::invalid_argument);
+}
+
+TEST(Istft, TruncatePaddingRejected) {
+  StftConfig c = basic_config();
+  c.padding = FramePadding::kTruncate;
+  const Vec s = test_signal(128);
+  const TfGrid g = stft(s, c);
+  EXPECT_THROW(istft(g, c, s.size()), std::invalid_argument);
+}
+
+// ---- The Sec. IV-B phase-skew experiments (Eqs. 5-6). ----
+
+TEST(PhaseSkew, ConventionsDisagreeWithoutCorrection) {
+  const Vec s = test_signal(128, 11);
+  const StftConfig sti = basic_config(StftConvention::kSimplifiedTimeInvariant);
+  const StftConfig ti = basic_config(StftConvention::kTimeInvariant);
+  const TfGrid g_sti = stft(s, sti);
+  const TfGrid g_ti = stft(s, ti);
+  // The raw grids disagree badly in phase.
+  const double skew =
+      max_phase_discrepancy(g_sti, g_ti, 1e-6 * g_ti.max_magnitude());
+  EXPECT_GT(skew, 0.5);
+}
+
+TEST(PhaseSkew, PhaseFactorMatrixRestoresAgreementExactly) {
+  // TI of s == phase-correction of STI computed on s delayed by Lg/2
+  // (the paper's "point-wise multiplication with an a priori determined
+  // matrix of phase factors").
+  const Vec s = test_signal(128, 13);
+  const StftConfig sti = basic_config(StftConvention::kSimplifiedTimeInvariant);
+  const StftConfig ti = basic_config(StftConvention::kTimeInvariant);
+  const std::size_t lg_half = sti.window.size() / 2;
+
+  const Vec s_shifted = circular_shift(s, static_cast<std::ptrdiff_t>(lg_half));
+  const TfGrid g_sti_shifted = stft(s_shifted, sti);
+  const TfGrid corrected =
+      convert_sti_to_ti(g_sti_shifted, sti.window.size(), sti.fft_size);
+  const TfGrid g_ti = stft(s, ti);
+
+  EXPECT_LT(TfGrid::max_abs_diff(corrected, g_ti),
+            1e-10 * (1.0 + g_ti.max_magnitude()));
+}
+
+TEST(PhaseSkew, GrowsWithWindowLength) {
+  // The skew per bin is 2*pi*m*floor(Lg/2)/M: compare the phase factors of
+  // two window lengths directly.
+  const TfGrid p_short = phase_factor_matrix(32, 1, 8, 32);
+  const TfGrid p_long = phase_factor_matrix(32, 1, 24, 32);
+  const double skew_short = std::abs(std::arg(p_short(1, 0)));
+  const double skew_long = std::abs(std::arg(p_long(1, 0)));
+  EXPECT_GT(skew_long, skew_short);
+  EXPECT_NEAR(skew_short, 2.0 * std::numbers::pi * 4.0 / 32.0, 1e-12);
+}
+
+TEST(PhaseFactorMatrix, UnitModulus) {
+  const TfGrid p = phase_factor_matrix(16, 4, 10, 16);
+  for (const auto& v : p.data()) EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+}
+
+TEST(PointwiseMultiply, ShapeMismatchThrows) {
+  EXPECT_THROW(pointwise_multiply(TfGrid(2, 2), TfGrid(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(MaxPhaseDiscrepancy, IgnoresLowMagnitudeCoefficients) {
+  TfGrid a(1, 2);
+  TfGrid b(1, 2);
+  // Strong coefficient: aligned phases; weak coefficient: opposite phases.
+  a(0, 0) = {1.0, 0.0};
+  b(0, 0) = {1.0, 0.0};
+  a(0, 1) = {1e-12, 0.0};
+  b(0, 1) = {-1e-12, 0.0};
+  EXPECT_NEAR(max_phase_discrepancy(a, b, 1e-6), 0.0, 1e-12);
+}
+
+TEST(TfGrid, MaxMagnitudeAndDiff) {
+  TfGrid g(2, 2);
+  g(1, 1) = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(g.max_magnitude(), 5.0);
+  EXPECT_TRUE(std::isinf(TfGrid::max_abs_diff(TfGrid(1, 1), TfGrid(1, 2))));
+}
+
+}  // namespace
+}  // namespace rcr::sig

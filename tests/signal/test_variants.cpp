@@ -1,0 +1,197 @@
+#include "rcr/signal/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/signal/issue_detector.hpp"
+#include "rcr/signal/waveform.hpp"
+
+namespace rcr::sig {
+namespace {
+
+Vec test_signal() {
+  num::Rng rng(1);
+  Vec s = chirp(256, 2.0, 60.0, 256.0);
+  for (double& v : s) v += rng.normal(0.0, 0.05);
+  return s;
+}
+
+TEST(Variants, ReferenceMatchesFreeFunctions) {
+  const SimulatedLibrary ref("reference", Defect::kNone);
+  const Vec s = test_signal();
+  EXPECT_LT(max_abs_diff(ref.fft(to_complex(s)), fft(to_complex(s))), 1e-14);
+  EXPECT_LT(max_abs_diff(ref.rfft(s), rfft(s)), 1e-14);
+}
+
+TEST(Variants, MissingScaleIfftOffByN) {
+  const SimulatedLibrary lib("julia-sim", Defect::kMissingScale);
+  const Vec s = test_signal();
+  const CVec spec = fft(to_complex(s));
+  const CVec bad = lib.ifft(spec);
+  const CVec good = ifft(spec);
+  for (std::size_t i = 0; i < bad.size(); ++i)
+    EXPECT_NEAR(std::abs(bad[i] - 256.0 * good[i]), 0.0, 1e-8);
+}
+
+TEST(Variants, ConjugateFlipConjugatesSpectrum) {
+  const SimulatedLibrary lib("scipy-legacy-sim", Defect::kConjugateFlip);
+  const Vec s = test_signal();
+  const CVec flipped = lib.fft(to_complex(s));
+  const CVec good = fft(to_complex(s));
+  for (std::size_t i = 0; i < good.size(); ++i)
+    EXPECT_NEAR(std::abs(flipped[i] - std::conj(good[i])), 0.0, 1e-9);
+}
+
+TEST(Variants, LegacySignatureChangesShape) {
+  const SimulatedLibrary legacy("torch-0.3-sim", Defect::kLegacySignature);
+  const SimulatedLibrary ref("reference", Defect::kNone);
+  const Vec s = test_signal();
+  const Vec window = make_window(WindowKind::kHann, 32);
+  // Caller uses the modern signature: fft_size = 64, window length 32.
+  const TfGrid good = ref.stft(s, 64, 16, window);
+  const TfGrid bad = legacy.stft(s, 64, 16, window);
+  // Legacy semantics size the transform by the frame: 32 bins instead of
+  // the requested 64.
+  EXPECT_EQ(good.bins(), 64u);
+  EXPECT_EQ(bad.bins(), 32u);
+}
+
+TEST(Variants, PhaseSkewPreservesMagnitudes) {
+  const SimulatedLibrary skew("tensorflow-sim", Defect::kPhaseSkew);
+  const SimulatedLibrary ref("reference", Defect::kNone);
+  const Vec s = test_signal();
+  const Vec window = make_window(WindowKind::kHann, 64);
+  const TfGrid a = skew.stft(s, 64, 16, window);
+  const TfGrid b = ref.stft(s, 64, 16, window);
+  // The skewed library computes the same coefficients -- the defect is that
+  // it *documents* them as TI; magnitudes agree with the reference STI.
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    EXPECT_NEAR(std::abs(a.data()[i]), std::abs(b.data()[i]), 1e-9);
+}
+
+TEST(Variants, NonCircularDropsTailFrames) {
+  const SimulatedLibrary trunc("caffe2-sim", Defect::kNonCircular);
+  const SimulatedLibrary ref("reference", Defect::kNone);
+  const Vec s = test_signal();
+  const Vec window = make_window(WindowKind::kHann, 64);
+  const TfGrid a = trunc.stft(s, 64, 16, window);
+  const TfGrid b = ref.stft(s, 64, 16, window);
+  EXPECT_LT(a.frames(), b.frames());
+}
+
+TEST(Variants, NonCircularIstftRaises) {
+  const SimulatedLibrary trunc("caffe2-sim", Defect::kNonCircular);
+  const Vec s = test_signal();
+  const Vec window = make_window(WindowKind::kHann, 64);
+  const TfGrid g = trunc.stft(s, 64, 16, window);
+  EXPECT_THROW(trunc.istft(g, 64, 16, window, s.size()),
+               std::invalid_argument);
+}
+
+TEST(Variants, UnstableComposeProducesNonFinite) {
+  const SimulatedLibrary unstable("caffe-sim", Defect::kUnstableCompose);
+  // A constant frame: every non-DC bin has exactly zero power, so the
+  // separate normalize-then-log path produces log(0) = -inf.
+  const Vec frame(128, 1.0);
+  const Vec bad = unstable.log_power(frame);
+  bool has_non_finite = false;
+  for (double v : bad) has_non_finite |= !std::isfinite(v);
+  EXPECT_TRUE(has_non_finite);
+
+  const SimulatedLibrary ref("reference", Defect::kNone);
+  const Vec good = ref.log_power(frame);
+  for (double v : good) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Roster, HasOneLibraryPerDefectClass) {
+  const auto roster = standard_library_roster();
+  EXPECT_EQ(roster.size(), 7u);
+  EXPECT_EQ(roster.front().defect(), Defect::kNone);
+}
+
+TEST(DefectNames, AllDistinct) {
+  const Defect all[] = {Defect::kNone,         Defect::kLegacySignature,
+                        Defect::kPhaseSkew,    Defect::kNonCircular,
+                        Defect::kMissingScale, Defect::kConjugateFlip,
+                        Defect::kUnstableCompose};
+  for (std::size_t i = 0; i < std::size(all); ++i)
+    for (std::size_t j = i + 1; j < std::size(all); ++j)
+      EXPECT_NE(to_string(all[i]), to_string(all[j]));
+}
+
+// ---- Issue detector (Fig. 3 reproduction). ----
+
+TEST(IssueDetector, ReferenceRowIsClean) {
+  const IssueMatrix m = detect_issues(standard_library_roster(), {});
+  ASSERT_FALSE(m.cells.empty());
+  EXPECT_EQ(m.issue_count(0), 0u);  // reference library
+}
+
+TEST(IssueDetector, EveryDefectiveLibraryFlagged) {
+  const IssueMatrix m = detect_issues(standard_library_roster(), {});
+  for (std::size_t r = 1; r < m.library_names.size(); ++r) {
+    // The unstable-compose library's defect lives in log_power, which the
+    // six FFT-family probes do not exercise; every other defect must show.
+    if (m.library_names[r] == "caffe-sim") continue;
+    EXPECT_GT(m.issue_count(r), 0u) << m.library_names[r];
+  }
+}
+
+TEST(IssueDetector, MissingScaleClassifiedAsScaleError) {
+  const IssueMatrix m = detect_issues(standard_library_roster(), {});
+  std::size_t row = 0;
+  for (std::size_t r = 0; r < m.library_names.size(); ++r)
+    if (m.library_names[r] == "julia-sim") row = r;
+  // IFFT column is index 1.
+  EXPECT_EQ(m.cells[row][1].kind, IssueKind::kScaleError);
+}
+
+TEST(IssueDetector, PhaseSkewLibraryOkOnPlainFft) {
+  const IssueMatrix m = detect_issues(standard_library_roster(), {});
+  std::size_t row = 0;
+  for (std::size_t r = 0; r < m.library_names.size(); ++r)
+    if (m.library_names[r] == "tensorflow-sim") row = r;
+  EXPECT_EQ(m.cells[row][0].kind, IssueKind::kOk);  // FFT unaffected
+}
+
+TEST(IssueDetector, NonCircularFlaggedAsShapeOrError) {
+  const IssueMatrix m = detect_issues(standard_library_roster(), {});
+  std::size_t row = 0;
+  for (std::size_t r = 0; r < m.library_names.size(); ++r)
+    if (m.library_names[r] == "caffe2-sim") row = r;
+  // STFT column index 4: shape mismatch; ISTFT column 5: raised error.
+  EXPECT_EQ(m.cells[row][4].kind, IssueKind::kShapeMismatch);
+  EXPECT_EQ(m.cells[row][5].kind, IssueKind::kRaisedError);
+}
+
+TEST(IssueDetector, TableRendersAllRows) {
+  const IssueMatrix m = detect_issues(standard_library_roster(), {});
+  const std::string table = m.to_table();
+  for (const auto& name : m.library_names)
+    EXPECT_NE(table.find(name), std::string::npos);
+  EXPECT_NE(table.find("STFT"), std::string::npos);
+}
+
+TEST(ClassifyOutputs, DirectCases) {
+  const CVec ref = {{1.0, 0.0}, {0.0, 2.0}};
+  EXPECT_EQ(classify_outputs(ref, ref, 1e-9).kind, IssueKind::kOk);
+
+  CVec scaled = ref;
+  for (auto& v : scaled) v *= 3.0;
+  EXPECT_EQ(classify_outputs(ref, scaled, 1e-9).kind, IssueKind::kScaleError);
+
+  CVec conj = ref;
+  for (auto& v : conj) v = std::conj(v);
+  EXPECT_EQ(classify_outputs(ref, conj, 1e-9).kind, IssueKind::kPhaseError);
+
+  CVec nan_out = ref;
+  nan_out[0] = {std::nan(""), 0.0};
+  EXPECT_EQ(classify_outputs(ref, nan_out, 1e-9).kind, IssueKind::kNonFinite);
+
+  EXPECT_EQ(classify_outputs(ref, CVec(3), 1e-9).kind,
+            IssueKind::kShapeMismatch);
+}
+
+}  // namespace
+}  // namespace rcr::sig

@@ -1,0 +1,138 @@
+#include "rcr/signal/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::sig {
+namespace {
+
+TEST(Tone, AmplitudeAndPeriodicity) {
+  const Vec s = tone(256, 16.0, 256.0, 2.0);
+  double peak = 0.0;
+  for (double v : s) peak = std::max(peak, std::abs(v));
+  EXPECT_NEAR(peak, 2.0, 1e-6);
+  // Period = 16 samples at these parameters.
+  for (std::size_t k = 0; k + 16 < s.size(); ++k)
+    EXPECT_NEAR(s[k], s[k + 16], 1e-9);
+}
+
+TEST(Chirp, StartsSlowEndsFast) {
+  const Vec s = chirp(512, 2.0, 60.0, 512.0);
+  // Count zero crossings in the first and last quarter.
+  auto crossings = [&](std::size_t lo, std::size_t hi) {
+    std::size_t n = 0;
+    for (std::size_t k = lo + 1; k < hi; ++k)
+      if ((s[k - 1] < 0.0) != (s[k] < 0.0)) ++n;
+    return n;
+  };
+  EXPECT_LT(crossings(0, 128), crossings(384, 512));
+}
+
+TEST(Awgn, MomentsRoughlyCorrect) {
+  num::Rng rng(1);
+  const Vec n = awgn(20000, 0.5, rng);
+  double mean = 0.0;
+  for (double v : n) mean += v;
+  mean /= static_cast<double>(n.size());
+  double var = 0.0;
+  for (double v : n) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n.size());
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+TEST(AddNoise, PreservesLengthAndDeterministic) {
+  num::Rng rng1(2);
+  num::Rng rng2(2);
+  const Vec x = tone(64, 4.0, 64.0);
+  const Vec a = add_noise(x, 0.1, rng1);
+  const Vec b = add_noise(x, 0.1, rng2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), x.size());
+}
+
+TEST(CircularShift, RoundTripAndIdentity) {
+  const Vec x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(circular_shift(x, 0), x);
+  EXPECT_EQ(circular_shift(circular_shift(x, 2), -2), x);
+  EXPECT_EQ(circular_shift(x, 5), x);   // full cycle
+  EXPECT_EQ(circular_shift(x, 1), (Vec{5.0, 1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(circular_shift(x, -1), (Vec{2.0, 3.0, 4.0, 5.0, 1.0}));
+}
+
+TEST(Ofdm, TotalSamplesMatchParams) {
+  OfdmParams p;
+  num::Rng rng(3);
+  const Vec burst = ofdm_burst(p, rng);
+  EXPECT_EQ(burst.size(), p.total_samples());
+  EXPECT_EQ(p.samples_per_symbol(), 80u);
+}
+
+TEST(Ofdm, CyclicPrefixCopiesSymbolTail) {
+  OfdmParams p;
+  p.num_symbols = 1;
+  num::Rng rng(4);
+  const Vec burst = ofdm_burst(p, rng);
+  // CP (first 16 samples) equals the last 16 samples of the symbol body.
+  for (std::size_t k = 0; k < p.cyclic_prefix; ++k)
+    EXPECT_NEAR(burst[k], burst[p.fft_size + k], 1e-12);
+}
+
+TEST(Ofdm, InvalidParamsThrow) {
+  OfdmParams p;
+  p.active_subcarriers = p.fft_size + 1;
+  num::Rng rng(5);
+  EXPECT_THROW(ofdm_burst(p, rng), std::invalid_argument);
+}
+
+TEST(Ofdm, ModulationsProduceDifferentWaveforms) {
+  OfdmParams p;
+  num::Rng rng1(6);
+  num::Rng rng2(6);
+  p.modulation = Modulation::kBpsk;
+  const Vec bpsk = ofdm_burst(p, rng1);
+  p.modulation = Modulation::kQam16;
+  const Vec qam = ofdm_burst(p, rng2);
+  EXPECT_NE(bpsk, qam);
+}
+
+TEST(EmbeddedBurst, BurstInsideCapture) {
+  OfdmParams p;
+  num::Rng rng(7);
+  const BurstCapture cap = embedded_burst(2048, p, 0.05, rng);
+  EXPECT_EQ(cap.samples.size(), 2048u);
+  EXPECT_EQ(cap.length, p.total_samples());
+  EXPECT_LE(cap.offset + cap.length, 2048u);
+}
+
+TEST(EmbeddedBurst, BurstRegionHasMoreEnergy) {
+  OfdmParams p;
+  num::Rng rng(8);
+  const BurstCapture cap = embedded_burst(4096, p, 0.02, rng);
+  auto energy = [&](std::size_t lo, std::size_t hi) {
+    double e = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) e += cap.samples[k] * cap.samples[k];
+    return e / static_cast<double>(hi - lo);
+  };
+  const double inside = energy(cap.offset, cap.offset + cap.length);
+  // Pick a noise-only region.
+  const std::size_t noise_lo = cap.offset > 200 ? 0 : cap.offset + cap.length;
+  const double outside = energy(noise_lo, noise_lo + 100);
+  EXPECT_GT(inside, 10.0 * outside);
+}
+
+TEST(EmbeddedBurst, TooLongThrows) {
+  OfdmParams p;  // 640 samples
+  num::Rng rng(9);
+  EXPECT_THROW(embedded_burst(100, p, 0.05, rng), std::invalid_argument);
+}
+
+TEST(Modulation, Names) {
+  EXPECT_EQ(to_string(Modulation::kBpsk), "BPSK");
+  EXPECT_EQ(to_string(Modulation::kQpsk), "QPSK");
+  EXPECT_EQ(to_string(Modulation::kQam16), "QAM16");
+}
+
+}  // namespace
+}  // namespace rcr::sig

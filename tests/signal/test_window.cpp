@@ -1,0 +1,85 @@
+#include "rcr/signal/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rcr::sig {
+namespace {
+
+TEST(Window, ZeroLengthThrows) {
+  EXPECT_THROW(make_window(WindowKind::kHann, 0), std::invalid_argument);
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  const Vec w = make_window(WindowKind::kRectangular, 8);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HannEndpointsAndPeak) {
+  const Vec w = make_window(WindowKind::kHann, 16);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);       // periodic Hann starts at 0
+  EXPECT_NEAR(w[8], 1.0, 1e-12);       // peak at N/2
+}
+
+TEST(Window, ValuesInUnitInterval) {
+  for (WindowKind kind : {WindowKind::kHann, WindowKind::kHamming,
+                          WindowKind::kBlackman, WindowKind::kGaussian}) {
+    const Vec w = make_window(kind, 33);
+    for (double v : w) {
+      EXPECT_GE(v, -1e-12) << to_string(kind);
+      EXPECT_LE(v, 1.0 + 1e-12) << to_string(kind);
+    }
+  }
+}
+
+TEST(Window, GaussianSymmetricAboutCenter) {
+  const Vec w = make_window(WindowKind::kGaussian, 32);
+  for (std::size_t k = 1; k < 16; ++k)
+    EXPECT_NEAR(w[16 - k], w[16 + k], 1e-12);
+}
+
+TEST(Window, PeakIndexNearCenterForBellWindows) {
+  for (WindowKind kind : {WindowKind::kHann, WindowKind::kHamming,
+                          WindowKind::kBlackman, WindowKind::kGaussian}) {
+    const std::size_t peak = window_peak_index(make_window(kind, 64));
+    EXPECT_EQ(peak, 32u) << to_string(kind);
+  }
+}
+
+TEST(Window, HannSatisfiesColaAtHalfAndQuarterHop) {
+  const Vec w = make_window(WindowKind::kHann, 64);
+  EXPECT_TRUE(satisfies_cola(w, 32));
+  EXPECT_TRUE(satisfies_cola(w, 16));
+}
+
+TEST(Window, HannViolatesColaAtIrregularHop) {
+  const Vec w = make_window(WindowKind::kHann, 64);
+  EXPECT_FALSE(satisfies_cola(w, 48));
+}
+
+TEST(Window, RectangularColaAtAnyDividingHop) {
+  const Vec w = make_window(WindowKind::kRectangular, 60);
+  EXPECT_TRUE(satisfies_cola(w, 10));
+  EXPECT_TRUE(satisfies_cola(w, 20));
+}
+
+TEST(Window, OverlapAddProfileValues) {
+  // Rectangular window of length 4, hop 2: each output bin sees 2 frames.
+  const Vec p = overlap_add_profile(make_window(WindowKind::kRectangular, 4), 2);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.0);
+}
+
+TEST(Window, OverlapAddProfileZeroHopThrows) {
+  EXPECT_THROW(overlap_add_profile(Vec(4, 1.0), 0), std::invalid_argument);
+}
+
+TEST(Window, Names) {
+  EXPECT_EQ(to_string(WindowKind::kHann), "hann");
+  EXPECT_EQ(to_string(WindowKind::kGaussian), "gaussian");
+}
+
+}  // namespace
+}  // namespace rcr::sig

@@ -1,0 +1,155 @@
+#include "rcr/verify/attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/numerics/approx.hpp"
+#include "rcr/verify/certified.hpp"
+#include "rcr/verify/verifier.hpp"
+
+namespace rcr::verify {
+namespace {
+
+TEST(MarginGradient, LabelOutOfRangeThrows) {
+  num::Rng rng(1);
+  const ReluNetwork net = ReluNetwork::random({2, 4, 3}, rng);
+  EXPECT_THROW(margin_input_gradient(net, {0.0, 0.0}, 5),
+               std::invalid_argument);
+  EXPECT_THROW(pgd_attack(net, {0.0, 0.0}, 0.1, 5), std::invalid_argument);
+}
+
+TEST(MarginGradient, MatchesNumericalGradient) {
+  num::Rng rng(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ReluNetwork net = ReluNetwork::random({3, 8, 8, 3}, rng);
+    const Vec x = rng.normal_vec(3);
+    const Vec y = net.forward(x);
+    std::size_t label = 0;
+    for (std::size_t k = 1; k < 3; ++k)
+      if (y[k] > y[label]) label = k;
+
+    const Vec analytic = margin_input_gradient(net, x, label);
+    const auto margin = [&](const Vec& p) {
+      const Vec out = net.forward(p);
+      double best_other = -1e300;
+      for (std::size_t k = 0; k < out.size(); ++k)
+        if (k != label) best_other = std::max(best_other, out[k]);
+      return out[label] - best_other;
+    };
+    const Vec numeric = num::numerical_gradient(margin, x, 1e-7);
+    EXPECT_TRUE(num::approx_equal(analytic, numeric, 1e-4)) << "trial " << trial;
+  }
+}
+
+TEST(PgdAttack, AdversarialExampleStaysInBallAndFlips) {
+  // A tight-margin point must be attackable.
+  ReluNetwork net;
+  AffineLayer l1;
+  l1.w = {{1.0, 0.0}, {-1.0, 0.0}};
+  l1.b = {5.0, 5.0};
+  AffineLayer l2;
+  l2.w = {{1.0, 0.0}, {0.0, 1.0}};
+  l2.b = {-5.0, -5.0};
+  net.layers = {l1, l2};
+  // Logits (x0, -x0): label 0 iff x0 > 0.  Margin at x0 = 0.1 is 0.2.
+  const Vec x = {0.1, 0.0};
+  const AttackResult r = pgd_attack(net, x, 0.5, 0);
+  ASSERT_TRUE(r.success);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_LE(std::abs(r.adversarial[j] - x[j]), 0.5 + 1e-12);
+  }
+  const Vec y = net.forward(r.adversarial);
+  EXPECT_LT(y[0], y[1]);  // genuinely flipped
+}
+
+TEST(PgdAttack, CannotFlipCertifiedPoints) {
+  // Soundness bracket: exact-verified robust points survive PGD.
+  num::Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const ReluNetwork net = ReluNetwork::random({2, 6, 3}, rng);
+    const Vec x = rng.normal_vec(2);
+    const Vec y = net.forward(x);
+    std::size_t label = 0;
+    for (std::size_t k = 1; k < 3; ++k)
+      if (y[k] > y[label]) label = k;
+    const double eps = 0.05;
+    const RobustnessResult exact =
+        certify_classification_exact(net, x, eps, label);
+    if (exact.verdict != Verdict::kVerified) continue;
+    const AttackResult attack = pgd_attack(net, x, eps, label);
+    EXPECT_FALSE(attack.success) << "trial " << trial;
+  }
+}
+
+TEST(PgdAttack, FindsWitnessWhereExactFalsifies) {
+  // On points the exact verifier falsifies, PGD usually finds the flip too
+  // (it is a strong first-order attack on these tiny nets).
+  num::Rng rng(4);
+  std::size_t falsified = 0;
+  std::size_t attacked = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const ReluNetwork net = ReluNetwork::random({2, 6, 3}, rng);
+    const Vec x = rng.normal_vec(2);
+    const Vec y = net.forward(x);
+    std::size_t label = 0;
+    for (std::size_t k = 1; k < 3; ++k)
+      if (y[k] > y[label]) label = k;
+    const double eps = 0.3;
+    const RobustnessResult exact =
+        certify_classification_exact(net, x, eps, label);
+    if (exact.verdict != Verdict::kFalsified) continue;
+    ++falsified;
+    PgdOptions opts;
+    opts.restarts = 8;
+    opts.steps = 80;
+    if (pgd_attack(net, x, eps, label, opts).success) ++attacked;
+  }
+  ASSERT_GT(falsified, 0u);
+  EXPECT_GE(attacked * 10, falsified * 7);  // >= 70% attack success
+}
+
+TEST(AdversarialAccuracy, BracketsCertifiedAccuracy) {
+  // certified(CROWN) <= empirical robust accuracy (PGD survivors).
+  num::Rng rng(5);
+  const auto train = make_blob_dataset(3, 25, 1.0, 0.15, rng);
+  CertifiedTrainer trainer({2, 10, 3}, 6);
+  CertifiedTrainConfig cfg;
+  cfg.epochs = 80;
+  cfg.epsilon = 0.12;
+  trainer.train(train, train, cfg);
+
+  std::vector<LabeledInput> points;
+  for (const auto& p : train) points.push_back({p.x, p.label});
+
+  const double eps = 0.2;
+  const double certified =
+      trainer.certified_accuracy(train, eps, BoundMethod::kCrown);
+  const double empirical =
+      adversarial_accuracy(trainer.network(), points, eps);
+  EXPECT_LE(certified, empirical + 1e-12);
+}
+
+TEST(AdversarialAccuracy, DecreasesWithEps) {
+  num::Rng rng(7);
+  const auto train = make_blob_dataset(3, 20, 1.0, 0.15, rng);
+  CertifiedTrainer trainer({2, 10, 3}, 8);
+  CertifiedTrainConfig cfg;
+  cfg.epochs = 60;
+  trainer.train(train, train, cfg);
+  std::vector<LabeledInput> points;
+  for (const auto& p : train) points.push_back({p.x, p.label});
+
+  const double small = adversarial_accuracy(trainer.network(), points, 0.05);
+  const double large = adversarial_accuracy(trainer.network(), points, 0.6);
+  EXPECT_GE(small, large);
+}
+
+TEST(AdversarialAccuracy, EmptySetIsZero) {
+  num::Rng rng(9);
+  const ReluNetwork net = ReluNetwork::random({2, 4, 2}, rng);
+  EXPECT_DOUBLE_EQ(adversarial_accuracy(net, {}, 0.1), 0.0);
+}
+
+}  // namespace
+}  // namespace rcr::verify

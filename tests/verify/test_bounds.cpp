@@ -1,0 +1,204 @@
+#include "rcr/verify/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::verify {
+namespace {
+
+TEST(Box, CenterRadiusAndValidation) {
+  Box b;
+  b.lower = {0.0, -2.0};
+  b.upper = {1.0, 2.0};
+  EXPECT_NO_THROW(b.validate());
+  EXPECT_TRUE(num::approx_equal(b.center(), {0.5, 0.0}, 1e-15));
+  EXPECT_TRUE(num::approx_equal(b.radius(), {0.5, 2.0}, 1e-15));
+  EXPECT_DOUBLE_EQ(b.max_width(), 4.0);
+  std::swap(b.lower, b.upper);
+  EXPECT_THROW(b.validate(), std::invalid_argument);
+}
+
+TEST(Box, AroundBuildsEpsBall) {
+  const Box b = Box::around({1.0, -1.0}, 0.25);
+  EXPECT_DOUBLE_EQ(b.lower[0], 0.75);
+  EXPECT_DOUBLE_EQ(b.upper[1], -0.75);
+}
+
+TEST(ReluEnvelope, StableNeuronsAreExact) {
+  const ReluEnvelope active = relu_envelope(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(active.upper_slope, 1.0);
+  EXPECT_DOUBLE_EQ(active.max_gap, 0.0);
+  const ReluEnvelope inactive = relu_envelope(-2.0, -0.5);
+  EXPECT_DOUBLE_EQ(inactive.upper_slope, 0.0);
+  EXPECT_DOUBLE_EQ(inactive.max_gap, 0.0);
+}
+
+TEST(ReluEnvelope, UnstableChordIsTightOverEstimator) {
+  const double l = -1.0;
+  const double u = 3.0;
+  const ReluEnvelope e = relu_envelope(l, u);
+  // Chord touches relu at both endpoints.
+  EXPECT_NEAR(e.upper_slope * l + e.upper_intercept, 0.0, 1e-12);
+  EXPECT_NEAR(e.upper_slope * u + e.upper_intercept, u, 1e-12);
+  // Over-estimates everywhere between.
+  for (double z = l; z <= u; z += 0.1)
+    EXPECT_GE(e.upper_slope * z + e.upper_intercept, std::max(0.0, z) - 1e-12);
+  // Gap is the intercept (attained at z = 0).
+  EXPECT_NEAR(e.max_gap, e.upper_intercept, 1e-12);
+}
+
+TEST(ReluEnvelope, GapGrowsWithIntervalWidth) {
+  const double g1 = relu_envelope(-1.0, 1.0).max_gap;
+  const double g2 = relu_envelope(-2.0, 2.0).max_gap;
+  const double g4 = relu_envelope(-4.0, 4.0).max_gap;
+  EXPECT_LT(g1, g2);
+  EXPECT_LT(g2, g4);
+}
+
+TEST(ReluEnvelope, RejectsInvertedInterval) {
+  EXPECT_THROW(relu_envelope(1.0, -1.0), std::invalid_argument);
+}
+
+class BoundSoundness
+    : public ::testing::TestWithParam<std::tuple<BoundMethod, std::uint64_t>> {
+};
+
+TEST_P(BoundSoundness, OutputsOfSampledInputsInsideBounds) {
+  // Property test: for random networks and random boxes, every concrete
+  // forward pass lands inside the computed bounds -- at every layer.
+  const auto [method, seed] = GetParam();
+  num::Rng rng(seed);
+  const ReluNetwork net = ReluNetwork::random({3, 8, 6, 2}, rng);
+  const Vec center = rng.normal_vec(3);
+  const Box input = Box::around(center, 0.3);
+  const LayerBounds bounds = compute_bounds(net, input, method);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec x(3);
+    for (std::size_t j = 0; j < 3; ++j)
+      x[j] = rng.uniform(input.lower[j], input.upper[j]);
+    const auto pre = net.pre_activations(x);
+    for (std::size_t k = 0; k < pre.size(); ++k) {
+      for (std::size_t i = 0; i < pre[k].size(); ++i) {
+        EXPECT_GE(pre[k][i], bounds.pre_activation[k].lower[i] - 1e-9)
+            << "layer " << k << " neuron " << i;
+        EXPECT_LE(pre[k][i], bounds.pre_activation[k].upper[i] + 1e-9)
+            << "layer " << k << " neuron " << i;
+      }
+    }
+    const Vec y = net.forward(x);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_GE(y[i], bounds.output.lower[i] - 1e-9);
+      EXPECT_LE(y[i], bounds.output.upper[i] + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndSeeds, BoundSoundness,
+    ::testing::Combine(::testing::Values(BoundMethod::kIbp, BoundMethod::kCrown),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+class CrownTighter : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrownTighter, CrownNeverLooserThanIbp) {
+  // The E14/E8 tightening property: CROWN's per-layer widths are bounded by
+  // IBP's.
+  num::Rng rng(GetParam());
+  const ReluNetwork net = ReluNetwork::random({4, 10, 10, 3}, rng);
+  const Box input = Box::around(rng.normal_vec(4), 0.2);
+  const LayerBounds ibp = ibp_bounds(net, input);
+  const LayerBounds crown = crown_bounds(net, input);
+  for (std::size_t k = 0; k < net.depth(); ++k) {
+    for (std::size_t i = 0; i < ibp.pre_activation[k].dim(); ++i) {
+      EXPECT_GE(crown.pre_activation[k].lower[i],
+                ibp.pre_activation[k].lower[i] - 1e-9);
+      EXPECT_LE(crown.pre_activation[k].upper[i],
+                ibp.pre_activation[k].upper[i] + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrownTighter,
+                         ::testing::Values(10u, 11u, 12u, 13u, 14u, 15u));
+
+TEST(Bounds, FirstLayerIsExactForBothMethods) {
+  // No ReLU precedes layer 0: both methods give the exact affine image box.
+  num::Rng rng(20);
+  const ReluNetwork net = ReluNetwork::random({3, 5, 2}, rng);
+  const Box input = Box::around(rng.normal_vec(3), 0.5);
+  const LayerBounds ibp = ibp_bounds(net, input);
+  const LayerBounds crown = crown_bounds(net, input);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(ibp.pre_activation[0].lower[i],
+                crown.pre_activation[0].lower[i], 1e-9);
+    EXPECT_NEAR(ibp.pre_activation[0].upper[i],
+                crown.pre_activation[0].upper[i], 1e-9);
+  }
+}
+
+TEST(Bounds, DeeperNetworksWidenIbpFaster) {
+  // IBP's wrapping effect compounds with depth; CROWN resists it.  Measure
+  // the output-layer width ratio on a deep narrow net.
+  num::Rng rng(21);
+  const ReluNetwork net = ReluNetwork::random({2, 8, 8, 8, 8, 2}, rng);
+  const Box input = Box::around(rng.normal_vec(2), 0.1);
+  const TightnessReport report = tightness_report(net, input);
+  const std::size_t last = net.depth() - 1;
+  EXPECT_GT(report.ibp_mean_width[last], report.crown_mean_width[last]);
+}
+
+TEST(Bounds, ZeroWidthBoxGivesPointEvaluation) {
+  num::Rng rng(22);
+  const ReluNetwork net = ReluNetwork::random({3, 6, 2}, rng);
+  const Vec x = rng.normal_vec(3);
+  const Box point = Box::around(x, 0.0);
+  const Vec y = net.forward(x);
+  for (BoundMethod m : {BoundMethod::kIbp, BoundMethod::kCrown}) {
+    const LayerBounds b = compute_bounds(net, point, m);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_NEAR(b.output.lower[i], y[i], 1e-9);
+      EXPECT_NEAR(b.output.upper[i], y[i], 1e-9);
+    }
+  }
+}
+
+TEST(Bounds, PhaseClippingTightensCrown) {
+  num::Rng rng(23);
+  const ReluNetwork net = ReluNetwork::random({2, 6, 2}, rng);
+  const Box input = Box::around(rng.normal_vec(2), 0.5);
+  const LayerBounds free = crown_bounds(net, input);
+
+  // Force the most unstable neuron of layer 0 inactive.
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < 6; ++i)
+    if (free.pre_activation[0].lower[i] < 0.0 &&
+        free.pre_activation[0].upper[i] > 0.0)
+      pick = i;
+  PhaseAssignment phases(net.depth());
+  phases[0].assign(6, 0);
+  phases[0][pick] = -1;
+  const LayerBounds clipped = crown_bounds_with_phases(net, input, phases);
+  // Output interval cannot widen under an extra constraint.
+  const double w_free = free.output.upper[0] - free.output.lower[0];
+  const double w_clip = clipped.output.upper[0] - clipped.output.lower[0];
+  EXPECT_LE(w_clip, w_free + 1e-9);
+}
+
+TEST(Bounds, UnstableCountsDecreaseWithTighterMethod) {
+  num::Rng rng(24);
+  const ReluNetwork net = ReluNetwork::random({3, 12, 12, 2}, rng);
+  const Box input = Box::around(rng.normal_vec(3), 0.15);
+  const TightnessReport report = tightness_report(net, input);
+  for (std::size_t k = 0; k < net.depth(); ++k)
+    EXPECT_LE(report.crown_unstable[k], report.ibp_unstable[k]);
+}
+
+TEST(Bounds, MethodNames) {
+  EXPECT_EQ(to_string(BoundMethod::kIbp), "ibp");
+  EXPECT_EQ(to_string(BoundMethod::kCrown), "crown");
+}
+
+}  // namespace
+}  // namespace rcr::verify

@@ -1,0 +1,85 @@
+#include "rcr/verify/relu_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcr/nn/layers_basic.hpp"
+
+namespace rcr::verify {
+namespace {
+
+TEST(ReluNetwork, ValidationCatchesChainingErrors) {
+  ReluNetwork net;
+  EXPECT_THROW(net.validate(), std::invalid_argument);  // empty
+  AffineLayer a;
+  a.w = Matrix(3, 2);
+  a.b = Vec(2);  // wrong bias length
+  net.layers.push_back(a);
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+}
+
+TEST(ReluNetwork, ForwardKnownValues) {
+  // One hidden layer: y = W2 * relu(W1 x + b1) + b2.
+  ReluNetwork net;
+  AffineLayer l1;
+  l1.w = {{1.0, 0.0}, {0.0, -1.0}};
+  l1.b = {0.0, 0.0};
+  AffineLayer l2;
+  l2.w = {{1.0, 1.0}};
+  l2.b = {0.5};
+  net.layers = {l1, l2};
+  // x = (2, 3): hidden = relu(2, -3) = (2, 0) -> y = 2.5.
+  EXPECT_NEAR(net.forward({2.0, 3.0})[0], 2.5, 1e-12);
+  // x = (-1, -4): hidden = relu(-1, 4) = (0, 4) -> y = 4.5.
+  EXPECT_NEAR(net.forward({-1.0, -4.0})[0], 4.5, 1e-12);
+}
+
+TEST(ReluNetwork, PreActivationsMatchForward) {
+  num::Rng rng(1);
+  const ReluNetwork net = ReluNetwork::random({3, 5, 4, 2}, rng);
+  const Vec x = rng.normal_vec(3);
+  const auto pre = net.pre_activations(x);
+  ASSERT_EQ(pre.size(), 3u);
+  // Final pre-activation equals the output (no ReLU on the last layer).
+  EXPECT_TRUE(num::approx_equal(pre.back(), net.forward(x), 1e-12));
+}
+
+TEST(ReluNetwork, RandomRespectsWidths) {
+  num::Rng rng(2);
+  const ReluNetwork net = ReluNetwork::random({4, 8, 3}, rng);
+  EXPECT_EQ(net.input_dim(), 4u);
+  EXPECT_EQ(net.output_dim(), 3u);
+  EXPECT_EQ(net.depth(), 2u);
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_THROW(ReluNetwork::random({4}, rng), std::invalid_argument);
+}
+
+TEST(ReluNetwork, FromSequentialMatchesForward) {
+  num::Rng rng(3);
+  nn::Sequential seq;
+  seq.emplace<nn::Dense>(3, 6, rng);
+  seq.emplace<nn::Relu>();
+  seq.emplace<nn::Dense>(6, 2, rng);
+  ReluNetwork net = ReluNetwork::from_sequential(seq);
+
+  num::Rng xr(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec x = xr.normal_vec(3);
+    nn::Tensor xt({1, 3});
+    for (std::size_t i = 0; i < 3; ++i) xt.at2(0, i) = x[i];
+    const nn::Tensor y_seq = seq.forward(xt, false);
+    const Vec y_net = net.forward(x);
+    for (std::size_t k = 0; k < 2; ++k)
+      EXPECT_NEAR(y_net[k], y_seq.at2(0, k), 1e-12);
+  }
+}
+
+TEST(ReluNetwork, FromSequentialRejectsUnsupportedLayers) {
+  num::Rng rng(5);
+  nn::Sequential seq;
+  seq.emplace<nn::Dense>(2, 2, rng);
+  seq.emplace<nn::Sigmoid>();
+  EXPECT_THROW(ReluNetwork::from_sequential(seq), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rcr::verify

@@ -1,0 +1,216 @@
+#include "rcr/verify/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::verify {
+namespace {
+
+// A hand-built network computing y = [x0 + x1, x0 - x1] (no hidden ReLU
+// effect since weights route through an identity-like hidden layer).
+ReluNetwork linear_like() {
+  ReluNetwork net;
+  AffineLayer l1;
+  // Hidden: (x0+x1+10, x0-x1+10) -- +10 keeps both neurons always active on
+  // small boxes, making the network affine there.
+  l1.w = {{1.0, 1.0}, {1.0, -1.0}};
+  l1.b = {10.0, 10.0};
+  AffineLayer l2;
+  l2.w = {{1.0, 0.0}, {0.0, 1.0}};
+  l2.b = {-10.0, -10.0};
+  net.layers = {l1, l2};
+  return net;
+}
+
+TEST(VerifyRelaxed, VerifiesTrueLinearProperty) {
+  // On the box around (1, 0) with eps 0.1: y0 = x0 + x1 in [0.9, 1.1] > 0.
+  const ReluNetwork net = linear_like();
+  Spec spec;
+  spec.c = {1.0, 0.0};
+  spec.d = 0.0;
+  const Box ball = Box::around({1.0, 0.0}, 0.1);
+  for (BoundMethod m : {BoundMethod::kIbp, BoundMethod::kCrown}) {
+    const VerifyResult r = verify_relaxed(net, ball, spec, m);
+    EXPECT_EQ(r.verdict, Verdict::kVerified) << to_string(m);
+    EXPECT_GT(r.lower_bound, 0.0);
+  }
+}
+
+TEST(VerifyRelaxed, FalsifiesWhenCenterViolates) {
+  const ReluNetwork net = linear_like();
+  Spec spec;
+  spec.c = {1.0, 0.0};
+  spec.d = 0.0;
+  const Box ball = Box::around({-1.0, 0.0}, 0.1);  // y0 ~ -1 < 0
+  const VerifyResult r =
+      verify_relaxed(net, ball, spec, BoundMethod::kCrown);
+  EXPECT_EQ(r.verdict, Verdict::kFalsified);
+  EXPECT_FALSE(r.counterexample.empty());
+}
+
+TEST(VerifyRelaxed, SpecDimensionMismatchThrows) {
+  const ReluNetwork net = linear_like();
+  Spec spec;
+  spec.c = {1.0};  // wrong size
+  EXPECT_THROW(
+      verify_relaxed(net, Box::around({0.0, 0.0}, 0.1), spec,
+                     BoundMethod::kIbp),
+      std::invalid_argument);
+}
+
+TEST(VerifyExact, AgreesWithRelaxedOnEasyCase) {
+  const ReluNetwork net = linear_like();
+  Spec spec;
+  spec.c = {1.0, 0.0};
+  const Box ball = Box::around({1.0, 0.0}, 0.1);
+  const VerifyResult r = verify_exact(net, ball, spec);
+  EXPECT_EQ(r.verdict, Verdict::kVerified);
+}
+
+TEST(VerifyExact, FindsCounterexampleInsideBox) {
+  // y0 = x0 + x1 over box around (0.05, 0) with eps 0.2: sign changes.
+  const ReluNetwork net = linear_like();
+  Spec spec;
+  spec.c = {1.0, 0.0};
+  const Box ball = Box::around({0.05, 0.0}, 0.2);
+  const VerifyResult r = verify_exact(net, ball, spec);
+  EXPECT_EQ(r.verdict, Verdict::kFalsified);
+  ASSERT_EQ(r.counterexample.size(), 2u);
+  EXPECT_LT(spec.evaluate(net.forward(r.counterexample)), 0.0);
+}
+
+class ExactVsSampling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsSampling, ExactVerdictConsistentWithDenseSampling) {
+  // Property: when the exact verifier says "verified", no sampled point
+  // violates; when "falsified", the counterexample genuinely violates.
+  num::Rng rng(GetParam());
+  const ReluNetwork net = ReluNetwork::random({2, 6, 6, 2}, rng);
+  const Vec x = rng.normal_vec(2);
+  Spec spec;
+  spec.c = {1.0, -1.0};
+  const Vec y = net.forward(x);
+  spec.d = -(y[0] - y[1]) + 0.05;  // margin property around the point
+
+  const Box ball = Box::around(x, 0.05);
+  ExactOptions opts;
+  opts.max_branches = 5000;
+  const VerifyResult r = verify_exact(net, ball, spec, opts);
+
+  if (r.verdict == Verdict::kVerified) {
+    for (int trial = 0; trial < 500; ++trial) {
+      Vec p(2);
+      for (std::size_t j = 0; j < 2; ++j)
+        p[j] = rng.uniform(ball.lower[j], ball.upper[j]);
+      EXPECT_GE(spec.evaluate(net.forward(p)), -1e-9);
+    }
+  } else if (r.verdict == Verdict::kFalsified) {
+    EXPECT_LT(spec.evaluate(net.forward(r.counterexample)), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsSampling,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(VerifyExact, ReluSplitUsesFewerBranchesThanInputOnly) {
+  // ReLU splitting should generally resolve unstable neurons faster than
+  // blind input bisection on a net with few unstable neurons.
+  num::Rng rng(50);
+  const ReluNetwork net = ReluNetwork::random({2, 8, 2}, rng);
+  const Vec x = rng.normal_vec(2);
+  Spec spec;
+  spec.c = {1.0, -1.0};
+  const Vec y = net.forward(x);
+  spec.d = -(y[0] - y[1]) + 0.02;
+  const Box ball = Box::around(x, 0.08);
+
+  ExactOptions with_relu;
+  with_relu.split_relu = true;
+  ExactOptions without;
+  without.split_relu = false;
+  const VerifyResult a = verify_exact(net, ball, spec, with_relu);
+  const VerifyResult b = verify_exact(net, ball, spec, without);
+  EXPECT_EQ(a.verdict, b.verdict);  // same answer either way
+}
+
+TEST(VerifyExact, BudgetExhaustionReturnsUnknown) {
+  num::Rng rng(51);
+  const ReluNetwork net = ReluNetwork::random({3, 16, 16, 2}, rng);
+  Spec spec;
+  spec.c = {1.0, -1.0};
+  spec.d = 0.0;
+  const Box huge = Box::around(Vec(3, 0.0), 5.0);
+  ExactOptions opts;
+  opts.max_branches = 3;
+  const VerifyResult r = verify_exact(net, huge, spec, opts);
+  // With 3 branches on a huge box, either an early counterexample or
+  // unknown; never a (wrong) verified.
+  EXPECT_NE(r.verdict, Verdict::kVerified);
+}
+
+TEST(CertifyClassification, RobustPointCertifiedAndMarginPositive) {
+  // Build a linear separator net: class 0 iff x0 > 0 with wide margin.
+  ReluNetwork net;
+  AffineLayer l1;
+  l1.w = {{1.0, 0.0}, {-1.0, 0.0}};
+  l1.b = {5.0, 5.0};  // keep ReLUs active near the data
+  AffineLayer l2;
+  l2.w = {{1.0, 0.0}, {0.0, 1.0}};
+  l2.b = {-5.0, -5.0};
+  net.layers = {l1, l2};
+
+  const Vec x = {2.0, 0.0};  // logits (2, -2): label 0, margin 4
+  const RobustnessResult relaxed =
+      certify_classification(net, x, 0.5, 0, BoundMethod::kCrown);
+  EXPECT_EQ(relaxed.verdict, Verdict::kVerified);
+  EXPECT_GT(relaxed.worst_margin_bound, 0.0);
+
+  const RobustnessResult exact = certify_classification_exact(net, x, 0.5, 0);
+  EXPECT_EQ(exact.verdict, Verdict::kVerified);
+}
+
+TEST(CertifyClassification, NonRobustPointFalsifiedByExact) {
+  ReluNetwork net;
+  AffineLayer l1;
+  l1.w = {{1.0, 0.0}, {-1.0, 0.0}};
+  l1.b = {5.0, 5.0};
+  AffineLayer l2;
+  l2.w = {{1.0, 0.0}, {0.0, 1.0}};
+  l2.b = {-5.0, -5.0};
+  net.layers = {l1, l2};
+
+  const Vec x = {0.1, 0.0};  // margin only 0.2, eps 0.5 crosses the boundary
+  const RobustnessResult exact = certify_classification_exact(net, x, 0.5, 0);
+  EXPECT_EQ(exact.verdict, Verdict::kFalsified);
+}
+
+TEST(CertifyClassification, RelaxedNeverContradictsExact) {
+  // Soundness property of the paper's hybrid verification story: a relaxed
+  // "verified" must be confirmed by the exact verifier.
+  num::Rng rng(52);
+  for (int trial = 0; trial < 10; ++trial) {
+    const ReluNetwork net = ReluNetwork::random({2, 6, 3}, rng);
+    const Vec x = rng.normal_vec(2);
+    const Vec y = net.forward(x);
+    std::size_t label = 0;
+    for (std::size_t k = 1; k < 3; ++k)
+      if (y[k] > y[label]) label = k;
+    const RobustnessResult relaxed =
+        certify_classification(net, x, 0.05, label, BoundMethod::kCrown);
+    if (relaxed.verdict == Verdict::kVerified) {
+      const RobustnessResult exact =
+          certify_classification_exact(net, x, 0.05, label);
+      EXPECT_EQ(exact.verdict, Verdict::kVerified);
+    }
+  }
+}
+
+TEST(VerdictNames, Distinct) {
+  EXPECT_EQ(to_string(Verdict::kVerified), "verified");
+  EXPECT_EQ(to_string(Verdict::kFalsified), "falsified");
+  EXPECT_EQ(to_string(Verdict::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace rcr::verify
