@@ -1,0 +1,150 @@
+// Serial-vs-parallel timing for the runtime-accelerated hot paths:
+// dense matmul (256x256), Conv2d forward (batch 8), STFT (512-point FFT,
+// 256 frames), and a CROWN verifier sweep.  Prints a table and emits one
+// JSON line (also written to BENCH_parallel_runtime.json) with the
+// speedups, so CI can track regressions.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcr/nn/conv.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/rt/parallel.hpp"
+#include "rcr/rt/thread_pool.hpp"
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/window.hpp"
+#include "rcr/verify/bounds.hpp"
+#include "rcr/verify/relu_network.hpp"
+
+namespace {
+
+using rcr::Vec;
+using rcr::num::Matrix;
+using rcr::num::Rng;
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup() const {
+    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+Row measure(const std::string& name, int reps,
+            const std::function<void()>& fn) {
+  Row row;
+  row.name = name;
+  {
+    rcr::rt::ForceSerialGuard serial;
+    row.serial_ms = 1e3 * time_best_of(reps, fn);
+  }
+  row.parallel_ms = 1e3 * time_best_of(reps, fn);
+  return row;
+}
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== parallel runtime: serial vs pool (threads=%zu) ===\n\n",
+              rcr::rt::global_threads());
+
+  std::vector<Row> rows;
+  Rng rng(42);
+
+  {
+    const Matrix a = random_matrix(256, 256, rng);
+    const Matrix b = random_matrix(256, 256, rng);
+    Matrix c;
+    rows.push_back(measure("matmul_256", 5, [&] { c = a * b; }));
+  }
+
+  {
+    Rng init(1);
+    rcr::nn::Conv2d conv(8, 16, 3, 1, 1, init);
+    rcr::nn::Tensor input({8, 8, 32, 32});
+    for (auto& v : input.data()) v = rng.normal();
+    rcr::nn::Tensor out;
+    rows.push_back(measure("conv2d_fwd_b8", 5,
+                           [&] { out = conv.forward(input, false); }));
+  }
+
+  {
+    const Vec signal = rng.normal_vec(512 / 4 * 255 + 512);
+    rcr::sig::StftConfig config;
+    config.window = rcr::sig::make_window(rcr::sig::WindowKind::kHann, 512);
+    config.hop = 128;
+    config.fft_size = 512;
+    rcr::sig::TfGrid grid;
+    rows.push_back(
+        measure("stft_512x256", 5, [&] { grid = rcr::sig::stft(signal, config); }));
+  }
+
+  {
+    rcr::verify::ReluNetwork net;
+    Rng wrng(7);
+    const std::vector<std::size_t> dims = {16, 128, 128, 128, 10};
+    for (std::size_t k = 0; k + 1 < dims.size(); ++k) {
+      rcr::verify::AffineLayer layer;
+      layer.w = Matrix(dims[k + 1], dims[k]);
+      layer.b = Vec(dims[k + 1], 0.0);
+      for (std::size_t i = 0; i < dims[k + 1]; ++i)
+        for (std::size_t j = 0; j < dims[k]; ++j)
+          layer.w(i, j) = wrng.normal() / 8.0;
+      net.layers.push_back(std::move(layer));
+    }
+    const rcr::verify::Box input =
+        rcr::verify::Box::around(Vec(16, 0.1), 0.05);
+    rcr::verify::LayerBounds bounds;
+    rows.push_back(measure("crown_128x3", 3, [&] {
+      bounds = rcr::verify::crown_bounds(net, input);
+    }));
+  }
+
+  std::printf("%-14s %12s %12s %10s\n", "kernel", "serial(ms)",
+              "parallel(ms)", "speedup");
+  for (const Row& row : rows)
+    std::printf("%-14s %12.3f %12.3f %9.2fx\n", row.name.c_str(),
+                row.serial_ms, row.parallel_ms, row.speedup());
+
+  std::string json = "{\"bench\":\"parallel_runtime\",\"threads\":" +
+                     std::to_string(rcr::rt::global_threads());
+  for (const Row& row : rows) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"%s\":{\"serial_ms\":%.4f,\"parallel_ms\":%.4f,"
+                  "\"speedup\":%.3f}",
+                  row.name.c_str(), row.serial_ms, row.parallel_ms,
+                  row.speedup());
+    json += buf;
+  }
+  json += "}";
+  std::printf("\n%s\n", json.c_str());
+
+  if (std::FILE* f = std::fopen("BENCH_parallel_runtime.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "rcr/rt/parallel.hpp"
+
 namespace rcr::nn {
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
@@ -38,33 +40,48 @@ Tensor Conv2d::forward(const Tensor& input, bool) {
 
   input_cache_ = input;
   Tensor out({batch, out_ch_, oh, ow});
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t o = 0; o < out_ch_; ++o) {
+
+  // Parallel over (batch, out-channel) planes: every output element is
+  // written by exactly one task.  The inner loops run i -> r -> c with a
+  // row accumulator over x, so each element still receives its terms in
+  // ascending (i, r, c) order -- bit-identical to the naive 7-loop kernel --
+  // while the input row `irow` and the kernel row `wrow` are walked
+  // contiguously.
+  const double* in = input.data().data();
+  rt::parallel_for(0, batch * out_ch_, 1, [&](std::size_t p0, std::size_t p1) {
+    std::vector<double> acc(ow);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t b = p / out_ch_;
+      const std::size_t o = p % out_ch_;
       for (std::size_t y = 0; y < oh; ++y) {
-        for (std::size_t x = 0; x < ow; ++x) {
-          double acc = bias_[o];
-          for (std::size_t i = 0; i < in_ch_; ++i) {
-            for (std::size_t r = 0; r < kernel_; ++r) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(y * stride_ + r) -
-                  static_cast<std::ptrdiff_t>(padding_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t c = 0; c < kernel_; ++c) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(x * stride_ + c) -
-                    static_cast<std::ptrdiff_t>(padding_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                acc += weight_[widx(o, i, r, c)] *
-                       input.at4(b, i, static_cast<std::size_t>(iy),
-                                 static_cast<std::size_t>(ix));
+        acc.assign(ow, bias_[o]);
+        for (std::size_t i = 0; i < in_ch_; ++i) {
+          for (std::size_t r = 0; r < kernel_; ++r) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(y * stride_ + r) -
+                static_cast<std::ptrdiff_t>(padding_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            const double* irow =
+                in + ((b * in_ch_ + i) * h + static_cast<std::size_t>(iy)) * w;
+            const double* wrow = weight_.data() + widx(o, i, r, 0);
+            for (std::size_t c = 0; c < kernel_; ++c) {
+              const double wv = wrow[c];
+              // Valid x range: 0 <= x*stride + c - padding < w.
+              std::size_t x_lo = 0;
+              if (padding_ > c)
+                x_lo = (padding_ - c + stride_ - 1) / stride_;
+              for (std::size_t x = x_lo; x < ow; ++x) {
+                const std::size_t ix = x * stride_ + c - padding_;
+                if (ix >= w) break;
+                acc[x] += wv * irow[ix];
               }
             }
           }
-          out.at4(b, o, y, x) = acc;
         }
+        for (std::size_t x = 0; x < ow; ++x) out.at4(b, o, y, x) = acc[x];
       }
     }
-  }
+  });
   return out;
 }
 
@@ -76,36 +93,77 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::size_t oh = grad_output.dim(2);
   const std::size_t ow = grad_output.dim(3);
 
+  // Two race-free passes that each preserve the serial accumulation order.
+  //
+  // Pass 1 -- grad_input, parallel over batch: sample b's input gradient
+  // receives contributions only from sample b, in the same (o, y, x, i, r, c)
+  // order the fused serial loop used.
   Tensor grad_input(input.shape());
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t o = 0; o < out_ch_; ++o) {
-      for (std::size_t y = 0; y < oh; ++y) {
-        for (std::size_t x = 0; x < ow; ++x) {
-          const double g = grad_output.at4(b, o, y, x);
-          if (g == 0.0) continue;
-          bias_grad_[o] += g;
-          for (std::size_t i = 0; i < in_ch_; ++i) {
-            for (std::size_t r = 0; r < kernel_; ++r) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(y * stride_ + r) -
-                  static_cast<std::ptrdiff_t>(padding_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t c = 0; c < kernel_; ++c) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(x * stride_ + c) -
+  rt::parallel_for(0, batch, 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::size_t o = 0; o < out_ch_; ++o) {
+        for (std::size_t y = 0; y < oh; ++y) {
+          for (std::size_t x = 0; x < ow; ++x) {
+            const double g = grad_output.at4(b, o, y, x);
+            if (g == 0.0) continue;
+            for (std::size_t i = 0; i < in_ch_; ++i) {
+              for (std::size_t r = 0; r < kernel_; ++r) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(y * stride_ + r) -
                     static_cast<std::ptrdiff_t>(padding_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                const auto uy = static_cast<std::size_t>(iy);
-                const auto ux = static_cast<std::size_t>(ix);
-                weight_grad_[widx(o, i, r, c)] += g * input.at4(b, i, uy, ux);
-                grad_input.at4(b, i, uy, ux) += g * weight_[widx(o, i, r, c)];
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+                for (std::size_t c = 0; c < kernel_; ++c) {
+                  const std::ptrdiff_t ix =
+                      static_cast<std::ptrdiff_t>(x * stride_ + c) -
+                      static_cast<std::ptrdiff_t>(padding_);
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                  grad_input.at4(b, i, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix)) +=
+                      g * weight_[widx(o, i, r, c)];
+                }
               }
             }
           }
         }
       }
     }
-  }
+  });
+
+  // Pass 2 -- weight/bias gradients, parallel over out-channel: channel o's
+  // gradient slice is owned by one task, accumulated over (b, y, x) in the
+  // same ascending order as the serial loop.
+  rt::parallel_for(0, out_ch_, 1, [&](std::size_t o0, std::size_t o1) {
+    for (std::size_t o = o0; o < o1; ++o) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t y = 0; y < oh; ++y) {
+          for (std::size_t x = 0; x < ow; ++x) {
+            const double g = grad_output.at4(b, o, y, x);
+            if (g == 0.0) continue;
+            bias_grad_[o] += g;
+            for (std::size_t i = 0; i < in_ch_; ++i) {
+              for (std::size_t r = 0; r < kernel_; ++r) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(y * stride_ + r) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+                const double* irow =
+                    input.data().data() +
+                    ((b * in_ch_ + i) * h + static_cast<std::size_t>(iy)) * w;
+                double* wgrow = weight_grad_.data() + widx(o, i, r, 0);
+                for (std::size_t c = 0; c < kernel_; ++c) {
+                  const std::ptrdiff_t ix =
+                      static_cast<std::ptrdiff_t>(x * stride_ + c) -
+                      static_cast<std::ptrdiff_t>(padding_);
+                  if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                  wgrow[c] += g * irow[static_cast<std::size_t>(ix)];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
   return grad_input;
 }
 

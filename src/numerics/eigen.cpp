@@ -133,7 +133,7 @@ double min_eigenvalue(const Matrix& a) {
 }
 
 double spectral_norm(const Matrix& a) {
-  const Matrix ata = a.transpose() * a;
+  const Matrix ata = multiply_at_b(a, a);
   return std::sqrt(std::max(0.0, max_eigenvalue(ata)));
 }
 

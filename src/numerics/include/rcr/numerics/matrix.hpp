@@ -92,6 +92,19 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Matrix product that skips zero entries of `a` row-wise.  Worth using when
+/// `a` is structurally sparse (masks, selection matrices); on dense data the
+/// per-entry branch costs more than it saves -- use operator* there.
+Matrix multiply_sparse(const Matrix& a, const Matrix& b);
+
+/// A^T B without materializing the transpose (Gram/normal-equation paths).
+/// Bit-identical to `a.transpose() * b`.
+Matrix multiply_at_b(const Matrix& a, const Matrix& b);
+
+/// A B^T without materializing the transpose (covariance/SDP paths).
+/// Bit-identical to `a * b.transpose()`.
+Matrix multiply_abt(const Matrix& a, const Matrix& b);
+
 /// y = A x.  Throws std::invalid_argument on dimension mismatch.
 Vec matvec(const Matrix& a, const Vec& x);
 

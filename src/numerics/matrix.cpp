@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rcr/rt/parallel.hpp"
+
 namespace rcr::num {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -136,17 +138,118 @@ Matrix& Matrix::operator*=(double s) {
   return *this;
 }
 
+namespace {
+
+// Cache-blocking parameters.  The row grain doubles as the parallel_for
+// chunk size, so it also fixes the unit of work handed to the pool; the
+// k-tile keeps a (kKBlock x cols) slab of B hot in L1/L2 while it is reused
+// across every row of the current task.  Accumulation over k stays in
+// ascending order for each output element, so the tiled kernel matches the
+// naive i-k-j loop bit-for-bit.
+constexpr std::size_t kRowGrain = 16;
+constexpr std::size_t kKBlock = 64;
+
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out, std::size_t i0,
+                 std::size_t i1) {
+  const std::size_t inner = a.cols();
+  const std::size_t nj = b.cols();
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* po = out.data().data();
+  for (std::size_t k0 = 0; k0 < inner; k0 += kKBlock) {
+    const std::size_t k1 = std::min(inner, k0 + kKBlock);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = pa + i * inner;
+      double* orow = po + i * nj;
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aik = arow[k];
+        const double* brow = pb + k * nj;
+        for (std::size_t j = 0; j < nj; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Matrix operator*(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("Matrix*: inner dimension mismatch");
   Matrix out(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+  rt::parallel_for(0, a.rows(), kRowGrain,
+                   [&](std::size_t i0, std::size_t i1) {
+                     matmul_rows(a, b, out, i0, i1);
+                   });
+  return out;
+}
+
+Matrix multiply_sparse(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("multiply_sparse: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  const std::size_t inner = a.cols();
+  const std::size_t nj = b.cols();
+  rt::parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    const double* pb = b.data().data();
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* orow = out.data().data() + i * nj;
+      for (std::size_t k = 0; k < inner; ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        const double* brow = pb + k * nj;
+        for (std::size_t j = 0; j < nj; ++j) orow[j] += aik * brow[j];
+      }
     }
-  }
+  });
+  return out;
+}
+
+Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("multiply_at_b: dimension mismatch");
+  Matrix out(a.cols(), b.cols());
+  const std::size_t inner = a.rows();
+  const std::size_t na = a.cols();
+  const std::size_t nj = b.cols();
+  rt::parallel_for(0, na, kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    const double* pa = a.data().data();
+    const double* pb = b.data().data();
+    double* po = out.data().data();
+    for (std::size_t k0 = 0; k0 < inner; k0 += kKBlock) {
+      const std::size_t k1 = std::min(inner, k0 + kKBlock);
+      for (std::size_t i = i0; i < i1; ++i) {
+        double* orow = po + i * nj;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const double aki = pa[k * na + i];
+          const double* brow = pb + k * nj;
+          for (std::size_t j = 0; j < nj; ++j) orow[j] += aki * brow[j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Matrix multiply_abt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols())
+    throw std::invalid_argument("multiply_abt: dimension mismatch");
+  Matrix out(a.rows(), b.rows());
+  const std::size_t inner = a.cols();
+  const std::size_t nj = b.rows();
+  rt::parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i0, std::size_t i1) {
+    const double* pa = a.data().data();
+    const double* pb = b.data().data();
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = pa + i * inner;
+      double* orow = out.data().data() + i * nj;
+      for (std::size_t j = 0; j < nj; ++j) {
+        const double* brow = pb + j * inner;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < inner; ++k) acc += arow[k] * brow[k];
+        orow[j] = acc;
+      }
+    }
+  });
   return out;
 }
 
@@ -154,8 +257,14 @@ Vec matvec(const Matrix& a, const Vec& x) {
   if (a.cols() != x.size())
     throw std::invalid_argument("matvec: dimension mismatch");
   Vec y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) y[i] += a(i, j) * x[j];
+  rt::parallel_for(0, a.rows(), 128, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* arow = a.data().data() + i * a.cols();
+      double acc = 0.0;
+      for (std::size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
+      y[i] = acc;
+    }
+  });
   return y;
 }
 

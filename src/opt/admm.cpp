@@ -78,7 +78,7 @@ AdmmResult admm_lasso(const Matrix& a, const Vec& b, double lambda,
     throw std::invalid_argument("admm_lasso: negative lambda");
 
   // x-update solves (A^T A + rho I) x = A^T b + rho (z - u).
-  Matrix m = a.transpose() * a;
+  Matrix m = num::multiply_at_b(a, a);
   for (std::size_t i = 0; i < n; ++i) m(i, i) += options.rho;
   const num::LuDecomposition factor = num::lu_decompose(m);
   const Vec atb = num::matvec_transposed(a, b);

@@ -57,7 +57,7 @@ namespace {
 Vec restore_equalities(const Qcqp& prob, Vec x) {
   if (prob.a.rows() == 0) return x;
   const Vec resid = num::sub(prob.b, num::matvec(prob.a, x));
-  const Matrix aat = prob.a * prob.a.transpose();
+  const Matrix aat = num::multiply_abt(prob.a, prob.a);
   const Vec w = num::solve(aat, resid);
   const Vec corr = num::matvec_transposed(prob.a, w);
   return num::add(x, corr);

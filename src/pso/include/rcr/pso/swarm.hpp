@@ -60,6 +60,13 @@ struct PsoResult {
 /// Minimize `objective` within its box bounds.  The inertia schedule is
 /// consulted per particle per iteration (pass nullptr for the classic 0.7
 /// constant).
+///
+/// Updates are synchronous: all particles move against the iteration-start
+/// global best, and objective evaluations run in parallel on the rcr::rt
+/// pool -- objective.value must therefore be safe to call concurrently
+/// (pure functions of the position; every objective in this repo is).
+/// Each particle draws from its own per-iteration RNG stream, so results
+/// are deterministic and independent of the thread count.
 PsoResult minimize(const Objective& objective, const PsoConfig& config,
                    InertiaSchedule* inertia = nullptr);
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+
+#include "rcr/rt/parallel.hpp"
 
 namespace rcr::pso {
 
@@ -13,6 +16,22 @@ double swarm_diversity(const std::vector<Vec>& positions, const Vec& centroid) {
   double acc = 0.0;
   for (const auto& p : positions) acc += num::distance(p, centroid);
   return positions.empty() ? 0.0 : acc / static_cast<double>(positions.size());
+}
+
+// SplitMix64-style mix of (seed, iteration, particle) into an Rng seed.
+// Each particle draws from its own stream each iteration, so the update
+// phase runs on any thread without perturbing another particle's draws and
+// the trajectory is identical for every pool size.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t iteration,
+                          std::uint64_t particle) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (iteration + 1) +
+                    0xbf58476d1ce4e5b9ull * (particle + 1);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
 }
 
 }  // namespace
@@ -59,6 +78,9 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
   double gbest_val = std::numeric_limits<double>::infinity();
 
   PsoResult result;
+  // Draw every particle's initial state from the master stream first, then
+  // evaluate the swarm in parallel: objective.value must be safe to call
+  // concurrently (every objective in this repo captures only const state).
   for (std::size_t i = 0; i < swarm; ++i) {
     x[i].resize(n);
     v[i].resize(n);
@@ -68,20 +90,35 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
     }
     quantize(x[i]);
     pbest[i] = x[i];
-    pbest_val[i] = objective.value(x[i]);
-    ++result.evaluations;
+  }
+  rt::parallel_for(0, swarm, 1, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i)
+      pbest_val[i] = objective.value(pbest[i]);
+  });
+  result.evaluations += swarm;
+  for (std::size_t i = 0; i < swarm; ++i) {
     if (pbest_val[i] < gbest_val) {
       gbest_val = pbest_val[i];
       gbest = x[i];
     }
   }
 
+  // Synchronous parallel iterations: every particle moves against the
+  // iteration-start global best, the expensive objective evaluations fan
+  // out across the pool, and pbest/gbest are folded in ascending particle
+  // order afterwards -- the trajectory is bit-identical for any RCR_THREADS.
+  Vec f(swarm, 0.0);
+  Vec weights(swarm, 0.0);
+  std::vector<std::uint8_t> hit_patience(swarm, 0);
+  std::vector<std::uint8_t> dispersed(swarm, 0);
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
     // Centroid-based diversity feeds the adaptive schedules.
     Vec centroid(n, 0.0);
     for (const auto& p : x) num::axpy(1.0 / static_cast<double>(swarm), p, centroid);
     const double diversity = swarm_diversity(x, centroid);
 
+    // Inertia schedules may be stateful (chaotic map), so weights are
+    // computed serially in particle order before the parallel phase.
     for (std::size_t i = 0; i < swarm; ++i) {
       InertiaContext ctx;
       ctx.iteration = iter;
@@ -92,61 +129,75 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
       ctx.dist_to_gbest = num::distance(x[i], gbest);
       ctx.swarm_diversity = diversity;
       ctx.stagnant_iters = stagnant[i];
-      const double w = inertia->weight(ctx);
+      weights[i] = inertia->weight(ctx);
+    }
 
-      // Eq. 2: v <- iota*v + a1*[b1 .* (I - x)] + a2*[b2 .* (G - x)].
-      for (std::size_t j = 0; j < n; ++j) {
-        const double b1 = rng.uniform();
-        const double b2 = rng.uniform();
-        v[i][j] = w * v[i][j] + config.alpha1 * b1 * (pbest[i][j] - x[i][j]) +
-                  config.alpha2 * b2 * (gbest[j] - x[i][j]);
-        v[i][j] = std::clamp(v[i][j], -vmax[j], vmax[j]);
-      }
-      // Eq. 1: x <- x + v, then the MINLP quantization (the step that
-      // creates the "artificial paradigm" of premature stagnation).
-      for (std::size_t j = 0; j < n; ++j) {
-        x[i][j] = std::clamp(x[i][j] + v[i][j], objective.lower[j],
-                             objective.upper[j]);
-      }
-      quantize(x[i]);
+    rt::parallel_for(0, swarm, 1, [&](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        num::Rng stream(stream_seed(config.seed, iter, i));
+        const double w = weights[i];
+        hit_patience[i] = 0;
+        dispersed[i] = 0;
 
-      // Stagnation bookkeeping: in integer mode a sub-half-unit velocity
-      // cannot move the particle, so count that as stalled too.
-      const double vn = num::norm2(v[i]);
-      const bool all_integer = config.integer_mask.empty()
-                                   ? config.rounding == Rounding::kInteger
-                                   : false;
-      const bool stalled =
-          vn < config.stagnation_velocity_eps ||
-          (all_integer && num::norm_inf(v[i]) < 0.5);
-      if (stalled) {
-        if (++stagnant[i] == config.stagnation_patience)
-          ++result.stagnation_events;
-      } else {
-        stagnant[i] = 0;
-      }
-
-      if (config.disperse_on_stagnation &&
-          stagnant[i] >= config.stagnation_patience) {
-        // Dispersion [15]: relaunch the particle from a random position with
-        // a fresh velocity; its memory (pbest) is kept.
+        // Eq. 2: v <- iota*v + a1*[b1 .* (I - x)] + a2*[b2 .* (G - x)].
         for (std::size_t j = 0; j < n; ++j) {
-          x[i][j] = rng.uniform(objective.lower[j], objective.upper[j]);
-          v[i][j] = rng.uniform(-vmax[j], vmax[j]);
+          const double b1 = stream.uniform();
+          const double b2 = stream.uniform();
+          v[i][j] = w * v[i][j] + config.alpha1 * b1 * (pbest[i][j] - x[i][j]) +
+                    config.alpha2 * b2 * (gbest[j] - x[i][j]);
+          v[i][j] = std::clamp(v[i][j], -vmax[j], vmax[j]);
+        }
+        // Eq. 1: x <- x + v, then the MINLP quantization (the step that
+        // creates the "artificial paradigm" of premature stagnation).
+        for (std::size_t j = 0; j < n; ++j) {
+          x[i][j] = std::clamp(x[i][j] + v[i][j], objective.lower[j],
+                               objective.upper[j]);
         }
         quantize(x[i]);
-        stagnant[i] = 0;
-        ++result.dispersions;
-      }
 
-      const double f = objective.value(x[i]);
+        // Stagnation bookkeeping: in integer mode a sub-half-unit velocity
+        // cannot move the particle, so count that as stalled too.
+        const double vn = num::norm2(v[i]);
+        const bool all_integer = config.integer_mask.empty()
+                                     ? config.rounding == Rounding::kInteger
+                                     : false;
+        const bool stalled =
+            vn < config.stagnation_velocity_eps ||
+            (all_integer && num::norm_inf(v[i]) < 0.5);
+        if (stalled) {
+          if (++stagnant[i] == config.stagnation_patience)
+            hit_patience[i] = 1;
+        } else {
+          stagnant[i] = 0;
+        }
+
+        if (config.disperse_on_stagnation &&
+            stagnant[i] >= config.stagnation_patience) {
+          // Dispersion [15]: relaunch the particle from a random position
+          // with a fresh velocity; its memory (pbest) is kept.
+          for (std::size_t j = 0; j < n; ++j) {
+            x[i][j] = stream.uniform(objective.lower[j], objective.upper[j]);
+            v[i][j] = stream.uniform(-vmax[j], vmax[j]);
+          }
+          quantize(x[i]);
+          stagnant[i] = 0;
+          dispersed[i] = 1;
+        }
+
+        f[i] = objective.value(x[i]);
+      }
+    });
+
+    for (std::size_t i = 0; i < swarm; ++i) {
       ++result.evaluations;
-      if (f < pbest_val[i]) {
-        pbest_val[i] = f;
+      result.stagnation_events += hit_patience[i];
+      result.dispersions += dispersed[i];
+      if (f[i] < pbest_val[i]) {
+        pbest_val[i] = f[i];
         pbest[i] = x[i];
       }
-      if (f < gbest_val) {
-        gbest_val = f;
+      if (f[i] < gbest_val) {
+        gbest_val = f[i];
         gbest = x[i];
       }
     }

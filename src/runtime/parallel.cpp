@@ -1,0 +1,99 @@
+#include "rcr/rt/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+namespace rcr::rt {
+
+namespace {
+thread_local int tl_force_serial = 0;
+}  // namespace
+
+ForceSerialGuard::ForceSerialGuard() { ++tl_force_serial; }
+ForceSerialGuard::~ForceSerialGuard() { --tl_force_serial; }
+
+bool force_serial_active() { return tl_force_serial > 0; }
+
+namespace detail {
+
+bool must_run_serial(std::size_t n, std::size_t grain) {
+  return n <= grain || force_serial_active() ||
+         ThreadPool::on_worker_thread() || global_pool().size() == 0;
+}
+
+namespace {
+
+// Shared state for one parallel_for call: self-scheduling chunk counter,
+// completion latch, first-exception slot.
+struct ForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        const std::size_t s = begin + c * grain;
+        const std::size_t e = std::min(s + grain, end);
+        try {
+          (*body)(s, e);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error) error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void run_chunked(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->chunks = (end - begin + grain - 1) / grain;
+  state->body = &body;
+
+  ThreadPool& pool = global_pool();
+  const std::size_t helpers = std::min(pool.size(), state->chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i)
+    pool.submit([state] { state->run_chunks(); });
+
+  state->run_chunks();
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == state->chunks;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace detail
+
+}  // namespace rcr::rt

@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 namespace rcr::sig {
 
@@ -11,9 +15,50 @@ namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
+// Per-size twiddle tables for the radix-2 transform.  STFT re-runs the same
+// transform size hundreds of times per spectrogram; recomputing the stage
+// twiddles with trig calls on every transform dominated small-FFT cost.
+// The tables are generated with the *same* w *= wlen recurrence the inline
+// loop used, so cached transforms are bit-identical to the uncached ones.
+// Inverse twiddles are exact conjugates of the forward ones (conjugation
+// commutes with IEEE complex multiplication), so one generation serves both
+// directions.
+struct Radix2Tables {
+  // forward[s][k] = wlen^k for stage length len = 2^(s+1), k < len/2.
+  std::vector<CVec> forward;
+  std::vector<CVec> inverse;
+};
+
+std::shared_ptr<const Radix2Tables> radix2_tables(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::shared_ptr<const Radix2Tables>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+
+  auto tables = std::make_shared<Radix2Tables>();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -kTwoPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    CVec fwd(len / 2);
+    CVec inv(len / 2);
+    std::complex<double> w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      fwd[k] = w;
+      inv[k] = std::conj(w);
+      w *= wlen;
+    }
+    tables->forward.push_back(std::move(fwd));
+    tables->inverse.push_back(std::move(inv));
+  }
+  cache.emplace(n, tables);
+  return tables;
+}
+
 // In-place iterative radix-2 Cooley-Tukey; requires power-of-two size.
 void fft_radix2(CVec& a, bool inverse) {
   const std::size_t n = a.size();
+  const std::shared_ptr<const Radix2Tables> tables = radix2_tables(n);
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
@@ -21,47 +66,74 @@ void fft_radix2(CVec& a, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
   }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
+    const CVec& tw =
+        inverse ? tables->inverse[stage] : tables->forward[stage];
     for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
         const std::complex<double> u = a[i + k];
-        const std::complex<double> v = a[i + k + len / 2] * w;
+        const std::complex<double> v = a[i + k + len / 2] * tw[k];
         a[i + k] = u + v;
         a[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }
+}
+
+// Cached Bluestein state for one (size, direction): the chirp sequence and
+// the FFT of the chirp kernel `b`, which is input-independent and was
+// previously recomputed (two trig loops plus a full FFT) on every call.
+struct BluesteinTables {
+  std::size_t m = 0;  ///< Power-of-two convolution length.
+  CVec chirp;         ///< chirp[k], length n.
+  CVec fft_b;         ///< FFT of the padded conj-chirp kernel, length m.
+};
+
+std::shared_ptr<const BluesteinTables> bluestein_tables(std::size_t n,
+                                                        bool inverse) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, bool>,
+                  std::shared_ptr<const BluesteinTables>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find({n, inverse});
+  if (it != cache.end()) return it->second;
+
+  auto tables = std::make_shared<BluesteinTables>();
+  const double sign = inverse ? 1.0 : -1.0;
+  tables->chirp.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Reduce k^2 mod 2n before the trig call to keep the argument small.
+    const auto k2 = static_cast<double>(
+        (static_cast<unsigned long long>(k) * k) % (2ull * n));
+    const double ang = sign * std::numbers::pi * k2 / static_cast<double>(n);
+    tables->chirp[k] = {std::cos(ang), std::sin(ang)};
+  }
+  tables->m = next_power_of_two(2 * n - 1);
+  CVec b(tables->m, {0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    b[k] = std::conj(tables->chirp[k]);
+    if (k != 0) b[tables->m - k] = std::conj(tables->chirp[k]);
+  }
+  fft_radix2(b, false);
+  tables->fft_b = std::move(b);
+  cache.emplace(std::make_pair(n, inverse), tables);
+  return tables;
 }
 
 // Bluestein chirp-z transform: arbitrary-N DFT via a power-of-two
 // convolution.  Handles the non-power-of-two frame sizes STFT produces.
 CVec fft_bluestein(const CVec& x, bool inverse) {
   const std::size_t n = x.size();
-  const double sign = inverse ? 1.0 : -1.0;
-  CVec chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // Reduce k^2 mod 2n before the trig call to keep the argument small.
-    const auto k2 = static_cast<double>((static_cast<unsigned long long>(k) * k) %
-                                        (2ull * n));
-    const double ang = sign * std::numbers::pi * k2 / static_cast<double>(n);
-    chirp[k] = {std::cos(ang), std::sin(ang)};
-  }
+  const std::shared_ptr<const BluesteinTables> t = bluestein_tables(n, inverse);
+  const CVec& chirp = t->chirp;
+  const std::size_t m = t->m;
 
-  const std::size_t m = next_power_of_two(2 * n - 1);
   CVec a(m, {0.0, 0.0});
-  CVec b(m, {0.0, 0.0});
   for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
-  for (std::size_t k = 0; k < n; ++k) {
-    b[k] = std::conj(chirp[k]);
-    if (k != 0) b[m - k] = std::conj(chirp[k]);
-  }
   fft_radix2(a, false);
-  fft_radix2(b, false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  for (std::size_t k = 0; k < m; ++k) a[k] *= t->fft_b[k];
   fft_radix2(a, true);
   for (auto& v : a) v /= static_cast<double>(m);
 

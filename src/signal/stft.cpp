@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "rcr/rt/parallel.hpp"
+
 namespace rcr::sig {
 
 namespace {
@@ -64,21 +66,26 @@ TfGrid stft(const Vec& signal, const StftConfig& config) {
           ? -static_cast<std::ptrdiff_t>(lg / 2)
           : 0;
 
+  // Frames are independent: each task windows, transforms, and writes its
+  // own columns of the grid.  The FFT twiddle caches are shared and
+  // mutex-guarded, so concurrent frames reuse one table per size.
   TfGrid out(m, frames);
-  CVec frame(m);
-  for (std::size_t n = 0; n < frames; ++n) {
-    const auto start = static_cast<std::ptrdiff_t>(n * config.hop) + offset;
-    for (std::size_t l = 0; l < m; ++l) frame[l] = {0.0, 0.0};
-    for (std::size_t l = 0; l < lg; ++l) {
-      const std::size_t src =
-          config.padding == FramePadding::kCircular
-              ? wrap(start + static_cast<std::ptrdiff_t>(l), signal.size())
-              : static_cast<std::size_t>(start) + l;
-      frame[l] = {signal[src] * config.window[l], 0.0};
+  rt::parallel_for(0, frames, 1, [&](std::size_t n0, std::size_t n1) {
+    CVec frame(m);
+    for (std::size_t n = n0; n < n1; ++n) {
+      const auto start = static_cast<std::ptrdiff_t>(n * config.hop) + offset;
+      for (std::size_t l = 0; l < m; ++l) frame[l] = {0.0, 0.0};
+      for (std::size_t l = 0; l < lg; ++l) {
+        const std::size_t src =
+            config.padding == FramePadding::kCircular
+                ? wrap(start + static_cast<std::ptrdiff_t>(l), signal.size())
+                : static_cast<std::size_t>(start) + l;
+        frame[l] = {signal[src] * config.window[l], 0.0};
+      }
+      const CVec spectrum = fft(frame);
+      for (std::size_t bin = 0; bin < m; ++bin) out(bin, n) = spectrum[bin];
     }
-    const CVec spectrum = fft(frame);
-    for (std::size_t bin = 0; bin < m; ++bin) out(bin, n) = spectrum[bin];
-  }
+  });
 
   if (config.convention == StftConvention::kTimeInvariant) {
     const TfGrid p = phase_factor_matrix(m, frames, lg, m);

@@ -4,7 +4,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rcr/rt/parallel.hpp"
+
 namespace rcr::verify {
+
+namespace {
+// Rows (output neurons) per parallel task in the bound-propagation loops.
+// Small nets (every unit test) fall below this grain and run inline; wide
+// production layers fan out across the pool.
+constexpr std::size_t kNeuronGrain = 32;
+}  // namespace
 
 Vec Box::center() const {
   Vec c(lower.size());
@@ -110,9 +119,12 @@ LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input) {
     Vec mu_next = num::matvec(layer.w, mu);
     for (std::size_t i = 0; i < mu_next.size(); ++i) mu_next[i] += layer.b[i];
     Vec r_next(layer.out_dim(), 0.0);
-    for (std::size_t i = 0; i < layer.w.rows(); ++i)
-      for (std::size_t j = 0; j < layer.w.cols(); ++j)
-        r_next[i] += std::abs(layer.w(i, j)) * r[j];
+    rt::parallel_for(0, layer.w.rows(), kNeuronGrain,
+                     [&](std::size_t i0, std::size_t i1) {
+                       for (std::size_t i = i0; i < i1; ++i)
+                         for (std::size_t j = 0; j < layer.w.cols(); ++j)
+                           r_next[i] += std::abs(layer.w(i, j)) * r[j];
+                     });
 
     Box pre;
     pre.lower = num::sub(mu_next, r_next);
@@ -200,36 +212,47 @@ struct CrownEngine {
     Vec cl = net.layers[k].b;
 
     for (std::size_t j = k; j-- > 0;) {
-      // Substitute a_j = ReLU(z_j) using the per-neuron relaxations.
+      // Substitute a_j = ReLU(z_j) using the per-neuron relaxations.  The
+      // relaxation coefficients depend only on the column (neuron of layer
+      // j), so they are computed once up front; the substitution itself is
+      // parallel over output rows -- each row owns its lu_z/ll_z slices and
+      // its cu/cl entry, and accumulates over columns in ascending order
+      // exactly like the serial loop.
       const std::size_t width = net.layers[j].out_dim();
+      std::vector<ReluRelax> rx(width);
+      for (std::size_t col = 0; col < width; ++col) {
+        const double l = pre[j].lower[col];
+        const double u = pre[j].upper[col];
+        rx[col] = relax_neuron(l, u);
+        if (l < 0.0 && u > 0.0)
+          rx[col].low_slope = lower_slope_of(j, col, rx[col].low_slope);
+      }
       Matrix lu_z(n_out, width);
       Matrix ll_z(n_out, width);
-      for (std::size_t col = 0; col < width; ++col) {
-        double l = pre[j].lower[col];
-        double u = pre[j].upper[col];
-        ReluRelax rx = relax_neuron(l, u);
-        if (l < 0.0 && u > 0.0)
-          rx.low_slope = lower_slope_of(j, col, rx.low_slope);
-        for (std::size_t row = 0; row < n_out; ++row) {
-          // Upper form: positive coefficient picks the over-estimator,
-          // negative picks the under-estimator.
-          const double cu_coeff = lu(row, col);
-          if (cu_coeff >= 0.0) {
-            lu_z(row, col) = cu_coeff * rx.up_slope;
-            cu[row] += cu_coeff * rx.up_intercept;
-          } else {
-            lu_z(row, col) = cu_coeff * rx.low_slope;
-          }
-          // Lower form: mirrored.
-          const double cl_coeff = ll(row, col);
-          if (cl_coeff >= 0.0) {
-            ll_z(row, col) = cl_coeff * rx.low_slope;
-          } else {
-            ll_z(row, col) = cl_coeff * rx.up_slope;
-            cl[row] += cl_coeff * rx.up_intercept;
+      rt::parallel_for(0, n_out, kNeuronGrain, [&](std::size_t r0,
+                                                   std::size_t r1) {
+        for (std::size_t row = r0; row < r1; ++row) {
+          for (std::size_t col = 0; col < width; ++col) {
+            // Upper form: positive coefficient picks the over-estimator,
+            // negative picks the under-estimator.
+            const double cu_coeff = lu(row, col);
+            if (cu_coeff >= 0.0) {
+              lu_z(row, col) = cu_coeff * rx[col].up_slope;
+              cu[row] += cu_coeff * rx[col].up_intercept;
+            } else {
+              lu_z(row, col) = cu_coeff * rx[col].low_slope;
+            }
+            // Lower form: mirrored.
+            const double cl_coeff = ll(row, col);
+            if (cl_coeff >= 0.0) {
+              ll_z(row, col) = cl_coeff * rx[col].low_slope;
+            } else {
+              ll_z(row, col) = cl_coeff * rx[col].up_slope;
+              cl[row] += cl_coeff * rx[col].up_intercept;
+            }
           }
         }
-      }
+      });
       // Through the affine layer j: z_j = W_j a_{j-1} + b_j.
       cu = num::add(cu, num::matvec(lu_z, net.layers[j].b));
       cl = num::add(cl, num::matvec(ll_z, net.layers[j].b));
@@ -241,18 +264,21 @@ struct CrownEngine {
     Box out;
     out.lower.assign(n_out, 0.0);
     out.upper.assign(n_out, 0.0);
-    for (std::size_t row = 0; row < n_out; ++row) {
-      double hi = cu[row];
-      double lo = cl[row];
-      for (std::size_t col = 0; col < input.dim(); ++col) {
-        const double wu = lu(row, col);
-        hi += wu >= 0.0 ? wu * input.upper[col] : wu * input.lower[col];
-        const double wl = ll(row, col);
-        lo += wl >= 0.0 ? wl * input.lower[col] : wl * input.upper[col];
+    rt::parallel_for(0, n_out, kNeuronGrain, [&](std::size_t r0,
+                                                 std::size_t r1) {
+      for (std::size_t row = r0; row < r1; ++row) {
+        double hi = cu[row];
+        double lo = cl[row];
+        for (std::size_t col = 0; col < input.dim(); ++col) {
+          const double wu = lu(row, col);
+          hi += wu >= 0.0 ? wu * input.upper[col] : wu * input.lower[col];
+          const double wl = ll(row, col);
+          lo += wl >= 0.0 ? wl * input.lower[col] : wl * input.upper[col];
+        }
+        out.lower[row] = lo;
+        out.upper[row] = hi;
       }
-      out.lower[row] = lo;
-      out.upper[row] = hi;
-    }
+    });
     return out;
   }
 

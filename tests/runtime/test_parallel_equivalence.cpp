@@ -1,0 +1,225 @@
+// Bit-exact equivalence of the parallel kernels against the forced-serial
+// reference path, across pool sizes 1, 2, and 8 (the RCR_THREADS values the
+// acceptance criteria name).  Every comparison is EXPECT_EQ on raw doubles:
+// the deterministic static chunking must make the thread count invisible.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rcr/nn/conv.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/pso/objective.hpp"
+#include "rcr/pso/swarm.hpp"
+#include "rcr/rt/parallel.hpp"
+#include "rcr/rt/thread_pool.hpp"
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/window.hpp"
+#include "rcr/verify/bounds.hpp"
+#include "rcr/verify/relu_network.hpp"
+
+namespace {
+
+using rcr::Vec;
+using rcr::num::Matrix;
+using rcr::num::Rng;
+
+const std::vector<std::size_t> kThreadCounts = {1, 2, 8};
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+TEST(ParallelEquivalence, MatrixMultiply) {
+  Rng rng(7);
+  const Matrix a = random_matrix(93, 71, rng);
+  const Matrix b = random_matrix(71, 58, rng);
+
+  Matrix serial;
+  {
+    rcr::rt::ForceSerialGuard guard;
+    serial = a * b;
+  }
+  for (const std::size_t t : kThreadCounts) {
+    rcr::rt::set_global_threads(t);
+    const Matrix parallel = a * b;
+    ASSERT_EQ(parallel.data().size(), serial.data().size());
+    for (std::size_t i = 0; i < serial.data().size(); ++i)
+      EXPECT_EQ(parallel.data()[i], serial.data()[i]) << "threads=" << t;
+  }
+}
+
+TEST(ParallelEquivalence, TransposedMultiplyHelpers) {
+  Rng rng(11);
+  const Matrix a = random_matrix(64, 37, rng);
+  const Matrix b = random_matrix(64, 41, rng);
+
+  rcr::rt::set_global_threads(8);
+  const Matrix atb = rcr::num::multiply_at_b(a, b);
+  const Matrix atb_ref = a.transpose() * b;
+  for (std::size_t i = 0; i < atb_ref.data().size(); ++i)
+    EXPECT_EQ(atb.data()[i], atb_ref.data()[i]);
+
+  const Matrix c = random_matrix(29, 37, rng);
+  const Matrix abt = rcr::num::multiply_abt(a, c);
+  const Matrix abt_ref = a * c.transpose();
+  ASSERT_EQ(abt.rows(), abt_ref.rows());
+  ASSERT_EQ(abt.cols(), abt_ref.cols());
+  // Row-dot accumulation matches the k-ascending order of operator*.
+  for (std::size_t i = 0; i < abt_ref.data().size(); ++i)
+    EXPECT_EQ(abt.data()[i], abt_ref.data()[i]);
+}
+
+TEST(ParallelEquivalence, SparseMultiplyMatchesDense) {
+  Rng rng(13);
+  Matrix a = random_matrix(40, 40, rng);
+  // Zero out most entries so the sparse path actually skips work.
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (rng.uniform() < 0.8) a(i, j) = 0.0;
+  const Matrix b = random_matrix(40, 33, rng);
+
+  rcr::rt::set_global_threads(8);
+  const Matrix dense = a * b;
+  const Matrix sparse = rcr::num::multiply_sparse(a, b);
+  for (std::size_t i = 0; i < dense.data().size(); ++i)
+    EXPECT_EQ(sparse.data()[i], dense.data()[i]);
+}
+
+TEST(ParallelEquivalence, ConvForwardBackward) {
+  Rng rng(3);
+  rcr::nn::Conv2d layer(3, 8, 3, 1, 1, rng);
+  rcr::nn::Tensor input({4, 3, 12, 12});
+  for (auto& v : input.data()) v = rng.normal();
+  rcr::nn::Tensor upstream({4, 8, 12, 12});
+  for (auto& v : upstream.data()) v = rng.normal();
+
+  rcr::nn::Tensor fwd_serial;
+  rcr::nn::Tensor bwd_serial;
+  Vec wgrad_serial;
+  Vec bgrad_serial;
+  {
+    rcr::rt::ForceSerialGuard guard;
+    fwd_serial = layer.forward(input, true);
+    bwd_serial = layer.backward(upstream);
+    wgrad_serial = *layer.params()[0].grad;
+    bgrad_serial = *layer.params()[1].grad;
+  }
+
+  for (const std::size_t t : kThreadCounts) {
+    rcr::rt::set_global_threads(t);
+    rcr::num::Rng rng2(3);
+    rcr::nn::Conv2d fresh(3, 8, 3, 1, 1, rng2);  // same He init draws
+    const rcr::nn::Tensor fwd = fresh.forward(input, true);
+    const rcr::nn::Tensor bwd = fresh.backward(upstream);
+    for (std::size_t i = 0; i < fwd_serial.size(); ++i)
+      EXPECT_EQ(fwd[i], fwd_serial[i]) << "threads=" << t;
+    for (std::size_t i = 0; i < bwd_serial.size(); ++i)
+      EXPECT_EQ(bwd[i], bwd_serial[i]) << "threads=" << t;
+    const Vec& wgrad = *fresh.params()[0].grad;
+    const Vec& bgrad = *fresh.params()[1].grad;
+    for (std::size_t i = 0; i < wgrad_serial.size(); ++i)
+      EXPECT_EQ(wgrad[i], wgrad_serial[i]) << "threads=" << t;
+    for (std::size_t i = 0; i < bgrad_serial.size(); ++i)
+      EXPECT_EQ(bgrad[i], bgrad_serial[i]) << "threads=" << t;
+  }
+}
+
+TEST(ParallelEquivalence, Stft) {
+  Rng rng(21);
+  const Vec signal = rng.normal_vec(2048);
+  rcr::sig::StftConfig config;
+  config.window = rcr::sig::make_window(rcr::sig::WindowKind::kHann, 128);
+  config.hop = 32;
+  config.fft_size = 128;
+
+  rcr::sig::TfGrid serial;
+  {
+    rcr::rt::ForceSerialGuard guard;
+    serial = rcr::sig::stft(signal, config);
+  }
+  for (const std::size_t t : kThreadCounts) {
+    rcr::rt::set_global_threads(t);
+    const rcr::sig::TfGrid parallel = rcr::sig::stft(signal, config);
+    ASSERT_EQ(parallel.data().size(), serial.data().size());
+    EXPECT_EQ(rcr::sig::TfGrid::max_abs_diff(parallel, serial), 0.0)
+        << "threads=" << t;
+  }
+}
+
+rcr::verify::ReluNetwork random_network(Rng& rng) {
+  rcr::verify::ReluNetwork net;
+  const std::vector<std::size_t> dims = {6, 48, 48, 5};
+  for (std::size_t k = 0; k + 1 < dims.size(); ++k) {
+    rcr::verify::AffineLayer layer;
+    layer.w = Matrix(dims[k + 1], dims[k]);
+    layer.b = Vec(dims[k + 1], 0.0);
+    for (std::size_t i = 0; i < dims[k + 1]; ++i) {
+      layer.b[i] = 0.1 * rng.normal();
+      for (std::size_t j = 0; j < dims[k]; ++j)
+        layer.w(i, j) = rng.normal() / 4.0;
+    }
+    net.layers.push_back(std::move(layer));
+  }
+  return net;
+}
+
+TEST(ParallelEquivalence, VerifierBounds) {
+  Rng rng(5);
+  const rcr::verify::ReluNetwork net = random_network(rng);
+  const rcr::verify::Box input = rcr::verify::Box::around(Vec(6, 0.25), 0.1);
+
+  rcr::verify::LayerBounds ibp_serial;
+  rcr::verify::LayerBounds crown_serial;
+  {
+    rcr::rt::ForceSerialGuard guard;
+    ibp_serial = rcr::verify::ibp_bounds(net, input);
+    crown_serial = rcr::verify::crown_bounds(net, input);
+  }
+  for (const std::size_t t : kThreadCounts) {
+    rcr::rt::set_global_threads(t);
+    const rcr::verify::LayerBounds ibp = rcr::verify::ibp_bounds(net, input);
+    const rcr::verify::LayerBounds crown =
+        rcr::verify::crown_bounds(net, input);
+    for (std::size_t k = 0; k < net.layers.size(); ++k) {
+      for (std::size_t i = 0; i < ibp.pre_activation[k].dim(); ++i) {
+        EXPECT_EQ(ibp.pre_activation[k].lower[i],
+                  ibp_serial.pre_activation[k].lower[i]);
+        EXPECT_EQ(ibp.pre_activation[k].upper[i],
+                  ibp_serial.pre_activation[k].upper[i]);
+        EXPECT_EQ(crown.pre_activation[k].lower[i],
+                  crown_serial.pre_activation[k].lower[i]);
+        EXPECT_EQ(crown.pre_activation[k].upper[i],
+                  crown_serial.pre_activation[k].upper[i]);
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, PsoDeterministicAcrossThreadCounts) {
+  rcr::pso::PsoConfig config;
+  config.swarm_size = 24;
+  config.max_iterations = 60;
+  config.seed = 9;
+
+  rcr::pso::PsoResult reference;
+  {
+    rcr::rt::ForceSerialGuard guard;
+    reference = rcr::pso::minimize(rcr::pso::rastrigin(4), config);
+  }
+  for (const std::size_t t : kThreadCounts) {
+    rcr::rt::set_global_threads(t);
+    const rcr::pso::PsoResult r =
+        rcr::pso::minimize(rcr::pso::rastrigin(4), config);
+    EXPECT_EQ(r.best_value, reference.best_value) << "threads=" << t;
+    EXPECT_EQ(r.best_position, reference.best_position) << "threads=" << t;
+    EXPECT_EQ(r.evaluations, reference.evaluations) << "threads=" << t;
+    EXPECT_EQ(r.best_value_history, reference.best_value_history)
+        << "threads=" << t;
+  }
+}
+
+}  // namespace
