@@ -1,18 +1,17 @@
-// Serial-vs-parallel timing for the runtime-accelerated hot paths:
-// dense matmul (256x256), Conv2d forward (batch 8), STFT (512-point FFT,
-// 256 frames), and a CROWN verifier sweep.  Prints a table and emits one
-// JSON line (also written to BENCH_parallel_runtime.json) with the
-// speedups, so CI can track regressions.
-#include <chrono>
+// Serial-vs-parallel and allocation tracking for the runtime-accelerated hot
+// paths: dense matmul (into-variant), Conv2d forward, STFT (512-point FFT,
+// 256 frames), a CROWN verifier sweep, and the ADMM box-QP solver with and
+// without a prefactored x-update operator.  Prints the harness table and
+// writes BENCH_perf.json (schema documented in bench/harness.hpp and the
+// README) so CI can track ns/op, allocs/op, and speedup regressions.
 #include <cstdio>
-#include <functional>
-#include <string>
 #include <vector>
 
+#include "harness.hpp"
 #include "rcr/nn/conv.hpp"
 #include "rcr/numerics/matrix.hpp"
 #include "rcr/numerics/rng.hpp"
-#include "rcr/rt/parallel.hpp"
+#include "rcr/opt/admm.hpp"
 #include "rcr/rt/thread_pool.hpp"
 #include "rcr/signal/stft.hpp"
 #include "rcr/signal/window.hpp"
@@ -25,38 +24,6 @@ using rcr::Vec;
 using rcr::num::Matrix;
 using rcr::num::Rng;
 
-double time_best_of(int reps, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
-  }
-  return best;
-}
-
-struct Row {
-  std::string name;
-  double serial_ms = 0.0;
-  double parallel_ms = 0.0;
-  double speedup() const {
-    return parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
-  }
-};
-
-Row measure(const std::string& name, int reps,
-            const std::function<void()>& fn) {
-  Row row;
-  row.name = name;
-  {
-    rcr::rt::ForceSerialGuard serial;
-    row.serial_ms = 1e3 * time_best_of(reps, fn);
-  }
-  row.parallel_ms = 1e3 * time_best_of(reps, fn);
-  return row;
-}
-
 Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
   Matrix m(r, c);
   for (std::size_t i = 0; i < r; ++i)
@@ -67,44 +34,53 @@ Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
 }  // namespace
 
 int main() {
-  std::printf("=== parallel runtime: serial vs pool (threads=%zu) ===\n\n",
-              rcr::rt::global_threads());
+  const bool smoke = rcr::bench::smoke_mode();
+  const int reps = smoke ? 2 : 5;
+  std::printf("=== parallel runtime: serial vs pool (threads=%zu%s) ===\n\n",
+              rcr::rt::global_threads(), smoke ? ", smoke" : "");
 
-  std::vector<Row> rows;
+  rcr::bench::Harness h("parallel_runtime");
   Rng rng(42);
 
   {
-    const Matrix a = random_matrix(256, 256, rng);
-    const Matrix b = random_matrix(256, 256, rng);
+    const std::size_t n = smoke ? 64 : 256;
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
     Matrix c;
-    rows.push_back(measure("matmul_256", 5, [&] { c = a * b; }));
+    h.run_serial_parallel("matmul_into", std::to_string(n) + "x" +
+                          std::to_string(n), reps,
+                          [&] { rcr::num::multiply_into(a, b, c); });
   }
 
   {
     Rng init(1);
+    const std::size_t batch = smoke ? 2 : 8;
     rcr::nn::Conv2d conv(8, 16, 3, 1, 1, init);
-    rcr::nn::Tensor input({8, 8, 32, 32});
+    rcr::nn::Tensor input({batch, 8, 32, 32});
     for (auto& v : input.data()) v = rng.normal();
     rcr::nn::Tensor out;
-    rows.push_back(measure("conv2d_fwd_b8", 5,
-                           [&] { out = conv.forward(input, false); }));
+    h.run_serial_parallel("conv2d_fwd", "b" + std::to_string(batch), reps,
+                          [&] { conv.forward_into(input, out); });
   }
 
   {
-    const Vec signal = rng.normal_vec(512 / 4 * 255 + 512);
+    const std::size_t frames = smoke ? 32 : 255;
+    const Vec signal = rng.normal_vec(512 / 4 * frames + 512);
     rcr::sig::StftConfig config;
     config.window = rcr::sig::make_window(rcr::sig::WindowKind::kHann, 512);
     config.hop = 128;
     config.fft_size = 512;
     rcr::sig::TfGrid grid;
-    rows.push_back(
-        measure("stft_512x256", 5, [&] { grid = rcr::sig::stft(signal, config); }));
+    h.run_serial_parallel("stft_into", "512x" + std::to_string(frames + 1),
+                          reps,
+                          [&] { rcr::sig::stft_into(signal, config, grid); });
   }
 
   {
     rcr::verify::ReluNetwork net;
     Rng wrng(7);
-    const std::vector<std::size_t> dims = {16, 128, 128, 128, 10};
+    const std::size_t width = smoke ? 32 : 128;
+    const std::vector<std::size_t> dims = {16, width, width, width, 10};
     for (std::size_t k = 0; k + 1 < dims.size(); ++k) {
       rcr::verify::AffineLayer layer;
       layer.w = Matrix(dims[k + 1], dims[k]);
@@ -117,34 +93,38 @@ int main() {
     const rcr::verify::Box input =
         rcr::verify::Box::around(Vec(16, 0.1), 0.05);
     rcr::verify::LayerBounds bounds;
-    rows.push_back(measure("crown_128x3", 3, [&] {
-      bounds = rcr::verify::crown_bounds(net, input);
-    }));
+    h.run_serial_parallel("crown", std::to_string(width) + "x3",
+                          smoke ? 2 : 3, [&] {
+                            bounds = rcr::verify::crown_bounds(net, input);
+                          });
   }
 
-  std::printf("%-14s %12s %12s %10s\n", "kernel", "serial(ms)",
-              "parallel(ms)", "speedup");
-  for (const Row& row : rows)
-    std::printf("%-14s %12.3f %12.3f %9.2fx\n", row.name.c_str(),
-                row.serial_ms, row.parallel_ms, row.speedup());
-
-  std::string json = "{\"bench\":\"parallel_runtime\",\"threads\":" +
-                     std::to_string(rcr::rt::global_threads());
-  for (const Row& row : rows) {
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  ",\"%s\":{\"serial_ms\":%.4f,\"parallel_ms\":%.4f,"
-                  "\"speedup\":%.3f}",
-                  row.name.c_str(), row.serial_ms, row.parallel_ms,
-                  row.speedup());
-    json += buf;
+  {
+    // ADMM box QP: the same solve with and without a prefactored x-update
+    // operator.  The prefactored path skips the per-call P + rho I copy and
+    // LU refactorization, which dominates small-iteration solves.
+    const std::size_t n = smoke ? 24 : 64;
+    Rng prng(3);
+    Matrix p = random_matrix(n, n, prng);
+    p = rcr::num::multiply_at_b(p, p);  // PSD
+    for (std::size_t i = 0; i < n; ++i) p(i, i) += 1.0;
+    const Vec q = prng.normal_vec(n);
+    const Vec lo(n, -1.0);
+    const Vec hi(n, 1.0);
+    rcr::opt::AdmmOptions opts;
+    opts.max_iterations = smoke ? 50 : 200;
+    rcr::opt::AdmmResult res;
+    h.run("admm_box_qp", "n" + std::to_string(n), reps, [&] {
+      res = rcr::opt::admm_box_qp(p, q, lo, hi, opts);
+    });
+    const rcr::opt::BoxQpFactor factor =
+        rcr::opt::prefactor_box_qp(p, opts.rho);
+    h.run("admm_box_qp_prefactored", "n" + std::to_string(n), reps, [&] {
+      res = rcr::opt::admm_box_qp(p, factor, q, lo, hi, opts);
+    });
   }
-  json += "}";
-  std::printf("\n%s\n", json.c_str());
 
-  if (std::FILE* f = std::fopen("BENCH_parallel_runtime.json", "w")) {
-    std::fprintf(f, "%s\n", json.c_str());
-    std::fclose(f);
-  }
-  return 0;
+  h.print_table();
+  std::printf("\n%s\n", h.to_json().c_str());
+  return h.write_json("BENCH_perf.json") ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness.hpp"
 #include "rcr/opt/qcqp.hpp"
 #include "rcr/opt/sdp.hpp"
 #include "rcr/opt/trace_min.hpp"
@@ -82,5 +83,27 @@ int main() {
 
   std::printf("\nshape check: TMP recovers low ranks = %s, convex Shor gap "
               "~ 0 = %s\n", tmp_ok ? "yes" : "NO", shor_ok ? "yes" : "NO");
+
+  // Perf tracking: the ADMM SDP solve and the barrier QCQP solve, with
+  // ns/op and allocs/op recorded to BENCH_perf_sdp.json.
+  {
+    const bool smoke = rcr::bench::smoke_mode();
+    rcr::bench::Harness h("sdp_relaxation");
+    const int reps = smoke ? 2 : 5;
+    rcr::num::Rng rng(11);
+    const Qcqp prob = random_convex_qcqp(smoke ? 3 : 6, 3, 0, rng);
+    const Sdp sdp = shor_relaxation(prob);
+    SdpOptions opts;
+    opts.max_iterations = smoke ? 500 : 3000;
+    SdpResult sr;
+    h.run("solve_sdp", "n" + std::to_string(sdp.dim()), reps,
+          [&] { sr = solve_sdp(sdp, opts); });
+    QcqpResult qr;
+    h.run("qcqp_barrier", "n" + std::to_string(prob.dim()), reps,
+          [&] { qr = solve_qcqp_barrier(prob); });
+    std::printf("\n");
+    h.print_table();
+    if (!h.write_json("BENCH_perf_sdp.json")) return 1;
+  }
   return (tmp_ok && shor_ok) ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 // multiplication with a matrix of phase factors.
 #include <cstdio>
 
+#include "harness.hpp"
 #include "rcr/signal/stft.hpp"
 #include "rcr/signal/waveform.hpp"
 
@@ -62,5 +63,26 @@ int main() {
   std::printf("\nshape check: skew grows with L_g and the phase-factor "
               "matrix removes it to machine precision = %s\n",
               shape_ok ? "yes" : "NO");
+
+  // Perf tracking: forward STFT in both conventions through the in-place
+  // frame pipeline, recorded to BENCH_perf_stft_phase.json.
+  {
+    const bool smoke = rcr::bench::smoke_mode();
+    rcr::bench::Harness h("stft_phase_skew");
+    const int reps = smoke ? 2 : 5;
+    StftConfig cfg;
+    cfg.window = make_window(WindowKind::kHann, 64);
+    cfg.hop = 16;
+    cfg.fft_size = 64;
+    TfGrid grid;
+    h.run("stft_into_sti", "64x" + std::to_string(signal.size()), reps,
+          [&] { stft_into(signal, cfg, grid); });
+    cfg.convention = StftConvention::kTimeInvariant;
+    h.run("stft_into_ti", "64x" + std::to_string(signal.size()), reps,
+          [&] { stft_into(signal, cfg, grid); });
+    std::printf("\n");
+    h.print_table();
+    if (!h.write_json("BENCH_perf_stft_phase.json")) return 1;
+  }
   return shape_ok ? 0 : 1;
 }

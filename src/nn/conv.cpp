@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "rcr/rt/parallel.hpp"
+#include "rcr/rt/scratch_arena.hpp"
 
 namespace rcr::nn {
 
@@ -26,6 +27,12 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool) {
+  Tensor out;
+  forward_into(input, out);
+  return out;
+}
+
+void Conv2d::forward_into(const Tensor& input, Tensor& out) {
   if (input.rank() != 4 || input.dim(1) != in_ch_)
     throw std::invalid_argument("Conv2d::forward: expected {B," +
                                 std::to_string(in_ch_) + ",H,W}, got " +
@@ -39,22 +46,25 @@ Tensor Conv2d::forward(const Tensor& input, bool) {
   const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
 
   input_cache_ = input;
-  Tensor out({batch, out_ch_, oh, ow});
+  out.assign4(batch, out_ch_, oh, ow);
 
   // Parallel over (batch, out-channel) planes: every output element is
   // written by exactly one task.  The inner loops run i -> r -> c with a
   // row accumulator over x, so each element still receives its terms in
   // ascending (i, r, c) order -- bit-identical to the naive 7-loop kernel --
   // while the input row `irow` and the kernel row `wrow` are walked
-  // contiguously.
+  // contiguously.  The row accumulator is arena scratch: each thread bumps
+  // its own arena, and the scope rewinds it when the task block finishes.
   const double* in = input.data().data();
   rt::parallel_for(0, batch * out_ch_, 1, [&](std::size_t p0, std::size_t p1) {
-    std::vector<double> acc(ow);
+    rt::ScratchArena& arena = rt::tls_arena();
+    const auto scratch = arena.scope();
+    double* acc = arena.alloc<double>(ow);
     for (std::size_t p = p0; p < p1; ++p) {
       const std::size_t b = p / out_ch_;
       const std::size_t o = p % out_ch_;
       for (std::size_t y = 0; y < oh; ++y) {
-        acc.assign(ow, bias_[o]);
+        for (std::size_t x = 0; x < ow; ++x) acc[x] = bias_[o];
         for (std::size_t i = 0; i < in_ch_; ++i) {
           for (std::size_t r = 0; r < kernel_; ++r) {
             const std::ptrdiff_t iy =
@@ -82,10 +92,15 @@ Tensor Conv2d::forward(const Tensor& input, bool) {
       }
     }
   });
-  return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  Tensor grad_input;
+  backward_into(grad_output, grad_input);
+  return grad_input;
+}
+
+void Conv2d::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   const Tensor& input = input_cache_;
   const std::size_t batch = input.dim(0);
   const std::size_t h = input.dim(2);
@@ -98,7 +113,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   // Pass 1 -- grad_input, parallel over batch: sample b's input gradient
   // receives contributions only from sample b, in the same (o, y, x, i, r, c)
   // order the fused serial loop used.
-  Tensor grad_input(input.shape());
+  grad_input.assign(input.shape());
   rt::parallel_for(0, batch, 1, [&](std::size_t b0, std::size_t b1) {
     for (std::size_t b = b0; b < b1; ++b) {
       for (std::size_t o = 0; o < out_ch_; ++o) {
@@ -164,7 +179,6 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       }
     }
   });
-  return grad_input;
 }
 
 std::vector<ParamRef> Conv2d::params() {

@@ -15,6 +15,15 @@ class Conv2d final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Workspace variants: write into caller-provided tensors (reshaped,
+  /// storage reused), so a training loop that keeps its activation/gradient
+  /// tensors alive runs the convolution with zero steady-state heap
+  /// allocations.  Row scratch comes from the per-thread arena.
+  /// Bit-identical to forward()/backward().
+  void forward_into(const Tensor& input, Tensor& out);
+  void backward_into(const Tensor& grad_output, Tensor& grad_input);
+
   std::vector<ParamRef> params() override;
   std::string name() const override { return "conv2d"; }
 

@@ -56,6 +56,22 @@ class Tensor {
   /// count mismatch.
   Tensor reshaped(std::vector<std::size_t> new_shape) const;
 
+  /// Reshape to `shape` with every entry zero, reusing the existing heap
+  /// blocks when their capacity suffices (the Tensor analogue of
+  /// Matrix::assign; lets the `_into` layer variants run allocation-free
+  /// once warm).
+  void assign(const std::vector<std::size_t>& shape) {
+    shape_ = shape;
+    data_.assign(element_count(shape_), 0.0);
+  }
+
+  /// assign() for the {B, C, H, W} case without materializing a temporary
+  /// shape vector (the braced-list form heap-allocates one per call).
+  void assign4(std::size_t b, std::size_t c, std::size_t h, std::size_t w) {
+    shape_.assign({b, c, h, w});
+    data_.assign(b * c * h * w, 0.0);
+  }
+
   /// Zero tensor with the same shape.
   Tensor zeros_like() const { return Tensor(shape_); }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace rcr::num {
 
@@ -13,11 +14,13 @@ namespace {
 constexpr double kSingularTol = 1e-200;
 }
 
-LuDecomposition lu_decompose(const Matrix& a) {
-  if (!a.square()) throw std::invalid_argument("lu_decompose: not square");
-  const std::size_t n = a.rows();
-  LuDecomposition out;
-  out.lu = a;
+namespace {
+
+// Factor out.lu in place.  `input_max_abs` is max|A_ij| of the *original*
+// matrix (the singular test historically used the pristine input, which is
+// no longer available once elimination starts overwriting out.lu).
+void lu_factor_in_place(LuDecomposition& out, double input_max_abs) {
+  const std::size_t n = out.lu.rows();
   out.perm.resize(n);
   for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
 
@@ -32,7 +35,7 @@ LuDecomposition lu_decompose(const Matrix& a) {
         pivot = i;
       }
     }
-    if (best <= kSingularTol * (1.0 + a.max_abs())) {
+    if (best <= kSingularTol * (1.0 + input_max_abs)) {
       out.singular = true;
       continue;
     }
@@ -50,29 +53,60 @@ LuDecomposition lu_decompose(const Matrix& a) {
         out.lu(i, j) -= lik * out.lu(k, j);
     }
   }
+}
+
+}  // namespace
+
+LuDecomposition lu_decompose(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("lu_decompose: not square");
+  LuDecomposition out;
+  out.lu = a;
+  lu_factor_in_place(out, a.max_abs());
   return out;
 }
 
+LuDecomposition lu_decompose(Matrix&& a) {
+  if (!a.square()) throw std::invalid_argument("lu_decompose: not square");
+  LuDecomposition out;
+  out.lu = std::move(a);
+  lu_factor_in_place(out, out.lu.max_abs());
+  return out;
+}
+
+void lu_decompose_into(const Matrix& a, LuDecomposition& out) {
+  if (!a.square()) throw std::invalid_argument("lu_decompose: not square");
+  out.lu = a;  // vector copy-assign: reuses capacity on same-shape refactors
+  out.sign = 1;
+  out.singular = false;
+  lu_factor_in_place(out, a.max_abs());
+}
+
 Vec LuDecomposition::solve(const Vec& b) const {
+  Vec x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuDecomposition::solve_into(const Vec& b, Vec& x) const {
   if (singular) throw std::runtime_error("LuDecomposition::solve: singular matrix");
   const std::size_t n = lu.rows();
   if (b.size() != n)
     throw std::invalid_argument("LuDecomposition::solve: size mismatch");
-  Vec y(n);
-  // Forward substitution with permuted right-hand side.
+  x.resize(n);
+  // Forward substitution with permuted right-hand side, written into x.
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[perm[i]];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * y[j];
-    y[i] = acc;
+    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * x[j];
+    x[i] = acc;
   }
-  // Back substitution.
-  Vec x(n);
+  // Back substitution in place: x[ii] is read once before being overwritten,
+  // and entries j > ii are already final -- same arithmetic as the two-buffer
+  // form, so the result is bit-identical.
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
+    double acc = x[ii];
     for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * x[j];
     x[ii] = acc / lu(ii, ii);
   }
-  return x;
 }
 
 double LuDecomposition::determinant() const {

@@ -19,12 +19,26 @@ struct LuDecomposition {
   /// the matrix was singular.
   Vec solve(const Vec& b) const;
 
+  /// Solve A x = b writing into `x` (resized, storage reused -- zero
+  /// allocations once warm).  `x` must not alias `b`.  Bit-identical to
+  /// solve().
+  void solve_into(const Vec& b, Vec& x) const;
+
   /// det(A); 0 when singular.
   double determinant() const;
 };
 
 /// Factor a square matrix; throws std::invalid_argument when not square.
 LuDecomposition lu_decompose(const Matrix& a);
+
+/// Factor a square matrix, moving it into the decomposition's storage (no
+/// extra copy).  For callers that build a throwaway matrix just to factor it.
+LuDecomposition lu_decompose(Matrix&& a);
+
+/// Factor `a` into an existing decomposition, reusing its storage (zero
+/// allocations once `out` has been sized by a previous same-shape call).
+/// Bit-identical to lu_decompose(a).
+void lu_decompose_into(const Matrix& a, LuDecomposition& out);
 
 /// Solve A x = b via LU with partial pivoting.
 /// Throws std::runtime_error when A is singular to working precision.

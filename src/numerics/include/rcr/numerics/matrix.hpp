@@ -36,6 +36,15 @@ class Matrix {
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
+
+  /// Reshape to rows x cols and set every entry to `fill`, reusing the
+  /// existing heap block whenever its capacity suffices.  The workhorse of
+  /// the `_into` kernel variants: after a warm-up call at a given shape,
+  /// repeated assigns are allocation-free.
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Reshape to rows x cols reusing storage; entry values are unspecified.
+  void resize(std::size_t rows, std::size_t cols);
   bool empty() const { return rows_ == 0 || cols_ == 0; }
   bool square() const { return rows_ == cols_; }
 
@@ -91,6 +100,23 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+/// In-place variants of the hot products.  Each reshapes `out` (reusing its
+/// storage; zero allocations once warm at a fixed shape) and writes the same
+/// bits the allocating counterpart returns.  `out` must not alias an input.
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out);
+void multiply_at_b_into(const Matrix& a, const Matrix& b, Matrix& out);
+void multiply_abt_into(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = A^T, reusing out's storage.  `out` must not alias `a`.
+void transpose_into(const Matrix& a, Matrix& out);
+
+/// y = A x written into `y` (resized, storage reused).  `y` must not alias x.
+void matvec_into(const Matrix& a, const Vec& x, Vec& y);
+
+/// y = A^T x, writing into `y` (resized, storage reused).  `y` must not
+/// alias `x`.  Bit-identical to matvec_transposed().
+void matvec_transposed_into(const Matrix& a, const Vec& x, Vec& y);
 
 /// Matrix product that skips zero entries of `a` row-wise.  Worth using when
 /// `a` is structurally sparse (masks, selection matrices); on dense data the

@@ -40,6 +40,18 @@ Matrix Matrix::column(const Vec& v) {
   return m;
 }
 
+void Matrix::assign(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 double& Matrix::at(std::size_t i, std::size_t j) {
   if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix::at");
   return (*this)(i, j);
@@ -71,9 +83,8 @@ Vec Matrix::diagonal() const {
 }
 
 Matrix Matrix::transpose() const {
-  Matrix t(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i)
-    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  Matrix t;
+  transpose_into(*this, t);
   return t;
 }
 
@@ -173,14 +184,25 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out, std::size_t i0,
 }  // namespace
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  multiply_into(a, b, out);
+  return out;
+}
+
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("Matrix*: inner dimension mismatch");
-  Matrix out(a.rows(), b.cols());
+  out.assign(a.rows(), b.cols(), 0.0);
   rt::parallel_for(0, a.rows(), kRowGrain,
                    [&](std::size_t i0, std::size_t i1) {
                      matmul_rows(a, b, out, i0, i1);
                    });
-  return out;
+}
+
+void transpose_into(const Matrix& a, Matrix& out) {
+  out.resize(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
 }
 
 Matrix multiply_sparse(const Matrix& a, const Matrix& b) {
@@ -205,9 +227,15 @@ Matrix multiply_sparse(const Matrix& a, const Matrix& b) {
 }
 
 Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  multiply_at_b_into(a, b, out);
+  return out;
+}
+
+void multiply_at_b_into(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("multiply_at_b: dimension mismatch");
-  Matrix out(a.cols(), b.cols());
+  out.assign(a.cols(), b.cols(), 0.0);
   const std::size_t inner = a.rows();
   const std::size_t na = a.cols();
   const std::size_t nj = b.cols();
@@ -227,13 +255,18 @@ Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
       }
     }
   });
-  return out;
 }
 
 Matrix multiply_abt(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  multiply_abt_into(a, b, out);
+  return out;
+}
+
+void multiply_abt_into(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.cols())
     throw std::invalid_argument("multiply_abt: dimension mismatch");
-  Matrix out(a.rows(), b.rows());
+  out.assign(a.rows(), b.rows(), 0.0);
   const std::size_t inner = a.cols();
   const std::size_t nj = b.rows();
   rt::parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i0, std::size_t i1) {
@@ -250,13 +283,18 @@ Matrix multiply_abt(const Matrix& a, const Matrix& b) {
       }
     }
   });
-  return out;
 }
 
 Vec matvec(const Matrix& a, const Vec& x) {
+  Vec y;
+  matvec_into(a, x, y);
+  return y;
+}
+
+void matvec_into(const Matrix& a, const Vec& x, Vec& y) {
   if (a.cols() != x.size())
     throw std::invalid_argument("matvec: dimension mismatch");
-  Vec y(a.rows(), 0.0);
+  y.assign(a.rows(), 0.0);
   rt::parallel_for(0, a.rows(), 128, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const double* arow = a.data().data() + i * a.cols();
@@ -265,16 +303,20 @@ Vec matvec(const Matrix& a, const Vec& x) {
       y[i] = acc;
     }
   });
-  return y;
 }
 
 Vec matvec_transposed(const Matrix& a, const Vec& x) {
+  Vec y;
+  matvec_transposed_into(a, x, y);
+  return y;
+}
+
+void matvec_transposed_into(const Matrix& a, const Vec& x, Vec& y) {
   if (a.rows() != x.size())
     throw std::invalid_argument("matvec_transposed: dimension mismatch");
-  Vec y(a.cols(), 0.0);
+  y.assign(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i)
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * x[i];
-  return y;
 }
 
 double quad_form(const Vec& x, const Matrix& a, const Vec& y) {

@@ -1,5 +1,6 @@
 #include "rcr/opt/admm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -21,41 +22,70 @@ Vec soft_threshold(const Vec& v, double kappa) {
   return out;
 }
 
+BoxQpFactor prefactor_box_qp(const Matrix& p, double rho) {
+  // x-update solves (P + rho I) x = rho (z - u) - q; factor once.  The
+  // shifted matrix is moved straight into the decomposition -- no second
+  // copy beyond the one the factorization itself owns.
+  Matrix m = p;
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += rho;
+  BoxQpFactor out;
+  out.factor = num::lu_decompose(std::move(m));
+  out.rho = rho;
+  if (out.factor.singular)
+    throw std::runtime_error("admm_box_qp: P + rho I singular (P not PSD?)");
+  return out;
+}
+
 AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
                        const Vec& hi, const AdmmOptions& options) {
+  return admm_box_qp(p, prefactor_box_qp(p, options.rho), q, lo, hi, options);
+}
+
+AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
+                       const Vec& q, const Vec& lo, const Vec& hi,
+                       const AdmmOptions& options) {
   const std::size_t n = q.size();
   if (p.rows() != n || p.cols() != n || lo.size() != n || hi.size() != n)
     throw std::invalid_argument("admm_box_qp: dimension mismatch");
+  if (factor.rho != options.rho)
+    throw std::invalid_argument("admm_box_qp: factor rho != options rho");
   for (std::size_t i = 0; i < n; ++i)
     if (lo[i] > hi[i])
       throw std::invalid_argument("admm_box_qp: lo > hi");
-
-  // x-update solves (P + rho I) x = rho (z - u) - q; factor once.
-  Matrix m = p;
-  for (std::size_t i = 0; i < n; ++i) m(i, i) += options.rho;
-  const num::LuDecomposition factor = num::lu_decompose(m);
-  if (factor.singular)
-    throw std::runtime_error("admm_box_qp: P + rho I singular (P not PSD?)");
 
   Vec x(n, 0.0);
   Vec z = num::clamp(Vec(n, 0.0), lo, hi);
   Vec u(n, 0.0);
 
+  // Iteration-persistent workspaces: after this point the loop body
+  // performs no heap allocations.
+  Vec rhs(n);
+  Vec z_prev(n);
+
   AdmmResult result;
   const double scale = 1.0 + num::norm_inf(q);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    Vec rhs(n);
     for (std::size_t i = 0; i < n; ++i)
       rhs[i] = options.rho * (z[i] - u[i]) - q[i];
-    x = factor.solve(rhs);
+    factor.factor.solve_into(rhs, x);
 
-    Vec z_prev = z;
-    Vec xu = num::add(x, u);
-    z = num::clamp(xu, lo, hi);
+    z_prev = z;
+    for (std::size_t i = 0; i < n; ++i)
+      z[i] = std::clamp(x[i] + u[i], lo[i], hi[i]);
     for (std::size_t i = 0; i < n; ++i) u[i] += x[i] - z[i];
 
-    const double primal = num::norm2(num::sub(x, z));
-    const double dual = options.rho * num::norm2(num::sub(z, z_prev));
+    // norm2(x - z) and norm2(z - z_prev) without the difference temporaries;
+    // sqrt(sum of squares) in the same ascending order num::norm2 uses.
+    double primal2 = 0.0;
+    double dual2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pd = x[i] - z[i];
+      primal2 += pd * pd;
+      const double dd = z[i] - z_prev[i];
+      dual2 += dd * dd;
+    }
+    const double primal = std::sqrt(primal2);
+    const double dual = options.rho * std::sqrt(dual2);
     result.iterations = it + 1;
     if (primal <= options.tolerance * scale &&
         dual <= options.tolerance * scale) {
@@ -69,38 +99,74 @@ AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
   return result;
 }
 
+LassoFactor prefactor_lasso(const Matrix& a, double rho) {
+  // x-update solves (A^T A + rho I) x = A^T b + rho (z - u).  The Gram
+  // product is the dominant setup cost; cache its factorization.
+  Matrix m = num::multiply_at_b(a, a);
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += rho;
+  LassoFactor out;
+  out.factor = num::lu_decompose(std::move(m));
+  out.rho = rho;
+  return out;
+}
+
 AdmmResult admm_lasso(const Matrix& a, const Vec& b, double lambda,
                       const AdmmOptions& options) {
+  return admm_lasso(a, prefactor_lasso(a, options.rho), b, lambda, options);
+}
+
+AdmmResult admm_lasso(const Matrix& a, const LassoFactor& factor, const Vec& b,
+                      double lambda, const AdmmOptions& options) {
   const std::size_t n = a.cols();
   if (a.rows() != b.size())
     throw std::invalid_argument("admm_lasso: dimension mismatch");
   if (lambda < 0.0)
     throw std::invalid_argument("admm_lasso: negative lambda");
+  if (factor.rho != options.rho)
+    throw std::invalid_argument("admm_lasso: factor rho != options rho");
 
-  // x-update solves (A^T A + rho I) x = A^T b + rho (z - u).
-  Matrix m = num::multiply_at_b(a, a);
-  for (std::size_t i = 0; i < n; ++i) m(i, i) += options.rho;
-  const num::LuDecomposition factor = num::lu_decompose(m);
   const Vec atb = num::matvec_transposed(a, b);
 
   Vec x(n, 0.0);
   Vec z(n, 0.0);
   Vec u(n, 0.0);
 
+  // Iteration-persistent workspaces (loop body is allocation-free).
+  Vec rhs(n);
+  Vec z_prev(n);
+  const double kappa = lambda / options.rho;
+
   AdmmResult result;
   const double scale = 1.0 + num::norm_inf(atb);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    Vec rhs(n);
     for (std::size_t i = 0; i < n; ++i)
       rhs[i] = atb[i] + options.rho * (z[i] - u[i]);
-    x = factor.solve(rhs);
+    factor.factor.solve_into(rhs, x);
 
-    Vec z_prev = z;
-    z = soft_threshold(num::add(x, u), lambda / options.rho);
+    z_prev = z;
+    // z = soft_threshold(x + u, kappa), elementwise in place.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = x[i] + u[i];
+      if (v > kappa) {
+        z[i] = v - kappa;
+      } else if (v < -kappa) {
+        z[i] = v + kappa;
+      } else {
+        z[i] = 0.0;
+      }
+    }
     for (std::size_t i = 0; i < n; ++i) u[i] += x[i] - z[i];
 
-    const double primal = num::norm2(num::sub(x, z));
-    const double dual = options.rho * num::norm2(num::sub(z, z_prev));
+    double primal2 = 0.0;
+    double dual2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pd = x[i] - z[i];
+      primal2 += pd * pd;
+      const double dd = z[i] - z_prev[i];
+      dual2 += dd * dd;
+    }
+    const double primal = std::sqrt(primal2);
+    const double dual = options.rho * std::sqrt(dual2);
     result.iterations = it + 1;
     if (primal <= options.tolerance * scale &&
         dual <= options.tolerance * scale) {

@@ -7,6 +7,7 @@
 //  - lasso (the sum-of-smooth-plus-nonsmooth decomposition of [1]).
 #pragma once
 
+#include "rcr/numerics/decompositions.hpp"
 #include "rcr/opt/quadratic.hpp"
 
 namespace rcr::opt {
@@ -17,6 +18,30 @@ struct AdmmOptions {
   double tolerance = 1e-8;
   std::size_t max_iterations = 10000;
 };
+
+/// Cached x-update operator for admm_box_qp: the LU factors of P + rho I.
+/// Build once with prefactor_box_qp and reuse across solves with the same P
+/// and rho -- repeated calls then skip the per-call matrix copy and
+/// refactorization entirely.
+struct BoxQpFactor {
+  num::LuDecomposition factor;  ///< LU of P + rho I.
+  double rho = 0.0;             ///< The rho the factor was built with.
+};
+
+/// Factor P + rho I for the box-QP x-update.  Throws std::runtime_error when
+/// P + rho I is singular (P not PSD).
+BoxQpFactor prefactor_box_qp(const Matrix& p, double rho);
+
+/// Cached x-update operator for admm_lasso: the LU factors of A^T A + rho I.
+/// The Gram product is the dominant setup cost; building it once amortizes
+/// it across solves against many right-hand sides b.
+struct LassoFactor {
+  num::LuDecomposition factor;  ///< LU of A^T A + rho I.
+  double rho = 0.0;
+};
+
+/// Factor A^T A + rho I for the lasso x-update.
+LassoFactor prefactor_lasso(const Matrix& a, double rho);
 
 /// ADMM outcome.
 struct AdmmResult {
@@ -33,11 +58,24 @@ struct AdmmResult {
 AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
                        const Vec& hi, const AdmmOptions& options = {});
 
+/// Box-QP with a prefactored operator (see prefactor_box_qp).
+/// `factor.rho` must match `options.rho`; throws std::invalid_argument
+/// otherwise.  Iterations are allocation-free once warm.
+AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
+                       const Vec& q, const Vec& lo, const Vec& hi,
+                       const AdmmOptions& options = {});
+
 /// Lasso:
 ///   minimize (1/2) ||A x - b||^2 + lambda ||x||_1.
 /// Splitting: least-squares prox + soft-thresholding.
 AdmmResult admm_lasso(const Matrix& a, const Vec& b, double lambda,
                       const AdmmOptions& options = {});
+
+/// Lasso with a prefactored Gram operator (see prefactor_lasso), skipping
+/// the per-call A^T A product and factorization.  `factor.rho` must match
+/// `options.rho`.
+AdmmResult admm_lasso(const Matrix& a, const LassoFactor& factor, const Vec& b,
+                      double lambda, const AdmmOptions& options = {});
 
 /// Soft-thresholding operator: sign(v) * max(|v| - kappa, 0).
 Vec soft_threshold(const Vec& v, double kappa);

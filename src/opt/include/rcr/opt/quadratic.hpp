@@ -21,6 +21,11 @@ struct QuadraticForm {
   double value(const Vec& x) const;
   Vec gradient(const Vec& x) const;
 
+  /// gradient() writing into `g`, using `scratch` for the P^T x product.
+  /// Both are resized with storage reuse -- allocation-free once warm.
+  /// Bit-identical to gradient().
+  void gradient_into(const Vec& x, Vec& g, Vec& scratch) const;
+
   /// True when P is symmetric PSD within tolerance (the convexity envelope
   /// condition of Sec. IV-C).
   bool is_convex(double tol = 1e-9) const;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/opt/lbfgs.hpp"
@@ -148,31 +149,57 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
   }
 
   double t = options.t0;
+  // Iteration-persistent workspaces: every Newton iteration reuses these
+  // buffers (and the LU factor storage), so the centering loop performs no
+  // steady-state heap allocations.
+  Vec grad;
+  Vec gi;
+  Vec grad_scratch;
+  Matrix hess;
+  Matrix kkt;  // doubles as h_reg when m_eq == 0
+  Vec rhs;
+  Vec sol;
+  Vec dx;
+  Vec trial;
+  num::LuDecomposition lu_ws;
   for (std::size_t outer = 0; outer < options.max_outer; ++outer) {
     // Centering: Newton on t*f0 + phi restricted to {A x = b}.
     for (std::size_t newton = 0; newton < options.max_newton; ++newton) {
       // Gradient and Hessian of the barrier-augmented objective.
-      Vec grad = num::scale(problem.objective.gradient(x), t);
-      Matrix hess = problem.objective.p * t;
+      problem.objective.gradient_into(x, grad, grad_scratch);
+      for (std::size_t i = 0; i < n; ++i) grad[i] *= t;
+      hess.assign(n, n);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          hess(i, j) = problem.objective.p(i, j) * t;
       for (const auto& c : problem.constraints) {
         const double fi = c.value(x);
-        const Vec gi = c.gradient(x);
+        c.gradient_into(x, gi, grad_scratch);
         const double inv = -1.0 / fi;  // fi < 0
         num::axpy(inv, gi, grad);
-        hess += inv * c.p;
-        hess += (inv * inv) * num::outer(gi, gi);
+        // hess += inv * c.p, then hess += (inv * inv) * gi gi^T, elementwise
+        // in place.  Two separate additions per element -- same association
+        // as the old temporary-matrix path, so bit-identical.
+        const double inv2 = inv * inv;
+        for (std::size_t i = 0; i < n; ++i)
+          for (std::size_t j = 0; j < n; ++j) {
+            hess(i, j) += inv * c.p(i, j);
+            hess(i, j) += inv2 * (gi[i] * gi[j]);
+          }
       }
       hess.symmetrize();
 
       // KKT step: [H A^T; A 0][dx; w] = [-grad; 0].
-      Vec dx;
       if (m_eq == 0) {
         // Regularize slightly for safety.
-        Matrix h_reg = hess;
-        for (std::size_t i = 0; i < n; ++i) h_reg(i, i) += 1e-12;
-        dx = num::solve(h_reg, num::scale(grad, -1.0));
+        kkt = hess;
+        for (std::size_t i = 0; i < n; ++i) kkt(i, i) += 1e-12;
+        rhs.resize(n);
+        for (std::size_t i = 0; i < n; ++i) rhs[i] = grad[i] * -1.0;
+        num::lu_decompose_into(kkt, lu_ws);
+        lu_ws.solve_into(rhs, dx);
       } else {
-        Matrix kkt(n + m_eq, n + m_eq);
+        kkt.assign(n + m_eq, n + m_eq);
         for (std::size_t i = 0; i < n; ++i)
           for (std::size_t j = 0; j < n; ++j) kkt(i, j) = hess(i, j);
         for (std::size_t i = 0; i < m_eq; ++i)
@@ -180,10 +207,11 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
             kkt(n + i, j) = problem.a(i, j);
             kkt(j, n + i) = problem.a(i, j);
           }
-        Vec rhs(n + m_eq, 0.0);
+        rhs.assign(n + m_eq, 0.0);
         for (std::size_t i = 0; i < n; ++i) rhs[i] = -grad[i];
-        const Vec sol = num::solve(kkt, rhs);
-        dx = Vec(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+        num::lu_decompose_into(kkt, lu_ws);
+        lu_ws.solve_into(rhs, sol);
+        dx.assign(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
       }
       ++result.newton_iterations;
 
@@ -205,11 +233,11 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
       double step = 1.0;
       bool moved = false;
       while (step >= 1e-14) {
-        Vec trial = x;
+        trial = x;
         num::axpy(step, dx, trial);
         const double ft = barrier_value(trial);
         if (std::isfinite(ft) && ft <= f_x - 1e-4 * step * decrement2) {
-          x = std::move(trial);
+          std::swap(x, trial);
           moved = true;
           break;
         }

@@ -13,12 +13,19 @@ double QuadraticForm::value(const Vec& x) const {
 }
 
 Vec QuadraticForm::gradient(const Vec& x) const {
-  Vec g = num::matvec(p, x);
+  Vec g;
+  Vec scratch;
+  gradient_into(x, g, scratch);
+  return g;
+}
+
+void QuadraticForm::gradient_into(const Vec& x, Vec& g, Vec& scratch) const {
+  num::matvec_into(p, x, g);
   // Guard against mildly asymmetric P: gradient of x^T P x / 2 is
   // (P + P^T) x / 2.
-  const Vec gt = num::matvec_transposed(p, x);
-  for (std::size_t i = 0; i < g.size(); ++i) g[i] = 0.5 * (g[i] + gt[i]) + q[i];
-  return g;
+  num::matvec_transposed_into(p, x, scratch);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = 0.5 * (g[i] + scratch[i]) + q[i];
 }
 
 bool QuadraticForm::is_convex(double tol) const {

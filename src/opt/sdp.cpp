@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/numerics/eigen.hpp"
@@ -70,6 +71,13 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
   Vec y(dim_y, 0.0);
   Vec rhs(dim_y + m, 0.0);
 
+  // Iteration-persistent workspaces: only the PSD projection's internal
+  // eigendecomposition still allocates inside the loop.
+  Vec sol;
+  Vec w(dim_y);
+  Matrix xw(n, n);
+  Vec z_next(dim_y);
+
   SdpResult result;
   const double scale = 1.0 + problem.c.max_abs() + num::norm_inf(d);
 
@@ -78,25 +86,35 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
     for (std::size_t i = 0; i < dim_y; ++i)
       rhs[i] = rho * (z[i] - u[i]) - cvec[i];
     for (std::size_t i = 0; i < m; ++i) rhs[dim_y + i] = d[i];
-    const Vec sol = kkt.solve(rhs);
+    kkt.solve_into(rhs, sol);
     for (std::size_t i = 0; i < dim_y; ++i) y[i] = sol[i];
 
     // z-update: project y + u onto PSD-cone x nonnegative-orthant.
-    Vec w = num::add(y, u);
-    Matrix xw(n, n);
+    for (std::size_t i = 0; i < dim_y; ++i) w[i] = y[i] + u[i];
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j) xw(i, j) = w[i * n + j];
     const Matrix xp = num::project_psd(xw);
-    Vec z_next(dim_y);
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j) z_next[i * n + j] = xp(i, j);
     for (std::size_t k = 0; k < m_in; ++k)
       z_next[nn + k] = std::max(0.0, w[nn + k]);
 
-    const double dual_res = rho * num::norm2(num::sub(z_next, z));
-    z = std::move(z_next);
+    // norm2 of the update deltas without the num::sub temporaries (sqrt of
+    // an ascending sum of squares, matching num::norm2's order).
+    double dual2 = 0.0;
+    for (std::size_t i = 0; i < dim_y; ++i) {
+      const double dd = z_next[i] - z[i];
+      dual2 += dd * dd;
+    }
+    const double dual_res = rho * std::sqrt(dual2);
+    std::swap(z, z_next);
     for (std::size_t i = 0; i < dim_y; ++i) u[i] += y[i] - z[i];
-    const double primal_res = num::norm2(num::sub(y, z));
+    double primal2 = 0.0;
+    for (std::size_t i = 0; i < dim_y; ++i) {
+      const double pd = y[i] - z[i];
+      primal2 += pd * pd;
+    }
+    const double primal_res = std::sqrt(primal2);
 
     result.iterations = it + 1;
     if (primal_res <= options.tolerance * scale &&

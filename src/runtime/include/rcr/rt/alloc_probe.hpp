@@ -1,0 +1,35 @@
+// Instrumented-allocator hook for allocation-regression tests and benches.
+//
+// Linking the rcr_allocprobe library (tests and benches do; production
+// binaries do not) replaces the global operator new/delete with counting
+// wrappers.  alloc_count() then reports the number of heap allocations made
+// by the whole process since start -- across every thread, including pool
+// workers -- so a test can assert that a warm hot loop performs zero
+// steady-state allocations.
+#pragma once
+
+#include <cstdint>
+
+namespace rcr::rt {
+
+/// Total global operator-new invocations so far, process-wide.  Monotone;
+/// read it before and after a region and subtract.  Defined in
+/// rcr_allocprobe only -- referencing it is what pulls the counting
+/// allocator into the binary.
+std::uint64_t alloc_count() noexcept;
+
+/// True when the counting operator new is actually installed in this binary.
+bool alloc_probe_active() noexcept;
+
+/// Convenience delta reader: captures alloc_count() at construction.
+class AllocDelta {
+ public:
+  AllocDelta() : start_(alloc_count()) {}
+  /// Allocations since construction.
+  std::uint64_t delta() const { return alloc_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace rcr::rt

@@ -1,0 +1,100 @@
+// Thread-local bump-allocated scratch memory for the RCR hot paths.
+//
+// A ScratchArena hands out raw, aligned storage from a small chain of
+// geometrically growing blocks.  Allocation is a pointer bump; deallocation
+// happens wholesale when an RAII Scope unwinds (nested scopes rewind to
+// their own marker) or when reset() rewinds the whole arena.  Blocks are
+// retained across uses, so after a warm-up pass a kernel that allocates its
+// scratch through the arena performs zero heap allocations in steady state.
+//
+// tls_arena() returns a per-thread instance, reachable from pool workers and
+// the calling thread alike; arenas are intentionally not thread-safe -- each
+// thread only ever touches its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rcr::rt {
+
+/// Bump allocator with RAII scope markers and high-water-mark block reuse.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ~ScratchArena() = default;
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Raw aligned storage valid until the enclosing Scope unwinds (or the
+  /// arena is reset).  `alignment` must be a power of two.
+  void* allocate(std::size_t bytes,
+                 std::size_t alignment = alignof(std::max_align_t));
+
+  /// Typed convenience: storage for `n` objects of T.  T must be trivially
+  /// destructible -- the arena never runs destructors.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "ScratchArena::alloc: T must be trivially destructible");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// RAII marker: on destruction, everything allocated since construction is
+  /// released (pointer rewind, no frees).  Scopes nest LIFO.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena)
+        : arena_(&arena), block_(arena.active_), used_(arena.active_used()) {}
+    ~Scope() { arena_->rewind(block_, used_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena* arena_;
+    std::size_t block_;
+    std::size_t used_;
+  };
+
+  /// Open a scope at the current allocation mark.
+  Scope scope() { return Scope(*this); }
+
+  /// Rewind to empty.  When use so far spilled into multiple blocks, they
+  /// are consolidated into a single block sized to the high-water mark, so
+  /// the next pass of the same workload bump-allocates from one block.
+  void reset();
+
+  /// Bytes currently allocated (live) across all blocks.
+  std::size_t used() const;
+
+  /// Total bytes of backing storage currently owned.
+  std::size_t capacity() const;
+
+  /// Largest `used()` observed over the arena's lifetime.
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t active_used() const {
+    return blocks_.empty() ? 0 : blocks_[active_].used;
+  }
+  void rewind(std::size_t block, std::size_t used);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// The calling thread's arena.  Pool workers and the main thread each get
+/// their own instance; storage is released at thread exit.
+ScratchArena& tls_arena();
+
+}  // namespace rcr::rt

@@ -1,0 +1,94 @@
+#include "rcr/rt/scratch_arena.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcr::rt {
+
+namespace {
+constexpr std::size_t kMinBlockBytes = 1 << 12;  // 4 KiB
+
+std::size_t align_up(std::size_t offset, std::size_t alignment) {
+  return (offset + alignment - 1) & ~(alignment - 1);
+}
+}  // namespace
+
+void* ScratchArena::allocate(std::size_t bytes, std::size_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0)
+    throw std::invalid_argument("ScratchArena: alignment not a power of two");
+  if (bytes == 0) bytes = 1;
+
+  // Try the active block, then any already-owned successor (left over from a
+  // previous deeper pass), before growing.
+  while (!blocks_.empty()) {
+    Block& b = blocks_[active_];
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::size_t start = align_up(base + b.used, alignment) - base;
+    if (start + bytes <= b.size) {
+      b.used = start + bytes;
+      high_water_ = std::max(high_water_, used());
+      return b.data.get() + start;
+    }
+    if (active_ + 1 >= blocks_.size()) break;
+    ++active_;
+    blocks_[active_].used = 0;
+  }
+
+  // Geometric growth: at least double the last block, and always big enough
+  // for this request plus worst-case alignment slack.
+  const std::size_t last = blocks_.empty() ? 0 : blocks_.back().size;
+  const std::size_t need = bytes + alignment;
+  Block fresh;
+  fresh.size = std::max({kMinBlockBytes, 2 * last, need});
+  fresh.data = std::make_unique<std::byte[]>(fresh.size);
+  blocks_.push_back(std::move(fresh));
+  active_ = blocks_.size() - 1;
+
+  Block& b = blocks_[active_];
+  const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+  const std::size_t start = align_up(base, alignment) - base;
+  b.used = start + bytes;
+  high_water_ = std::max(high_water_, used());
+  return b.data.get() + start;
+}
+
+void ScratchArena::rewind(std::size_t block, std::size_t used) {
+  if (blocks_.empty()) return;
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  blocks_[block].used = used;
+  active_ = block;
+}
+
+void ScratchArena::reset() {
+  if (blocks_.size() > 1) {
+    // Consolidate: one block covering the high-water mark replaces the chain
+    // so the next identical workload never walks block boundaries.
+    Block merged;
+    merged.size = std::max(kMinBlockBytes, 2 * high_water_);
+    merged.data = std::make_unique<std::byte[]>(merged.size);
+    blocks_.clear();
+    blocks_.push_back(std::move(merged));
+  }
+  active_ = 0;
+  for (Block& b : blocks_) b.used = 0;
+}
+
+std::size_t ScratchArena::used() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= active_ && i < blocks_.size(); ++i)
+    total += blocks_[i].used;
+  return total;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+ScratchArena& tls_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace rcr::rt

@@ -1,11 +1,14 @@
 #include "rcr/signal/fft.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <numbers>
+#include <shared_mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -14,6 +17,72 @@ namespace rcr::sig {
 namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Bounded, reader-friendly per-size table cache.
+//
+// Hot lookups take a shared lock and bump an approximate-LRU stamp with a
+// relaxed atomic store, so concurrent STFT workers re-reading the same size
+// never serialize.  On a miss the caller generates the table *outside* any
+// lock (generation of a new size used to happen while holding a global
+// mutex, stalling every worker on first touch), then inserts under the
+// exclusive lock with a re-check: if another thread won the race, its table
+// is reused and ours is discarded.  The cache holds at most
+// fft_table_cache_capacity() entries; the least-recently-stamped size is
+// evicted first.  Entries are shared_ptrs, so an evicted table stays alive
+// for any transform still using it.
+template <typename Key, typename Value>
+class TableCache {
+ public:
+  std::shared_ptr<const Value> find(const Key& key) {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    it->second.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    return it->second.value;
+  }
+
+  std::shared_ptr<const Value> insert(const Key& key,
+                                      std::shared_ptr<const Value> value,
+                                      std::size_t capacity) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.last_used.store(
+          clock_.fetch_add(1, std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      return it->second.value;  // lost the generation race; reuse theirs
+    }
+    while (map_.size() >= capacity && !map_.empty()) {
+      auto victim = map_.begin();
+      for (auto e = map_.begin(); e != map_.end(); ++e)
+        if (e->second.last_used.load(std::memory_order_relaxed) <
+            victim->second.last_used.load(std::memory_order_relaxed))
+          victim = e;
+      map_.erase(victim);
+    }
+    map_.try_emplace(key, std::move(value),
+                     clock_.fetch_add(1, std::memory_order_relaxed));
+    return map_.find(key)->second.value;
+  }
+
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return map_.size();
+  }
+
+ private:
+  struct Entry {
+    Entry(std::shared_ptr<const Value> v, std::uint64_t stamp)
+        : value(std::move(v)), last_used(stamp) {}
+    std::shared_ptr<const Value> value;
+    std::atomic<std::uint64_t> last_used;
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::map<Key, Entry> map_;
+  std::atomic<std::uint64_t> clock_{0};
+};
 
 // Per-size twiddle tables for the radix-2 transform.  STFT re-runs the same
 // transform size hundreds of times per spectrogram; recomputing the stage
@@ -30,12 +99,11 @@ struct Radix2Tables {
 };
 
 std::shared_ptr<const Radix2Tables> radix2_tables(std::size_t n) {
-  static std::mutex mutex;
-  static std::map<std::size_t, std::shared_ptr<const Radix2Tables>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
+  static TableCache<std::size_t, Radix2Tables> cache;
+  if (auto hit = cache.find(n)) return hit;
 
+  // Generate outside any lock; concurrent first-touchers may duplicate the
+  // work, but nobody blocks behind the trig loops.
   auto tables = std::make_shared<Radix2Tables>();
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double ang = -kTwoPi / static_cast<double>(len);
@@ -51,8 +119,7 @@ std::shared_ptr<const Radix2Tables> radix2_tables(std::size_t n) {
     tables->forward.push_back(std::move(fwd));
     tables->inverse.push_back(std::move(inv));
   }
-  cache.emplace(n, tables);
-  return tables;
+  return cache.insert(n, std::move(tables), fft_table_cache_capacity());
 }
 
 // In-place iterative radix-2 Cooley-Tukey; requires power-of-two size.
@@ -92,13 +159,8 @@ struct BluesteinTables {
 
 std::shared_ptr<const BluesteinTables> bluestein_tables(std::size_t n,
                                                         bool inverse) {
-  static std::mutex mutex;
-  static std::map<std::pair<std::size_t, bool>,
-                  std::shared_ptr<const BluesteinTables>>
-      cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find({n, inverse});
-  if (it != cache.end()) return it->second;
+  static TableCache<std::pair<std::size_t, bool>, BluesteinTables> cache;
+  if (auto hit = cache.find({n, inverse})) return hit;
 
   auto tables = std::make_shared<BluesteinTables>();
   const double sign = inverse ? 1.0 : -1.0;
@@ -118,42 +180,49 @@ std::shared_ptr<const BluesteinTables> bluestein_tables(std::size_t n,
   }
   fft_radix2(b, false);
   tables->fft_b = std::move(b);
-  cache.emplace(std::make_pair(n, inverse), tables);
-  return tables;
+  return cache.insert(std::make_pair(n, inverse), std::move(tables),
+                      fft_table_cache_capacity());
 }
 
 // Bluestein chirp-z transform: arbitrary-N DFT via a power-of-two
 // convolution.  Handles the non-power-of-two frame sizes STFT produces.
-CVec fft_bluestein(const CVec& x, bool inverse) {
+// Operates on x in place, staging the convolution in ws.conv, which is
+// reused across calls (assign never shrinks capacity, so repeated
+// transforms of one size are allocation-free).
+void fft_bluestein_inplace(CVec& x, bool inverse, FftWorkspace& ws) {
   const std::size_t n = x.size();
   const std::shared_ptr<const BluesteinTables> t = bluestein_tables(n, inverse);
   const CVec& chirp = t->chirp;
   const std::size_t m = t->m;
 
-  CVec a(m, {0.0, 0.0});
+  CVec& a = ws.conv;
+  a.assign(m, {0.0, 0.0});
   for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
   fft_radix2(a, false);
   for (std::size_t k = 0; k < m; ++k) a[k] *= t->fft_b[k];
   fft_radix2(a, true);
   for (auto& v : a) v /= static_cast<double>(m);
 
-  CVec out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
-  return out;
+  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
 }
 
-CVec transform(const CVec& x, bool inverse) {
-  if (x.empty()) return {};
-  CVec y = x;
+void transform_inplace(CVec& y, bool inverse, FftWorkspace& ws) {
+  if (y.empty()) return;
   if (is_power_of_two(y.size())) {
     fft_radix2(y, inverse);
   } else {
-    y = fft_bluestein(y, inverse);
+    fft_bluestein_inplace(y, inverse, ws);
   }
   if (inverse) {
     for (auto& v : y) v /= static_cast<double>(y.size());
   }
-  return y;
+}
+
+// Workspace backing the copying fft()/ifft() entry points, so even the
+// allocating API reuses its Bluestein buffers within a thread.
+FftWorkspace& tls_fft_workspace() {
+  thread_local FftWorkspace ws;
+  return ws;
 }
 
 }  // namespace
@@ -166,9 +235,34 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-CVec fft(const CVec& x) { return transform(x, false); }
+CVec fft(const CVec& x) {
+  CVec y = x;
+  transform_inplace(y, false, tls_fft_workspace());
+  return y;
+}
 
-CVec ifft(const CVec& x) { return transform(x, true); }
+CVec ifft(const CVec& x) {
+  CVec y = x;
+  transform_inplace(y, true, tls_fft_workspace());
+  return y;
+}
+
+void fft_inplace(CVec& x, FftWorkspace& ws) { transform_inplace(x, false, ws); }
+
+void ifft_inplace(CVec& x, FftWorkspace& ws) { transform_inplace(x, true, ws); }
+
+std::size_t fft_table_cache_capacity() {
+  static const std::size_t cap = [] {
+    if (const char* env = std::getenv("RCR_FFT_CACHE")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0 && v <= 1000000)
+        return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(64);
+  }();
+  return cap;
+}
 
 CVec rfft(const Vec& x) {
   const CVec full = fft(to_complex(x));

@@ -28,6 +28,29 @@ CVec fft(const CVec& x);
 /// Inverse DFT with 1/N normalization.
 CVec ifft(const CVec& x);
 
+/// Reusable scratch for the in-place transforms.  Holds the Bluestein
+/// convolution buffer; after the first transform of a given size, repeated
+/// in-place transforms through the same workspace perform zero heap
+/// allocations.  A workspace is not thread-safe -- use one per thread
+/// (pool workers typically hold one in thread_local storage).
+struct FftWorkspace {
+  CVec conv;  ///< Power-of-two Bluestein convolution buffer.
+};
+
+/// In-place forward DFT of `x` (any length), using `ws` for scratch.
+/// Bit-identical to fft(x); allocation-free once `ws` and the twiddle-table
+/// caches are warm.
+void fft_inplace(CVec& x, FftWorkspace& ws);
+
+/// In-place inverse DFT with 1/N normalization.  Bit-identical to ifft(x).
+void ifft_inplace(CVec& x, FftWorkspace& ws);
+
+/// Capacity of each per-size FFT table cache (radix-2 twiddles, Bluestein
+/// chirps): the RCR_FFT_CACHE environment variable when set to a positive
+/// integer, otherwise 64.  Least-recently-used sizes are evicted beyond the
+/// cap, bounding cache memory during sweeps over many transform sizes.
+std::size_t fft_table_cache_capacity();
+
 /// Forward DFT of a real signal; returns bins 0..N/2 (length N/2+1).
 CVec rfft(const Vec& x);
 

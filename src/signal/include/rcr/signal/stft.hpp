@@ -42,6 +42,15 @@ class TfGrid {
   const CVec& data() const { return data_; }
   CVec& data() { return data_; }
 
+  /// Reshape to bins x frames with all entries zero, reusing the existing
+  /// heap block whenever its capacity suffices (the TfGrid analogue of
+  /// Matrix::assign; lets stft_into run allocation-free once warm).
+  void assign(std::size_t bins, std::size_t frames) {
+    bins_ = bins;
+    frames_ = frames;
+    data_.assign(bins * frames, {0.0, 0.0});
+  }
+
   /// Max_ij |a_ij - b_ij|; +inf on shape mismatch.
   static double max_abs_diff(const TfGrid& a, const TfGrid& b);
 
@@ -86,6 +95,12 @@ struct StftConfig {
 /// Throws std::invalid_argument when the config is invalid or the signal is
 /// shorter than the window (for kTruncate padding).
 TfGrid stft(const Vec& signal, const StftConfig& config);
+
+/// Forward STFT written into `out` (reshaped, storage reused).  Frame
+/// buffers and FFT scratch live in per-thread storage, so repeated calls at
+/// a fixed configuration perform zero steady-state heap allocations.
+/// Bit-identical to stft().
+void stft_into(const Vec& signal, const StftConfig& config, TfGrid& out);
 
 /// Least-squares inverse STFT (overlap-add with window-square normalization)
 /// for circular padding; reconstructs a signal of length `n`.

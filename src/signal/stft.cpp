@@ -51,6 +51,12 @@ std::size_t StftConfig::frame_count(std::size_t n) const {
 }
 
 TfGrid stft(const Vec& signal, const StftConfig& config) {
+  TfGrid out;
+  stft_into(signal, config, out);
+  return out;
+}
+
+void stft_into(const Vec& signal, const StftConfig& config, TfGrid& out) {
   config.validate();
   if (signal.empty()) throw std::invalid_argument("stft: empty signal");
   const std::size_t lg = config.window.size();
@@ -67,14 +73,17 @@ TfGrid stft(const Vec& signal, const StftConfig& config) {
           : 0;
 
   // Frames are independent: each task windows, transforms, and writes its
-  // own columns of the grid.  The FFT twiddle caches are shared and
-  // mutex-guarded, so concurrent frames reuse one table per size.
-  TfGrid out(m, frames);
+  // own columns of the grid.  The frame buffer and Bluestein scratch are
+  // thread_local, so a worker thread reuses one high-water-sized pair across
+  // every frame it processes and across successive stft calls; the FFT
+  // twiddle caches are shared behind a reader-friendly lock.
+  out.assign(m, frames);
   rt::parallel_for(0, frames, 1, [&](std::size_t n0, std::size_t n1) {
-    CVec frame(m);
+    thread_local CVec frame;
+    thread_local FftWorkspace ws;
     for (std::size_t n = n0; n < n1; ++n) {
       const auto start = static_cast<std::ptrdiff_t>(n * config.hop) + offset;
-      for (std::size_t l = 0; l < m; ++l) frame[l] = {0.0, 0.0};
+      frame.assign(m, {0.0, 0.0});
       for (std::size_t l = 0; l < lg; ++l) {
         const std::size_t src =
             config.padding == FramePadding::kCircular
@@ -82,16 +91,23 @@ TfGrid stft(const Vec& signal, const StftConfig& config) {
                 : static_cast<std::size_t>(start) + l;
         frame[l] = {signal[src] * config.window[l], 0.0};
       }
-      const CVec spectrum = fft(frame);
-      for (std::size_t bin = 0; bin < m; ++bin) out(bin, n) = spectrum[bin];
+      fft_inplace(frame, ws);
+      for (std::size_t bin = 0; bin < m; ++bin) out(bin, n) = frame[bin];
     }
   });
 
   if (config.convention == StftConvention::kTimeInvariant) {
-    const TfGrid p = phase_factor_matrix(m, frames, lg, m);
-    return pointwise_multiply(out, p);
+    // Apply the per-bin phase factor in place: same complex product the
+    // pointwise_multiply(out, phase_factor_matrix(...)) path computed, minus
+    // the two grid allocations.
+    const double shift = static_cast<double>(lg / 2);
+    for (std::size_t bin = 0; bin < m; ++bin) {
+      const double ang = kTwoPi * static_cast<double>(bin) * shift /
+                         static_cast<double>(m);
+      const std::complex<double> factor(std::cos(ang), std::sin(ang));
+      for (std::size_t n = 0; n < frames; ++n) out(bin, n) *= factor;
+    }
   }
-  return out;
 }
 
 Vec istft(const TfGrid& grid, const StftConfig& config, std::size_t n) {
@@ -119,13 +135,14 @@ Vec istft(const TfGrid& grid, const StftConfig& config, std::size_t n) {
   Vec numer(n, 0.0);
   Vec denom(n, 0.0);
   CVec column(m);
+  FftWorkspace ws;
   for (std::size_t fr = 0; fr < work.frames(); ++fr) {
     for (std::size_t bin = 0; bin < m; ++bin) column[bin] = work(bin, fr);
-    const CVec time = ifft(column);
+    ifft_inplace(column, ws);  // column now holds the time-domain frame
     const auto start = static_cast<std::ptrdiff_t>(fr * config.hop) + offset;
     for (std::size_t l = 0; l < lg; ++l) {
       const std::size_t dst = wrap(start + static_cast<std::ptrdiff_t>(l), n);
-      numer[dst] += config.window[l] * time[l].real();
+      numer[dst] += config.window[l] * column[l].real();
       denom[dst] += config.window[l] * config.window[l];
     }
   }

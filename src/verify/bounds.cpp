@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "rcr/rt/parallel.hpp"
 
@@ -110,15 +111,22 @@ LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input) {
   net.validate();
   input.validate();
   LayerBounds out;
+  out.pre_activation.reserve(net.layers.size());
   Vec mu = input.center();
   Vec r = input.radius();
+
+  // Layer-persistent buffers: only the per-layer result boxes (which outlive
+  // the loop inside `out`) allocate once the buffers have grown to the
+  // widest layer.
+  Vec mu_next;
+  Vec r_next;
 
   for (std::size_t k = 0; k < net.layers.size(); ++k) {
     const AffineLayer& layer = net.layers[k];
     // mu' = W mu + b;  r' = |W| r.
-    Vec mu_next = num::matvec(layer.w, mu);
+    num::matvec_into(layer.w, mu, mu_next);
     for (std::size_t i = 0; i < mu_next.size(); ++i) mu_next[i] += layer.b[i];
-    Vec r_next(layer.out_dim(), 0.0);
+    r_next.assign(layer.out_dim(), 0.0);
     rt::parallel_for(0, layer.w.rows(), kNeuronGrain,
                      [&](std::size_t i0, std::size_t i1) {
                        for (std::size_t i = i0; i < i1; ++i)
@@ -126,10 +134,14 @@ LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input) {
                            r_next[i] += std::abs(layer.w(i, j)) * r[j];
                      });
 
-    Box pre;
-    pre.lower = num::sub(mu_next, r_next);
-    pre.upper = num::add(mu_next, r_next);
-    out.pre_activation.push_back(pre);
+    out.pre_activation.emplace_back();
+    Box& pre = out.pre_activation.back();
+    pre.lower.resize(mu_next.size());
+    pre.upper.resize(mu_next.size());
+    for (std::size_t i = 0; i < mu_next.size(); ++i) {
+      pre.lower[i] = mu_next[i] - r_next[i];
+      pre.upper[i] = mu_next[i] + r_next[i];
+    }
 
     if (k + 1 < net.layers.size()) {
       mu.assign(pre.lower.size(), 0.0);
@@ -200,16 +212,27 @@ struct CrownEngine {
     return (*alpha)[layer][neuron];
   }
 
+  // Workspaces reused by every bound_layer call (and, within one call, by
+  // every backward step j): once sized for the widest layer the backward
+  // substitution performs no steady-state heap allocations beyond the
+  // returned Box.
+  Matrix lu, ll;        // linear forms being propagated
+  Matrix lu_z, ll_z;    // forms after the ReLU substitution
+  Matrix lu_next, ll_next;  // products (lu_z W_j) before the swap
+  Vec cu, cl;
+  Vec mv_scratch;
+  std::vector<ReluRelax> rx;
+
   // Backward-propagate linear bounds for the pre-activations of layer k
   // (0-based), given clipped bounds for layers 0..k-1 in `pre`.
   Box bound_layer(std::size_t k) {
     const std::size_t n_out = net.layers[k].out_dim();
     // Linear forms: z_k <= LU * a_{j} + cu  and  z_k >= LL * a_j + cl,
     // initialized at a_{k-1}.
-    Matrix lu = net.layers[k].w;
-    Matrix ll = net.layers[k].w;
-    Vec cu = net.layers[k].b;
-    Vec cl = net.layers[k].b;
+    lu = net.layers[k].w;
+    ll = net.layers[k].w;
+    cu = net.layers[k].b;
+    cl = net.layers[k].b;
 
     for (std::size_t j = k; j-- > 0;) {
       // Substitute a_j = ReLU(z_j) using the per-neuron relaxations.  The
@@ -219,7 +242,7 @@ struct CrownEngine {
       // its cu/cl entry, and accumulates over columns in ascending order
       // exactly like the serial loop.
       const std::size_t width = net.layers[j].out_dim();
-      std::vector<ReluRelax> rx(width);
+      rx.resize(width);
       for (std::size_t col = 0; col < width; ++col) {
         const double l = pre[j].lower[col];
         const double u = pre[j].upper[col];
@@ -227,8 +250,8 @@ struct CrownEngine {
         if (l < 0.0 && u > 0.0)
           rx[col].low_slope = lower_slope_of(j, col, rx[col].low_slope);
       }
-      Matrix lu_z(n_out, width);
-      Matrix ll_z(n_out, width);
+      lu_z.resize(n_out, width);
+      ll_z.resize(n_out, width);
       rt::parallel_for(0, n_out, kNeuronGrain, [&](std::size_t r0,
                                                    std::size_t r1) {
         for (std::size_t row = r0; row < r1; ++row) {
@@ -254,10 +277,14 @@ struct CrownEngine {
         }
       });
       // Through the affine layer j: z_j = W_j a_{j-1} + b_j.
-      cu = num::add(cu, num::matvec(lu_z, net.layers[j].b));
-      cl = num::add(cl, num::matvec(ll_z, net.layers[j].b));
-      lu = lu_z * net.layers[j].w;
-      ll = ll_z * net.layers[j].w;
+      num::matvec_into(lu_z, net.layers[j].b, mv_scratch);
+      for (std::size_t i = 0; i < cu.size(); ++i) cu[i] += mv_scratch[i];
+      num::matvec_into(ll_z, net.layers[j].b, mv_scratch);
+      for (std::size_t i = 0; i < cl.size(); ++i) cl[i] += mv_scratch[i];
+      num::multiply_into(lu_z, net.layers[j].w, lu_next);
+      num::multiply_into(ll_z, net.layers[j].w, ll_next);
+      std::swap(lu, lu_next);
+      std::swap(ll, ll_next);
     }
 
     // Concretize on the input box.
@@ -290,6 +317,8 @@ struct CrownEngine {
     // are sound, so their intersection is too.
     const LayerBounds ibp = ibp_bounds(net, input);
     LayerBounds result;
+    result.pre_activation.reserve(net.layers.size());
+    pre.reserve(net.layers.size());
     for (std::size_t k = 0; k < net.layers.size(); ++k) {
       Box b = bound_layer(k);
       for (std::size_t i = 0; i < b.dim(); ++i) {

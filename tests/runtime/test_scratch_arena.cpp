@@ -1,0 +1,170 @@
+// ScratchArena unit tests: alignment, scope rewind, nesting, growth,
+// high-water consolidation, per-thread isolation, and steady-state
+// allocation freedom (via the counting allocator in rcr_allocprobe).
+#include "rcr/rt/scratch_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "rcr/rt/alloc_probe.hpp"
+#include "rcr/rt/parallel.hpp"
+
+namespace rt = rcr::rt;
+
+namespace {
+
+bool is_aligned(const void* p, std::size_t alignment) {
+  return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;
+}
+
+}  // namespace
+
+TEST(ScratchArena, RespectsAlignment) {
+  rt::ScratchArena arena;
+  // Interleave odd sizes with strict alignments to force padding.
+  for (std::size_t alignment : {1u, 2u, 8u, 16u, 64u, 256u}) {
+    void* odd = arena.allocate(3, 1);
+    ASSERT_NE(odd, nullptr);
+    void* p = arena.allocate(17, alignment);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(is_aligned(p, alignment)) << "alignment " << alignment;
+  }
+}
+
+TEST(ScratchArena, TypedAllocIsUsableStorage) {
+  rt::ScratchArena arena;
+  double* xs = arena.alloc<double>(128);
+  ASSERT_NE(xs, nullptr);
+  EXPECT_TRUE(is_aligned(xs, alignof(double)));
+  for (int i = 0; i < 128; ++i) xs[i] = static_cast<double>(i);
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(xs[i], static_cast<double>(i));
+}
+
+TEST(ScratchArena, RejectsNonPowerOfTwoAlignment) {
+  rt::ScratchArena arena;
+  EXPECT_THROW(arena.allocate(8, 3), std::invalid_argument);
+  EXPECT_THROW(arena.allocate(8, 0), std::invalid_argument);
+}
+
+TEST(ScratchArena, ScopeRewindsToMarker) {
+  rt::ScratchArena arena;
+  arena.allocate(100, 8);
+  const std::size_t before = arena.used();
+  void* first;
+  {
+    const auto scope = arena.scope();
+    first = arena.allocate(64, 8);
+    EXPECT_GT(arena.used(), before);
+  }
+  EXPECT_EQ(arena.used(), before);
+  // The rewound storage is handed out again.
+  const auto scope = arena.scope();
+  void* second = arena.allocate(64, 8);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ScratchArena, NestedScopesUnwindLifo) {
+  rt::ScratchArena arena;
+  const auto outer = arena.scope();
+  arena.allocate(32, 8);
+  const std::size_t after_outer = arena.used();
+  {
+    const auto inner = arena.scope();
+    arena.allocate(512, 8);
+    const std::size_t after_inner = arena.used();
+    EXPECT_GT(after_inner, after_outer);
+    {
+      const auto innermost = arena.scope();
+      arena.allocate(1024, 8);
+      EXPECT_GT(arena.used(), after_inner);
+    }
+    EXPECT_EQ(arena.used(), after_inner);
+  }
+  EXPECT_EQ(arena.used(), after_outer);
+}
+
+TEST(ScratchArena, GrowsGeometricallyAndTracksHighWater) {
+  rt::ScratchArena arena;
+  EXPECT_EQ(arena.capacity(), 0u);
+  arena.allocate(100, 8);
+  const std::size_t cap1 = arena.capacity();
+  EXPECT_GE(cap1, 100u);
+  // Exceed the first block: a strictly larger block is appended.
+  arena.allocate(cap1 + 1, 8);
+  EXPECT_GT(arena.capacity(), cap1);
+  EXPECT_GE(arena.high_water(), cap1 + 1);
+}
+
+TEST(ScratchArena, ResetConsolidatesMultiBlockChains) {
+  rt::ScratchArena arena;
+  // Force a multi-block chain.
+  for (int i = 0; i < 6; ++i) arena.allocate(1 << 12, 8);
+  const std::size_t high = arena.high_water();
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_GE(arena.capacity(), high);
+  // The consolidated arena satisfies the same workload from one block with
+  // no further heap allocations.
+  const rt::AllocDelta delta;
+  const auto scope = arena.scope();
+  for (int i = 0; i < 6; ++i) arena.allocate(1 << 12, 8);
+  EXPECT_EQ(delta.delta(), 0u);
+}
+
+TEST(ScratchArena, SteadyStatePassesAreAllocationFree) {
+  rt::ScratchArena arena;
+  auto pass = [&] {
+    const auto scope = arena.scope();
+    double* a = arena.alloc<double>(300);
+    float* b = arena.alloc<float>(700);
+    a[0] = 1.0;
+    b[0] = 2.0f;
+  };
+  pass();  // warm-up growth
+  const rt::AllocDelta delta;
+  for (int i = 0; i < 50; ++i) pass();
+  EXPECT_EQ(delta.delta(), 0u);
+}
+
+TEST(ScratchArena, TlsArenasArePerThread) {
+  rt::ScratchArena* main_arena = &rt::tls_arena();
+  std::vector<rt::ScratchArena*> seen(4, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      rt::ScratchArena& arena = rt::tls_arena();
+      seen[t] = &arena;
+      // Hammer the arena to give TSan something to bite on if isolation
+      // were broken.
+      for (int i = 0; i < 200; ++i) {
+        const auto scope = arena.scope();
+        double* xs = arena.alloc<double>(64);
+        xs[0] = static_cast<double>(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NE(seen[t], nullptr);
+    EXPECT_NE(seen[t], main_arena);
+    for (int s = 0; s < t; ++s) EXPECT_NE(seen[t], seen[s]);
+  }
+}
+
+TEST(ScratchArena, ReachableFromPoolWorkers) {
+  // Each task block bumps whatever thread it lands on; values written
+  // through the arena must never tear across tasks.
+  std::vector<double> out(1024, 0.0);
+  rt::parallel_for(0, out.size(), 1, [&](std::size_t i0, std::size_t i1) {
+    rt::ScratchArena& arena = rt::tls_arena();
+    const auto scope = arena.scope();
+    double* tmp = arena.alloc<double>(i1 - i0);
+    for (std::size_t i = i0; i < i1; ++i) tmp[i - i0] = static_cast<double>(i);
+    for (std::size_t i = i0; i < i1; ++i) out[i] = tmp[i - i0];
+  });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<double>(i));
+}
