@@ -1,0 +1,112 @@
+// Testkit overhead characterization: the property driver, the shrinking
+// loop, golden signature hashing, and one full fuzz-harness invocation.
+// These numbers bound how much head-room the property suites have inside a
+// CI time budget -- e.g. cases/s for a matmul differential property decides
+// how many cases the default CheckOptions can afford.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/window.hpp"
+#include "rcr/testkit/testkit.hpp"
+
+int main() {
+  using namespace rcr;
+  namespace tk = rcr::testkit;
+
+  std::printf("=== testkit overhead: property driver / shrink / golden / "
+              "fuzz ===\n\n");
+
+  const bool smoke = bench::smoke_mode();
+  const int reps = smoke ? 3 : 20;
+  bench::Harness h("testkit");
+
+  // Property driver throughput on a trivially-true property: measures pure
+  // generator + bookkeeping overhead per case.
+  {
+    tk::CheckOptions opts;
+    opts.cases = smoke ? 20 : 200;
+    opts.honor_replay_env = false;
+    opts.write_artifact = false;
+    h.run("check/gen_vec(64)", std::to_string(opts.cases) + " cases", reps,
+          [&] {
+            const auto result = tk::check<Vec>(
+                "bench vec", tk::gen_vec(1, 64, -1.0, 1.0),
+                [](const Vec&) { return std::string(); }, opts);
+            if (!result.ok) std::abort();
+          });
+  }
+
+  // Differential property: multiply vs multiply_into on generated squares.
+  {
+    tk::CheckOptions opts;
+    opts.cases = smoke ? 10 : 50;
+    opts.honor_replay_env = false;
+    opts.write_artifact = false;
+    h.run("check/diff_matmul(16)", std::to_string(opts.cases) + " cases",
+          reps, [&] {
+            const auto result = tk::check<num::Matrix>(
+                "bench matmul", tk::gen_matrix(2, 16),
+                [](const num::Matrix& m) {
+                  num::Matrix out;
+                  num::multiply_into(m, m, out);
+                  return tk::expect_bits(m * m, out, "product");
+                },
+                opts);
+            if (!result.ok) std::abort();
+          });
+  }
+
+  // Shrinking cost: a property that always fails forces the full greedy
+  // descent from every starting case.
+  {
+    tk::CheckOptions opts;
+    opts.cases = 1;
+    opts.honor_replay_env = false;
+    opts.write_artifact = false;
+    h.run("shrink/vec(64) descent", "1 failing case", reps, [&] {
+      const auto result = tk::check<Vec>(
+          "bench shrink", tk::gen_vec(64, 64, -1.0, 1.0),
+          [](const Vec& v) {
+            return v.size() >= 1 ? "always fails" : std::string();
+          },
+          opts);
+      if (result.ok) std::abort();
+    });
+  }
+
+  // Golden signature hashing over a realistic STFT grid.
+  {
+    sig::StftConfig config;
+    config.window = sig::make_window(sig::WindowKind::kHann, 64);
+    config.hop = 16;
+    config.fft_size = 64;
+    const Vec signal = tk::canonical_signal(smoke ? 512 : 4096, 1);
+    const sig::TfGrid grid = sig::stft(signal, config);
+    h.run("golden/signature_hash",
+          std::to_string(grid.data().size()) + " coeffs", reps,
+          [&] {
+            (void)tk::signature_hash(
+                reinterpret_cast<const double*>(grid.data().data()),
+                grid.data().size() * 2);
+          });
+  }
+
+  // One full fuzz-harness invocation on a mid-sized corpus entry.
+  {
+    const auto corpus = tk::builtin_corpus();
+    const auto& entry = corpus.back();
+    h.run("fuzz/fft_stft_one", std::to_string(entry.size()) + " bytes", reps,
+          [&] {
+            if (!tk::fuzz_fft_stft_one(entry.data(), entry.size()).empty())
+              std::abort();
+          });
+  }
+
+  h.print_table();
+  if (!h.write_json("BENCH_perf_testkit.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_perf_testkit.json\n");
+  std::printf("\nwrote BENCH_perf_testkit.json\n");
+  return 0;
+}

@@ -36,6 +36,7 @@ Tensor BatchNorm1d::forward(const Tensor& input, bool training) {
   Tensor out(input.shape());
   normalized_cache_ = Tensor(input.shape());
   batch_inv_std_.assign(features_, 0.0);
+  training_cache_ = training;
 
   for (std::size_t f = 0; f < features_; ++f) {
     double mean;
@@ -82,12 +83,20 @@ Tensor BatchNorm1d::backward(const Tensor& grad_output) {
     }
     beta_grad_[f] += sum_g;
     gamma_grad_[f] += sum_gx;
-    // dL/dx = gamma * inv_std / N * (N*g - sum_g - xhat * sum_gx).
-    const double coeff = gamma_[f] * batch_inv_std_[f] / nb;
-    for (std::size_t b = 0; b < batch; ++b) {
-      const double g = grad_output.at2(b, f);
-      grad_input.at2(b, f) =
-          coeff * (nb * g - sum_g - normalized_cache_.at2(b, f) * sum_gx);
+    if (training_cache_) {
+      // dL/dx = gamma * inv_std / N * (N*g - sum_g - xhat * sum_gx).
+      const double coeff = gamma_[f] * batch_inv_std_[f] / nb;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double g = grad_output.at2(b, f);
+        grad_input.at2(b, f) =
+            coeff * (nb * g - sum_g - normalized_cache_.at2(b, f) * sum_gx);
+      }
+    } else {
+      // Eval mode normalizes with *running* statistics, which are constants
+      // w.r.t. the input: the map is affine, dL/dx = gamma * inv_std * g.
+      const double coeff = gamma_[f] * batch_inv_std_[f];
+      for (std::size_t b = 0; b < batch; ++b)
+        grad_input.at2(b, f) = coeff * grad_output.at2(b, f);
     }
   }
   return grad_input;
@@ -122,6 +131,7 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   Tensor out(input.shape());
   normalized_cache_ = Tensor(input.shape());
   batch_inv_std_.assign(channels_, 0.0);
+  training_cache_ = training;
 
   for (std::size_t c = 0; c < channels_; ++c) {
     double mean;
@@ -175,13 +185,23 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       }
     beta_grad_[c] += sum_g;
     gamma_grad_[c] += sum_gx;
-    const double coeff = gamma_[c] * batch_inv_std_[c] / count;
-    for (std::size_t b = 0; b < batch; ++b)
-      for (std::size_t k = 0; k < area; ++k) {
-        const std::size_t idx = (b * channels_ + c) * area + k;
-        grad_input[idx] = coeff * (count * grad_output[idx] - sum_g -
-                                   normalized_cache_[idx] * sum_gx);
-      }
+    if (training_cache_) {
+      const double coeff = gamma_[c] * batch_inv_std_[c] / count;
+      for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t k = 0; k < area; ++k) {
+          const std::size_t idx = (b * channels_ + c) * area + k;
+          grad_input[idx] = coeff * (count * grad_output[idx] - sum_g -
+                                     normalized_cache_[idx] * sum_gx);
+        }
+    } else {
+      // Running statistics are constants in eval mode: affine map only.
+      const double coeff = gamma_[c] * batch_inv_std_[c];
+      for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t k = 0; k < area; ++k) {
+          const std::size_t idx = (b * channels_ + c) * area + k;
+          grad_input[idx] = coeff * grad_output[idx];
+        }
+    }
   }
   return grad_input;
 }

@@ -186,6 +186,181 @@ std::vector<ParamRef> Conv2d::params() {
           {&bias_, &bias_grad_, "conv2d.bias"}};
 }
 
+ConvTranspose2d::ConvTranspose2d(std::size_t in_channels,
+                                 std::size_t out_channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t padding,
+                                 num::Rng& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(in_channels * out_channels * kernel * kernel),
+      bias_(out_channels, 0.0),
+      weight_grad_(weight_.size(), 0.0),
+      bias_grad_(out_channels, 0.0) {
+  if (kernel == 0 || stride == 0)
+    throw std::invalid_argument("ConvTranspose2d: zero kernel or stride");
+  if (2 * padding >= kernel)
+    throw std::invalid_argument("ConvTranspose2d: padding too large");
+  const double bound = he_bound(in_channels * kernel * kernel);
+  for (double& w : weight_) w = rng.uniform(-bound, bound);
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input, bool) {
+  if (input.rank() != 4 || input.dim(1) != in_ch_)
+    throw std::invalid_argument("ConvTranspose2d::forward: expected {B," +
+                                std::to_string(in_ch_) + ",H,W}, got " +
+                                input.shape_string());
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = (h - 1) * stride_ + kernel_ - 2 * padding_;
+  const std::size_t ow = (w - 1) * stride_ + kernel_ - 2 * padding_;
+
+  input_cache_ = input;
+  Tensor out({batch, out_ch_, oh, ow});
+
+  // Gather form: every output element is written by exactly one task, so
+  // parallelizing over (batch, out-channel) planes is race free and keeps
+  // the serial accumulation order (i, r, c ascending) bit-identical.
+  const double* in = input.data().data();
+  rt::parallel_for(0, batch * out_ch_, 1, [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t b = p / out_ch_;
+      const std::size_t o = p % out_ch_;
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          double acc = bias_[o];
+          for (std::size_t i = 0; i < in_ch_; ++i) {
+            for (std::size_t r = 0; r < kernel_; ++r) {
+              // y = iy*stride + r - pad  =>  iy = (y + pad - r) / stride.
+              const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) +
+                                        static_cast<std::ptrdiff_t>(padding_) -
+                                        static_cast<std::ptrdiff_t>(r);
+              if (ny < 0 || ny % static_cast<std::ptrdiff_t>(stride_) != 0)
+                continue;
+              const std::size_t iy =
+                  static_cast<std::size_t>(ny) / stride_;
+              if (iy >= h) continue;
+              const double* irow = in + ((b * in_ch_ + i) * h + iy) * w;
+              const double* wrow = weight_.data() + widx(i, o, r, 0);
+              for (std::size_t c = 0; c < kernel_; ++c) {
+                const std::ptrdiff_t nx =
+                    static_cast<std::ptrdiff_t>(x) +
+                    static_cast<std::ptrdiff_t>(padding_) -
+                    static_cast<std::ptrdiff_t>(c);
+                if (nx < 0 || nx % static_cast<std::ptrdiff_t>(stride_) != 0)
+                  continue;
+                const std::size_t ix =
+                    static_cast<std::size_t>(nx) / stride_;
+                if (ix >= w) continue;
+                acc += wrow[c] * irow[ix];
+              }
+            }
+          }
+          out.at4(b, o, y, x) = acc;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  const Tensor& input = input_cache_;
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = grad_output.dim(2);
+  const std::size_t ow = grad_output.dim(3);
+
+  // grad_input is an ordinary strided correlation of grad_output with the
+  // kernel: input element (iy, ix) touched output (iy*stride + r - pad,
+  // ix*stride + c - pad).  Parallel over batch, each sample owned by one
+  // task.
+  Tensor grad_input(input.shape());
+  rt::parallel_for(0, batch, 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::size_t i = 0; i < in_ch_; ++i) {
+        for (std::size_t iy = 0; iy < h; ++iy) {
+          for (std::size_t ix = 0; ix < w; ++ix) {
+            double acc = 0.0;
+            for (std::size_t o = 0; o < out_ch_; ++o) {
+              for (std::size_t r = 0; r < kernel_; ++r) {
+                const std::ptrdiff_t y =
+                    static_cast<std::ptrdiff_t>(iy * stride_ + r) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (y < 0 || y >= static_cast<std::ptrdiff_t>(oh)) continue;
+                const double* grow =
+                    grad_output.data().data() +
+                    ((b * out_ch_ + o) * oh + static_cast<std::size_t>(y)) *
+                        ow;
+                const double* wrow = weight_.data() + widx(i, o, r, 0);
+                for (std::size_t c = 0; c < kernel_; ++c) {
+                  const std::ptrdiff_t x =
+                      static_cast<std::ptrdiff_t>(ix * stride_ + c) -
+                      static_cast<std::ptrdiff_t>(padding_);
+                  if (x < 0 || x >= static_cast<std::ptrdiff_t>(ow)) continue;
+                  acc += wrow[c] * grow[static_cast<std::size_t>(x)];
+                }
+              }
+            }
+            grad_input.at4(b, i, iy, ix) = acc;
+          }
+        }
+      }
+    }
+  });
+
+  // Weight gradients: slice [i][...] is owned by one task.
+  rt::parallel_for(0, in_ch_, 1, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t iy = 0; iy < h; ++iy) {
+          for (std::size_t ix = 0; ix < w; ++ix) {
+            const double v = input.at4(b, i, iy, ix);
+            if (v == 0.0) continue;
+            for (std::size_t o = 0; o < out_ch_; ++o) {
+              for (std::size_t r = 0; r < kernel_; ++r) {
+                const std::ptrdiff_t y =
+                    static_cast<std::ptrdiff_t>(iy * stride_ + r) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (y < 0 || y >= static_cast<std::ptrdiff_t>(oh)) continue;
+                const double* grow =
+                    grad_output.data().data() +
+                    ((b * out_ch_ + o) * oh + static_cast<std::size_t>(y)) *
+                        ow;
+                double* wgrow = weight_grad_.data() + widx(i, o, r, 0);
+                for (std::size_t c = 0; c < kernel_; ++c) {
+                  const std::ptrdiff_t x =
+                      static_cast<std::ptrdiff_t>(ix * stride_ + c) -
+                      static_cast<std::ptrdiff_t>(padding_);
+                  if (x < 0 || x >= static_cast<std::ptrdiff_t>(ow)) continue;
+                  wgrow[c] += v * grow[static_cast<std::size_t>(x)];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+
+  for (std::size_t o = 0; o < out_ch_; ++o)
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t y = 0; y < oh; ++y)
+        for (std::size_t x = 0; x < ow; ++x)
+          bias_grad_[o] += grad_output.at4(b, o, y, x);
+
+  return grad_input;
+}
+
+std::vector<ParamRef> ConvTranspose2d::params() {
+  return {{&weight_, &weight_grad_, "conv_transpose2d.weight"},
+          {&bias_, &bias_grad_, "conv_transpose2d.bias"}};
+}
+
 Tensor MaxPool2d::forward(const Tensor& input, bool) {
   if (input.rank() != 4)
     throw std::invalid_argument("MaxPool2d::forward: expected rank-4 input");

@@ -49,6 +49,7 @@ class BatchNorm1d final : public Layer {
   // Caches for backward.
   Tensor normalized_cache_;
   Vec batch_inv_std_;
+  bool training_cache_ = true;
 };
 
 /// Batch normalization over {B, C, H, W}: per-channel statistics across the
@@ -76,6 +77,7 @@ class BatchNorm2d final : public Layer {
 
   Tensor normalized_cache_;
   Vec batch_inv_std_;
+  bool training_cache_ = true;
 };
 
 }  // namespace rcr::nn

@@ -49,6 +49,43 @@ class Conv2d final : public Layer {
   }
 };
 
+/// Transposed 2D convolution (fractionally-strided): {B, Cin, H, W} ->
+/// {B, Cout, H', W'} with H' = (H - 1)*stride + k - 2*pad.  The gradient of
+/// a Conv2d forward pass w.r.t. its input, promoted to a learnable layer --
+/// the standard DCGAN generator upsampler.
+class ConvTranspose2d final : public Layer {
+ public:
+  ConvTranspose2d(std::size_t in_channels, std::size_t out_channels,
+                  std::size_t kernel, std::size_t stride, std::size_t padding,
+                  num::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamRef> params() override;
+  std::string name() const override { return "conv_transpose2d"; }
+
+  std::size_t in_channels() const { return in_ch_; }
+  std::size_t out_channels() const { return out_ch_; }
+  std::size_t kernel() const { return kernel_; }
+
+ private:
+  std::size_t in_ch_;
+  std::size_t out_ch_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  Vec weight_;  ///< [in][out][k][k] flattened (transposed-conv convention).
+  Vec bias_;
+  Vec weight_grad_;
+  Vec bias_grad_;
+  Tensor input_cache_;
+
+  std::size_t widx(std::size_t i, std::size_t o, std::size_t r,
+                   std::size_t c) const {
+    return ((i * out_ch_ + o) * kernel_ + r) * kernel_ + c;
+  }
+};
+
 /// 2x2 max pooling with stride 2 (dimensions must be even).
 class MaxPool2d final : public Layer {
  public:

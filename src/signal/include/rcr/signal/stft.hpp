@@ -73,6 +73,9 @@ enum class StftConvention {
 enum class FramePadding {
   kCircular,   ///< s is treated circularly (reference behaviour).
   kTruncate,   ///< only frames fully inside the signal: n <= (L - Lg)/a.
+               ///< Valid only with the STI convention: TI frames are
+               ///< centered, so frame 0 always reaches floor(Lg/2) samples
+               ///< before the signal start (validate() rejects the combo).
 };
 
 /// STFT parameters.  `fft_size` M may exceed the window length (zero-padded

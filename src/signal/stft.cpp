@@ -40,6 +40,11 @@ void StftConfig::validate() const {
   if (hop == 0) throw std::invalid_argument("StftConfig: zero hop");
   if (fft_size < window.size())
     throw std::invalid_argument("StftConfig: fft_size smaller than window");
+  if (convention == StftConvention::kTimeInvariant &&
+      padding == FramePadding::kTruncate)
+    throw std::invalid_argument(
+        "StftConfig: time-invariant convention requires circular padding "
+        "(centered frames extend floor(Lg/2) samples before the signal)");
 }
 
 std::size_t StftConfig::frame_count(std::size_t n) const {

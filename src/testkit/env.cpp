@@ -1,0 +1,62 @@
+#include "rcr/testkit/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rcr::testkit {
+
+std::optional<std::uint64_t> env_replay_seed() {
+  const char* env = std::getenv("RCR_TESTKIT_SEED");
+  if (env == nullptr || env[0] == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 0);
+  if (end == env || (end != nullptr && *end != '\0')) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string env_artifact_dir() {
+  const char* env = std::getenv("RCR_TESTKIT_ARTIFACT_DIR");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+bool env_regen_golden() {
+  const char* env = std::getenv("RCR_REGEN_GOLDEN");
+  return env != nullptr && env[0] == '1';
+}
+
+bool env_golden_strict() {
+  const char* env = std::getenv("RCR_GOLDEN_STRICT");
+  return env == nullptr || env[0] != '0';
+}
+
+double env_fuzz_budget_seconds(double fallback) {
+  const char* env = std::getenv("RCR_FUZZ_BUDGET_S");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return (end == env || v <= 0.0) ? fallback : v;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string write_artifact(const std::string& file, const std::string& text) {
+  const std::string dir = env_artifact_dir();
+  if (dir.empty()) return "";
+  // Flatten path separators so an entry name cannot escape the dir.
+  std::string safe = file;
+  for (char& c : safe)
+    if (c == '/' || c == '\\') c = '_';
+  const std::string path = dir + "/" + safe;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace rcr::testkit

@@ -1,0 +1,267 @@
+#include "rcr/testkit/fuzz.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "rcr/signal/fft.hpp"
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/window.hpp"
+#include "rcr/testkit/env.hpp"
+#include "rcr/testkit/ulp.hpp"
+
+namespace rcr::testkit {
+
+// ---------------------------------------------------------------------------
+// ByteReader.
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ >= size_) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  std::uint16_t v = u8();
+  v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(u8()) << 8));
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b)
+    v |= static_cast<std::uint64_t>(u8()) << (8 * b);
+  return v;
+}
+
+std::size_t ByteReader::size_in(std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::size_t>(u16()) % (hi - lo + 1);
+}
+
+double ByteReader::sample(double amplitude) {
+  // Map raw bits to a finite value in [-amplitude, amplitude]; every byte
+  // pattern decodes to a usable sample so the fuzzer never wastes inputs.
+  const std::uint64_t bits = u64();
+  const double unit =
+      static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+  return amplitude * (2.0 * unit - 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// FFT workload.
+
+namespace {
+
+std::string prefix(const char* harness, const std::string& diag) {
+  if (diag.empty()) return "";
+  return std::string(harness) + ": " + diag;
+}
+
+}  // namespace
+
+std::string fuzz_fft_one(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  const std::size_t n = r.size_in(1, 128);
+  sig::CVec x(n);
+  for (auto& v : x) v = {r.sample(), r.sample()};
+
+  // fft then ifft recovers the input (scaled tolerance: Bluestein lengths
+  // accumulate more rounding than radix-2).
+  const sig::CVec spectrum = sig::fft(x);
+  if (spectrum.size() != n) return "fft: output size != input size";
+  const sig::CVec roundtrip = sig::ifft(spectrum);
+  std::string diag = expect_close(x, roundtrip, 1e-9 * static_cast<double>(n),
+                                  1e-9, "fft/ifft roundtrip");
+  if (!diag.empty()) return prefix("fft", diag);
+
+  // Against the O(N^2) oracle for small N.
+  if (n <= 64) {
+    const sig::CVec reference = sig::dft_reference(x);
+    diag = expect_close(spectrum, reference, 1e-8 * static_cast<double>(n),
+                        1e-8, "fft vs dft_reference");
+    if (!diag.empty()) return prefix("fft", diag);
+  }
+
+  // In-place variant is bit-identical to the allocating one.
+  sig::CVec inplace = x;
+  sig::FftWorkspace ws;
+  sig::fft_inplace(inplace, ws);
+  diag = expect_bits(spectrum, inplace, "fft vs fft_inplace");
+  if (!diag.empty()) return prefix("fft", diag);
+  sig::ifft_inplace(inplace, ws);
+  diag = expect_bits(roundtrip, inplace, "ifft vs ifft_inplace");
+  if (!diag.empty()) return prefix("fft", diag);
+
+  // rfft agrees with fft of the real part, and irfft inverts it.
+  Vec real(n);
+  for (std::size_t i = 0; i < n; ++i) real[i] = x[i].real();
+  const sig::CVec half = sig::rfft(real);
+  if (half.size() != n / 2 + 1) return "rfft: wrong output size";
+  const sig::CVec full = sig::fft(sig::to_complex(real));
+  for (std::size_t m = 0; m < half.size(); ++m) {
+    const std::uint64_t dr = ulp_distance(half[m].real(), full[m].real());
+    const std::uint64_t di = ulp_distance(half[m].imag(), full[m].imag());
+    if (std::abs(half[m] - full[m]) > 1e-9 * (1.0 + std::abs(full[m]))) {
+      std::ostringstream os;
+      os << "fft: rfft bin " << m << " disagrees with fft (" << dr << "/"
+         << di << " ulps)";
+      return os.str();
+    }
+  }
+  const Vec back = sig::irfft(half, n);
+  diag = expect_close(back, real, 1e-9 * static_cast<double>(n), 1e-9,
+                      "rfft/irfft roundtrip");
+  return prefix("fft", diag);
+}
+
+// ---------------------------------------------------------------------------
+// STFT workload.
+
+std::string fuzz_stft_one(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+
+  const sig::WindowKind kinds[] = {
+      sig::WindowKind::kRectangular, sig::WindowKind::kHann,
+      sig::WindowKind::kHamming, sig::WindowKind::kBlackman,
+      sig::WindowKind::kGaussian};
+  const auto kind = kinds[r.u8() % 5];
+  const std::size_t lg = r.size_in(2, 32);
+
+  sig::StftConfig config;
+  config.window = sig::make_window(kind, lg);
+  config.hop = r.size_in(1, lg);
+  // Mix in non-power-of-two and zero-padded bin counts.
+  config.fft_size = lg + r.size_in(0, lg);
+  config.convention = (r.u8() & 1) != 0
+                          ? sig::StftConvention::kTimeInvariant
+                          : sig::StftConvention::kSimplifiedTimeInvariant;
+  config.padding = (r.u8() & 1) != 0 ? sig::FramePadding::kTruncate
+                                     : sig::FramePadding::kCircular;
+
+  const std::size_t n = r.size_in(lg, 192);
+  Vec signal(n);
+  for (auto& v : signal) v = r.sample();
+
+  try {
+    config.validate();
+  } catch (const std::exception&) {
+    return "";  // decoded an invalid config; skip, do not fail
+  }
+
+  const sig::TfGrid grid = sig::stft(signal, config);
+  if (grid.bins() != config.fft_size)
+    return "stft: bins != fft_size";
+  if (grid.frames() != config.frame_count(n)) {
+    std::ostringstream os;
+    os << "stft: frames " << grid.frames() << " != frame_count(" << n
+       << ") = " << config.frame_count(n);
+    return os.str();
+  }
+
+  // Allocating vs in-place must be bit-identical -- run _into twice so the
+  // warm-storage path is also exercised.
+  sig::TfGrid into;
+  sig::stft_into(signal, config, into);
+  std::string diag = expect_bits(grid, into, "stft vs stft_into");
+  if (!diag.empty()) return prefix("stft", diag);
+  sig::stft_into(signal, config, into);
+  diag = expect_bits(grid, into, "stft vs warm stft_into");
+  if (!diag.empty()) return prefix("stft", diag);
+
+  // Least-squares inverse reconstructs COLA circular configs.
+  if (config.padding == sig::FramePadding::kCircular &&
+      n % config.hop == 0 && lg % config.hop == 0 &&
+      sig::satisfies_cola(config.window, config.hop)) {
+    const Vec rebuilt = sig::istft(grid, config, n);
+    diag = expect_close(rebuilt, signal, 1e-8 * static_cast<double>(lg),
+                        1e-8, "istft roundtrip");
+    if (!diag.empty()) return prefix("stft", diag);
+  }
+  return "";
+}
+
+std::string fuzz_fft_stft_one(const std::uint8_t* data, std::size_t size) {
+  const std::string fft_diag = fuzz_fft_one(data, size);
+  if (!fft_diag.empty()) return fft_diag;
+  return fuzz_stft_one(data, size);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus and mutation.
+
+namespace {
+
+std::vector<std::uint8_t> corpus_entry(std::uint64_t seed,
+                                       std::size_t length) {
+  // Deterministic pseudo-random bytes; the decoder gives them structure.
+  std::vector<std::uint8_t> out(length);
+  std::uint64_t state = seed;
+  for (std::size_t i = 0; i < length; ++i) {
+    state = splitmix64(state);
+    out[i] = static_cast<std::uint8_t>(state & 0xff);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> builtin_corpus() {
+  std::vector<std::vector<std::uint8_t>> corpus;
+  // Empty and tiny buffers: ByteReader zero-fills, exercising length-1 FFTs
+  // and minimal windows.
+  corpus.push_back({});
+  corpus.push_back({0x01});
+  corpus.push_back({0xff, 0xff});
+  // Length field pinned to powers of two, then to Bluestein (prime) sizes.
+  for (std::uint16_t len : {std::uint16_t{3}, std::uint16_t{7},
+                            std::uint16_t{15}, std::uint16_t{31},
+                            std::uint16_t{63}, std::uint16_t{126},
+                            std::uint16_t{127}}) {
+    std::vector<std::uint8_t> e = corpus_entry(len, 160);
+    e[0] = static_cast<std::uint8_t>(len & 0xff);
+    e[1] = static_cast<std::uint8_t>(len >> 8);
+    corpus.push_back(std::move(e));
+  }
+  // Bulk random-looking buffers of varied sizes.
+  for (std::uint64_t s = 1; s <= 8; ++s)
+    corpus.push_back(corpus_entry(0x9000 + s, 32 * static_cast<std::size_t>(s)));
+  return corpus;
+}
+
+void mutate(std::vector<std::uint8_t>& input, std::uint64_t seed, int rounds) {
+  std::uint64_t state = seed;
+  const auto next = [&state]() {
+    state = splitmix64(state);
+    return state;
+  };
+  for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t op = next() % 4;
+    switch (op) {
+      case 0: {  // overwrite a byte
+        if (input.empty()) {
+          input.push_back(static_cast<std::uint8_t>(next() & 0xff));
+          break;
+        }
+        input[next() % input.size()] =
+            static_cast<std::uint8_t>(next() & 0xff);
+        break;
+      }
+      case 1: {  // flip one bit
+        if (input.empty()) break;
+        input[next() % input.size()] ^=
+            static_cast<std::uint8_t>(1u << (next() % 8));
+        break;
+      }
+      case 2: {  // grow
+        if (input.size() < 512)
+          input.push_back(static_cast<std::uint8_t>(next() & 0xff));
+        break;
+      }
+      default: {  // shrink
+        if (!input.empty()) input.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rcr::testkit

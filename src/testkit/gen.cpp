@@ -1,0 +1,520 @@
+#include "rcr/testkit/gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rcr::testkit {
+
+namespace {
+
+void append_unique(std::vector<double>& out, double candidate, double original) {
+  if (candidate == original) return;
+  for (double v : out)
+    if (v == candidate) return;
+  out.push_back(candidate);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+std::string show_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string show_vec(const Vec& v, std::size_t max_entries) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "vec[" << v.size() << "] {";
+  const std::size_t n = std::min(v.size(), max_entries);
+  for (std::size_t i = 0; i < n; ++i) os << (i == 0 ? "" : ", ") << v[i];
+  if (v.size() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+std::string show_cvec(const sig::CVec& v, std::size_t max_entries) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "cvec[" << v.size() << "] {";
+  const std::size_t n = std::min(v.size(), max_entries);
+  for (std::size_t i = 0; i < n; ++i)
+    os << (i == 0 ? "" : ", ") << "(" << v[i].real() << ", " << v[i].imag()
+       << ")";
+  if (v.size() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+std::string show_matrix(const num::Matrix& m, std::size_t max_dim) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "matrix " << m.rows() << "x" << m.cols() << " {";
+  const std::size_t r = std::min(m.rows(), max_dim);
+  const std::size_t c = std::min(m.cols(), max_dim);
+  for (std::size_t i = 0; i < r; ++i) {
+    os << (i == 0 ? "" : "; ") << "[";
+    for (std::size_t j = 0; j < c; ++j)
+      os << (j == 0 ? "" : ", ") << m(i, j);
+    if (m.cols() > c) os << ", ...";
+    os << "]";
+  }
+  if (m.rows() > r) os << "; ...";
+  os << "}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Shrink primitives.
+
+std::vector<double> shrink_double(double v) {
+  std::vector<double> out;
+  if (v == 0.0) return out;
+  append_unique(out, 0.0, v);
+  if (!std::isfinite(v)) return out;  // NaN/inf: zero is the only candidate
+  // Every further candidate has strictly smaller magnitude, so greedy
+  // shrinking cannot cycle; halving stops proposing below 1e-3 so descents
+  // terminate instead of crawling through denormals.
+  if (std::fabs(v) > 1.0) {
+    append_unique(out, v < 0.0 ? -1.0 : 1.0, v);
+    if (std::fabs(std::trunc(v)) < std::fabs(v))
+      append_unique(out, std::trunc(v), v);
+    append_unique(out, v / 2.0, v);
+  } else if (std::fabs(v) > 1e-3) {
+    append_unique(out, v / 2.0, v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> shrink_size(std::size_t n, std::size_t lo) {
+  std::vector<std::size_t> out;
+  if (n <= lo) return out;
+  out.push_back(lo);
+  const std::size_t half = std::max(lo, n / 2);
+  if (half != lo && half != n) out.push_back(half);
+  if (n - 1 != lo && n - 1 != half) out.push_back(n - 1);
+  return out;
+}
+
+std::vector<Vec> shrink_vec(const Vec& v, std::size_t min_len,
+                            std::size_t max_pointwise) {
+  std::vector<Vec> out;
+  if (v.size() > min_len) {
+    const std::size_t keep = std::max(min_len, v.size() / 2);
+    if (keep < v.size()) {
+      out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(keep));
+      out.emplace_back(v.end() - static_cast<std::ptrdiff_t>(keep), v.end());
+      Vec drop_last(v.begin(), v.end() - 1);
+      if (drop_last.size() >= min_len) out.push_back(std::move(drop_last));
+    }
+  }
+  const std::size_t n = std::min(v.size(), max_pointwise);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double candidate : shrink_double(v[i])) {
+      Vec simpler = v;
+      simpler[i] = candidate;
+      out.push_back(std::move(simpler));
+    }
+  }
+  return out;
+}
+
+std::vector<num::Matrix> shrink_square_matrix(const num::Matrix& m,
+                                              std::size_t min_dim,
+                                              std::size_t max_pointwise) {
+  std::vector<num::Matrix> out;
+  const std::size_t n = m.rows();
+  if (n > min_dim && n == m.cols()) {
+    num::Matrix smaller(n - 1, n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+      for (std::size_t j = 0; j + 1 < n; ++j) smaller(i, j) = m(i, j);
+    out.push_back(std::move(smaller));
+  }
+  std::size_t budget = max_pointwise;
+  for (std::size_t i = 0; i < m.rows() && budget > 0; ++i) {
+    for (std::size_t j = 0; j < m.cols() && budget > 0; ++j) {
+      for (double candidate : shrink_double(m(i, j))) {
+        num::Matrix simpler = m;
+        simpler(i, j) = candidate;
+        out.push_back(std::move(simpler));
+      }
+      if (!shrink_double(m(i, j)).empty()) --budget;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scalars and vectors.
+
+Gen<double> gen_double(double lo, double hi) {
+  Gen<double> g;
+  g.sample = [lo, hi](num::Rng& rng) { return rng.uniform(lo, hi); };
+  g.shrink = [lo, hi](const double& v) {
+    std::vector<double> out;
+    for (double c : shrink_double(v))
+      if (c >= lo && c <= hi) out.push_back(c);
+    return out;
+  };
+  g.show = [](const double& v) { return show_double(v); };
+  return g;
+}
+
+Gen<std::size_t> gen_size(std::size_t lo, std::size_t hi) {
+  Gen<std::size_t> g;
+  g.sample = [lo, hi](num::Rng& rng) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(lo), static_cast<int>(hi)));
+  };
+  g.shrink = [lo](const std::size_t& v) { return shrink_size(v, lo); };
+  g.show = [](const std::size_t& v) { return std::to_string(v); };
+  return g;
+}
+
+Gen<Vec> gen_vec(std::size_t min_len, std::size_t max_len, double lo,
+                 double hi) {
+  Gen<Vec> g;
+  g.sample = [min_len, max_len, lo, hi](num::Rng& rng) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<int>(min_len), static_cast<int>(max_len)));
+    return rng.uniform_vec(n, lo, hi);
+  };
+  g.shrink = [min_len](const Vec& v) { return shrink_vec(v, min_len); };
+  g.show = [](const Vec& v) { return show_vec(v); };
+  return g;
+}
+
+Gen<sig::CVec> gen_cvec(std::size_t min_len, std::size_t max_len,
+                        double amplitude) {
+  Gen<sig::CVec> g;
+  g.sample = [min_len, max_len, amplitude](num::Rng& rng) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<int>(min_len), static_cast<int>(max_len)));
+    sig::CVec out(n);
+    for (auto& v : out)
+      v = {rng.uniform(-amplitude, amplitude),
+           rng.uniform(-amplitude, amplitude)};
+    return out;
+  };
+  g.shrink = [min_len](const sig::CVec& v) {
+    std::vector<sig::CVec> out;
+    if (v.size() > min_len) {
+      const std::size_t keep = std::max(min_len, v.size() / 2);
+      if (keep < v.size()) {
+        out.emplace_back(v.begin(),
+                         v.begin() + static_cast<std::ptrdiff_t>(keep));
+        out.emplace_back(v.end() - static_cast<std::ptrdiff_t>(keep), v.end());
+      }
+    }
+    const std::size_t n = std::min<std::size_t>(v.size(), 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] != std::complex<double>(0.0, 0.0)) {
+        sig::CVec simpler = v;
+        simpler[i] = {0.0, 0.0};
+        out.push_back(std::move(simpler));
+      }
+    }
+    return out;
+  };
+  g.show = [](const sig::CVec& v) { return show_cvec(v); };
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Matrices.
+
+namespace {
+
+num::Matrix random_dense(std::size_t rows, std::size_t cols, num::Rng& rng) {
+  num::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  return m;
+}
+
+std::size_t draw_dim(std::size_t lo, std::size_t hi, num::Rng& rng) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(static_cast<int>(lo), static_cast<int>(hi)));
+}
+
+}  // namespace
+
+Gen<num::Matrix> gen_matrix(std::size_t min_dim, std::size_t max_dim) {
+  Gen<num::Matrix> g;
+  g.sample = [min_dim, max_dim](num::Rng& rng) {
+    const std::size_t n = draw_dim(min_dim, max_dim, rng);
+    return random_dense(n, n, rng);
+  };
+  g.shrink = [min_dim](const num::Matrix& m) {
+    return shrink_square_matrix(m, min_dim);
+  };
+  g.show = [](const num::Matrix& m) { return show_matrix(m); };
+  return g;
+}
+
+Gen<num::Matrix> gen_matrix_rect(std::size_t min_dim, std::size_t max_dim) {
+  Gen<num::Matrix> g;
+  g.sample = [min_dim, max_dim](num::Rng& rng) {
+    const std::size_t r = draw_dim(min_dim, max_dim, rng);
+    const std::size_t c = draw_dim(min_dim, max_dim, rng);
+    return random_dense(r, c, rng);
+  };
+  g.shrink = [min_dim](const num::Matrix& m) {
+    std::vector<num::Matrix> out;
+    if (m.rows() > min_dim) {
+      num::Matrix fewer_rows(m.rows() - 1, m.cols());
+      for (std::size_t i = 0; i + 1 < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+          fewer_rows(i, j) = m(i, j);
+      out.push_back(std::move(fewer_rows));
+    }
+    if (m.cols() > min_dim) {
+      num::Matrix fewer_cols(m.rows(), m.cols() - 1);
+      for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j + 1 < m.cols(); ++j)
+          fewer_cols(i, j) = m(i, j);
+      out.push_back(std::move(fewer_cols));
+    }
+    std::size_t budget = 16;
+    for (std::size_t i = 0; i < m.rows() && budget > 0; ++i)
+      for (std::size_t j = 0; j < m.cols() && budget > 0; ++j)
+        if (m(i, j) != 0.0) {
+          num::Matrix simpler = m;
+          simpler(i, j) = 0.0;
+          out.push_back(std::move(simpler));
+          --budget;
+        }
+    return out;
+  };
+  g.show = [](const num::Matrix& m) { return show_matrix(m); };
+  return g;
+}
+
+Gen<num::Matrix> gen_symmetric(std::size_t min_dim, std::size_t max_dim) {
+  Gen<num::Matrix> g = gen_matrix(min_dim, max_dim);
+  auto base_sample = g.sample;
+  g.sample = [base_sample](num::Rng& rng) {
+    num::Matrix m = base_sample(rng);
+    m.symmetrize();
+    return m;
+  };
+  auto base_shrink = g.shrink;
+  g.shrink = [base_shrink](const num::Matrix& m) {
+    std::vector<num::Matrix> out = base_shrink(m);
+    for (num::Matrix& c : out)
+      if (c.square()) c.symmetrize();
+    return out;
+  };
+  return g;
+}
+
+Gen<num::Matrix> gen_psd(std::size_t min_dim, std::size_t max_dim) {
+  Gen<num::Matrix> g;
+  g.sample = [min_dim, max_dim](num::Rng& rng) {
+    const std::size_t n = draw_dim(min_dim, max_dim, rng);
+    const std::size_t rank = draw_dim(1, n, rng);
+    num::Matrix m(n, n);
+    for (std::size_t r = 0; r < rank; ++r) {
+      const Vec u = rng.normal_vec(n);
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) m(i, j) += u[i] * u[j];
+    }
+    m.symmetrize();  // remove the accumulated round-off asymmetry
+    return m;
+  };
+  // Shrinking an arbitrary PSD matrix entry-wise breaks PSD-ness; only the
+  // dimension shrink (principal submatrix -- still PSD) is sound.
+  g.shrink = [min_dim](const num::Matrix& m) {
+    std::vector<num::Matrix> out;
+    if (m.rows() > min_dim) {
+      num::Matrix smaller(m.rows() - 1, m.cols() - 1);
+      for (std::size_t i = 0; i + 1 < m.rows(); ++i)
+        for (std::size_t j = 0; j + 1 < m.cols(); ++j)
+          smaller(i, j) = m(i, j);
+      out.push_back(std::move(smaller));
+    }
+    return out;
+  };
+  g.show = [](const num::Matrix& m) { return show_matrix(m); };
+  return g;
+}
+
+Gen<num::Matrix> gen_spd_well_conditioned(std::size_t min_dim,
+                                          std::size_t max_dim) {
+  Gen<num::Matrix> g;
+  g.sample = [min_dim, max_dim](num::Rng& rng) {
+    const std::size_t n = draw_dim(min_dim, max_dim, rng);
+    const num::Matrix a = random_dense(n, n, rng);
+    num::Matrix m = num::multiply_abt(a, a);
+    for (std::size_t i = 0; i < n; ++i)
+      m(i, i) += static_cast<double>(n);
+    return m;
+  };
+  g.shrink = [min_dim](const num::Matrix& m) {
+    std::vector<num::Matrix> out;
+    if (m.rows() > min_dim) {
+      num::Matrix smaller(m.rows() - 1, m.cols() - 1);
+      for (std::size_t i = 0; i + 1 < m.rows(); ++i)
+        for (std::size_t j = 0; j + 1 < m.cols(); ++j)
+          smaller(i, j) = m(i, j);
+      out.push_back(std::move(smaller));
+    }
+    return out;
+  };
+  g.show = [](const num::Matrix& m) { return show_matrix(m); };
+  return g;
+}
+
+num::Matrix random_orthogonal(std::size_t n, num::Rng& rng) {
+  // Modified Gram-Schmidt on a random Gaussian matrix; a vanishing pivot is
+  // replaced by a canonical basis vector (probability ~0 anyway).
+  num::Matrix q = random_dense(n, n, rng);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (std::size_t i = 0; i < n; ++i) proj += q(i, j) * q(i, k);
+      for (std::size_t i = 0; i < n; ++i) q(i, j) -= proj * q(i, k);
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm += q(i, j) * q(i, j);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (std::size_t i = 0; i < n; ++i) q(i, j) = (i == j % n) ? 1.0 : 0.0;
+      norm = 1.0;
+    }
+    for (std::size_t i = 0; i < n; ++i) q(i, j) /= norm;
+  }
+  return q;
+}
+
+num::Matrix matrix_with_spectrum(const Vec& singular_values, num::Rng& rng) {
+  const std::size_t n = singular_values.size();
+  const num::Matrix q1 = random_orthogonal(n, rng);
+  const num::Matrix q2 = random_orthogonal(n, rng);
+  num::Matrix scaled = q1;  // scale columns of Q1 by the spectrum
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) scaled(i, j) *= singular_values[j];
+  return num::multiply_abt(scaled, q2);
+}
+
+Gen<num::Matrix> gen_near_singular(std::size_t min_dim, std::size_t max_dim,
+                                   double log_cond_min, double log_cond_max) {
+  Gen<num::Matrix> g;
+  g.sample = [=](num::Rng& rng) {
+    const std::size_t n = draw_dim(std::max<std::size_t>(2, min_dim),
+                                   std::max<std::size_t>(2, max_dim), rng);
+    const double log_cond = rng.uniform(log_cond_min, log_cond_max);
+    Vec spectrum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t =
+          n == 1 ? 0.0
+                 : static_cast<double>(i) / static_cast<double>(n - 1);
+      spectrum[i] = std::pow(10.0, -log_cond * t);  // 1 down to 10^-log_cond
+    }
+    return matrix_with_spectrum(spectrum, rng);
+  };
+  // Entry-wise shrinks would destroy the conditioning structure that makes
+  // the counterexample interesting; no shrinking beyond showing the value.
+  g.show = [](const num::Matrix& m) { return show_matrix(m); };
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Signal fixtures.
+
+Vec canonical_signal(std::size_t n, std::uint64_t seed) {
+  num::Rng rng(seed);
+  Vec signal(n, 0.0);
+  const int tones = 3;
+  for (int t = 0; t < tones; ++t) {
+    const double freq = rng.uniform(0.02, 0.45);
+    const double amp = rng.uniform(0.3, 1.0);
+    const double phase = rng.uniform(0.0, 6.283185307179586);
+    for (std::size_t i = 0; i < n; ++i)
+      signal[i] += amp * std::sin(6.283185307179586 * freq *
+                                      static_cast<double>(i) +
+                                  phase);
+  }
+  for (std::size_t i = 0; i < n; ++i) signal[i] += rng.normal(0.0, 0.05);
+  return signal;
+}
+
+std::string show_stft_fixture(const StftFixture& f) {
+  std::ostringstream os;
+  os << "stft fixture: signal len " << f.signal.size() << ", window len "
+     << f.config.window.size() << ", hop " << f.config.hop << ", fft_size "
+     << f.config.fft_size << ", convention "
+     << (f.config.convention == sig::StftConvention::kTimeInvariant ? "TI"
+                                                                    : "STI")
+     << ", padding "
+     << (f.config.padding == sig::FramePadding::kCircular ? "circular"
+                                                          : "truncate")
+     << "\n  signal: " << show_vec(f.signal);
+  return os.str();
+}
+
+Gen<StftFixture> gen_stft_fixture(std::size_t max_signal_len,
+                                  std::size_t max_window_len) {
+  Gen<StftFixture> g;
+  g.sample = [max_signal_len, max_window_len](num::Rng& rng) {
+    StftFixture f;
+    const sig::WindowKind kinds[] = {
+        sig::WindowKind::kRectangular, sig::WindowKind::kHann,
+        sig::WindowKind::kHamming, sig::WindowKind::kBlackman,
+        sig::WindowKind::kGaussian};
+    const auto kind = kinds[rng.uniform_int(0, 4)];
+    // Window length: power-of-two-ish in [4, max_window_len].
+    std::size_t lg = 4;
+    const int doublings = rng.uniform_int(0, 3);
+    for (int d = 0; d < doublings && lg * 2 <= max_window_len; ++d) lg *= 2;
+    f.config.window = sig::make_window(kind, lg);
+    // Hop divides the window length (COLA-friendly).
+    const std::size_t hops[] = {lg / 4, lg / 2, lg};
+    f.config.hop = std::max<std::size_t>(1, hops[rng.uniform_int(0, 2)]);
+    f.config.fft_size = lg * (rng.bernoulli(0.3) ? 2 : 1);
+    f.config.convention = rng.bernoulli(0.5)
+                              ? sig::StftConvention::kTimeInvariant
+                              : sig::StftConvention::kSimplifiedTimeInvariant;
+    f.config.padding = sig::FramePadding::kCircular;
+    const std::size_t min_len = lg;
+    const std::size_t n = min_len + static_cast<std::size_t>(rng.uniform_int(
+                                        0, static_cast<int>(
+                                               max_signal_len - min_len)));
+    f.signal = canonical_signal(n, static_cast<std::uint64_t>(
+                                       rng.uniform_int(1, 1 << 30)));
+    return f;
+  };
+  g.shrink = [](const StftFixture& f) {
+    std::vector<StftFixture> out;
+    // Halve the signal while it stays at least one window long.
+    if (f.signal.size() / 2 >= f.config.window.size()) {
+      StftFixture shorter = f;
+      shorter.signal.resize(f.signal.size() / 2);
+      out.push_back(std::move(shorter));
+    }
+    if (f.signal.size() > f.config.window.size()) {
+      StftFixture shorter = f;
+      shorter.signal.resize(f.signal.size() - 1);
+      out.push_back(std::move(shorter));
+    }
+    // Zero signal entries (keeps all config structure).
+    const std::size_t n = std::min<std::size_t>(f.signal.size(), 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f.signal[i] != 0.0) {
+        StftFixture simpler = f;
+        simpler.signal[i] = 0.0;
+        out.push_back(std::move(simpler));
+      }
+    }
+    return out;
+  };
+  g.show = [](const StftFixture& f) { return show_stft_fixture(f); };
+  return g;
+}
+
+}  // namespace rcr::testkit

@@ -1,0 +1,376 @@
+#include "rcr/testkit/golden.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rcr::testkit {
+
+std::uint64_t signature_hash(const double* data, std::size_t n) {
+  // FNV-1a 64 over the IEEE-754 bytes, little-end first.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(double));
+    __builtin_memcpy(&bits, &data[i], sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+GoldenEntry make_golden_entry(const sig::CVec& values,
+                              std::size_t max_samples) {
+  GoldenEntry e;
+  e.count = values.size();
+  e.signature = signature_hash(
+      reinterpret_cast<const double*>(values.data()), 2 * values.size());
+  double sum_sq = 0.0;
+  for (const auto& z : values) {
+    const double mag = std::abs(z);
+    sum_sq += mag * mag;
+    if (mag > e.max_abs) e.max_abs = mag;
+  }
+  e.l2 = std::sqrt(sum_sq);
+  if (!values.empty() && max_samples > 0) {
+    const std::size_t n_samples = std::min(max_samples, values.size());
+    for (std::size_t k = 0; k < n_samples; ++k) {
+      // Evenly spaced, first and last included when n_samples > 1.
+      const std::size_t idx =
+          n_samples == 1 ? 0
+                         : (k * (values.size() - 1)) / (n_samples - 1);
+      e.sample_index.push_back(idx);
+      e.sample_re.push_back(values[idx].real());
+      e.sample_im.push_back(values[idx].imag());
+    }
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// JSON subset reader/writer for the format save() emits.
+
+namespace {
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : s_(text) {}
+
+  bool parse(std::map<std::string, GoldenEntry>& out) {
+    skip_ws();
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (key == "entries") {
+        if (!parse_entries(out)) return false;
+      } else {
+        if (!skip_value()) return false;
+      }
+      skip_ws();
+      if (peek() == ',') ++pos_;
+    }
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\r' ||
+            s_[pos_] == '\t'))
+      ++pos_;
+  }
+
+  bool expect(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+      out.push_back(s_[pos_++]);
+    }
+    return expect('"');
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool parse_number_array(std::vector<double>& out) {
+    if (!expect('[')) return false;
+    out.clear();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      double v = 0.0;
+      if (!parse_number(v)) return false;
+      out.push_back(v);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  bool skip_value() {
+    skip_ws();
+    if (peek() == '"') {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (peek() == '[') {
+      std::vector<double> ignored;
+      return parse_number_array(ignored);
+    }
+    double ignored = 0.0;
+    return parse_number(ignored);
+  }
+
+  bool parse_entries(std::map<std::string, GoldenEntry>& out) {
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      std::string name;
+      if (!parse_string(name)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      GoldenEntry e;
+      if (!parse_entry(e)) return false;
+      out[name] = std::move(e);
+      skip_ws();
+      if (peek() == ',') ++pos_;
+    }
+  }
+
+  bool parse_entry(GoldenEntry& e) {
+    if (!expect('{')) return false;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (key == "count") {
+        double v = 0.0;
+        if (!parse_number(v)) return false;
+        e.count = static_cast<std::size_t>(v);
+      } else if (key == "signature") {
+        std::string hex;
+        if (!parse_string(hex)) return false;
+        e.signature = std::strtoull(hex.c_str(), nullptr, 16);
+      } else if (key == "l2") {
+        if (!parse_number(e.l2)) return false;
+      } else if (key == "max_abs") {
+        if (!parse_number(e.max_abs)) return false;
+      } else if (key == "sample_index") {
+        std::vector<double> v;
+        if (!parse_number_array(v)) return false;
+        e.sample_index.assign(v.size(), 0);
+        for (std::size_t i = 0; i < v.size(); ++i)
+          e.sample_index[i] = static_cast<std::size_t>(v[i]);
+      } else if (key == "sample_re") {
+        if (!parse_number_array(e.sample_re)) return false;
+      } else if (key == "sample_im") {
+        if (!parse_number_array(e.sample_im)) return false;
+      } else {
+        if (!skip_value()) return false;
+      }
+      skip_ws();
+      if (peek() == ',') ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void write_number_array(std::ostream& os, const std::vector<double>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i == 0 ? "" : ", ") << format_double(v[i]);
+  os << "]";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GoldenDb.
+
+GoldenDb::GoldenDb(std::string path)
+    : path_(std::move(path)),
+      regen_(env_regen_golden()),
+      strict_(env_golden_strict()) {
+  std::ifstream in(path_);
+  if (!in) return;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonReader reader(text);
+  std::map<std::string, GoldenEntry> parsed;
+  if (reader.parse(parsed)) entries_ = std::move(parsed);
+}
+
+std::string GoldenDb::check_or_record(const std::string& name,
+                                      const sig::CVec& v) {
+  if (regen_) {
+    entries_[name] = make_golden_entry(v);
+    const std::string err = save();
+    if (!err.empty()) return err;
+    return "";
+  }
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return "golden: no entry '" + name + "' in " + path_ +
+           " (regenerate with RCR_REGEN_GOLDEN=1)";
+  }
+  const GoldenEntry& want = it->second;
+  const GoldenEntry got = make_golden_entry(v);
+  if (got.count != want.count) {
+    return "golden '" + name + "': count " + std::to_string(got.count) +
+           " != recorded " + std::to_string(want.count);
+  }
+  if (strict_) {
+    if (got.signature != want.signature) {
+      return "golden '" + name + "': bit signature " +
+             format_hex64(got.signature) + " != recorded " +
+             format_hex64(want.signature) +
+             " (set RCR_GOLDEN_STRICT=0 for tolerance fallback, or "
+             "RCR_REGEN_GOLDEN=1 after an intentional change)";
+    }
+    return "";
+  }
+  // Tolerance fallback: norms and the recorded samples.
+  const double tol = 1e-9;
+  const auto close = [tol](double a, double b) {
+    return std::fabs(a - b) <= tol * (1.0 + std::max(std::fabs(a),
+                                                     std::fabs(b)));
+  };
+  if (!close(got.l2, want.l2)) {
+    return "golden '" + name + "': l2 " + format_double(got.l2) +
+           " != recorded " + format_double(want.l2);
+  }
+  if (!close(got.max_abs, want.max_abs)) {
+    return "golden '" + name + "': max_abs " + format_double(got.max_abs) +
+           " != recorded " + format_double(want.max_abs);
+  }
+  for (std::size_t k = 0; k < want.sample_index.size(); ++k) {
+    const std::size_t idx = want.sample_index[k];
+    if (idx >= v.size()) {
+      return "golden '" + name + "': recorded sample index " +
+             std::to_string(idx) + " out of range";
+    }
+    if (!close(v[idx].real(), want.sample_re[k]) ||
+        !close(v[idx].imag(), want.sample_im[k])) {
+      return "golden '" + name + "': sample [" + std::to_string(idx) +
+             "] = (" + format_double(v[idx].real()) + ", " +
+             format_double(v[idx].imag()) + ") != recorded (" +
+             format_double(want.sample_re[k]) + ", " +
+             format_double(want.sample_im[k]) + ")";
+    }
+  }
+  return "";
+}
+
+std::string GoldenDb::check(const std::string& name, const sig::CVec& values) {
+  return check_or_record(name, values);
+}
+
+std::string GoldenDb::check(const std::string& name, const Vec& values) {
+  sig::CVec as_complex(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    as_complex[i] = {values[i], 0.0};
+  return check_or_record(name, as_complex);
+}
+
+std::string GoldenDb::check(const std::string& name,
+                            const sig::TfGrid& grid) {
+  // Prepend the dims so a bins/frames change flips the signature even if the
+  // flattened coefficients happen to coincide.
+  sig::CVec folded;
+  folded.reserve(grid.data().size() + 1);
+  folded.emplace_back(static_cast<double>(grid.bins()),
+                      static_cast<double>(grid.frames()));
+  folded.insert(folded.end(), grid.data().begin(), grid.data().end());
+  return check_or_record(name, folded);
+}
+
+std::string GoldenDb::save() const {
+  std::ofstream out(path_);
+  if (!out) return "golden: cannot write " + path_;
+  out << "{\n  \"format\": 1,\n  \"entries\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, e] : entries_) {
+    out << "    \"" << name << "\": {\n"
+        << "      \"count\": " << e.count << ",\n"
+        << "      \"signature\": \"" << format_hex64(e.signature) << "\",\n"
+        << "      \"l2\": " << format_double(e.l2) << ",\n"
+        << "      \"max_abs\": " << format_double(e.max_abs) << ",\n";
+    out << "      \"sample_index\": [";
+    for (std::size_t k = 0; k < e.sample_index.size(); ++k)
+      out << (k == 0 ? "" : ", ") << e.sample_index[k];
+    out << "],\n      \"sample_re\": ";
+    write_number_array(out, e.sample_re);
+    out << ",\n      \"sample_im\": ";
+    write_number_array(out, e.sample_im);
+    out << "\n    }" << (++i < entries_.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  out.flush();
+  return out ? "" : ("golden: write failed for " + path_);
+}
+
+}  // namespace rcr::testkit

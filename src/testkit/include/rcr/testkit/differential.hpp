@@ -1,0 +1,56 @@
+// Differential oracles: run two implementations of the same contract on one
+// input and compare at the promised strength.
+//
+// The repo makes two different promises (DESIGN.md Secs. 6-7):
+//  - bit identity for paired variants of the *same* algorithm (allocating vs
+//    `_into`, serial vs pooled, fresh vs prefactored ADMM), asserted with
+//    diff_bits;
+//  - ULP-bounded agreement for *algorithmically distinct* implementations
+//    (radix-2/Bluestein fft vs the O(N^2) reference DFT), asserted with
+//    diff_ulp and a budget scaling with the operation count.
+//
+// Each oracle evaluates both sides eagerly and returns the ulp.hpp
+// ""-or-diagnostic string, so they drop straight into property lambdas.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "rcr/rt/parallel.hpp"
+#include "rcr/testkit/ulp.hpp"
+
+namespace rcr::testkit {
+
+/// Bit-identity oracle: `reference()` and `candidate()` must return
+/// bit-identical results.  Out is any type expect_bits overloads accept.
+template <typename Out>
+std::string diff_bits(const std::function<Out()>& reference,
+                      const std::function<Out()>& candidate,
+                      const char* what = "candidate vs reference") {
+  return expect_bits(reference(), candidate(), what);
+}
+
+/// ULP-bounded oracle for algorithmically distinct implementations.
+template <typename Out>
+std::string diff_ulp(const std::function<Out()>& reference,
+                     const std::function<Out()>& candidate,
+                     std::uint64_t max_ulps,
+                     const char* what = "candidate vs reference") {
+  return expect_ulp(reference(), candidate(), max_ulps, what);
+}
+
+/// Serial-vs-parallel oracle: run `f` once under ForceSerialGuard and once
+/// on the global pool; the runtime's determinism contract says the bits
+/// must match regardless of RCR_THREADS.
+template <typename Out>
+std::string diff_serial_parallel(const std::function<Out()>& f,
+                                 const char* what = "parallel vs serial") {
+  Out serial_out = [&] {
+    rt::ForceSerialGuard guard;
+    return f();
+  }();
+  Out parallel_out = f();
+  return expect_bits(serial_out, parallel_out, what);
+}
+
+}  // namespace rcr::testkit

@@ -1,0 +1,45 @@
+// Environment knobs shared by the testkit drivers.
+//
+//   RCR_TESTKIT_SEED=<u64>      replay exactly one property case (the seed a
+//                               failure report prints).
+//   RCR_TESTKIT_ARTIFACT_DIR=d  write shrunk counterexamples under d/ (CI
+//                               uploads them on failure).
+//   RCR_REGEN_GOLDEN=1          rewrite golden-signature files from the
+//                               current implementation instead of comparing.
+//   RCR_GOLDEN_STRICT=0         relax golden checks from bit-signature
+//                               equality to tolerance comparison of the
+//                               stored samples/norms (for compilers that do
+//                               not reproduce the committed bits).
+//   RCR_FUZZ_BUDGET_S=<n>       wall-clock budget of the fuzz-smoke driver.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace rcr::testkit {
+
+/// RCR_TESTKIT_SEED when set to a parseable unsigned integer.
+std::optional<std::uint64_t> env_replay_seed();
+
+/// RCR_TESTKIT_ARTIFACT_DIR, or empty when unset.
+std::string env_artifact_dir();
+
+/// True when RCR_REGEN_GOLDEN=1.
+bool env_regen_golden();
+
+/// False only when RCR_GOLDEN_STRICT=0 (default: strict).
+bool env_golden_strict();
+
+/// RCR_FUZZ_BUDGET_S when set, else `fallback` seconds.
+double env_fuzz_budget_seconds(double fallback);
+
+/// SplitMix64 step: the testkit's seed-derivation hash (case seeds, corpus
+/// mutation streams).  Deterministic across platforms.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Write `text` to `<env_artifact_dir()>/<file>` when the artifact dir is
+/// set; returns the path written, or empty when disabled or on I/O failure.
+std::string write_artifact(const std::string& file, const std::string& text);
+
+}  // namespace rcr::testkit

@@ -1,0 +1,65 @@
+// Structure-aware fuzz harness for the FFT/STFT entry points.
+//
+// A byte buffer is decoded into a transform workload (ByteReader slices
+// lengths, window kinds, hops, and raw sample bits -- non-finite doubles are
+// sanitized), and every invariant the property suites assert is re-checked
+// on it: fft/ifft round trip, fft vs the O(N^2) reference for small N,
+// in-place vs allocating bit identity, rfft/irfft symmetry, stft vs
+// stft_into, and frame-count consistency.  The same entry point serves
+//  - the standalone smoke driver (tests/fuzz/fuzz_fft_stft.cpp): seeded
+//    deterministic corpus + SplitMix64 mutation loop under a wall-clock
+//    budget, and
+//  - an optional libFuzzer target (-DRCR_LIBFUZZER=ON with clang), where
+//    LLVMFuzzerTestOneInput forwards the raw buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcr::testkit {
+
+/// Consumes a byte buffer as a stream of little-endian primitives;
+/// exhaustion yields zeros (keeps decoding total, like libFuzzer's
+/// FuzzedDataProvider).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint64_t u64();
+  /// In [lo, hi] inclusive (hi >= lo).
+  std::size_t size_in(std::size_t lo, std::size_t hi);
+  /// Finite double in roughly [-amplitude, amplitude]: raw bits are
+  /// sanitized (NaN/inf/huge -> small finite values derived from the bits).
+  double sample(double amplitude = 4.0);
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Run every FFT-family invariant on the decoded workload; "" or diagnostic.
+std::string fuzz_fft_one(const std::uint8_t* data, std::size_t size);
+
+/// Run every STFT invariant on the decoded workload; "" or diagnostic.
+std::string fuzz_stft_one(const std::uint8_t* data, std::size_t size);
+
+/// Both of the above (the libFuzzer entry body).
+std::string fuzz_fft_stft_one(const std::uint8_t* data, std::size_t size);
+
+/// Deterministic seed corpus: hand-picked byte buffers hitting the corner
+/// cases (length 1, powers of two, Bluestein lengths, truncate padding,
+/// hop == window length).
+std::vector<std::vector<std::uint8_t>> builtin_corpus();
+
+/// Mutate `input` in place with `rounds` SplitMix64-driven byte edits
+/// (overwrite / flip / grow / shrink), deterministically from `seed`.
+void mutate(std::vector<std::uint8_t>& input, std::uint64_t seed, int rounds);
+
+}  // namespace rcr::testkit

@@ -1,0 +1,138 @@
+// Seeded value generators with deterministic shrinking.
+//
+// A Gen<T> bundles three pure functions:
+//   sample(rng)  -- draw a value from a seeded num::Rng (same seed, same
+//                   bits, on every platform we build on),
+//   shrink(v)    -- a *finite, deterministically ordered* list of strictly
+//                   simpler candidates (empty when v is minimal), and
+//   show(v)      -- a bounded human-readable rendering for failure reports.
+//
+// The taxonomy below covers what the RCR property suites need: scalars,
+// vectors, rectangular/symmetric/PSD/SPD/near-singular matrices, and STFT
+// signal fixtures.  Tests compose their own structured generators from
+// these (see Gen<T>::map-free composition in tests/properties).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/window.hpp"
+
+namespace rcr::testkit {
+
+template <typename T>
+struct Gen {
+  std::function<T(num::Rng&)> sample;
+  std::function<std::vector<T>(const T&)> shrink = [](const T&) {
+    return std::vector<T>{};
+  };
+  std::function<std::string(const T&)> show = [](const T&) {
+    return std::string("<opaque>");
+  };
+};
+
+// ---------------------------------------------------------------------------
+// Rendering helpers (bounded output; large objects are elided).
+
+std::string show_double(double v);
+std::string show_vec(const Vec& v, std::size_t max_entries = 12);
+std::string show_cvec(const sig::CVec& v, std::size_t max_entries = 8);
+std::string show_matrix(const num::Matrix& m, std::size_t max_dim = 8);
+
+// ---------------------------------------------------------------------------
+// Shrink primitives (reused by structured generators and by tests that
+// build custom Gen<T>s).
+
+/// Candidates simpler than v, in order: 0, then (for |v| > 1) +/-1,
+/// trunc(v), v/2, or (for 1e-3 < |v| <= 1) just v/2.  Every non-zero
+/// candidate strictly reduces |v|, so greedy shrink loops terminate without
+/// cycling; the 1e-3 floor stops halving descents short of denormals.
+std::vector<double> shrink_double(double v);
+
+/// Candidates simpler than n, moving toward `lo`: lo, n/2 (clamped), n-1.
+std::vector<std::size_t> shrink_size(std::size_t n, std::size_t lo);
+
+/// Structural shrinks: first half, second half, then each entry
+/// scalar-shrunk one at a time (capped at `max_pointwise` entries).
+std::vector<Vec> shrink_vec(const Vec& v, std::size_t min_len,
+                            std::size_t max_pointwise = 16);
+
+/// Square-matrix shrinks: drop the last row+column (down to min_dim), then
+/// entry-wise scalar shrinks (capped).
+std::vector<num::Matrix> shrink_square_matrix(const num::Matrix& m,
+                                              std::size_t min_dim,
+                                              std::size_t max_pointwise = 16);
+
+// ---------------------------------------------------------------------------
+// Scalar and vector generators.
+
+Gen<double> gen_double(double lo, double hi);
+Gen<std::size_t> gen_size(std::size_t lo, std::size_t hi);
+Gen<Vec> gen_vec(std::size_t min_len, std::size_t max_len, double lo,
+                 double hi);
+Gen<sig::CVec> gen_cvec(std::size_t min_len, std::size_t max_len,
+                        double amplitude);
+
+// ---------------------------------------------------------------------------
+// Matrix generators.  All sample entry magnitudes O(1) so ULP budgets in
+// properties do not depend on scale.
+
+/// Dense square matrix with iid normal entries.
+Gen<num::Matrix> gen_matrix(std::size_t min_dim, std::size_t max_dim);
+
+/// Rectangular matrix, both dimensions drawn independently.
+Gen<num::Matrix> gen_matrix_rect(std::size_t min_dim, std::size_t max_dim);
+
+/// Symmetric matrix ((A + A^T)/2 of a random square A).
+Gen<num::Matrix> gen_symmetric(std::size_t min_dim, std::size_t max_dim);
+
+/// PSD matrix of full or deficient rank: sum of `rank` random outer
+/// products, rank drawn in [1, dim].
+Gen<num::Matrix> gen_psd(std::size_t min_dim, std::size_t max_dim);
+
+/// Well-conditioned SPD matrix: A A^T + dim * I.
+Gen<num::Matrix> gen_spd_well_conditioned(std::size_t min_dim,
+                                          std::size_t max_dim);
+
+/// Near-singular square matrix Q D Q^T with Q orthogonal and log-spaced
+/// singular values spanning 10^-log_cond_min .. 10^-log_cond_max; the
+/// 2-norm condition number is ~10^log_cond for the drawn exponent.
+/// Shrinking reduces the dimension but preserves the conditioning recipe.
+Gen<num::Matrix> gen_near_singular(std::size_t min_dim, std::size_t max_dim,
+                                   double log_cond_min, double log_cond_max);
+
+/// Orthonormalize the columns of a random matrix (modified Gram-Schmidt);
+/// exposed for tests that build custom spectra.
+num::Matrix random_orthogonal(std::size_t n, num::Rng& rng);
+
+/// Square matrix with prescribed singular-value spectrum: Q1 diag(s) Q2^T.
+num::Matrix matrix_with_spectrum(const Vec& singular_values, num::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Signal fixtures.
+
+/// A signal paired with a valid STFT configuration.
+struct StftFixture {
+  Vec signal;
+  sig::StftConfig config;
+};
+
+std::string show_stft_fixture(const StftFixture& f);
+
+/// Random multitone+noise signal with a random valid STFT config: window
+/// kind/length, hop dividing the window length (COLA-friendly), fft_size a
+/// power of two >= window length, both conventions, circular padding.
+Gen<StftFixture> gen_stft_fixture(std::size_t max_signal_len = 256,
+                                  std::size_t max_window_len = 32);
+
+/// Deterministic multitone + noise test signal (also used by the golden
+/// and fuzz harnesses so every layer audits the same canonical waveform).
+Vec canonical_signal(std::size_t n, std::uint64_t seed);
+
+}  // namespace rcr::testkit

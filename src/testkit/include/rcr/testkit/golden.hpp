@@ -1,0 +1,81 @@
+// Golden-signature harness (the paper's Sec. IV-A "signature" audit, made a
+// committed regression asset).
+//
+// A golden file is a JSON document mapping entry names to the *signature* of
+// a canonical transform output: an FNV-1a hash over the exact IEEE-754 bit
+// patterns, plus redundant tolerance-checkable facts (L2 norm, max
+// magnitude, a few evenly spaced sample values at full precision).  Checks
+// compare the bit signature by default -- any drift in FFT/STFT arithmetic,
+// table generation, or convention handling flips the hash -- and fall back
+// to the tolerance facts when RCR_GOLDEN_STRICT=0 (for toolchains that do
+// not reproduce the committed bits).
+//
+// Regeneration: RCR_REGEN_GOLDEN=1 rewrites every checked entry from the
+// current implementation and saves the file, so refreshing goldens after an
+// intentional change is one env var + one test run; the test passes and
+// reports what it rewrote.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rcr/signal/stft.hpp"
+#include "rcr/testkit/env.hpp"
+
+namespace rcr::testkit {
+
+/// FNV-1a 64-bit over the IEEE bit patterns of `n` doubles.
+std::uint64_t signature_hash(const double* data, std::size_t n);
+
+/// One golden record.
+struct GoldenEntry {
+  std::size_t count = 0;           ///< Number of complex coefficients.
+  std::uint64_t signature = 0;     ///< Bit-pattern hash (re,im interleaved).
+  double l2 = 0.0;                 ///< sqrt(sum |z|^2).
+  double max_abs = 0.0;            ///< max |z|.
+  std::vector<std::size_t> sample_index;
+  std::vector<double> sample_re;
+  std::vector<double> sample_im;
+};
+
+/// A golden file: load on construction, check-or-record entries, explicit
+/// save (regen mode saves after every recorded entry, so partial runs still
+/// leave a parseable file).
+class GoldenDb {
+ public:
+  /// Opens `path`; a missing file is an empty db (entries are then only
+  /// satisfiable in regen mode).
+  explicit GoldenDb(std::string path);
+
+  /// Compare `values` against entry `name` ("" on success).  In regen mode
+  /// the entry is (re)recorded instead and the check always passes.
+  std::string check(const std::string& name, const sig::CVec& values);
+  std::string check(const std::string& name, const Vec& values);
+  /// Grid check: the dims are folded into the compared data, so a
+  /// shape-preserving value change and a shape change both flip the result.
+  std::string check(const std::string& name, const sig::TfGrid& grid);
+
+  bool regen_mode() const { return regen_; }
+  const std::string& path() const { return path_; }
+  std::size_t entry_count() const { return entries_.size(); }
+
+  /// Write the db back to its path; returns "" or an I/O diagnostic.
+  std::string save() const;
+
+ private:
+  std::string check_or_record(const std::string& name, const sig::CVec& v);
+
+  std::string path_;
+  bool regen_ = false;
+  bool strict_ = true;
+  std::map<std::string, GoldenEntry> entries_;
+};
+
+/// Build the GoldenEntry for a coefficient vector (exposed for harness
+/// tests).
+GoldenEntry make_golden_entry(const sig::CVec& values,
+                              std::size_t max_samples = 7);
+
+}  // namespace rcr::testkit

@@ -1,0 +1,23 @@
+// GTest adapter for the property driver: keeps testkit itself free of any
+// gtest dependency (the fuzz driver links it without gtest) while letting
+// test files attach a CheckResult's report to a normal failure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "rcr/testkit/property.hpp"
+
+/// Expect a passing property; on failure the report (replay seed + shrunk
+/// counterexample) becomes the assertion message.
+#define RCR_EXPECT_PROP(check_result)                      \
+  do {                                                     \
+    const ::rcr::testkit::CheckResult& rcr_r_ = (check_result); \
+    EXPECT_TRUE(rcr_r_.ok) << rcr_r_.report;               \
+  } while (0)
+
+/// Expect an empty diagnostic string (the ulp.hpp comparator contract).
+#define RCR_EXPECT_OK(diag_expr)                 \
+  do {                                           \
+    const std::string rcr_d_ = (diag_expr);      \
+    EXPECT_TRUE(rcr_d_.empty()) << rcr_d_;       \
+  } while (0)

@@ -1,0 +1,108 @@
+// Metamorphic relations for the solver/verify/signal stacks: properties that
+// relate *outputs across transformed inputs or across relaxation tiers*
+// without needing a ground-truth oracle.
+//
+//  - Parseval ties time-domain and frequency-domain energy for the FFT.
+//  - Exact-scaling linearity: multiplying the input by a power of two scales
+//    every intermediate exactly, so fft(2^k x) must be bit-identical to
+//    2^k fft(x).
+//  - IBP is the loosest convex relaxation: its boxes must contain CROWN's.
+//  - The Shor SDP relaxation lower-bounds the QCQP optimum.
+//
+// Header-only (includes verify/opt) so rcr_testkit itself links only
+// numerics+signal; binaries using these helpers already link the rest.
+#pragma once
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/signal/fft.hpp"
+#include "rcr/testkit/ulp.hpp"
+#include "rcr/verify/bounds.hpp"
+
+namespace rcr::testkit {
+
+/// Parseval: sum |x|^2 == (1/N) sum |X|^2 within relative tolerance.
+inline std::string check_parseval_fft(const sig::CVec& x, double rel_tol) {
+  const sig::CVec spectrum = sig::fft(x);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  double freq_energy = 0.0;
+  for (const auto& v : spectrum) freq_energy += std::norm(v);
+  freq_energy /= static_cast<double>(x.empty() ? 1 : x.size());
+  const double gap = std::abs(time_energy - freq_energy);
+  if (gap > rel_tol * (1.0 + time_energy)) {
+    std::ostringstream os;
+    os << "Parseval violated: time energy " << time_energy
+       << " vs freq energy/N " << freq_energy << " (gap " << gap << ")";
+    return os.str();
+  }
+  return "";
+}
+
+/// Exact-scaling linearity: fft(s * x) bit-identical to s * fft(x) for s an
+/// exact power of two (every FFT operation commutes with exact scaling).
+inline std::string check_fft_pow2_linearity(const sig::CVec& x, int exponent) {
+  const double s = std::ldexp(1.0, exponent);
+  sig::CVec scaled = x;
+  for (auto& v : scaled) v *= s;
+  sig::CVec lhs = sig::fft(scaled);
+  sig::CVec rhs = sig::fft(x);
+  for (auto& v : rhs) v *= s;
+  return expect_bits(rhs, lhs, "fft(2^k x) vs 2^k fft(x)");
+}
+
+/// Bound containment: the IBP box at every layer (and the output) must
+/// contain the CROWN box -- IBP is the looser relaxation.
+inline std::string check_ibp_contains_crown(const verify::ReluNetwork& net,
+                                            const verify::Box& input,
+                                            double slack = 1e-9) {
+  const verify::LayerBounds ibp = verify::ibp_bounds(net, input);
+  const verify::LayerBounds crown = verify::crown_bounds(net, input);
+  const auto contains = [&](const verify::Box& outer,
+                            const verify::Box& inner, const char* where) {
+    for (std::size_t i = 0; i < outer.lower.size(); ++i) {
+      if (outer.lower[i] > inner.lower[i] + slack ||
+          outer.upper[i] < inner.upper[i] - slack) {
+        std::ostringstream os;
+        os << "IBP does not contain CROWN at " << where << "[" << i
+           << "]: IBP [" << outer.lower[i] << ", " << outer.upper[i]
+           << "] vs CROWN [" << inner.lower[i] << ", " << inner.upper[i]
+           << "]";
+        return os.str();
+      }
+    }
+    return std::string();
+  };
+  for (std::size_t k = 0; k < ibp.pre_activation.size(); ++k) {
+    const std::string d = contains(ibp.pre_activation[k],
+                                   crown.pre_activation[k],
+                                   ("layer " + std::to_string(k)).c_str());
+    if (!d.empty()) return d;
+  }
+  return contains(ibp.output, crown.output, "output");
+}
+
+/// Relaxation ordering: the Shor SDP bound must not exceed the barrier
+/// solution of a convex QCQP (it is a lower bound on the optimum).
+inline std::string check_shor_lower_bounds_qcqp(const opt::Qcqp& problem,
+                                                double tol = 1e-4) {
+  const opt::QcqpResult exact = opt::solve_qcqp_barrier(problem);
+  if (!exact.converged) return "";  // nothing to relate on this draw
+  opt::SdpOptions sdp_opts;
+  sdp_opts.max_iterations = 4000;
+  const opt::ShorBound shor = opt::shor_lower_bound(problem, sdp_opts);
+  if (!shor.converged) return "";
+  if (shor.bound > exact.value + tol * (1.0 + std::abs(exact.value))) {
+    std::ostringstream os;
+    os << "Shor bound " << shor.bound << " exceeds QCQP optimum "
+       << exact.value << " -- not a lower bound";
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace rcr::testkit

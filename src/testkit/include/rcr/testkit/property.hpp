@@ -1,0 +1,128 @@
+// Property driver: check(name, gen, prop) with deterministic counterexample
+// shrinking and seed replay.
+//
+// Each case i draws its value from a fresh num::Rng seeded with
+//   case_seed = splitmix64(base_seed + i),
+// so a single printed integer reproduces the failing draw exactly:
+//   RCR_TESTKIT_SEED=<case_seed> ctest -R <test> --output-on-failure
+// replays only that case.  On failure the driver greedily walks the
+// generator's shrink candidates (first simpler value that still fails wins,
+// in a fixed order) until a fixed point or the step cap, then formats a
+// report carrying the replay seed, the shrink trajectory length, and the
+// shrunk counterexample -- and mirrors it to RCR_TESTKIT_ARTIFACT_DIR when
+// set, so CI can upload shrunk repros as artifacts.
+//
+// Properties return "" to pass and a diagnostic string to fail (the ulp.hpp
+// comparators compose directly); thrown std::exceptions also count as
+// failures with what() as the diagnostic.  The driver itself is
+// GTest-agnostic; RCR_EXPECT_PROP in gtest.hpp adapts a CheckResult to an
+// EXPECT_TRUE with the report attached.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rcr/testkit/env.hpp"
+#include "rcr/testkit/gen.hpp"
+
+namespace rcr::testkit {
+
+struct CheckOptions {
+  std::size_t cases = 100;         ///< Cases when not replaying.
+  std::uint64_t seed = 0x5eed0001; ///< Base seed for case-seed derivation.
+  std::size_t max_shrink_steps = 500;
+  bool honor_replay_env = true;    ///< Let RCR_TESTKIT_SEED pin one case.
+  bool write_artifact = true;      ///< Mirror failures to the artifact dir.
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::size_t cases_run = 0;
+  std::uint64_t failing_seed = 0;  ///< Replay seed of the failing case.
+  std::size_t shrink_steps = 0;    ///< Accepted shrink moves.
+  std::string failure;             ///< Property diagnostic on the shrunk value.
+  std::string counterexample;      ///< show() of the shrunk value.
+  std::string report;              ///< Full human-readable failure block.
+};
+
+namespace detail {
+std::string format_report(const std::string& name, std::uint64_t failing_seed,
+                          std::size_t shrink_steps,
+                          const std::string& counterexample,
+                          const std::string& failure);
+}
+
+/// Run `prop` over `opts.cases` generated values.  `prop` returns "" on
+/// success.  Deterministic: same name/gen/prop/options, same outcome.
+template <typename T>
+CheckResult check(const std::string& name, const Gen<T>& gen,
+                  const std::function<std::string(const T&)>& prop,
+                  const CheckOptions& opts = {}) {
+  const auto run_case = [&](std::uint64_t case_seed, std::string* diag,
+                            T* value) {
+    num::Rng rng(case_seed);
+    T v = gen.sample(rng);
+    std::string d;
+    try {
+      d = prop(v);
+    } catch (const std::exception& e) {
+      d = std::string("exception: ") + e.what();
+    }
+    if (diag != nullptr) *diag = d;
+    if (value != nullptr) *value = std::move(v);
+    return d.empty();
+  };
+
+  CheckResult result;
+  const auto replay = opts.honor_replay_env ? env_replay_seed() : std::nullopt;
+  const std::size_t n_cases = replay.has_value() ? 1 : opts.cases;
+
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    const std::uint64_t case_seed =
+        replay.has_value() ? *replay : splitmix64(opts.seed + i);
+    std::string diag;
+    T value{};
+    ++result.cases_run;
+    if (run_case(case_seed, &diag, &value)) continue;
+
+    // Failure: shrink greedily, first failing candidate wins each round.
+    const auto still_fails = [&](const T& candidate, std::string* d) {
+      try {
+        *d = prop(candidate);
+      } catch (const std::exception& e) {
+        *d = std::string("exception: ") + e.what();
+      }
+      return !d->empty();
+    };
+    std::size_t steps = 0;
+    bool progressed = true;
+    while (progressed && steps < opts.max_shrink_steps) {
+      progressed = false;
+      for (const T& candidate : gen.shrink(value)) {
+        std::string d;
+        if (still_fails(candidate, &d)) {
+          value = candidate;
+          diag = std::move(d);
+          ++steps;
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    result.ok = false;
+    result.failing_seed = case_seed;
+    result.shrink_steps = steps;
+    result.failure = diag;
+    result.counterexample = gen.show(value);
+    result.report = detail::format_report(name, case_seed, steps,
+                                          result.counterexample, diag);
+    if (opts.write_artifact)
+      write_artifact(name + ".counterexample.txt", result.report);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace rcr::testkit

@@ -1,0 +1,25 @@
+// Umbrella header for rcr::testkit -- the property-based + differential
+// testing layer (see DESIGN.md "Testing & oracles").
+//
+// Core (linked via rcr_testkit, numerics+signal only):
+//   env.hpp          seed replay / artifact / golden env knobs
+//   ulp.hpp          ULP + bit-identity comparators
+//   gen.hpp          seeded generators with deterministic shrinking
+//   property.hpp     check() driver, counterexample reports
+//   differential.hpp paired-implementation oracles
+//   golden.hpp       committed bit-signature harness
+//   fuzz.hpp         structure-aware FFT/STFT fuzz harness
+//
+// Header-only extras (pull in nn / verify / opt from the including binary):
+//   grad_check.hpp   finite-difference layer gradient oracle
+//   metamorphic.hpp  Parseval / containment / relaxation-ordering relations
+//   gtest.hpp        RCR_EXPECT_PROP / RCR_EXPECT_OK adapters
+#pragma once
+
+#include "rcr/testkit/differential.hpp"
+#include "rcr/testkit/env.hpp"
+#include "rcr/testkit/fuzz.hpp"
+#include "rcr/testkit/gen.hpp"
+#include "rcr/testkit/golden.hpp"
+#include "rcr/testkit/property.hpp"
+#include "rcr/testkit/ulp.hpp"

@@ -1,0 +1,82 @@
+// ULP-distance and bit-equality oracles.
+//
+// The repo's determinism contract (DESIGN.md Sec. 6-7) promises *bit
+// identity* between paired implementations (allocating vs `_into`, serial vs
+// pooled); algorithmically distinct implementations (fft vs the O(N^2)
+// reference DFT) are only equal to a few ULPs per arithmetic step.  Every
+// comparator here returns an empty string on success and a human-readable
+// diagnostic (first offending index, both values, the ULP distance) on
+// failure, so property drivers can embed it in a shrunk counterexample
+// report.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/signal/stft.hpp"
+
+namespace rcr::testkit {
+
+/// Units-in-the-last-place distance between two doubles.  0 iff a == b
+/// (so +0 and -0 are identified); NaN on either side is "infinitely far"
+/// (UINT64_MAX); opposite-sign values are the sum of their distances to
+/// zero.
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return UINT64_MAX;
+  if (a == b) return 0;
+  const std::uint64_t ua = std::bit_cast<std::uint64_t>(std::fabs(a));
+  const std::uint64_t ub = std::bit_cast<std::uint64_t>(std::fabs(b));
+  if (std::signbit(a) != std::signbit(b)) return ua + ub;
+  return ua > ub ? ua - ub : ub - ua;
+}
+
+/// True when a and b have identical IEEE-754 bit patterns.
+inline bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+namespace detail {
+std::string format_mismatch(const char* what, std::size_t index, double a,
+                            double b, std::uint64_t ulps);
+}
+
+/// "" when |a - b| <= max_ulps ULPs; diagnostic otherwise.
+std::string expect_ulp(double a, double b, std::uint64_t max_ulps,
+                       const char* what = "value");
+
+/// Element-wise bit equality for real vectors.
+std::string expect_bits(const Vec& a, const Vec& b, const char* what = "vec");
+
+/// Element-wise bit equality for complex vectors.
+std::string expect_bits(const sig::CVec& a, const sig::CVec& b,
+                        const char* what = "cvec");
+
+/// Entry-wise bit equality for matrices (shape must match too).
+std::string expect_bits(const num::Matrix& a, const num::Matrix& b,
+                        const char* what = "matrix");
+
+/// Coefficient-wise bit equality for time-frequency grids.
+std::string expect_bits(const sig::TfGrid& a, const sig::TfGrid& b,
+                        const char* what = "tfgrid");
+
+/// Element-wise ULP bound for real vectors.
+std::string expect_ulp(const Vec& a, const Vec& b, std::uint64_t max_ulps,
+                       const char* what = "vec");
+
+/// Element-wise ULP bound for complex vectors (re and im separately).
+std::string expect_ulp(const sig::CVec& a, const sig::CVec& b,
+                       std::uint64_t max_ulps, const char* what = "cvec");
+
+/// Mixed absolute/relative tolerance: |a-b| <= atol + rtol*max(|a|,|b|),
+/// element-wise, with the same ""-or-diagnostic contract.
+std::string expect_close(const Vec& a, const Vec& b, double atol, double rtol,
+                         const char* what = "vec");
+std::string expect_close(const sig::CVec& a, const sig::CVec& b, double atol,
+                         double rtol, const char* what = "cvec");
+
+}  // namespace rcr::testkit

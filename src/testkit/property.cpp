@@ -1,0 +1,21 @@
+#include "rcr/testkit/property.hpp"
+
+#include <sstream>
+
+namespace rcr::testkit::detail {
+
+std::string format_report(const std::string& name, std::uint64_t failing_seed,
+                          std::size_t shrink_steps,
+                          const std::string& counterexample,
+                          const std::string& failure) {
+  std::ostringstream os;
+  os << "property '" << name << "' FAILED\n"
+     << "  replay:         RCR_TESTKIT_SEED=" << failing_seed
+     << " (pins this exact case)\n"
+     << "  shrink steps:   " << shrink_steps << "\n"
+     << "  counterexample: " << counterexample << "\n"
+     << "  failure:        " << failure;
+  return os.str();
+}
+
+}  // namespace rcr::testkit::detail

@@ -1,0 +1,138 @@
+#include "rcr/testkit/ulp.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rcr::testkit {
+
+namespace detail {
+
+std::string format_mismatch(const char* what, std::size_t index, double a,
+                            double b, std::uint64_t ulps) {
+  std::ostringstream os;
+  os.precision(17);
+  os << what << " mismatch at [" << index << "]: " << a << " vs " << b;
+  if (ulps == UINT64_MAX)
+    os << " (NaN)";
+  else
+    os << " (" << ulps << " ulps)";
+  return os.str();
+}
+
+std::string size_mismatch(const char* what, std::size_t a, std::size_t b) {
+  std::ostringstream os;
+  os << what << " size mismatch: " << a << " vs " << b;
+  return os.str();
+}
+
+}  // namespace detail
+
+std::string expect_ulp(double a, double b, std::uint64_t max_ulps,
+                       const char* what) {
+  const std::uint64_t d = ulp_distance(a, b);
+  if (d <= max_ulps) return "";
+  return detail::format_mismatch(what, 0, a, b, d);
+}
+
+std::string expect_bits(const Vec& a, const Vec& b, const char* what) {
+  if (a.size() != b.size())
+    return detail::size_mismatch(what, a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_bits(a[i], b[i]))
+      return detail::format_mismatch(what, i, a[i], b[i],
+                                     ulp_distance(a[i], b[i]));
+  return "";
+}
+
+std::string expect_bits(const sig::CVec& a, const sig::CVec& b,
+                        const char* what) {
+  if (a.size() != b.size())
+    return detail::size_mismatch(what, a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_bits(a[i].real(), b[i].real()))
+      return detail::format_mismatch(what, i, a[i].real(), b[i].real(),
+                                     ulp_distance(a[i].real(), b[i].real()));
+    if (!same_bits(a[i].imag(), b[i].imag()))
+      return detail::format_mismatch(what, i, a[i].imag(), b[i].imag(),
+                                     ulp_distance(a[i].imag(), b[i].imag()));
+  }
+  return "";
+}
+
+std::string expect_bits(const num::Matrix& a, const num::Matrix& b,
+                        const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    std::ostringstream os;
+    os << what << " shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+       << b.rows() << "x" << b.cols();
+    return os.str();
+  }
+  return expect_bits(a.data(), b.data(), what);
+}
+
+std::string expect_bits(const sig::TfGrid& a, const sig::TfGrid& b,
+                        const char* what) {
+  if (a.bins() != b.bins() || a.frames() != b.frames()) {
+    std::ostringstream os;
+    os << what << " shape mismatch: " << a.bins() << "x" << a.frames()
+       << " vs " << b.bins() << "x" << b.frames();
+    return os.str();
+  }
+  return expect_bits(a.data(), b.data(), what);
+}
+
+std::string expect_ulp(const Vec& a, const Vec& b, std::uint64_t max_ulps,
+                       const char* what) {
+  if (a.size() != b.size())
+    return detail::size_mismatch(what, a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t d = ulp_distance(a[i], b[i]);
+    if (d > max_ulps) return detail::format_mismatch(what, i, a[i], b[i], d);
+  }
+  return "";
+}
+
+std::string expect_ulp(const sig::CVec& a, const sig::CVec& b,
+                       std::uint64_t max_ulps, const char* what) {
+  if (a.size() != b.size())
+    return detail::size_mismatch(what, a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t dr = ulp_distance(a[i].real(), b[i].real());
+    if (dr > max_ulps)
+      return detail::format_mismatch(what, i, a[i].real(), b[i].real(), dr);
+    const std::uint64_t di = ulp_distance(a[i].imag(), b[i].imag());
+    if (di > max_ulps)
+      return detail::format_mismatch(what, i, a[i].imag(), b[i].imag(), di);
+  }
+  return "";
+}
+
+std::string expect_close(const Vec& a, const Vec& b, double atol, double rtol,
+                         const char* what) {
+  if (a.size() != b.size())
+    return detail::size_mismatch(what, a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max(std::fabs(a[i]), std::fabs(b[i]));
+    if (std::isnan(a[i]) || std::isnan(b[i]) ||
+        std::fabs(a[i] - b[i]) > atol + rtol * scale)
+      return detail::format_mismatch(what, i, a[i], b[i],
+                                     ulp_distance(a[i], b[i]));
+  }
+  return "";
+}
+
+std::string expect_close(const sig::CVec& a, const sig::CVec& b, double atol,
+                         double rtol, const char* what) {
+  if (a.size() != b.size())
+    return detail::size_mismatch(what, a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max(std::abs(a[i]), std::abs(b[i]));
+    const double diff = std::abs(a[i] - b[i]);
+    if (std::isnan(diff) || diff > atol + rtol * scale)
+      return detail::format_mismatch(what, i, a[i].real(), b[i].real(),
+                                     ulp_distance(a[i].real(), b[i].real()));
+  }
+  return "";
+}
+
+}  // namespace rcr::testkit

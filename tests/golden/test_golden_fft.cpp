@@ -1,0 +1,63 @@
+// Committed bit-signature regressions for the FFT family on canonical
+// inputs.  Any change to twiddle generation, Bluestein chirp handling, or
+// accumulation order flips a signature here.
+//
+// Regenerate after an intentional change with:
+//   RCR_REGEN_GOLDEN=1 ctest -L golden
+// Toolchains that do not reproduce the committed bits can fall back to the
+// tolerance facts with RCR_GOLDEN_STRICT=0.
+#include <gtest/gtest.h>
+
+#include "rcr/signal/fft.hpp"
+#include "rcr/testkit/testkit.hpp"
+
+namespace tk = rcr::testkit;
+namespace sig = rcr::sig;
+using rcr::Vec;
+
+namespace {
+
+std::string golden_path() { return std::string(RCR_GOLDEN_DIR) + "/fft.json"; }
+
+sig::CVec canonical_complex(std::size_t n, std::uint64_t seed) {
+  const Vec re = tk::canonical_signal(n, seed);
+  const Vec im = tk::canonical_signal(n, seed + 1);
+  sig::CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = {re[i], im[i]};
+  return x;
+}
+
+TEST(GoldenFft, Radix2Signatures) {
+  tk::GoldenDb db(golden_path());
+  EXPECT_EQ(db.check("fft_pow2_64", sig::fft(canonical_complex(64, 101))),
+            "");
+  EXPECT_EQ(db.check("fft_pow2_256", sig::fft(canonical_complex(256, 102))),
+            "");
+}
+
+TEST(GoldenFft, BluesteinSignatures) {
+  tk::GoldenDb db(golden_path());
+  // Prime and highly composite non-power-of-two lengths exercise the
+  // chirp-z path and its pad-size selection.
+  EXPECT_EQ(db.check("fft_prime_57", sig::fft(canonical_complex(57, 103))),
+            "");
+  EXPECT_EQ(db.check("fft_composite_96",
+                     sig::fft(canonical_complex(96, 104))),
+            "");
+}
+
+TEST(GoldenFft, InverseSignature) {
+  tk::GoldenDb db(golden_path());
+  const sig::CVec x = canonical_complex(64, 105);
+  EXPECT_EQ(db.check("ifft_pow2_64", sig::ifft(x)), "");
+}
+
+TEST(GoldenFft, RealTransformSignatures) {
+  tk::GoldenDb db(golden_path());
+  const Vec x = tk::canonical_signal(128, 106);
+  const sig::CVec half = sig::rfft(x);
+  EXPECT_EQ(db.check("rfft_128", half), "");
+  EXPECT_EQ(db.check("irfft_128", sig::irfft(half, 128)), "");
+}
+
+}  // namespace

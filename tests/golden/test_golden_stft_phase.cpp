@@ -1,0 +1,130 @@
+// Golden regressions for the STFT phase-skew conventions (paper Sec. IV-B):
+// the same canonical signal is transformed under the left-aligned STI
+// convention (Eq. 6) and the center-referenced TI convention (Eq. 5), with
+// both window normalization modes (raw and unit-L2), and each grid's bit
+// signature is committed.  A silent change to the stored-window phase
+// reference -- exactly the cross-library drift the paper documents -- flips
+// these signatures even when magnitude spectra stay identical.
+//
+// Regenerate intentionally with RCR_REGEN_GOLDEN=1; loosen to tolerance
+// facts with RCR_GOLDEN_STRICT=0.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/signal/stft.hpp"
+#include "rcr/signal/window.hpp"
+#include "rcr/testkit/testkit.hpp"
+
+namespace tk = rcr::testkit;
+namespace sig = rcr::sig;
+using rcr::Vec;
+
+namespace {
+
+std::string golden_path() {
+  return std::string(RCR_GOLDEN_DIR) + "/stft_phase.json";
+}
+
+Vec normalized_l2(Vec w) {
+  double sum_sq = 0.0;
+  for (double v : w) sum_sq += v * v;
+  const double inv = 1.0 / std::sqrt(sum_sq);
+  for (double& v : w) v *= inv;
+  return w;
+}
+
+sig::StftConfig base_config(sig::StftConvention convention, bool normalized,
+                            std::size_t fft_size) {
+  sig::StftConfig config;
+  config.window = sig::make_window(sig::WindowKind::kHann, 32);
+  if (normalized) config.window = normalized_l2(config.window);
+  config.hop = 8;
+  config.fft_size = fft_size;
+  config.convention = convention;
+  config.padding = sig::FramePadding::kCircular;
+  return config;
+}
+
+Vec canonical() { return tk::canonical_signal(256, 11); }
+
+TEST(GoldenStftPhase, ConventionAndNormalizationMatrix) {
+  tk::GoldenDb db(golden_path());
+  const Vec signal = canonical();
+  const struct {
+    const char* name;
+    sig::StftConvention convention;
+    bool normalized;
+  } cases[] = {
+      {"stft_sti_raw", sig::StftConvention::kSimplifiedTimeInvariant, false},
+      {"stft_sti_l2norm", sig::StftConvention::kSimplifiedTimeInvariant,
+       true},
+      {"stft_ti_raw", sig::StftConvention::kTimeInvariant, false},
+      {"stft_ti_l2norm", sig::StftConvention::kTimeInvariant, true},
+  };
+  for (const auto& c : cases) {
+    const sig::StftConfig config = base_config(c.convention, c.normalized, 32);
+    EXPECT_EQ(db.check(c.name, sig::stft(signal, config)), "") << c.name;
+  }
+}
+
+TEST(GoldenStftPhase, ZeroPaddedGaussianSignatures) {
+  // Zero-padded bins (fft_size > window length) move the phase-reference
+  // index floor(Lg/2) relative to the bin count; committed for both
+  // conventions.
+  tk::GoldenDb db(golden_path());
+  const Vec signal = canonical();
+  for (const auto convention : {sig::StftConvention::kSimplifiedTimeInvariant,
+                                sig::StftConvention::kTimeInvariant}) {
+    sig::StftConfig config;
+    config.window = sig::make_window(sig::WindowKind::kGaussian, 32);
+    config.hop = 16;
+    config.fft_size = 64;
+    config.convention = convention;
+    config.padding = sig::FramePadding::kCircular;
+    const char* name =
+        convention == sig::StftConvention::kTimeInvariant
+            ? "stft_gauss_pad_ti"
+            : "stft_gauss_pad_sti";
+    EXPECT_EQ(db.check(name, sig::stft(signal, config)), "") << name;
+  }
+}
+
+TEST(GoldenStftPhase, PhaseSkewIsRealAndConversionCancelsIt) {
+  // Not a golden check but the invariant that makes the committed pairs
+  // meaningful: the two conventions genuinely disagree in phase, and the
+  // a-priori phase-factor conversion (applied to the STI of the Lg/2-delayed
+  // signal, per Sec. IV-B) reconciles them.
+  const Vec signal = canonical();
+  const sig::TfGrid sti = sig::stft(
+      signal,
+      base_config(sig::StftConvention::kSimplifiedTimeInvariant, false, 32));
+  const sig::TfGrid ti = sig::stft(
+      signal, base_config(sig::StftConvention::kTimeInvariant, false, 32));
+  ASSERT_NE(tk::expect_bits(sti, ti, "sti vs ti"), "")
+      << "conventions should not coincide";
+  EXPECT_GT(sig::max_phase_discrepancy(sti, ti, 1e-6 * ti.max_magnitude()),
+            0.1);
+
+  const std::size_t lg_half = 32 / 2;
+  Vec delayed(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i)
+    delayed[i] = signal[(i + signal.size() - lg_half) % signal.size()];
+  const sig::TfGrid sti_delayed = sig::stft(
+      delayed,
+      base_config(sig::StftConvention::kSimplifiedTimeInvariant, false, 32));
+  const sig::TfGrid converted = sig::convert_sti_to_ti(sti_delayed, 32, 32);
+  EXPECT_LT(sig::TfGrid::max_abs_diff(converted, ti),
+            1e-9 * (1.0 + ti.max_magnitude()));
+}
+
+TEST(GoldenStftPhase, RegenModeReportsItself) {
+  // Make the regeneration path visible in test output so an accidental
+  // RCR_REGEN_GOLDEN=1 in CI is noticed.
+  tk::GoldenDb db(golden_path());
+  if (db.regen_mode())
+    GTEST_SKIP() << "RCR_REGEN_GOLDEN=1: rewrote " << db.path();
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,14 +1,16 @@
-// Shared numerical gradient-check harness for layer tests: verifies both the
-// input gradient and every parameter gradient of a layer against central
-// finite differences of a scalar loss L = sum(w .* forward(x)).
+// Shared numerical gradient-check harness for layer tests.
+//
+// Now a thin GTest-asserting shim over rcr::testkit::grad_check, which owns
+// the actual oracle (central finite differences of L = sum(w .* forward(x))
+// against the analytic backward pass).  The testkit version returns a
+// diagnostic instead of asserting, so the same check also runs inside
+// property drivers; this wrapper preserves the original
+// rcr::nn::testing::GradientCheck API for the existing layer tests.
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <cmath>
-
-#include "rcr/nn/layer.hpp"
-#include "rcr/numerics/rng.hpp"
+#include "rcr/testkit/grad_check.hpp"
 
 namespace rcr::nn::testing {
 
@@ -20,79 +22,18 @@ struct GradientCheck {
   bool training = true;
 
   void run(Layer& layer, const Tensor& input, std::uint64_t seed = 99) {
-    num::Rng rng(seed);
-    // Nudge every parameter off zero: zero-initialized biases park ReLU
-    // pre-activations exactly at the kink, where one-sided analytic and
-    // centered numeric derivatives legitimately disagree.
-    for (auto& p : layer.params())
-      for (double& v : *p.value) v += rng.uniform(0.01, 0.05);
-    // Fixed probe weights.
-    Tensor probe_template = layer.forward(input, training);
-    Vec w(probe_template.size());
-    for (double& v : w) v = rng.normal();
-
-    auto loss_at = [&](const Tensor& x) {
-      const Tensor y = layer.forward(x, training);
-      double acc = 0.0;
-      for (std::size_t i = 0; i < y.size(); ++i) acc += w[i] * y[i];
-      return acc;
-    };
-
-    // Analytic pass.
-    for (auto& p : layer.params())
-      for (double& g : *p.grad) g = 0.0;
-    const Tensor y = layer.forward(input, training);
-    Tensor upstream(y.shape());
-    for (std::size_t i = 0; i < y.size(); ++i) upstream[i] = w[i];
-    const Tensor grad_input = layer.backward(upstream);
-
-    // Input gradient check.
-    Tensor x = input;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      const double orig = x[i];
-      x[i] = orig + step;
-      const double lp = loss_at(x);
-      x[i] = orig - step;
-      const double lm = loss_at(x);
-      x[i] = orig;
-      const double numeric = (lp - lm) / (2.0 * step);
-      EXPECT_NEAR(grad_input[i], numeric, tolerance)
-          << layer.name() << " input grad at " << i;
-    }
-
-    // Parameter gradient check (grads were accumulated by backward above;
-    // re-zero and recompute to isolate one clean accumulation).
-    for (auto& p : layer.params())
-      for (double& g : *p.grad) g = 0.0;
-    layer.forward(input, training);
-    layer.backward(upstream);
-    for (auto& p : layer.params()) {
-      for (std::size_t i = 0; i < p.value->size(); ++i) {
-        const double orig = (*p.value)[i];
-        (*p.value)[i] = orig + step;
-        const double lp = loss_at(input);
-        (*p.value)[i] = orig - step;
-        const double lm = loss_at(input);
-        (*p.value)[i] = orig;
-        const double numeric = (lp - lm) / (2.0 * step);
-        EXPECT_NEAR((*p.grad)[i], numeric, tolerance)
-            << layer.name() << " param " << p.name << " at " << i;
-      }
-    }
+    rcr::testkit::GradCheckOptions opts;
+    opts.tolerance = tolerance;
+    opts.step = step;
+    opts.training = training;
+    opts.seed = seed;
+    const rcr::testkit::GradCheckResult result =
+        rcr::testkit::grad_check(layer, input, opts);
+    EXPECT_TRUE(result.ok) << result.report;
   }
 };
 
 /// Random tensor filled with normals (avoiding exact ReLU kinks).
-inline Tensor random_tensor(const std::vector<std::size_t>& shape,
-                            std::uint64_t seed) {
-  num::Rng rng(seed);
-  Tensor t(shape);
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    double v = rng.normal();
-    if (std::abs(v) < 1e-3) v += 0.01;  // keep clear of kinks
-    t[i] = v;
-  }
-  return t;
-}
+using rcr::testkit::random_tensor;
 
 }  // namespace rcr::nn::testing

@@ -1,0 +1,162 @@
+// ConvTranspose2d: shape algebra, agreement with the naive scatter
+// definition, and full gradient checks (input + weight + bias) via the
+// shared finite-difference harness.
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "rcr/nn/conv.hpp"
+#include "rcr/testkit/ulp.hpp"
+
+namespace rcr::nn {
+namespace {
+
+using testing::GradientCheck;
+using testing::random_tensor;
+
+// Naive scatter definition: every input element distributes its value
+// through the kernel into the (possibly strided) output window.
+Tensor scatter_reference(ConvTranspose2d& layer, const Tensor& input,
+                         std::size_t stride, std::size_t padding) {
+  const auto params = layer.params();
+  const Vec& weight = *params[0].value;
+  const Vec& bias = *params[1].value;
+  const std::size_t in_ch = layer.in_channels();
+  const std::size_t out_ch = layer.out_channels();
+  const std::size_t k = layer.kernel();
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = (h - 1) * stride + k - 2 * padding;
+  const std::size_t ow = (w - 1) * stride + k - 2 * padding;
+
+  Tensor out({batch, out_ch, oh, ow});
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t o = 0; o < out_ch; ++o)
+      for (std::size_t y = 0; y < oh; ++y)
+        for (std::size_t x = 0; x < ow; ++x) out.at4(b, o, y, x) = bias[o];
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t i = 0; i < in_ch; ++i)
+      for (std::size_t iy = 0; iy < h; ++iy)
+        for (std::size_t ix = 0; ix < w; ++ix)
+          for (std::size_t o = 0; o < out_ch; ++o)
+            for (std::size_t r = 0; r < k; ++r)
+              for (std::size_t c = 0; c < k; ++c) {
+                const std::ptrdiff_t y =
+                    static_cast<std::ptrdiff_t>(iy * stride + r) -
+                    static_cast<std::ptrdiff_t>(padding);
+                const std::ptrdiff_t x =
+                    static_cast<std::ptrdiff_t>(ix * stride + c) -
+                    static_cast<std::ptrdiff_t>(padding);
+                if (y < 0 || y >= static_cast<std::ptrdiff_t>(oh) || x < 0 ||
+                    x >= static_cast<std::ptrdiff_t>(ow))
+                  continue;
+                out.at4(b, o, static_cast<std::size_t>(y),
+                        static_cast<std::size_t>(x)) +=
+                    input.at4(b, i, iy, ix) *
+                    weight[((i * out_ch + o) * k + r) * k + c];
+              }
+  return out;
+}
+
+TEST(ConvTranspose2d, OutputShapeMatchesFormula) {
+  num::Rng rng(1);
+  const struct {
+    std::size_t h, w, k, stride, pad, oh, ow;
+  } cases[] = {
+      {4, 4, 4, 2, 1, 8, 8},    // the DCGAN doubling block
+      {4, 6, 3, 1, 1, 4, 6},    // same-size refinement
+      {3, 3, 2, 2, 0, 6, 6},    // exact doubling, no padding
+      {1, 1, 5, 3, 2, 1, 1},    // single pixel
+      {5, 2, 3, 3, 0, 15, 6},   // stride > kernel leaves gaps
+  };
+  for (const auto& c : cases) {
+    ConvTranspose2d layer(2, 3, c.k, c.stride, c.pad, rng);
+    const Tensor out =
+        layer.forward(random_tensor({2, 2, c.h, c.w}, 5), true);
+    EXPECT_EQ(out.dim(0), 2u);
+    EXPECT_EQ(out.dim(1), 3u);
+    EXPECT_EQ(out.dim(2), c.oh) << "k=" << c.k << " s=" << c.stride;
+    EXPECT_EQ(out.dim(3), c.ow) << "k=" << c.k << " s=" << c.stride;
+  }
+}
+
+TEST(ConvTranspose2d, MatchesScatterReference) {
+  num::Rng rng(2);
+  const struct {
+    std::size_t k, stride, pad;
+  } cases[] = {{4, 2, 1}, {3, 1, 1}, {2, 2, 0}, {3, 3, 1}, {1, 1, 0}};
+  for (const auto& c : cases) {
+    ConvTranspose2d layer(2, 2, c.k, c.stride, c.pad, rng);
+    const Tensor input = random_tensor({2, 2, 3, 4}, 7 + c.k);
+    const Tensor out = layer.forward(input, true);
+    const Tensor ref = scatter_reference(layer, input, c.stride, c.pad);
+    ASSERT_EQ(out.shape(), ref.shape());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_NEAR(out[i], ref[i], 1e-12)
+          << "k=" << c.k << " s=" << c.stride << " p=" << c.pad << " at "
+          << i;
+  }
+}
+
+TEST(ConvTranspose2d, Kernel1Stride1IsAPerPixelChannelMix) {
+  // With k=1, s=1, p=0 the layer is a pointwise linear map across channels:
+  // out[o](y,x) = bias[o] + sum_i w[i][o] * in[i](y,x).
+  num::Rng rng(3);
+  ConvTranspose2d layer(3, 2, 1, 1, 0, rng);
+  const Vec& weight = *layer.params()[0].value;
+  const Vec& bias = *layer.params()[1].value;
+  const Tensor input = random_tensor({1, 3, 2, 2}, 9);
+  const Tensor out = layer.forward(input, true);
+  for (std::size_t o = 0; o < 2; ++o)
+    for (std::size_t y = 0; y < 2; ++y)
+      for (std::size_t x = 0; x < 2; ++x) {
+        double expect = bias[o];
+        for (std::size_t i = 0; i < 3; ++i)
+          expect += weight[i * 2 + o] * input.at4(0, i, y, x);
+        EXPECT_NEAR(out.at4(0, o, y, x), expect, 1e-13);
+      }
+}
+
+TEST(ConvTranspose2d, GradientsMatchFiniteDifferences) {
+  // The DCGAN doubling configuration (k=4, s=2, p=1) plus a gap-producing
+  // stride-3 configuration that exercises the divisibility branches.
+  {
+    num::Rng rng(4);
+    ConvTranspose2d layer(2, 2, 4, 2, 1, rng);
+    GradientCheck{}.run(layer, random_tensor({2, 2, 3, 3}, 11));
+  }
+  {
+    num::Rng rng(5);
+    ConvTranspose2d layer(2, 3, 2, 3, 0, rng);
+    GradientCheck{}.run(layer, random_tensor({1, 2, 2, 2}, 12));
+  }
+  {
+    num::Rng rng(6);
+    ConvTranspose2d layer(3, 1, 3, 1, 1, rng);
+    GradientCheck{}.run(layer, random_tensor({2, 3, 3, 3}, 13));
+  }
+}
+
+TEST(ConvTranspose2d, ForwardIsDeterministic) {
+  num::Rng rng(8);
+  ConvTranspose2d layer(2, 2, 4, 2, 1, rng);
+  const Tensor input = random_tensor({2, 2, 4, 4}, 17);
+  const Tensor a = layer.forward(input, true);
+  const Tensor b = layer.forward(input, true);
+  EXPECT_EQ(rcr::testkit::expect_bits(a.data(), b.data(), "repeat forward"),
+            "");
+}
+
+TEST(ConvTranspose2d, RejectsBadConfigAndShapes) {
+  num::Rng rng(9);
+  EXPECT_THROW(ConvTranspose2d(1, 1, 0, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(ConvTranspose2d(1, 1, 3, 0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(ConvTranspose2d(1, 1, 2, 1, 1, rng), std::invalid_argument);
+  ConvTranspose2d layer(2, 1, 3, 1, 1, rng);
+  EXPECT_THROW(layer.forward(Tensor({1, 3, 4, 4}), true),
+               std::invalid_argument);
+  EXPECT_THROW(layer.forward(Tensor({4, 4}), true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rcr::nn

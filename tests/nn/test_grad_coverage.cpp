@@ -1,0 +1,139 @@
+// Gradient coverage for the layer paths the original suite skipped:
+// batchnorm running-statistics (eval) mode, the Fire / SpecialFire
+// squeeze-expand forks, and composed DCGAN generator blocks (including the
+// transposed-conv upsampler) checked end-to-end through the SequentialLayer
+// adapter.
+#include <gtest/gtest.h>
+
+#include "gradient_check.hpp"
+#include "rcr/nn/batchnorm.hpp"
+#include "rcr/nn/conv.hpp"
+#include "rcr/nn/fire.hpp"
+#include "rcr/nn/layers_basic.hpp"
+#include "rcr/nn/network.hpp"
+#include "rcr/nn/shape_ops.hpp"
+
+namespace rcr::nn {
+namespace {
+
+using testing::GradientCheck;
+using testing::random_tensor;
+namespace tk = rcr::testkit;
+
+// Drive the running statistics away from their (0, 1) initialization so the
+// eval-mode path normalizes with genuinely batch-independent constants.
+void warm_up_running_stats(Layer& bn, const std::vector<std::size_t>& shape) {
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    Tensor batch = random_tensor(shape, 100 + s);
+    for (double& v : batch.data()) v = 2.0 * v + 0.5;
+    bn.forward(batch, /*training=*/true);
+  }
+}
+
+TEST(GradCoverage, BatchNorm1dEvalModeIsAnAffineMap) {
+  BatchNorm1d bn(3);
+  warm_up_running_stats(bn, {6, 3});
+  GradientCheck check;
+  check.training = false;
+  check.run(bn, random_tensor({4, 3}, 21));
+}
+
+TEST(GradCoverage, BatchNorm2dEvalModeIsAnAffineMap) {
+  BatchNorm2d bn(2);
+  warm_up_running_stats(bn, {3, 2, 4, 4});
+  GradientCheck check;
+  check.training = false;
+  check.run(bn, random_tensor({2, 2, 3, 3}, 22));
+}
+
+TEST(GradCoverage, BatchNormEvalInputGradIsGammaTimesInvStd) {
+  // The closed form the finite-difference check certifies: in eval mode
+  // grad_input = gamma * running_inv_std * upstream, elementwise per
+  // feature -- no batch coupling at all.
+  BatchNorm1d bn(2);
+  warm_up_running_stats(bn, {8, 2});
+  const Tensor x = random_tensor({3, 2}, 23);
+  bn.forward(x, /*training=*/false);
+  Tensor upstream({3, 2});
+  for (std::size_t i = 0; i < upstream.size(); ++i)
+    upstream[i] = static_cast<double>(i + 1);
+  const Tensor grad = bn.backward(upstream);
+  const Vec& rv = bn.running_var();
+  for (std::size_t b = 0; b < 3; ++b)
+    for (std::size_t f = 0; f < 2; ++f) {
+      const double inv_std = 1.0 / std::sqrt(rv[f] + 1e-5);
+      EXPECT_NEAR(grad.at2(b, f), upstream.at2(b, f) * inv_std, 1e-12)
+          << "(gamma = 1) feature " << f;
+    }
+}
+
+TEST(GradCoverage, BatchNormTrainingModeStillCouplesTheBatch) {
+  // Regression guard for the fix: the training-mode Jacobian must remain
+  // the full batch-statistics form, not the eval affine form.
+  BatchNorm1d bn(2);
+  GradientCheck{}.run(bn, random_tensor({5, 2}, 24));
+}
+
+TEST(GradCoverage, FireLayerSqueezeExpandFork) {
+  num::Rng rng(31);
+  Fire fire(3, 2, 2, 2, rng);
+  GradientCheck{}.run(fire, random_tensor({2, 3, 4, 4}, 32));
+}
+
+TEST(GradCoverage, SpecialFireStride2Downsampler) {
+  num::Rng rng(33);
+  SpecialFire fire(2, 2, 2, 2, rng);
+  GradientCheck{}.run(fire, random_tensor({2, 2, 4, 4}, 34));
+}
+
+TEST(GradCoverage, DcganGeneratorUpsampleConvBlock) {
+  // The [Upsample2x -> Conv -> BN -> ReLU] doubling block from the
+  // convolutional generator, checked as a unit through SequentialLayer.
+  num::Rng rng(41);
+  Sequential block;
+  block.emplace<Upsample2x>();
+  block.emplace<Conv2d>(2, 2, 3, 1, 1, rng);
+  block.emplace<BatchNorm2d>(2);
+  block.emplace<Relu>();
+  tk::SequentialLayer layer(block, "dcgan_upsample_block");
+  GradientCheck{}.run(layer, random_tensor({2, 2, 3, 3}, 42));
+}
+
+TEST(GradCoverage, DcganTransposedConvGeneratorHead) {
+  // Transposed-conv variant of the generator head: latent -> Dense ->
+  // reshape 2x2 -> ConvTranspose2d(k=4, s=2, p=1) -> Sigmoid gives a 4x4
+  // image; every parameter and the latent gradient must survive the
+  // composition.
+  num::Rng rng(43);
+  Sequential head;
+  head.emplace<Dense>(3, 2 * 2 * 2, rng);
+  head.emplace<Relu>();
+  head.emplace<Reshape>(std::vector<std::size_t>{2, 2, 2});
+  head.emplace<ConvTranspose2d>(2, 1, 4, 2, 1, rng);
+  head.emplace<Sigmoid>();
+  tk::SequentialLayer layer(head, "dcgan_transposed_head");
+  GradientCheck{}.run(layer, random_tensor({2, 3}, 44));
+}
+
+TEST(GradCoverage, EvalModeBlockWithInteriorBatchNorm) {
+  // A conv block evaluated in inference mode: the batchnorm inside must use
+  // the eval-mode Jacobian for the whole block's input gradient to check.
+  num::Rng rng(45);
+  Sequential block;
+  block.emplace<Conv2d>(2, 2, 3, 1, 1, rng);
+  BatchNorm2d* bn_raw = nullptr;
+  {
+    auto bn = std::make_unique<BatchNorm2d>(2);
+    bn_raw = bn.get();
+    block.add(std::move(bn));
+  }
+  block.emplace<Relu>();
+  warm_up_running_stats(*bn_raw, {4, 2, 3, 3});
+  tk::SequentialLayer layer(block, "eval_conv_bn_block");
+  GradientCheck check;
+  check.training = false;
+  check.run(layer, random_tensor({2, 2, 3, 3}, 46));
+}
+
+}  // namespace
+}  // namespace rcr::nn

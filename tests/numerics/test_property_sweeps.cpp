@@ -1,10 +1,16 @@
 // Parameterized property sweeps over matrix sizes: the invariants every
-// decomposition must satisfy regardless of dimension.
+// decomposition must satisfy regardless of dimension -- plus testkit-driven
+// sweeps over *near-singular* matrices, where condition numbers are
+// controlled by construction and reported in every failure diagnostic.
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/numerics/eigen.hpp"
 #include "rcr/numerics/rng.hpp"
+#include "rcr/testkit/gtest.hpp"
+#include "rcr/testkit/testkit.hpp"
 
 namespace rcr::num {
 namespace {
@@ -105,6 +111,119 @@ TEST_P(SizeSweep, InverseOfInverseIsIdentityMap) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
                          ::testing::Values(2, 3, 4, 6, 8, 12));
+
+// ---------------------------------------------------------------------------
+// Near-singular sweeps.  Matrices are built as Q1 diag(s) Q2^T with log-
+// spaced spectra, so the conditioning is a controlled input rather than an
+// accident of sampling, and every diagnostic carries the measured condition
+// number (the failure mode these sweeps exist to catch -- pivoting bugs --
+// scales with it).
+
+namespace tk = rcr::testkit;
+
+std::string cond_tag(const Matrix& m) {
+  std::ostringstream os;
+  os.precision(3);
+  os << " [cond_1 ~ " << condition_number_1(m) << ", n = " << m.rows() << "]";
+  return os.str();
+}
+
+TEST(NearSingularSweep, LuDecomposeIntoBitIdenticalAcrossConditioning) {
+  RCR_EXPECT_PROP(tk::check<Matrix>(
+      "lu_decompose_into == lu_decompose on near-singular input",
+      tk::gen_near_singular(2, 8, 1.0, 12.0), [](const Matrix& m) {
+        const LuDecomposition fresh = lu_decompose(m);
+        LuDecomposition into;
+        lu_decompose_into(m, into);
+        std::string diag = tk::expect_bits(fresh.lu, into.lu, "lu factors");
+        if (diag.empty() && fresh.perm != into.perm) diag = "pivot order";
+        if (diag.empty() && fresh.singular != into.singular)
+          diag = "singularity flag";
+        return diag.empty() ? diag : diag + cond_tag(m);
+      }));
+}
+
+TEST(NearSingularSweep, SolveResidualStaysSmallUpToExtremeConditioning) {
+  // Partial-pivoted LU is backward stable: the *residual* ||Ax - b|| stays
+  // ~eps regardless of conditioning, even when the error ||x - x*|| blows
+  // up with cond(A).  A residual excursion means lost pivoting accuracy.
+  RCR_EXPECT_PROP(tk::check<Matrix>(
+      "near-singular solve residual bounded independent of cond",
+      tk::gen_near_singular(2, 8, 1.0, 10.0), [](const Matrix& m) {
+        const LuDecomposition f = lu_decompose(m);
+        if (f.singular) return std::string();  // 10^10 should never trip this
+        const Vec b(m.rows(), 1.0);
+        Vec x;
+        f.solve_into(b, x);
+        std::string diag =
+            tk::expect_bits(f.solve(b), x, "solve_into vs solve");
+        if (!diag.empty()) return diag + cond_tag(m);
+        const Vec residual = sub(matvec(m, x), b);
+        const double rel = norm_inf(residual) / (1.0 + norm_inf(x));
+        if (rel > 1e-11 * static_cast<double>(m.rows())) {
+          std::ostringstream os;
+          os << "relative residual " << rel << cond_tag(m);
+          return os.str();
+        }
+        return std::string();
+      }));
+}
+
+TEST(NearSingularSweep, ForwardErrorScalesWithConditionNumber) {
+  // Solve A x = A x_true and compare to x_true: the error is bounded by
+  // ~cond(A) * eps with a generous constant.  Exceeding it by orders of
+  // magnitude indicates an unstable elimination, not just ill conditioning.
+  RCR_EXPECT_PROP(tk::check<Matrix>(
+      "near-singular forward error ~ cond * eps",
+      tk::gen_near_singular(2, 8, 1.0, 9.0), [](const Matrix& m) {
+        const double cond = condition_number_1(m);
+        if (!std::isfinite(cond)) return std::string();
+        const Vec x_true(m.rows(), 1.0);
+        const Vec b = matvec(m, x_true);
+        const Vec x = solve(m, b);
+        const double err = norm_inf(sub(x, x_true));
+        const double bound =
+            1e-12 * cond * static_cast<double>(m.rows()) + 1e-12;
+        if (err > bound) {
+          std::ostringstream os;
+          os << "forward error " << err << " exceeds " << bound
+             << cond_tag(m);
+          return os.str();
+        }
+        return std::string();
+      }));
+}
+
+TEST(NearSingularSweep, ConditionEstimateTracksTheConstructedSpectrum) {
+  // The 1-norm estimate must be within a dimension-sized factor of the
+  // spectral condition number we constructed.
+  RCR_EXPECT_PROP(tk::check<std::size_t>(
+      "condition_number_1 tracks the built-in spectrum", tk::gen_size(2, 8),
+      [](const std::size_t& n) {
+        num::Rng rng(1000 + n);
+        for (double log_cond : {2.0, 5.0, 8.0}) {
+          Vec spectrum(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            const double t = n == 1 ? 0.0
+                                    : static_cast<double>(i) /
+                                          static_cast<double>(n - 1);
+            spectrum[i] = std::pow(10.0, -log_cond * t);
+          }
+          const Matrix m = tk::matrix_with_spectrum(spectrum, rng);
+          const double cond = condition_number_1(m);
+          const double target = std::pow(10.0, log_cond);
+          const double dim = static_cast<double>(n);
+          if (cond < target / (dim * dim * 10.0) ||
+              cond > target * dim * dim * 10.0) {
+            std::ostringstream os;
+            os << "cond_1 " << cond << " far from constructed " << target
+               << " at n = " << n;
+            return os.str();
+          }
+        }
+        return std::string();
+      }));
+}
 
 }  // namespace
 }  // namespace rcr::num

@@ -1,0 +1,142 @@
+// Differential properties over the numerics kernels: every `_into` variant
+// is bit-identical to its allocating counterpart, and the parallel runtime
+// honors its serial/parallel determinism contract on the hot products.
+#include <gtest/gtest.h>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/testkit/gtest.hpp"
+#include "rcr/testkit/testkit.hpp"
+
+namespace tk = rcr::testkit;
+using rcr::num::Matrix;
+using rcr::Vec;
+
+namespace {
+
+// A dimension-compatible triple (A: r x k, B: k x c, x: vector of length c)
+// covering every product kernel under test.
+struct KernelCase {
+  Matrix a;
+  Matrix b;
+  Vec x;
+};
+
+tk::Gen<KernelCase> gen_kernel_case(std::size_t max_dim) {
+  tk::Gen<KernelCase> g;
+  g.sample = [max_dim](rcr::num::Rng& rng) {
+    const auto dim = [&rng, max_dim] {
+      return static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<int>(max_dim)));
+    };
+    KernelCase c;
+    const std::size_t r = dim(), k = dim(), cols = dim();
+    c.a = Matrix(r, k);
+    c.b = Matrix(k, cols);
+    for (auto& v : c.a.data()) v = rng.normal();
+    for (auto& v : c.b.data()) v = rng.normal();
+    c.x = rng.normal_vec(cols);
+    return c;
+  };
+  g.show = [](const KernelCase& c) {
+    return "A = " + tk::show_matrix(c.a) + ", B = " + tk::show_matrix(c.b) +
+           ", x = " + tk::show_vec(c.x);
+  };
+  return g;
+}
+
+TEST(NumericsProperties, MultiplyIntoBitIdenticalToAllocating) {
+  RCR_EXPECT_PROP(tk::check<KernelCase>(
+      "multiply_into == operator*", gen_kernel_case(12),
+      [](const KernelCase& c) {
+        Matrix out;
+        rcr::num::multiply_into(c.a, c.b, out);
+        return tk::expect_bits(c.a * c.b, out, "multiply_into");
+      }));
+}
+
+TEST(NumericsProperties, GramKernelsBitIdenticalToTransposeForms) {
+  RCR_EXPECT_PROP(tk::check<KernelCase>(
+      "A^T B and A B^T kernels match their transpose forms",
+      gen_kernel_case(10), [](const KernelCase& c) {
+        // multiply_at_b(A, A B-shaped) needs matching row counts; reuse A
+        // against itself and B against itself for the two Gram forms.
+        std::string diag = tk::expect_bits(
+            c.a.transpose() * c.a, rcr::num::multiply_at_b(c.a, c.a),
+            "multiply_at_b");
+        if (!diag.empty()) return diag;
+        diag = tk::expect_bits(c.b * c.b.transpose(),
+                               rcr::num::multiply_abt(c.b, c.b),
+                               "multiply_abt");
+        if (!diag.empty()) return diag;
+        Matrix out;
+        rcr::num::multiply_at_b_into(c.a, c.a, out);
+        diag = tk::expect_bits(rcr::num::multiply_at_b(c.a, c.a), out,
+                               "multiply_at_b_into");
+        if (!diag.empty()) return diag;
+        rcr::num::multiply_abt_into(c.b, c.b, out);
+        return tk::expect_bits(rcr::num::multiply_abt(c.b, c.b), out,
+                               "multiply_abt_into");
+      }));
+}
+
+TEST(NumericsProperties, MatvecAndTransposeIntoVariants) {
+  RCR_EXPECT_PROP(tk::check<KernelCase>(
+      "matvec/transpose _into variants", gen_kernel_case(12),
+      [](const KernelCase& c) {
+        Vec y;
+        rcr::num::matvec_into(c.b, c.x, y);
+        std::string diag =
+            tk::expect_bits(rcr::num::matvec(c.b, c.x), y, "matvec_into");
+        if (!diag.empty()) return diag;
+        Matrix t;
+        rcr::num::transpose_into(c.a, t);
+        diag = tk::expect_bits(c.a.transpose(), t, "transpose_into");
+        if (!diag.empty()) return diag;
+        // B^T v needs v with B.rows() == A.cols() entries; a row of A fits.
+        const Vec v = c.a.row(0);
+        Vec yt;
+        rcr::num::matvec_transposed_into(c.b, v, yt);
+        return tk::expect_bits(rcr::num::matvec_transposed(c.b, v), yt,
+                               "matvec_transposed_into");
+      }));
+}
+
+TEST(NumericsProperties, SerialAndParallelProductsBitIdentical) {
+  // Large enough to actually engage the pool's parallel path.
+  tk::Gen<Matrix> gen = tk::gen_matrix(24, 48);
+  RCR_EXPECT_PROP(tk::check<Matrix>(
+      "operator* under RCR_THREADS>1 == serial", gen,
+      [](const Matrix& m) {
+        return tk::diff_serial_parallel<Matrix>(
+            [&m]() { return m * m; }, "parallel vs serial matmul");
+      },
+      [] {
+        tk::CheckOptions o;
+        o.cases = 20;  // each case is a 48^3 product; keep the sweep quick
+        return o;
+      }()));
+}
+
+TEST(NumericsProperties, LuDecomposeIntoBitIdenticalToFresh) {
+  RCR_EXPECT_PROP(tk::check<Matrix>(
+      "lu_decompose_into == lu_decompose", tk::gen_matrix(1, 10),
+      [](const Matrix& m) {
+        const auto fresh = rcr::num::lu_decompose(m);
+        rcr::num::LuDecomposition into;
+        rcr::num::lu_decompose_into(m, into);
+        std::string diag = tk::expect_bits(fresh.lu, into.lu, "lu factors");
+        if (!diag.empty()) return diag;
+        if (fresh.perm != into.perm) return std::string("pivot mismatch");
+        if (fresh.singular != into.singular)
+          return std::string("singularity flag mismatch");
+        if (fresh.singular) return std::string();
+        // And the solves they produce are bit-identical too.
+        const Vec b(m.rows(), 1.0);
+        Vec x;
+        into.solve_into(b, x);
+        return tk::expect_bits(fresh.solve(b), x, "solve_into");
+      }));
+}
+
+}  // namespace

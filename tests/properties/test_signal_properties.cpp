@@ -1,0 +1,143 @@
+// Signal-stack properties: the fast FFT against the O(N^2) oracle, Parseval
+// and exact-scaling metamorphic relations, in-place/allocating and
+// serial/parallel bit identity, and STFT fixture invariants.
+#include <gtest/gtest.h>
+
+#include "rcr/signal/fft.hpp"
+#include "rcr/signal/stft.hpp"
+#include "rcr/testkit/gtest.hpp"
+#include "rcr/testkit/metamorphic.hpp"
+#include "rcr/testkit/testkit.hpp"
+
+namespace tk = rcr::testkit;
+namespace sig = rcr::sig;
+using rcr::Vec;
+
+namespace {
+
+TEST(SignalProperties, FftMatchesReferenceDft) {
+  RCR_EXPECT_PROP(tk::check<sig::CVec>(
+      "fft agrees with dft_reference", tk::gen_cvec(1, 64, 4.0),
+      [](const sig::CVec& x) {
+        const double n = static_cast<double>(x.size());
+        return tk::expect_close(sig::dft_reference(x), sig::fft(x),
+                                1e-10 * n, 1e-10, "fft vs dft");
+      }));
+}
+
+TEST(SignalProperties, FftIfftRoundTrip) {
+  RCR_EXPECT_PROP(tk::check<sig::CVec>(
+      "ifft(fft(x)) == x", tk::gen_cvec(1, 128, 4.0),
+      [](const sig::CVec& x) {
+        const double n = static_cast<double>(x.size());
+        return tk::expect_close(x, sig::ifft(sig::fft(x)), 1e-10 * n, 1e-10,
+                                "fft/ifft roundtrip");
+      }));
+}
+
+TEST(SignalProperties, InplaceFftBitIdenticalToAllocating) {
+  RCR_EXPECT_PROP(tk::check<sig::CVec>(
+      "fft_inplace == fft (and ifft)", tk::gen_cvec(1, 100, 4.0),
+      [](const sig::CVec& x) {
+        sig::FftWorkspace ws;
+        sig::CVec buf = x;
+        sig::fft_inplace(buf, ws);
+        std::string diag = tk::expect_bits(sig::fft(x), buf, "fft_inplace");
+        if (!diag.empty()) return diag;
+        sig::ifft_inplace(buf, ws);
+        return tk::expect_bits(sig::ifft(sig::fft(x)), buf, "ifft_inplace");
+      }));
+}
+
+TEST(SignalProperties, ParsevalEnergyConservation) {
+  RCR_EXPECT_PROP(tk::check<sig::CVec>(
+      "Parseval: time energy == freq energy / N", tk::gen_cvec(1, 128, 4.0),
+      [](const sig::CVec& x) { return tk::check_parseval_fft(x, 1e-10); }));
+}
+
+TEST(SignalProperties, PowerOfTwoScalingCommutesBitExactly) {
+  RCR_EXPECT_PROP(tk::check<sig::CVec>(
+      "fft(2^k x) == 2^k fft(x) to the bit", tk::gen_cvec(1, 96, 2.0),
+      [](const sig::CVec& x) {
+        std::string diag = tk::check_fft_pow2_linearity(x, 3);
+        if (!diag.empty()) return diag;
+        return tk::check_fft_pow2_linearity(x, -2);
+      }));
+}
+
+TEST(SignalProperties, RfftMatchesFullFftAndInverts) {
+  RCR_EXPECT_PROP(tk::check<Vec>(
+      "rfft/irfft consistency", tk::gen_vec(1, 96, -4.0, 4.0),
+      [](const Vec& x) {
+        const sig::CVec half = sig::rfft(x);
+        if (half.size() != x.size() / 2 + 1)
+          return std::string("rfft output size wrong");
+        const Vec back = sig::irfft(half, x.size());
+        const double n = static_cast<double>(x.size());
+        return tk::expect_close(x, back, 1e-10 * n, 1e-10,
+                                "irfft(rfft(x))");
+      }));
+}
+
+TEST(SignalProperties, StftIntoBitIdenticalToAllocating) {
+  RCR_EXPECT_PROP(tk::check<tk::StftFixture>(
+      "stft_into == stft (cold and warm)", tk::gen_stft_fixture(),
+      [](const tk::StftFixture& f) {
+        const sig::TfGrid fresh = sig::stft(f.signal, f.config);
+        sig::TfGrid into;
+        sig::stft_into(f.signal, f.config, into);
+        std::string diag = tk::expect_bits(fresh, into, "cold stft_into");
+        if (!diag.empty()) return diag;
+        sig::stft_into(f.signal, f.config, into);  // warm path reuses storage
+        return tk::expect_bits(fresh, into, "warm stft_into");
+      }));
+}
+
+TEST(SignalProperties, StftSerialParallelBitIdentical) {
+  RCR_EXPECT_PROP(tk::check<tk::StftFixture>(
+      "stft under the pool == serial stft", tk::gen_stft_fixture(192, 32),
+      [](const tk::StftFixture& f) {
+        return tk::diff_serial_parallel<sig::TfGrid>(
+            [&f]() { return sig::stft(f.signal, f.config); },
+            "parallel vs serial stft");
+      },
+      [] {
+        tk::CheckOptions o;
+        o.cases = 40;
+        return o;
+      }()));
+}
+
+TEST(SignalProperties, StftFrameCountMatchesConfig) {
+  RCR_EXPECT_PROP(tk::check<tk::StftFixture>(
+      "grid shape == (fft_size, frame_count)", tk::gen_stft_fixture(),
+      [](const tk::StftFixture& f) {
+        const sig::TfGrid grid = sig::stft(f.signal, f.config);
+        if (grid.bins() != f.config.fft_size)
+          return std::string("bins != fft_size");
+        if (grid.frames() != f.config.frame_count(f.signal.size()))
+          return std::string("frames != frame_count(n)");
+        return std::string();
+      }));
+}
+
+TEST(SignalProperties, IstftReconstructsColaFixtures) {
+  RCR_EXPECT_PROP(tk::check<tk::StftFixture>(
+      "istft(stft(x)) == x on COLA configs", tk::gen_stft_fixture(),
+      [](const tk::StftFixture& f) {
+        const std::size_t n = f.signal.size();
+        // The least-squares inverse is exact only when the hop tiles the
+        // signal and the window/hop pair satisfies COLA; skip other draws.
+        if (f.config.padding != sig::FramePadding::kCircular ||
+            n % f.config.hop != 0 ||
+            !sig::satisfies_cola(f.config.window, f.config.hop))
+          return std::string();
+        const sig::TfGrid grid = sig::stft(f.signal, f.config);
+        const Vec rebuilt = sig::istft(grid, f.config, n);
+        return tk::expect_close(f.signal, rebuilt,
+                                1e-8 * static_cast<double>(n), 1e-8,
+                                "istft roundtrip");
+      }));
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Verification-stack properties: IBP is the loosest relaxation, so its boxes
+// must contain CROWN's at every layer on arbitrary random networks -- the
+// containment half of the paper's relaxation-tightness ordering.
+#include <gtest/gtest.h>
+
+#include "rcr/testkit/gtest.hpp"
+#include "rcr/testkit/metamorphic.hpp"
+#include "rcr/testkit/testkit.hpp"
+#include "rcr/verify/bounds.hpp"
+#include "rcr/verify/relu_network.hpp"
+
+namespace tk = rcr::testkit;
+namespace verify = rcr::verify;
+using rcr::Vec;
+
+namespace {
+
+struct NetCase {
+  verify::ReluNetwork net;
+  verify::Box input;
+  std::vector<std::size_t> widths;
+};
+
+tk::Gen<NetCase> gen_net_case() {
+  tk::Gen<NetCase> g;
+  g.sample = [](rcr::num::Rng& rng) {
+    NetCase c;
+    const std::size_t depth =
+        static_cast<std::size_t>(rng.uniform_int(2, 4));
+    c.widths.resize(depth + 1);
+    for (auto& w : c.widths)
+      w = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    c.net = verify::ReluNetwork::random(c.widths, rng);
+    const Vec center = rng.normal_vec(c.widths.front());
+    c.input = verify::Box::around(center, rng.uniform(0.05, 0.5));
+    return c;
+  };
+  g.show = [](const NetCase& c) {
+    std::string s = "relu net widths {";
+    for (std::size_t i = 0; i < c.widths.size(); ++i)
+      s += (i == 0 ? "" : ", ") + std::to_string(c.widths[i]);
+    s += "}, input center " + tk::show_vec(c.input.center()) +
+         ", radius " + tk::show_double(c.input.max_width() / 2.0);
+    return s;
+  };
+  return g;
+}
+
+TEST(VerifyProperties, IbpBoxesContainCrownBoxes) {
+  RCR_EXPECT_PROP(tk::check<NetCase>(
+      "IBP box contains CROWN box at every layer", gen_net_case(),
+      [](const NetCase& c) {
+        return tk::check_ibp_contains_crown(c.net, c.input);
+      },
+      [] {
+        tk::CheckOptions o;
+        o.cases = 40;
+        return o;
+      }()));
+}
+
+TEST(VerifyProperties, BoundsContainTheTrueForwardImage) {
+  // Soundness: for sampled points inside the input box, the network output
+  // must lie inside both relaxations' output boxes.
+  RCR_EXPECT_PROP(tk::check<NetCase>(
+      "relaxed output boxes contain sampled forward images", gen_net_case(),
+      [](const NetCase& c) {
+        const verify::LayerBounds ibp = verify::ibp_bounds(c.net, c.input);
+        const verify::LayerBounds crown = verify::crown_bounds(c.net, c.input);
+        rcr::num::Rng rng(7);  // fixed interior sampling, value-independent
+        for (int trial = 0; trial < 8; ++trial) {
+          Vec x(c.input.dim());
+          for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = rng.uniform(c.input.lower[i], c.input.upper[i]);
+          const Vec y = c.net.forward(x);
+          for (std::size_t i = 0; i < y.size(); ++i) {
+            const bool in_ibp = y[i] >= ibp.output.lower[i] - 1e-9 &&
+                                y[i] <= ibp.output.upper[i] + 1e-9;
+            const bool in_crown = y[i] >= crown.output.lower[i] - 1e-9 &&
+                                  y[i] <= crown.output.upper[i] + 1e-9;
+            if (!in_ibp) return std::string("IBP output box is unsound");
+            if (!in_crown) return std::string("CROWN output box is unsound");
+          }
+        }
+        return std::string();
+      },
+      [] {
+        tk::CheckOptions o;
+        o.cases = 40;
+        return o;
+      }()));
+}
+
+}  // namespace

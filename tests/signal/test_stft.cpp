@@ -38,6 +38,15 @@ TEST(StftConfig, ValidationErrors) {
   c.hop = 4;
   c.fft_size = 8;
   EXPECT_THROW(c.validate(), std::invalid_argument);  // fft < window
+  // TI frames are centered, so frame 0 reaches before the signal start;
+  // truncate padding cannot represent that (found by the fuzz harness, which
+  // hit the out-of-bounds read this combination used to produce).
+  c.fft_size = 16;
+  c.convention = StftConvention::kTimeInvariant;
+  c.padding = FramePadding::kTruncate;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.padding = FramePadding::kCircular;
+  EXPECT_NO_THROW(c.validate());
 }
 
 TEST(StftConfig, FrameCounts) {

@@ -1,0 +1,145 @@
+// Generator contracts: sampling is a pure function of the seed, shrink lists
+// are finite and strictly structured, and the structured matrix generators
+// actually produce the structure they advertise.
+#include <gtest/gtest.h>
+
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/testkit/testkit.hpp"
+
+namespace tk = rcr::testkit;
+using rcr::num::Matrix;
+using rcr::num::Rng;
+using rcr::Vec;
+
+namespace {
+
+TEST(TestkitGen, SamplingIsDeterministicInTheSeed) {
+  const auto gen = tk::gen_vec(1, 32, -2.0, 2.0);
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    Rng a(seed), b(seed);
+    const Vec va = gen.sample(a);
+    const Vec vb = gen.sample(b);
+    EXPECT_EQ(tk::expect_bits(va, vb, "same-seed draw"), "");
+  }
+  // Different seeds draw different values (overwhelmingly).
+  Rng a(7), b(8);
+  EXPECT_NE(tk::expect_bits(gen.sample(a), gen.sample(b), "x"), "");
+}
+
+TEST(TestkitGen, ShrinkDoubleProposesSimplerCandidates) {
+  EXPECT_TRUE(tk::shrink_double(0.0).empty());
+  const auto c = tk::shrink_double(-7.25);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(c.front(), 0.0);  // simplest first
+  for (double v : c) EXPECT_LT(std::fabs(v), 7.25 + 1e-12);
+  // Deterministic order.
+  EXPECT_EQ(tk::shrink_double(-7.25), c);
+}
+
+TEST(TestkitGen, ShrinkSizeMovesTowardLowerBound) {
+  EXPECT_TRUE(tk::shrink_size(3, 3).empty());
+  const auto c = tk::shrink_size(100, 2);
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(c.front(), 2u);
+  for (std::size_t v : c) {
+    EXPECT_GE(v, 2u);
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(TestkitGen, ShrinkVecShortensAndSimplifies) {
+  const Vec v = {5.0, -3.0, 2.0, 9.0};
+  const auto candidates = tk::shrink_vec(v, 1);
+  ASSERT_FALSE(candidates.empty());
+  for (const Vec& c : candidates) {
+    EXPECT_GE(c.size(), 1u);
+    EXPECT_LE(c.size(), v.size());
+  }
+  // A minimal vector of zeros has no length shrinks and no scalar shrinks.
+  EXPECT_TRUE(tk::shrink_vec(Vec{0.0}, 1).empty());
+}
+
+TEST(TestkitGen, SymmetricGeneratorIsSymmetric) {
+  const auto gen = tk::gen_symmetric(2, 6);
+  Rng rng(123);
+  for (int i = 0; i < 20; ++i) {
+    const Matrix m = gen.sample(rng);
+    EXPECT_TRUE(m.is_symmetric());
+  }
+}
+
+TEST(TestkitGen, PsdGeneratorIsPsd) {
+  const auto gen = tk::gen_psd(2, 6);
+  Rng rng(321);
+  for (int i = 0; i < 20; ++i) {
+    const Matrix m = gen.sample(rng);
+    EXPECT_TRUE(m.is_symmetric());
+    EXPECT_TRUE(rcr::num::is_psd(m, 1e-9));
+  }
+}
+
+TEST(TestkitGen, SpdWellConditionedFactorizes) {
+  const auto gen = tk::gen_spd_well_conditioned(2, 6);
+  Rng rng(55);
+  for (int i = 0; i < 20; ++i) {
+    const Matrix m = gen.sample(rng);
+    const auto chol = rcr::num::cholesky(m);
+    EXPECT_TRUE(chol.has_value());
+  }
+}
+
+TEST(TestkitGen, NearSingularGeneratorHitsTheRequestedConditioning) {
+  const auto gen = tk::gen_near_singular(3, 6, 6.0, 10.0);
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const Matrix m = gen.sample(rng);
+    const double cond = rcr::num::condition_number_1(m);
+    // The 1-norm condition estimate is within a dimension factor of the
+    // 2-norm target 10^[6,10]; accept a generous bracket.
+    EXPECT_GT(cond, 1e4);
+    EXPECT_LT(cond, 1e13);
+  }
+}
+
+TEST(TestkitGen, RandomOrthogonalHasOrthonormalColumns) {
+  Rng rng(17);
+  const Matrix q = tk::random_orthogonal(5, rng);
+  const Matrix qtq = rcr::num::multiply_at_b(q, q);
+  EXPECT_TRUE(rcr::num::approx_equal(qtq, Matrix::identity(5), 1e-10));
+}
+
+TEST(TestkitGen, MatrixWithSpectrumReproducesSingularValues) {
+  Rng rng(29);
+  const Vec spectrum = {4.0, 1.0, 0.25};
+  const Matrix m = tk::matrix_with_spectrum(spectrum, rng);
+  // det = product of singular values (up to sign; orthogonal factors have
+  // det +/-1).
+  const auto lu = rcr::num::lu_decompose(m);
+  ASSERT_FALSE(lu.singular);
+  EXPECT_NEAR(std::fabs(lu.determinant()), 4.0 * 1.0 * 0.25, 1e-9);
+}
+
+TEST(TestkitGen, StftFixtureGeneratorProducesValidConfigs) {
+  const auto gen = tk::gen_stft_fixture();
+  Rng rng(77);
+  for (int i = 0; i < 30; ++i) {
+    const tk::StftFixture f = gen.sample(rng);
+    EXPECT_NO_THROW(f.config.validate());
+    EXPECT_GE(f.signal.size(), f.config.window.size());
+    // Shrink candidates stay valid too.
+    for (const tk::StftFixture& c : gen.shrink(f)) {
+      EXPECT_NO_THROW(c.config.validate());
+      EXPECT_GE(c.signal.size(), c.config.window.size());
+    }
+  }
+}
+
+TEST(TestkitGen, CanonicalSignalIsDeterministic) {
+  const Vec a = tk::canonical_signal(64, 5);
+  const Vec b = tk::canonical_signal(64, 5);
+  EXPECT_EQ(tk::expect_bits(a, b, "canonical signal"), "");
+  const Vec c = tk::canonical_signal(64, 6);
+  EXPECT_NE(tk::expect_bits(a, c, "different seed"), "");
+}
+
+}  // namespace

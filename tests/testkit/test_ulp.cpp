@@ -1,0 +1,99 @@
+// ULP-distance semantics and the ""-or-diagnostic comparator contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rcr/testkit/testkit.hpp"
+
+namespace tk = rcr::testkit;
+using rcr::Vec;
+using rcr::sig::CVec;
+
+namespace {
+
+TEST(TestkitUlp, DistanceZeroIffEqual) {
+  EXPECT_EQ(tk::ulp_distance(1.5, 1.5), 0u);
+  EXPECT_EQ(tk::ulp_distance(0.0, -0.0), 0u);  // +0 and -0 identified
+  EXPECT_EQ(tk::ulp_distance(-3.0, -3.0), 0u);
+}
+
+TEST(TestkitUlp, AdjacentDoublesAreOneUlpApart) {
+  const double x = 1.0;
+  const double up = std::nextafter(x, 2.0);
+  EXPECT_EQ(tk::ulp_distance(x, up), 1u);
+  EXPECT_EQ(tk::ulp_distance(up, x), 1u);  // symmetric
+  const double down = std::nextafter(x, 0.0);
+  EXPECT_EQ(tk::ulp_distance(x, down), 1u);
+}
+
+TEST(TestkitUlp, NanIsInfinitelyFar) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(tk::ulp_distance(nan, 1.0), UINT64_MAX);
+  EXPECT_EQ(tk::ulp_distance(1.0, nan), UINT64_MAX);
+  EXPECT_EQ(tk::ulp_distance(nan, nan), UINT64_MAX);
+}
+
+TEST(TestkitUlp, OppositeSignsSumDistancesThroughZero) {
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  // +denorm_min and -denorm_min straddle zero: one step each side.
+  EXPECT_EQ(tk::ulp_distance(tiny, -tiny), 2u);
+  EXPECT_EQ(tk::ulp_distance(0.0, tiny), 1u);
+}
+
+TEST(TestkitUlp, ExpectBitsReportsFirstMismatch) {
+  const Vec a = {1.0, 2.0, 3.0};
+  Vec b = a;
+  EXPECT_EQ(tk::expect_bits(a, b, "vec"), "");
+  b[1] = std::nextafter(2.0, 3.0);
+  const std::string diag = tk::expect_bits(a, b, "vec");
+  ASSERT_FALSE(diag.empty());
+  EXPECT_NE(diag.find("[1]"), std::string::npos);
+  EXPECT_NE(diag.find("1 ulps"), std::string::npos);
+}
+
+TEST(TestkitUlp, ExpectBitsCatchesSizeMismatch) {
+  const Vec a = {1.0, 2.0};
+  const Vec b = {1.0};
+  EXPECT_NE(tk::expect_bits(a, b, "vec"), "");
+}
+
+TEST(TestkitUlp, ExpectUlpAllowsBoundedDrift) {
+  const Vec a = {1.0, 2.0};
+  Vec b = a;
+  b[0] = std::nextafter(std::nextafter(1.0, 2.0), 2.0);  // 2 ulps up
+  EXPECT_EQ(tk::expect_ulp(a, b, 2, "vec"), "");
+  EXPECT_NE(tk::expect_ulp(a, b, 1, "vec"), "");
+}
+
+TEST(TestkitUlp, ComplexComparatorsCheckBothComponents) {
+  const CVec a = {{1.0, -1.0}, {0.5, 0.25}};
+  CVec b = a;
+  EXPECT_EQ(tk::expect_bits(a, b, "cvec"), "");
+  b[1] = {0.5, std::nextafter(0.25, 1.0)};
+  EXPECT_NE(tk::expect_bits(a, b, "cvec"), "");
+  EXPECT_EQ(tk::expect_ulp(a, b, 1, "cvec"), "");
+}
+
+TEST(TestkitUlp, ExpectCloseUsesMixedTolerance) {
+  const Vec a = {1000.0, 0.0};
+  const Vec b = {1000.0001, 1e-12};
+  // rtol covers the first entry, atol the second.
+  EXPECT_EQ(tk::expect_close(a, b, 1e-11, 1e-6, "vec"), "");
+  EXPECT_NE(tk::expect_close(a, b, 1e-13, 1e-9, "vec"), "");
+  // NaN never passes expect_close.
+  const Vec with_nan = {std::numeric_limits<double>::quiet_NaN(), 0.0};
+  EXPECT_NE(tk::expect_close(with_nan, with_nan, 1.0, 1.0, "vec"), "");
+}
+
+TEST(TestkitUlp, MatrixComparatorChecksShape) {
+  rcr::num::Matrix a(2, 3, 1.0);
+  rcr::num::Matrix b(3, 2, 1.0);
+  EXPECT_NE(tk::expect_bits(a, b, "matrix"), "");
+  rcr::num::Matrix c(2, 3, 1.0);
+  EXPECT_EQ(tk::expect_bits(a, c, "matrix"), "");
+  c(1, 2) = std::nextafter(1.0, 2.0);
+  EXPECT_NE(tk::expect_bits(a, c, "matrix"), "");
+}
+
+}  // namespace
