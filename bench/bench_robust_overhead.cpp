@@ -1,0 +1,135 @@
+// Overhead of the rcr::robust guard plumbing on the ADMM / SDP hot paths.
+//
+// Three configurations per solver, all computing bit-identical iterates:
+//
+//   plain     guards compiled in but idle: unarmed deadline (polls without
+//             reading the clock), no fault policy (one relaxed atomic load
+//             per decision point).  This is the production default.
+//   deadline  a far-future deadline armed: every poll pays a real monotonic
+//             clock read.  This is the production *budgeted* path and the
+//             one held to the <2% overhead contract.
+//   chaos     a fault policy installed whose site filter matches nothing:
+//             every decision point runs the injector's full enabled path
+//             (mutex + site filter).  Chaos mode is a test harness, so its
+//             cost is reported for information only.
+//
+// Prints the harness table plus per-kernel overhead lines, and writes
+// BENCH_perf.json (schema in bench/harness.hpp).
+#include <cstdio>
+#include <string>
+
+#include "harness.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/fault_injection.hpp"
+
+namespace {
+
+using rcr::Vec;
+using rcr::num::Matrix;
+using rcr::num::Rng;
+
+struct Overheads {
+  double plain_ns = 0.0;
+  double deadline_ns = 0.0;
+  double chaos_ns = 0.0;
+
+  double deadline_pct() const {
+    return plain_ns > 0.0 ? 100.0 * (deadline_ns - plain_ns) / plain_ns : 0.0;
+  }
+  double chaos_pct() const {
+    return plain_ns > 0.0 ? 100.0 * (chaos_ns - plain_ns) / plain_ns : 0.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const bool smoke = rcr::bench::smoke_mode();
+  const int reps = smoke ? 3 : 12;
+  std::printf("=== robust-layer guard overhead (threads=%zu%s) ===\n\n",
+              rcr::rt::global_threads(), smoke ? ", smoke" : "");
+
+  rcr::bench::Harness h("robust_overhead");
+  Rng rng(7);
+
+  const rcr::robust::Deadline far_deadline =
+      rcr::robust::Deadline::after_seconds(3600.0);
+
+  Overheads admm;
+  {
+    const std::size_t n = smoke ? 24 : 64;
+    const Matrix p =
+        rcr::opt::random_psd(n, n, rng) + Matrix::identity(n);
+    const Vec q = rng.normal_vec(n);
+    const Vec lo(n, -1.0), hi(n, 1.0);
+    const std::string size = "n=" + std::to_string(n);
+
+    rcr::opt::AdmmOptions plain;
+    admm.plain_ns =
+        h.run("admm_boxqp/plain", size, reps,
+              [&] { rcr::opt::admm_box_qp(p, q, lo, hi, plain); })
+            .ns_op;
+
+    rcr::opt::AdmmOptions armed = plain;
+    armed.budget.deadline = far_deadline;
+    admm.deadline_ns =
+        h.run("admm_boxqp/deadline", size, reps,
+              [&] { rcr::opt::admm_box_qp(p, q, lo, hi, armed); })
+            .ns_op;
+
+    {
+      rcr::robust::faults::ScopedFaults faults("seed=1,sites=zzz.*");
+      admm.chaos_ns =
+          h.run("admm_boxqp/chaos-idle", size, reps,
+                [&] { rcr::opt::admm_box_qp(p, q, lo, hi, plain); })
+              .ns_op;
+    }
+  }
+
+  Overheads sdp;
+  {
+    const std::size_t n = smoke ? 6 : 12;
+    rcr::opt::Sdp problem;
+    problem.c = rcr::opt::random_psd(n, n, rng) - Matrix::identity(n);
+    problem.a_eq.push_back(Matrix::identity(n));
+    problem.b_eq.push_back(1.0);
+    const std::string size = "n=" + std::to_string(n);
+
+    rcr::opt::SdpOptions plain;
+    plain.max_iterations = smoke ? 500 : 2000;
+    sdp.plain_ns = h.run("sdp_admm/plain", size, reps,
+                         [&] { rcr::opt::solve_sdp(problem, plain); })
+                       .ns_op;
+
+    rcr::opt::SdpOptions armed = plain;
+    armed.budget.deadline = far_deadline;
+    sdp.deadline_ns = h.run("sdp_admm/deadline", size, reps,
+                            [&] { rcr::opt::solve_sdp(problem, armed); })
+                          .ns_op;
+
+    {
+      rcr::robust::faults::ScopedFaults faults("seed=1,sites=zzz.*");
+      sdp.chaos_ns = h.run("sdp_admm/chaos-idle", size, reps,
+                           [&] { rcr::opt::solve_sdp(problem, plain); })
+                         .ns_op;
+    }
+  }
+
+  h.print_table();
+  std::printf("\narmed-deadline overhead vs plain (the <2%% contract):\n");
+  std::printf("  admm_boxqp: %+6.2f%%\n", admm.deadline_pct());
+  std::printf("  sdp_admm:   %+6.2f%%\n", sdp.deadline_pct());
+  std::printf("chaos-mode (idle injector) overhead, informational:\n");
+  std::printf("  admm_boxqp: %+6.2f%%\n", admm.chaos_pct());
+  std::printf("  sdp_admm:   %+6.2f%%\n", sdp.chaos_pct());
+  if (admm.deadline_pct() >= 2.0 || sdp.deadline_pct() >= 2.0)
+    std::printf("WARNING: armed-deadline overhead exceeded the 2%% budget\n");
+
+  std::printf("\n%s\n", h.to_json().c_str());
+  return h.write_json("BENCH_perf.json") ? 0 : 1;
+}

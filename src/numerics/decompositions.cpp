@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rcr/robust/fault_injection.hpp"
+
 namespace rcr::num {
 
 namespace {
@@ -53,6 +55,12 @@ void lu_factor_in_place(LuDecomposition& out, double input_max_abs) {
         out.lu(i, j) -= lik * out.lu(k, j);
     }
   }
+  // Chaos hook: a seeded injector may report this factorization as singular
+  // so downstream recovery paths (ridge retries, fallback chains) can be
+  // driven deterministically.  No-op unless RCR_FAULTS is installed.
+  if (robust::faults::enabled() &&
+      robust::faults::should_inject("numerics.lu.singular"))
+    out.singular = true;
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "rcr/numerics/decompositions.hpp"
+#include "rcr/robust/fault_injection.hpp"
 
 namespace rcr::opt {
 
@@ -22,23 +25,88 @@ Vec soft_threshold(const Vec& v, double kappa) {
   return out;
 }
 
-BoxQpFactor prefactor_box_qp(const Matrix& p, double rho) {
+robust::Result<BoxQpFactor> try_prefactor_box_qp(const Matrix& p, double rho,
+                                                 double ridge) {
   // x-update solves (P + rho I) x = rho (z - u) - q; factor once.  The
   // shifted matrix is moved straight into the decomposition -- no second
   // copy beyond the one the factorization itself owns.
   Matrix m = p;
-  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += rho;
-  BoxQpFactor out;
-  out.factor = num::lu_decompose(std::move(m));
-  out.rho = rho;
-  if (out.factor.singular)
-    throw std::runtime_error("admm_box_qp: P + rho I singular (P not PSD?)");
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += rho + ridge;
+  robust::Result<BoxQpFactor> out;
+  out.value.factor = num::lu_decompose(std::move(m));
+  out.value.rho = rho;
+  if (robust::faults::enabled() &&
+      robust::faults::should_inject("admm.factor.singular"))
+    out.value.factor.singular = true;
+  if (out.value.factor.singular)
+    out.status = robust::make_status(
+        robust::StatusCode::kSingular,
+        "P + rho I singular (rho=" + std::to_string(rho) +
+            ", ridge=" + std::to_string(ridge) + ")");
   return out;
+}
+
+BoxQpFactor prefactor_box_qp(const Matrix& p, double rho) {
+  robust::Result<BoxQpFactor> r = try_prefactor_box_qp(p, rho);
+  if (!r.status.ok())
+    throw std::runtime_error("admm_box_qp: P + rho I singular (P not PSD?)");
+  return std::move(r.value);
 }
 
 AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
                        const Vec& hi, const AdmmOptions& options) {
-  return admm_box_qp(p, prefactor_box_qp(p, options.rho), q, lo, hi, options);
+  // Factor-recovery ladder: the requested (rho, 0), then escalating diagonal
+  // ridge, then rho backoff (x10) with the ridge ladder re-run.  Every
+  // failed rung is recorded in the degradation trail.
+  robust::Status recovery;
+  robust::Result<BoxQpFactor> factor = try_prefactor_box_qp(p, options.rho);
+  AdmmOptions effective = options;
+  if (!factor.status.ok() && options.max_factor_retries > 0) {
+    const double ridge0 = 1e-10 * (1.0 + p.max_abs());
+    double rho = options.rho;
+    double ridge = ridge0;
+    for (std::size_t attempt = 0;
+         attempt < options.max_factor_retries && !factor.status.ok();
+         ++attempt) {
+      recovery.note("factor failed (" + factor.status.detail +
+                    "); retrying with rho=" + std::to_string(rho) +
+                    " ridge=" + std::to_string(ridge));
+      factor = try_prefactor_box_qp(p, rho, ridge);
+      if (factor.status.ok()) {
+        effective.rho = rho;
+        break;
+      }
+      // Escalate: two ridge rungs per rho, then back off rho itself.
+      if (attempt % 2 == 0) {
+        ridge *= 1e4;
+      } else {
+        rho *= 10.0;
+        ridge = ridge0;
+      }
+    }
+  }
+  if (!factor.status.ok()) {
+    // Unrecoverable: report instead of aborting; x = box projection of 0 is
+    // always feasible, so even this worst case returns a valid point.
+    AdmmResult result;
+    result.x = num::clamp(Vec(q.size(), 0.0), lo, hi);
+    result.objective = 0.5 * num::quad_form(result.x, p, result.x) +
+                       num::dot(q, result.x);
+    result.status = factor.status;
+    result.status.trail = recovery.trail;
+    return result;
+  }
+  AdmmResult result =
+      admm_box_qp(p, factor.value, q, lo, hi, effective);
+  if (!recovery.trail.empty()) {
+    // Surface the recovery rungs ahead of whatever the solve recorded.
+    recovery.trail.insert(recovery.trail.end(), result.status.trail.begin(),
+                          result.status.trail.end());
+    result.status.trail = std::move(recovery.trail);
+    if (result.status.code == robust::StatusCode::kOk)
+      result.status.code = robust::StatusCode::kDegraded;
+  }
+  return result;
 }
 
 AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
@@ -64,10 +132,21 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
 
   AdmmResult result;
   const double scale = 1.0 + num::norm_inf(q);
+  const bool faults_on = robust::faults::enabled();
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.budget.expired_at(it) ||
+        (faults_on && robust::faults::should_inject("admm.deadline"))) {
+      result.status = robust::make_status(
+          robust::StatusCode::kDeadlineExpired,
+          "deadline fired at iteration " + std::to_string(it));
+      break;
+    }
     for (std::size_t i = 0; i < n; ++i)
       rhs[i] = options.rho * (z[i] - u[i]) - q[i];
     factor.factor.solve_into(rhs, x);
+    if (faults_on && !x.empty() &&
+        robust::faults::should_inject("admm.iterate.nan"))
+      x[0] = std::numeric_limits<double>::quiet_NaN();
 
     z_prev = z;
     for (std::size_t i = 0; i < n; ++i)
@@ -84,6 +163,17 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
       const double dd = z[i] - z_prev[i];
       dual2 += dd * dd;
     }
+    // NaN/Inf sentinel: a poisoned iterate shows up in the residual sums.
+    // Roll back to the last clean feasible z and stop -- degraded, not dead.
+    if (!std::isfinite(primal2) || !std::isfinite(dual2)) {
+      z = z_prev;
+      result.status = robust::make_status(
+          robust::StatusCode::kNumericalFailure,
+          "non-finite iterate at iteration " + std::to_string(it + 1) +
+              "; rolled back to last clean feasible point");
+      result.iterations = it + 1;
+      break;
+    }
     const double primal = std::sqrt(primal2);
     const double dual = options.rho * std::sqrt(dual2);
     result.iterations = it + 1;
@@ -93,6 +183,9 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
       break;
     }
   }
+  if (!result.converged && result.status.ok())
+    result.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                        "max_iterations exhausted");
   result.x = z;  // feasible by construction
   result.objective = 0.5 * num::quad_form(result.x, p, result.x) +
                      num::dot(q, result.x);
@@ -138,10 +231,21 @@ AdmmResult admm_lasso(const Matrix& a, const LassoFactor& factor, const Vec& b,
 
   AdmmResult result;
   const double scale = 1.0 + num::norm_inf(atb);
+  const bool faults_on = robust::faults::enabled();
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.budget.expired_at(it) ||
+        (faults_on && robust::faults::should_inject("admm.deadline"))) {
+      result.status = robust::make_status(
+          robust::StatusCode::kDeadlineExpired,
+          "deadline fired at iteration " + std::to_string(it));
+      break;
+    }
     for (std::size_t i = 0; i < n; ++i)
       rhs[i] = atb[i] + options.rho * (z[i] - u[i]);
     factor.factor.solve_into(rhs, x);
+    if (faults_on && !x.empty() &&
+        robust::faults::should_inject("admm.iterate.nan"))
+      x[0] = std::numeric_limits<double>::quiet_NaN();
 
     z_prev = z;
     // z = soft_threshold(x + u, kappa), elementwise in place.
@@ -165,6 +269,15 @@ AdmmResult admm_lasso(const Matrix& a, const LassoFactor& factor, const Vec& b,
       const double dd = z[i] - z_prev[i];
       dual2 += dd * dd;
     }
+    if (!std::isfinite(primal2) || !std::isfinite(dual2)) {
+      z = z_prev;
+      result.status = robust::make_status(
+          robust::StatusCode::kNumericalFailure,
+          "non-finite iterate at iteration " + std::to_string(it + 1) +
+              "; rolled back to last clean point");
+      result.iterations = it + 1;
+      break;
+    }
     const double primal = std::sqrt(primal2);
     const double dual = options.rho * std::sqrt(dual2);
     result.iterations = it + 1;
@@ -174,6 +287,9 @@ AdmmResult admm_lasso(const Matrix& a, const LassoFactor& factor, const Vec& b,
       break;
     }
   }
+  if (!result.converged && result.status.ok())
+    result.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                        "max_iterations exhausted");
   result.x = z;
   const Vec resid = num::sub(num::matvec(a, result.x), b);
   result.objective =

@@ -9,6 +9,8 @@
 
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/opt/quadratic.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 
 namespace rcr::opt {
 
@@ -17,6 +19,13 @@ struct AdmmOptions {
   double rho = 1.0;
   double tolerance = 1e-8;
   std::size_t max_iterations = 10000;
+  /// Wall-clock budget; unlimited by default.  When the deadline fires the
+  /// solver returns its best (feasible-by-construction) iterate with
+  /// status kDeadlineExpired.
+  robust::Budget budget;
+  /// Recovery ladder for a singular P + rho I: escalating diagonal ridge,
+  /// then rho backoff (x10) with the ridge ladder re-run.  0 disables.
+  std::size_t max_factor_retries = 4;
 };
 
 /// Cached x-update operator for admm_box_qp: the LU factors of P + rho I.
@@ -31,6 +40,12 @@ struct BoxQpFactor {
 /// Factor P + rho I for the box-QP x-update.  Throws std::runtime_error when
 /// P + rho I is singular (P not PSD).
 BoxQpFactor prefactor_box_qp(const Matrix& p, double rho);
+
+/// Non-throwing factor: status kSingular (with the factor left unusable)
+/// instead of the throw.  `ridge` adds an extra diagonal shift beyond rho
+/// (the escalating-regularization retry path).
+robust::Result<BoxQpFactor> try_prefactor_box_qp(const Matrix& p, double rho,
+                                                 double ridge = 0.0);
 
 /// Cached x-update operator for admm_lasso: the LU factors of A^T A + rho I.
 /// The Gram product is the dominant setup cost; building it once amortizes
@@ -49,12 +64,23 @@ struct AdmmResult {
   double objective = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  /// Runtime disposition: kOk on convergence, kNonConverged on iteration
+  /// exhaustion, kNumericalFailure when a NaN/Inf iterate was caught (the
+  /// last clean feasible iterate is returned), kDeadlineExpired on budget
+  /// expiry, kSingular/kDegraded through the factor-recovery ladder.  The
+  /// trail records every recovery step taken.
+  robust::Status status;
 };
 
 /// Box-constrained QP:
 ///   minimize (1/2) x^T P x + q^T x   subject to  lo <= x <= hi.
 /// P must be symmetric PSD.  Splitting: x unconstrained quadratic prox
 /// (factorized once), z clamped to the box.
+///
+/// Runtime numerical failures no longer throw: a singular P + rho I walks
+/// the escalating-ridge / rho-backoff ladder (`max_factor_retries`), and a
+/// NaN iterate rolls back to the last clean feasible z -- inspect
+/// result.status.  Argument-shape errors still throw std::invalid_argument.
 AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
                        const Vec& hi, const AdmmOptions& options = {});
 

@@ -8,6 +8,8 @@
 #include <functional>
 
 #include "rcr/numerics/vector_ops.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 
 namespace rcr::opt {
 
@@ -22,6 +24,9 @@ struct MinimizeOptions {
   std::size_t max_iterations = 500;
   double gradient_tolerance = 1e-8;  ///< Stop when ||g||_inf <= this.
   std::size_t history = 10;          ///< L-BFGS memory.
+  /// Wall-clock budget; unlimited by default.  On expiry the minimizer
+  /// returns its current iterate with status kDeadlineExpired.
+  robust::Budget budget;
 };
 
 /// Minimizer outcome.
@@ -31,6 +36,10 @@ struct MinimizeResult {
   double gradient_norm = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+  /// Runtime disposition: kOk on convergence, kNonConverged otherwise,
+  /// kNumericalFailure on a non-finite gradient (last clean iterate is
+  /// returned), kDeadlineExpired on budget expiry.
+  robust::Status status;
 };
 
 /// Steepest descent with Armijo backtracking (baseline).

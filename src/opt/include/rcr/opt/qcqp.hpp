@@ -9,6 +9,8 @@
 #include <optional>
 
 #include "rcr/opt/quadratic.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 
 namespace rcr::opt {
 
@@ -34,6 +36,13 @@ struct BarrierOptions {
   double newton_tolerance = 1e-10;  ///< Newton decrement^2 / 2 threshold.
   std::size_t max_newton = 60;      ///< Newton steps per centering.
   std::size_t max_outer = 60;
+  /// Wall-clock budget; unlimited by default.  On expiry the solver returns
+  /// its current (strictly feasible) iterate with status kDeadlineExpired.
+  robust::Budget budget;
+  /// Recovery for a non-finite or singular Newton step: restore the last
+  /// centered iterate, roll the barrier weight back one stage, and resume
+  /// with a gentler growth factor mu.  0 disables.
+  std::size_t max_mu_restarts = 2;
 };
 
 /// Solver outcome.
@@ -44,6 +53,11 @@ struct QcqpResult {
   std::size_t newton_iterations = 0;  ///< Total across centerings.
   double duality_gap_bound = 0.0;     ///< m/t certificate at exit.
   std::string message;
+  /// Runtime disposition: kOk on convergence, kInfeasible when no strictly
+  /// feasible start exists, kNonConverged on outer-iteration exhaustion,
+  /// kNumericalFailure when the mu-restart ladder was exhausted,
+  /// kDeadlineExpired on budget expiry.  The trail records mu restarts.
+  robust::Status status;
 };
 
 /// Find a strictly feasible point of a convex QCQP (phase I): penalized

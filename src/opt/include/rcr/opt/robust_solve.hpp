@@ -1,0 +1,63 @@
+// Degradation-aware front door for the box-constrained QP -- the workhorse
+// subproblem of the RCR pipeline (Sec. IV-C).  Instead of trusting a single
+// solver, requests walk a declarative fallback chain
+//
+//   Shor SDP relaxation -> QCQP barrier -> ADMM -> projected gradient
+//
+// where each step records why its predecessor failed and the answer is
+// tagged with the soundness level of the step that produced it.  The last
+// resort (projected gradient onto the box) cannot fail: it always returns a
+// feasible point, so a request degrades but never dies.
+#pragma once
+
+#include <string>
+
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/robust/fallback.hpp"
+
+namespace rcr::opt {
+
+/// Options for the robust box-QP chain.  The chain deadline is shared: it is
+/// checked between steps, and each sub-solver whose own budget is unlimited
+/// inherits it.
+struct RobustBoxQpOptions {
+  robust::Deadline deadline;
+  SdpOptions sdp;
+  BarrierOptions barrier;
+  AdmmOptions admm;
+  std::size_t pgd_max_iterations = 20000;
+  double pgd_tolerance = 1e-10;
+  /// Skip the (expensive) SDP relaxation step; the chain then starts at the
+  /// barrier solver.  The exact steps still answer identically.
+  bool skip_sdp = true;
+};
+
+/// Outcome of the chain: the winning step's answer plus the full trail.
+struct RobustBoxQpResult {
+  Vec x;
+  double objective = 0.0;
+  std::string method;  ///< Name of the step that produced x.
+  robust::Soundness soundness = robust::Soundness::kHeuristic;
+  robust::Status status;  ///< Trail names every fallback taken.
+  std::size_t attempts = 0;
+};
+
+/// Projected gradient descent on (1/2) x^T P x + q^T x over [lo, hi] -- the
+/// always-feasible last resort.  Fixed step 1 / (||P||_inf + 1).  Returns
+/// kNonConverged (usable) when the iteration budget runs out.
+robust::Result<Vec> projected_gradient_box_qp(
+    const Matrix& p, const Vec& q, const Vec& lo, const Vec& hi,
+    std::size_t max_iterations = 20000, double tolerance = 1e-10,
+    const robust::Budget& budget = {});
+
+/// Run the fallback chain.  Never throws on runtime numerical failure; the
+/// worst case is a kDegraded heuristic answer (or kFallbackExhausted if the
+/// deadline fires before any step can run).  Argument-shape errors still
+/// throw std::invalid_argument.
+RobustBoxQpResult solve_box_qp_robust(const Matrix& p, const Vec& q,
+                                      const Vec& lo, const Vec& hi,
+                                      const RobustBoxQpOptions& options = {});
+
+}  // namespace rcr::opt

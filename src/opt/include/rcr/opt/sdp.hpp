@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "rcr/opt/quadratic.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 
 namespace rcr::opt {
 
@@ -33,6 +35,13 @@ struct SdpOptions {
   double rho = 1.0;         ///< Augmented-Lagrangian penalty.
   double tolerance = 1e-6;  ///< Primal & dual residual threshold.
   std::size_t max_iterations = 8000;
+  /// Wall-clock budget; unlimited by default.  On expiry the solver returns
+  /// its best PSD-projected iterate with status kDeadlineExpired.
+  robust::Budget budget;
+  /// Recovery ladder for a degenerate (rank-deficient) constraint system:
+  /// escalating diagonal ridge on the KKT matrix.  0 disables, in which
+  /// case a singular KKT system yields status kSingular immediately.
+  std::size_t max_kkt_retries = 4;
 };
 
 /// Solver outcome.
@@ -42,6 +51,12 @@ struct SdpResult {
   double primal_residual = 0.0;  ///< Constraint + cone violation at exit.
   std::size_t iterations = 0;
   bool converged = false;
+  /// Runtime disposition: kOk on convergence, kNonConverged on iteration
+  /// exhaustion, kDegraded when the KKT ridge ladder had to fire (trail
+  /// records each rung), kSingular when it was exhausted,
+  /// kNumericalFailure on a caught NaN/Inf iterate (last clean iterate
+  /// returned), kDeadlineExpired on budget expiry.
+  robust::Status status;
 };
 
 /// Solve the SDP via ADMM: an affine proximal step (equality-constrained
@@ -61,7 +76,9 @@ struct ShorBound {
   double bound = 0.0;
   Vec x_extracted;              ///< Candidate solution X[1:,0] / X[0,0].
   double extraction_value = 0.0;  ///< f0(x_extracted).
+  std::size_t iterations = 0;   ///< Inner SDP iterations consumed.
   bool converged = false;
+  robust::Status status;        ///< Inner SDP disposition (see SdpResult).
 };
 ShorBound shor_lower_bound(const Qcqp& problem, const SdpOptions& options = {});
 

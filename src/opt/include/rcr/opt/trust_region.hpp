@@ -35,6 +35,9 @@ struct TrustRegionOptions {
   double max_radius = 100.0;
   double eta_accept = 0.1;   ///< rho below this rejects the step.
   double eta_expand = 0.75;  ///< rho above this grows the radius.
+  /// Wall-clock budget; unlimited by default.  On expiry the driver returns
+  /// its current iterate with status kDeadlineExpired.
+  robust::Budget budget;
 };
 
 /// Trust-region minimizer with a BFGS Hessian proxy (not inverse), guarded by

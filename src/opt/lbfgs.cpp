@@ -2,10 +2,14 @@
 
 #include <cmath>
 #include <deque>
+#include <limits>
+#include <string>
 
 #include "rcr/numerics/approx.hpp"
 #include "rcr/numerics/matrix.hpp"
 #include "rcr/opt/linesearch.hpp"
+#include "rcr/robust/fault_injection.hpp"
+#include "rcr/robust/guards.hpp"
 
 namespace rcr::opt {
 
@@ -16,7 +20,8 @@ bool stop(const Vec& g, const MinimizeOptions& options) {
 }
 
 MinimizeResult finish(Vec x, const Smooth& f, std::size_t iters,
-                      const MinimizeOptions& options) {
+                      const MinimizeOptions& options,
+                      robust::Status status = {}) {
   MinimizeResult r;
   const Vec g = f.gradient(x);
   r.gradient_norm = num::norm_inf(g);
@@ -24,7 +29,41 @@ MinimizeResult finish(Vec x, const Smooth& f, std::size_t iters,
   r.value = f.value(x);
   r.x = std::move(x);
   r.iterations = iters;
+  r.status = std::move(status);
+  if (!r.converged && r.status.ok())
+    r.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                   "stopped before reaching tolerance");
   return r;
+}
+
+// NaN/Inf sentinel on a freshly evaluated gradient.  The injector may poison
+// it first (site "lbfgs.gradient.nan").  Returns true when the caller should
+// abandon the step and report the last clean iterate.
+bool gradient_poisoned(Vec& g, bool faults_on) {
+  if (faults_on && !g.empty() &&
+      robust::faults::should_inject("lbfgs.gradient.nan"))
+    g[0] = std::numeric_limits<double>::quiet_NaN();
+  return !robust::all_finite(g);
+}
+
+MinimizeResult fail_gradient(Vec x, const Smooth& f, std::size_t iters) {
+  // The iterate itself is the last clean point; only its gradient went bad.
+  MinimizeResult r;
+  r.value = f.value(x);
+  r.gradient_norm = std::numeric_limits<double>::quiet_NaN();
+  r.x = std::move(x);
+  r.iterations = iters;
+  r.status = robust::make_status(
+      robust::StatusCode::kNumericalFailure,
+      "non-finite gradient at iteration " + std::to_string(iters) +
+          "; returning last clean iterate");
+  return r;
+}
+
+robust::Status deadline_status(std::size_t it) {
+  return robust::make_status(
+      robust::StatusCode::kDeadlineExpired,
+      "deadline fired at iteration " + std::to_string(it));
 }
 
 }  // namespace
@@ -32,8 +71,14 @@ MinimizeResult finish(Vec x, const Smooth& f, std::size_t iters,
 MinimizeResult gradient_descent(const Smooth& f, Vec x0,
                                 const MinimizeOptions& options) {
   Vec x = std::move(x0);
+  const bool faults_on = robust::faults::enabled();
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    const Vec g = f.gradient(x);
+    if (options.budget.expired_at(it) ||
+        (faults_on && robust::faults::should_inject("lbfgs.deadline")))
+      return finish(std::move(x), f, it, options, deadline_status(it));
+    Vec g = f.gradient(x);
+    if (gradient_poisoned(g, faults_on))
+      return fail_gradient(std::move(x), f, it);
     if (stop(g, options)) return finish(std::move(x), f, it, options);
     const Vec d = num::scale(g, -1.0);
     const auto ls = armijo_backtrack(f.value, x, d, g, f.value(x));
@@ -47,8 +92,13 @@ MinimizeResult bfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
   const std::size_t n = x0.size();
   Vec x = std::move(x0);
   num::Matrix h_inv = num::Matrix::identity(n);
+  const bool faults_on = robust::faults::enabled();
   Vec g = f.gradient(x);
+  if (gradient_poisoned(g, faults_on)) return fail_gradient(std::move(x), f, 0);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.budget.expired_at(it) ||
+        (faults_on && robust::faults::should_inject("lbfgs.deadline")))
+      return finish(std::move(x), f, it, options, deadline_status(it));
     if (stop(g, options)) return finish(std::move(x), f, it, options);
     Vec d = num::scale(num::matvec(h_inv, g), -1.0);
     if (num::dot(d, g) >= 0.0) {
@@ -61,7 +111,9 @@ MinimizeResult bfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
 
     Vec x_new = x;
     num::axpy(ls.step, d, x_new);
-    const Vec g_new = f.gradient(x_new);
+    Vec g_new = f.gradient(x_new);
+    if (gradient_poisoned(g_new, faults_on))
+      return fail_gradient(std::move(x), f, it + 1);
     const Vec s = num::sub(x_new, x);
     const Vec y = num::sub(g_new, g);
     const double sy = num::dot(s, y);
@@ -82,12 +134,17 @@ MinimizeResult bfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
 
 MinimizeResult lbfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
   Vec x = std::move(x0);
+  const bool faults_on = robust::faults::enabled();
   Vec g = f.gradient(x);
+  if (gradient_poisoned(g, faults_on)) return fail_gradient(std::move(x), f, 0);
   std::deque<Vec> s_hist;
   std::deque<Vec> y_hist;
   std::deque<double> rho_hist;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.budget.expired_at(it) ||
+        (faults_on && robust::faults::should_inject("lbfgs.deadline")))
+      return finish(std::move(x), f, it, options, deadline_status(it));
     if (stop(g, options)) return finish(std::move(x), f, it, options);
 
     // Two-loop recursion for d = -H g.
@@ -119,7 +176,9 @@ MinimizeResult lbfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
 
     Vec x_new = x;
     num::axpy(ls.step, d, x_new);
-    const Vec g_new = f.gradient(x_new);
+    Vec g_new = f.gradient(x_new);
+    if (gradient_poisoned(g_new, faults_on))
+      return fail_gradient(std::move(x), f, it + 1);
     const Vec s = num::sub(x_new, x);
     const Vec y = num::sub(g_new, g);
     const double sy = num::dot(s, y);

@@ -8,6 +8,7 @@
 
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/opt/lbfgs.hpp"
+#include "rcr/robust/fault_injection.hpp"
 
 namespace rcr::opt {
 
@@ -128,6 +129,8 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
     auto feasible = find_strictly_feasible(problem);
     if (!feasible) {
       result.message = "no strictly feasible point found (phase I failed)";
+      result.status =
+          robust::make_status(robust::StatusCode::kInfeasible, result.message);
       return result;
     }
     x = std::move(*feasible);
@@ -135,6 +138,8 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
   for (const auto& c : problem.constraints) {
     if (c.value(x) >= 0.0) {
       result.message = "initial point not strictly feasible";
+      result.status =
+          robust::make_status(robust::StatusCode::kInfeasible, result.message);
       return result;
     }
   }
@@ -149,6 +154,12 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
   }
 
   double t = options.t0;
+  // Barrier growth factor; softened by the mu-restart recovery ladder when a
+  // Newton step goes non-finite or the KKT system turns singular.
+  double mu_eff = options.mu;
+  std::size_t mu_restarts = 0;
+  Vec x_good = x;  // last successfully centered iterate
+  const bool faults_on = robust::faults::enabled();
   // Iteration-persistent workspaces: every Newton iteration reuses these
   // buffers (and the LU factor storage), so the centering loop performs no
   // steady-state heap allocations.
@@ -164,7 +175,19 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
   num::LuDecomposition lu_ws;
   for (std::size_t outer = 0; outer < options.max_outer; ++outer) {
     // Centering: Newton on t*f0 + phi restricted to {A x = b}.
+    std::string newton_failure;  // non-empty => this centering went bad
     for (std::size_t newton = 0; newton < options.max_newton; ++newton) {
+      if (options.budget.expired_at(result.newton_iterations) ||
+          (faults_on && robust::faults::should_inject("qcqp.deadline"))) {
+        result.status = robust::make_status(
+            robust::StatusCode::kDeadlineExpired,
+            "deadline fired after " +
+                std::to_string(result.newton_iterations) + " Newton steps");
+        result.x = std::move(x);
+        result.value = problem.objective.value(result.x);
+        result.duality_gap_bound = static_cast<double>(m_ineq) / t;
+        return result;
+      }
       // Gradient and Hessian of the barrier-augmented objective.
       problem.objective.gradient_into(x, grad, grad_scratch);
       for (std::size_t i = 0; i < n; ++i) grad[i] *= t;
@@ -197,6 +220,10 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
         rhs.resize(n);
         for (std::size_t i = 0; i < n; ++i) rhs[i] = grad[i] * -1.0;
         num::lu_decompose_into(kkt, lu_ws);
+        if (lu_ws.singular) {
+          newton_failure = "singular Newton system";
+          break;
+        }
         lu_ws.solve_into(rhs, dx);
       } else {
         kkt.assign(n + m_eq, n + m_eq);
@@ -210,12 +237,25 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
         rhs.assign(n + m_eq, 0.0);
         for (std::size_t i = 0; i < n; ++i) rhs[i] = -grad[i];
         num::lu_decompose_into(kkt, lu_ws);
+        if (lu_ws.singular) {
+          newton_failure = "singular KKT system";
+          break;
+        }
         lu_ws.solve_into(rhs, sol);
         dx.assign(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
       }
       ++result.newton_iterations;
+      if (faults_on && !dx.empty() &&
+          robust::faults::should_inject("qcqp.newton.nan"))
+        dx[0] = std::numeric_limits<double>::quiet_NaN();
 
       const double decrement2 = -num::dot(grad, dx);
+      // NaN/Inf sentinel: a poisoned Newton direction would otherwise walk
+      // the iterate out of the domain and destroy strict feasibility.
+      if (!std::isfinite(decrement2)) {
+        newton_failure = "non-finite Newton decrement";
+        break;
+      }
       if (decrement2 / 2.0 <= options.newton_tolerance) break;
 
       // Backtracking: stay strictly feasible, then Armijo on the barrier
@@ -246,18 +286,49 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
       if (!moved) break;
     }
 
+    if (!newton_failure.empty()) {
+      // mu-restart recovery: restore the last centered iterate, roll the
+      // barrier weight back one stage, and resume with gentler growth.
+      if (mu_restarts >= options.max_mu_restarts) {
+        result.status.code = robust::StatusCode::kNumericalFailure;
+        result.status.detail =
+            newton_failure + "; mu-restart ladder exhausted after " +
+            std::to_string(mu_restarts) + " restarts";
+        x = x_good;
+        break;
+      }
+      ++mu_restarts;
+      t = std::max(options.t0, t / mu_eff);
+      mu_eff = 1.0 + (mu_eff - 1.0) * 0.5;
+      result.status.note(newton_failure + "; mu restart #" +
+                         std::to_string(mu_restarts) + ": t rolled back to " +
+                         std::to_string(t) + ", mu softened to " +
+                         std::to_string(mu_eff));
+      x = x_good;
+      continue;
+    }
+    x_good = x;
+
     result.duality_gap_bound = static_cast<double>(m_ineq) / t;
     if (result.duality_gap_bound <= options.duality_gap) {
       result.converged = true;
       break;
     }
-    t *= options.mu;
+    t *= mu_eff;
   }
 
   result.x = std::move(x);
   result.value = problem.objective.value(result.x);
-  if (!result.converged)
+  if (!result.converged) {
     result.message = "barrier method exhausted outer iterations";
+    if (result.status.code == robust::StatusCode::kOk)
+      result.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                          result.message);
+  } else if (!result.status.trail.empty() &&
+             result.status.code == robust::StatusCode::kOk) {
+    result.status.code = robust::StatusCode::kDegraded;
+    result.status.detail = "converged after mu restart(s)";
+  }
   return result;
 }
 

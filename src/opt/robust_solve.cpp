@@ -1,0 +1,184 @@
+#include "rcr/opt/robust_solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "rcr/numerics/vector_ops.hpp"
+
+namespace rcr::opt {
+
+robust::Result<Vec> projected_gradient_box_qp(const Matrix& p, const Vec& q,
+                                              const Vec& lo, const Vec& hi,
+                                              std::size_t max_iterations,
+                                              double tolerance,
+                                              const robust::Budget& budget) {
+  const std::size_t n = q.size();
+  if (p.rows() != n || p.cols() != n || lo.size() != n || hi.size() != n)
+    throw std::invalid_argument("projected_gradient_box_qp: dimension mismatch");
+
+  // Fixed step from the inf-norm Lipschitz bound of the gradient.
+  double lmax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) rowsum += std::abs(p(i, j));
+    lmax = std::max(lmax, rowsum);
+  }
+  const double step = 1.0 / (lmax + 1.0);
+  const double scale = 1.0 + num::norm_inf(q);
+
+  robust::Result<Vec> out;
+  Vec x = num::clamp(Vec(n, 0.0), lo, hi);
+  Vec grad(n);
+  bool converged = false;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    if (budget.expired_at(it)) {
+      out.status = robust::make_status(
+          robust::StatusCode::kDeadlineExpired,
+          "deadline fired at iteration " + std::to_string(it));
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = q[i];
+      for (std::size_t j = 0; j < n; ++j) acc += p(i, j) * x[j];
+      grad[i] = acc;
+    }
+    double move2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xn = std::clamp(x[i] - step * grad[i], lo[i], hi[i]);
+      const double d = xn - x[i];
+      move2 += d * d;
+      x[i] = xn;
+    }
+    if (std::sqrt(move2) <= tolerance * scale * step) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged && out.status.ok())
+    out.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                     "projected gradient budget exhausted");
+  out.value = std::move(x);
+  return out;
+}
+
+namespace {
+
+// Lift the box QP to a QCQP with 2n linear inequality constraints.
+Qcqp box_qp_as_qcqp(const Matrix& p, const Vec& q, const Vec& lo,
+                    const Vec& hi) {
+  const std::size_t n = q.size();
+  Qcqp prob;
+  prob.objective.p = p;
+  prob.objective.q = q;
+  prob.objective.r = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    QuadraticForm upper;  // x_i - hi_i <= 0
+    upper.p = Matrix(n, n);
+    upper.q = Vec(n, 0.0);
+    upper.q[i] = 1.0;
+    upper.r = -hi[i];
+    prob.constraints.push_back(std::move(upper));
+    QuadraticForm lower;  // lo_i - x_i <= 0
+    lower.p = Matrix(n, n);
+    lower.q = Vec(n, 0.0);
+    lower.q[i] = -1.0;
+    lower.r = lo[i];
+    prob.constraints.push_back(std::move(lower));
+  }
+  return prob;
+}
+
+}  // namespace
+
+RobustBoxQpResult solve_box_qp_robust(const Matrix& p, const Vec& q,
+                                      const Vec& lo, const Vec& hi,
+                                      const RobustBoxQpOptions& options) {
+  const std::size_t n = q.size();
+  if (p.rows() != n || p.cols() != n || lo.size() != n || hi.size() != n)
+    throw std::invalid_argument("solve_box_qp_robust: dimension mismatch");
+  for (std::size_t i = 0; i < n; ++i)
+    if (lo[i] > hi[i])
+      throw std::invalid_argument("solve_box_qp_robust: lo > hi");
+
+  // Sub-solvers with unlimited budgets inherit the chain deadline.
+  SdpOptions sdp_opts = options.sdp;
+  BarrierOptions barrier_opts = options.barrier;
+  AdmmOptions admm_opts = options.admm;
+  if (!options.deadline.is_unlimited()) {
+    if (sdp_opts.budget.deadline.is_unlimited())
+      sdp_opts.budget.deadline = options.deadline;
+    if (barrier_opts.budget.deadline.is_unlimited())
+      barrier_opts.budget.deadline = options.deadline;
+    if (admm_opts.budget.deadline.is_unlimited())
+      admm_opts.budget.deadline = options.deadline;
+  }
+  robust::Budget pgd_budget;
+  pgd_budget.deadline = options.deadline;
+
+  robust::FallbackChain<Vec> chain;
+  if (!options.skip_sdp) {
+    chain.add("sdp-shor", robust::Soundness::kRelaxation, [&]() {
+      const Qcqp prob = box_qp_as_qcqp(p, q, lo, hi);
+      ShorBound shor = shor_lower_bound(prob, sdp_opts);
+      robust::Result<Vec> r;
+      r.value = num::clamp(std::move(shor.x_extracted), lo, hi);
+      r.status = shor.status;
+      if (r.status.ok() && !shor.converged)
+        r.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                       "SDP relaxation did not converge");
+      return r;
+    });
+  }
+  chain.add("qcqp-barrier", robust::Soundness::kExact, [&]() {
+    QcqpResult br = solve_qcqp_barrier(box_qp_as_qcqp(p, q, lo, hi),
+                                       std::nullopt, barrier_opts);
+    robust::Result<Vec> r;
+    r.status = br.status;
+    if (!br.converged && r.status.ok())
+      r.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                     br.message.empty() ? "barrier stalled"
+                                                        : br.message);
+    // The barrier iterate can sit a hair outside the box (strict interior
+    // tracking); clamping is a no-op when it is inside.
+    r.value = num::clamp(std::move(br.x), lo, hi);
+    return r;
+  });
+  chain.add("admm", robust::Soundness::kExact, [&]() {
+    AdmmResult ar = admm_box_qp(p, q, lo, hi, admm_opts);
+    robust::Result<Vec> r;
+    r.value = std::move(ar.x);  // feasible by construction
+    r.status = ar.status;
+    return r;
+  });
+  chain.add("projected-gradient", robust::Soundness::kHeuristic, [&]() {
+    return projected_gradient_box_qp(p, q, lo, hi,
+                                     options.pgd_max_iterations,
+                                     options.pgd_tolerance, pgd_budget);
+  });
+
+  robust::ChainOutcome<Vec> outcome = chain.run(options.deadline);
+
+  RobustBoxQpResult result;
+  result.method = outcome.step;
+  result.soundness = outcome.soundness;
+  result.status = std::move(outcome.status);
+  result.attempts = outcome.attempts;
+  if (outcome.value.size() == n) {
+    result.x = std::move(outcome.value);
+    result.objective =
+        0.5 * num::quad_form(result.x, p, result.x) + num::dot(q, result.x);
+  } else {
+    // Chain exhausted before any step ran (deadline): still hand back a
+    // feasible point so callers never see an empty answer.
+    result.x = num::clamp(Vec(n, 0.0), lo, hi);
+    result.objective =
+        0.5 * num::quad_form(result.x, p, result.x) + num::dot(q, result.x);
+    result.method = "box-projection";
+    result.soundness = robust::Soundness::kHeuristic;
+  }
+  return result;
+}
+
+}  // namespace rcr::opt

@@ -1,11 +1,14 @@
 #include "rcr/opt/sdp.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/numerics/eigen.hpp"
+#include "rcr/robust/fault_injection.hpp"
 
 namespace rcr::opt {
 
@@ -58,9 +61,51 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
     fill_row(m_eq + j, problem.a_in[j], true, j);
     d[m_eq + j] = problem.b_in[j];
   }
-  const num::LuDecomposition kkt = num::lu_decompose(big);
-  if (kkt.singular)
-    throw std::runtime_error("solve_sdp: degenerate constraint system");
+  SdpResult result;
+
+  // Factor the KKT system.  A degenerate (rank-deficient) constraint set
+  // makes it singular; instead of aborting, regularize the multiplier block
+  // with an escalating ridge -- the damped least-squares multiplier.  Each
+  // rung is recorded in the degradation trail.
+  const bool faults_on = robust::faults::enabled();
+  auto factor_kkt = [&](double ridge) {
+    for (std::size_t i = 0; i < m; ++i) big(dim_y + i, dim_y + i) = -ridge;
+    num::LuDecomposition f = num::lu_decompose(big);
+    if (faults_on && robust::faults::should_inject("sdp.kkt.singular"))
+      f.singular = true;
+    return f;
+  };
+  num::LuDecomposition kkt = factor_kkt(0.0);
+  if (kkt.singular) {
+    double ridge = 1e-10 * (1.0 + big.max_abs());
+    for (std::size_t attempt = 0;
+         attempt < options.max_kkt_retries && kkt.singular; ++attempt) {
+      result.status.note(
+          "KKT factorization singular (degenerate constraint system); "
+          "retrying with least-squares multiplier ridge=" +
+          std::to_string(ridge));
+      kkt = factor_kkt(ridge);
+      ridge *= 1e4;
+    }
+    if (kkt.singular) {
+      // Unrecoverable: report instead of aborting.  X = 0 is PSD, so even
+      // this worst case hands back a valid (if useless) point.
+      result.status.code = robust::StatusCode::kSingular;
+      result.status.detail =
+          "degenerate constraint system: KKT singular after " +
+          std::to_string(options.max_kkt_retries) + " ridge retries";
+      result.x = Matrix(n, n);
+      double viol0 = 0.0;
+      for (std::size_t i = 0; i < m_eq; ++i)
+        viol0 = std::max(viol0, std::abs(problem.b_eq[i]));
+      for (std::size_t j = 0; j < m_in; ++j)
+        viol0 = std::max(viol0, -problem.b_in[j]);
+      result.primal_residual = viol0;
+      return result;
+    }
+    result.status.code = robust::StatusCode::kDegraded;
+    result.status.detail = "KKT system regularized (least-squares multiplier)";
+  }
 
   Vec cvec(dim_y, 0.0);
   for (std::size_t i = 0; i < n; ++i)
@@ -78,15 +123,41 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
   Matrix xw(n, n);
   Vec z_next(dim_y);
 
-  SdpResult result;
   const double scale = 1.0 + problem.c.max_abs() + num::norm_inf(d);
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.budget.expired_at(it) ||
+        (faults_on && robust::faults::should_inject("sdp.deadline"))) {
+      result.status.note("deadline fired at iteration " + std::to_string(it));
+      result.status.code = robust::StatusCode::kDeadlineExpired;
+      result.status.detail = "deadline fired at iteration " + std::to_string(it);
+      break;
+    }
     // y-update: min c^T y + rho/2 ||y - z + u||^2  s.t.  M y = d.
     for (std::size_t i = 0; i < dim_y; ++i)
       rhs[i] = rho * (z[i] - u[i]) - cvec[i];
     for (std::size_t i = 0; i < m; ++i) rhs[dim_y + i] = d[i];
     kkt.solve_into(rhs, sol);
+    if (faults_on && !sol.empty() &&
+        robust::faults::should_inject("sdp.iterate.nan"))
+      sol[0] = std::numeric_limits<double>::quiet_NaN();
+    // NaN/Inf sentinel BEFORE the PSD projection: feeding a poisoned iterate
+    // to the eigendecomposition would waste a full sweep budget on garbage.
+    // z still holds the last clean projected iterate, so stop on it.
+    bool finite = true;
+    for (std::size_t i = 0; i < dim_y; ++i)
+      if (!std::isfinite(sol[i])) {
+        finite = false;
+        break;
+      }
+    if (!finite) {
+      result.status.code = robust::StatusCode::kNumericalFailure;
+      result.status.detail =
+          "non-finite iterate at iteration " + std::to_string(it + 1) +
+          "; returning last clean PSD-projected point";
+      result.iterations = it + 1;
+      break;
+    }
     for (std::size_t i = 0; i < dim_y; ++i) y[i] = sol[i];
 
     // z-update: project y + u onto PSD-cone x nonnegative-orthant.
@@ -122,6 +193,14 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
       result.converged = true;
       break;
     }
+  }
+  if (!result.converged &&
+      (result.status.code == robust::StatusCode::kOk ||
+       result.status.code == robust::StatusCode::kDegraded)) {
+    if (result.status.code == robust::StatusCode::kDegraded)
+      result.status.note(result.status.detail);
+    result.status.code = robust::StatusCode::kNonConverged;
+    result.status.detail = "max_iterations exhausted";
   }
 
   result.x = Matrix(n, n);
@@ -196,7 +275,9 @@ ShorBound shor_lower_bound(const Qcqp& problem, const SdpOptions& options) {
   const SdpResult r = solve_sdp(sdp, options);
   ShorBound out;
   out.bound = r.objective;
+  out.iterations = r.iterations;
   out.converged = r.converged;
+  out.status = r.status;
   const std::size_t n = problem.dim();
   out.x_extracted.resize(n);
   const double corner = std::max(r.x(0, 0), 1e-12);

@@ -1,8 +1,12 @@
 #include "rcr/opt/trust_region.hpp"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "rcr/numerics/eigen.hpp"
+#include "rcr/robust/fault_injection.hpp"
+#include "rcr/robust/guards.hpp"
 
 namespace rcr::opt {
 
@@ -123,13 +127,35 @@ MinimizeResult trust_region_bfgs(const Smooth& f, Vec x0,
   double radius = options.initial_radius;
 
   MinimizeResult result;
+  const bool faults_on = robust::faults::enabled();
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (options.budget.expired_at(it) ||
+        (faults_on && robust::faults::should_inject("tr.deadline"))) {
+      result.status = robust::make_status(
+          robust::StatusCode::kDeadlineExpired,
+          "deadline fired at iteration " + std::to_string(it));
+      result.iterations = it;
+      break;
+    }
     const Vec g = f.gradient(x);
     if (num::norm_inf(g) <= options.gradient_tolerance) {
       result.iterations = it;
       break;
     }
-    const TrustRegionStep step = solve_trust_region_exact(b, g, radius);
+    TrustRegionStep step = solve_trust_region_exact(b, g, radius);
+    if (faults_on && !step.p.empty() &&
+        robust::faults::should_inject("tr.step.nan"))
+      step.p[0] = std::numeric_limits<double>::quiet_NaN();
+    // NaN/Inf sentinel: a poisoned subproblem step must not reach the
+    // iterate; x is still the last clean point, so stop on it.
+    if (!robust::all_finite(step.p)) {
+      result.status = robust::make_status(
+          robust::StatusCode::kNumericalFailure,
+          "non-finite trust-region step at iteration " + std::to_string(it) +
+              "; returning last clean iterate");
+      result.iterations = it;
+      break;
+    }
     if (num::norm2(step.p) <= 1e-15) {
       result.iterations = it;
       break;
@@ -165,6 +191,9 @@ MinimizeResult trust_region_bfgs(const Smooth& f, Vec x0,
       radius = std::min(2.0 * radius, options.max_radius);
     }
     if (radius < 1e-14) {
+      result.status = robust::make_status(
+          robust::StatusCode::kNonConverged,
+          "trust-region radius collapsed at iteration " + std::to_string(it));
       result.iterations = it;
       break;
     }
@@ -176,6 +205,9 @@ MinimizeResult trust_region_bfgs(const Smooth& f, Vec x0,
   result.converged = result.gradient_norm <= options.gradient_tolerance;
   result.value = f.value(x);
   result.x = std::move(x);
+  if (!result.converged && result.status.ok())
+    result.status = robust::make_status(robust::StatusCode::kNonConverged,
+                                        "stopped before reaching tolerance");
   return result;
 }
 

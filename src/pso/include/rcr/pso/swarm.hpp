@@ -12,6 +12,8 @@
 #include "rcr/numerics/rng.hpp"
 #include "rcr/pso/inertia.hpp"
 #include "rcr/pso/objective.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 
 namespace rcr::pso {
 
@@ -42,6 +44,11 @@ struct PsoConfig {
 
   /// Stop early once the best value reaches target_value (when set).
   std::optional<double> target_value;
+
+  /// Wall-clock budget; unlimited by default.  Checked per iteration and
+  /// inside the parallel evaluation phase; on expiry the swarm stops and
+  /// returns the best-so-far with status kDeadlineExpired.
+  robust::Budget budget;
 };
 
 /// Run outcome and diagnostics.
@@ -55,6 +62,12 @@ struct PsoResult {
   std::size_t dispersions = 0;        ///< Re-energizations performed.
   double final_stagnant_fraction = 0.0;  ///< Share of particles stalled at exit.
   bool reached_target = false;
+  /// Particles whose objective came back NaN/Inf and were re-seeded from
+  /// their personal best instead of poisoning the swarm best.
+  std::size_t nan_quarantines = 0;
+  /// Runtime disposition: kOk normally, kDeadlineExpired on budget expiry,
+  /// kNumericalFailure when every initial evaluation was non-finite.
+  robust::Status status;
 };
 
 /// Minimize `objective` within its box bounds.  The inertia schedule is

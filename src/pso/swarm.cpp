@@ -1,11 +1,14 @@
 #include "rcr/pso/swarm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "rcr/robust/fault_injection.hpp"
 #include "rcr/rt/parallel.hpp"
 
 namespace rcr::pso {
@@ -91,16 +94,39 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
     quantize(x[i]);
     pbest[i] = x[i];
   }
+  const bool faults_on = robust::faults::enabled();
   rt::parallel_for(0, swarm, 1, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i)
+    for (std::size_t i = i0; i < i1; ++i) {
       pbest_val[i] = objective.value(pbest[i]);
+      // Keyed injection: the decision depends only on (seed, site, particle),
+      // so it is identical for every RCR_THREADS chunking.
+      if (faults_on &&
+          robust::faults::should_inject("pso.objective.nan", i))
+        pbest_val[i] = std::numeric_limits<double>::quiet_NaN();
+    }
   });
   result.evaluations += swarm;
   for (std::size_t i = 0; i < swarm; ++i) {
+    // NaN quarantine at init: a non-finite personal best must never seed the
+    // swarm best; park the particle at +inf so any finite value displaces it.
+    if (!std::isfinite(pbest_val[i])) {
+      pbest_val[i] = std::numeric_limits<double>::infinity();
+      ++result.nan_quarantines;
+      continue;
+    }
     if (pbest_val[i] < gbest_val) {
       gbest_val = pbest_val[i];
       gbest = x[i];
     }
+  }
+  if (gbest.empty()) {
+    // Every initial evaluation was non-finite: nothing sound to move toward.
+    result.status = robust::make_status(
+        robust::StatusCode::kNumericalFailure,
+        "all initial objective evaluations were non-finite");
+    result.best_position = x.front();
+    result.best_value = gbest_val;
+    return result;
   }
 
   // Synchronous parallel iterations: every particle moves against the
@@ -111,7 +137,15 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
   Vec weights(swarm, 0.0);
   std::vector<std::uint8_t> hit_patience(swarm, 0);
   std::vector<std::uint8_t> dispersed(swarm, 0);
+  std::atomic<bool> expired_mid{false};
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    if (config.budget.expired_at(iter) ||
+        (faults_on && robust::faults::should_inject("pso.deadline"))) {
+      result.status = robust::make_status(
+          robust::StatusCode::kDeadlineExpired,
+          "deadline fired at iteration " + std::to_string(iter));
+      break;
+    }
     // Centroid-based diversity feeds the adaptive schedules.
     Vec centroid(n, 0.0);
     for (const auto& p : x) num::axpy(1.0 / static_cast<double>(swarm), p, centroid);
@@ -134,6 +168,18 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
 
     rt::parallel_for(0, swarm, 1, [&](std::size_t i0, std::size_t i1) {
       for (std::size_t i = i0; i < i1; ++i) {
+        // In-body deadline check: a slow objective must not pin the pool past
+        // the budget.  Skipped particles keep their personal best as this
+        // iteration's value, which leaves the fold below well-defined.  Never
+        // taken when no deadline is armed (expired() is then clock-free).
+        if (config.budget.deadline.expired()) {
+          expired_mid.store(true, std::memory_order_relaxed);
+          hit_patience[i] = 0;
+          dispersed[i] = 0;
+          x[i] = pbest[i];
+          f[i] = pbest_val[i];
+          continue;
+        }
         num::Rng stream(stream_seed(config.seed, iter, i));
         const double w = weights[i];
         hit_patience[i] = 0;
@@ -185,6 +231,10 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
         }
 
         f[i] = objective.value(x[i]);
+        // Keyed on (iteration, particle): deterministic for any chunking.
+        if (faults_on && robust::faults::should_inject("pso.objective.nan",
+                                                       iter * swarm + i))
+          f[i] = std::numeric_limits<double>::quiet_NaN();
       }
     });
 
@@ -192,6 +242,15 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
       ++result.evaluations;
       result.stagnation_events += hit_patience[i];
       result.dispersions += dispersed[i];
+      // NaN quarantine: a poisoned evaluation is re-seeded from the
+      // particle's personal best -- position and value -- so it can never
+      // propagate into pbest/gbest.  Serial fold => deterministic for any
+      // RCR_THREADS.
+      if (!std::isfinite(f[i])) {
+        ++result.nan_quarantines;
+        x[i] = pbest[i];
+        f[i] = pbest_val[i];
+      }
       if (f[i] < pbest_val[i]) {
         pbest_val[i] = f[i];
         pbest[i] = x[i];
@@ -204,6 +263,13 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
 
     result.best_value_history.push_back(gbest_val);
     result.iterations = iter + 1;
+    if (expired_mid.load(std::memory_order_relaxed)) {
+      result.status = robust::make_status(
+          robust::StatusCode::kDeadlineExpired,
+          "deadline fired during evaluation at iteration " +
+              std::to_string(iter));
+      break;
+    }
     if (config.target_value && gbest_val <= *config.target_value) {
       result.reached_target = true;
       break;

@@ -1,0 +1,60 @@
+// Degradation-aware front doors for the QoS solvers: each request walks a
+// fallback chain (tightest solver first) and returns a usable answer tagged
+// with how it was obtained, instead of dying on a runtime failure or
+// blowing through a deadline.
+//
+//   RRA:       exact branch-and-bound -> integer PSO -> greedy + repair
+//   multi-RAT: exact branch-and-bound -> greedy
+//   slicing:   exact knapsack DP      -> greedy density
+//
+// Every step records why its predecessor failed in the degradation trail;
+// the soundness tag says whether the winning step is exact or heuristic.
+#pragma once
+
+#include <string>
+
+#include "rcr/qos/multirat.hpp"
+#include "rcr/qos/rra.hpp"
+#include "rcr/qos/slicing.hpp"
+#include "rcr/robust/fallback.hpp"
+
+namespace rcr::qos {
+
+/// Options for the robust RRA chain.
+struct RraRobustOptions {
+  robust::Deadline deadline;            ///< Shared across the whole chain.
+  std::size_t max_nodes = 2000000;      ///< Exact-search node budget.
+  RraPsoOptions pso;                    ///< PSO step configuration.
+};
+
+/// Chain outcome for the robust solvers.
+template <typename SolutionT>
+struct QosRobustResult {
+  SolutionT solution;
+  std::string method;  ///< Name of the step that produced the solution.
+  robust::Soundness soundness = robust::Soundness::kHeuristic;
+  robust::Status status;  ///< Trail names every fallback taken.
+  std::size_t attempts = 0;
+};
+
+using RraRobustResult = QosRobustResult<RraSolution>;
+using MultiRatRobustResult = QosRobustResult<MultiRatSolution>;
+using SlicingRobustResult = QosRobustResult<SlicingSolution>;
+
+/// RRA with degradation: exact -> PSO -> greedy.  Never throws on runtime
+/// failure; the worst case is a greedy (heuristic) allocation.
+RraRobustResult solve_rra_robust(const RraProblem& problem,
+                                 const RraRobustOptions& options = {});
+
+/// Multi-RAT selection with degradation: exact -> greedy.
+MultiRatRobustResult solve_multirat_robust(const MultiRatProblem& problem,
+                                           std::size_t max_nodes = 2000000,
+                                           const robust::Deadline& deadline =
+                                               robust::Deadline());
+
+/// Slicing admission with degradation: exact DP -> greedy density.
+SlicingRobustResult solve_slicing_robust(const SlicingProblem& problem,
+                                         const robust::Deadline& deadline =
+                                             robust::Deadline());
+
+}  // namespace rcr::qos

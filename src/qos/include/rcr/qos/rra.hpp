@@ -16,6 +16,8 @@
 #include <string>
 
 #include "rcr/qos/channel.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 
 namespace rcr::qos {
 
@@ -67,6 +69,14 @@ RraSolution evaluate_assignment(const RraProblem& problem,
 RraSolution solve_exact(const RraProblem& problem,
                         std::size_t max_nodes = 2000000);
 
+/// Budget-aware exact solver: the DFS checks the wall-clock deadline every
+/// 64 nodes and stops on expiry, reporting the best assignment found so far
+/// with status kDeadlineExpired (usable, not exact).  A node-budget hit
+/// reports kNonConverged; a completed search reports kOk.
+robust::Result<RraSolution> solve_exact_budgeted(
+    const RraProblem& problem, std::size_t max_nodes = 2000000,
+    const robust::Budget& budget = {});
+
 /// Continuous relaxation upper bound: every RB served by its best-gain user,
 /// QoS minima dropped, water-filled power.  Always >= the exact optimum.
 double relaxation_upper_bound(const RraProblem& problem);
@@ -106,6 +116,7 @@ struct RraPsoOptions {
   double qos_penalty = 50.0;  ///< Scaled by the relaxation bound internally.
   std::uint64_t seed = 5;
   bool adaptive_inertia = true;  ///< Adaptive-QP schedule vs constant 0.7.
+  robust::Budget budget;         ///< Forwarded to the swarm; unlimited default.
 };
 RraSolution solve_pso(const RraProblem& problem,
                       const RraPsoOptions& options = {});

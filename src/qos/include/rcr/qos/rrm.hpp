@@ -14,6 +14,8 @@
 #include <string>
 
 #include "rcr/qos/channel.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 
 namespace rcr::qos {
 
@@ -35,6 +37,9 @@ struct RrmConfig {
   double qos_boost = 4.0;            ///< Weight multiplier below the GBR.
   std::uint64_t seed = 1;
   ChannelConfig channel;             ///< num_users/num_rbs overridden.
+  /// Wall-clock budget; unlimited by default.  On expiry the run stops at
+  /// the current slot and reports statistics over the completed slots.
+  robust::Budget budget;
 };
 
 /// Scheduler outcome.
@@ -45,6 +50,10 @@ struct RrmReport {
   std::size_t gbr_violations = 0;  ///< Users below their GBR at the end.
   std::vector<std::size_t> slots_served;  ///< Slots in which each user got
                                           ///< at least one RB.
+  std::size_t slots_completed = 0;  ///< == num_slots unless the deadline fired.
+  /// kOk normally, kDeadlineExpired when the run was cut short (statistics
+  /// then cover only the completed slots).
+  robust::Status status;
 };
 
 /// Run the scheduler for the configured number of slots.

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "rcr/pso/swarm.hpp"
+#include "rcr/robust/fault_injection.hpp"
 
 namespace rcr::qos {
 
@@ -207,6 +209,9 @@ struct ExactSearch {
   bool have_feasible = false;
   std::size_t nodes = 0;
   Assignment current;
+  const robust::Budget* budget = nullptr;  // optional wall-clock budget
+  bool faults_on = false;
+  bool expired = false;
 
   double optimistic_bound() const {
     // Each RB could get the whole budget on the best remaining gain: a valid
@@ -222,9 +227,17 @@ struct ExactSearch {
   }
 
   void dfs() {
-    if (nodes >= max_nodes) return;
+    if (nodes >= max_nodes || expired) return;
     if (current.size() == problem.num_rbs()) {
       ++nodes;
+      // Deadline check every 64 evaluated leaves: cheap enough to leave on,
+      // frequent enough that a stalled evaluation can't overshoot far.
+      if (budget != nullptr && (nodes & 63u) == 0 &&
+          budget->deadline.expired()) {
+        expired = true;
+        return;
+      }
+      if (faults_on) robust::faults::maybe_stall("qos.exact.stall");
       RraSolution sol = evaluate_assignment(problem, current);
       const bool better =
           (sol.feasible && !have_feasible) ||
@@ -241,7 +254,7 @@ struct ExactSearch {
       current.push_back(u);
       dfs();
       current.pop_back();
-      if (nodes >= max_nodes) return;
+      if (nodes >= max_nodes || expired) return;
     }
   }
 };
@@ -249,16 +262,38 @@ struct ExactSearch {
 }  // namespace
 
 RraSolution solve_exact(const RraProblem& problem, std::size_t max_nodes) {
+  return solve_exact_budgeted(problem, max_nodes).value;
+}
+
+robust::Result<RraSolution> solve_exact_budgeted(const RraProblem& problem,
+                                                 std::size_t max_nodes,
+                                                 const robust::Budget& budget) {
   problem.validate();
   ExactSearch search{problem, max_nodes, Vec(problem.num_rbs(), 0.0),
                      RraSolution{}, false, 0, {}};
+  search.budget = budget.deadline.is_unlimited() ? nullptr : &budget;
+  search.faults_on = robust::faults::enabled();
   for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)
     for (std::size_t u = 0; u < problem.num_users(); ++u)
       search.best_gain_per_rb[rb] =
           std::max(search.best_gain_per_rb[rb], problem.gain(u, rb));
   search.dfs();
   search.best.nodes_explored = search.nodes;
-  return search.best;
+
+  robust::Result<RraSolution> out;
+  out.value = std::move(search.best);
+  if (search.expired) {
+    out.status = robust::make_status(
+        robust::StatusCode::kDeadlineExpired,
+        "exact search deadline fired after " + std::to_string(search.nodes) +
+            " nodes; best-found assignment returned");
+  } else if (search.nodes >= max_nodes) {
+    out.status = robust::make_status(
+        robust::StatusCode::kNonConverged,
+        "exact search node budget exhausted (" + std::to_string(max_nodes) +
+            "); best-found assignment returned");
+  }
+  return out;
 }
 
 RraSolution solve_greedy(const RraProblem& problem) {
@@ -430,6 +465,7 @@ RraSolution solve_pso(const RraProblem& problem, const RraPsoOptions& options) {
   config.rounding = pso::Rounding::kInteger;
   config.seed = options.seed;
   config.disperse_on_stagnation = true;
+  config.budget = options.budget;
 
   std::unique_ptr<pso::InertiaSchedule> schedule =
       options.adaptive_inertia ? pso::adaptive_qp_inertia()

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "rcr/robust/fault_injection.hpp"
 
 namespace rcr::qos {
 
@@ -52,8 +55,21 @@ RrmReport run_scheduler(const RrmConfig& config, SchedulerPolicy policy) {
   Vec total(users, 0.0);
   std::vector<std::size_t> served(users, 0);
   std::size_t rr_cursor = 0;
+  RrmReport report;
+  const bool faults_on = robust::faults::enabled();
 
+  std::size_t slots_done = 0;
   for (std::size_t slot = 0; slot < config.num_slots; ++slot) {
+    // Early-stop on the wall-clock budget: scheduling is per-slot work, so
+    // the statistics over the completed slots are still well-defined.
+    if (config.budget.expired_at(slot) ||
+        (faults_on && robust::faults::should_inject("rrm.deadline"))) {
+      report.status = robust::make_status(
+          robust::StatusCode::kDeadlineExpired,
+          "deadline fired after " + std::to_string(slot) + " of " +
+              std::to_string(config.num_slots) + " slots");
+      break;
+    }
     const ChannelRealization ch =
         make_channel_faded(base, distances, config.seed + 1000 + slot);
 
@@ -100,12 +116,14 @@ RrmReport run_scheduler(const RrmConfig& config, SchedulerPolicy policy) {
       avg[u] = (1.0 - config.pf_smoothing) * avg[u] +
                config.pf_smoothing * slot_rate[u];
     }
+    ++slots_done;
   }
 
-  RrmReport report;
+  report.slots_completed = slots_done;
   report.mean_rate.resize(users);
   for (std::size_t u = 0; u < users; ++u) {
-    report.mean_rate[u] = total[u] / static_cast<double>(config.num_slots);
+    report.mean_rate[u] =
+        slots_done == 0 ? 0.0 : total[u] / static_cast<double>(slots_done);
     report.cell_throughput += report.mean_rate[u];
   }
   report.jain_fairness = jain_index(report.mean_rate);

@@ -16,8 +16,11 @@
 #include <cstdint>
 
 #include "rcr/nn/msy3i.hpp"
+#include "rcr/qos/robust.hpp"
 #include "rcr/qos/rra.hpp"
 #include "rcr/rcr/adaptive.hpp"
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
 #include "rcr/verify/certified.hpp"
 #include "rcr/verify/verifier.hpp"
 
@@ -45,6 +48,12 @@ struct RcrStackConfig {
   std::size_t qos_rbs = 6;
 
   std::uint64_t seed = 11;
+
+  /// Wall-clock deadline for the whole pipeline; unlimited by default.
+  /// Checked between phases (each phase is one unit of degradation): on
+  /// expiry the remaining phases are skipped and the report carries
+  /// kDeadlineExpired plus whatever phases did complete.
+  robust::Deadline deadline;
 };
 
 /// Phase-2 outcome.
@@ -68,6 +77,13 @@ struct RcrStackReport {
   qos::RraSolution qos_pso;             ///< Phase 1c: QoS via RCR PSO.
   qos::RraSolution qos_exact;           ///< Oracle for the gap.
   double qos_relaxation_bound = 0.0;
+  /// Phase 1c through the fault-tolerant chain (exact -> PSO -> greedy);
+  /// records which solver answered and with what soundness.
+  qos::RraRobustResult qos_robust;
+  std::size_t phases_completed = 0;     ///< Of the 5 pipeline phases.
+  /// kOk when every phase ran; kDeadlineExpired when the pipeline stopped
+  /// early.  The trail absorbs the QoS chain's degradation events.
+  robust::Status status;
 };
 
 /// The full pipeline.

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <map>
+#include <string>
 
 #include "rcr/pso/discrete.hpp"
+#include "rcr/robust/fault_injection.hpp"
 #include "rcr/signal/spectrogram.hpp"
 #include "rcr/verify/verifier.hpp"
 
@@ -114,6 +116,21 @@ TuningResult RcrStack::tune_hyperparameters() {
 RcrStackReport RcrStack::run() {
   RcrStackReport report;
 
+  // Inter-phase degradation boundary: each phase is skipped (not aborted
+  // mid-flight) once the pipeline deadline fires, so every field filled in
+  // so far stays valid.
+  const bool faults_on = robust::faults::enabled();
+  auto out_of_time = [&](const char* phase) {
+    if (!config_.deadline.expired() &&
+        !(faults_on && robust::faults::should_inject("stack.deadline")))
+      return false;
+    report.status = robust::make_status(
+        robust::StatusCode::kDeadlineExpired,
+        std::string("pipeline deadline fired before ") + phase + " (" +
+            std::to_string(report.phases_completed) + " of 5 phases done)");
+    return true;
+  };
+
   // ---- Phase 3: certify the adaptive-inertia convex program (closed form
   // against the barrier QP solver).
   {
@@ -123,11 +140,15 @@ RcrStackReport RcrStack::run() {
     instance.dist_to_gbest = rng.uniform_vec(6, 0.0, 5.0);
     report.inertia_qp_consistency = inertia_qp_consistency(instance);
   }
+  ++report.phases_completed;
 
   // ---- Phase 2: PSO-tuned MSY3I.
+  if (out_of_time("phase 2 (PSO tuning)")) return report;
   report.tuning = tune_hyperparameters();
+  ++report.phases_completed;
 
   // ---- Phase 1a: full training of the tuned configuration vs the default.
+  if (out_of_time("phase 1a (final training)")) return report;
   num::Rng data_rng(config_.seed + 50);
   const auto train = to_image_samples(sig::make_classification_dataset(
       config_.train_per_class, config_.image_size, config_.noise_stddev,
@@ -152,9 +173,11 @@ RcrStackReport RcrStack::run() {
     nn::Sequential untuned = nn::build_msy3i_classifier(default_cfg);
     report.untuned_training = nn::train_classifier(untuned, train, test, tc);
   }
+  ++report.phases_completed;
 
   // ---- Phase 1b: convex-relaxation adversarial training of the dense head
   // plus the layer-wise tightness report.
+  if (out_of_time("phase 1b (certified training)")) return report;
   {
     num::Rng rng(config_.seed + 71);
     const auto blobs_train =
@@ -180,9 +203,11 @@ RcrStackReport RcrStack::run() {
     report.alpha =
         verify::tighten_lower_bound_alpha(trainer.network(), ball, margin);
   }
+  ++report.phases_completed;
 
   // ---- Phase 1c: solve a QoS RRA instance through the RCR PSO machinery
   // and gauge it against the exact optimum and the convex relaxation bound.
+  if (out_of_time("phase 1c (QoS allocation)")) return report;
   {
     qos::ChannelConfig ch;
     ch.num_users = config_.qos_users;
@@ -200,7 +225,16 @@ RcrStackReport RcrStack::run() {
     report.qos_pso = qos::solve_pso(problem, pso_opts);
     report.qos_exact = qos::solve_exact(problem);
     report.qos_relaxation_bound = qos::relaxation_upper_bound(problem);
+
+    // Production path: the same request through the fault-tolerant chain,
+    // tagged with the solver that answered and its soundness level.
+    qos::RraRobustOptions robust_opts;
+    robust_opts.deadline = config_.deadline;
+    robust_opts.pso.seed = config_.seed + 91;
+    report.qos_robust = qos::solve_rra_robust(problem, robust_opts);
+    report.status.absorb_trail("qos: ", report.qos_robust.status);
   }
+  ++report.phases_completed;
 
   return report;
 }

@@ -1,0 +1,29 @@
+#include "rcr/robust/budget.hpp"
+
+#include <limits>
+
+namespace rcr::robust {
+
+Deadline Deadline::after_seconds(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  Deadline d;
+  d.armed_ = true;
+  d.when_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+  return d;
+}
+
+Deadline Deadline::at(Clock::time_point when) {
+  Deadline d;
+  d.armed_ = true;
+  d.when_ = when;
+  return d;
+}
+
+double Deadline::remaining_seconds() const {
+  if (!armed_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+}  // namespace rcr::robust

@@ -1,0 +1,68 @@
+// Wall-clock deadlines and iteration budgets for solver loops.
+//
+// A 5G RRA/RRM decision must be returned within its scheduling interval: a
+// solver that is still iterating when the deadline fires must stop and
+// return its best degraded answer, never block the request.  Deadline wraps
+// a monotonic-clock expiry that solver loops poll; the default-constructed
+// Deadline is unlimited and polls without reading the clock, so guarded
+// loops cost nothing (and stay bit-identical) when no deadline is set.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace rcr::robust {
+
+/// Monotonic wall-clock deadline.  Copyable; cheap to poll.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires, never reads the clock.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (clamped to >= 0).
+  static Deadline after_seconds(double seconds);
+
+  /// Expires at an absolute monotonic time point.
+  static Deadline at(Clock::time_point when);
+
+  /// Explicitly unlimited (same as default construction; reads clearer at
+  /// call sites that thread a "no deadline" through options).
+  static Deadline unlimited() { return Deadline(); }
+
+  bool is_unlimited() const { return !armed_; }
+
+  /// True once the deadline has passed.  Unlimited deadlines return false
+  /// without touching the clock.
+  bool expired() const {
+    return armed_ && Clock::now() >= when_;
+  }
+
+  /// Seconds until expiry (negative once expired; +inf when unlimited).
+  double remaining_seconds() const;
+
+ private:
+  bool armed_ = false;
+  Clock::time_point when_{};
+};
+
+/// Shared budget knobs threaded through solver options.  `max_iterations`
+/// lives in each solver's own options (they predate this layer); Budget adds
+/// the wall-clock dimension plus a poll stride so tight loops can amortize
+/// the clock read.
+struct Budget {
+  Deadline deadline;
+  /// Poll the deadline every `check_stride` iterations (>= 1).  Unlimited
+  /// deadlines short-circuit before the stride matters.
+  std::size_t check_stride = 1;
+
+  /// True when iteration `it` should poll and the deadline has fired.
+  bool expired_at(std::size_t it) const {
+    if (deadline.is_unlimited()) return false;
+    if (check_stride > 1 && (it % check_stride) != 0) return false;
+    return deadline.expired();
+  }
+};
+
+}  // namespace rcr::robust

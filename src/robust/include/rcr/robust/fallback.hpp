@@ -1,0 +1,111 @@
+// Declarative fallback chains: degrade to a looser-but-sound solver instead
+// of failing the request.
+//
+// The paper's Sec. IV-C relaxation ladder (QCQP -> RMP -> TMP -> SDP) and
+// the verify/ hierarchy (CROWN -> IBP) share one shape: an ordered list of
+// solvers, tight first, each of which may fail at runtime; the first fully
+// successful step answers, and if none succeeds the first *usable* degraded
+// answer does.  The executor records, per step, why its predecessor failed,
+// and tags the final answer with the soundness level of the step that
+// produced it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rcr/robust/budget.hpp"
+#include "rcr/robust/status.hpp"
+
+namespace rcr::robust {
+
+/// Outcome of running a chain.
+template <typename T>
+struct ChainOutcome {
+  T value{};
+  Status status;           ///< Aggregated; trail names every fallback taken.
+  std::string step;        ///< Name of the step that produced `value`.
+  Soundness soundness = Soundness::kHeuristic;  ///< Of the winning step.
+  std::size_t attempts = 0;  ///< Steps actually executed.
+};
+
+/// Ordered list of solver attempts, tightest first.
+template <typename T>
+class FallbackChain {
+ public:
+  using StepFn = std::function<Result<T>()>;
+
+  /// Append a step.  Steps run in insertion order.
+  FallbackChain& add(std::string name, Soundness soundness, StepFn run) {
+    steps_.push_back({std::move(name), soundness, std::move(run)});
+    return *this;
+  }
+
+  std::size_t size() const { return steps_.size(); }
+
+  /// Execute: first step whose Result is fully ok wins.  A usable-but-
+  /// degraded result is banked and returned (code kDegraded) only when no
+  /// later step fully succeeds.  When the deadline fires between steps the
+  /// remaining steps are skipped.  When nothing usable was produced the
+  /// outcome is kFallbackExhausted and `value` is default-constructed.
+  ChainOutcome<T> run(const Deadline& deadline = Deadline()) const {
+    ChainOutcome<T> out;
+    bool have_banked = false;
+    ChainOutcome<T> banked;
+
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      const Step& step = steps_[i];
+      if (deadline.expired()) {
+        out.status.note("deadline expired before step '" + step.name + "'");
+        break;
+      }
+      ++out.attempts;
+      Result<T> r = step.run();
+      if (r.status.ok()) {
+        out.value = std::move(r.value);
+        out.step = step.name;
+        out.soundness = step.soundness;
+        // A first-step clean win is kOk; anything later is a degradation.
+        if (i > 0 || !out.status.trail.empty())
+          out.status.code = StatusCode::kDegraded;
+        return out;
+      }
+      out.status.note("step '" + step.name + "' failed (" +
+                      r.status.to_string() + ")");
+      if (r.status.usable() && !have_banked) {
+        banked.value = std::move(r.value);
+        banked.step = step.name;
+        banked.soundness = step.soundness;
+        banked.status = r.status;
+        have_banked = true;
+      }
+    }
+
+    if (have_banked) {
+      ChainOutcome<T> degraded = std::move(banked);
+      degraded.attempts = out.attempts;
+      Status merged = make_status(
+          StatusCode::kDegraded,
+          "no step fully converged; returning usable result from '" +
+              degraded.step + "' (" + to_string(degraded.status.code) + ")");
+      merged.trail = out.status.trail;
+      degraded.status = std::move(merged);
+      return degraded;
+    }
+
+    out.status.code = StatusCode::kFallbackExhausted;
+    out.status.detail = "every fallback step failed";
+    return out;
+  }
+
+ private:
+  struct Step {
+    std::string name;
+    Soundness soundness;
+    StepFn run;
+  };
+  std::vector<Step> steps_;
+};
+
+}  // namespace rcr::robust

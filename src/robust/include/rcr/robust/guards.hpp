@@ -1,0 +1,39 @@
+// NaN/Inf sentinels for solver iterates.
+//
+// Header-only and dependency-free (templates over any range of doubles) so
+// rcr_numerics can use the guards without a library cycle.  Guards never
+// change arithmetic -- they only observe -- so guarded solvers stay
+// bit-identical to the unguarded baselines when nothing is wrong.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace rcr::robust {
+
+/// True when every element of the range is finite (no NaN, no Inf).
+template <typename Range>
+bool all_finite(const Range& range) {
+  for (const double v : range)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+/// True when `v` is finite.  Named overload so call sites read uniformly.
+inline bool all_finite(double v) { return std::isfinite(v); }
+
+/// First non-finite index of the range, or `npos` when all finite -- for
+/// detail strings that name the poisoned coordinate.
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+template <typename Range>
+std::size_t first_non_finite(const Range& range) {
+  std::size_t i = 0;
+  for (const double v : range) {
+    if (!std::isfinite(v)) return i;
+    ++i;
+  }
+  return npos;
+}
+
+}  // namespace rcr::robust

@@ -1,0 +1,91 @@
+// Status taxonomy for the fault-tolerant solver layer.
+//
+// The paper's whole pitch is *robust* convex relaxation: when a tight solver
+// fails numerically it must degrade to a looser-but-sound answer, never
+// crash the request (Sec. IV catalogues the failure modes; Sec. IV-C's
+// QCQP -> RMP -> TMP -> SDP chain is the degradation ladder).  This header
+// gives every solver boundary a uniform vocabulary for that contract:
+//
+//  - argument-shape errors stay exceptions (std::invalid_argument) -- the
+//    caller built a malformed problem and no answer exists;
+//  - runtime numerical failures (singular factor, NaN iterate, exhausted
+//    deadline) become a Status carried next to the partial/degraded answer.
+//
+// A Status records the terminal code, a human-readable detail, and a
+// *degradation trail*: one line per recovery or fallback event, in order,
+// so a returned answer always explains how it was obtained.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rcr::robust {
+
+/// Terminal disposition of a solve.
+enum class StatusCode {
+  kOk = 0,           ///< Full-quality answer, no degradation.
+  kDegraded,         ///< Valid answer via a recovery or fallback path.
+  kNonConverged,     ///< Iteration budget exhausted; best iterate returned.
+  kInfeasible,       ///< No feasible point exists / was found (phase I).
+  kSingular,         ///< A factorization failed beyond recovery.
+  kNumericalFailure, ///< NaN/Inf contaminated the iterates.
+  kDeadlineExpired,  ///< The wall-clock deadline fired mid-solve.
+  kFallbackExhausted ///< Every step of a fallback chain failed.
+};
+
+std::string to_string(StatusCode code);
+
+/// How trustworthy a returned answer is -- the "soundness level" a fallback
+/// chain tags each step with (Sec. IV-C: a looser relaxation is still a
+/// sound bound; a heuristic is merely a feasible candidate).
+enum class Soundness {
+  kExact,       ///< Optimal for the original problem (to tolerance).
+  kRelaxation,  ///< Sound bound from a convex relaxation of the problem.
+  kHeuristic    ///< Feasible/valid answer with no optimality certificate.
+};
+
+std::string to_string(Soundness level);
+
+/// Outcome descriptor attached to every robust solver result.
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string detail;              ///< Terminal event, human readable.
+  std::vector<std::string> trail;  ///< Degradation events, oldest first.
+
+  bool ok() const { return code == StatusCode::kOk; }
+  /// True when the answer is usable (possibly degraded): everything except
+  /// infeasibility and a fully exhausted fallback chain.
+  bool usable() const {
+    return code != StatusCode::kInfeasible &&
+           code != StatusCode::kFallbackExhausted;
+  }
+  bool degraded() const { return !trail.empty() || !ok(); }
+
+  /// Append one degradation event to the trail.
+  void note(std::string event) { trail.push_back(std::move(event)); }
+  /// Merge another status's trail (prefixed) into this one.
+  void absorb_trail(const std::string& prefix, const Status& other);
+
+  /// "code: detail [trail: a; b; c]" for logs and test failure messages.
+  std::string to_string() const;
+};
+
+/// Convenience factories.
+Status ok_status();
+Status make_status(StatusCode code, std::string detail);
+
+/// A value paired with the status that produced it.  The value is always
+/// populated when status.usable(); callers decide whether a degraded answer
+/// is acceptable for their QoS class.
+template <typename T>
+struct Result {
+  T value{};
+  Status status;
+
+  bool ok() const { return status.ok(); }
+  bool usable() const { return status.usable(); }
+  explicit operator bool() const { return status.usable(); }
+};
+
+}  // namespace rcr::robust

@@ -1,0 +1,59 @@
+#include "rcr/robust/status.hpp"
+
+namespace rcr::robust {
+
+std::string to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kDegraded: return "degraded";
+    case StatusCode::kNonConverged: return "non-converged";
+    case StatusCode::kInfeasible: return "infeasible";
+    case StatusCode::kSingular: return "singular";
+    case StatusCode::kNumericalFailure: return "numerical-failure";
+    case StatusCode::kDeadlineExpired: return "deadline-expired";
+    case StatusCode::kFallbackExhausted: return "fallback-exhausted";
+  }
+  return "unknown";
+}
+
+std::string to_string(Soundness level) {
+  switch (level) {
+    case Soundness::kExact: return "exact";
+    case Soundness::kRelaxation: return "relaxation";
+    case Soundness::kHeuristic: return "heuristic";
+  }
+  return "unknown";
+}
+
+void Status::absorb_trail(const std::string& prefix, const Status& other) {
+  for (const std::string& event : other.trail)
+    trail.push_back(prefix + event);
+  if (!other.ok() && !other.detail.empty())
+    trail.push_back(prefix + robust::to_string(other.code) + ": " +
+                    other.detail);
+}
+
+std::string Status::to_string() const {
+  std::string out = robust::to_string(code);
+  if (!detail.empty()) out += ": " + detail;
+  if (!trail.empty()) {
+    out += " [trail: ";
+    for (std::size_t i = 0; i < trail.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += trail[i];
+    }
+    out += "]";
+  }
+  return out;
+}
+
+Status ok_status() { return Status{}; }
+
+Status make_status(StatusCode code, std::string detail) {
+  Status s;
+  s.code = code;
+  s.detail = std::move(detail);
+  return s;
+}
+
+}  // namespace rcr::robust

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "rcr/robust/fallback.hpp"
+#include "rcr/robust/fault_injection.hpp"
+#include "rcr/robust/guards.hpp"
 #include "rcr/rt/parallel.hpp"
 
 namespace rcr::verify {
@@ -383,6 +387,42 @@ LayerBounds compute_bounds(const ReluNetwork& net, const Box& input,
                            BoundMethod method) {
   return method == BoundMethod::kIbp ? ibp_bounds(net, input)
                                      : crown_bounds(net, input);
+}
+
+namespace {
+
+bool box_finite(const Box& b) {
+  return robust::all_finite(b.lower) && robust::all_finite(b.upper);
+}
+
+}  // namespace
+
+RobustBounds compute_bounds_robust(const ReluNetwork& net, const Box& input) {
+  robust::FallbackChain<LayerBounds> chain;
+  chain.add("crown", robust::Soundness::kRelaxation,
+            [&]() -> robust::Result<LayerBounds> {
+              robust::Result<LayerBounds> r;
+              r.value = crown_bounds(net, input);
+              if (!r.value.output.lower.empty() &&
+                  robust::faults::should_inject("verify.crown.nan"))
+                r.value.output.lower[0] =
+                    std::numeric_limits<double>::quiet_NaN();
+              if (!box_finite(r.value.output))
+                r.status = robust::make_status(
+                    robust::StatusCode::kNumericalFailure,
+                    "CROWN output box is non-finite");
+              return r;
+            });
+  chain.add("ibp", robust::Soundness::kRelaxation,
+            [&]() -> robust::Result<LayerBounds> {
+              return {ibp_bounds(net, input), robust::ok_status()};
+            });
+  robust::ChainOutcome<LayerBounds> out = chain.run();
+  RobustBounds rb;
+  rb.bounds = std::move(out.value);
+  rb.method = out.step == "ibp" ? BoundMethod::kIbp : BoundMethod::kCrown;
+  rb.status = std::move(out.status);
+  return rb;
 }
 
 ReluEnvelope relu_envelope(double l, double u) {

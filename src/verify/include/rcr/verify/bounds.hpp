@@ -12,6 +12,7 @@
 // the paper attributes to its relaxation stack (experiments E8/E12/E14).
 #pragma once
 
+#include "rcr/robust/status.hpp"
 #include "rcr/verify/relu_network.hpp"
 
 namespace rcr::verify {
@@ -58,6 +59,18 @@ LayerBounds crown_bounds(const ReluNetwork& net, const Box& input);
 /// Dispatch on method.
 LayerBounds compute_bounds(const ReluNetwork& net, const Box& input,
                            BoundMethod method);
+
+/// Bounds with a built-in degradation path: CROWN first and, when its
+/// output box comes back non-finite, the looser-but-sturdier IBP bounds.
+/// Both are sound relaxations, so the fallback trades tightness only;
+/// `method` records which propagator actually answered and the status trail
+/// records why CROWN was rejected.
+struct RobustBounds {
+  LayerBounds bounds;
+  BoundMethod method = BoundMethod::kCrown;
+  robust::Status status;  ///< kOk (CROWN) or kDegraded (IBP fallback).
+};
+RobustBounds compute_bounds_robust(const ReluNetwork& net, const Box& input);
 
 /// Neuron phase constraints used by the branch-and-bound verifier: clip the
 /// pre-activation interval of selected neurons before the ReLU.

@@ -42,6 +42,18 @@ struct VerifyResult {
 VerifyResult verify_relaxed(const ReluNetwork& net, const Box& input,
                             const Spec& spec, BoundMethod method);
 
+/// Relaxed verification with the CROWN -> IBP degradation chain: when the
+/// CROWN bound comes back non-finite the query is re-answered with IBP
+/// (still sound, just looser).  `method` records the propagator that
+/// answered; the status trail records why CROWN was rejected.
+struct RobustVerifyResult {
+  VerifyResult result;
+  BoundMethod method = BoundMethod::kCrown;
+  robust::Status status;
+};
+RobustVerifyResult verify_relaxed_robust(const ReluNetwork& net,
+                                         const Box& input, const Spec& spec);
+
 /// Exact verifier options.
 struct ExactOptions {
   std::size_t max_branches = 20000;  ///< Subdomain budget.

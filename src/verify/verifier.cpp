@@ -69,6 +69,34 @@ VerifyResult verify_relaxed(const ReluNetwork& net, const Box& input,
   return result;
 }
 
+RobustVerifyResult verify_relaxed_robust(const ReluNetwork& net,
+                                         const Box& input, const Spec& spec) {
+  // Shape errors still throw (augment_with_spec validates dimensions);
+  // numerical failure of the propagator degrades CROWN -> IBP instead.
+  const ReluNetwork aug = augment_with_spec(net, spec);
+  RobustBounds rb = compute_bounds_robust(aug, input);
+
+  RobustVerifyResult out;
+  out.method = rb.method;
+  out.status = std::move(rb.status);
+  VerifyResult& result = out.result;
+  result.lower_bound = rb.bounds.output.lower.empty()
+                           ? -std::numeric_limits<double>::infinity()
+                           : rb.bounds.output.lower[0];
+  if (std::isfinite(result.lower_bound) && result.lower_bound > 0.0) {
+    result.verdict = Verdict::kVerified;
+    return out;
+  }
+  const Vec center = input.center();
+  if (spec.evaluate(net.forward(center)) < 0.0) {
+    result.verdict = Verdict::kFalsified;
+    result.counterexample = center;
+    return out;
+  }
+  result.verdict = Verdict::kUnknown;
+  return out;
+}
+
 namespace {
 
 struct BnbNode {

@@ -1,0 +1,193 @@
+// The bit-exactness contract: guards observe but never change arithmetic.
+// With no faults installed and no deadline armed, every robustified solver
+// must produce bit-identical outputs to the same call without the guard
+// plumbing engaged (armed-but-far deadlines, no-match fault policies).
+#include <gtest/gtest.h>
+
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/lbfgs.hpp"
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/pso/swarm.hpp"
+#include "rcr/qos/robust.hpp"
+#include "rcr/qos/rra.hpp"
+#include "rcr/robust/fault_injection.hpp"
+#include "rcr/verify/bounds.hpp"
+#include "rcr/verify/verifier.hpp"
+
+namespace rcr {
+namespace {
+
+using robust::Deadline;
+
+void expect_bitwise_equal(const Vec& a, const Vec& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+void expect_bitwise_equal(const num::Matrix& a, const num::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_EQ(a(i, j), b(i, j)) << i << "," << j;
+}
+
+TEST(BitExact, AdmmUnaffectedByFarDeadlineAndNoMatchFaults) {
+  num::Rng rng(7);
+  const num::Matrix p = opt::random_psd(5, 5, rng) + num::Matrix::identity(5);
+  const Vec q = rng.normal_vec(5);
+  const Vec lo(5, -1.0), hi(5, 1.0);
+
+  const opt::AdmmResult plain = opt::admm_box_qp(p, q, lo, hi);
+
+  opt::AdmmOptions armed;
+  armed.budget.deadline = Deadline::after_seconds(3600.0);
+  robust::faults::ScopedFaults faults("seed=1,rate=1,sites=zzz.*");
+  const opt::AdmmResult guarded = opt::admm_box_qp(p, q, lo, hi, armed);
+
+  EXPECT_EQ(plain.converged, guarded.converged);
+  EXPECT_EQ(plain.iterations, guarded.iterations);
+  EXPECT_EQ(plain.objective, guarded.objective);
+  expect_bitwise_equal(plain.x, guarded.x);
+  EXPECT_TRUE(guarded.status.ok());
+}
+
+TEST(BitExact, SdpUnaffectedByFarDeadline) {
+  opt::Sdp p;
+  p.c = num::Matrix::diag({1.0, 2.0, 3.0});
+  p.a_eq.push_back(num::Matrix::identity(3));
+  p.b_eq.push_back(1.0);
+
+  const opt::SdpResult plain = opt::solve_sdp(p);
+  opt::SdpOptions armed;
+  armed.budget.deadline = Deadline::after_seconds(3600.0);
+  const opt::SdpResult guarded = opt::solve_sdp(p, armed);
+
+  EXPECT_EQ(plain.iterations, guarded.iterations);
+  EXPECT_EQ(plain.objective, guarded.objective);
+  EXPECT_EQ(plain.primal_residual, guarded.primal_residual);
+  expect_bitwise_equal(plain.x, guarded.x);
+}
+
+TEST(BitExact, QcqpBarrierUnaffectedByFarDeadline) {
+  num::Rng rng(11);
+  const opt::Qcqp prob = opt::random_convex_qcqp(4, 2, 1, rng);
+
+  const opt::QcqpResult plain = opt::solve_qcqp_barrier(prob);
+  opt::BarrierOptions armed;
+  armed.budget.deadline = Deadline::after_seconds(3600.0);
+  const opt::QcqpResult guarded = opt::solve_qcqp_barrier(prob, {}, armed);
+
+  EXPECT_EQ(plain.converged, guarded.converged);
+  EXPECT_EQ(plain.newton_iterations, guarded.newton_iterations);
+  EXPECT_EQ(plain.value, guarded.value);
+  expect_bitwise_equal(plain.x, guarded.x);
+}
+
+TEST(BitExact, LbfgsUnaffectedByFarDeadline) {
+  opt::Smooth f;
+  f.value = [](const Vec& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  f.gradient = [](const Vec& x) {
+    const double b = x[1] - x[0] * x[0];
+    return Vec{-2.0 * (1.0 - x[0]) - 400.0 * x[0] * b, 200.0 * b};
+  };
+  const opt::MinimizeResult plain = opt::lbfgs(f, Vec{-1.2, 1.0});
+  opt::MinimizeOptions armed;
+  armed.budget.deadline = Deadline::after_seconds(3600.0);
+  const opt::MinimizeResult guarded = opt::lbfgs(f, Vec{-1.2, 1.0}, armed);
+  EXPECT_EQ(plain.iterations, guarded.iterations);
+  EXPECT_EQ(plain.value, guarded.value);
+  expect_bitwise_equal(plain.x, guarded.x);
+}
+
+TEST(BitExact, PsoUnaffectedByFarDeadlineAndNoMatchFaults) {
+  const pso::Objective obj = pso::sphere(4);
+  pso::PsoConfig plain_cfg;
+  plain_cfg.swarm_size = 8;
+  plain_cfg.max_iterations = 30;
+  plain_cfg.seed = 5;
+  const pso::PsoResult plain = pso::minimize(obj, plain_cfg);
+
+  pso::PsoConfig armed_cfg = plain_cfg;
+  armed_cfg.budget.deadline = Deadline::after_seconds(3600.0);
+  robust::faults::ScopedFaults faults("seed=1,rate=1,sites=zzz.*");
+  const pso::PsoResult guarded = pso::minimize(obj, armed_cfg);
+
+  EXPECT_EQ(plain.iterations, guarded.iterations);
+  EXPECT_EQ(plain.best_value, guarded.best_value);
+  EXPECT_EQ(plain.nan_quarantines, 0u);
+  EXPECT_EQ(guarded.nan_quarantines, 0u);
+  expect_bitwise_equal(plain.best_position, guarded.best_position);
+}
+
+TEST(BitExact, RobustRraChainMatchesPlainExactSolver) {
+  qos::ChannelConfig cfg;
+  cfg.num_users = 3;
+  cfg.num_rbs = 5;
+  cfg.seed = 2;
+  qos::RraProblem problem;
+  problem.gain = qos::make_channel(cfg).gain;
+  problem.total_power = 1.0;
+  problem.min_rate = Vec(3, 0.1);
+
+  const qos::RraSolution plain = qos::solve_exact(problem);
+  const qos::RraRobustResult robust_r = qos::solve_rra_robust(problem);
+
+  ASSERT_TRUE(plain.feasible);
+  EXPECT_EQ(robust_r.method, "exact");
+  EXPECT_EQ(robust_r.soundness, robust::Soundness::kExact);
+  EXPECT_TRUE(robust_r.status.ok());
+  EXPECT_EQ(robust_r.solution.assignment, plain.assignment);
+  expect_bitwise_equal(robust_r.solution.power, plain.power);
+  EXPECT_EQ(robust_r.solution.sum_rate, plain.sum_rate);
+}
+
+TEST(BitExact, RobustBoundsMatchPlainCrown) {
+  num::Rng rng(13);
+  const verify::ReluNetwork net =
+      verify::ReluNetwork::random({2, 8, 8, 3}, rng);
+  const verify::Box input = verify::Box::around(Vec{0.1, -0.2}, 0.05);
+
+  const verify::LayerBounds plain = verify::crown_bounds(net, input);
+  const verify::RobustBounds robust_b = verify::compute_bounds_robust(net, input);
+
+  EXPECT_EQ(robust_b.method, verify::BoundMethod::kCrown);
+  EXPECT_TRUE(robust_b.status.ok());
+  expect_bitwise_equal(robust_b.bounds.output.lower, plain.output.lower);
+  expect_bitwise_equal(robust_b.bounds.output.upper, plain.output.upper);
+  ASSERT_EQ(robust_b.bounds.pre_activation.size(),
+            plain.pre_activation.size());
+  for (std::size_t k = 0; k < plain.pre_activation.size(); ++k) {
+    expect_bitwise_equal(robust_b.bounds.pre_activation[k].lower,
+                         plain.pre_activation[k].lower);
+    expect_bitwise_equal(robust_b.bounds.pre_activation[k].upper,
+                         plain.pre_activation[k].upper);
+  }
+}
+
+TEST(BitExact, RobustVerifyMatchesPlainCrownVerify) {
+  num::Rng rng(17);
+  const verify::ReluNetwork net =
+      verify::ReluNetwork::random({2, 8, 3}, rng);
+  const verify::Box input = verify::Box::around(Vec{0.0, 0.0}, 0.02);
+  verify::Spec spec;
+  spec.c = {1.0, -1.0, 0.0};
+  spec.d = 0.1;
+
+  const verify::VerifyResult plain =
+      verify::verify_relaxed(net, input, spec, verify::BoundMethod::kCrown);
+  const verify::RobustVerifyResult robust_v =
+      verify::verify_relaxed_robust(net, input, spec);
+
+  EXPECT_EQ(robust_v.method, verify::BoundMethod::kCrown);
+  EXPECT_EQ(robust_v.result.verdict, plain.verdict);
+  EXPECT_EQ(robust_v.result.lower_bound, plain.lower_bound);
+}
+
+}  // namespace
+}  // namespace rcr

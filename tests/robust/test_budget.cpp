@@ -1,0 +1,83 @@
+#include "rcr/robust/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+
+namespace rcr::robust {
+namespace {
+
+TEST(Deadline, DefaultIsUnlimited) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Deadline, UnlimitedFactoryMatchesDefault) {
+  EXPECT_TRUE(Deadline::unlimited().is_unlimited());
+  EXPECT_FALSE(Deadline::unlimited().expired());
+}
+
+TEST(Deadline, ZeroSecondsExpiresImmediately) {
+  const Deadline d = Deadline::after_seconds(0.0);
+  EXPECT_FALSE(d.is_unlimited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, NegativeSecondsClampsToExpired) {
+  EXPECT_TRUE(Deadline::after_seconds(-5.0).expired());
+}
+
+TEST(Deadline, FarFutureDeadlineNotExpired) {
+  const Deadline d = Deadline::after_seconds(3600.0);
+  EXPECT_FALSE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000.0);
+}
+
+TEST(Deadline, AtAbsoluteTimePoint) {
+  const Deadline past = Deadline::at(Deadline::Clock::now() -
+                                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.expired());
+  const Deadline future = Deadline::at(Deadline::Clock::now() +
+                                       std::chrono::hours(1));
+  EXPECT_FALSE(future.expired());
+}
+
+TEST(Deadline, ShortDeadlineEventuallyExpires) {
+  const Deadline d = Deadline::after_seconds(1e-3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Budget, UnlimitedNeverExpiresAtAnyIteration) {
+  const Budget b;
+  EXPECT_FALSE(b.expired_at(0));
+  EXPECT_FALSE(b.expired_at(1));
+  EXPECT_FALSE(b.expired_at(123456));
+}
+
+TEST(Budget, ExpiredDeadlineFiresOnPolledIterations) {
+  Budget b;
+  b.deadline = Deadline::after_seconds(0.0);
+  EXPECT_TRUE(b.expired_at(0));
+  EXPECT_TRUE(b.expired_at(17));
+}
+
+TEST(Budget, CheckStrideSkipsOffStrideIterations) {
+  Budget b;
+  b.deadline = Deadline::after_seconds(0.0);
+  b.check_stride = 8;
+  EXPECT_TRUE(b.expired_at(0));
+  EXPECT_FALSE(b.expired_at(1));   // Off-stride: no clock read, no expiry.
+  EXPECT_FALSE(b.expired_at(7));
+  EXPECT_TRUE(b.expired_at(8));
+  EXPECT_TRUE(b.expired_at(64));
+}
+
+}  // namespace
+}  // namespace rcr::robust

@@ -1,0 +1,185 @@
+#include "rcr/robust/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rcr::robust::faults {
+namespace {
+
+TEST(FaultConfig, DisabledByDefault) {
+  disable();
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(should_inject("admm.iterate.nan"));
+  EXPECT_EQ(total_injections(), 0u);
+}
+
+TEST(FaultConfig, SpecParsingAcceptsCanonicalForms) {
+  EXPECT_TRUE(configure_spec("42"));  // Bare seed.
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(config().seed, 42u);
+
+  EXPECT_TRUE(configure_spec("seed=7,rate=0.25,sites=admm.*,max=3"));
+  const FaultConfig c = config();
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_DOUBLE_EQ(c.rate, 0.25);
+  EXPECT_EQ(c.sites, "admm.*");
+  EXPECT_EQ(c.max_per_site, 3u);
+  disable();
+}
+
+TEST(FaultConfig, SpecParsingRejectsMalformedInput) {
+  EXPECT_FALSE(configure_spec(""));
+  EXPECT_FALSE(configure_spec("rate=0.5"));        // No seed.
+  EXPECT_FALSE(configure_spec("seed=abc"));
+  EXPECT_FALSE(configure_spec("seed=1,rate=2.0"));  // Rate out of range.
+  EXPECT_FALSE(configure_spec("seed=1,bogus=3"));
+  EXPECT_FALSE(configure_spec("seed=1,sites="));
+  disable();
+}
+
+TEST(FaultConfig, ReplaySpecRoundTrips) {
+  ASSERT_TRUE(configure_spec("seed=99,rate=0.5,sites=sdp.*,max=2"));
+  const std::string spec = replay_spec();
+  const FaultConfig before = config();
+  disable();
+  ASSERT_TRUE(configure_spec(spec));
+  const FaultConfig after = config();
+  EXPECT_EQ(after.seed, before.seed);
+  EXPECT_DOUBLE_EQ(after.rate, before.rate);
+  EXPECT_EQ(after.sites, before.sites);
+  EXPECT_EQ(after.max_per_site, before.max_per_site);
+  disable();
+}
+
+TEST(FaultInjection, RateOneFiresEveryHitRateZeroNever) {
+  {
+    ScopedFaults faults("seed=1,rate=1");
+    EXPECT_TRUE(should_inject("admm.iterate.nan"));
+    EXPECT_TRUE(should_inject("admm.iterate.nan"));
+  }
+  {
+    ScopedFaults faults("seed=1,rate=0");
+    EXPECT_FALSE(should_inject("admm.iterate.nan"));
+  }
+}
+
+TEST(FaultInjection, UnregisteredSiteNeverFires) {
+  ScopedFaults faults("seed=1,rate=1");
+  EXPECT_FALSE(should_inject("not.a.site"));
+  EXPECT_FALSE(should_inject("not.a.site", 0));
+}
+
+TEST(FaultInjection, SiteFilterSelectsOnlyMatchingSites) {
+  ScopedFaults faults("seed=1,rate=1,sites=admm.*");
+  EXPECT_TRUE(should_inject("admm.iterate.nan"));
+  EXPECT_FALSE(should_inject("sdp.iterate.nan"));
+
+  ScopedFaults exact("seed=1,rate=1,sites=pso.deadline");
+  EXPECT_TRUE(should_inject("pso.deadline"));
+  EXPECT_FALSE(should_inject("pso.objective.nan"));
+}
+
+TEST(FaultInjection, MaxPerSiteCapsInjections) {
+  ScopedFaults faults("seed=1,rate=1,max=2");
+  EXPECT_TRUE(should_inject("tr.step.nan"));
+  EXPECT_TRUE(should_inject("tr.step.nan"));
+  EXPECT_FALSE(should_inject("tr.step.nan"));
+  EXPECT_EQ(injection_count("tr.step.nan"), 2u);
+}
+
+TEST(FaultInjection, KeyedDecisionsAreDeterministic) {
+  std::vector<bool> first;
+  {
+    ScopedFaults faults("seed=33,rate=0.5");
+    for (std::uint64_t k = 0; k < 64; ++k)
+      first.push_back(should_inject("pso.objective.nan", k));
+  }
+  {
+    ScopedFaults faults("seed=33,rate=0.5");
+    for (std::uint64_t k = 0; k < 64; ++k)
+      EXPECT_EQ(should_inject("pso.objective.nan", k), first[k]) << k;
+  }
+  // A fractional rate neither fires always nor never.
+  bool any = false, all = true;
+  for (const bool b : first) {
+    any = any || b;
+    all = all && b;
+  }
+  EXPECT_TRUE(any);
+  EXPECT_FALSE(all);
+}
+
+TEST(FaultInjection, DifferentSeedsGiveDifferentStreams) {
+  std::vector<bool> a, b;
+  {
+    ScopedFaults faults("seed=1,rate=0.5");
+    for (std::uint64_t k = 0; k < 128; ++k)
+      a.push_back(should_inject("qcqp.newton.nan", k));
+  }
+  {
+    ScopedFaults faults("seed=2,rate=0.5");
+    for (std::uint64_t k = 0; k < 128; ++k)
+      b.push_back(should_inject("qcqp.newton.nan", k));
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjection, CorruptReturnsNanExactlyWhenFiring) {
+  ScopedFaults faults("seed=1,rate=1,max=1");
+  const double poisoned = corrupt("lbfgs.gradient.nan", 3.5);
+  EXPECT_TRUE(std::isnan(poisoned));
+  // max=1: second hit passes the value through untouched.
+  EXPECT_DOUBLE_EQ(corrupt("lbfgs.gradient.nan", 3.5), 3.5);
+}
+
+TEST(FaultInjection, CountersTrackInjectionsAndReset) {
+  ScopedFaults faults("seed=1,rate=1");
+  should_inject("sdp.kkt.singular");
+  should_inject("sdp.kkt.singular");
+  should_inject("admm.deadline");
+  EXPECT_EQ(injection_count("sdp.kkt.singular"), 2u);
+  EXPECT_EQ(injection_count("admm.deadline"), 1u);
+  EXPECT_EQ(total_injections(), 3u);
+  reset_counters();
+  EXPECT_EQ(injection_count("sdp.kkt.singular"), 0u);
+  EXPECT_EQ(total_injections(), 0u);
+}
+
+TEST(FaultInjection, RegistryHasStableWellFormedNames) {
+  const auto& sites = registered_sites();
+  EXPECT_GE(sites.size(), 15u);
+  for (const std::string& s : sites) {
+    EXPECT_NE(s.find('.'), std::string::npos) << s;
+    EXPECT_EQ(s.find(' '), std::string::npos) << s;
+  }
+  // Spot-check the sites the chaos suite depends on.
+  for (const char* expected :
+       {"numerics.lu.singular", "admm.iterate.nan", "sdp.kkt.singular",
+        "qcqp.newton.nan", "lbfgs.gradient.nan", "tr.step.nan",
+        "pso.objective.nan", "verify.crown.nan", "qos.exact.stall",
+        "rrm.deadline", "stack.deadline"}) {
+    bool found = false;
+    for (const std::string& s : sites) found = found || s == expected;
+    EXPECT_TRUE(found) << expected;
+  }
+}
+
+TEST(FaultInjection, ScopedFaultsRestoresPreviousPolicy) {
+  ASSERT_TRUE(configure_spec("seed=5,rate=0.5"));
+  {
+    ScopedFaults inner("seed=6");
+    EXPECT_EQ(config().seed, 6u);
+  }
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(config().seed, 5u);
+  disable();
+  {
+    ScopedFaults inner("seed=7");
+    EXPECT_TRUE(enabled());
+  }
+  EXPECT_FALSE(enabled());
+}
+
+}  // namespace
+}  // namespace rcr::robust::faults

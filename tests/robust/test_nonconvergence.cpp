@@ -1,0 +1,142 @@
+// Satellite: the non-convergence paths of the opt solvers, asserted through
+// the status taxonomy instead of exceptions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/lbfgs.hpp"
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/opt/trust_region.hpp"
+
+namespace rcr::opt {
+namespace {
+
+TEST(QcqpNonConvergence, InfeasibleProblemReportsPhaseOneFailure) {
+  // x <= -1 and x >= 1 simultaneously: no strictly feasible point exists.
+  Qcqp p;
+  p.objective.p = Matrix::identity(1);
+  p.objective.q = {0.0};
+  QuadraticForm upper;  // x - (-1) <= 0  <=>  x <= -1.
+  upper.p = Matrix(1, 1);
+  upper.q = {1.0};
+  upper.r = 1.0;
+  QuadraticForm lower;  // 1 - x <= 0  <=>  x >= 1.
+  lower.p = Matrix(1, 1);
+  lower.q = {-1.0};
+  lower.r = 1.0;
+  p.constraints = {upper, lower};
+
+  const QcqpResult r = solve_qcqp_barrier(p);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status.code, robust::StatusCode::kInfeasible);
+  EXPECT_FALSE(r.status.usable());
+  EXPECT_NE(r.message.find("no strictly feasible point found"),
+            std::string::npos)
+      << r.message;
+}
+
+TEST(QcqpNonConvergence, NonStrictlyFeasibleStartIsInfeasibleStatus) {
+  // Start exactly on the constraint boundary: rejected, not thrown.
+  Qcqp p;
+  p.objective.p = Matrix::identity(1);
+  p.objective.q = {0.0};
+  QuadraticForm ball;  // x^2 - 1 <= 0.
+  ball.p = 2.0 * Matrix::identity(1);
+  ball.q = {0.0};
+  ball.r = -1.0;
+  p.constraints = {ball};
+
+  const QcqpResult r = solve_qcqp_barrier(p, Vec{1.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status.code, robust::StatusCode::kInfeasible);
+}
+
+TEST(AdmmNonConvergence, IterationExhaustionIsNonConvergedStatus) {
+  num::Rng rng(3);
+  const Matrix p = random_psd(4, 4, rng) + Matrix::identity(4);
+  const Vec q = rng.normal_vec(4);
+  AdmmOptions options;
+  options.max_iterations = 2;     // Far too few.
+  options.tolerance = 1e-14;
+  const AdmmResult r = admm_box_qp(p, q, Vec(4, -1.0), Vec(4, 1.0), options);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status.code, robust::StatusCode::kNonConverged);
+  EXPECT_TRUE(r.status.usable());
+  EXPECT_EQ(r.iterations, 2u);
+  // The returned iterate is still feasible by construction.
+  for (const double v : r.x) {
+    EXPECT_GE(v, -1.0 - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(SdpNonConvergence, IterationExhaustionIsNonConvergedStatus) {
+  Sdp p;
+  p.c = Matrix::diag({1.0, 2.0, 3.0});
+  p.a_eq.push_back(Matrix::identity(3));
+  p.b_eq.push_back(1.0);
+  SdpOptions options;
+  options.max_iterations = 2;
+  options.tolerance = 1e-14;
+  const SdpResult r = solve_sdp(p, options);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status.code, robust::StatusCode::kNonConverged);
+  EXPECT_TRUE(r.status.usable());
+}
+
+TEST(TrustRegionNonConvergence, RadiusCollapseIsReported) {
+  // Adversarial objective: the gradient promises descent but every actual
+  // step increases f, so the radius shrinks until it collapses.
+  Smooth f;
+  f.value = [](const Vec& x) {
+    return (x[0] == 0.0 && x[1] == 0.0) ? 0.0 : 1.0;
+  };
+  f.gradient = [](const Vec&) { return Vec{1.0, 1.0}; };
+
+  const MinimizeResult r = trust_region_bfgs(f, Vec{0.0, 0.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status.code, robust::StatusCode::kNonConverged);
+  EXPECT_NE(r.status.detail.find("radius collapsed"), std::string::npos)
+      << r.status.detail;
+  // The start point (the only clean iterate) is returned.
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+}
+
+TEST(LbfgsNonConvergence, IterationExhaustionIsNonConvergedStatus) {
+  // Rosenbrock from a distant start with a tiny budget.
+  Smooth f;
+  f.value = [](const Vec& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  f.gradient = [](const Vec& x) {
+    const double b = x[1] - x[0] * x[0];
+    return Vec{-2.0 * (1.0 - x[0]) - 400.0 * x[0] * b, 200.0 * b};
+  };
+  MinimizeOptions options;
+  options.max_iterations = 2;
+  const MinimizeResult r = lbfgs(f, Vec{-5.0, 7.0}, options);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.status.code, robust::StatusCode::kNonConverged);
+  EXPECT_TRUE(r.status.usable());
+  EXPECT_TRUE(std::isfinite(r.value));
+}
+
+TEST(ShorBound, ReportsInnerSdpIterationsAndStatus) {
+  num::Rng rng(5);
+  const Qcqp prob = random_convex_qcqp(3, 2, 0, rng);
+  const ShorBound sb = shor_lower_bound(prob);
+  EXPECT_GT(sb.iterations, 0u);  // Satellite: ShorBound now carries both.
+  if (sb.converged) {
+    EXPECT_TRUE(sb.status.ok());
+  } else {
+    EXPECT_FALSE(sb.status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace rcr::opt

@@ -1,0 +1,96 @@
+#include "rcr/robust/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcr::robust {
+namespace {
+
+TEST(Status, DefaultIsOkUsableNotDegraded) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.usable());
+  EXPECT_FALSE(s.degraded());
+  EXPECT_TRUE(s.trail.empty());
+}
+
+TEST(Status, CodeToStringCoversEveryCode) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_FALSE(to_string(StatusCode::kDegraded).empty());
+  EXPECT_FALSE(to_string(StatusCode::kNonConverged).empty());
+  EXPECT_FALSE(to_string(StatusCode::kInfeasible).empty());
+  EXPECT_FALSE(to_string(StatusCode::kSingular).empty());
+  EXPECT_FALSE(to_string(StatusCode::kNumericalFailure).empty());
+  EXPECT_FALSE(to_string(StatusCode::kDeadlineExpired).empty());
+  EXPECT_FALSE(to_string(StatusCode::kFallbackExhausted).empty());
+}
+
+TEST(Status, UsabilityTaxonomy) {
+  // Everything except infeasibility and chain exhaustion still carries a
+  // valid (possibly degraded) answer.
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kDegraded, StatusCode::kNonConverged,
+        StatusCode::kSingular, StatusCode::kNumericalFailure,
+        StatusCode::kDeadlineExpired}) {
+    EXPECT_TRUE(make_status(code, "x").usable()) << to_string(code);
+  }
+  EXPECT_FALSE(make_status(StatusCode::kInfeasible, "x").usable());
+  EXPECT_FALSE(make_status(StatusCode::kFallbackExhausted, "x").usable());
+}
+
+TEST(Status, NoteAppendsInOrder) {
+  Status s;
+  s.note("first");
+  s.note("second");
+  ASSERT_EQ(s.trail.size(), 2u);
+  EXPECT_EQ(s.trail[0], "first");
+  EXPECT_EQ(s.trail[1], "second");
+  EXPECT_TRUE(s.degraded());  // A trail alone marks the answer degraded.
+  EXPECT_TRUE(s.ok());        // ...but does not change the terminal code.
+}
+
+TEST(Status, AbsorbTrailPrefixesAndAppendsTerminalEvent) {
+  Status inner = make_status(StatusCode::kNonConverged, "ran out");
+  inner.note("rung 1");
+
+  Status outer;
+  outer.absorb_trail("inner", inner);
+  ASSERT_GE(outer.trail.size(), 2u);
+  EXPECT_NE(outer.trail[0].find("inner"), std::string::npos);
+  EXPECT_NE(outer.trail[0].find("rung 1"), std::string::npos);
+  // The inner terminal disposition is also recorded.
+  bool terminal_seen = false;
+  for (const std::string& e : outer.trail)
+    if (e.find("ran out") != std::string::npos) terminal_seen = true;
+  EXPECT_TRUE(terminal_seen);
+}
+
+TEST(Status, AbsorbTrailOfOkStatusIsNoop) {
+  Status outer;
+  outer.absorb_trail("inner", ok_status());
+  EXPECT_TRUE(outer.trail.empty());
+  EXPECT_TRUE(outer.ok());
+}
+
+TEST(Status, ToStringMentionsCodeDetailAndTrail) {
+  Status s = make_status(StatusCode::kDegraded, "ridge fired");
+  s.note("retry 1");
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("ridge fired"), std::string::npos);
+  EXPECT_NE(text.find("retry 1"), std::string::npos);
+}
+
+TEST(Result, BoolConversionTracksUsability) {
+  Result<int> good{42, ok_status()};
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_TRUE(good.ok());
+
+  Result<int> degraded{7, make_status(StatusCode::kNonConverged, "x")};
+  EXPECT_TRUE(static_cast<bool>(degraded));
+  EXPECT_FALSE(degraded.ok());
+
+  Result<int> dead{0, make_status(StatusCode::kInfeasible, "x")};
+  EXPECT_FALSE(static_cast<bool>(dead));
+}
+
+}  // namespace
+}  // namespace rcr::robust
