@@ -7,11 +7,16 @@
 //   {"bench": "<name>", "threads": N, "smoke": 0|1,
 //    "results": [{"kernel": "...", "size": "...", "ns_op": ...,
 //                 "allocs_op": ..., "serial_ms": ..., "parallel_ms": ...,
-//                 "speedup": ...}, ...]}
+//                 "speedup": ...}, ...],
+//    "metrics": [{"name": "...", "kind": "...", "value": ..., "count": ...}]}
 //
 // serial_ms/parallel_ms/speedup are present only for records measured with
-// run_serial_parallel().  Set RCR_BENCH_SMOKE=1 to shrink rep counts for CI
-// smoke jobs (the JSON then carries "smoke": 1 so dashboards can filter).
+// run_serial_parallel().  "metrics" appears only when the rcr::obs registry
+// is armed at export time: the bench's solver telemetry (iteration counts,
+// fallback degradations, queue depths) rides along with the timings so a
+// perf regression can be cross-checked against behavioural drift.  Set
+// RCR_BENCH_SMOKE=1 to shrink rep counts for CI smoke jobs (the JSON then
+// carries "smoke": 1 so dashboards can filter).
 #pragma once
 
 #include <chrono>
@@ -21,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "rcr/obs/metrics.hpp"
 #include "rcr/rt/alloc_probe.hpp"
 #include "rcr/rt/parallel.hpp"
 #include "rcr/rt/thread_pool.hpp"
@@ -147,7 +153,27 @@ class Harness {
       }
       json += "}";
     }
-    json += "]}";
+    json += "]";
+    if (obs::metrics_enabled()) {
+      json += ",\"metrics\":[";
+      const std::vector<obs::MetricSample> snap = obs::metrics_snapshot();
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        const obs::MetricSample& m = snap[i];
+        std::string name = m.name;
+        if (!m.label_key.empty())
+          name += "{" + m.label_key + "=" + m.label_value + "}";
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"name\":\"%s\",\"kind\":\"%s\",\"value\":%.17g",
+                      i == 0 ? "" : ",", name.c_str(), m.kind.c_str(),
+                      m.value);
+        json += buf;
+        if (m.kind == "histogram")
+          json += ",\"count\":" + std::to_string(m.count);
+        json += "}";
+      }
+      json += "]";
+    }
+    json += "}";
     return json;
   }
 

@@ -1,0 +1,10 @@
+// Umbrella header for the rcr::obs observability layer.
+//
+// Pulls in the metrics registry and the tracing spans.  Instrumented code
+// includes this one header; everything it adds is zero-overhead-when-off
+// (one relaxed atomic load + branch per call site).  See DESIGN.md §11 for
+// naming conventions, the overhead contract, and the export formats.
+#pragma once
+
+#include "rcr/obs/metrics.hpp"
+#include "rcr/obs/trace.hpp"

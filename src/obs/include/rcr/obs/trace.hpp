@@ -1,0 +1,156 @@
+// RAII tracing spans with per-thread ring buffers.
+//
+// A Span marks the dynamic extent of one unit of solver work ("admm.box_qp",
+// "stack.phase3.inertia_qp", ...).  Spans nest naturally with scope, carry a
+// handful of numeric/string attributes (iterations, residuals, fallback
+// step, fault site), and are recorded as chrome://tracing begin/end event
+// pairs.  Each thread writes to its own fixed-capacity ring buffer -- the
+// armed hot path is a couple of stores plus one steady-clock read, with no
+// lock and no allocation after a thread's first span.
+//
+// Zero-overhead-when-off contract: constructing a Span when tracing is
+// disabled is a single relaxed atomic load + branch; attribute setters and
+// the destructor then reduce to a branch on the cached `armed_` flag.  No
+// allocation, no clock read, bit-exact solver behaviour (enforced by
+// tests/obs and bench_obs_overhead).
+//
+// Buffer-full policy: drop-newest, whole spans.  A begin event only commits
+// if the buffer can also hold its matching end event (one slot is reserved
+// per open span), so exported traces always contain matched B/E pairs even
+// when events were dropped; trace_dropped() counts the casualties.
+//
+// Arming: set_trace_enabled()/ScopedTrace, or RCR_TRACE=<path> which
+// enables tracing before main() and writes chrome://tracing JSON at process
+// exit ("%p" in <path> expands to the pid).  Load the file via
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Export contract: trace_json()/write_trace()/reset_trace() expect
+// quiescence -- call them when no instrumented workload is running and no
+// span is open (end of process, end of test case).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rcr::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_on;
+
+inline constexpr int kMaxNumAttrs = 6;
+inline constexpr int kMaxStrAttrs = 2;
+inline constexpr int kStrAttrLen = 48;
+
+class Span;  // fwd for the slow-path signatures below
+}  // namespace detail
+
+/// True when tracing is armed.  Relaxed load; safe from any thread.
+inline bool trace_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+/// RAII trace span.  Construct at the top of the region of interest; the
+/// destructor emits the matching end event with any attributes attached in
+/// between.  Not copyable/movable: a span is pinned to its scope + thread.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a numeric attribute (up to 6; silently dropped beyond that).
+  /// No-op when the span is not recording.
+  void attr(const char* key, double value);
+
+  /// Attach a short string attribute (up to 2, truncated to 47 chars;
+  /// copied into the span, so the value pointer need not outlive the call).
+  void attr_str(const char* key, const char* value);
+
+  /// True when this span is actually recording (tracing armed at
+  /// construction and the ring buffer had room).
+  bool armed() const { return armed_; }
+
+ private:
+  const char* name_;
+  bool armed_;
+  int n_num_ = 0;
+  int n_str_ = 0;
+  const char* num_keys_[detail::kMaxNumAttrs];
+  double num_vals_[detail::kMaxNumAttrs];
+  const char* str_keys_[detail::kMaxStrAttrs];
+  char str_vals_[detail::kMaxStrAttrs][detail::kStrAttrLen];
+
+  void begin_slow();
+  void end_slow();
+};
+
+inline Span::Span(const char* name) : name_(name), armed_(false) {
+  if (trace_enabled()) begin_slow();
+}
+
+inline Span::~Span() {
+  if (armed_) end_slow();
+}
+
+inline void Span::attr(const char* key, double value) {
+  if (!armed_ || n_num_ >= detail::kMaxNumAttrs) return;
+  num_keys_[n_num_] = key;
+  num_vals_[n_num_] = value;
+  ++n_num_;
+}
+
+inline void Span::attr_str(const char* key, const char* value) {
+  if (!armed_ || n_str_ >= detail::kMaxStrAttrs) return;
+  str_keys_[n_str_] = key;
+  char* dst = str_vals_[n_str_];
+  int i = 0;
+  for (; i < detail::kStrAttrLen - 1 && value[i] != '\0'; ++i) dst[i] = value[i];
+  dst[i] = '\0';
+  ++n_str_;
+}
+
+/// Record a zero-duration annotated event (an immediately closed B/E pair),
+/// e.g. one fault injection.  One relaxed load + branch when tracing is off.
+void instant(const char* name, const char* key, const char* value);
+
+/// Arm or disarm tracing.  Already-buffered events are retained.
+void set_trace_enabled(bool on);
+
+/// Clear every thread's ring buffer and the dropped-event count.
+/// Requires quiescence (no open spans, no concurrent instrumented work).
+void reset_trace();
+
+/// Total events currently buffered across all threads.
+std::uint64_t trace_event_count();
+
+/// Spans/instants dropped because a ring buffer was full.
+std::uint64_t trace_dropped();
+
+/// Override the per-thread ring capacity (events) for buffers created after
+/// this call.  Also settable via RCR_TRACE_BUFFER.  Default 16384.
+void set_trace_buffer_capacity(std::uint32_t events);
+
+/// All buffered events as a chrome://tracing JSON document
+/// ({"traceEvents": [...]}, ts in microseconds, one tid per thread buffer).
+/// Requires quiescence.
+std::string trace_json();
+
+/// Write trace_json() to `path` ("%p" expands to the pid).
+bool write_trace(const std::string& path);
+
+/// RAII arm + reset for tests: enables tracing and clears all buffers on
+/// entry, restores the previous armed state on exit.
+class ScopedTrace {
+ public:
+  ScopedTrace();
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  bool was_on_;
+};
+
+}  // namespace rcr::obs

@@ -1,0 +1,304 @@
+#include "rcr/obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rcr::obs {
+
+std::atomic<bool> detail::g_trace_on{false};
+
+namespace {
+
+using detail::kMaxNumAttrs;
+using detail::kMaxStrAttrs;
+using detail::kStrAttrLen;
+
+struct TraceEvent {
+  const char* name;
+  char ph;  // 'B' or 'E'
+  std::int64_t ts_ns;
+  int n_num;
+  int n_str;
+  const char* num_keys[kMaxNumAttrs];
+  double num_vals[kMaxNumAttrs];
+  const char* str_keys[kMaxStrAttrs];
+  char str_vals[kMaxStrAttrs][kStrAttrLen];
+};
+
+// One thread's ring.  Single writer (the owning thread); readers observe a
+// consistent prefix through the release/acquire pair on `used`.  Buffers
+// are created on a thread's first armed span and never destroyed, so a
+// thread's cached pointer outlives the thread itself.
+struct TraceBuffer {
+  explicit TraceBuffer(std::uint32_t cap, int tid_)
+      : events(cap), capacity(cap), tid(tid_) {}
+  std::vector<TraceEvent> events;
+  std::atomic<std::uint32_t> used{0};
+  std::uint32_t capacity;
+  std::uint32_t reserved = 0;  // end-event slots owed to open spans
+  int tid;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+};
+
+// Leaked so the RCR_TRACE atexit exporter can run after static destruction.
+TraceRegistry& trace_registry() {
+  static TraceRegistry* r = new TraceRegistry;
+  return *r;
+}
+
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::uint32_t> g_capacity{16384};
+
+std::int64_t now_ns() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TraceBuffer* tls_buffer() {
+  thread_local TraceBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    TraceRegistry& reg = trace_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const int tid = static_cast<int>(reg.buffers.size()) + 1;
+    reg.buffers.push_back(std::make_unique<TraceBuffer>(
+        g_capacity.load(std::memory_order_relaxed), tid));
+    buf = reg.buffers.back().get();
+  }
+  return buf;
+}
+
+void copy_str(char* dst, const char* src) {
+  int i = 0;
+  for (; i < kStrAttrLen - 1 && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_event(std::string& out, const TraceEvent& ev, int tid) {
+  char buf[96];
+  out += "{\"name\": \"";
+  json_escape_into(out, ev.name);
+  std::snprintf(buf, sizeof(buf),
+                "\", \"cat\": \"rcr\", \"ph\": \"%c\", \"ts\": %.3f, "
+                "\"pid\": 1, \"tid\": %d",
+                ev.ph, static_cast<double>(ev.ts_ns) / 1000.0, tid);
+  out += buf;
+  if (ev.n_num > 0 || ev.n_str > 0) {
+    out += ", \"args\": {";
+    bool first = true;
+    for (int i = 0; i < ev.n_num; ++i) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      json_escape_into(out, ev.num_keys[i]);
+      std::snprintf(buf, sizeof(buf), "\": %.17g", ev.num_vals[i]);
+      out += buf;
+    }
+    for (int i = 0; i < ev.n_str; ++i) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      json_escape_into(out, ev.str_keys[i]);
+      out += "\": \"";
+      json_escape_into(out, ev.str_vals[i]);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+std::string expand_pid(const std::string& path) {
+  const std::size_t pos = path.find("%p");
+  if (pos == std::string::npos) return path;
+  std::string out = path;
+  out.replace(pos, 2, std::to_string(static_cast<long>(::getpid())));
+  return out;
+}
+
+}  // namespace
+
+void Span::begin_slow() {
+  TraceBuffer* buf = tls_buffer();
+  const std::uint32_t used = buf->used.load(std::memory_order_relaxed);
+  // A begin commits only if its end event also fits: one slot per open span
+  // stays reserved, so exported traces always pair B with E.
+  if (used + buf->reserved + 2 > buf->capacity) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& ev = buf->events[used];
+  ev.name = name_;
+  ev.ph = 'B';
+  ev.ts_ns = now_ns();
+  ev.n_num = 0;
+  ev.n_str = 0;
+  buf->used.store(used + 1, std::memory_order_release);
+  buf->reserved += 1;
+  armed_ = true;
+}
+
+void Span::end_slow() {
+  TraceBuffer* buf = tls_buffer();
+  buf->reserved -= 1;
+  const std::uint32_t used = buf->used.load(std::memory_order_relaxed);
+  TraceEvent& ev = buf->events[used];
+  ev.name = name_;
+  ev.ph = 'E';
+  ev.ts_ns = now_ns();
+  ev.n_num = n_num_;
+  ev.n_str = n_str_;
+  for (int i = 0; i < n_num_; ++i) {
+    ev.num_keys[i] = num_keys_[i];
+    ev.num_vals[i] = num_vals_[i];
+  }
+  for (int i = 0; i < n_str_; ++i) {
+    ev.str_keys[i] = str_keys_[i];
+    copy_str(ev.str_vals[i], str_vals_[i]);
+  }
+  buf->used.store(used + 1, std::memory_order_release);
+}
+
+void instant(const char* name, const char* key, const char* value) {
+  if (!trace_enabled()) return;
+  TraceBuffer* buf = tls_buffer();
+  const std::uint32_t used = buf->used.load(std::memory_order_relaxed);
+  if (used + buf->reserved + 2 > buf->capacity) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::int64_t ts = now_ns();
+  TraceEvent& b = buf->events[used];
+  b.name = name;
+  b.ph = 'B';
+  b.ts_ns = ts;
+  b.n_num = 0;
+  b.n_str = 0;
+  TraceEvent& e = buf->events[used + 1];
+  e.name = name;
+  e.ph = 'E';
+  e.ts_ns = ts;
+  e.n_num = 0;
+  e.n_str = 1;
+  e.str_keys[0] = key;
+  copy_str(e.str_vals[0], value);
+  buf->used.store(used + 2, std::memory_order_release);
+}
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_on.store(on, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& buf : reg.buffers) buf->used.store(0, std::memory_order_release);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_event_count() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::uint64_t total = 0;
+  for (auto& buf : reg.buffers)
+    total += buf->used.load(std::memory_order_acquire);
+  return total;
+}
+
+std::uint64_t trace_dropped() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void set_trace_buffer_capacity(std::uint32_t events) {
+  if (events < 4) events = 4;
+  g_capacity.store(events, std::memory_order_relaxed);
+}
+
+std::string trace_json() {
+  TraceRegistry& reg = trace_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (auto& buf : reg.buffers) {
+    const std::uint32_t n = buf->used.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      append_event(out, buf->events[i], buf->tid);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  const std::string target = expand_pid(path);
+  const std::string body = trace_json();
+  std::FILE* f = std::fopen(target.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return written == body.size();
+}
+
+ScopedTrace::ScopedTrace() : was_on_(trace_enabled()) {
+  set_trace_enabled(true);
+  reset_trace();
+}
+
+ScopedTrace::~ScopedTrace() { set_trace_enabled(was_on_); }
+
+namespace {
+
+std::string* g_trace_path = nullptr;
+
+[[maybe_unused]] const bool g_env_armed = [] {
+  if (const char* cap = std::getenv("RCR_TRACE_BUFFER");
+      cap != nullptr && cap[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(cap, &end, 10);
+    if (end != cap && *end == '\0' && v > 0)
+      set_trace_buffer_capacity(static_cast<std::uint32_t>(v));
+  }
+  const char* env = std::getenv("RCR_TRACE");
+  if (env == nullptr || env[0] == '\0') return false;
+  g_trace_path = new std::string(env);
+  set_trace_enabled(true);
+  std::atexit(+[] { write_trace(*g_trace_path); });
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace rcr::obs

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "rcr/numerics/decompositions.hpp"
+#include "rcr/obs/obs.hpp"
 #include "rcr/robust/fault_injection.hpp"
 
 namespace rcr::opt {
@@ -121,6 +122,8 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
     if (lo[i] > hi[i])
       throw std::invalid_argument("admm_box_qp: lo > hi");
 
+  obs::Span span("admm.box_qp");
+
   Vec x(n, 0.0);
   Vec z = num::clamp(Vec(n, 0.0), lo, hi);
   Vec u(n, 0.0);
@@ -189,6 +192,11 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
   result.x = z;  // feasible by construction
   result.objective = 0.5 * num::quad_form(result.x, p, result.x) +
                      num::dot(q, result.x);
+  obs::counter_add("rcr.admm.solves");
+  obs::counter_add("rcr.admm.iterations", result.iterations);
+  span.attr("iterations", static_cast<double>(result.iterations));
+  span.attr("converged", result.converged ? 1.0 : 0.0);
+  span.attr("objective", result.objective);
   return result;
 }
 
@@ -217,6 +225,8 @@ AdmmResult admm_lasso(const Matrix& a, const LassoFactor& factor, const Vec& b,
     throw std::invalid_argument("admm_lasso: negative lambda");
   if (factor.rho != options.rho)
     throw std::invalid_argument("admm_lasso: factor rho != options rho");
+
+  obs::Span span("admm.lasso");
 
   const Vec atb = num::matvec_transposed(a, b);
 
@@ -294,6 +304,11 @@ AdmmResult admm_lasso(const Matrix& a, const LassoFactor& factor, const Vec& b,
   const Vec resid = num::sub(num::matvec(a, result.x), b);
   result.objective =
       0.5 * num::dot(resid, resid) + lambda * num::norm1(result.x);
+  obs::counter_add("rcr.admm.solves");
+  obs::counter_add("rcr.admm.iterations", result.iterations);
+  span.attr("iterations", static_cast<double>(result.iterations));
+  span.attr("converged", result.converged ? 1.0 : 0.0);
+  span.attr("objective", result.objective);
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "rcr/numerics/approx.hpp"
 #include "rcr/numerics/matrix.hpp"
+#include "rcr/obs/obs.hpp"
 #include "rcr/opt/linesearch.hpp"
 #include "rcr/robust/fault_injection.hpp"
 #include "rcr/robust/guards.hpp"
@@ -21,7 +22,8 @@ bool stop(const Vec& g, const MinimizeOptions& options) {
 
 MinimizeResult finish(Vec x, const Smooth& f, std::size_t iters,
                       const MinimizeOptions& options,
-                      robust::Status status = {}) {
+                      robust::Status status = {},
+                      obs::Span* span = nullptr) {
   MinimizeResult r;
   const Vec g = f.gradient(x);
   r.gradient_norm = num::norm_inf(g);
@@ -33,6 +35,13 @@ MinimizeResult finish(Vec x, const Smooth& f, std::size_t iters,
   if (!r.converged && r.status.ok())
     r.status = robust::make_status(robust::StatusCode::kNonConverged,
                                    "stopped before reaching tolerance");
+  obs::counter_add("rcr.lbfgs.minimizes");
+  obs::counter_add("rcr.lbfgs.iterations", iters);
+  if (span != nullptr) {
+    span->attr("iterations", static_cast<double>(iters));
+    span->attr("converged", r.converged ? 1.0 : 0.0);
+    span->attr("gradient_norm", r.gradient_norm);
+  }
   return r;
 }
 
@@ -46,7 +55,8 @@ bool gradient_poisoned(Vec& g, bool faults_on) {
   return !robust::all_finite(g);
 }
 
-MinimizeResult fail_gradient(Vec x, const Smooth& f, std::size_t iters) {
+MinimizeResult fail_gradient(Vec x, const Smooth& f, std::size_t iters,
+                             obs::Span* span = nullptr) {
   // The iterate itself is the last clean point; only its gradient went bad.
   MinimizeResult r;
   r.value = f.value(x);
@@ -57,6 +67,12 @@ MinimizeResult fail_gradient(Vec x, const Smooth& f, std::size_t iters) {
       robust::StatusCode::kNumericalFailure,
       "non-finite gradient at iteration " + std::to_string(iters) +
           "; returning last clean iterate");
+  obs::counter_add("rcr.lbfgs.minimizes");
+  obs::counter_add("rcr.lbfgs.iterations", iters);
+  if (span != nullptr) {
+    span->attr("iterations", static_cast<double>(iters));
+    span->attr("converged", 0.0);
+  }
   return r;
 }
 
@@ -70,36 +86,38 @@ robust::Status deadline_status(std::size_t it) {
 
 MinimizeResult gradient_descent(const Smooth& f, Vec x0,
                                 const MinimizeOptions& options) {
+  obs::Span span("opt.gradient_descent");
   Vec x = std::move(x0);
   const bool faults_on = robust::faults::enabled();
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     if (options.budget.expired_at(it) ||
         (faults_on && robust::faults::should_inject("lbfgs.deadline")))
-      return finish(std::move(x), f, it, options, deadline_status(it));
+      return finish(std::move(x), f, it, options, deadline_status(it), &span);
     Vec g = f.gradient(x);
     if (gradient_poisoned(g, faults_on))
-      return fail_gradient(std::move(x), f, it);
-    if (stop(g, options)) return finish(std::move(x), f, it, options);
+      return fail_gradient(std::move(x), f, it, &span);
+    if (stop(g, options)) return finish(std::move(x), f, it, options, {}, &span);
     const Vec d = num::scale(g, -1.0);
     const auto ls = armijo_backtrack(f.value, x, d, g, f.value(x));
-    if (!ls.success) return finish(std::move(x), f, it, options);
+    if (!ls.success) return finish(std::move(x), f, it, options, {}, &span);
     num::axpy(ls.step, d, x);
   }
-  return finish(std::move(x), f, options.max_iterations, options);
+  return finish(std::move(x), f, options.max_iterations, options, {}, &span);
 }
 
 MinimizeResult bfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
+  obs::Span span("opt.bfgs");
   const std::size_t n = x0.size();
   Vec x = std::move(x0);
   num::Matrix h_inv = num::Matrix::identity(n);
   const bool faults_on = robust::faults::enabled();
   Vec g = f.gradient(x);
-  if (gradient_poisoned(g, faults_on)) return fail_gradient(std::move(x), f, 0);
+  if (gradient_poisoned(g, faults_on)) return fail_gradient(std::move(x), f, 0, &span);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     if (options.budget.expired_at(it) ||
         (faults_on && robust::faults::should_inject("lbfgs.deadline")))
-      return finish(std::move(x), f, it, options, deadline_status(it));
-    if (stop(g, options)) return finish(std::move(x), f, it, options);
+      return finish(std::move(x), f, it, options, deadline_status(it), &span);
+    if (stop(g, options)) return finish(std::move(x), f, it, options, {}, &span);
     Vec d = num::scale(num::matvec(h_inv, g), -1.0);
     if (num::dot(d, g) >= 0.0) {
       // Reset on loss of descent direction.
@@ -107,13 +125,13 @@ MinimizeResult bfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
       d = num::scale(g, -1.0);
     }
     const auto ls = armijo_backtrack(f.value, x, d, g, f.value(x));
-    if (!ls.success) return finish(std::move(x), f, it, options);
+    if (!ls.success) return finish(std::move(x), f, it, options, {}, &span);
 
     Vec x_new = x;
     num::axpy(ls.step, d, x_new);
     Vec g_new = f.gradient(x_new);
     if (gradient_poisoned(g_new, faults_on))
-      return fail_gradient(std::move(x), f, it + 1);
+      return fail_gradient(std::move(x), f, it + 1, &span);
     const Vec s = num::sub(x_new, x);
     const Vec y = num::sub(g_new, g);
     const double sy = num::dot(s, y);
@@ -129,14 +147,15 @@ MinimizeResult bfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
     x = std::move(x_new);
     g = g_new;
   }
-  return finish(std::move(x), f, options.max_iterations, options);
+  return finish(std::move(x), f, options.max_iterations, options, {}, &span);
 }
 
 MinimizeResult lbfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
+  obs::Span span("opt.lbfgs");
   Vec x = std::move(x0);
   const bool faults_on = robust::faults::enabled();
   Vec g = f.gradient(x);
-  if (gradient_poisoned(g, faults_on)) return fail_gradient(std::move(x), f, 0);
+  if (gradient_poisoned(g, faults_on)) return fail_gradient(std::move(x), f, 0, &span);
   std::deque<Vec> s_hist;
   std::deque<Vec> y_hist;
   std::deque<double> rho_hist;
@@ -144,8 +163,8 @@ MinimizeResult lbfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     if (options.budget.expired_at(it) ||
         (faults_on && robust::faults::should_inject("lbfgs.deadline")))
-      return finish(std::move(x), f, it, options, deadline_status(it));
-    if (stop(g, options)) return finish(std::move(x), f, it, options);
+      return finish(std::move(x), f, it, options, deadline_status(it), &span);
+    if (stop(g, options)) return finish(std::move(x), f, it, options, {}, &span);
 
     // Two-loop recursion for d = -H g.
     Vec q = g;
@@ -172,13 +191,13 @@ MinimizeResult lbfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
     if (num::dot(d, g) >= 0.0) d = num::scale(g, -1.0);
 
     const auto ls = armijo_backtrack(f.value, x, d, g, f.value(x));
-    if (!ls.success) return finish(std::move(x), f, it, options);
+    if (!ls.success) return finish(std::move(x), f, it, options, {}, &span);
 
     Vec x_new = x;
     num::axpy(ls.step, d, x_new);
     Vec g_new = f.gradient(x_new);
     if (gradient_poisoned(g_new, faults_on))
-      return fail_gradient(std::move(x), f, it + 1);
+      return fail_gradient(std::move(x), f, it + 1, &span);
     const Vec s = num::sub(x_new, x);
     const Vec y = num::sub(g_new, g);
     const double sy = num::dot(s, y);
@@ -195,7 +214,7 @@ MinimizeResult lbfgs(const Smooth& f, Vec x0, const MinimizeOptions& options) {
     x = std::move(x_new);
     g = g_new;
   }
-  return finish(std::move(x), f, options.max_iterations, options);
+  return finish(std::move(x), f, options.max_iterations, options, {}, &span);
 }
 
 Smooth with_numerical_gradient(std::function<double(const Vec&)> value,

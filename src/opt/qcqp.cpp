@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "rcr/numerics/decompositions.hpp"
+#include "rcr/obs/obs.hpp"
 #include "rcr/opt/lbfgs.hpp"
 #include "rcr/robust/fault_injection.hpp"
 
@@ -112,8 +113,10 @@ std::optional<Vec> find_strictly_feasible(const Qcqp& problem, double margin) {
   return x;
 }
 
-QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
-                              const BarrierOptions& options) {
+namespace {
+
+QcqpResult solve_qcqp_barrier_impl(const Qcqp& problem, std::optional<Vec> x0,
+                                   const BarrierOptions& options) {
   problem.validate();
   const std::size_t n = problem.dim();
   const std::size_t m_ineq = problem.constraints.size();
@@ -329,6 +332,24 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
     result.status.code = robust::StatusCode::kDegraded;
     result.status.detail = "converged after mu restart(s)";
   }
+  return result;
+}
+
+}  // namespace
+
+QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
+                              const BarrierOptions& options) {
+  // Thin observability shell: the impl above has several exit paths
+  // (phase-I failure, equality-QP shortcut, deadline, convergence) and this
+  // keeps the accounting uniform across all of them.
+  obs::Span span("qcqp.barrier");
+  QcqpResult result = solve_qcqp_barrier_impl(problem, std::move(x0), options);
+  obs::counter_add("rcr.qcqp.solves");
+  obs::counter_add("rcr.qcqp.newton_iterations", result.newton_iterations);
+  span.attr("newton_iterations",
+            static_cast<double>(result.newton_iterations));
+  span.attr("converged", result.converged ? 1.0 : 0.0);
+  span.attr("duality_gap_bound", result.duality_gap_bound);
   return result;
 }
 

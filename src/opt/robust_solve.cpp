@@ -117,7 +117,7 @@ RobustBoxQpResult solve_box_qp_robust(const Matrix& p, const Vec& q,
   robust::Budget pgd_budget;
   pgd_budget.deadline = options.deadline;
 
-  robust::FallbackChain<Vec> chain;
+  robust::FallbackChain<Vec> chain("box-qp");
   if (!options.skip_sdp) {
     chain.add("sdp-shor", robust::Soundness::kRelaxation, [&]() {
       const Qcqp prob = box_qp_as_qcqp(p, q, lo, hi);

@@ -8,6 +8,7 @@
 
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/numerics/eigen.hpp"
+#include "rcr/obs/obs.hpp"
 #include "rcr/robust/fault_injection.hpp"
 
 namespace rcr::opt {
@@ -29,6 +30,7 @@ void Sdp::validate() const {
 
 SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
   problem.validate();
+  obs::Span span("sdp.solve");
   const std::size_t n = problem.dim();
   const std::size_t nn = n * n;
   const std::size_t m_eq = problem.a_eq.size();
@@ -101,6 +103,10 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
       for (std::size_t j = 0; j < m_in; ++j)
         viol0 = std::max(viol0, -problem.b_in[j]);
       result.primal_residual = viol0;
+      obs::counter_add("rcr.sdp.solves");
+      span.attr("iterations", 0.0);
+      span.attr("converged", 0.0);
+      span.attr("primal_residual", result.primal_residual);
       return result;
     }
     result.status.code = robust::StatusCode::kDegraded;
@@ -218,6 +224,11 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
     viol = std::max(viol, num::frobenius_dot(problem.a_in[j], result.x) -
                               problem.b_in[j]);
   result.primal_residual = viol;
+  obs::counter_add("rcr.sdp.solves");
+  obs::counter_add("rcr.sdp.iterations", result.iterations);
+  span.attr("iterations", static_cast<double>(result.iterations));
+  span.attr("converged", result.converged ? 1.0 : 0.0);
+  span.attr("primal_residual", result.primal_residual);
   return result;
 }
 

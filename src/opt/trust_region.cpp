@@ -5,6 +5,7 @@
 #include <string>
 
 #include "rcr/numerics/eigen.hpp"
+#include "rcr/obs/obs.hpp"
 #include "rcr/robust/fault_injection.hpp"
 #include "rcr/robust/guards.hpp"
 
@@ -121,6 +122,7 @@ TrustRegionStep solve_trust_region_cg(
 
 MinimizeResult trust_region_bfgs(const Smooth& f, Vec x0,
                                  const TrustRegionOptions& options) {
+  obs::Span span("opt.trust_region");
   const std::size_t n = x0.size();
   Vec x = std::move(x0);
   num::Matrix b = num::Matrix::identity(n);  // Hessian proxy (not inverse)
@@ -208,6 +210,11 @@ MinimizeResult trust_region_bfgs(const Smooth& f, Vec x0,
   if (!result.converged && result.status.ok())
     result.status = robust::make_status(robust::StatusCode::kNonConverged,
                                         "stopped before reaching tolerance");
+  obs::counter_add("rcr.tr.solves");
+  obs::counter_add("rcr.tr.iterations", result.iterations);
+  span.attr("iterations", static_cast<double>(result.iterations));
+  span.attr("converged", result.converged ? 1.0 : 0.0);
+  span.attr("gradient_norm", result.gradient_norm);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "rcr/pso/discrete.hpp"
 
+#include "rcr/obs/obs.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -40,6 +42,7 @@ DiscretePsoResult minimize_discrete(
   if (config.swarm_size == 0)
     throw std::invalid_argument("minimize_discrete: empty swarm");
 
+  obs::Span span("pso.discrete");
   num::Rng rng(config.seed);
   const std::size_t n_attr = attributes.size();
   const std::size_t swarm = config.swarm_size;
@@ -146,6 +149,13 @@ DiscretePsoResult minimize_discrete(
   result.best_assignment = std::move(gbest_sample);
   result.best_value = gbest_value;
   result.best_distributions = std::move(gbest_dist);
+  obs::counter_add("rcr.pso.solves");
+  obs::counter_add("rcr.pso.generations", result.best_value_history.size());
+  obs::counter_add("rcr.pso.evaluations", result.evaluations);
+  span.attr("generations",
+            static_cast<double>(result.best_value_history.size()));
+  span.attr("evaluations", static_cast<double>(result.evaluations));
+  span.attr("best_value", result.best_value);
   return result;
 }
 

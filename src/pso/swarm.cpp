@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "rcr/obs/obs.hpp"
 #include "rcr/robust/fault_injection.hpp"
 #include "rcr/rt/parallel.hpp"
 
@@ -50,6 +51,7 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
   if (!config.integer_mask.empty() && config.integer_mask.size() != n)
     throw std::invalid_argument("pso::minimize: integer_mask size mismatch");
   const std::size_t swarm = config.swarm_size;
+  obs::Span span("pso.minimize");
   num::Rng rng(config.seed);
 
   std::unique_ptr<InertiaSchedule> default_inertia;
@@ -126,6 +128,11 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
         "all initial objective evaluations were non-finite");
     result.best_position = x.front();
     result.best_value = gbest_val;
+    obs::counter_add("rcr.pso.solves");
+    obs::counter_add("rcr.pso.evaluations", result.evaluations);
+    obs::counter_add("rcr.pso.nan_quarantines", result.nan_quarantines);
+    span.attr("generations", 0.0);
+    span.attr("evaluations", static_cast<double>(result.evaluations));
     return result;
   }
 
@@ -283,6 +290,14 @@ PsoResult minimize(const Objective& objective, const PsoConfig& config,
       static_cast<double>(stalled_now) / static_cast<double>(swarm);
   result.best_position = std::move(gbest);
   result.best_value = gbest_val;
+  obs::counter_add("rcr.pso.solves");
+  obs::counter_add("rcr.pso.generations", result.iterations);
+  obs::counter_add("rcr.pso.evaluations", result.evaluations);
+  obs::counter_add("rcr.pso.nan_quarantines", result.nan_quarantines);
+  span.attr("generations", static_cast<double>(result.iterations));
+  span.attr("evaluations", static_cast<double>(result.evaluations));
+  span.attr("nan_quarantines", static_cast<double>(result.nan_quarantines));
+  span.attr("best_value", result.best_value);
   return result;
 }
 

@@ -29,7 +29,7 @@ RraRobustResult solve_rra_robust(const RraProblem& problem,
   if (pso_opts.budget.deadline.is_unlimited())
     pso_opts.budget.deadline = options.deadline;
 
-  robust::FallbackChain<RraSolution> chain;
+  robust::FallbackChain<RraSolution> chain("rra");
   chain.add("exact", robust::Soundness::kExact, [&]() {
     robust::Result<RraSolution> r =
         solve_exact_budgeted(problem, options.max_nodes, exact_budget);
@@ -68,7 +68,7 @@ MultiRatRobustResult solve_multirat_robust(const MultiRatProblem& problem,
                                            std::size_t max_nodes,
                                            const robust::Deadline& deadline) {
   problem.validate();
-  robust::FallbackChain<MultiRatSolution> chain;
+  robust::FallbackChain<MultiRatSolution> chain("multirat");
   chain.add("exact", robust::Soundness::kExact, [&]() {
     robust::Result<MultiRatSolution> r;
     r.value = solve_multirat_exact(problem, max_nodes);
@@ -94,7 +94,7 @@ MultiRatRobustResult solve_multirat_robust(const MultiRatProblem& problem,
 
 SlicingRobustResult solve_slicing_robust(const SlicingProblem& problem,
                                          const robust::Deadline& deadline) {
-  robust::FallbackChain<SlicingSolution> chain;
+  robust::FallbackChain<SlicingSolution> chain("slicing");
   chain.add("exact-dp", robust::Soundness::kExact, [&]() {
     robust::Result<SlicingSolution> r;
     r.value = solve_slicing_exact(problem);

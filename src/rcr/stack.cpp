@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "rcr/obs/obs.hpp"
 #include "rcr/pso/discrete.hpp"
 #include "rcr/robust/fault_injection.hpp"
 #include "rcr/signal/spectrogram.hpp"
@@ -114,6 +115,8 @@ TuningResult RcrStack::tune_hyperparameters() {
 }
 
 RcrStackReport RcrStack::run() {
+  obs::Span span("stack.run");
+  obs::counter_add("rcr.stack.runs");
   RcrStackReport report;
 
   // Inter-phase degradation boundary: each phase is skipped (not aborted
@@ -134,6 +137,7 @@ RcrStackReport RcrStack::run() {
   // ---- Phase 3: certify the adaptive-inertia convex program (closed form
   // against the barrier QP solver).
   {
+    obs::Span phase_span("stack.phase3.inertia_qp");
     num::Rng rng(config_.seed + 31);
     InertiaQpInstance instance;
     instance.velocity_norm = rng.uniform_vec(6, 0.0, 3.0);
@@ -141,14 +145,21 @@ RcrStackReport RcrStack::run() {
     report.inertia_qp_consistency = inertia_qp_consistency(instance);
   }
   ++report.phases_completed;
+  obs::counter_add("rcr.stack.phases");
 
   // ---- Phase 2: PSO-tuned MSY3I.
   if (out_of_time("phase 2 (PSO tuning)")) return report;
-  report.tuning = tune_hyperparameters();
+  {
+    obs::Span phase_span("stack.phase2.pso_tuning");
+    report.tuning = tune_hyperparameters();
+  }
   ++report.phases_completed;
+  obs::counter_add("rcr.stack.phases");
 
   // ---- Phase 1a: full training of the tuned configuration vs the default.
   if (out_of_time("phase 1a (final training)")) return report;
+  {
+  obs::Span phase_span("stack.phase1a.training");
   num::Rng data_rng(config_.seed + 50);
   const auto train = to_image_samples(sig::make_classification_dataset(
       config_.train_per_class, config_.image_size, config_.noise_stddev,
@@ -173,12 +184,15 @@ RcrStackReport RcrStack::run() {
     nn::Sequential untuned = nn::build_msy3i_classifier(default_cfg);
     report.untuned_training = nn::train_classifier(untuned, train, test, tc);
   }
+  }
   ++report.phases_completed;
+  obs::counter_add("rcr.stack.phases");
 
   // ---- Phase 1b: convex-relaxation adversarial training of the dense head
   // plus the layer-wise tightness report.
   if (out_of_time("phase 1b (certified training)")) return report;
   {
+    obs::Span phase_span("stack.phase1b.certified");
     num::Rng rng(config_.seed + 71);
     const auto blobs_train =
         verify::make_blob_dataset(3, 40, 1.0, 0.15, rng);
@@ -204,11 +218,13 @@ RcrStackReport RcrStack::run() {
         verify::tighten_lower_bound_alpha(trainer.network(), ball, margin);
   }
   ++report.phases_completed;
+  obs::counter_add("rcr.stack.phases");
 
   // ---- Phase 1c: solve a QoS RRA instance through the RCR PSO machinery
   // and gauge it against the exact optimum and the convex relaxation bound.
   if (out_of_time("phase 1c (QoS allocation)")) return report;
   {
+    obs::Span phase_span("stack.phase1c.qos");
     qos::ChannelConfig ch;
     ch.num_users = config_.qos_users;
     ch.num_rbs = config_.qos_rbs;
@@ -235,7 +251,10 @@ RcrStackReport RcrStack::run() {
     report.status.absorb_trail("qos: ", report.qos_robust.status);
   }
   ++report.phases_completed;
+  obs::counter_add("rcr.stack.phases");
 
+  span.attr("phases_completed",
+            static_cast<double>(report.phases_completed));
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "rcr/robust/fault_injection.hpp"
 
+#include "rcr/obs/obs.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -119,6 +121,10 @@ bool should_inject_keyed(const char* site, std::uint64_t key) {
   if (!decide(s.config, site, key)) return false;
   ++fired;
   s.total.fetch_add(1, std::memory_order_relaxed);
+  // Every injection that actually fires is observable: exactly one labelled
+  // counter increment plus one annotated trace event (chaos suite contract).
+  obs::counter_add("rcr.faults.injected", "site", site);
+  obs::instant("fault.injected", "site", site);
   return true;
 }
 

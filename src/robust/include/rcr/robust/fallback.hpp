@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "rcr/obs/obs.hpp"
 #include "rcr/robust/budget.hpp"
 #include "rcr/robust/status.hpp"
 
@@ -36,6 +37,13 @@ class FallbackChain {
  public:
   using StepFn = std::function<Result<T>()>;
 
+  /// `name` labels this chain in metrics/traces
+  /// (rcr.fallback.degraded{chain=name}); it must have static storage
+  /// duration -- every in-tree chain passes a string literal.
+  explicit FallbackChain(const char* name = "unnamed") : name_(name) {}
+
+  const char* name() const { return name_; }
+
   /// Append a step.  Steps run in insertion order.
   FallbackChain& add(std::string name, Soundness soundness, StepFn run) {
     steps_.push_back({std::move(name), soundness, std::move(run)});
@@ -50,6 +58,18 @@ class FallbackChain {
   /// remaining steps are skipped.  When nothing usable was produced the
   /// outcome is kFallbackExhausted and `value` is default-constructed.
   ChainOutcome<T> run(const Deadline& deadline = Deadline()) const {
+    obs::Span span("fallback.run");
+    span.attr_str("chain", name_);
+    ChainOutcome<T> out = run_impl(deadline);
+    span.attr("attempts", static_cast<double>(out.attempts));
+    span.attr("degraded",
+              out.status.code == StatusCode::kOk ? 0.0 : 1.0);
+    if (!out.step.empty()) span.attr_str("step", out.step.c_str());
+    return out;
+  }
+
+ private:
+  ChainOutcome<T> run_impl(const Deadline& deadline) const {
     ChainOutcome<T> out;
     bool have_banked = false;
     ChainOutcome<T> banked;
@@ -73,6 +93,9 @@ class FallbackChain {
       }
       out.status.note("step '" + step.name + "' failed (" +
                       r.status.to_string() + ")");
+      // One degradation step == one counter increment (chaos contract).
+      obs::counter_add("rcr.fallback.degraded", "chain", name_);
+      obs::instant("fallback.degraded", "chain", name_);
       if (r.status.usable() && !have_banked) {
         banked.value = std::move(r.value);
         banked.step = step.name;
@@ -99,12 +122,12 @@ class FallbackChain {
     return out;
   }
 
- private:
   struct Step {
     std::string name;
     Soundness soundness;
     StepFn run;
   };
+  const char* name_;
   std::vector<Step> steps_;
 };
 

@@ -1,5 +1,7 @@
 #include "rcr/rt/scratch_arena.hpp"
 
+#include "rcr/obs/obs.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -27,6 +29,8 @@ void* ScratchArena::allocate(std::size_t bytes, std::size_t alignment) {
     if (start + bytes <= b.size) {
       b.used = start + bytes;
       high_water_ = std::max(high_water_, used());
+      obs::gauge_max("rcr.arena.high_water_bytes",
+                     static_cast<double>(high_water_));
       return b.data.get() + start;
     }
     if (active_ + 1 >= blocks_.size()) break;
@@ -49,6 +53,8 @@ void* ScratchArena::allocate(std::size_t bytes, std::size_t alignment) {
   const std::size_t start = align_up(base, alignment) - base;
   b.used = start + bytes;
   high_water_ = std::max(high_water_, used());
+  obs::gauge_max("rcr.arena.high_water_bytes",
+                 static_cast<double>(high_water_));
   return b.data.get() + start;
 }
 

@@ -1,5 +1,7 @@
 #include "rcr/rt/thread_pool.hpp"
 
+#include "rcr/obs/obs.hpp"
+
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
@@ -27,13 +29,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stop_ || workers_.empty())
       throw std::runtime_error("ThreadPool::submit: pool unavailable");
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  // Recorded outside the lock: the submitter, not the pool, pays for it.
+  obs::counter_add("rcr.runtime.tasks");
+  obs::histogram_observe("rcr.runtime.queue_depth",
+                         static_cast<double>(depth));
 }
 
 bool ThreadPool::on_worker_thread() { return tl_on_worker; }

@@ -1,5 +1,7 @@
 #include "rcr/signal/fft.hpp"
 
+#include "rcr/obs/obs.hpp"
+
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -100,7 +102,11 @@ struct Radix2Tables {
 
 std::shared_ptr<const Radix2Tables> radix2_tables(std::size_t n) {
   static TableCache<std::size_t, Radix2Tables> cache;
-  if (auto hit = cache.find(n)) return hit;
+  if (auto hit = cache.find(n)) {
+    obs::counter_add("rcr.fft.cache.hits");
+    return hit;
+  }
+  obs::counter_add("rcr.fft.cache.misses");
 
   // Generate outside any lock; concurrent first-touchers may duplicate the
   // work, but nobody blocks behind the trig loops.
@@ -160,7 +166,11 @@ struct BluesteinTables {
 std::shared_ptr<const BluesteinTables> bluestein_tables(std::size_t n,
                                                         bool inverse) {
   static TableCache<std::pair<std::size_t, bool>, BluesteinTables> cache;
-  if (auto hit = cache.find({n, inverse})) return hit;
+  if (auto hit = cache.find({n, inverse})) {
+    obs::counter_add("rcr.fft.cache.hits");
+    return hit;
+  }
+  obs::counter_add("rcr.fft.cache.misses");
 
   auto tables = std::make_shared<BluesteinTables>();
   const double sign = inverse ? 1.0 : -1.0;

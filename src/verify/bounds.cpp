@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "rcr/obs/obs.hpp"
 #include "rcr/robust/fallback.hpp"
 #include "rcr/robust/fault_injection.hpp"
 #include "rcr/robust/guards.hpp"
@@ -114,6 +115,7 @@ void relu_interval(double l, double u, double& al, double& au) {
 LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input) {
   net.validate();
   input.validate();
+  obs::Span span("verify.ibp");
   LayerBounds out;
   out.pre_activation.reserve(net.layers.size());
   Vec mu = input.center();
@@ -161,6 +163,8 @@ LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input) {
       out.output = pre;
     }
   }
+  obs::counter_add("rcr.verify.ibp_passes");
+  span.attr("layers", static_cast<double>(net.layers.size()));
   return out;
 }
 
@@ -358,6 +362,8 @@ struct CrownEngine {
 LayerBounds crown_bounds(const ReluNetwork& net, const Box& input) {
   net.validate();
   input.validate();
+  obs::Span span("verify.crown");
+  obs::counter_add("rcr.verify.crown_passes");
   CrownEngine engine{net, input, nullptr, nullptr, {}, false};
   return engine.run();
 }
@@ -366,6 +372,8 @@ LayerBounds crown_bounds_with_phases(const ReluNetwork& net, const Box& input,
                                      const PhaseAssignment& phases) {
   net.validate();
   input.validate();
+  obs::Span span("verify.crown");
+  obs::counter_add("rcr.verify.crown_passes");
   CrownEngine engine{net, input, &phases, nullptr, {}, false};
   return engine.run();
 }
@@ -379,6 +387,8 @@ LayerBounds crown_bounds_with_alpha(const ReluNetwork& net, const Box& input,
       if (a < 0.0 || a > 1.0)
         throw std::invalid_argument(
             "crown_bounds_with_alpha: alpha outside [0, 1]");
+  obs::Span span("verify.crown");
+  obs::counter_add("rcr.verify.crown_passes");
   CrownEngine engine{net, input, nullptr, &alpha, {}, false};
   return engine.run();
 }
@@ -398,7 +408,7 @@ bool box_finite(const Box& b) {
 }  // namespace
 
 RobustBounds compute_bounds_robust(const ReluNetwork& net, const Box& input) {
-  robust::FallbackChain<LayerBounds> chain;
+  robust::FallbackChain<LayerBounds> chain("bounds");
   chain.add("crown", robust::Soundness::kRelaxation,
             [&]() -> robust::Result<LayerBounds> {
               robust::Result<LayerBounds> r;

@@ -1,0 +1,234 @@
+// Chaos-suite extension for observability: fault injections and fallback
+// degradations must be *exactly* accounted for in the telemetry.
+//
+//  - Every injected fault increments rcr.faults.injected{site=...} once and
+//    emits exactly one annotated "fault.injected" instant span -- the
+//    injector's own per-site counters are the independent ground truth.
+//  - Every FallbackChain degradation step increments
+//    rcr.fallback.degraded{chain=...} once, for synthetic chains and for
+//    the real verify bounds chain under an injected CROWN fault.
+//
+// Runs under `ctest -L chaos`; failures print the RCR_FAULTS replay spec.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs_json.hpp"
+#include "rcr/obs/obs.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/lbfgs.hpp"
+#include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/trust_region.hpp"
+#include "rcr/pso/swarm.hpp"
+#include "rcr/robust/fallback.hpp"
+#include "rcr/robust/fault_injection.hpp"
+#include "rcr/verify/bounds.hpp"
+
+namespace rcr {
+namespace {
+
+namespace faults = robust::faults;
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("RCR_CHAOS_SEED"))
+    return std::strtoull(env, nullptr, 0);
+  return 20260806;
+}
+
+std::string spec_for(const std::string& sites) {
+  return "seed=" + std::to_string(chaos_seed()) + ",rate=1,sites=" + sites;
+}
+
+double labelled_counter(const std::string& name, const std::string& label) {
+  for (const obs::MetricSample& s : obs::metrics_snapshot())
+    if (s.name == name && s.label_value == label) return s.value;
+  return 0.0;
+}
+
+// Instant spans named `event` whose E carries args.<key> == value.
+std::uint64_t annotated_instants(const std::string& event,
+                                 const std::string& key,
+                                 const std::string& value) {
+  const obstest::JsonValue doc = obstest::parse_json(obs::trace_json());
+  std::uint64_t n = 0;
+  for (const obstest::JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("name").string != event || e.at("ph").string != "E") continue;
+    const obstest::JsonValue* args = e.find("args");
+    if (args != nullptr && args->has(key) && args->at(key).string == value)
+      ++n;
+  }
+  return n;
+}
+
+// ---- Small workloads that reliably trip their site at rate=1.
+
+void run_admm() {
+  num::Rng rng(3);
+  const num::Matrix p = opt::random_psd(4, 4, rng) + num::Matrix::identity(4);
+  opt::admm_box_qp(p, rng.normal_vec(4), Vec(4, -1.0), Vec(4, 1.0));
+}
+
+opt::Smooth rosenbrock() {
+  opt::Smooth f;
+  f.value = [](const Vec& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  f.gradient = [](const Vec& x) {
+    const double b = x[1] - x[0] * x[0];
+    return Vec{-2.0 * (1.0 - x[0]) - 400.0 * x[0] * b, 200.0 * b};
+  };
+  return f;
+}
+
+void run_lbfgs() { opt::lbfgs(rosenbrock(), Vec{-1.2, 1.0}); }
+
+void run_trust_region() {
+  opt::trust_region_bfgs(rosenbrock(), Vec{-1.2, 1.0});
+}
+
+void run_pso() {
+  pso::PsoConfig c;
+  c.swarm_size = 8;
+  c.max_iterations = 10;
+  c.seed = 2;
+  pso::minimize(pso::sphere(2), c);
+}
+
+struct SiteCase {
+  const char* site;
+  std::function<void()> workload;
+};
+
+TEST(ObsChaos, EveryInjectionTicksCounterAndInstantExactlyOnce) {
+  const std::vector<SiteCase> cases = {
+      {"admm.iterate.nan", run_admm},
+      {"admm.deadline", run_admm},
+      {"lbfgs.gradient.nan", run_lbfgs},
+      {"tr.step.nan", run_trust_region},
+      {"tr.deadline", run_trust_region},
+      {"pso.objective.nan", run_pso},  // keyed variant, parallel eval phase
+  };
+  for (const SiteCase& c : cases) {
+    obs::ScopedMetrics metrics;
+    obs::ScopedTrace trace;
+    faults::ScopedFaults scoped(spec_for(c.site));
+    SCOPED_TRACE("replay: RCR_FAULTS=\"" + faults::replay_spec() + "\"");
+    c.workload();
+    const std::uint64_t ground_truth = faults::injection_count(c.site);
+    ASSERT_GT(ground_truth, 0u) << c.site << " never fired";
+    EXPECT_EQ(labelled_counter("rcr.faults.injected", c.site),
+              double(ground_truth))
+        << c.site;
+    EXPECT_EQ(annotated_instants("fault.injected", "site", c.site),
+              ground_truth)
+        << c.site;
+  }
+}
+
+TEST(ObsChaos, LabelledCountersSumToTotalInjections) {
+  obs::ScopedMetrics metrics;
+  // The spec-string grammar cannot carry a comma list, so build the
+  // multi-family policy directly.
+  faults::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = chaos_seed();
+  cfg.rate = 1.0;
+  cfg.sites = "admm.*,tr.*,lbfgs.*";
+  faults::ScopedFaults scoped(cfg);
+  SCOPED_TRACE("replay: RCR_FAULTS=\"" + faults::replay_spec() + "\"");
+  run_admm();
+  run_trust_region();
+  run_lbfgs();
+  double labelled_sum = 0.0;
+  for (const obs::MetricSample& s : obs::metrics_snapshot())
+    if (s.name == "rcr.faults.injected") labelled_sum += s.value;
+  EXPECT_GT(faults::total_injections(), 0u);
+  EXPECT_EQ(labelled_sum, double(faults::total_injections()));
+}
+
+TEST(ObsChaos, SyntheticChainCountsOneDegradationPerFailedStep) {
+  obs::ScopedMetrics metrics;
+  obs::ScopedTrace trace;
+  robust::FallbackChain<int> chain("obs-test-chain");
+  chain
+      .add("tight", robust::Soundness::kExact,
+           [] {
+             robust::Result<int> r;
+             r.status = robust::make_status(
+                 robust::StatusCode::kNumericalFailure, "synthetic");
+             return r;
+           })
+      .add("looser", robust::Soundness::kRelaxation,
+           [] {
+             robust::Result<int> r;
+             r.status = robust::make_status(
+                 robust::StatusCode::kNonConverged, "synthetic");
+             return r;
+           })
+      .add("fallback", robust::Soundness::kHeuristic, [] {
+        robust::Result<int> r;
+        r.value = 42;
+        return r;
+      });
+  const robust::ChainOutcome<int> out = chain.run();
+  EXPECT_EQ(out.value, 42);
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_EQ(labelled_counter("rcr.fallback.degraded", "obs-test-chain"), 2.0);
+  EXPECT_EQ(annotated_instants("fallback.degraded", "chain", "obs-test-chain"),
+            2u);
+  // The chain's own span carries its identity and the winning step.
+  const obstest::JsonValue doc = obstest::parse_json(obs::trace_json());
+  bool saw_run_span = false;
+  for (const obstest::JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("name").string != "fallback.run" || e.at("ph").string != "E")
+      continue;
+    const obstest::JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    if (args->at("chain").string != "obs-test-chain") continue;
+    saw_run_span = true;
+    EXPECT_EQ(args->at("attempts").number, 3.0);
+    EXPECT_EQ(args->at("degraded").number, 1.0);
+    EXPECT_EQ(args->at("step").string, "fallback");
+  }
+  EXPECT_TRUE(saw_run_span);
+}
+
+TEST(ObsChaos, CleanFirstStepWinRecordsNoDegradation) {
+  obs::ScopedMetrics metrics;
+  robust::FallbackChain<int> chain("obs-clean-chain");
+  chain.add("only", robust::Soundness::kExact, [] {
+    robust::Result<int> r;
+    r.value = 1;
+    return r;
+  });
+  const robust::ChainOutcome<int> out = chain.run();
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(labelled_counter("rcr.fallback.degraded", "obs-clean-chain"), 0.0);
+}
+
+TEST(ObsChaos, RealBoundsChainDegradesUnderInjectedCrownFault) {
+  obs::ScopedMetrics metrics;
+  obs::ScopedTrace trace;
+  faults::ScopedFaults scoped(spec_for("verify.crown.nan"));
+  SCOPED_TRACE("replay: RCR_FAULTS=\"" + faults::replay_spec() + "\"");
+  num::Rng rng(6);
+  const verify::ReluNetwork net = verify::ReluNetwork::random({3, 6, 2}, rng);
+  const verify::Box input = verify::Box::around(rng.normal_vec(3), 0.2);
+  const verify::RobustBounds rb = verify::compute_bounds_robust(net, input);
+  ASSERT_GT(faults::injection_count("verify.crown.nan"), 0u);
+  // CROWN failed, the chain stepped down (to IBP), and telemetry saw it.
+  EXPECT_EQ(labelled_counter("rcr.fallback.degraded", "bounds"),
+            double(faults::injection_count("verify.crown.nan")));
+  EXPECT_GE(annotated_instants("fallback.degraded", "chain", "bounds"), 1u);
+  EXPECT_EQ(labelled_counter("rcr.faults.injected", "verify.crown.nan"),
+            double(faults::injection_count("verify.crown.nan")));
+  EXPECT_TRUE(rb.status.usable()) << rb.status.to_string();
+}
+
+}  // namespace
+}  // namespace rcr

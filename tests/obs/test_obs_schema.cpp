@@ -1,0 +1,201 @@
+// Golden-schema regression for the observability exports.
+//
+// Trace side: the export must be loadable by chrome://tracing -- every
+// event carries the required keys, ph is B or E, timestamps are monotone
+// per tid, and B/E pairs balance.  Metrics side: the JSON export is
+// validated field-by-field against the committed schema
+// tests/golden/obs_schema.json, which also pins the set of solver metric
+// names a canonical workload must produce -- renaming a counter (a
+// dashboard-breaking change) fails here first.
+//
+// Regenerate after an intentional change with:
+//   RCR_REGEN_GOLDEN=1 ctest -L golden -R obs
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs_json.hpp"
+#include "rcr/obs/obs.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/lbfgs.hpp"
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/opt/trust_region.hpp"
+#include "rcr/pso/swarm.hpp"
+#include "rcr/testkit/testkit.hpp"
+#include "rcr/verify/bounds.hpp"
+
+namespace rcr {
+namespace {
+
+std::string schema_path() {
+  return std::string(RCR_GOLDEN_DIR) + "/obs_schema.json";
+}
+
+// Solver metric families whose names the schema pins.  Runtime metrics
+// (queue depth, arena high-water, fft cache) are excluded: whether they
+// appear depends on pool size and cache state, not on the workload.
+bool is_pinned_family(const std::string& name) {
+  for (const char* prefix : {"rcr.admm.", "rcr.sdp.", "rcr.qcqp.",
+                             "rcr.lbfgs.", "rcr.tr.", "rcr.pso.",
+                             "rcr.verify."})
+    if (name.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
+// One deterministic pass over every instrumented solver family.
+void canonical_workload() {
+  num::Rng rng(17);
+  const num::Matrix p = opt::random_psd(5, 5, rng) + num::Matrix::identity(5);
+  opt::admm_box_qp(p, rng.normal_vec(5), Vec(5, -1.0), Vec(5, 1.0));
+
+  opt::Sdp sdp;
+  sdp.c = num::Matrix::diag({1.0, 2.0, 3.0});
+  sdp.a_eq.push_back(num::Matrix::identity(3));
+  sdp.b_eq.push_back(1.0);
+  opt::solve_sdp(sdp);
+
+  opt::solve_qcqp_barrier(opt::random_convex_qcqp(3, 2, 0, rng));
+
+  opt::Smooth f;
+  f.value = [](const Vec& x) { return x[0] * x[0] + x[1] * x[1]; };
+  f.gradient = [](const Vec& x) { return Vec{2.0 * x[0], 2.0 * x[1]}; };
+  opt::lbfgs(f, Vec{1.0, -2.0});
+  opt::trust_region_bfgs(f, Vec{1.0, -2.0});
+
+  pso::PsoConfig c;
+  c.swarm_size = 8;
+  c.max_iterations = 15;
+  c.seed = 17;
+  pso::minimize(pso::sphere(2), c);
+
+  const verify::ReluNetwork net = verify::ReluNetwork::random({3, 6, 2}, rng);
+  const verify::Box input = verify::Box::around(rng.normal_vec(3), 0.2);
+  verify::ibp_bounds(net, input);
+  verify::crown_bounds(net, input);
+}
+
+std::string slurp(const std::string& path) {
+  std::string out;
+  if (FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+  }
+  return out;
+}
+
+void regenerate_schema(const std::vector<obs::MetricSample>& snapshot) {
+  std::string out =
+      "{\n"
+      "  \"version\": 1,\n"
+      "  \"kinds\": {\n"
+      "    \"counter\": [\"name\", \"kind\", \"value\"],\n"
+      "    \"gauge\": [\"name\", \"kind\", \"value\"],\n"
+      "    \"histogram\": [\"name\", \"kind\", \"count\", \"sum\", "
+      "\"buckets\"]\n"
+      "  },\n"
+      "  \"required_metrics\": [";
+  std::set<std::string> names;
+  for (const obs::MetricSample& s : snapshot)
+    if (is_pinned_family(s.name)) names.insert(s.name);
+  bool first = true;
+  for (const std::string& name : names) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\"";
+  }
+  out += "\n  ]\n}\n";
+  FILE* f = std::fopen(schema_path().c_str(), "w");
+  ASSERT_NE(f, nullptr) << "cannot write " << schema_path();
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+TEST(ObsSchema, MetricsJsonMatchesCommittedSchema) {
+  obs::ScopedMetrics metrics;
+  canonical_workload();
+  const std::vector<obs::MetricSample> snapshot = obs::metrics_snapshot();
+  if (testkit::env_regen_golden()) {
+    regenerate_schema(snapshot);
+    SUCCEED() << "regenerated " << schema_path();
+  }
+  const std::string schema_text = slurp(schema_path());
+  ASSERT_FALSE(schema_text.empty()) << "missing golden: " << schema_path();
+  const obstest::JsonValue schema = obstest::parse_json(schema_text);
+  const obstest::JsonValue& kinds = schema.at("kinds");
+
+  // Field-by-field validation of the live export against the schema.
+  const obstest::JsonValue doc = obstest::parse_json(obs::metrics_json());
+  ASSERT_TRUE(doc.has("version"));
+  const obstest::JsonValue& exported = doc.at("metrics");
+  ASSERT_TRUE(exported.is_array());
+  ASSERT_FALSE(exported.array.empty());
+  std::set<std::string> exported_names;
+  for (const obstest::JsonValue& m : exported.array) {
+    ASSERT_TRUE(m.is_object());
+    const std::string name = m.at("name").string;
+    const std::string kind = m.at("kind").string;
+    exported_names.insert(name);
+    const obstest::JsonValue* required = kinds.find(kind);
+    ASSERT_NE(required, nullptr) << name << " has unknown kind " << kind;
+    for (const obstest::JsonValue& field : required->array)
+      EXPECT_TRUE(m.has(field.string))
+          << name << " (" << kind << ") lacks field " << field.string;
+    if (const obstest::JsonValue* labels = m.find("labels")) {
+      ASSERT_TRUE(labels->is_object()) << name;
+      EXPECT_EQ(labels->object.size(), 1u)
+          << name << ": exactly one label pair per cell";
+    }
+  }
+
+  // Every schema-pinned metric name must have been produced.
+  for (const obstest::JsonValue& required : schema.at("required_metrics").array)
+    EXPECT_TRUE(exported_names.count(required.string) == 1)
+        << "canonical workload no longer produces " << required.string
+        << " (rename? update tests/golden/obs_schema.json via "
+           "RCR_REGEN_GOLDEN=1)";
+}
+
+TEST(ObsSchema, TraceJsonIsWellFormedChromeTraceFormat) {
+  obs::ScopedTrace trace;
+  obs::ScopedMetrics metrics;
+  canonical_workload();
+  const obstest::JsonValue doc = obstest::parse_json(obs::trace_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.has("displayTimeUnit"));
+  const obstest::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.array.empty());
+
+  std::map<int, double> last_ts;
+  std::map<int, int> depth;
+  for (const obstest::JsonValue& e : events.array) {
+    ASSERT_TRUE(e.is_object());
+    // Required chrome trace-event keys.
+    for (const char* key : {"name", "cat", "ph", "ts", "pid", "tid"})
+      ASSERT_TRUE(e.has(key)) << "event lacks required key " << key;
+    const std::string ph = e.at("ph").string;
+    ASSERT_TRUE(ph == "B" || ph == "E") << "unexpected phase " << ph;
+    const int tid = static_cast<int>(e.at("tid").number);
+    const double ts = e.at("ts").number;
+    EXPECT_GE(ts, 0.0);
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "non-monotone ts on tid " << tid;
+    }
+    last_ts[tid] = ts;
+    depth[tid] += ph == "B" ? 1 : -1;
+    ASSERT_GE(depth[tid], 0) << "E before B on tid " << tid;
+  }
+  for (const auto& [tid, d] : depth)
+    EXPECT_EQ(d, 0) << "unmatched B/E pair on tid " << tid;
+}
+
+}  // namespace
+}  // namespace rcr

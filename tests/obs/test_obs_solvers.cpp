@@ -1,0 +1,377 @@
+// Solver-facing observability properties (the tentpole contract):
+//
+//  1. Disabled observability never perturbs a solver: results are
+//     bit-identical (testkit ULP oracle at 0 ulps) and the obs entry points
+//     make zero heap allocations (rcr_allocprobe).
+//  2. Armed observability is *also* bit-exact -- instrumentation reads
+//     solver state, it never feeds back into the arithmetic.
+//  3. Counter deltas equal independently recomputed ground truth: iteration
+//     counts, solve counts, evaluation counts from the returned results of
+//     seeded random workloads.
+//  4. Span streams are well-formed (stack-nested per thread).
+//  5. Metric merges are thread-schedule independent: the same workload under
+//     RCR_THREADS=1 and RCR_THREADS=4 serializes to identical solver
+//     counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs_json.hpp"
+#include "rcr/obs/obs.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/lbfgs.hpp"
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/opt/trust_region.hpp"
+#include "rcr/pso/swarm.hpp"
+#include "rcr/rt/alloc_probe.hpp"
+#include "rcr/rt/thread_pool.hpp"
+#include "rcr/testkit/ulp.hpp"
+#include "rcr/verify/bounds.hpp"
+
+namespace rcr {
+namespace {
+
+// Forces both obs subsystems off for a scope (robust to RCR_METRICS /
+// RCR_TRACE being armed in the environment, e.g. the CI obs job).
+class DisarmObs {
+ public:
+  DisarmObs()
+      : metrics_were_on_(obs::metrics_enabled()),
+        trace_was_on_(obs::trace_enabled()) {
+    obs::set_metrics_enabled(false);
+    obs::set_trace_enabled(false);
+  }
+  ~DisarmObs() {
+    obs::set_metrics_enabled(metrics_were_on_);
+    obs::set_trace_enabled(trace_was_on_);
+  }
+
+ private:
+  bool metrics_were_on_;
+  bool trace_was_on_;
+};
+
+double counter_value(const std::string& name) {
+  for (const obs::MetricSample& s : obs::metrics_snapshot())
+    if (s.name == name && s.label_key.empty()) return s.value;
+  return -1.0;
+}
+
+// ---- Seeded workloads.  Each returns its result so the caller can either
+// compare bits or recompute the expected counter deltas.
+
+opt::AdmmResult admm_workload(std::uint64_t seed) {
+  num::Rng rng(seed);
+  const num::Matrix p =
+      opt::random_psd(6, 6, rng) + num::Matrix::identity(6);
+  const Vec q = rng.normal_vec(6);
+  return opt::admm_box_qp(p, q, Vec(6, -1.0), Vec(6, 1.0));
+}
+
+opt::SdpResult sdp_workload() {
+  opt::Sdp p;
+  p.c = num::Matrix::diag({1.0, 2.0, 3.0});
+  p.a_eq.push_back(num::Matrix::identity(3));
+  p.b_eq.push_back(1.0);
+  return opt::solve_sdp(p);
+}
+
+opt::QcqpResult qcqp_workload(std::uint64_t seed) {
+  num::Rng rng(seed);
+  return opt::solve_qcqp_barrier(opt::random_convex_qcqp(3, 2, 0, rng));
+}
+
+opt::Smooth rosenbrock() {
+  opt::Smooth f;
+  f.value = [](const Vec& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  f.gradient = [](const Vec& x) {
+    const double b = x[1] - x[0] * x[0];
+    return Vec{-2.0 * (1.0 - x[0]) - 400.0 * x[0] * b, 200.0 * b};
+  };
+  return f;
+}
+
+pso::PsoResult pso_workload(std::uint64_t seed) {
+  pso::PsoConfig c;
+  c.swarm_size = 12;
+  c.max_iterations = 40;
+  c.seed = seed;
+  return pso::minimize(pso::sphere(3), c);
+}
+
+verify::LayerBounds crown_workload(std::uint64_t seed) {
+  num::Rng rng(seed);
+  const verify::ReluNetwork net = verify::ReluNetwork::random({3, 6, 4, 2}, rng);
+  const verify::Box input = verify::Box::around(rng.normal_vec(3), 0.2);
+  return verify::crown_bounds(net, input);
+}
+
+void expect_same_vec(const Vec& a, const Vec& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    testkit::expect_ulp(a[i], b[i], 0, what);
+}
+
+TEST(ObsSolvers, DisabledObsRunsAreBitIdentical) {
+  DisarmObs off;
+  const opt::AdmmResult a1 = admm_workload(7);
+  const opt::AdmmResult a2 = admm_workload(7);
+  expect_same_vec(a1.x, a2.x, "admm.x");
+  EXPECT_EQ(a1.iterations, a2.iterations);
+
+  const opt::MinimizeResult l1 = opt::lbfgs(rosenbrock(), Vec{-1.2, 1.0});
+  const opt::MinimizeResult l2 = opt::lbfgs(rosenbrock(), Vec{-1.2, 1.0});
+  expect_same_vec(l1.x, l2.x, "lbfgs.x");
+  testkit::expect_ulp(l1.value, l2.value, 0, "lbfgs.value");
+
+  const pso::PsoResult p1 = pso_workload(3);
+  const pso::PsoResult p2 = pso_workload(3);
+  expect_same_vec(p1.best_position, p2.best_position, "pso.best_position");
+  testkit::expect_ulp(p1.best_value, p2.best_value, 0, "pso.best_value");
+  EXPECT_EQ(p1.evaluations, p2.evaluations);
+}
+
+TEST(ObsSolvers, ArmedObsIsBitExactVersusDisabled) {
+  // Instrumentation must read results, never steer them: every solver
+  // output under full metrics+tracing matches the disarmed run to 0 ulps.
+  opt::AdmmResult admm_off, admm_on;
+  opt::SdpResult sdp_off, sdp_on;
+  opt::QcqpResult qcqp_off, qcqp_on;
+  opt::MinimizeResult tr_off, tr_on;
+  pso::PsoResult pso_off, pso_on;
+  verify::LayerBounds crown_off, crown_on;
+  {
+    DisarmObs off;
+    admm_off = admm_workload(11);
+    sdp_off = sdp_workload();
+    qcqp_off = qcqp_workload(11);
+    tr_off = opt::trust_region_bfgs(rosenbrock(), Vec{-1.2, 1.0});
+    pso_off = pso_workload(11);
+    crown_off = crown_workload(11);
+  }
+  {
+    obs::ScopedMetrics metrics;
+    obs::ScopedTrace trace;
+    admm_on = admm_workload(11);
+    sdp_on = sdp_workload();
+    qcqp_on = qcqp_workload(11);
+    tr_on = opt::trust_region_bfgs(rosenbrock(), Vec{-1.2, 1.0});
+    pso_on = pso_workload(11);
+    crown_on = crown_workload(11);
+  }
+  expect_same_vec(admm_off.x, admm_on.x, "admm.x armed-vs-off");
+  EXPECT_EQ(admm_off.iterations, admm_on.iterations);
+  EXPECT_EQ(sdp_off.iterations, sdp_on.iterations);
+  testkit::expect_ulp(sdp_off.objective, sdp_on.objective,
+                      0, "sdp.objective armed-vs-off");
+  expect_same_vec(qcqp_off.x, qcqp_on.x, "qcqp.x armed-vs-off");
+  EXPECT_EQ(qcqp_off.newton_iterations, qcqp_on.newton_iterations);
+  expect_same_vec(tr_off.x, tr_on.x, "tr.x armed-vs-off");
+  EXPECT_EQ(tr_off.iterations, tr_on.iterations);
+  expect_same_vec(pso_off.best_position, pso_on.best_position,
+                  "pso.best_position armed-vs-off");
+  EXPECT_EQ(pso_off.evaluations, pso_on.evaluations);
+  ASSERT_EQ(crown_off.pre_activation.size(), crown_on.pre_activation.size());
+  for (std::size_t i = 0; i < crown_off.pre_activation.size(); ++i) {
+    expect_same_vec(crown_off.pre_activation[i].lower,
+                    crown_on.pre_activation[i].lower,
+                    "crown.lower armed-vs-off");
+    expect_same_vec(crown_off.pre_activation[i].upper,
+                    crown_on.pre_activation[i].upper,
+                    "crown.upper armed-vs-off");
+  }
+  expect_same_vec(crown_off.output.lower, crown_on.output.lower,
+                  "crown.output.lower armed-vs-off");
+  expect_same_vec(crown_off.output.upper, crown_on.output.upper,
+                  "crown.output.upper armed-vs-off");
+}
+
+TEST(ObsSolvers, DisabledObsEntryPointsAllocateNothing) {
+  if (!rt::alloc_probe_active()) GTEST_SKIP() << "alloc probe not linked";
+  DisarmObs off;
+  // Warm up so lazy one-time setup elsewhere cannot pollute the window.
+  obs::counter_add("test.obs.solvers.warm");
+  {
+    const rt::AllocDelta delta;
+    for (int i = 0; i < 1000; ++i) {
+      obs::counter_add("test.obs.solvers.off");
+      obs::counter_add("test.obs.solvers.off", "site", "x");
+      obs::gauge_set("test.obs.solvers.gauge", double(i));
+      obs::gauge_max("test.obs.solvers.gauge", double(i));
+      obs::histogram_observe("test.obs.solvers.hist", double(i));
+      obs::Span span("test.obs.solvers.span");
+      span.attr("i", double(i));
+      span.attr_str("s", "v");
+      obs::instant("test.obs.solvers.instant", "k", "v");
+    }
+    EXPECT_EQ(delta.delta(), 0u)
+        << "disabled obs path allocated on the heap";
+  }
+}
+
+TEST(ObsSolvers, ArmedSteadyStateAddsNoAllocationsToAdmm) {
+  if (!rt::alloc_probe_active()) GTEST_SKIP() << "alloc probe not linked";
+  // After warm-up (cells registered, TL cache filled, ring buffer created)
+  // an armed run must allocate exactly as much as a disarmed run: the obs
+  // fast paths are allocation-free.
+  std::uint64_t allocs_off = 0;
+  std::uint64_t allocs_on = 0;
+  {
+    DisarmObs off;
+    admm_workload(5);  // warm the solver's own lazy state
+    const rt::AllocDelta delta;
+    admm_workload(5);
+    allocs_off = delta.delta();
+  }
+  {
+    obs::ScopedMetrics metrics;
+    obs::ScopedTrace trace;
+    admm_workload(5);  // warm: registers cells, fills TL cache + ring buffer
+    const rt::AllocDelta delta;
+    admm_workload(5);
+    allocs_on = delta.delta();
+  }
+  EXPECT_EQ(allocs_on, allocs_off)
+      << "armed obs steady state allocated on the admm hot path";
+}
+
+TEST(ObsSolvers, CounterDeltasMatchRecomputedIterationCounts) {
+  obs::ScopedMetrics metrics;
+
+  std::size_t admm_iters = 0;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull})
+    admm_iters += admm_workload(seed).iterations;
+  EXPECT_EQ(counter_value("rcr.admm.solves"), 3.0);
+  EXPECT_EQ(counter_value("rcr.admm.iterations"), double(admm_iters));
+
+  obs::reset_metrics();
+  const opt::SdpResult sdp = sdp_workload();
+  EXPECT_EQ(counter_value("rcr.sdp.solves"), 1.0);
+  EXPECT_EQ(counter_value("rcr.sdp.iterations"), double(sdp.iterations));
+
+  obs::reset_metrics();
+  std::size_t newton = 0;
+  for (std::uint64_t seed : {1ull, 2ull})
+    newton += qcqp_workload(seed).newton_iterations;
+  EXPECT_EQ(counter_value("rcr.qcqp.solves"), 2.0);
+  EXPECT_EQ(counter_value("rcr.qcqp.newton_iterations"), double(newton));
+
+  obs::reset_metrics();
+  const opt::MinimizeResult lb = opt::lbfgs(rosenbrock(), Vec{-1.2, 1.0});
+  EXPECT_EQ(counter_value("rcr.lbfgs.minimizes"), 1.0);
+  EXPECT_EQ(counter_value("rcr.lbfgs.iterations"), double(lb.iterations));
+
+  obs::reset_metrics();
+  const opt::MinimizeResult tr =
+      opt::trust_region_bfgs(rosenbrock(), Vec{-1.2, 1.0});
+  EXPECT_EQ(counter_value("rcr.tr.solves"), 1.0);
+  EXPECT_EQ(counter_value("rcr.tr.iterations"), double(tr.iterations));
+
+  obs::reset_metrics();
+  const pso::PsoResult ps = pso_workload(9);
+  EXPECT_EQ(counter_value("rcr.pso.solves"), 1.0);
+  EXPECT_EQ(counter_value("rcr.pso.generations"), double(ps.iterations));
+  EXPECT_EQ(counter_value("rcr.pso.evaluations"), double(ps.evaluations));
+
+  obs::reset_metrics();
+  num::Rng rng(4);
+  const verify::ReluNetwork net =
+      verify::ReluNetwork::random({3, 6, 2}, rng);
+  const verify::Box input = verify::Box::around(rng.normal_vec(3), 0.2);
+  verify::ibp_bounds(net, input);
+  EXPECT_EQ(counter_value("rcr.verify.ibp_passes"), 1.0);
+  verify::crown_bounds(net, input);
+  EXPECT_EQ(counter_value("rcr.verify.crown_passes"), 1.0);
+  // CROWN seeds its pre-activation intervals with an IBP sweep, so the IBP
+  // pass counter ticks once more under it.
+  EXPECT_EQ(counter_value("rcr.verify.ibp_passes"), 2.0);
+}
+
+TEST(ObsSolvers, SpanStreamIsWellFormedAcrossSolvers) {
+  obs::ScopedMetrics metrics;
+  obs::ScopedTrace trace;
+  admm_workload(2);
+  sdp_workload();
+  crown_workload(2);
+  pso_workload(2);
+  const obstest::JsonValue doc = obstest::parse_json(obs::trace_json());
+  const obstest::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.array.empty());
+
+  // Per-tid stack discipline: every E closes the most recent open B of the
+  // same name, and all stacks drain to empty.
+  std::map<int, std::vector<std::string>> stacks;
+  std::map<std::string, int> begins;
+  bool crown_nested_ibp = false;
+  for (const obstest::JsonValue& e : events.array) {
+    const std::string name = e.at("name").string;
+    const std::string ph = e.at("ph").string;
+    const int tid = static_cast<int>(e.at("tid").number);
+    auto& stack = stacks[tid];
+    if (ph == "B") {
+      if (name == "verify.ibp" && !stack.empty() &&
+          stack.back() == "verify.crown")
+        crown_nested_ibp = true;
+      stack.push_back(name);
+      ++begins[name];
+    } else {
+      ASSERT_EQ(ph, "E");
+      ASSERT_FALSE(stack.empty()) << "E without B: " << name;
+      EXPECT_EQ(stack.back(), name) << "interleaved spans on tid " << tid;
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks)
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  EXPECT_EQ(begins["admm.box_qp"], 1);
+  EXPECT_EQ(begins["sdp.solve"], 1);
+  EXPECT_EQ(begins["verify.crown"], 1);
+  EXPECT_EQ(begins["pso.minimize"], 1);
+  EXPECT_TRUE(crown_nested_ibp)
+      << "verify.ibp span did not nest under verify.crown";
+}
+
+TEST(ObsSolvers, MetricMergesAreThreadCountIndependent) {
+  // The same PSO workload (its evaluation phase fans out on the global
+  // pool) must serialize to identical solver counters whether the pool has
+  // 1 or 4 threads -- metric merges carry no schedule dependence.
+  const std::size_t threads_before = rt::global_threads();
+  auto solver_counters = [] {
+    std::map<std::string, double> out;
+    for (const obs::MetricSample& s : obs::metrics_snapshot())
+      if (s.name.rfind("rcr.pso.", 0) == 0 ||
+          s.name.rfind("rcr.admm.", 0) == 0)
+        out[s.name] = s.value;
+    return out;
+  };
+
+  std::map<std::string, double> serial, parallel4;
+  {
+    obs::ScopedMetrics metrics;
+    rt::set_global_threads(1);
+    pso_workload(21);
+    admm_workload(21);
+    serial = solver_counters();
+  }
+  {
+    obs::ScopedMetrics metrics;
+    rt::set_global_threads(4);
+    pso_workload(21);
+    admm_workload(21);
+    parallel4 = solver_counters();
+  }
+  rt::set_global_threads(threads_before);
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_GT(serial.at("rcr.pso.evaluations"), 0.0);
+}
+
+}  // namespace
+}  // namespace rcr

@@ -1,0 +1,300 @@
+// rcr::obs tracing spans: B/E pairing, scope nesting, attributes, instants,
+// the drop-newest-whole-spans policy at buffer capacity, monotonic
+// timestamps per thread, and the chrome://tracing JSON export shape.
+//
+// Every case runs under ScopedTrace (arm + clear) and extracts events by
+// parsing trace_json() with the test-local JSON DOM, i.e. the assertions go
+// through the same export path chrome://tracing consumes.
+#include "rcr/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs_json.hpp"
+
+namespace rcr::obs {
+namespace {
+
+struct Event {
+  std::string name;
+  std::string ph;
+  double ts = 0.0;
+  int tid = 0;
+  const obstest::JsonValue* args = nullptr;
+};
+
+// Parses trace_json() into flat events; asserts the document envelope.
+std::vector<Event> exported_events(const obstest::JsonValue& doc) {
+  EXPECT_TRUE(doc.is_object());
+  const obstest::JsonValue& events = doc.at("traceEvents");
+  EXPECT_TRUE(events.is_array());
+  std::vector<Event> out;
+  out.reserve(events.array.size());
+  for (const obstest::JsonValue& e : events.array) {
+    Event ev;
+    ev.name = e.at("name").string;
+    ev.ph = e.at("ph").string;
+    ev.ts = e.at("ts").number;
+    ev.tid = static_cast<int>(e.at("tid").number);
+    ev.args = e.find("args");
+    out.push_back(ev);
+  }
+  return out;
+}
+
+TEST(Trace, DisabledSpanIsInertAndRecordsNothing) {
+  if (std::getenv("RCR_TRACE") != nullptr)
+    GTEST_SKIP() << "RCR_TRACE armed tracing at startup";
+  ASSERT_FALSE(trace_enabled());
+  const std::uint64_t before = trace_event_count();
+  {
+    Span span("test.trace.disabled");
+    EXPECT_FALSE(span.armed());
+    span.attr("ignored", 1.0);
+    span.attr_str("also", "ignored");
+  }
+  instant("test.trace.disabled.instant", "k", "v");
+  EXPECT_EQ(trace_event_count(), before);
+}
+
+TEST(Trace, SpansEmitMatchedBeginEndPairs) {
+  ScopedTrace scope;
+  {
+    Span outer("test.trace.outer");
+    EXPECT_TRUE(outer.armed());
+    { Span inner("test.trace.inner"); }
+  }
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  ASSERT_EQ(events.size(), 4u);
+  // Chronological order on one thread: B outer, B inner, E inner, E outer.
+  EXPECT_EQ(events[0].ph, "B");
+  EXPECT_EQ(events[0].name, "test.trace.outer");
+  EXPECT_EQ(events[1].ph, "B");
+  EXPECT_EQ(events[1].name, "test.trace.inner");
+  EXPECT_EQ(events[2].ph, "E");
+  EXPECT_EQ(events[2].name, "test.trace.inner");
+  EXPECT_EQ(events[3].ph, "E");
+  EXPECT_EQ(events[3].name, "test.trace.outer");
+}
+
+TEST(Trace, AttributesRideOnTheEndEvent) {
+  ScopedTrace scope;
+  {
+    Span span("test.trace.attrs");
+    span.attr("iterations", 17.0);
+    span.attr("converged", 1.0);
+    span.attr_str("chain", "box-qp");
+  }
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].args, nullptr);  // B carries no args
+  ASSERT_NE(events[1].args, nullptr);
+  EXPECT_DOUBLE_EQ(events[1].args->at("iterations").number, 17.0);
+  EXPECT_DOUBLE_EQ(events[1].args->at("converged").number, 1.0);
+  EXPECT_EQ(events[1].args->at("chain").string, "box-qp");
+}
+
+TEST(Trace, AttributeOverflowIsSilentlyDropped) {
+  ScopedTrace scope;
+  {
+    Span span("test.trace.overflow");
+    for (int i = 0; i < detail::kMaxNumAttrs + 3; ++i)
+      span.attr("n", double(i));
+    span.attr_str("s0", "a");
+    span.attr_str("s1", "b");
+    span.attr_str("s2", "dropped");
+    // Long values truncate to kStrAttrLen-1 chars rather than overflowing.
+    std::string long_value(200, 'x');
+    Span other("test.trace.truncate");
+    other.attr_str("long", long_value.c_str());
+  }
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  ASSERT_EQ(events.size(), 4u);
+  // Inner "truncate" span closes first.
+  ASSERT_NE(events[2].args, nullptr);
+  EXPECT_EQ(events[2].args->at("long").string,
+            std::string(detail::kStrAttrLen - 1, 'x'));
+  ASSERT_NE(events[3].args, nullptr);
+  EXPECT_EQ(events[3].args->object.size(),
+            static_cast<std::size_t>(detail::kMaxNumAttrs + 2));
+  EXPECT_FALSE(events[3].args->has("s2"));
+}
+
+TEST(Trace, InstantEmitsAnAnnotatedZeroDurationPair) {
+  ScopedTrace scope;
+  instant("test.trace.instant", "site", "admm.iterate.nan");
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, "B");
+  EXPECT_EQ(events[1].ph, "E");
+  EXPECT_EQ(events[0].name, "test.trace.instant");
+  EXPECT_EQ(events[0].ts, events[1].ts);
+  ASSERT_NE(events[1].args, nullptr);
+  EXPECT_EQ(events[1].args->at("site").string, "admm.iterate.nan");
+}
+
+TEST(Trace, TimestampsAreMonotonicPerThread) {
+  ScopedTrace scope;
+  for (int i = 0; i < 50; ++i) {
+    Span span("test.trace.mono");
+  }
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  ASSERT_EQ(events.size(), 100u);
+  std::map<int, double> last_ts;
+  for (const Event& e : events) {
+    const auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts, it->second) << e.name;
+    }
+    last_ts[e.tid] = e.ts;
+  }
+}
+
+TEST(Trace, ThreadsGetDistinctTidsAndBalancedPairs) {
+  ScopedTrace scope;
+  constexpr int kThreads = 3;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      for (int i = 0; i < 10; ++i) {
+        Span span("test.trace.worker");
+        span.attr("i", double(i));
+      }
+    });
+  for (auto& w : workers) w.join();
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  std::map<int, int> depth_by_tid;
+  std::map<int, int> events_by_tid;
+  for (const Event& e : events) {
+    ++events_by_tid[e.tid];
+    depth_by_tid[e.tid] += e.ph == "B" ? 1 : -1;
+    EXPECT_GE(depth_by_tid[e.tid], 0) << "E before B on tid " << e.tid;
+  }
+  EXPECT_EQ(events_by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, depth] : depth_by_tid)
+    EXPECT_EQ(depth, 0) << "unbalanced B/E on tid " << tid;
+}
+
+TEST(Trace, BufferFullDropsWholeSpansKeepingPairsMatched) {
+  ScopedTrace scope;
+  set_trace_buffer_capacity(8);  // applies to buffers created from now on
+  const std::uint64_t dropped_before = trace_dropped();
+  std::thread worker([] {
+    // 16 sequential spans want 32 slots; only 4 whole spans fit in 8.
+    for (int i = 0; i < 16; ++i) {
+      Span span("test.trace.tiny");
+    }
+  });
+  worker.join();
+  set_trace_buffer_capacity(16384);  // restore default for later cases
+  EXPECT_GT(trace_dropped(), dropped_before);
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  // Every surviving event pairs up: equal B and E counts, never negative
+  // depth, and the count matches the capacity (8 events = 4 whole spans).
+  int depth = 0;
+  int n_tiny = 0;
+  for (const Event& e : events) {
+    if (e.name != "test.trace.tiny") continue;
+    ++n_tiny;
+    depth += e.ph == "B" ? 1 : -1;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(n_tiny, 8);
+}
+
+TEST(Trace, NestedSpanSurvivesWhenBufferFillsMidFlight) {
+  ScopedTrace scope;
+  set_trace_buffer_capacity(6);
+  std::thread worker([] {
+    Span outer("test.trace.keepalive");  // takes 1 slot + 1 reserved
+    for (int i = 0; i < 10; ++i) {
+      Span inner("test.trace.filler");
+    }
+    outer.attr("survived", 1.0);
+  });
+  worker.join();
+  set_trace_buffer_capacity(16384);
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  int keepalive_b = 0, keepalive_e = 0;
+  int depth = 0;
+  for (const Event& e : events) {
+    depth += e.ph == "B" ? 1 : -1;
+    ASSERT_GE(depth, 0);
+    if (e.name == "test.trace.keepalive") {
+      if (e.ph == "B") ++keepalive_b;
+      if (e.ph == "E") {
+        ++keepalive_e;
+        ASSERT_NE(e.args, nullptr);
+        EXPECT_DOUBLE_EQ(e.args->at("survived").number, 1.0);
+      }
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  // The outer span reserved its end slot up front, so it must have closed
+  // cleanly even though the fillers exhausted the buffer.
+  EXPECT_EQ(keepalive_b, 1);
+  EXPECT_EQ(keepalive_e, 1);
+}
+
+TEST(Trace, ResetClearsBuffersAndDropCount) {
+  ScopedTrace scope;
+  { Span span("test.trace.reset"); }
+  EXPECT_GT(trace_event_count(), 0u);
+  reset_trace();
+  EXPECT_EQ(trace_event_count(), 0u);
+  EXPECT_EQ(trace_dropped(), 0u);
+  const obstest::JsonValue doc = obstest::parse_json(trace_json());
+  const auto events = exported_events(doc);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Trace, WriteTraceExpandsPidAndEmitsValidJson) {
+  ScopedTrace scope;
+  { Span span("test.trace.file"); }
+  ASSERT_TRUE(write_trace("obs_test_trace_%p.json"));
+  const std::string file =
+      "obs_test_trace_" + std::to_string(static_cast<long>(::getpid())) +
+      ".json";
+  std::string text;
+  if (FILE* f = std::fopen(file.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(file.c_str());
+  ASSERT_FALSE(text.empty()) << "pid expansion failed";
+  const obstest::JsonValue file_doc = obstest::parse_json(text);
+  const auto events = exported_events(file_doc);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "test.trace.file");
+}
+
+TEST(Trace, ScopedTraceRestoresPriorState) {
+  const bool before = trace_enabled();
+  {
+    ScopedTrace scope;
+    EXPECT_TRUE(trace_enabled());
+  }
+  EXPECT_EQ(trace_enabled(), before);
+}
+
+}  // namespace
+}  // namespace rcr::obs
