@@ -1,0 +1,204 @@
+// SIMD kernel layer + structure-exploiting solver fast paths.
+//
+// Two layers of measurement:
+//
+//   kernels   rcr::rt::simd primitives (dot, axpy, matmul, matvec, FFT)
+//             timed on the active dispatch table and again under
+//             ForceScalarGuard -- the intra-run vectorization gain.
+//   solvers   the obs-bench ADMM / SDP workload (same Rng(7) draw, same
+//             sizes) in its default configuration and in the opt-in fast
+//             configurations: mixed-precision refinement for the box-QP,
+//             and structured KKT + warm-started thresholded PSD projection
+//             + workspace reuse for the SDP.
+//
+// When a previous harness JSON is reachable (RCR_BENCH_BASELINE, default
+// BENCH_perf_obs.json), matching records gain "speedup_vs" against it; the
+// headline sdp_admm/fast record is additionally compared against the
+// sdp_admm/off baseline (or this run's own off measurement when no file is
+// present) -- the number the >= 4x acceptance gate reads.  Writes
+// BENCH_perf_simd.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/obs/obs.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/rt/simd.hpp"
+#include "rcr/signal/fft.hpp"
+
+namespace {
+
+using rcr::Vec;
+using rcr::num::Matrix;
+using rcr::num::Rng;
+namespace simd = rcr::rt::simd;
+
+// Kernel timings should price the arithmetic, not the dispatch telemetry.
+class DisarmObs {
+ public:
+  DisarmObs()
+      : metrics_(rcr::obs::metrics_enabled()),
+        trace_(rcr::obs::trace_enabled()) {
+    rcr::obs::set_metrics_enabled(false);
+    rcr::obs::set_trace_enabled(false);
+  }
+  ~DisarmObs() {
+    rcr::obs::set_metrics_enabled(metrics_);
+    rcr::obs::set_trace_enabled(trace_);
+  }
+
+ private:
+  bool metrics_;
+  bool trace_;
+};
+
+volatile double g_sink = 0.0;
+
+}  // namespace
+
+int main() {
+  const bool smoke = rcr::bench::smoke_mode();
+  const int reps = smoke ? 3 : 12;
+  std::printf("=== simd kernels (path=%s, threads=%zu%s) ===\n\n",
+              simd::path_name(), rcr::rt::global_threads(),
+              smoke ? ", smoke" : "");
+
+  rcr::bench::Harness h("simd_kernels");
+  const char* base_env = std::getenv("RCR_BENCH_BASELINE");
+  const std::string base_path =
+      base_env != nullptr ? base_env : "BENCH_perf_obs.json";
+  if (h.set_baseline(base_path, base_path))
+    std::printf("baseline: %s\n\n", base_path.c_str());
+
+  DisarmObs off;
+  Rng rng(7);
+
+  // --- kernel layer: active table vs forced-scalar -----------------------
+  {
+    const std::size_t len = smoke ? 1024 : 4096;
+    const Vec a = rng.normal_vec(len);
+    const Vec b = rng.normal_vec(len);
+    Vec c(len, 0.0);
+    const std::string size = "len=" + std::to_string(len);
+    const int kreps = reps * 64;
+
+    const auto dot = [&] {
+      g_sink = simd::active().dot_seq(0.0, a.data(), b.data(), len);
+    };
+    const auto axpy = [&] {
+      simd::active().axpy(1.0 + 1e-9, a.data(), c.data(), len);
+    };
+    h.run("dot/simd", size, kreps, dot);
+    h.run("axpy/simd", size, kreps, axpy);
+    {
+      simd::ForceScalarGuard scalar;
+      h.run("dot/scalar", size, kreps, dot);
+      h.run("axpy/scalar", size, kreps, axpy);
+    }
+  }
+  {
+    const std::size_t n = smoke ? 48 : 96;
+    Rng mrng(11);
+    const Matrix ma = rcr::opt::random_psd(n, n, mrng);
+    const Matrix mb = rcr::opt::random_psd(n, n, mrng);
+    Matrix mc(n, n);
+    Vec x = mrng.normal_vec(n);
+    Vec y(n, 0.0);
+    const std::string size = "n=" + std::to_string(n);
+
+    const auto matmul = [&] { rcr::num::multiply_into(ma, mb, mc); };
+    const auto matvec = [&] { rcr::num::matvec_into(ma, x, y); };
+    h.run("matmul/simd", size, reps, matmul);
+    h.run("matvec/simd", size, reps * 16, matvec);
+    {
+      simd::ForceScalarGuard scalar;
+      h.run("matmul/scalar", size, reps, matmul);
+      h.run("matvec/scalar", size, reps * 16, matvec);
+    }
+  }
+  {
+    const std::size_t n = smoke ? 1024 : 8192;
+    Rng frng(13);
+    rcr::sig::CVec sig(n);
+    for (auto& v : sig) v = {frng.normal(), frng.normal()};
+    rcr::sig::FftWorkspace fws;
+    rcr::sig::CVec work;
+    const std::string size = "n=" + std::to_string(n);
+
+    const auto fft = [&] {
+      work = sig;
+      rcr::sig::fft_inplace(work, fws);
+    };
+    h.run("fft/simd", size, reps * 4, fft);
+    {
+      simd::ForceScalarGuard scalar;
+      h.run("fft/scalar", size, reps * 4, fft);
+    }
+  }
+
+  // --- solver layer: the obs-bench workload, default vs fast configs -----
+  // Same generator stream as bench_obs_overhead (Rng(7), box-QP drawn
+  // first) so the sdp_admm/off record here is directly comparable to the
+  // pre-optimization baseline JSON.
+  {
+    const std::size_t n = smoke ? 24 : 64;
+    const Matrix p = rcr::opt::random_psd(n, n, rng) + Matrix::identity(n);
+    const Vec q = rng.normal_vec(n);
+    const Vec lo(n, -1.0), hi(n, 1.0);
+    const std::string size = "n=" + std::to_string(n);
+
+    h.run("admm_boxqp/off", size, reps,
+          [&] { rcr::opt::admm_box_qp(p, q, lo, hi); });
+    rcr::opt::AdmmOptions mixed;
+    mixed.mixed_precision = true;
+    h.run("admm_boxqp/mixed", size, reps,
+          [&] { rcr::opt::admm_box_qp(p, q, lo, hi, mixed); });
+  }
+  {
+    const std::size_t n = smoke ? 6 : 12;
+    rcr::opt::Sdp problem;
+    problem.c = rcr::opt::random_psd(n, n, rng) - Matrix::identity(n);
+    problem.a_eq.push_back(Matrix::identity(n));
+    problem.b_eq.push_back(1.0);
+    const std::string size = "n=" + std::to_string(n);
+    rcr::opt::SdpOptions options;
+    options.max_iterations = smoke ? 500 : 2000;
+
+    const rcr::bench::Record& offrec =
+        h.run("sdp_admm/off", size, reps,
+              [&] { rcr::opt::solve_sdp(problem, options); });
+    const double off_ns = offrec.ns_op;
+
+    rcr::opt::SdpOptions fast = options;
+    fast.exploit_structure = true;
+    fast.warm_start_projection = true;
+    fast.projection_rotation_threshold = 1e-9;
+    rcr::opt::SdpWorkspace ws;
+    bool converged = true;
+    rcr::bench::Record& fastrec =
+        h.run("sdp_admm/fast", size, reps, [&] {
+          converged = rcr::opt::solve_sdp(problem, fast, ws).converged;
+        });
+    // The acceptance gate compares the combined fast path against the
+    // pre-optimization default; fall back to this run's own off record
+    // when no baseline file is attached.
+    double gate_base = 0.0;
+    for (const auto& e : rcr::bench::load_baseline(base_path))
+      if (e.kernel == "sdp_admm/off" && e.size == size) gate_base = e.ns_op;
+    fastrec.baseline_ns = gate_base > 0.0 ? gate_base : off_ns;
+
+    std::printf("sdp_admm/fast %s: %.2fx vs baseline %.0f ns/op, "
+                "%.1f allocs/op, converged=%d\n\n",
+                size.c_str(), fastrec.speedup_vs(), fastrec.baseline_ns,
+                fastrec.allocs_op, converged ? 1 : 0);
+  }
+
+  h.print_table();
+  std::printf("\n%s\n", h.to_json().c_str());
+  return h.write_json("BENCH_perf_simd.json") ? 0 : 1;
+}

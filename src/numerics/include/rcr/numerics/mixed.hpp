@@ -1,0 +1,55 @@
+// Mixed-precision linear solves: an fp32 LU factorization whose cheap
+// triangular solves are corrected by fp64 residual-based iterative
+// refinement (classic Wilkinson refinement).  The opt-in fast path behind
+// the solvers' `mixed_precision` options -- the fp64 paths stay the default
+// and are bit-identical with the option off.
+//
+// Contract: refine_solve targets a *residual tolerance*, not bit identity
+// with the fp64 LU solve.  The fp32 kernels ride the SIMD layer's
+// reassociating class; callers must treat the result like any other
+// iterative solver output.  When the fp32 factorization is singular (an
+// ill-conditioned matrix can underflow to singularity in fp32 while staying
+// solvable in fp64) or refinement stalls, callers fall back to fp64.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rcr/numerics/matrix.hpp"
+
+namespace rcr::num {
+
+/// fp32 LU factorization with partial pivoting, PA = LU packed in `lu`.
+struct FloatLu {
+  std::size_t n = 0;
+  std::vector<float> lu;           ///< Row-major n x n, L below / U on+above.
+  std::vector<std::size_t> perm;   ///< Row permutation (pivoting).
+  bool singular = false;           ///< An exact-zero pivot was hit.
+
+  /// x = A^-1 b via forward/back substitution in fp32.
+  /// Requires b.size() == x.size() == n and !singular.
+  void solve_into(const std::vector<float>& b, std::vector<float>& x) const;
+};
+
+/// Factor `a` (converted to fp32) in place into `out`, reusing its storage.
+void float_lu_into(const Matrix& a, FloatLu& out);
+
+/// Allocating convenience wrapper around float_lu_into.
+FloatLu float_lu(const Matrix& a);
+
+/// Buffers reused across refine_solve calls.
+struct RefineWorkspace {
+  std::vector<float> bf, xf;  ///< fp32 right-hand side / solution staging.
+  Vec r;                      ///< fp64 residual.
+  Vec ax;                     ///< fp64 A*x staging.
+};
+
+/// Solve a x = b with the fp32 factor `f` plus fp64 iterative refinement:
+/// repeat x += A^-1_f32 (b - A x) until ||b - A x||_inf <= tol * (1 +
+/// ||b||_inf).  Returns the number of refinement corrections performed
+/// (>= 1) on success, or -1 when refinement stalls or diverges (non-finite
+/// or non-decreasing residual) -- the caller should redo the solve in fp64.
+int refine_solve(const Matrix& a, const FloatLu& f, const Vec& b, Vec& x,
+                 double tol, int max_iters, RefineWorkspace& ws);
+
+}  // namespace rcr::num

@@ -5,8 +5,11 @@
 #include <stdexcept>
 
 #include "rcr/rt/parallel.hpp"
+#include "rcr/rt/simd.hpp"
 
 namespace rcr::num {
+
+namespace simd = rcr::rt::simd;
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -134,18 +137,20 @@ void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   require_same_shape(*this, rhs, "Matrix+=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  simd::active().add(data_.data(), rhs.data_.data(), data_.data(),
+                     data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
   require_same_shape(*this, rhs, "Matrix-=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  simd::active().sub(data_.data(), rhs.data_.data(), data_.data(),
+                     data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (double& v : data_) v *= s;
+  simd::active().scale(data_.data(), s, data_.data(), data_.size());
   return *this;
 }
 
@@ -160,8 +165,8 @@ namespace {
 constexpr std::size_t kRowGrain = 16;
 constexpr std::size_t kKBlock = 64;
 
-void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out, std::size_t i0,
-                 std::size_t i1) {
+void matmul_rows(const simd::Kernels& K, const Matrix& a, const Matrix& b,
+                 Matrix& out, std::size_t i0, std::size_t i1) {
   const std::size_t inner = a.cols();
   const std::size_t nj = b.cols();
   const double* pa = a.data().data();
@@ -173,9 +178,9 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out, std::size_t i0,
       const double* arow = pa + i * inner;
       double* orow = po + i * nj;
       for (std::size_t k = k0; k < k1; ++k) {
-        const double aik = arow[k];
-        const double* brow = pb + k * nj;
-        for (std::size_t j = 0; j < nj; ++j) orow[j] += aik * brow[j];
+        // The j-lane axpy is lane-independent, so the vector path writes the
+        // same bits as the scalar loop; k stays ascending per element.
+        K.axpy(arow[k], pb + k * nj, orow, nj);
       }
     }
   }
@@ -193,9 +198,10 @@ void multiply_into(const Matrix& a, const Matrix& b, Matrix& out) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("Matrix*: inner dimension mismatch");
   out.assign(a.rows(), b.cols(), 0.0);
+  const simd::Kernels& K = simd::active();
   rt::parallel_for(0, a.rows(), kRowGrain,
                    [&](std::size_t i0, std::size_t i1) {
-                     matmul_rows(a, b, out, i0, i1);
+                     matmul_rows(K, a, b, out, i0, i1);
                    });
 }
 
@@ -211,6 +217,7 @@ Matrix multiply_sparse(const Matrix& a, const Matrix& b) {
   Matrix out(a.rows(), b.cols());
   const std::size_t inner = a.cols();
   const std::size_t nj = b.cols();
+  const simd::Kernels& K = simd::active();
   rt::parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i0, std::size_t i1) {
     const double* pb = b.data().data();
     for (std::size_t i = i0; i < i1; ++i) {
@@ -218,8 +225,7 @@ Matrix multiply_sparse(const Matrix& a, const Matrix& b) {
       for (std::size_t k = 0; k < inner; ++k) {
         const double aik = a(i, k);
         if (aik == 0.0) continue;
-        const double* brow = pb + k * nj;
-        for (std::size_t j = 0; j < nj; ++j) orow[j] += aik * brow[j];
+        K.axpy(aik, pb + k * nj, orow, nj);
       }
     }
   });
@@ -239,6 +245,7 @@ void multiply_at_b_into(const Matrix& a, const Matrix& b, Matrix& out) {
   const std::size_t inner = a.rows();
   const std::size_t na = a.cols();
   const std::size_t nj = b.cols();
+  const simd::Kernels& K = simd::active();
   rt::parallel_for(0, na, kRowGrain, [&](std::size_t i0, std::size_t i1) {
     const double* pa = a.data().data();
     const double* pb = b.data().data();
@@ -248,9 +255,7 @@ void multiply_at_b_into(const Matrix& a, const Matrix& b, Matrix& out) {
       for (std::size_t i = i0; i < i1; ++i) {
         double* orow = po + i * nj;
         for (std::size_t k = k0; k < k1; ++k) {
-          const double aki = pa[k * na + i];
-          const double* brow = pb + k * nj;
-          for (std::size_t j = 0; j < nj; ++j) orow[j] += aki * brow[j];
+          K.axpy(pa[k * na + i], pb + k * nj, orow, nj);
         }
       }
     }
@@ -269,6 +274,7 @@ void multiply_abt_into(const Matrix& a, const Matrix& b, Matrix& out) {
   out.assign(a.rows(), b.rows(), 0.0);
   const std::size_t inner = a.cols();
   const std::size_t nj = b.rows();
+  const simd::Kernels& K = simd::active();
   rt::parallel_for(0, a.rows(), kRowGrain, [&](std::size_t i0, std::size_t i1) {
     const double* pa = a.data().data();
     const double* pb = b.data().data();
@@ -276,10 +282,7 @@ void multiply_abt_into(const Matrix& a, const Matrix& b, Matrix& out) {
       const double* arow = pa + i * inner;
       double* orow = out.data().data() + i * nj;
       for (std::size_t j = 0; j < nj; ++j) {
-        const double* brow = pb + j * inner;
-        double acc = 0.0;
-        for (std::size_t k = 0; k < inner; ++k) acc += arow[k] * brow[k];
-        orow[j] = acc;
+        orow[j] = K.dot_seq(0.0, arow, pb + j * inner, inner);
       }
     }
   });
@@ -295,12 +298,11 @@ void matvec_into(const Matrix& a, const Vec& x, Vec& y) {
   if (a.cols() != x.size())
     throw std::invalid_argument("matvec: dimension mismatch");
   y.assign(a.rows(), 0.0);
+  const simd::Kernels& K = simd::active();
   rt::parallel_for(0, a.rows(), 128, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t i = i0; i < i1; ++i) {
       const double* arow = a.data().data() + i * a.cols();
-      double acc = 0.0;
-      for (std::size_t j = 0; j < a.cols(); ++j) acc += arow[j] * x[j];
-      y[i] = acc;
+      y[i] = K.dot_seq(0.0, arow, x.data(), a.cols());
     }
   });
 }
@@ -315,8 +317,9 @@ void matvec_transposed_into(const Matrix& a, const Vec& x, Vec& y) {
   if (a.rows() != x.size())
     throw std::invalid_argument("matvec_transposed: dimension mismatch");
   y.assign(a.cols(), 0.0);
+  const simd::Kernels& K = simd::active();
   for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * x[i];
+    K.axpy(x[i], a.data().data() + i * a.cols(), y.data(), a.cols());
 }
 
 double quad_form(const Vec& x, const Matrix& a, const Vec& y) {

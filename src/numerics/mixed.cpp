@@ -1,0 +1,118 @@
+#include "rcr/numerics/mixed.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rcr/rt/simd.hpp"
+
+namespace rcr::num {
+
+namespace simd = rcr::rt::simd;
+
+void float_lu_into(const Matrix& a, FloatLu& out) {
+  if (!a.square()) throw std::invalid_argument("float_lu: not square");
+  const std::size_t n = a.rows();
+  const simd::Kernels& K = simd::active();
+  out.n = n;
+  out.singular = false;
+  out.lu.resize(n * n);
+  out.perm.resize(n);
+  K.to_float(a.data().data(), out.lu.data(), n * n);
+  for (std::size_t i = 0; i < n; ++i) out.perm[i] = i;
+
+  float* lu = out.lu.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting on column k.
+    std::size_t piv = k;
+    float best = std::abs(lu[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const float v = std::abs(lu[i * n + k]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0f) {
+      out.singular = true;
+      return;
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu[k * n + j], lu[piv * n + j]);
+      std::swap(out.perm[k], out.perm[piv]);
+    }
+    const float pivot = lu[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const float lik = lu[i * n + k] / pivot;
+      lu[i * n + k] = lik;
+      K.saxpy(-lik, lu + k * n + k + 1, lu + i * n + k + 1, n - k - 1);
+    }
+  }
+}
+
+FloatLu float_lu(const Matrix& a) {
+  FloatLu f;
+  float_lu_into(a, f);
+  return f;
+}
+
+void FloatLu::solve_into(const std::vector<float>& b,
+                         std::vector<float>& x) const {
+  if (singular) throw std::invalid_argument("FloatLu::solve: singular");
+  if (b.size() != n) throw std::invalid_argument("FloatLu::solve: size");
+  const simd::Kernels& K = simd::active();
+  x.resize(n);
+  const float* plu = lu.data();
+  // Forward: L y = P b (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = b[perm[i]] - K.sdot_reassoc(plu + i * n, x.data(), i);
+  // Back: U x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    const float s =
+        K.sdot_reassoc(plu + i * n + i + 1, x.data() + i + 1, n - i - 1);
+    x[i] = (x[i] - s) / plu[i * n + i];
+  }
+}
+
+int refine_solve(const Matrix& a, const FloatLu& f, const Vec& b, Vec& x,
+                 double tol, int max_iters, RefineWorkspace& ws) {
+  const std::size_t n = b.size();
+  if (f.singular || f.n != n)
+    throw std::invalid_argument("refine_solve: bad factor");
+  const simd::Kernels& K = simd::active();
+
+  double bnorm = 0.0;
+  for (double v : b) bnorm = std::max(bnorm, std::abs(v));
+  const double target = tol * (1.0 + bnorm);
+
+  // Initial fp32 solve, widened to fp64.
+  ws.bf.resize(n);
+  K.to_float(b.data(), ws.bf.data(), n);
+  f.solve_into(ws.bf, ws.xf);
+  x.resize(n);
+  K.to_double(ws.xf.data(), x.data(), n);
+
+  double prev = std::numeric_limits<double>::infinity();
+  for (int it = 1; it <= max_iters; ++it) {
+    // fp64 residual r = b - A x.
+    matvec_into(a, x, ws.ax);
+    ws.r.resize(n);
+    K.sub(b.data(), ws.ax.data(), ws.r.data(), n);
+    double rnorm = 0.0;
+    for (double v : ws.r) rnorm = std::max(rnorm, std::abs(v));
+    if (!std::isfinite(rnorm)) return -1;
+    if (rnorm <= target) return it;
+    // Stalled: fp32 precision exhausted without meeting the fp64 target.
+    if (rnorm >= 0.5 * prev) return -1;
+    prev = rnorm;
+    // Correct with an fp32 solve of the residual system.
+    K.to_float(ws.r.data(), ws.bf.data(), n);
+    f.solve_into(ws.bf, ws.xf);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] += static_cast<double>(ws.xf[i]);
+  }
+  return -1;
+}
+
+}  // namespace rcr::num

@@ -4,7 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rcr/rt/simd.hpp"
+
 namespace rcr::num {
+
+namespace simd = rcr::rt::simd;
 
 namespace {
 void require_same_size(const Vec& a, const Vec& b, const char* op) {
@@ -19,33 +23,33 @@ void require_same_size(const Vec& a, const Vec& b, const char* op) {
 Vec add(const Vec& a, const Vec& b) {
   require_same_size(a, b, "add");
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  simd::active().add(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 
 Vec sub(const Vec& a, const Vec& b) {
   require_same_size(a, b, "sub");
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  simd::active().sub(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 
 Vec scale(const Vec& a, double s) {
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  simd::active().scale(a.data(), s, out.data(), a.size());
   return out;
 }
 
 void axpy(double s, const Vec& x, Vec& y) {
   require_same_size(x, y, "axpy");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+  simd::active().axpy(s, x.data(), y.data(), x.size());
 }
 
 double dot(const Vec& a, const Vec& b) {
   require_same_size(a, b, "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  // dot_seq keeps the scalar accumulation order: callers observe the same
+  // bits whichever path is active.
+  return simd::active().dot_seq(0.0, a.data(), b.data(), a.size());
 }
 
 double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
@@ -67,7 +71,7 @@ double distance(const Vec& a, const Vec& b) { return norm2(sub(a, b)); }
 Vec hadamard(const Vec& a, const Vec& b) {
   require_same_size(a, b, "hadamard");
   Vec out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  simd::active().mul(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 

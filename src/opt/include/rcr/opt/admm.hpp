@@ -8,6 +8,7 @@
 #pragma once
 
 #include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/mixed.hpp"
 #include "rcr/opt/quadratic.hpp"
 #include "rcr/robust/budget.hpp"
 #include "rcr/robust/status.hpp"
@@ -26,6 +27,12 @@ struct AdmmOptions {
   /// Recovery ladder for a singular P + rho I: escalating diagonal ridge,
   /// then rho backoff (x10) with the ridge ladder re-run.  0 disables.
   std::size_t max_factor_retries = 4;
+  /// Opt-in mixed-precision x-update: fp32 triangular solves corrected by
+  /// fp64 iterative refinement (num::refine_solve).  Requires a factor
+  /// built with mixed=true.  Off by default; the fp64 path is bit-identical
+  /// with this off.  Iterations where refinement stalls fall back to the
+  /// fp64 factor transparently (see AdmmResult::refine_iterations).
+  bool mixed_precision = false;
 };
 
 /// Cached x-update operator for admm_box_qp: the LU factors of P + rho I.
@@ -35,17 +42,24 @@ struct AdmmOptions {
 struct BoxQpFactor {
   num::LuDecomposition factor;  ///< LU of P + rho I.
   double rho = 0.0;             ///< The rho the factor was built with.
+  /// Mixed-precision extension (populated when built with mixed=true): the
+  /// shifted matrix in fp64 for residual evaluation plus its fp32 factor.
+  bool mixed = false;
+  Matrix pshift;          ///< P + (rho + ridge) I.
+  num::FloatLu factor_f;  ///< fp32 LU of pshift.
 };
 
 /// Factor P + rho I for the box-QP x-update.  Throws std::runtime_error when
-/// P + rho I is singular (P not PSD).
-BoxQpFactor prefactor_box_qp(const Matrix& p, double rho);
+/// P + rho I is singular (P not PSD).  `mixed` additionally builds the fp32
+/// factor consumed by AdmmOptions::mixed_precision.
+BoxQpFactor prefactor_box_qp(const Matrix& p, double rho, bool mixed = false);
 
 /// Non-throwing factor: status kSingular (with the factor left unusable)
 /// instead of the throw.  `ridge` adds an extra diagonal shift beyond rho
 /// (the escalating-regularization retry path).
 robust::Result<BoxQpFactor> try_prefactor_box_qp(const Matrix& p, double rho,
-                                                 double ridge = 0.0);
+                                                 double ridge = 0.0,
+                                                 bool mixed = false);
 
 /// Cached x-update operator for admm_lasso: the LU factors of A^T A + rho I.
 /// The Gram product is the dominant setup cost; building it once amortizes
@@ -70,6 +84,9 @@ struct AdmmResult {
   /// expiry, kSingular/kDegraded through the factor-recovery ladder.  The
   /// trail records every recovery step taken.
   robust::Status status;
+  /// Total fp64 refinement corrections across all iterations (0 unless
+  /// mixed_precision ran).
+  std::size_t refine_iterations = 0;
 };
 
 /// Box-constrained QP:

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/eigen.hpp"
+#include "rcr/numerics/mixed.hpp"
 #include "rcr/opt/quadratic.hpp"
 #include "rcr/robust/budget.hpp"
 #include "rcr/robust/status.hpp"
@@ -42,6 +45,48 @@ struct SdpOptions {
   /// escalating diagonal ridge on the KKT matrix.  0 disables, in which
   /// case a singular KKT system yields status kSingular immediately.
   std::size_t max_kkt_retries = 4;
+  /// Reuse the previous iterate's eigenbasis to precondition each PSD
+  /// projection (near-diagonal Jacobi input after the first few iterations).
+  /// Off by default: the warm path reassociates, so results are close but
+  /// not bit-identical to the cold projection.
+  bool warm_start_projection = false;
+  /// Skip Jacobi rotations whose off-diagonal is below threshold * scale
+  /// inside the projection (see num::PsdProjectOptions::rotation_threshold).
+  /// 0 keeps the exact legacy sweep.
+  double projection_rotation_threshold = 0.0;
+  /// Solve the per-iteration KKT system with an fp32 LU factor plus fp64
+  /// iterative refinement (num::refine_solve).  Off by default; the fp64
+  /// path is bit-identical with this off.  Ignored when exploit_structure
+  /// is set (the m x m Schur solve is already cheap in fp64).  Falls back
+  /// to fp64 when the fp32 factor is singular or refinement stalls.
+  bool mixed_precision = false;
+  /// Exploit the arrow structure of the KKT system [rho*I, M^T; M, 0]:
+  /// eliminate the block-diagonal to an m x m Schur complement
+  /// (M M^T / rho + ridge*I) instead of factoring the dense
+  /// (n^2 + m_in + m)-square system.  Same linear system, different
+  /// factorization -- results are close but not bit-identical.
+  bool exploit_structure = false;
+};
+
+/// Iteration-persistent buffers for solve_sdp.  Reusing one workspace across
+/// repeated solves removes every steady-state heap allocation except the
+/// result matrix and the (once-per-solve) factorization copies.  A workspace
+/// carries the warm-start eigenbasis between solves; call reset() when
+/// switching to an unrelated problem (stale bases are still correct -- any
+/// orthonormal frame is -- they just cost extra Jacobi sweeps).
+struct SdpWorkspace {
+  num::PsdProjectWorkspace projection;
+  num::LuDecomposition kkt;      ///< Dense KKT factor.
+  num::FloatLu kkt_f;            ///< fp32 KKT factor (mixed_precision).
+  num::RefineWorkspace refine;
+  num::LuDecomposition gram_lu;  ///< Schur-complement factor (structured).
+  Matrix big;                    ///< Dense KKT matrix.
+  Matrix mrows;                  ///< m x dim_y affine rows (structured).
+  Matrix gram;                   ///< m x m Schur complement (structured).
+  Matrix xw, xp;                 ///< PSD-projection staging.
+  Vec cvec, d, z, u, y, rhs, sol, w, z_next;
+  Vec t_small, lambda_small, mty;  ///< Structured-solve staging.
+  void reset() { projection.reset(); }
 };
 
 /// Solver outcome.
@@ -51,6 +96,9 @@ struct SdpResult {
   double primal_residual = 0.0;  ///< Constraint + cone violation at exit.
   std::size_t iterations = 0;
   bool converged = false;
+  /// Total fp64 refinement corrections across all KKT solves (0 unless
+  /// mixed_precision was on and the fp32 path was used).
+  std::size_t refine_iterations = 0;
   /// Runtime disposition: kOk on convergence, kNonConverged on iteration
   /// exhaustion, kDegraded when the KKT ridge ladder had to fire (trail
   /// records each rung), kSingular when it was exhausted,
@@ -63,6 +111,11 @@ struct SdpResult {
 /// quadratic, KKT factorized once) alternating with projection onto
 /// PSD-cone x nonnegative-slack.
 SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options = {});
+
+/// Workspace-reusing overload: repeated solves through the same workspace
+/// allocate only the result matrix and the per-solve factorization.
+SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
+                    SdpWorkspace& ws);
 
 /// Shor semidefinite relaxation of a QCQP: lift to
 /// X = [1, x^T; x, x x^T] >= 0, drop the rank-1 constraint.  Objective and

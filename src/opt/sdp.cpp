@@ -28,7 +28,8 @@ void Sdp::validate() const {
       throw std::invalid_argument("Sdp: A_in shape mismatch");
 }
 
-SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
+SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
+                    SdpWorkspace& ws) {
   problem.validate();
   obs::Span span("sdp.solve");
   const std::size_t n = problem.dim();
@@ -38,96 +39,174 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
   const std::size_t dim_y = nn + m_in;        // [vec(X); slacks]
   const std::size_t m = m_eq + m_in;          // affine rows
   const double rho = options.rho;
+  const bool structured = options.exploit_structure;
 
-  // Stack the affine system M y = d.
-  Matrix big(dim_y + m, dim_y + m);
-  for (std::size_t i = 0; i < dim_y; ++i) big(i, i) = rho;
-  auto fill_row = [&](std::size_t row, const Matrix& a_mat, bool with_slack,
-                      std::size_t slack_index) {
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j) {
-        big(dim_y + row, i * n + j) = a_mat(i, j);
-        big(i * n + j, dim_y + row) = a_mat(i, j);
-      }
-    if (with_slack) {
-      big(dim_y + row, nn + slack_index) = 1.0;
-      big(nn + slack_index, dim_y + row) = 1.0;
-    }
-  };
-  Vec d(m);
-  for (std::size_t i = 0; i < m_eq; ++i) {
-    fill_row(i, problem.a_eq[i], false, 0);
-    d[i] = problem.b_eq[i];
-  }
-  for (std::size_t j = 0; j < m_in; ++j) {
-    fill_row(m_eq + j, problem.a_in[j], true, j);
-    d[m_eq + j] = problem.b_in[j];
-  }
   SdpResult result;
-
-  // Factor the KKT system.  A degenerate (rank-deficient) constraint set
-  // makes it singular; instead of aborting, regularize the multiplier block
-  // with an escalating ridge -- the damped least-squares multiplier.  Each
-  // rung is recorded in the degradation trail.
   const bool faults_on = robust::faults::enabled();
-  auto factor_kkt = [&](double ridge) {
-    for (std::size_t i = 0; i < m; ++i) big(dim_y + i, dim_y + i) = -ridge;
-    num::LuDecomposition f = num::lu_decompose(big);
-    if (faults_on && robust::faults::should_inject("sdp.kkt.singular"))
-      f.singular = true;
-    return f;
+
+  ws.d.assign(m, 0.0);
+  for (std::size_t i = 0; i < m_eq; ++i) ws.d[i] = problem.b_eq[i];
+  for (std::size_t j = 0; j < m_in; ++j) ws.d[m_eq + j] = problem.b_in[j];
+
+  // Unrecoverable degeneracy: report instead of aborting.  X = 0 is PSD,
+  // so even this worst case hands back a valid (if useless) point.
+  auto fail_singular = [&]() {
+    result.status.code = robust::StatusCode::kSingular;
+    result.status.detail =
+        "degenerate constraint system: KKT singular after " +
+        std::to_string(options.max_kkt_retries) + " ridge retries";
+    result.x = Matrix(n, n);
+    double viol0 = 0.0;
+    for (std::size_t i = 0; i < m_eq; ++i)
+      viol0 = std::max(viol0, std::abs(problem.b_eq[i]));
+    for (std::size_t j = 0; j < m_in; ++j)
+      viol0 = std::max(viol0, -problem.b_in[j]);
+    result.primal_residual = viol0;
+    obs::counter_add("rcr.sdp.solves");
+    span.attr("iterations", 0.0);
+    span.attr("converged", 0.0);
+    span.attr("primal_residual", result.primal_residual);
+    return result;
   };
-  num::LuDecomposition kkt = factor_kkt(0.0);
-  if (kkt.singular) {
-    double ridge = 1e-10 * (1.0 + big.max_abs());
-    for (std::size_t attempt = 0;
-         attempt < options.max_kkt_retries && kkt.singular; ++attempt) {
-      result.status.note(
-          "KKT factorization singular (degenerate constraint system); "
-          "retrying with least-squares multiplier ridge=" +
-          std::to_string(ridge));
-      kkt = factor_kkt(ridge);
-      ridge *= 1e4;
-    }
-    if (kkt.singular) {
-      // Unrecoverable: report instead of aborting.  X = 0 is PSD, so even
-      // this worst case hands back a valid (if useless) point.
-      result.status.code = robust::StatusCode::kSingular;
+
+  // Factor the affine-step system.  A degenerate (rank-deficient) constraint
+  // set makes it singular; instead of aborting, regularize the multiplier
+  // block with an escalating ridge -- the damped least-squares multiplier.
+  // Each rung is recorded in the degradation trail.
+  if (!structured) {
+    // Dense KKT: stack M y = d into [rho*I, M^T; M, -ridge*I].
+    ws.big.assign(dim_y + m, dim_y + m, 0.0);
+    for (std::size_t i = 0; i < dim_y; ++i) ws.big(i, i) = rho;
+    auto fill_row = [&](std::size_t row, const Matrix& a_mat, bool with_slack,
+                        std::size_t slack_index) {
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+          ws.big(dim_y + row, i * n + j) = a_mat(i, j);
+          ws.big(i * n + j, dim_y + row) = a_mat(i, j);
+        }
+      if (with_slack) {
+        ws.big(dim_y + row, nn + slack_index) = 1.0;
+        ws.big(nn + slack_index, dim_y + row) = 1.0;
+      }
+    };
+    for (std::size_t i = 0; i < m_eq; ++i)
+      fill_row(i, problem.a_eq[i], false, 0);
+    for (std::size_t j = 0; j < m_in; ++j)
+      fill_row(m_eq + j, problem.a_in[j], true, j);
+
+    auto factor_kkt = [&](double ridge) {
+      for (std::size_t i = 0; i < m; ++i) ws.big(dim_y + i, dim_y + i) = -ridge;
+      num::lu_decompose_into(ws.big, ws.kkt);
+      if (faults_on && robust::faults::should_inject("sdp.kkt.singular"))
+        ws.kkt.singular = true;
+    };
+    factor_kkt(0.0);
+    if (ws.kkt.singular) {
+      double ridge = 1e-10 * (1.0 + ws.big.max_abs());
+      for (std::size_t attempt = 0;
+           attempt < options.max_kkt_retries && ws.kkt.singular; ++attempt) {
+        result.status.note(
+            "KKT factorization singular (degenerate constraint system); "
+            "retrying with least-squares multiplier ridge=" +
+            std::to_string(ridge));
+        factor_kkt(ridge);
+        ridge *= 1e4;
+      }
+      if (ws.kkt.singular) return fail_singular();
+      result.status.code = robust::StatusCode::kDegraded;
       result.status.detail =
-          "degenerate constraint system: KKT singular after " +
-          std::to_string(options.max_kkt_retries) + " ridge retries";
-      result.x = Matrix(n, n);
-      double viol0 = 0.0;
-      for (std::size_t i = 0; i < m_eq; ++i)
-        viol0 = std::max(viol0, std::abs(problem.b_eq[i]));
-      for (std::size_t j = 0; j < m_in; ++j)
-        viol0 = std::max(viol0, -problem.b_in[j]);
-      result.primal_residual = viol0;
-      obs::counter_add("rcr.sdp.solves");
-      span.attr("iterations", 0.0);
-      span.attr("converged", 0.0);
-      span.attr("primal_residual", result.primal_residual);
-      return result;
+          "KKT system regularized (least-squares multiplier)";
     }
-    result.status.code = robust::StatusCode::kDegraded;
-    result.status.detail = "KKT system regularized (least-squares multiplier)";
+  } else {
+    // Structured: the KKT matrix is an arrow -- rho*I over the whole y
+    // block -- so eliminating it leaves the m x m Schur complement
+    // G = M M^T / rho + ridge*I.  Only the affine rows M are materialized;
+    // per-iteration work drops from a (dim_y + m)-square triangular solve
+    // to two thin matvecs and an m x m solve.
+    ws.mrows.assign(m, dim_y, 0.0);
+    for (std::size_t r = 0; r < m_eq; ++r) {
+      const Matrix& a_mat = problem.a_eq[r];
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          ws.mrows(r, i * n + j) = a_mat(i, j);
+    }
+    for (std::size_t s = 0; s < m_in; ++s) {
+      const Matrix& a_mat = problem.a_in[s];
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          ws.mrows(m_eq + s, i * n + j) = a_mat(i, j);
+      ws.mrows(m_eq + s, nn + s) = 1.0;
+    }
+    if (m > 0) {
+      auto factor_gram = [&](double ridge) {
+        num::multiply_abt_into(ws.mrows, ws.mrows, ws.gram);
+        for (std::size_t i = 0; i < m; ++i)
+          for (std::size_t j = 0; j < m; ++j) ws.gram(i, j) /= rho;
+        for (std::size_t i = 0; i < m; ++i) ws.gram(i, i) += ridge;
+        num::lu_decompose_into(ws.gram, ws.gram_lu);
+        if (faults_on && robust::faults::should_inject("sdp.kkt.singular"))
+          ws.gram_lu.singular = true;
+      };
+      factor_gram(0.0);
+      if (ws.gram_lu.singular) {
+        double ridge = 1e-10 * (1.0 + ws.gram.max_abs());
+        for (std::size_t attempt = 0;
+             attempt < options.max_kkt_retries && ws.gram_lu.singular;
+             ++attempt) {
+          result.status.note(
+              "KKT factorization singular (degenerate constraint system); "
+              "retrying with least-squares multiplier ridge=" +
+              std::to_string(ridge));
+          factor_gram(ridge);
+          ridge *= 1e4;
+        }
+        if (ws.gram_lu.singular) return fail_singular();
+        result.status.code = robust::StatusCode::kDegraded;
+        result.status.detail =
+            "KKT system regularized (least-squares multiplier)";
+      }
+    }
   }
 
-  Vec cvec(dim_y, 0.0);
+  // Opt-in mixed precision on the dense path: fp32 LU of the KKT matrix,
+  // fp64 residual refinement per solve.  Degrades to fp64 when fp32
+  // underflows the factorization to singularity.
+  bool use_mixed = false;
+  if (options.mixed_precision && !structured) {
+    num::float_lu_into(ws.big, ws.kkt_f);
+    if (ws.kkt_f.singular)
+      result.status.note("fp32 KKT factor singular; running fp64 solves");
+    else
+      use_mixed = true;
+  }
+  constexpr double kRefineTol = 1e-12;
+  constexpr int kRefineMaxIters = 8;
+  bool refine_stalled = false;
+
+  ws.cvec.assign(dim_y, 0.0);
   for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j) cvec[i * n + j] = problem.c(i, j);
+    for (std::size_t j = 0; j < n; ++j) ws.cvec[i * n + j] = problem.c(i, j);
 
-  Vec z(dim_y, 0.0);
-  Vec u(dim_y, 0.0);
-  Vec y(dim_y, 0.0);
-  Vec rhs(dim_y + m, 0.0);
+  ws.z.assign(dim_y, 0.0);
+  ws.u.assign(dim_y, 0.0);
+  ws.y.assign(dim_y, 0.0);
+  ws.rhs.assign(structured ? dim_y : dim_y + m, 0.0);
+  ws.w.assign(dim_y, 0.0);
+  ws.z_next.assign(dim_y, 0.0);
+  ws.xw.assign(n, n, 0.0);
+  Vec& cvec = ws.cvec;
+  Vec& d = ws.d;
+  Vec& z = ws.z;
+  Vec& u = ws.u;
+  Vec& y = ws.y;
+  Vec& rhs = ws.rhs;
+  Vec& w = ws.w;
+  Vec& z_next = ws.z_next;
+  Matrix& xw = ws.xw;
 
-  // Iteration-persistent workspaces: only the PSD projection's internal
-  // eigendecomposition still allocates inside the loop.
-  Vec sol;
-  Vec w(dim_y);
-  Matrix xw(n, n);
-  Vec z_next(dim_y);
+  num::PsdProjectOptions popts;
+  popts.warm_start = options.warm_start_projection;
+  popts.rotation_threshold = options.projection_rotation_threshold;
 
   const double scale = 1.0 + problem.c.max_abs() + num::norm_inf(d);
 
@@ -142,17 +221,54 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
     // y-update: min c^T y + rho/2 ||y - z + u||^2  s.t.  M y = d.
     for (std::size_t i = 0; i < dim_y; ++i)
       rhs[i] = rho * (z[i] - u[i]) - cvec[i];
-    for (std::size_t i = 0; i < m; ++i) rhs[dim_y + i] = d[i];
-    kkt.solve_into(rhs, sol);
-    if (faults_on && !sol.empty() &&
-        robust::faults::should_inject("sdp.iterate.nan"))
-      sol[0] = std::numeric_limits<double>::quiet_NaN();
+    if (!structured) {
+      for (std::size_t i = 0; i < m; ++i) rhs[dim_y + i] = d[i];
+      if (use_mixed) {
+        const int refined =
+            num::refine_solve(ws.big, ws.kkt_f, rhs, ws.sol, kRefineTol,
+                              kRefineMaxIters, ws.refine);
+        if (refined < 0) {
+          if (!refine_stalled) {
+            result.status.note(
+                "mixed-precision refinement stalled at iteration " +
+                std::to_string(it + 1) + "; fp64 fallback for this solve");
+            refine_stalled = true;
+          }
+          ws.kkt.solve_into(rhs, ws.sol);
+        } else {
+          result.refine_iterations += static_cast<std::size_t>(refined);
+        }
+      } else {
+        ws.kkt.solve_into(rhs, ws.sol);
+      }
+      if (faults_on && !ws.sol.empty() &&
+          robust::faults::should_inject("sdp.iterate.nan"))
+        ws.sol[0] = std::numeric_limits<double>::quiet_NaN();
+      for (std::size_t i = 0; i < dim_y; ++i) y[i] = ws.sol[i];
+    } else {
+      if (m > 0) {
+        // lambda from (M M^T / rho + ridge*I) lambda = M rhs1 / rho - d,
+        // then y = (rhs1 - M^T lambda) / rho.
+        num::matvec_into(ws.mrows, rhs, ws.t_small);
+        for (std::size_t i = 0; i < m; ++i)
+          ws.t_small[i] = ws.t_small[i] / rho - d[i];
+        ws.gram_lu.solve_into(ws.t_small, ws.lambda_small);
+        num::matvec_transposed_into(ws.mrows, ws.lambda_small, ws.mty);
+        for (std::size_t i = 0; i < dim_y; ++i)
+          y[i] = (rhs[i] - ws.mty[i]) / rho;
+      } else {
+        for (std::size_t i = 0; i < dim_y; ++i) y[i] = rhs[i] / rho;
+      }
+      if (faults_on && dim_y > 0 &&
+          robust::faults::should_inject("sdp.iterate.nan"))
+        y[0] = std::numeric_limits<double>::quiet_NaN();
+    }
     // NaN/Inf sentinel BEFORE the PSD projection: feeding a poisoned iterate
     // to the eigendecomposition would waste a full sweep budget on garbage.
     // z still holds the last clean projected iterate, so stop on it.
     bool finite = true;
     for (std::size_t i = 0; i < dim_y; ++i)
-      if (!std::isfinite(sol[i])) {
+      if (!std::isfinite(y[i])) {
         finite = false;
         break;
       }
@@ -164,15 +280,14 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
       result.iterations = it + 1;
       break;
     }
-    for (std::size_t i = 0; i < dim_y; ++i) y[i] = sol[i];
 
     // z-update: project y + u onto PSD-cone x nonnegative-orthant.
     for (std::size_t i = 0; i < dim_y; ++i) w[i] = y[i] + u[i];
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = 0; j < n; ++j) xw(i, j) = w[i * n + j];
-    const Matrix xp = num::project_psd(xw);
+    num::project_psd_into(xw, ws.projection, ws.xp, popts);
     for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = 0; j < n; ++j) z_next[i * n + j] = xp(i, j);
+      for (std::size_t j = 0; j < n; ++j) z_next[i * n + j] = ws.xp(i, j);
     for (std::size_t k = 0; k < m_in; ++k)
       z_next[nn + k] = std::max(0.0, w[nn + k]);
 
@@ -226,10 +341,17 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
   result.primal_residual = viol;
   obs::counter_add("rcr.sdp.solves");
   obs::counter_add("rcr.sdp.iterations", result.iterations);
+  if (result.refine_iterations > 0)
+    obs::counter_add("rcr.sdp.refine_iters", result.refine_iterations);
   span.attr("iterations", static_cast<double>(result.iterations));
   span.attr("converged", result.converged ? 1.0 : 0.0);
   span.attr("primal_residual", result.primal_residual);
   return result;
+}
+
+SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options) {
+  SdpWorkspace ws;
+  return solve_sdp(problem, options, ws);
 }
 
 namespace {

@@ -1,0 +1,130 @@
+// Portable vectorized kernel layer for the numerics hot loops.
+//
+// The repo's determinism contract (DESIGN.md Sec. 6-7, 12) splits the
+// kernels into two classes:
+//
+//  * bit-exact kernels -- lane-independent elementwise ops, paired plane
+//    rotations, FFT butterflies, and the *_seq reductions (SIMD products,
+//    scalar-ordered adds).  Their vectorized forms perform the identical
+//    sequence of IEEE roundings as the scalar fallback, so the active path
+//    may change between builds/machines without changing a single output
+//    bit.  These back the default solver paths.
+//
+//  * reassociating kernels (`dot_reassoc`, the fp32 kernels) -- lane-strided
+//    accumulation reorders the sum, so results match the scalar fallback
+//    only to a few ULPs.  These are used exclusively by opt-in paths
+//    (mixed-precision refinement) whose contract is a residual tolerance,
+//    never bit identity.
+//
+// Path selection: the best compiled path (AVX2 on x86-64, NEON on aarch64,
+// scalar otherwise) is picked once per process, guarded by a runtime CPU
+// feature check and the RCR_SIMD environment variable (RCR_SIMD=off|0|scalar
+// forces the scalar table).  ForceScalarGuard overrides per thread for
+// differential tests.  All kernels take unaligned pointers (the backing
+// stores are std::vector / ScratchArena blocks with 16-byte alignment; the
+// vector paths use unaligned loads, so alignment is a performance hint, not
+// a contract).
+//
+// NaN/Inf caveat: `butterfly`'s vector path uses the naive complex-multiply
+// formula, which matches libstdc++'s fast path bit-for-bit on finite data
+// but skips the Annex-G infinity recovery.  All kernels are bit-exact (or
+// ULP-bounded, per class) for finite inputs only.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+namespace rcr::rt::simd {
+
+/// Instruction-set paths this build can dispatch to.
+enum class Path { kScalar, kAvx2, kNeon };
+
+/// Vectorized kernel table.  One function pointer per kernel; the scalar
+/// table is the reference implementation for every differential test.
+struct Kernels {
+  // ---- fp64, bit-exact class -------------------------------------------
+  /// out[i] = a[i] + b[i].  `out` may alias `a` or `b` exactly.
+  void (*add)(const double* a, const double* b, double* out, std::size_t n);
+  /// out[i] = a[i] - b[i].  Alias policy as `add`.
+  void (*sub)(const double* a, const double* b, double* out, std::size_t n);
+  /// out[i] = a[i] * b[i] (Hadamard).  Alias policy as `add`.
+  void (*mul)(const double* a, const double* b, double* out, std::size_t n);
+  /// out[i] = a[i] * s.  `out` may alias `a` exactly.
+  void (*scale)(const double* a, double s, double* out, std::size_t n);
+  /// y[i] += s * x[i].  The j-lane update of the blocked matmul.
+  void (*axpy)(double s, const double* x, double* y, std::size_t n);
+  /// Jacobi plane rotation on a row pair:
+  ///   x[i] <- c*x[i] - s*y[i];  y[i] <- s*x_old[i] + c*y[i].
+  void (*rotate_pair)(double* x, double* y, double c, double s, std::size_t n);
+  /// Sequential-order dot: acc = init; acc += a[i]*b[i] for ascending i.
+  /// Products are vectorized, additions keep the scalar order -- bit-exact.
+  double (*dot_seq)(double init, const double* a, const double* b,
+                    std::size_t n);
+  /// acc += |a[i]| * b[i], ascending (IBP radius accumulation).
+  double (*absdot_seq)(double init, const double* a, const double* b,
+                       std::size_t n);
+  /// acc += w[i] * (w[i] >= 0 ? pos[i] : neg[i]), ascending (CROWN
+  /// concretization).
+  double (*choose_dot_seq)(double init, const double* w, const double* pos,
+                           const double* neg, std::size_t n);
+  /// acc += w[i] * a[i] for indices where (w[i] >= 0) == nonneg, ascending;
+  /// other indices are skipped entirely (not added as zero), preserving
+  /// signed-zero accumulator bits (CROWN intercept accumulation).
+  double (*masked_dot_seq)(double init, const double* w, const double* a,
+                           std::size_t n, bool nonneg);
+  /// out[i] = w[i] * (w[i] >= 0 ? pos[i] : neg[i]) (CROWN substitution).
+  /// `out` must not alias any input.
+  void (*choose_mul)(const double* w, const double* pos, const double* neg,
+                     double* out, std::size_t n);
+  /// Radix-2 FFT butterfly over `n` complex pairs:
+  ///   v = hi[k]*tw[k]; hi[k] = lo[k] - v; lo[k] = lo[k] + v.
+  /// Bit-exact vs the scalar path for finite data (see header comment).
+  void (*butterfly)(std::complex<double>* lo, std::complex<double>* hi,
+                    const std::complex<double>* tw, std::size_t n);
+
+  // ---- fp64, reassociating class (opt-in paths only) -------------------
+  /// Lane-strided dot product; reassociates the sum (few-ULP contract).
+  double (*dot_reassoc)(const double* a, const double* b, std::size_t n);
+
+  // ---- fp32 kernels (mixed-precision refinement) -----------------------
+  /// y[i] += s * x[i] in fp32 (FloatLu row elimination).  Bit-exact class.
+  void (*saxpy)(float s, const float* x, float* y, std::size_t n);
+  /// Lane-strided fp32 dot (FloatLu triangular solves).  Reassociating.
+  float (*sdot_reassoc)(const float* a, const float* b, std::size_t n);
+  /// dst[i] = (float)src[i].  Bit-exact class (one rounding per element).
+  void (*to_float)(const double* src, float* dst, std::size_t n);
+  /// dst[i] = (double)src[i].  Exact (widening).
+  void (*to_double)(const float* src, double* dst, std::size_t n);
+};
+
+/// The resolved dispatch path for this process: best compiled path admitted
+/// by the runtime CPU check and RCR_SIMD.  Constant after first call.
+Path active_path();
+
+/// Short name of `active_path()`: "scalar", "avx2", or "neon" (static
+/// storage; usable as an obs label).
+const char* path_name();
+
+/// The kernel table for `active_path()`, or the scalar table while a
+/// ForceScalarGuard is active on this thread.  When the obs metrics
+/// registry is armed, each call bumps rcr.simd.dispatch{path=...} -- call
+/// once per operation (not per inner-loop step) and reuse the reference.
+const Kernels& active();
+
+/// The scalar reference table, regardless of path or guards.
+const Kernels& scalar_kernels();
+
+/// Scoped per-thread override forcing `active()` to hand out the scalar
+/// table (differential reference path for tests/benches).  Nestable.
+class ForceScalarGuard {
+ public:
+  ForceScalarGuard();
+  ~ForceScalarGuard();
+  ForceScalarGuard(const ForceScalarGuard&) = delete;
+  ForceScalarGuard& operator=(const ForceScalarGuard&) = delete;
+};
+
+/// True while a ForceScalarGuard is active on the calling thread.
+bool force_scalar_active();
+
+}  // namespace rcr::rt::simd

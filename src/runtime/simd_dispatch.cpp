@@ -1,0 +1,91 @@
+// Path resolution and per-thread scalar override for the SIMD kernel layer.
+//
+// Resolution order (once per process, cached):
+//   1. RCR_SIMD=off|0|false|scalar forces the scalar table -- the escape
+//      hatch for bisection and for running the differential suites with the
+//      reference path as the only path.
+//   2. The best table compiled into this binary, admitted by a runtime CPU
+//      feature check (AVX2 via __builtin_cpu_supports; NEON is baseline on
+//      aarch64).  A binary built with -mavx2 on a non-AVX2 machine thus
+//      degrades to scalar instead of faulting -- only the kernel TU itself
+//      is built with the extended ISA, never the callers.
+#include <cstdlib>
+#include <cstring>
+
+#include "rcr/obs/metrics.hpp"
+#include "simd_internal.hpp"
+
+namespace rcr::rt::simd {
+
+namespace {
+
+bool env_forces_scalar() {
+  const char* v = std::getenv("RCR_SIMD");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+         std::strcmp(v, "false") == 0 || std::strcmp(v, "scalar") == 0;
+}
+
+Path resolve_path() {
+  if (env_forces_scalar()) return Path::kScalar;
+#if RCR_SIMD_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return Path::kAvx2;
+#endif
+#if RCR_SIMD_HAVE_NEON
+  return Path::kNeon;
+#endif
+  return Path::kScalar;
+}
+
+const Kernels& table_for(Path p) {
+  switch (p) {
+#if RCR_SIMD_HAVE_AVX2
+    case Path::kAvx2:
+      return detail::kAvx2Table;
+#endif
+#if RCR_SIMD_HAVE_NEON
+    case Path::kNeon:
+      return detail::kNeonTable;
+#endif
+    default:
+      return detail::kScalarTable;
+  }
+}
+
+thread_local int g_force_scalar_depth = 0;
+
+}  // namespace
+
+Path active_path() {
+  static const Path p = resolve_path();
+  return p;
+}
+
+const char* path_name() {
+  switch (active_path()) {
+    case Path::kAvx2:
+      return "avx2";
+    case Path::kNeon:
+      return "neon";
+    default:
+      return "scalar";
+  }
+}
+
+const Kernels& active() {
+  if (g_force_scalar_depth > 0) {
+    obs::counter_add("rcr.simd.dispatch", "path", "scalar");
+    return detail::kScalarTable;
+  }
+  obs::counter_add("rcr.simd.dispatch", "path", path_name());
+  return table_for(active_path());
+}
+
+const Kernels& scalar_kernels() { return detail::kScalarTable; }
+
+ForceScalarGuard::ForceScalarGuard() { ++g_force_scalar_depth; }
+ForceScalarGuard::~ForceScalarGuard() { --g_force_scalar_depth; }
+
+bool force_scalar_active() { return g_force_scalar_depth > 0; }
+
+}  // namespace rcr::rt::simd

@@ -1,0 +1,142 @@
+// Scalar reference kernels.  These define the bit-level contract every
+// vector path is tested against; the loops mirror the pre-SIMD call-site
+// code exactly (same operation order, same skip conditions).  Compiled with
+// -ffp-contract=off (see CMakeLists) so an -mfma build cannot change the
+// reference roundings.
+#include <cmath>
+
+#include "simd_internal.hpp"
+
+namespace rcr::rt::simd::detail {
+
+void scalar_add(const double* a, const double* b, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void scalar_sub(const double* a, const double* b, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void scalar_mul(const double* a, const double* b, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void scalar_scale(const double* a, double s, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void scalar_axpy(double s, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+void scalar_rotate_pair(double* x, double* y, double c, double s,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+double scalar_dot_seq(double init, const double* a, const double* b,
+                      std::size_t n) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double scalar_absdot_seq(double init, const double* a, const double* b,
+                         std::size_t n) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i) acc += std::abs(a[i]) * b[i];
+  return acc;
+}
+
+double scalar_choose_dot_seq(double init, const double* w, const double* pos,
+                             const double* neg, std::size_t n) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += w[i] * (w[i] >= 0.0 ? pos[i] : neg[i]);
+  return acc;
+}
+
+double scalar_masked_dot_seq(double init, const double* w, const double* a,
+                             std::size_t n, bool nonneg) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i)
+    if ((w[i] >= 0.0) == nonneg) acc += w[i] * a[i];
+  return acc;
+}
+
+void scalar_choose_mul(const double* w, const double* pos, const double* neg,
+                       double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = w[i] * (w[i] >= 0.0 ? pos[i] : neg[i]);
+}
+
+void scalar_butterfly(std::complex<double>* lo, std::complex<double>* hi,
+                      const std::complex<double>* tw, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::complex<double> u = lo[k];
+    const std::complex<double> v = hi[k] * tw[k];
+    lo[k] = u + v;
+    hi[k] = u - v;
+  }
+}
+
+double scalar_dot_reassoc(const double* a, const double* b, std::size_t n) {
+  // Four-way unroll mirroring a 4-lane strided sum, so the scalar fallback
+  // stays within the same few-ULP envelope as the vector paths.
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += a[i] * b[i];
+    a1 += a[i + 1] * b[i + 1];
+    a2 += a[i + 2] * b[i + 2];
+    a3 += a[i + 3] * b[i + 3];
+  }
+  double acc = (a0 + a1) + (a2 + a3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void scalar_saxpy(float s, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += s * x[i];
+}
+
+float scalar_sdot_reassoc(const float* a, const float* b, std::size_t n) {
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += a[i] * b[i];
+    a1 += a[i + 1] * b[i + 1];
+    a2 += a[i + 2] * b[i + 2];
+    a3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (a0 + a1) + (a2 + a3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void scalar_to_float(const double* src, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+void scalar_to_double(const float* src, double* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<double>(src[i]);
+}
+
+const Kernels kScalarTable = {
+    scalar_add,        scalar_sub,
+    scalar_mul,        scalar_scale,
+    scalar_axpy,       scalar_rotate_pair,
+    scalar_dot_seq,    scalar_absdot_seq,
+    scalar_choose_dot_seq, scalar_masked_dot_seq,
+    scalar_choose_mul, scalar_butterfly,
+    scalar_dot_reassoc,
+    scalar_saxpy,      scalar_sdot_reassoc,
+    scalar_to_float,   scalar_to_double,
+};
+
+}  // namespace rcr::rt::simd::detail

@@ -1,6 +1,7 @@
 #include "rcr/signal/fft.hpp"
 
 #include "rcr/obs/obs.hpp"
+#include "rcr/rt/simd.hpp"
 
 #include <atomic>
 #include <cmath>
@@ -129,9 +130,16 @@ std::shared_ptr<const Radix2Tables> radix2_tables(std::size_t n) {
 }
 
 // In-place iterative radix-2 Cooley-Tukey; requires power-of-two size.
+// The butterfly rides the SIMD kernel layer: the lo/hi halves of each block
+// are contiguous, so one kernel call covers a whole stage block.  The
+// vector path multiplies with the same naive complex formula libstdc++ uses
+// on finite data, so the transform is bit-identical across paths (signal
+// data is finite by the waveform contract; the scalar path keeps full
+// std::complex semantics regardless).
 void fft_radix2(CVec& a, bool inverse) {
   const std::size_t n = a.size();
   const std::shared_ptr<const Radix2Tables> tables = radix2_tables(n);
+  const auto& K = rt::simd::active();
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
@@ -143,14 +151,9 @@ void fft_radix2(CVec& a, bool inverse) {
   for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
     const CVec& tw =
         inverse ? tables->inverse[stage] : tables->forward[stage];
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = a[i + k];
-        const std::complex<double> v = a[i + k + len / 2] * tw[k];
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-      }
-    }
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len)
+      K.butterfly(a.data() + i, a.data() + i + half, tw.data(), half);
   }
 }
 

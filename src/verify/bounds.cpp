@@ -11,6 +11,7 @@
 #include "rcr/robust/fault_injection.hpp"
 #include "rcr/robust/guards.hpp"
 #include "rcr/rt/parallel.hpp"
+#include "rcr/rt/simd.hpp"
 
 namespace rcr::verify {
 
@@ -133,11 +134,14 @@ LayerBounds ibp_bounds(const ReluNetwork& net, const Box& input) {
     num::matvec_into(layer.w, mu, mu_next);
     for (std::size_t i = 0; i < mu_next.size(); ++i) mu_next[i] += layer.b[i];
     r_next.assign(layer.out_dim(), 0.0);
+    const auto& K = rt::simd::active();
     rt::parallel_for(0, layer.w.rows(), kNeuronGrain,
                      [&](std::size_t i0, std::size_t i1) {
+                       const std::size_t cols = layer.w.cols();
+                       const double* pw = layer.w.data().data();
                        for (std::size_t i = i0; i < i1; ++i)
-                         for (std::size_t j = 0; j < layer.w.cols(); ++j)
-                           r_next[i] += std::abs(layer.w(i, j)) * r[j];
+                         r_next[i] =
+                             K.absdot_seq(0.0, pw + i * cols, r.data(), cols);
                      });
 
     out.pre_activation.emplace_back();
@@ -229,7 +233,9 @@ struct CrownEngine {
   Matrix lu_next, ll_next;  // products (lu_z W_j) before the swap
   Vec cu, cl;
   Vec mv_scratch;
-  std::vector<ReluRelax> rx;
+  // Relaxation coefficients, struct-of-arrays so the substitution kernels
+  // stream one coefficient array per select.
+  Vec rx_up_slope, rx_up_intercept, rx_low_slope;
 
   // Backward-propagate linear bounds for the pre-activations of layer k
   // (0-based), given clipped bounds for layers 0..k-1 in `pre`.
@@ -250,45 +256,47 @@ struct CrownEngine {
       // its cu/cl entry, and accumulates over columns in ascending order
       // exactly like the serial loop.
       const std::size_t width = net.layers[j].out_dim();
-      rx.resize(width);
+      rx_up_slope.resize(width);
+      rx_up_intercept.resize(width);
+      rx_low_slope.resize(width);
       for (std::size_t col = 0; col < width; ++col) {
         const double l = pre[j].lower[col];
         const double u = pre[j].upper[col];
-        rx[col] = relax_neuron(l, u);
+        ReluRelax rx = relax_neuron(l, u);
         if (l < 0.0 && u > 0.0)
-          rx[col].low_slope = lower_slope_of(j, col, rx[col].low_slope);
+          rx.low_slope = lower_slope_of(j, col, rx.low_slope);
+        rx_up_slope[col] = rx.up_slope;
+        rx_up_intercept[col] = rx.up_intercept;
+        rx_low_slope[col] = rx.low_slope;
       }
       lu_z.resize(n_out, width);
       ll_z.resize(n_out, width);
+      const auto& K = rt::simd::active();
       rt::parallel_for(0, n_out, kNeuronGrain, [&](std::size_t r0,
                                                    std::size_t r1) {
         for (std::size_t row = r0; row < r1; ++row) {
-          for (std::size_t col = 0; col < width; ++col) {
-            // Upper form: positive coefficient picks the over-estimator,
-            // negative picks the under-estimator.
-            const double cu_coeff = lu(row, col);
-            if (cu_coeff >= 0.0) {
-              lu_z(row, col) = cu_coeff * rx[col].up_slope;
-              cu[row] += cu_coeff * rx[col].up_intercept;
-            } else {
-              lu_z(row, col) = cu_coeff * rx[col].low_slope;
-            }
-            // Lower form: mirrored.
-            const double cl_coeff = ll(row, col);
-            if (cl_coeff >= 0.0) {
-              ll_z(row, col) = cl_coeff * rx[col].low_slope;
-            } else {
-              ll_z(row, col) = cl_coeff * rx[col].up_slope;
-              cl[row] += cl_coeff * rx[col].up_intercept;
-            }
-          }
+          // Upper form: a positive coefficient picks the over-estimator
+          // slope (and accumulates its intercept); a negative one picks the
+          // under-estimator.  Lower form mirrored.  cu/cl are independent
+          // accumulator chains, so splitting the original interleaved loop
+          // into per-row kernel passes preserves every rounding.
+          const double* lur = lu.data().data() + row * width;
+          const double* llr = ll.data().data() + row * width;
+          K.choose_mul(lur, rx_up_slope.data(), rx_low_slope.data(),
+                       lu_z.data().data() + row * width, width);
+          cu[row] = K.masked_dot_seq(cu[row], lur, rx_up_intercept.data(),
+                                     width, true);
+          K.choose_mul(llr, rx_low_slope.data(), rx_up_slope.data(),
+                       ll_z.data().data() + row * width, width);
+          cl[row] = K.masked_dot_seq(cl[row], llr, rx_up_intercept.data(),
+                                     width, false);
         }
       });
       // Through the affine layer j: z_j = W_j a_{j-1} + b_j.
       num::matvec_into(lu_z, net.layers[j].b, mv_scratch);
-      for (std::size_t i = 0; i < cu.size(); ++i) cu[i] += mv_scratch[i];
+      K.add(cu.data(), mv_scratch.data(), cu.data(), cu.size());
       num::matvec_into(ll_z, net.layers[j].b, mv_scratch);
-      for (std::size_t i = 0; i < cl.size(); ++i) cl[i] += mv_scratch[i];
+      K.add(cl.data(), mv_scratch.data(), cl.data(), cl.size());
       num::multiply_into(lu_z, net.layers[j].w, lu_next);
       num::multiply_into(ll_z, net.layers[j].w, ll_next);
       std::swap(lu, lu_next);
@@ -299,19 +307,17 @@ struct CrownEngine {
     Box out;
     out.lower.assign(n_out, 0.0);
     out.upper.assign(n_out, 0.0);
+    const auto& K = rt::simd::active();
     rt::parallel_for(0, n_out, kNeuronGrain, [&](std::size_t r0,
                                                  std::size_t r1) {
+      const std::size_t dim = input.dim();
       for (std::size_t row = r0; row < r1; ++row) {
-        double hi = cu[row];
-        double lo = cl[row];
-        for (std::size_t col = 0; col < input.dim(); ++col) {
-          const double wu = lu(row, col);
-          hi += wu >= 0.0 ? wu * input.upper[col] : wu * input.lower[col];
-          const double wl = ll(row, col);
-          lo += wl >= 0.0 ? wl * input.lower[col] : wl * input.upper[col];
-        }
-        out.lower[row] = lo;
-        out.upper[row] = hi;
+        out.upper[row] =
+            K.choose_dot_seq(cu[row], lu.data().data() + row * dim,
+                             input.upper.data(), input.lower.data(), dim);
+        out.lower[row] =
+            K.choose_dot_seq(cl[row], ll.data().data() + row * dim,
+                             input.lower.data(), input.upper.data(), dim);
       }
     });
     return out;

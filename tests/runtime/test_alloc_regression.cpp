@@ -13,9 +13,11 @@
 
 #include "rcr/nn/conv.hpp"
 #include "rcr/numerics/decompositions.hpp"
+#include "rcr/numerics/eigen.hpp"
 #include "rcr/numerics/matrix.hpp"
 #include "rcr/numerics/rng.hpp"
 #include "rcr/opt/admm.hpp"
+#include "rcr/opt/sdp.hpp"
 #include "rcr/rt/alloc_probe.hpp"
 #include "rcr/rt/parallel.hpp"
 #include "rcr/signal/stft.hpp"
@@ -172,6 +174,73 @@ TEST(AllocRegression, AdmmLassoAllocsIndependentOfIterationCount) {
     return delta.delta();
   };
 
+  EXPECT_EQ(allocs_for(10), allocs_for(200));
+}
+
+TEST(AllocRegression, EigenSymIntoIsAllocationFreeWarm) {
+  rt::ForceSerialGuard serial;
+  num::Rng rng(41);
+  Matrix a = random_matrix(16, 16, rng);
+  a.symmetrize();
+  num::EigenWorkspace ws;
+  num::EigenDecomposition e;
+  num::eigen_sym_into(a, ws, e);
+
+  const rt::AllocDelta delta;
+  for (int r = 0; r < 10; ++r) num::eigen_sym_into(a, ws, e);
+  EXPECT_EQ(delta.delta(), 0u);
+}
+
+TEST(AllocRegression, ProjectPsdIntoIsAllocationFreeWarm) {
+  rt::ForceSerialGuard serial;
+  num::Rng rng(43);
+  Matrix a = random_matrix(12, 12, rng);
+  a.symmetrize();
+  num::PsdProjectWorkspace cold_ws, warm_ws;
+  num::PsdProjectOptions warm;
+  warm.warm_start = true;
+  Matrix out;
+  num::project_psd_into(a, cold_ws, out);
+  num::project_psd_into(a, warm_ws, out, warm);
+
+  const rt::AllocDelta delta;
+  for (int r = 0; r < 10; ++r) {
+    num::project_psd_into(a, cold_ws, out);
+    num::project_psd_into(a, warm_ws, out, warm);
+  }
+  EXPECT_EQ(delta.delta(), 0u);
+}
+
+TEST(AllocRegression, SdpSolveAllocsIndependentOfIterationCount) {
+  rt::ForceSerialGuard serial;
+  num::Rng rng(47);
+  const std::size_t n = 6;
+  rcr::opt::Sdp problem;
+  Matrix c = random_matrix(n, n, rng);
+  problem.c = num::multiply_at_b(c, c);
+  problem.a_eq.push_back(Matrix::identity(n));
+  problem.b_eq.push_back(1.0);
+  rcr::opt::SdpOptions opts;
+  opts.tolerance = -1.0;  // never converges: runs exactly max_iterations
+  rcr::opt::SdpWorkspace ws;
+
+  auto allocs_for = [&](std::size_t iterations) {
+    opts.max_iterations = iterations;
+    rcr::opt::solve_sdp(problem, opts, ws);  // warm
+    const rt::AllocDelta delta;
+    const rcr::opt::SdpResult res = rcr::opt::solve_sdp(problem, opts, ws);
+    EXPECT_EQ(res.iterations, iterations);
+    return delta.delta();
+  };
+
+  const std::uint64_t short_run = allocs_for(10);
+  const std::uint64_t long_run = allocs_for(200);
+  EXPECT_EQ(short_run, long_run);
+
+  // The fast configuration must hold the same line.
+  opts.exploit_structure = true;
+  opts.warm_start_projection = true;
+  opts.projection_rotation_threshold = 1e-9;
   EXPECT_EQ(allocs_for(10), allocs_for(200));
 }
 

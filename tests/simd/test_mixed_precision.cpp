@@ -1,0 +1,166 @@
+// Mixed-precision refinement (rcr/numerics/mixed.hpp) and its opt-in
+// wiring into the ADMM box-QP and SDP solvers.
+//
+// Contract under test:
+//   - refine_solve reaches the fp64 residual target on well-conditioned
+//     seeded instances (the fp32 factor only preconditions; accuracy comes
+//     from the fp64 residual loop);
+//   - the option is OFF by default and the fp64 paths are bit-identical
+//     with it off, even when a mixed-capable factor is supplied;
+//   - misuse (mixed_precision without a mixed factor) throws, and fp32
+//     singularity degrades to fp64 instead of failing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/mixed.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/testkit/ulp.hpp"
+
+namespace num = rcr::num;
+namespace opt = rcr::opt;
+namespace tk = rcr::testkit;
+using rcr::Vec;
+using rcr::num::Matrix;
+
+namespace {
+
+Matrix diag_dominant(std::size_t n, num::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+double residual_inf(const Matrix& a, const Vec& x, const Vec& b) {
+  Vec ax;
+  num::matvec_into(a, x, ax);
+  double r = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    r = std::max(r, std::abs(b[i] - ax[i]));
+  return r;
+}
+
+}  // namespace
+
+TEST(MixedPrecision, RefineSolveConvergesOnSeededInstances) {
+  for (unsigned seed : {1u, 2u, 3u, 4u, 5u}) {
+    num::Rng rng(seed);
+    const std::size_t n = 40;
+    const Matrix a = diag_dominant(n, rng);
+    const Vec b = rng.normal_vec(n);
+    num::FloatLu f;
+    num::float_lu_into(a, f);
+    ASSERT_FALSE(f.singular) << "seed " << seed;
+
+    Vec x;
+    num::RefineWorkspace ws;
+    const double tol = 1e-12;
+    const int iters = num::refine_solve(a, f, b, x, tol, 8, ws);
+    ASSERT_GE(iters, 1) << "seed " << seed;
+    double bnorm = 0.0;
+    for (double v : b) bnorm = std::max(bnorm, std::abs(v));
+    EXPECT_LE(residual_inf(a, x, b), tol * (1.0 + bnorm)) << "seed " << seed;
+  }
+}
+
+TEST(MixedPrecision, FloatLuFlagsExactSingularity) {
+  Matrix a(3, 3);  // rank 1
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = 2.0;
+  num::FloatLu f;
+  num::float_lu_into(a, f);
+  EXPECT_TRUE(f.singular);
+
+  num::RefineWorkspace ws;
+  Vec x;
+  const Vec b(3, 1.0);
+  EXPECT_THROW(num::refine_solve(a, f, b, x, 1e-12, 8, ws),
+               std::invalid_argument);
+}
+
+TEST(MixedPrecision, AdmmMixedConvergesCloseToFp64) {
+  num::Rng rng(21);
+  const std::size_t n = 32;
+  const Matrix p = opt::random_psd(n, n, rng) + Matrix::identity(n);
+  const Vec q = rng.normal_vec(n);
+  const Vec lo(n, -1.0), hi(n, 1.0);
+
+  const opt::AdmmResult plain = opt::admm_box_qp(p, q, lo, hi);
+  opt::AdmmOptions mixed;
+  mixed.mixed_precision = true;
+  const opt::AdmmResult fast = opt::admm_box_qp(p, q, lo, hi, mixed);
+
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(fast.converged);
+  EXPECT_GE(fast.refine_iterations, 1u);
+  EXPECT_EQ(plain.refine_iterations, 0u);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(fast.x[i], plain.x[i], 1e-6) << "index " << i;
+  EXPECT_NEAR(fast.objective, plain.objective, 1e-8);
+}
+
+TEST(MixedPrecision, AdmmOffIsBitIdenticalEvenWithMixedFactor) {
+  num::Rng rng(22);
+  const std::size_t n = 24;
+  const Matrix p = opt::random_psd(n, n, rng) + Matrix::identity(n);
+  const Vec q = rng.normal_vec(n);
+  const Vec lo(n, -1.0), hi(n, 1.0);
+
+  const opt::AdmmResult plain = opt::admm_box_qp(p, q, lo, hi);
+  // A mixed-capable factor with the option off must not perturb a bit.
+  const opt::AdmmOptions options;  // mixed_precision = false
+  const opt::BoxQpFactor factor =
+      opt::prefactor_box_qp(p, options.rho, /*mixed=*/true);
+  const opt::AdmmResult with_factor =
+      opt::admm_box_qp(p, factor, q, lo, hi, options);
+
+  EXPECT_EQ("", tk::expect_bits(plain.x, with_factor.x, "admm x"));
+  EXPECT_EQ(plain.iterations, with_factor.iterations);
+  EXPECT_EQ(with_factor.refine_iterations, 0u);
+}
+
+TEST(MixedPrecision, AdmmMixedWithoutMixedFactorThrows) {
+  num::Rng rng(23);
+  const std::size_t n = 8;
+  const Matrix p = opt::random_psd(n, n, rng) + Matrix::identity(n);
+  const Vec q = rng.normal_vec(n);
+  const Vec lo(n, -1.0), hi(n, 1.0);
+  opt::AdmmOptions options;
+  options.mixed_precision = true;
+  const opt::BoxQpFactor factor = opt::prefactor_box_qp(p, options.rho);
+  EXPECT_THROW(opt::admm_box_qp(p, factor, q, lo, hi, options),
+               std::invalid_argument);
+}
+
+TEST(MixedPrecision, SdpMixedConvergesCloseToFp64) {
+  num::Rng rng(24);
+  const std::size_t n = 6;
+  opt::Sdp problem;
+  problem.c = opt::random_psd(n, n, rng) - Matrix::identity(n);
+  problem.a_eq.push_back(Matrix::identity(n));
+  problem.b_eq.push_back(1.0);
+  opt::SdpOptions options;
+  options.max_iterations = 2000;
+
+  const opt::SdpResult plain = opt::solve_sdp(problem, options);
+  opt::SdpOptions mixed = options;
+  mixed.mixed_precision = true;
+  const opt::SdpResult fast = opt::solve_sdp(problem, mixed);
+
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(fast.converged);
+  EXPECT_EQ(plain.refine_iterations, 0u);
+  EXPECT_GE(fast.refine_iterations, 1u);
+  EXPECT_NEAR(fast.objective, plain.objective, 1e-6);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(fast.x(i, j), plain.x(i, j), 1e-5)
+          << "entry (" << i << "," << j << ")";
+}

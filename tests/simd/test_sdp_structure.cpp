@@ -1,0 +1,213 @@
+// Structure-exploiting SDP projection and KKT solves.
+//
+// Default-path contract: the workspace overload with default options is
+// bit-identical to the allocating solve, and project_psd_into's cold path
+// is bit-identical to project_psd.  The opt-in fast paths (Schur-structured
+// KKT, warm-started eigenbasis, rotation thresholding) are *different
+// factorizations / sweep schedules of the same math*: they must converge to
+// the same optimum within solver tolerance, never bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcr/numerics/eigen.hpp"
+#include "rcr/numerics/matrix.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/testkit/ulp.hpp"
+
+namespace num = rcr::num;
+namespace opt = rcr::opt;
+namespace tk = rcr::testkit;
+using rcr::Vec;
+using rcr::num::Matrix;
+
+namespace {
+
+opt::Sdp seeded_problem(unsigned seed, std::size_t n) {
+  num::Rng rng(seed);
+  opt::Sdp problem;
+  problem.c = opt::random_psd(n, n, rng) - Matrix::identity(n);
+  problem.a_eq.push_back(Matrix::identity(n));
+  problem.b_eq.push_back(1.0);
+  return problem;
+}
+
+Matrix random_symmetric(std::size_t n, num::Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = rng.normal();
+  m.symmetrize();
+  return m;
+}
+
+void expect_close(const opt::SdpResult& a, const opt::SdpResult& b,
+                  double tol, const char* what) {
+  ASSERT_TRUE(a.converged) << what;
+  ASSERT_TRUE(b.converged) << what;
+  EXPECT_NEAR(a.objective, b.objective, tol) << what;
+  for (std::size_t i = 0; i < a.x.rows(); ++i)
+    for (std::size_t j = 0; j < a.x.cols(); ++j)
+      EXPECT_NEAR(a.x(i, j), b.x(i, j), 10.0 * tol)
+          << what << " entry (" << i << "," << j << ")";
+}
+
+}  // namespace
+
+TEST(SdpStructure, WorkspaceOverloadBitIdenticalToDefault) {
+  const opt::Sdp problem = seeded_problem(31, 8);
+  opt::SdpOptions options;
+  options.max_iterations = 2000;
+  const opt::SdpResult plain = opt::solve_sdp(problem, options);
+  opt::SdpWorkspace ws;
+  const opt::SdpResult first = opt::solve_sdp(problem, options, ws);
+  // Reused (warm) workspace must not drift either: the default config never
+  // carries state between solves.
+  const opt::SdpResult second = opt::solve_sdp(problem, options, ws);
+  EXPECT_EQ("", tk::expect_bits(plain.x, first.x, "first"));
+  EXPECT_EQ("", tk::expect_bits(plain.x, second.x, "second"));
+  EXPECT_EQ(plain.iterations, first.iterations);
+  EXPECT_EQ(plain.iterations, second.iterations);
+  EXPECT_EQ(plain.objective, first.objective);
+}
+
+TEST(SdpStructure, StructuredKktMatchesDenseClosely) {
+  for (unsigned seed : {41u, 42u, 43u}) {
+    const opt::Sdp problem = seeded_problem(seed, 8);
+    opt::SdpOptions options;
+    options.max_iterations = 4000;
+    const opt::SdpResult dense = opt::solve_sdp(problem, options);
+    opt::SdpOptions structured = options;
+    structured.exploit_structure = true;
+    const opt::SdpResult fast = opt::solve_sdp(problem, structured);
+    expect_close(dense, fast, 1e-5, "structured");
+  }
+}
+
+TEST(SdpStructure, WarmStartedProjectionMatchesClosely) {
+  const opt::Sdp problem = seeded_problem(44, 8);
+  opt::SdpOptions options;
+  options.max_iterations = 4000;
+  const opt::SdpResult dense = opt::solve_sdp(problem, options);
+  opt::SdpOptions warm = options;
+  warm.warm_start_projection = true;
+  const opt::SdpResult fast = opt::solve_sdp(problem, warm);
+  expect_close(dense, fast, 1e-5, "warm");
+}
+
+TEST(SdpStructure, FastConfigConvergesAcrossSeededInstances) {
+  opt::SdpWorkspace ws;
+  for (unsigned seed : {51u, 52u, 53u, 54u}) {
+    const opt::Sdp problem = seeded_problem(seed, 10);
+    opt::SdpOptions options;
+    options.max_iterations = 4000;
+    const opt::SdpResult dense = opt::solve_sdp(problem, options);
+    opt::SdpOptions fast = options;
+    fast.exploit_structure = true;
+    fast.warm_start_projection = true;
+    fast.projection_rotation_threshold = 1e-9;
+    // Workspace reused across *different* problems on purpose: a stale
+    // eigenbasis may cost sweeps but never correctness.
+    const opt::SdpResult quick = opt::solve_sdp(problem, fast, ws);
+    expect_close(dense, quick, 1e-5, "fast config");
+  }
+}
+
+TEST(SdpStructure, StructuredRespectsInequalitiesAndSlacks) {
+  num::Rng rng(61);
+  const std::size_t n = 6;
+  opt::Sdp problem;
+  problem.c = opt::random_psd(n, n, rng) - Matrix::identity(n);
+  problem.a_eq.push_back(Matrix::identity(n));
+  problem.b_eq.push_back(1.0);
+  Matrix pin(n, n);
+  pin(0, 0) = 1.0;
+  problem.a_in.push_back(pin);
+  problem.b_in.push_back(0.05);  // X_00 <= 0.05
+
+  opt::SdpOptions options;
+  options.max_iterations = 6000;
+  const opt::SdpResult dense = opt::solve_sdp(problem, options);
+  opt::SdpOptions structured = options;
+  structured.exploit_structure = true;
+  const opt::SdpResult fast = opt::solve_sdp(problem, structured);
+  expect_close(dense, fast, 1e-4, "inequality");
+  EXPECT_LE(fast.x(0, 0), 0.05 + 1e-4);
+}
+
+TEST(SdpStructure, ProjectPsdIntoColdPathBitIdenticalToProjectPsd) {
+  for (unsigned seed : {71u, 72u, 73u}) {
+    num::Rng rng(seed);
+    const Matrix a = random_symmetric(12, rng);
+    const Matrix legacy = num::project_psd(a);
+    num::PsdProjectWorkspace ws;
+    Matrix out;
+    num::project_psd_into(a, ws, out);
+    EXPECT_EQ("", tk::expect_bits(legacy, out, "cold projection"));
+    // Warm reuse of a cold-configured workspace stays bit-identical.
+    num::project_psd_into(a, ws, out);
+    EXPECT_EQ("", tk::expect_bits(legacy, out, "cold projection reuse"));
+  }
+}
+
+TEST(SdpStructure, WarmStartedProjectionCloseToColdOnDriftingIterates) {
+  num::Rng rng(74);
+  const std::size_t n = 10;
+  Matrix a = random_symmetric(n, rng);
+  num::PsdProjectWorkspace warm_ws;
+  num::PsdProjectOptions warm;
+  warm.warm_start = true;
+  Matrix warm_out, cold_out;
+  for (int step = 0; step < 20; ++step) {
+    num::project_psd_into(a, warm_ws, warm_out, warm);
+    num::PsdProjectWorkspace cold_ws;
+    num::project_psd_into(a, cold_ws, cold_out);
+    const double scale = 1.0 + a.max_abs();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_NEAR(warm_out(i, j), cold_out(i, j), 1e-9 * scale)
+            << "step " << step << " entry (" << i << "," << j << ")";
+    // Small drift, mimicking successive ADMM iterates.
+    Matrix bump(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) bump(i, j) = 0.02 * rng.normal();
+    bump.symmetrize();
+    a = a + bump;
+  }
+}
+
+TEST(SdpStructure, RotationThresholdBoundsProjectionError) {
+  num::Rng rng(75);
+  const std::size_t n = 12;
+  const Matrix a = random_symmetric(n, rng);
+  num::PsdProjectWorkspace exact_ws, approx_ws;
+  Matrix exact, approx;
+  num::project_psd_into(a, exact_ws, exact);
+  num::PsdProjectOptions opts;
+  opts.rotation_threshold = 1e-9;
+  num::project_psd_into(a, approx_ws, approx, opts);
+  const double scale = 1.0 + a.max_abs();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(approx(i, j), exact(i, j), 1e-6 * scale)
+          << "entry (" << i << "," << j << ")";
+}
+
+TEST(SdpStructure, EigenSymIntoWarmReuseBitIdentical) {
+  num::Rng rng(76);
+  const Matrix a = random_symmetric(16, rng);
+  const num::EigenDecomposition fresh = num::eigen_symmetric(a);
+  num::EigenWorkspace ws;
+  num::EigenDecomposition out;
+  num::eigen_sym_into(a, ws, out);
+  EXPECT_EQ("", tk::expect_bits(fresh.eigenvectors, out.eigenvectors, "V"));
+  EXPECT_EQ("", tk::expect_bits(fresh.eigenvalues, out.eigenvalues, "lambda"));
+  // A second decomposition through the same workspace (different matrix
+  // first, then the original again) must land on the same bits.
+  const Matrix b = random_symmetric(16, rng);
+  num::eigen_sym_into(b, ws, out);
+  num::eigen_sym_into(a, ws, out);
+  EXPECT_EQ("", tk::expect_bits(fresh.eigenvectors, out.eigenvectors, "V2"));
+  EXPECT_EQ("", tk::expect_bits(fresh.eigenvalues, out.eigenvalues, "l2"));
+}
