@@ -39,6 +39,8 @@ extern std::atomic<bool> g_metrics_on;
 void counter_add_slow(const char* name, const char* label_key,
                       const char* label_value, std::uint64_t delta);
 void gauge_set_slow(const char* name, double value);
+void gauge_set_slow(const char* name, const char* label_key,
+                    const char* label_value, double value);
 void gauge_max_slow(const char* name, double value);
 void histogram_observe_slow(const char* name, double value);
 }  // namespace detail
@@ -64,6 +66,14 @@ inline void counter_add(const char* name, const char* label_key,
 /// Set the gauge `name` to `value` (last-write-wins).
 inline void gauge_set(const char* name, double value) {
   if (metrics_enabled()) detail::gauge_set_slow(name, value);
+}
+
+/// Set the labelled gauge `name{label_key=label_value}` to `value`
+/// (last-write-wins; e.g. rcr.fallback.depth{chain=rra}).
+inline void gauge_set(const char* name, const char* label_key,
+                      const char* label_value, double value) {
+  if (metrics_enabled())
+    detail::gauge_set_slow(name, label_key, label_value, value);
 }
 
 /// Raise the gauge `name` to `value` if `value` is larger (high-water mark).

@@ -221,6 +221,12 @@ void gauge_set_slow(const char* name, double value) {
   cell->value.store(value, std::memory_order_relaxed);
 }
 
+void gauge_set_slow(const char* name, const char* label_key,
+                    const char* label_value, double value) {
+  Cell* cell = resolve(Kind::kGauge, name, label_key, label_value);
+  cell->value.store(value, std::memory_order_relaxed);
+}
+
 void gauge_max_slow(const char* name, double value) {
   Cell* cell = resolve(Kind::kGauge, name, nullptr, nullptr);
   atomic_max_double(cell->value, value);

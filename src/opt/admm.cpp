@@ -120,6 +120,12 @@ AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
 AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
                        const Vec& q, const Vec& lo, const Vec& hi,
                        const AdmmOptions& options) {
+  return admm_box_qp(p, factor, q, lo, hi, options, nullptr);
+}
+
+AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
+                       const Vec& q, const Vec& lo, const Vec& hi,
+                       const AdmmOptions& options, AdmmWarmState* warm) {
   const std::size_t n = q.size();
   if (p.rows() != n || p.cols() != n || lo.size() != n || hi.size() != n)
     throw std::invalid_argument("admm_box_qp: dimension mismatch");
@@ -140,6 +146,24 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
   Vec z = num::clamp(Vec(n, 0.0), lo, hi);
   Vec u(n, 0.0);
 
+  AdmmResult result;
+  if (warm != nullptr && !warm->empty()) {
+    if (detail::warm_vec_ok(warm->z, n) && detail::warm_vec_ok(warm->u, n)) {
+      // Re-clamp the warm primal so z stays feasible-by-construction even
+      // when the box moved between solves.
+      for (std::size_t i = 0; i < n; ++i)
+        z[i] = std::clamp(warm->z[i], lo[i], hi[i]);
+      u = warm->u;
+      result.warm_use = WarmUse::kAccepted;
+      obs::counter_add("rcr.warm.accepted", "solver", "admm");
+    } else {
+      result.warm_use = WarmUse::kRejected;
+      result.status.note("warm state rejected (size mismatch or non-finite); "
+                         "cold start");
+      obs::counter_add("rcr.warm.rejected", "solver", "admm");
+    }
+  }
+
   // Iteration-persistent workspaces: after this point the loop body
   // performs no heap allocations.
   Vec rhs(n);
@@ -150,7 +174,6 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
   constexpr double kRefineTol = 1e-12;
   constexpr int kRefineMaxIters = 8;
 
-  AdmmResult result;
   // fp32 can underflow to singular on matrices fp64 handles fine: degrade
   // to the fp64 path with a note rather than failing.
   const bool use_mixed =
@@ -233,6 +256,16 @@ AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
   result.x = z;  // feasible by construction
   result.objective = 0.5 * num::quad_form(result.x, p, result.x) +
                      num::dot(q, result.x);
+  if (warm != nullptr) {
+    // Chainable state on a clean exit; cleared after a poisoned iterate so
+    // the next solve cold-starts instead of inheriting the corruption.
+    if (result.status.code == robust::StatusCode::kNumericalFailure) {
+      warm->clear();
+    } else {
+      warm->z = z;
+      warm->u = u;
+    }
+  }
   obs::counter_add("rcr.admm.solves");
   obs::counter_add("rcr.admm.iterations", result.iterations);
   if (result.refine_iterations > 0)

@@ -10,6 +10,7 @@
 #include "rcr/numerics/decompositions.hpp"
 #include "rcr/numerics/mixed.hpp"
 #include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/warm.hpp"
 #include "rcr/robust/budget.hpp"
 #include "rcr/robust/status.hpp"
 
@@ -72,6 +73,22 @@ struct LassoFactor {
 /// Factor A^T A + rho I for the lasso x-update.
 LassoFactor prefactor_lasso(const Matrix& a, double rho);
 
+/// Primal/dual state carried between admm_box_qp solves (see warm.hpp for
+/// the acceptance/rejection/writeback contract).  `z` is the consensus
+/// primal iterate (feasible by construction), `u` the scaled dual.  An empty
+/// state means "cold start"; the solver fills it on a clean exit and clears
+/// it after a numerical failure.
+struct AdmmWarmState {
+  Vec z;  ///< Consensus primal iterate.
+  Vec u;  ///< Scaled dual iterate.
+
+  bool empty() const { return z.empty() && u.empty(); }
+  void clear() {
+    z.clear();
+    u.clear();
+  }
+};
+
 /// ADMM outcome.
 struct AdmmResult {
   Vec x;
@@ -87,6 +104,8 @@ struct AdmmResult {
   /// Total fp64 refinement corrections across all iterations (0 unless
   /// mixed_precision ran).
   std::size_t refine_iterations = 0;
+  /// Disposition of the warm state handed to this solve (kCold when none).
+  WarmUse warm_use = WarmUse::kCold;
 };
 
 /// Box-constrained QP:
@@ -107,6 +126,18 @@ AdmmResult admm_box_qp(const Matrix& p, const Vec& q, const Vec& lo,
 AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
                        const Vec& q, const Vec& lo, const Vec& hi,
                        const AdmmOptions& options = {});
+
+/// Warm-started box-QP: when `warm` is non-null and holds a valid state (n
+/// entries each, all finite), iteration starts from z = clamp(warm->z),
+/// u = warm->u instead of the cold (clamped zero) initialization, and the
+/// final state is written back on a clean exit (cleared after a
+/// kNumericalFailure).  A null or empty `warm` is exactly the cold path; an
+/// invalid state is rejected with a status-trail note and the solve runs
+/// cold (bit-identical to no warm state).  result.warm_use reports the
+/// disposition.
+AdmmResult admm_box_qp(const Matrix& p, const BoxQpFactor& factor,
+                       const Vec& q, const Vec& lo, const Vec& hi,
+                       const AdmmOptions& options, AdmmWarmState* warm);
 
 /// Lasso:
 ///   minimize (1/2) ||A x - b||^2 + lambda ||x||_1.

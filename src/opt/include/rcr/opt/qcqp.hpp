@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/warm.hpp"
 #include "rcr/robust/budget.hpp"
 #include "rcr/robust/status.hpp"
 
@@ -45,6 +46,24 @@ struct BarrierOptions {
   std::size_t max_mu_restarts = 2;
 };
 
+/// Interior-point state carried between solve_qcqp_barrier calls (warm.hpp
+/// documents the acceptance/rejection/writeback contract).  `x` is the last
+/// centered primal iterate and `t` the barrier weight reached -- together
+/// they place the solver back on the central path near where the previous
+/// solve ended.  Acceptance additionally requires `x` to be *strictly
+/// feasible for the new problem*; otherwise the state is rejected and
+/// phase I runs as usual.  Empty (x.empty()) means cold start.
+struct BarrierWarmState {
+  Vec x;          ///< Last centered iterate.
+  double t = 0.0; ///< Barrier weight reached (0 = none recorded).
+
+  bool empty() const { return x.empty(); }
+  void clear() {
+    x.clear();
+    t = 0.0;
+  }
+};
+
 /// Solver outcome.
 struct QcqpResult {
   Vec x;
@@ -58,6 +77,8 @@ struct QcqpResult {
   /// kNumericalFailure when the mu-restart ladder was exhausted,
   /// kDeadlineExpired on budget expiry.  The trail records mu restarts.
   robust::Status status;
+  /// Disposition of the warm state handed to this solve (kCold when none).
+  WarmUse warm_use = WarmUse::kCold;
 };
 
 /// Find a strictly feasible point of a convex QCQP (phase I): penalized
@@ -72,6 +93,20 @@ std::optional<Vec> find_strictly_feasible(const Qcqp& problem,
 QcqpResult solve_qcqp_barrier(const Qcqp& problem,
                               std::optional<Vec> x0 = std::nullopt,
                               const BarrierOptions& options = {});
+
+/// Warm-started barrier solve: when `warm` is non-null and holds a valid
+/// state (right size, finite, strictly feasible for *this* problem), the
+/// solve starts from warm->x with the barrier weight resumed at the ladder's
+/// geometric midpoint (t = max(t0, sqrt(t0 * warm->t))), halving the outer
+/// stages while keeping the drifted start inside the Newton convergence
+/// radius; phase I is skipped entirely.  The final (x, t)
+/// is written back on a clean exit (cleared on kNumericalFailure /
+/// kInfeasible).  A null or empty `warm` is exactly the cold path; an
+/// invalid state is rejected with a status-trail note and the solve runs
+/// cold.  result.warm_use reports the disposition.
+QcqpResult solve_qcqp_barrier(const Qcqp& problem,
+                              const BarrierOptions& options,
+                              BarrierWarmState* warm);
 
 /// Solve a convex QP via the same machinery.
 QcqpResult solve_qp(const Qp& problem, std::optional<Vec> x0 = std::nullopt,

@@ -16,6 +16,7 @@
 #include "rcr/numerics/eigen.hpp"
 #include "rcr/numerics/mixed.hpp"
 #include "rcr/opt/quadratic.hpp"
+#include "rcr/opt/warm.hpp"
 #include "rcr/robust/budget.hpp"
 #include "rcr/robust/status.hpp"
 
@@ -89,6 +90,22 @@ struct SdpWorkspace {
   void reset() { projection.reset(); }
 };
 
+/// Primal/dual splitting state carried between solve_sdp calls (warm.hpp
+/// documents the acceptance/rejection/writeback contract).  Both vectors
+/// live in the stacked [vec(X); slacks] coordinates of length
+/// dim()^2 + m_in: `z` is the projected (PSD x nonnegative) iterate, `u`
+/// the scaled dual.  Empty means cold start.
+struct SdpWarmState {
+  Vec z;  ///< Projected splitting iterate.
+  Vec u;  ///< Scaled dual iterate.
+
+  bool empty() const { return z.empty() && u.empty(); }
+  void clear() {
+    z.clear();
+    u.clear();
+  }
+};
+
 /// Solver outcome.
 struct SdpResult {
   Matrix x;
@@ -105,6 +122,8 @@ struct SdpResult {
   /// kNumericalFailure on a caught NaN/Inf iterate (last clean iterate
   /// returned), kDeadlineExpired on budget expiry.
   robust::Status status;
+  /// Disposition of the warm state handed to this solve (kCold when none).
+  WarmUse warm_use = WarmUse::kCold;
 };
 
 /// Solve the SDP via ADMM: an affine proximal step (equality-constrained
@@ -116,6 +135,16 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options = {});
 /// allocate only the result matrix and the per-solve factorization.
 SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
                     SdpWorkspace& ws);
+
+/// Warm-started solve: when `warm` is non-null and holds a valid state
+/// (dim()^2 + m_in entries each, all finite), the splitting starts from the
+/// supplied (z, u) instead of zeros, and the final state is written back on
+/// a clean exit (cleared on kNumericalFailure / kSingular).  A null or
+/// empty `warm` is exactly the cold path; an invalid state is rejected with
+/// a status-trail note and the solve runs cold (bit-identical to no warm
+/// state).  result.warm_use reports the disposition.
+SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
+                    SdpWorkspace& ws, SdpWarmState* warm);
 
 /// Shor semidefinite relaxation of a QCQP: lift to
 /// X = [1, x^T; x, x x^T] >= 0, drop the rank-1 constraint.  Objective and

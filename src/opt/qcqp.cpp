@@ -115,8 +115,17 @@ std::optional<Vec> find_strictly_feasible(const Qcqp& problem, double margin) {
 
 namespace {
 
+// True when `x` is strictly inside every inequality constraint of `problem`
+// (the barrier domain) and consistent with its equalities.
+bool strictly_feasible_for(const Qcqp& problem, const Vec& x) {
+  for (const auto& c : problem.constraints)
+    if (!(c.value(x) < 0.0)) return false;
+  return problem.equality_residual(x) <= 1e-7;
+}
+
 QcqpResult solve_qcqp_barrier_impl(const Qcqp& problem, std::optional<Vec> x0,
-                                   const BarrierOptions& options) {
+                                   const BarrierOptions& options,
+                                   BarrierWarmState* warm) {
   problem.validate();
   const std::size_t n = problem.dim();
   const std::size_t m_ineq = problem.constraints.size();
@@ -124,25 +133,57 @@ QcqpResult solve_qcqp_barrier_impl(const Qcqp& problem, std::optional<Vec> x0,
 
   QcqpResult result;
   Vec x;
+  // Barrier weight resume point; stays t0 unless a warm state is accepted.
+  double t_start = options.t0;
+  bool have_start = false;
   if (x0) {
     x = *x0;
     if (x.size() != n)
       throw std::invalid_argument("solve_qcqp_barrier: x0 dimension mismatch");
-  } else {
+    have_start = true;
+  } else if (warm != nullptr && !warm->empty()) {
+    // Warm acceptance needs more than finiteness: the interior-point method
+    // requires strict feasibility for *this* problem, so a state carried
+    // across a large problem change rejects itself naturally.
+    if (detail::warm_vec_ok(warm->x, n) && std::isfinite(warm->t) &&
+        strictly_feasible_for(problem, warm->x)) {
+      x = warm->x;
+      // Resume at the geometric midpoint of the ladder: re-centering at the
+      // far end (t near warm->t) is ill-conditioned from a drifted start --
+      // the line search stalls against the barrier and max_newton runs out
+      // before the iterate is centered -- while sqrt(t0 * t_final) keeps
+      // the point inside the Newton convergence radius and still halves the
+      // number of outer stages versus a cold ladder.
+      if (warm->t > options.t0)
+        t_start = std::max(options.t0, std::sqrt(options.t0 * warm->t));
+      have_start = true;
+      result.warm_use = WarmUse::kAccepted;
+      obs::counter_add("rcr.warm.accepted", "solver", "qcqp");
+    } else {
+      result.warm_use = WarmUse::kRejected;
+      result.status.note(
+          "warm state rejected (size mismatch, non-finite, or not strictly "
+          "feasible); phase I cold start");
+      obs::counter_add("rcr.warm.rejected", "solver", "qcqp");
+    }
+  }
+  if (!have_start) {
     auto feasible = find_strictly_feasible(problem);
     if (!feasible) {
+      if (warm != nullptr) warm->clear();
       result.message = "no strictly feasible point found (phase I failed)";
-      result.status =
-          robust::make_status(robust::StatusCode::kInfeasible, result.message);
+      result.status.code = robust::StatusCode::kInfeasible;
+      result.status.detail = result.message;
       return result;
     }
     x = std::move(*feasible);
   }
   for (const auto& c : problem.constraints) {
     if (c.value(x) >= 0.0) {
+      if (warm != nullptr) warm->clear();
       result.message = "initial point not strictly feasible";
-      result.status =
-          robust::make_status(robust::StatusCode::kInfeasible, result.message);
+      result.status.code = robust::StatusCode::kInfeasible;
+      result.status.detail = result.message;
       return result;
     }
   }
@@ -153,10 +194,14 @@ QcqpResult solve_qcqp_barrier_impl(const Qcqp& problem, std::optional<Vec> x0,
                                  problem.a, problem.b);
     result.value = problem.objective.value(result.x);
     result.converged = true;
+    if (warm != nullptr) {
+      warm->x = result.x;
+      warm->t = options.t0;
+    }
     return result;
   }
 
-  double t = options.t0;
+  double t = t_start;
   // Barrier growth factor; softened by the mu-restart recovery ladder when a
   // Newton step goes non-finite or the KKT system turns singular.
   double mu_eff = options.mu;
@@ -189,6 +234,12 @@ QcqpResult solve_qcqp_barrier_impl(const Qcqp& problem, std::optional<Vec> x0,
         result.x = std::move(x);
         result.value = problem.objective.value(result.x);
         result.duality_gap_bound = static_cast<double>(m_ineq) / t;
+        if (warm != nullptr) {
+          // The deadline iterate is still strictly feasible, so it is a
+          // legitimate resume point for the next tick.
+          warm->x = result.x;
+          warm->t = t;
+        }
         return result;
       }
       // Gradient and Hessian of the barrier-augmented objective.
@@ -332,6 +383,14 @@ QcqpResult solve_qcqp_barrier_impl(const Qcqp& problem, std::optional<Vec> x0,
     result.status.code = robust::StatusCode::kDegraded;
     result.status.detail = "converged after mu restart(s)";
   }
+  if (warm != nullptr) {
+    if (result.status.code == robust::StatusCode::kNumericalFailure) {
+      warm->clear();
+    } else {
+      warm->x = result.x;
+      warm->t = t;
+    }
+  }
   return result;
 }
 
@@ -343,7 +402,23 @@ QcqpResult solve_qcqp_barrier(const Qcqp& problem, std::optional<Vec> x0,
   // (phase-I failure, equality-QP shortcut, deadline, convergence) and this
   // keeps the accounting uniform across all of them.
   obs::Span span("qcqp.barrier");
-  QcqpResult result = solve_qcqp_barrier_impl(problem, std::move(x0), options);
+  QcqpResult result =
+      solve_qcqp_barrier_impl(problem, std::move(x0), options, nullptr);
+  obs::counter_add("rcr.qcqp.solves");
+  obs::counter_add("rcr.qcqp.newton_iterations", result.newton_iterations);
+  span.attr("newton_iterations",
+            static_cast<double>(result.newton_iterations));
+  span.attr("converged", result.converged ? 1.0 : 0.0);
+  span.attr("duality_gap_bound", result.duality_gap_bound);
+  return result;
+}
+
+QcqpResult solve_qcqp_barrier(const Qcqp& problem,
+                              const BarrierOptions& options,
+                              BarrierWarmState* warm) {
+  obs::Span span("qcqp.barrier");
+  QcqpResult result =
+      solve_qcqp_barrier_impl(problem, std::nullopt, options, warm);
   obs::counter_add("rcr.qcqp.solves");
   obs::counter_add("rcr.qcqp.newton_iterations", result.newton_iterations);
   span.attr("newton_iterations",

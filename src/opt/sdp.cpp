@@ -30,6 +30,11 @@ void Sdp::validate() const {
 
 SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
                     SdpWorkspace& ws) {
+  return solve_sdp(problem, options, ws, nullptr);
+}
+
+SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
+                    SdpWorkspace& ws, SdpWarmState* warm) {
   problem.validate();
   obs::Span span("sdp.solve");
   const std::size_t n = problem.dim();
@@ -51,6 +56,7 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
   // Unrecoverable degeneracy: report instead of aborting.  X = 0 is PSD,
   // so even this worst case hands back a valid (if useless) point.
   auto fail_singular = [&]() {
+    if (warm != nullptr) warm->clear();
     result.status.code = robust::StatusCode::kSingular;
     result.status.detail =
         "degenerate constraint system: KKT singular after " +
@@ -189,6 +195,20 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
 
   ws.z.assign(dim_y, 0.0);
   ws.u.assign(dim_y, 0.0);
+  if (warm != nullptr && !warm->empty()) {
+    if (detail::warm_vec_ok(warm->z, dim_y) &&
+        detail::warm_vec_ok(warm->u, dim_y)) {
+      ws.z = warm->z;
+      ws.u = warm->u;
+      result.warm_use = WarmUse::kAccepted;
+      obs::counter_add("rcr.warm.accepted", "solver", "sdp");
+    } else {
+      result.warm_use = WarmUse::kRejected;
+      result.status.note("warm state rejected (size mismatch or non-finite); "
+                         "cold start");
+      obs::counter_add("rcr.warm.rejected", "solver", "sdp");
+    }
+  }
   ws.y.assign(dim_y, 0.0);
   ws.rhs.assign(structured ? dim_y : dim_y + m, 0.0);
   ws.w.assign(dim_y, 0.0);
@@ -329,6 +349,16 @@ SdpResult solve_sdp(const Sdp& problem, const SdpOptions& options,
     for (std::size_t j = 0; j < n; ++j) result.x(i, j) = z[i * n + j];
   result.x.symmetrize();
   result.objective = num::frobenius_dot(problem.c, result.x);
+  if (warm != nullptr) {
+    // z is the last clean projected iterate even on the NaN-sentinel path,
+    // but u may have absorbed the poisoned y there -- clear instead.
+    if (result.status.code == robust::StatusCode::kNumericalFailure) {
+      warm->clear();
+    } else {
+      warm->z = z;
+      warm->u = u;
+    }
+  }
 
   double viol = 0.0;
   for (std::size_t i = 0; i < m_eq; ++i)

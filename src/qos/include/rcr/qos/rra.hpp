@@ -50,6 +50,16 @@ struct RraSolution {
 /// positive; zero-gain RBs receive no power.
 Vec waterfill(const Vec& gains, double total_power);
 
+/// Each RB assigned to its best-gain user: the seed shared by the greedy
+/// solver, the relaxation bound, and the serve tick loop.  Ties go to the
+/// lowest user index (deterministic).
+Assignment best_gain_assignment(const RraProblem& problem);
+
+/// Per-RB effective gains under a fixed assignment:
+/// gains[rb] = gain(assignment[rb], rb).  Throws std::invalid_argument on an
+/// assignment of the wrong length or with out-of-range user indices.
+Vec assigned_gains(const RraProblem& problem, const Assignment& assignment);
+
 /// Two-phase power allocation for a fixed assignment: first the minimum
 /// power meeting each user's QoS floor (on that user's best assigned RBs),
 /// then water-filling of the residual budget.  Returns std::nullopt when the

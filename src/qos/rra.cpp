@@ -187,6 +187,30 @@ RraSolution evaluate_assignment(const RraProblem& problem,
   return sol;
 }
 
+Assignment best_gain_assignment(const RraProblem& problem) {
+  problem.validate();
+  Assignment assignment(problem.num_rbs(), 0);
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb) {
+    std::size_t best = 0;
+    for (std::size_t u = 1; u < problem.num_users(); ++u)
+      if (problem.gain(u, rb) > problem.gain(best, rb)) best = u;
+    assignment[rb] = best;
+  }
+  return assignment;
+}
+
+Vec assigned_gains(const RraProblem& problem, const Assignment& assignment) {
+  if (assignment.size() != problem.num_rbs())
+    throw std::invalid_argument("assigned_gains: assignment length mismatch");
+  Vec gains(problem.num_rbs(), 0.0);
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb) {
+    if (assignment[rb] >= problem.num_users())
+      throw std::invalid_argument("assigned_gains: user index out of range");
+    gains[rb] = problem.gain(assignment[rb], rb);
+  }
+  return gains;
+}
+
 double relaxation_upper_bound(const RraProblem& problem) {
   Vec best_gain(problem.num_rbs(), 0.0);
   for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)

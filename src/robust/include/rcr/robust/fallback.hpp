@@ -65,6 +65,12 @@ class FallbackChain {
     span.attr("degraded",
               out.status.code == StatusCode::kOk ? 0.0 : 1.0);
     if (!out.step.empty()) span.attr_str("step", out.step.c_str());
+    // Depth taken by this solve: 1 = the tight head answered, deeper values
+    // mean degradation (Prometheus: rcr_fallback_depth{chain=...}).  The
+    // degradation *counters* above tick per failed step; this gauge makes
+    // the depth of the most recent solve visible directly.
+    obs::gauge_set("rcr.fallback.depth", "chain", name_,
+                   static_cast<double>(out.attempts));
     return out;
   }
 

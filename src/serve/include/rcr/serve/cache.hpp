@@ -1,0 +1,153 @@
+// Sharded solution cache with deterministic LRU eviction.
+//
+// The allocation service looks up the previous tick's answer by quantized
+// problem signature before solving.  The cache is sharded by key hash so
+// cells solved on different pool threads contend on different mutexes, and
+// recency is tracked by a *caller-supplied stamp* (the service passes
+// tick * num_cells + cell) rather than wall-clock order: which entry gets
+// evicted then depends only on the workload, never on thread scheduling, so
+// a soak run produces bit-identical cache behavior for every RCR_THREADS
+// setting (ties broken by smaller key).
+//
+// Counters (armed registry only): rcr.serve.cache.hits / .misses /
+// .evictions / .insertions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rcr/obs/obs.hpp"
+
+namespace rcr::serve {
+
+/// Aggregated cache statistics (sum over shards).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::size_t size = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Fixed-capacity key/value cache, sharded, LRU by deterministic stamp.
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// `capacity` entries total, spread over `shards` shards (each shard holds
+  /// capacity / shards, minimum 1).  `shards` is rounded up to a power of
+  /// two so the shard index is a mask of the mixed key.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 16) {
+    std::size_t n = 1;
+    while (n < shards) n <<= 1;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+    per_shard_capacity_ = capacity / n;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  }
+
+  /// Look up `key`; on a hit copies the value into `out`, refreshes the
+  /// entry's stamp to `stamp`, and returns true.
+  bool get(std::uint64_t key, std::uint64_t stamp, V& out) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.misses;
+      obs::counter_add("rcr.serve.cache.misses");
+      return false;
+    }
+    it->second.stamp = stamp;
+    out = it->second.value;
+    ++shard.hits;
+    obs::counter_add("rcr.serve.cache.hits");
+    return true;
+  }
+
+  /// Insert or overwrite `key`.  When the shard is full the entry with the
+  /// smallest stamp (oldest deterministic recency; ties to smaller key) is
+  /// evicted first.
+  void put(std::uint64_t key, std::uint64_t stamp, V value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second.stamp = stamp;
+      it->second.value = std::move(value);
+      return;
+    }
+    if (shard.map.size() >= per_shard_capacity_) {
+      auto victim = shard.map.begin();
+      for (auto cur = shard.map.begin(); cur != shard.map.end(); ++cur) {
+        if (cur->second.stamp < victim->second.stamp ||
+            (cur->second.stamp == victim->second.stamp &&
+             cur->first < victim->first))
+          victim = cur;
+      }
+      shard.map.erase(victim);
+      ++shard.evictions;
+      obs::counter_add("rcr.serve.cache.evictions");
+    }
+    shard.map.emplace(key, Entry{stamp, std::move(value)});
+    ++shard.insertions;
+    obs::counter_add("rcr.serve.cache.insertions");
+  }
+
+  /// Drop every entry (statistics are retained).
+  void clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.clear();
+    }
+  }
+
+  CacheStats stats() const {
+    CacheStats total;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total.hits += shard->hits;
+      total.misses += shard->misses;
+      total.evictions += shard->evictions;
+      total.insertions += shard->insertions;
+      total.size += shard->map.size();
+    }
+    return total;
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t stamp = 0;
+    V value{};
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    // Fibonacci mix so adjacent signatures spread across shards.
+    const std::uint64_t mixed = key * 0x9E3779B97F4A7C15ull;
+    return *shards_[(mixed >> 32) & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_ = 1;
+};
+
+}  // namespace rcr::serve

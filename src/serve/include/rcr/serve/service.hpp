@@ -1,0 +1,133 @@
+// Tick-driven QoS allocation service over rcr::qos (DESIGN.md §13).
+//
+// Every tick the service re-solves radio resource allocation for a fleet of
+// cells under a per-tick deadline.  Three mechanisms keep the tick cheap:
+//
+//  1. Warm starting -- each cell carries the ADMM splitting state of its
+//     previous solve; on a slowly-drifting channel the warm solve converges
+//     in a fraction of the cold iteration count.
+//  2. Solution caching -- a sharded LRU keyed by quantized problem
+//     signature returns the previous allocation outright when the problem
+//     did not change materially (block-fading coherence intervals).
+//  3. Batched parallel solves -- cells fan out across the global ThreadPool
+//     via rt::parallel_for with per-cell scratch arenas; the chunk
+//     decomposition and per-cell state make results bit-exact for every
+//     RCR_THREADS setting.
+//
+// Degradation: each cell solves through a FallbackChain "serve.cell"
+// (warm-started ADMM power QP -> water-filling -> equal power); when the
+// tick deadline expires before a cell's chain starts, the cell is filled
+// with the equal-power allocation inline so every cell always has an
+// answer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcr/opt/admm.hpp"
+#include "rcr/qos/rra.hpp"
+#include "rcr/robust/status.hpp"
+#include "rcr/serve/cache.hpp"
+#include "rcr/serve/signature.hpp"
+#include "rcr/serve/workload.hpp"
+
+namespace rcr::serve {
+
+/// Service knobs.
+struct ServiceConfig {
+  bool warm_start = true;     ///< Reuse each cell's previous ADMM state.
+  bool cache_enabled = true;  ///< Consult the solution cache before solving.
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
+  SignatureConfig signature;
+  /// Per-tick wall-clock deadline in seconds; <= 0 runs unlimited (the
+  /// deterministic default -- an armed deadline makes degradation
+  /// timing-dependent by design).
+  double tick_deadline_s = 0.0;
+  /// ADMM knobs for the per-cell power QP.
+  double admm_rho = 1.0;
+  double admm_tolerance = 1e-8;
+  std::size_t admm_max_iterations = 4000;
+  /// Scale of the soft power-budget penalty added to the QP Hessian
+  /// (multiplied by the largest curvature entry).
+  double budget_penalty = 1.0;
+  /// parallel_for grain: cells per chunk.
+  std::size_t cells_per_chunk = 1;
+};
+
+/// One cell's allocation for the current tick.
+struct CellAllocation {
+  qos::Assignment assignment;  ///< RB -> user.
+  Vec power;                   ///< Per-RB transmit power (sums to budget).
+  double sum_rate = 0.0;       ///< Achieved sum spectral efficiency.
+  std::size_t iterations = 0;  ///< ADMM iterations spent (0 on hit/fallback).
+  opt::WarmUse warm_use = opt::WarmUse::kCold;
+  bool cache_hit = false;
+  std::string step;            ///< Producing step: "cache", "admm",
+                               ///< "waterfill", "equal-power",
+                               ///< "deadline-fill".
+  robust::Status status;
+};
+
+/// Per-tick accounting.
+struct TickReport {
+  std::size_t tick = 0;
+  std::size_t cells = 0;
+  std::size_t cache_hits = 0;
+  std::size_t solves = 0;           ///< Cells that ran the fallback chain.
+  std::size_t warm_accepted = 0;    ///< Solves that reused warm state.
+  std::size_t degraded = 0;         ///< Cells answered below the ADMM head.
+  std::size_t deadline_fills = 0;   ///< Cells filled after deadline expiry.
+  std::size_t total_iterations = 0; ///< ADMM iterations across solves.
+  double sum_rate = 0.0;            ///< Fleet sum rate this tick.
+  double tick_seconds = 0.0;
+  /// FNV-1a over every cell's (assignment, power) in ascending cell order:
+  /// the cross-thread determinism witness.
+  std::uint64_t solution_hash = 0;
+};
+
+/// The tick loop.  Construct once per fleet; call tick() with consecutive
+/// tick indices.  Not itself thread-safe (one driver thread); the internal
+/// per-cell solves fan out across the pool.
+class AllocationService {
+ public:
+  /// Reads cell c's current problem; must be valid for the tick() call.
+  using ProblemFn = std::function<const RraProblem&(std::size_t)>;
+
+  AllocationService(const ServiceConfig& config, std::size_t num_cells);
+
+  /// Solve every cell for `tick_index`.  `problem_of` is called once per
+  /// cell (from pool threads; it must be safe to call concurrently for
+  /// distinct cells -- a const workload qualifies).
+  TickReport tick(std::size_t tick_index, const ProblemFn& problem_of);
+
+  /// Convenience: tick against a DiurnalWorkload (advance() it first).
+  TickReport tick(std::size_t tick_index, const DiurnalWorkload& workload);
+
+  std::size_t num_cells() const { return warm_.size(); }
+
+  /// Cell c's allocation from the most recent tick().
+  const CellAllocation& allocation(std::size_t c) const { return current_[c]; }
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Drop all warm states (every next solve runs cold).
+  void reset_warm_states();
+
+  /// Drop all cached solutions (statistics retained).
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  CellAllocation solve_cell(const RraProblem& problem, std::size_t cell,
+                            std::uint64_t stamp,
+                            const robust::Deadline& deadline);
+
+  ServiceConfig config_;
+  ShardedLruCache<CellAllocation> cache_;
+  std::vector<opt::AdmmWarmState> warm_;
+  std::vector<CellAllocation> current_;
+};
+
+}  // namespace rcr::serve

@@ -1,0 +1,47 @@
+// Quantized problem signatures for the allocation-service solution cache.
+//
+// Two RRA problems that differ only below channel-estimation accuracy should
+// share one cache entry: the signature hashes the problem *shape* (sizes,
+// power budget, QoS floors), the active-set fingerprint (which user owns
+// each RB under the best-gain seed assignment), and the channel gains
+// quantized onto a logarithmic grid.  Gains are quantized in the log2
+// domain because they span orders of magnitude -- a fixed linear quantum
+// would either collapse weak users or never bucket strong ones.
+//
+// The signature is a pure function of the problem and the config: no clock,
+// no global state, so it is bit-identical across threads and runs.
+#pragma once
+
+#include <cstdint>
+
+#include "rcr/qos/rra.hpp"
+
+namespace rcr::serve {
+
+using qos::RraProblem;
+
+/// Quantization knobs.  The defaults bucket gains to ~0.05 in log2 (about
+/// 0.15 dB), well inside typical CQI reporting accuracy.
+struct SignatureConfig {
+  /// Quantum of the log2(gain) grid.  Smaller = more cache misses but less
+  /// allocation error on a hit.  Must be > 0.
+  double gain_log2_quantum = 0.05;
+  /// Quantum for the power budget and QoS floors (linear domain).
+  double scalar_quantum = 1e-6;
+};
+
+/// FNV-1a over raw bytes (seeded so signatures chain).
+std::uint64_t fnv1a_bytes(const void* data, std::size_t bytes,
+                          std::uint64_t seed = 1469598103934665603ull);
+
+/// Quantize one gain onto the log2 grid: llround(log2(g) / quantum), with
+/// non-positive gains mapped to a sentinel bucket.
+std::int64_t quantize_gain(double gain, double log2_quantum);
+
+/// Signature of an RRA problem under the given quantization.  Hashes, in
+/// order: dimensions, quantized budget and QoS floors, the best-gain
+/// active-set fingerprint, and every quantized gain in row-major order.
+std::uint64_t problem_signature(const RraProblem& problem,
+                                const SignatureConfig& config = {});
+
+}  // namespace rcr::serve

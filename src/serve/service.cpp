@@ -1,0 +1,246 @@
+#include "rcr/serve/service.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "rcr/obs/obs.hpp"
+#include "rcr/robust/fallback.hpp"
+#include "rcr/rt/parallel.hpp"
+#include "rcr/rt/scratch_arena.hpp"
+
+namespace rcr::serve {
+
+namespace {
+
+constexpr double kInvLn2 = 1.4426950408889634074;  // 1 / ln 2
+
+/// Scale `power` so it sums to exactly `budget` (no-op on a zero vector).
+void rescale_to_budget(Vec& power, double budget) {
+  double total = 0.0;
+  for (double& p : power) {
+    if (p < 0.0) p = 0.0;
+    total += p;
+  }
+  if (total <= 0.0) return;
+  const double scale = budget / total;
+  for (double& p : power) p *= scale;
+}
+
+/// Sum spectral efficiency of an allocation over its per-RB gains.
+double sum_rate_of(const Vec& gains, const Vec& power) {
+  double rate = 0.0;
+  for (std::size_t rb = 0; rb < gains.size(); ++rb)
+    rate += std::log2(1.0 + power[rb] * gains[rb]);
+  return rate;
+}
+
+}  // namespace
+
+AllocationService::AllocationService(const ServiceConfig& config,
+                                     std::size_t num_cells)
+    : config_(config),
+      cache_(config.cache_capacity, config.cache_shards),
+      warm_(num_cells),
+      current_(num_cells) {
+  if (num_cells == 0)
+    throw std::invalid_argument("AllocationService: zero cells");
+}
+
+void AllocationService::reset_warm_states() {
+  for (auto& w : warm_) w.clear();
+}
+
+CellAllocation AllocationService::solve_cell(const RraProblem& problem,
+                                             std::size_t cell,
+                                             std::uint64_t stamp,
+                                             const robust::Deadline& deadline) {
+  CellAllocation alloc;
+  const std::uint64_t sig = problem_signature(problem, config_.signature);
+  if (config_.cache_enabled && cache_.get(sig, stamp, alloc)) {
+    alloc.cache_hit = true;
+    alloc.iterations = 0;
+    alloc.step = "cache";
+    return alloc;
+  }
+
+  auto arena_scope = rt::tls_arena().scope();
+  const std::size_t n = problem.num_rbs();
+  const double budget = problem.total_power;
+  const qos::Assignment assignment = qos::best_gain_assignment(problem);
+  const Vec gains = qos::assigned_gains(problem, assignment);
+
+  // Power model: second-order Taylor expansion of -sum log2(1 + g p) around
+  // the equal split p0 = budget / n, in the step variable d = p - p0:
+  //   P = diag(g^2 / (ln2 (1 + g p0)^2)) + 2 lambda 1 1^T
+  //   q = -g / (ln2 (1 + g p0))
+  // with a soft penalty lambda (1^T d)^2 holding the total at the budget and
+  // the box d in [-p0, budget - p0] keeping p nonnegative and bounded.
+  const double p0 = budget / static_cast<double>(n);
+  double* curv = rt::tls_arena().alloc<double>(n);
+  double* slope = rt::tls_arena().alloc<double>(n);
+  double max_curv = 0.0;
+  for (std::size_t rb = 0; rb < n; ++rb) {
+    const double g = gains[rb];
+    const double denom = 1.0 + g * p0;
+    curv[rb] = g * g * kInvLn2 / (denom * denom);
+    slope[rb] = -g * kInvLn2 / denom;
+    if (curv[rb] > max_curv) max_curv = curv[rb];
+  }
+  const double lambda =
+      config_.budget_penalty * (max_curv > 0.0 ? max_curv : 1.0);
+
+  Matrix p_mat(n, n, 2.0 * lambda);
+  Vec q(n), lo(n, -p0), hi(n, budget - p0);
+  for (std::size_t rb = 0; rb < n; ++rb) {
+    p_mat(rb, rb) += curv[rb];
+    q[rb] = slope[rb];
+  }
+
+  opt::AdmmWarmState* warm =
+      config_.warm_start ? &warm_[cell] : nullptr;
+
+  robust::FallbackChain<CellAllocation> chain("serve.cell");
+  chain
+      .add("admm", robust::Soundness::kRelaxation,
+           [&]() -> robust::Result<CellAllocation> {
+             robust::Result<CellAllocation> out;
+             auto factor =
+                 opt::try_prefactor_box_qp(p_mat, config_.admm_rho);
+             if (!factor.status.ok()) {
+               out.status = factor.status;
+               return out;
+             }
+             opt::AdmmOptions aopts;
+             aopts.rho = config_.admm_rho;
+             aopts.tolerance = config_.admm_tolerance;
+             aopts.max_iterations = config_.admm_max_iterations;
+             aopts.budget.deadline = deadline;
+             aopts.budget.check_stride = 16;
+             opt::AdmmResult r = opt::admm_box_qp(p_mat, factor.value, q, lo,
+                                                  hi, aopts, warm);
+             if (!r.status.usable()) {
+               out.status = r.status;
+               return out;
+             }
+             out.value.assignment = assignment;
+             out.value.power.resize(n);
+             for (std::size_t rb = 0; rb < n; ++rb)
+               out.value.power[rb] = p0 + r.x[rb];
+             rescale_to_budget(out.value.power, budget);
+             out.value.iterations = r.iterations;
+             out.value.warm_use = r.warm_use;
+             out.status = r.status;
+             return out;
+           })
+      .add("waterfill", robust::Soundness::kRelaxation,
+           [&]() -> robust::Result<CellAllocation> {
+             robust::Result<CellAllocation> out;
+             out.value.assignment = assignment;
+             out.value.power = qos::waterfill(gains, budget);
+             return out;
+           })
+      .add("equal-power", robust::Soundness::kHeuristic,
+           [&]() -> robust::Result<CellAllocation> {
+             robust::Result<CellAllocation> out;
+             out.value.assignment = assignment;
+             out.value.power.assign(n, p0);
+             return out;
+           });
+
+  robust::ChainOutcome<CellAllocation> outcome = chain.run(deadline);
+  if (outcome.status.code == robust::StatusCode::kFallbackExhausted) {
+    // Deadline fired before any step could run: every cell still gets an
+    // answer -- the zero-information equal split.
+    alloc.assignment = assignment;
+    alloc.power.assign(n, p0);
+    alloc.step = "deadline-fill";
+    alloc.status = outcome.status;
+    alloc.status.note("deadline expired before any step; equal-power fill");
+    obs::counter_add("rcr.serve.deadline_fills");
+  } else {
+    alloc = std::move(outcome.value);
+    alloc.step = outcome.step;
+    alloc.status = outcome.status;
+  }
+  alloc.sum_rate = sum_rate_of(gains, alloc.power);
+
+  if (config_.cache_enabled) cache_.put(sig, stamp, alloc);
+  return alloc;
+}
+
+TickReport AllocationService::tick(std::size_t tick_index,
+                                   const ProblemFn& problem_of) {
+  obs::Span span("serve.tick");
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t cells = warm_.size();
+  const robust::Deadline deadline =
+      config_.tick_deadline_s > 0.0
+          ? robust::Deadline::after_seconds(config_.tick_deadline_s)
+          : robust::Deadline::unlimited();
+
+  rt::parallel_for(
+      0, cells, std::max<std::size_t>(1, config_.cells_per_chunk),
+      [&](std::size_t c0, std::size_t c1) {
+        for (std::size_t c = c0; c < c1; ++c) {
+          const std::uint64_t stamp =
+              static_cast<std::uint64_t>(tick_index) * cells + c;
+          current_[c] = solve_cell(problem_of(c), c, stamp, deadline);
+        }
+      });
+
+  TickReport report;
+  report.tick = tick_index;
+  report.cells = cells;
+  report.solution_hash = 1469598103934665603ull;  // FNV offset basis
+  // Serial pass in ascending cell order: the report (and in particular the
+  // solution hash) is independent of which threads solved which cells.
+  for (std::size_t c = 0; c < cells; ++c) {
+    const CellAllocation& a = current_[c];
+    if (a.cache_hit) {
+      ++report.cache_hits;
+    } else {
+      ++report.solves;
+      report.total_iterations += a.iterations;
+      if (a.warm_use == opt::WarmUse::kAccepted) ++report.warm_accepted;
+      if (a.step != "admm" && a.step != "cache") ++report.degraded;
+      if (a.step == "deadline-fill") ++report.deadline_fills;
+    }
+    report.sum_rate += a.sum_rate;
+    report.solution_hash = fnv1a_bytes(
+        a.assignment.data(), a.assignment.size() * sizeof(std::size_t),
+        report.solution_hash);
+    report.solution_hash =
+        fnv1a_bytes(a.power.data(), a.power.size() * sizeof(double),
+                    report.solution_hash);
+  }
+  report.tick_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+
+  obs::counter_add("rcr.serve.ticks");
+  obs::counter_add("rcr.serve.solves", report.solves);
+  obs::counter_add("rcr.serve.iterations", report.total_iterations);
+  obs::gauge_set("rcr.serve.fleet_cells", static_cast<double>(cells));
+  obs::gauge_set("rcr.serve.last_sum_rate", report.sum_rate);
+  obs::histogram_observe("rcr.serve.tick_us",
+                         report.tick_seconds * 1e6);
+  span.attr("cells", static_cast<double>(cells));
+  span.attr("cache_hits", static_cast<double>(report.cache_hits));
+  span.attr("iterations", static_cast<double>(report.total_iterations));
+  return report;
+}
+
+TickReport AllocationService::tick(std::size_t tick_index,
+                                   const DiurnalWorkload& workload) {
+  if (workload.num_cells() != num_cells())
+    throw std::invalid_argument(
+        "AllocationService::tick: workload fleet size mismatch");
+  return tick(tick_index,
+              [&workload](std::size_t c) -> const RraProblem& {
+                return workload.cell(c);
+              });
+}
+
+}  // namespace rcr::serve

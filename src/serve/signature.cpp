@@ -1,0 +1,72 @@
+#include "rcr/serve/signature.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rcr::serve {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t bytes,
+                          std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t hash_u64(std::uint64_t value, std::uint64_t seed) {
+  return fnv1a_bytes(&value, sizeof(value), seed);
+}
+
+std::uint64_t hash_i64(std::int64_t value, std::uint64_t seed) {
+  return fnv1a_bytes(&value, sizeof(value), seed);
+}
+
+std::int64_t quantize_scalar(double value, double quantum) {
+  return static_cast<std::int64_t>(std::llround(value / quantum));
+}
+
+}  // namespace
+
+std::int64_t quantize_gain(double gain, double log2_quantum) {
+  // Sentinel bucket for dead subcarriers: far below any real quantized
+  // log2(g), so a gain crossing zero always changes the signature.
+  if (!(gain > 0.0)) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(
+      std::llround(std::log2(gain) / log2_quantum));
+}
+
+std::uint64_t problem_signature(const RraProblem& problem,
+                                const SignatureConfig& config) {
+  if (!(config.gain_log2_quantum > 0.0) || !(config.scalar_quantum > 0.0))
+    throw std::invalid_argument("problem_signature: quanta must be > 0");
+  const std::size_t users = problem.num_users();
+  const std::size_t rbs = problem.num_rbs();
+
+  std::uint64_t h = hash_u64(users, 1469598103934665603ull);
+  h = hash_u64(rbs, h);
+  h = hash_i64(quantize_scalar(problem.total_power, config.scalar_quantum), h);
+  for (double r : problem.min_rate)
+    h = hash_i64(quantize_scalar(r, config.scalar_quantum), h);
+
+  // Active-set fingerprint: which user wins each RB.  Quantization can leave
+  // the gain grid unchanged while the argmax flips on a near-tie; folding
+  // the argmax in keeps such problems on separate entries.
+  const qos::Assignment seed_assignment = qos::best_gain_assignment(problem);
+  for (std::size_t rb = 0; rb < rbs; ++rb)
+    h = hash_u64(seed_assignment[rb], h);
+
+  for (std::size_t u = 0; u < users; ++u)
+    for (std::size_t rb = 0; rb < rbs; ++rb)
+      h = hash_i64(quantize_gain(problem.gain(u, rb),
+                                 config.gain_log2_quantum),
+                   h);
+  return h;
+}
+
+}  // namespace rcr::serve

@@ -1,0 +1,145 @@
+#include "rcr/serve/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rcr::serve {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace
+
+DiurnalWorkload::DiurnalWorkload(const WorkloadConfig& config)
+    : config_(config) {
+  if (config_.num_cells == 0 || config_.num_rbs == 0)
+    throw std::invalid_argument("DiurnalWorkload: empty fleet or band");
+  if (config_.min_users == 0 || config_.peak_users < config_.min_users)
+    throw std::invalid_argument("DiurnalWorkload: bad user-count range");
+  if (config_.period_ticks == 0 || config_.coherence_ticks == 0)
+    throw std::invalid_argument("DiurnalWorkload: zero period or coherence");
+  if (!(config_.fade_blend >= 0.0 && config_.fade_blend <= 1.0))
+    throw std::invalid_argument("DiurnalWorkload: fade_blend outside [0,1]");
+
+  cells_.reserve(config_.num_cells);
+  for (std::size_t c = 0; c < config_.num_cells; ++c) {
+    // Distinct but deterministic per-cell stream: the golden-ratio stride
+    // decorrelates neighbouring cells under mt19937_64 seeding.
+    cells_.emplace_back(config_.seed + 0x9E3779B97F4A7C15ull * (c + 1));
+    CellState& cell = cells_.back();
+    const std::size_t start = target_users(c, 0);
+    for (std::size_t u = 0; u < start; ++u) add_user(cell);
+    rebuild_problem(cell);
+  }
+  next_tick_ = 1;
+}
+
+std::size_t DiurnalWorkload::target_users(std::size_t c,
+                                          std::size_t tick) const {
+  // Phase-shifted raised cosine between min_users and peak_users.
+  const double phase =
+      2.0 * kPi *
+      (static_cast<double>(tick % config_.period_ticks) /
+           static_cast<double>(config_.period_ticks) +
+       static_cast<double>(c) / static_cast<double>(config_.num_cells));
+  const double s = 0.5 * (1.0 - std::cos(phase));
+  const double span =
+      static_cast<double>(config_.peak_users - config_.min_users);
+  return config_.min_users +
+         static_cast<std::size_t>(std::llround(span * s));
+}
+
+void DiurnalWorkload::add_user(CellState& cell) {
+  // Area-uniform draw in the annulus [min_distance, cell_radius].
+  const double rmin = config_.channel.min_distance_m;
+  const double rmax = config_.channel.cell_radius_m;
+  const double u = cell.rng.uniform();
+  const double d = std::sqrt(rmin * rmin + u * (rmax * rmax - rmin * rmin));
+  cell.distances.push_back(d);
+
+  const std::size_t rows = cell.fading.rows();
+  Matrix grown(rows + 1, config_.num_rbs);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t rb = 0; rb < config_.num_rbs; ++rb)
+      grown(i, rb) = cell.fading(i, rb);
+  // Unit-mean exponential fading power (|h|^2 for Rayleigh h).
+  for (std::size_t rb = 0; rb < config_.num_rbs; ++rb)
+    grown(rows, rb) = cell.rng.exponential(1.0);
+  cell.fading = std::move(grown);
+}
+
+void DiurnalWorkload::remove_user(CellState& cell) {
+  const std::size_t n = cell.distances.size();
+  if (n == 0) return;
+  const std::size_t victim = static_cast<std::size_t>(
+      cell.rng.uniform_int(0, static_cast<int>(n) - 1));
+  cell.distances.erase(cell.distances.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+  Matrix shrunk(n - 1, config_.num_rbs);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == victim) continue;
+    for (std::size_t rb = 0; rb < config_.num_rbs; ++rb)
+      shrunk(out, rb) = cell.fading(i, rb);
+    ++out;
+  }
+  cell.fading = std::move(shrunk);
+}
+
+void DiurnalWorkload::refresh_fading(CellState& cell) {
+  const double blend = config_.fade_blend;
+  for (std::size_t i = 0; i < cell.fading.rows(); ++i)
+    for (std::size_t rb = 0; rb < config_.num_rbs; ++rb)
+      cell.fading(i, rb) = (1.0 - blend) * cell.fading(i, rb) +
+                           blend * cell.rng.exponential(1.0);
+}
+
+void DiurnalWorkload::rebuild_problem(CellState& cell) const {
+  const std::size_t users = cell.distances.size();
+  const double ref = db_to_linear(config_.channel.reference_gain_db);
+  const double noise_w =
+      db_to_linear(config_.channel.noise_power_dbm - 30.0);
+  cell.problem.gain.assign(users, config_.num_rbs);
+  for (std::size_t u = 0; u < users; ++u) {
+    const double pathloss =
+        ref * std::pow(cell.distances[u], -config_.channel.pathloss_exponent);
+    for (std::size_t rb = 0; rb < config_.num_rbs; ++rb)
+      cell.problem.gain(u, rb) = pathloss * cell.fading(u, rb) / noise_w;
+  }
+  cell.problem.total_power = config_.total_power;
+  cell.problem.min_rate.assign(users, config_.min_rate);
+}
+
+void DiurnalWorkload::advance(std::size_t tick) {
+  if (tick == 0 && next_tick_ == 1) return;  // tick 0 built in the ctor
+  if (tick != next_tick_)
+    throw std::invalid_argument(
+        "DiurnalWorkload::advance: ticks must be consecutive");
+  ++next_tick_;
+
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    CellState& cell = cells_[c];
+    cell.changed = false;
+
+    const std::size_t target = target_users(c, tick);
+    while (cell.distances.size() < target) {
+      add_user(cell);
+      cell.changed = true;
+    }
+    while (cell.distances.size() > target) {
+      remove_user(cell);
+      cell.changed = true;
+    }
+    // Stagger coherence expiry by cell so refreshes spread across ticks.
+    if ((tick + c) % config_.coherence_ticks == 0) {
+      refresh_fading(cell);
+      cell.changed = true;
+    }
+    if (cell.changed) rebuild_problem(cell);
+  }
+}
+
+}  // namespace rcr::serve

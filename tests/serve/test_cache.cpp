@@ -1,0 +1,170 @@
+// ShardedLruCache and problem-signature semantics.
+#include "rcr/serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "rcr/serve/signature.hpp"
+#include "rcr/serve/workload.hpp"
+
+namespace rcr::serve {
+namespace {
+
+TEST(ShardedLruCache, MissThenHit) {
+  ShardedLruCache<int> cache(64, 4);
+  int out = 0;
+  EXPECT_FALSE(cache.get(1, 0, out));
+  cache.put(1, 0, 41);
+  EXPECT_TRUE(cache.get(1, 1, out));
+  EXPECT_EQ(out, 41);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+}
+
+TEST(ShardedLruCache, PutOverwritesAndRefreshesStamp) {
+  ShardedLruCache<int> cache(64, 1);
+  cache.put(5, 0, 1);
+  cache.put(5, 3, 2);
+  int out = 0;
+  ASSERT_TRUE(cache.get(5, 4, out));
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(ShardedLruCache, EvictsSmallestStampDeterministically) {
+  // One shard of capacity 2: inserting a third key evicts the entry with
+  // the smallest stamp regardless of insertion order.
+  ShardedLruCache<int> cache(2, 1);
+  cache.put(10, 5, 1);
+  cache.put(20, 3, 2);  // oldest stamp
+  cache.put(30, 7, 3);  // evicts key 20
+  int out = 0;
+  EXPECT_TRUE(cache.get(10, 8, out));
+  EXPECT_FALSE(cache.get(20, 9, out));
+  EXPECT_TRUE(cache.get(30, 10, out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCache, GetRefreshesRecency) {
+  ShardedLruCache<int> cache(2, 1);
+  cache.put(1, 0, 1);
+  cache.put(2, 1, 2);
+  int out = 0;
+  ASSERT_TRUE(cache.get(1, 2, out));  // key 1 now newer than key 2
+  cache.put(3, 3, 3);                 // evicts key 2
+  EXPECT_TRUE(cache.get(1, 4, out));
+  EXPECT_FALSE(cache.get(2, 5, out));
+}
+
+TEST(ShardedLruCache, StampTiesBreakBySmallerKey) {
+  ShardedLruCache<int> cache(2, 1);
+  cache.put(7, 1, 1);
+  cache.put(9, 1, 2);   // same stamp
+  cache.put(11, 2, 3);  // tie on stamp 1 -> evict smaller key 7
+  int out = 0;
+  EXPECT_FALSE(cache.get(7, 3, out));
+  EXPECT_TRUE(cache.get(9, 4, out));
+}
+
+TEST(ShardedLruCache, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedLruCache<int> cache(100, 5);
+  EXPECT_EQ(cache.num_shards(), 8u);
+}
+
+TEST(ShardedLruCache, ConcurrentPutsAndGetsStayConsistent) {
+  ShardedLruCache<std::uint64_t> cache(1024, 16);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kKeysPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t]() {
+      for (std::size_t i = 0; i < kKeysPerThread; ++i) {
+        const std::uint64_t key = t * kKeysPerThread + i;
+        cache.put(key, key, key * 3);
+        std::uint64_t out = 0;
+        if (cache.get(key, key + 1, out)) EXPECT_EQ(out, key * 3);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.insertions, kThreads * kKeysPerThread);
+  EXPECT_LE(s.size, cache.capacity());
+}
+
+TEST(ProblemSignature, IdenticalProblemsShareSignature) {
+  WorkloadConfig wc;
+  wc.num_cells = 1;
+  DiurnalWorkload a(wc), b(wc);
+  EXPECT_EQ(problem_signature(a.cell(0)), problem_signature(b.cell(0)));
+}
+
+TEST(ProblemSignature, SubQuantumPerturbationKeepsSignature) {
+  WorkloadConfig wc;
+  wc.num_cells = 1;
+  DiurnalWorkload wl(wc);
+  RraProblem p = wl.cell(0);
+  const std::uint64_t before = problem_signature(p);
+  // A 0.01% gain change is far below the default 0.05 log2 quantum --
+  // except at a bucket boundary, which the fixture gains do not sit on.
+  p.gain(0, 0) *= 1.0001;
+  EXPECT_EQ(before, problem_signature(p));
+}
+
+TEST(ProblemSignature, MaterialChangesChangeSignature) {
+  WorkloadConfig wc;
+  wc.num_cells = 1;
+  DiurnalWorkload wl(wc);
+  const RraProblem& base = wl.cell(0);
+  const std::uint64_t sig = problem_signature(base);
+
+  RraProblem bigger_gain = base;
+  bigger_gain.gain(0, 0) *= 2.0;
+  EXPECT_NE(sig, problem_signature(bigger_gain));
+
+  RraProblem more_power = base;
+  more_power.total_power *= 2.0;
+  EXPECT_NE(sig, problem_signature(more_power));
+
+  RraProblem tighter_qos = base;
+  tighter_qos.min_rate[0] += 1.0;
+  EXPECT_NE(sig, problem_signature(tighter_qos));
+}
+
+TEST(ProblemSignature, QuantumControlsSensitivity) {
+  WorkloadConfig wc;
+  wc.num_cells = 1;
+  DiurnalWorkload wl(wc);
+  RraProblem p = wl.cell(0);
+  RraProblem drifted = p;
+  for (std::size_t u = 0; u < drifted.num_users(); ++u)
+    for (std::size_t rb = 0; rb < drifted.num_rbs(); ++rb)
+      drifted.gain(u, rb) *= 1.02;  // ~0.0286 in log2
+
+  SignatureConfig coarse;
+  coarse.gain_log2_quantum = 1.0;  // buckets of a full octave
+  EXPECT_EQ(problem_signature(p, coarse), problem_signature(drifted, coarse));
+
+  SignatureConfig fine;
+  fine.gain_log2_quantum = 1e-4;
+  EXPECT_NE(problem_signature(p, fine), problem_signature(drifted, fine));
+}
+
+TEST(ProblemSignature, ZeroGainUsesSentinelBucket) {
+  EXPECT_EQ(quantize_gain(0.0, 0.05),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(quantize_gain(-1.0, 0.05),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_NE(quantize_gain(1e-300, 0.05),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+}  // namespace
+}  // namespace rcr::serve

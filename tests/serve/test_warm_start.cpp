@@ -1,0 +1,328 @@
+// Warm-start contract tests for the solvers the serve layer resumes:
+// admm_box_qp, solve_sdp, and the QCQP barrier.
+//
+// The contract (src/opt/include/rcr/opt/warm.hpp):
+//  - a null or empty warm state is exactly the cold path (bit-identical);
+//  - a warm state equal to the cold initialization is bit-identical to cold;
+//  - a valid warm state from a nearby solve reaches the same fixed point
+//    within tolerance, in (typically far) fewer iterations;
+//  - a corrupted state (wrong size, NaN, Inf) is rejected: the solve runs
+//    cold bit-identically, records WarmUse::kRejected, and notes the trail;
+//  - the state is cleared after a numerical failure (chaos leg).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+#include "rcr/robust/fault_injection.hpp"
+
+namespace rcr::opt {
+namespace {
+
+Matrix random_spd(std::size_t n, num::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += a(k, i) * a(k, j);
+      p(i, j) = acc + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  return p;
+}
+
+struct BoxQpCase {
+  Matrix p;
+  BoxQpFactor factor;
+  Vec q, lo, hi;
+  AdmmOptions options;
+};
+
+BoxQpCase make_box_qp(std::uint64_t seed) {
+  num::Rng rng(seed);
+  BoxQpCase c;
+  const std::size_t n = 6;
+  c.p = random_spd(n, rng);
+  c.q = rng.normal_vec(n);
+  c.lo.assign(n, -1.0);
+  c.hi.assign(n, 1.0);
+  c.options.tolerance = 1e-10;
+  c.factor = prefactor_box_qp(c.p, c.options.rho);
+  return c;
+}
+
+TEST(AdmmWarmStart, NullAndEmptyAreColdBitIdentical) {
+  BoxQpCase c = make_box_qp(7);
+  const AdmmResult cold =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options);
+  const AdmmResult null_warm =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, nullptr);
+  AdmmWarmState empty;
+  const AdmmResult empty_warm =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, &empty);
+
+  EXPECT_EQ(null_warm.warm_use, WarmUse::kCold);
+  EXPECT_EQ(empty_warm.warm_use, WarmUse::kCold);
+  EXPECT_EQ(cold.iterations, null_warm.iterations);
+  EXPECT_EQ(cold.iterations, empty_warm.iterations);
+  for (std::size_t i = 0; i < cold.x.size(); ++i) {
+    EXPECT_EQ(cold.x[i], null_warm.x[i]);
+    EXPECT_EQ(cold.x[i], empty_warm.x[i]);
+  }
+  // Writeback happened: the empty state is now the converged one.
+  EXPECT_FALSE(empty.empty());
+}
+
+TEST(AdmmWarmStart, WarmStateEqualToColdInitIsBitIdentical) {
+  BoxQpCase c = make_box_qp(8);
+  const std::size_t n = c.q.size();
+  // Cold init is z = clamp(0, lo, hi) = 0 (box spans 0), u = 0.
+  AdmmWarmState warm;
+  warm.z.assign(n, 0.0);
+  warm.u.assign(n, 0.0);
+  const AdmmResult cold =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options);
+  const AdmmResult warmed =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, &warm);
+  EXPECT_EQ(warmed.warm_use, WarmUse::kAccepted);
+  EXPECT_EQ(cold.iterations, warmed.iterations);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(cold.x[i], warmed.x[i]);
+}
+
+TEST(AdmmWarmStart, WarmResolveReachesSameFixedPointInFewerIterations) {
+  BoxQpCase c = make_box_qp(9);
+  AdmmWarmState warm;
+  const AdmmResult first =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, &warm);
+  ASSERT_TRUE(first.converged);
+  ASSERT_FALSE(warm.empty());
+
+  // Drift the linear term slightly (the serve regime: AR(1) channel drift).
+  Vec q2 = c.q;
+  for (double& v : q2) v *= 1.01;
+  const AdmmResult cold2 =
+      admm_box_qp(c.p, c.factor, q2, c.lo, c.hi, c.options);
+  const AdmmResult warm2 =
+      admm_box_qp(c.p, c.factor, q2, c.lo, c.hi, c.options, &warm);
+  ASSERT_TRUE(cold2.converged);
+  ASSERT_TRUE(warm2.converged);
+  EXPECT_EQ(warm2.warm_use, WarmUse::kAccepted);
+  EXPECT_LT(warm2.iterations, cold2.iterations);
+  for (std::size_t i = 0; i < q2.size(); ++i)
+    EXPECT_NEAR(cold2.x[i], warm2.x[i], 1e-6);
+}
+
+TEST(AdmmWarmStart, CorruptedStateRejectedAndColdBitIdentical) {
+  BoxQpCase c = make_box_qp(10);
+  const std::size_t n = c.q.size();
+  const AdmmResult cold =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options);
+
+  const auto expect_rejected_cold = [&](AdmmWarmState& bad) {
+    const AdmmResult r =
+        admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, &bad);
+    EXPECT_EQ(r.warm_use, WarmUse::kRejected);
+    EXPECT_EQ(cold.iterations, r.iterations);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(cold.x[i], r.x[i]);
+    ASSERT_FALSE(r.status.trail.empty());
+    EXPECT_NE(r.status.trail.front().find("warm state rejected"),
+              std::string::npos);
+  };
+
+  AdmmWarmState wrong_size;
+  wrong_size.z.assign(n + 1, 0.0);
+  wrong_size.u.assign(n + 1, 0.0);
+  expect_rejected_cold(wrong_size);
+
+  AdmmWarmState nan_state;
+  nan_state.z.assign(n, 0.0);
+  nan_state.u.assign(n, 0.0);
+  nan_state.z[1] = std::numeric_limits<double>::quiet_NaN();
+  expect_rejected_cold(nan_state);
+
+  AdmmWarmState inf_state;
+  inf_state.z.assign(n, 0.0);
+  inf_state.u.assign(n, 0.0);
+  inf_state.u[0] = std::numeric_limits<double>::infinity();
+  expect_rejected_cold(inf_state);
+}
+
+TEST(AdmmWarmStart, ChaosNanIterateClearsWarmState) {
+  BoxQpCase c = make_box_qp(11);
+  AdmmWarmState warm;
+  const AdmmResult seed_run =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, &warm);
+  ASSERT_TRUE(seed_run.converged);
+  ASSERT_FALSE(warm.empty());
+
+  {
+    robust::faults::FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = 3;
+    fc.sites = "admm.iterate.nan";
+    fc.max_per_site = 1;
+    robust::faults::ScopedFaults scoped(fc);
+    const AdmmResult faulted =
+        admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, &warm);
+    ASSERT_EQ(faulted.status.code, robust::StatusCode::kNumericalFailure);
+  }
+  // The poisoned state must not leak into the next tick.
+  EXPECT_TRUE(warm.empty());
+
+  // And the next solve runs cold, bit-identical to a fresh cold solve.
+  const AdmmResult after =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options, &warm);
+  EXPECT_EQ(after.warm_use, WarmUse::kCold);
+  const AdmmResult cold =
+      admm_box_qp(c.p, c.factor, c.q, c.lo, c.hi, c.options);
+  EXPECT_EQ(cold.iterations, after.iterations);
+  for (std::size_t i = 0; i < cold.x.size(); ++i)
+    EXPECT_EQ(cold.x[i], after.x[i]);
+}
+
+Sdp make_sdp(std::uint64_t seed) {
+  num::Rng rng(seed);
+  const std::size_t n = 4;
+  Sdp sdp;
+  sdp.c = random_spd(n, rng);
+  Matrix a_tr(n, n);
+  for (std::size_t i = 0; i < n; ++i) a_tr(i, i) = 1.0;
+  sdp.a_eq.push_back(a_tr);
+  sdp.b_eq = {1.0};
+  return sdp;
+}
+
+TEST(SdpWarmStart, EmptyStateIsColdAndWrittenBack) {
+  const Sdp sdp = make_sdp(21);
+  SdpOptions options;
+  SdpWorkspace ws_cold, ws_warm;
+  const SdpResult cold = solve_sdp(sdp, options, ws_cold);
+  SdpWarmState warm;
+  const SdpResult warmed = solve_sdp(sdp, options, ws_warm, &warm);
+  EXPECT_EQ(warmed.warm_use, WarmUse::kCold);
+  EXPECT_EQ(cold.iterations, warmed.iterations);
+  for (std::size_t i = 0; i < sdp.dim(); ++i)
+    for (std::size_t j = 0; j < sdp.dim(); ++j)
+      EXPECT_EQ(cold.x(i, j), warmed.x(i, j));
+  EXPECT_FALSE(warm.empty());
+  EXPECT_EQ(warm.z.size(), sdp.dim() * sdp.dim());
+}
+
+TEST(SdpWarmStart, WarmResolveConvergesFasterOnDriftedProblem) {
+  const Sdp sdp = make_sdp(22);
+  SdpOptions options;
+  SdpWorkspace ws;
+  SdpWarmState warm;
+  const SdpResult first = solve_sdp(sdp, options, ws, &warm);
+  ASSERT_TRUE(first.converged);
+
+  Sdp drifted = sdp;
+  for (std::size_t i = 0; i < drifted.c.rows(); ++i)
+    for (std::size_t j = 0; j < drifted.c.cols(); ++j)
+      drifted.c(i, j) *= 1.01;
+  SdpWorkspace ws_cold;
+  const SdpResult cold = solve_sdp(drifted, options, ws_cold);
+  const SdpResult warmed = solve_sdp(drifted, options, ws, &warm);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warmed.converged);
+  EXPECT_EQ(warmed.warm_use, WarmUse::kAccepted);
+  EXPECT_LT(warmed.iterations, cold.iterations);
+  for (std::size_t i = 0; i < sdp.dim(); ++i)
+    for (std::size_t j = 0; j < sdp.dim(); ++j)
+      EXPECT_NEAR(cold.x(i, j), warmed.x(i, j), 1e-4);
+}
+
+TEST(SdpWarmStart, CorruptedStateRejectedColdBitIdentical) {
+  const Sdp sdp = make_sdp(23);
+  SdpOptions options;
+  SdpWorkspace ws_cold, ws_warm;
+  const SdpResult cold = solve_sdp(sdp, options, ws_cold);
+
+  SdpWarmState bad;
+  bad.z.assign(sdp.dim() * sdp.dim(), 0.0);
+  bad.u.assign(sdp.dim() * sdp.dim(), 0.0);
+  bad.u[2] = std::numeric_limits<double>::quiet_NaN();
+  const SdpResult r = solve_sdp(sdp, options, ws_warm, &bad);
+  EXPECT_EQ(r.warm_use, WarmUse::kRejected);
+  EXPECT_EQ(cold.iterations, r.iterations);
+  for (std::size_t i = 0; i < sdp.dim(); ++i)
+    for (std::size_t j = 0; j < sdp.dim(); ++j)
+      EXPECT_EQ(cold.x(i, j), r.x(i, j));
+}
+
+Qcqp make_qcqp() {
+  // min (x-1)^2 + (y-1)^2  s.t.  x^2 + y^2 <= 1  (active at the optimum).
+  Qcqp problem;
+  problem.objective.p = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+  problem.objective.q = {-2.0, -2.0};
+  QuadraticForm ball;
+  ball.p = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+  ball.q = {0.0, 0.0};
+  ball.r = -1.0;
+  problem.constraints.push_back(ball);
+  return problem;
+}
+
+TEST(QcqpWarmStart, EmptyStateIsColdAndWrittenBack) {
+  const Qcqp problem = make_qcqp();
+  BarrierOptions options;
+  const QcqpResult cold = solve_qcqp_barrier(problem);
+  BarrierWarmState warm;
+  const QcqpResult warmed = solve_qcqp_barrier(problem, options, &warm);
+  EXPECT_EQ(warmed.warm_use, WarmUse::kCold);
+  EXPECT_EQ(cold.newton_iterations, warmed.newton_iterations);
+  for (std::size_t i = 0; i < cold.x.size(); ++i)
+    EXPECT_EQ(cold.x[i], warmed.x[i]);
+  EXPECT_FALSE(warm.empty());
+  EXPECT_GT(warm.t, 0.0);
+}
+
+TEST(QcqpWarmStart, WarmResolveSkipsPhaseIAndConvergesFaster) {
+  const Qcqp problem = make_qcqp();
+  BarrierOptions options;
+  BarrierWarmState warm;
+  const QcqpResult first = solve_qcqp_barrier(problem, options, &warm);
+  ASSERT_TRUE(first.converged);
+
+  Qcqp drifted = problem;
+  drifted.objective.q = {-2.02, -1.98};
+  const QcqpResult cold = solve_qcqp_barrier(drifted);
+  const QcqpResult warmed = solve_qcqp_barrier(drifted, options, &warm);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warmed.converged);
+  EXPECT_EQ(warmed.warm_use, WarmUse::kAccepted);
+  EXPECT_LT(warmed.newton_iterations, cold.newton_iterations);
+  for (std::size_t i = 0; i < cold.x.size(); ++i)
+    EXPECT_NEAR(cold.x[i], warmed.x[i], 1e-5);
+}
+
+TEST(QcqpWarmStart, InfeasibleWarmPointRejectedColdBitIdentical) {
+  const Qcqp problem = make_qcqp();
+  BarrierOptions options;
+  const QcqpResult cold = solve_qcqp_barrier(problem);
+
+  BarrierWarmState outside;
+  outside.x = {2.0, 2.0};  // outside the unit ball: not strictly feasible
+  outside.t = 100.0;
+  const QcqpResult r = solve_qcqp_barrier(problem, options, &outside);
+  EXPECT_EQ(r.warm_use, WarmUse::kRejected);
+  EXPECT_EQ(cold.newton_iterations, r.newton_iterations);
+  for (std::size_t i = 0; i < cold.x.size(); ++i)
+    EXPECT_EQ(cold.x[i], r.x[i]);
+
+  BarrierWarmState nan_state;
+  nan_state.x = {std::numeric_limits<double>::quiet_NaN(), 0.0};
+  nan_state.t = 10.0;
+  const QcqpResult r2 = solve_qcqp_barrier(problem, options, &nan_state);
+  EXPECT_EQ(r2.warm_use, WarmUse::kRejected);
+  EXPECT_EQ(cold.newton_iterations, r2.newton_iterations);
+}
+
+}  // namespace
+}  // namespace rcr::opt
