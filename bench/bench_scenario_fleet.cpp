@@ -1,0 +1,121 @@
+// Conformance-fleet benchmark for rcr::scn (DESIGN.md §14).
+//
+// Enumerates the declarative conformance fleet and replays every scenario
+// through the verdict grader (AllocationService underneath), measuring
+// grading throughput rather than solver quality: scenarios/s, p50/p99 grade
+// latency, and the verdict distribution.  Writes BENCH_perf_scn.json.
+//
+// RCR_BENCH_SMOKE=1 stride-samples the fleet down to ~96 scenarios for CI
+// smoke jobs; RCR_SCN_SEED/RCR_SCN_FLEET keep their usual meaning.  The run
+// fails (exit 2) if any scenario grades unsound -- the bench doubles as a
+// cheap conformance gate on perf hardware.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "rcr/scn/dsl.hpp"
+#include "rcr/scn/grader.hpp"
+
+namespace {
+
+using rcr::scn::FleetSpec;
+using rcr::scn::GraderOptions;
+using rcr::scn::ScenarioSpec;
+using rcr::scn::ScenarioVerdict;
+using rcr::scn::Verdict;
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = rcr::bench::smoke_mode();
+
+  const FleetSpec fleet_spec = rcr::scn::conformance_fleet();
+  const std::uint64_t fleet_seed = fleet_spec.fleet_seed();
+  std::vector<ScenarioSpec> fleet = fleet_spec.enumerate();
+  if (smoke && fleet.size() > 96) {
+    // Stride-sample so the smoke fleet still spans every axis.
+    const std::size_t stride = (fleet.size() + 95) / 96;
+    std::vector<ScenarioSpec> sampled;
+    for (std::size_t i = 0; i < fleet.size(); i += stride)
+      sampled.push_back(fleet[i]);
+    fleet.swap(sampled);
+  }
+
+  std::printf("=== scenario fleet (threads=%zu%s): %zu scenarios, seed %llu ===\n\n",
+              rcr::rt::global_threads(), smoke ? ", smoke" : "", fleet.size(),
+              static_cast<unsigned long long>(fleet_seed));
+
+  const GraderOptions options;
+  std::size_t counts[4] = {0, 0, 0, 0};  // pass, degraded, fail, unsound
+  std::vector<double> grade_us;
+  grade_us.reserve(fleet.size());
+  double total_points = 0.0;
+  std::size_t cell_ticks = 0;
+  std::vector<std::string> unsound_replays;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const ScenarioSpec& spec : fleet) {
+    const auto s0 = std::chrono::steady_clock::now();
+    const ScenarioVerdict v = rcr::scn::grade_scenario(spec, options);
+    const auto s1 = std::chrono::steady_clock::now();
+    grade_us.push_back(
+        std::chrono::duration<double, std::micro>(s1 - s0).count());
+    ++counts[static_cast<std::size_t>(v.verdict)];
+    total_points += v.points;
+    cell_ticks += v.cell_ticks;
+    if (v.verdict == Verdict::kUnsound)
+      unsound_replays.push_back(spec.replay_line(fleet_seed));
+  }
+  const double total_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const double scenarios_per_s =
+      total_s > 0.0 ? static_cast<double>(fleet.size()) / total_s : 0.0;
+  const double p50 = percentile(grade_us, 0.50);
+  const double p99 = percentile(grade_us, 0.99);
+  const double mean_points =
+      fleet.empty() ? 0.0 : total_points / static_cast<double>(fleet.size());
+
+  std::printf("%12s %12s %12s %12s\n", "scenarios/s", "p50(us)", "p99(us)",
+              "cell-ticks");
+  std::printf("%12.1f %12.1f %12.1f %12zu\n\n", scenarios_per_s, p50, p99,
+              cell_ticks);
+  std::printf("verdicts: pass=%zu degraded=%zu fail=%zu unsound=%zu "
+              "(mean points %.1f)\n",
+              counts[0], counts[1], counts[2], counts[3], mean_points);
+  for (const std::string& replay : unsound_replays)
+    std::printf("UNSOUND: %s\n", replay.c_str());
+
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"bench\":\"scenario_fleet\",\"threads\":%zu,\"smoke\":%d,"
+      "\"fleet_seed\":%llu,\"scenarios\":%zu,\"cell_ticks\":%zu,"
+      "\"scenarios_per_s\":%.1f,\"grade_p50_us\":%.1f,\"grade_p99_us\":%.1f,"
+      "\"mean_points\":%.2f,\"verdicts\":{\"pass\":%zu,\"degraded\":%zu,"
+      "\"fail\":%zu,\"unsound\":%zu}}",
+      rcr::rt::global_threads(), smoke ? 1 : 0,
+      static_cast<unsigned long long>(fleet_seed), fleet.size(), cell_ticks,
+      scenarios_per_s, p50, p99, mean_points, counts[0], counts[1], counts[2],
+      counts[3]);
+
+  std::printf("\n%s\n", buf);
+  std::FILE* f = std::fopen("BENCH_perf_scn.json", "w");
+  if (f == nullptr) return 1;
+  std::fprintf(f, "%s\n", buf);
+  std::fclose(f);
+  return counts[3] == 0 ? 0 : 2;
+}

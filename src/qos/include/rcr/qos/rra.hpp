@@ -60,6 +60,33 @@ Assignment best_gain_assignment(const RraProblem& problem);
 /// assignment of the wrong length or with out-of-range user indices.
 Vec assigned_gains(const RraProblem& problem, const Assignment& assignment);
 
+/// Constraint residuals of an externally produced allocation — the
+/// conformance grader's feasibility probe.  All violations are reported as
+/// nonnegative magnitudes (0 = satisfied).
+struct AllocationResiduals {
+  double budget_excess = 0.0;    ///< max(0, sum(power) - total_power).
+  double negative_power = 0.0;   ///< max(0, -min(power)).
+  bool assignment_valid = true;  ///< Right length, in-range user indices.
+
+  double max_violation() const {
+    return budget_excess > negative_power ? budget_excess : negative_power;
+  }
+};
+
+/// Measure `power`/`assignment` against the problem's power constraints.
+/// Unlike assigned_gains this never throws: a malformed assignment is itself
+/// the finding (assignment_valid = false).  Non-finite powers report an
+/// infinite violation.
+AllocationResiduals allocation_residuals(const RraProblem& problem,
+                                         const Assignment& assignment,
+                                         const Vec& power);
+
+/// Achieved per-user rates of an externally produced allocation:
+/// rate[u] = sum over RBs assigned to u of log2(1 + power[rb] * gain(u, rb)).
+/// Throws std::invalid_argument on a malformed assignment or power length.
+Vec per_user_rates(const RraProblem& problem, const Assignment& assignment,
+                   const Vec& power);
+
 /// Two-phase power allocation for a fixed assignment: first the minimum
 /// power meeting each user's QoS floor (on that user's best assigned RBs),
 /// then water-filling of the residual budget.  Returns std::nullopt when the

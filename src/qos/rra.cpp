@@ -211,6 +211,47 @@ Vec assigned_gains(const RraProblem& problem, const Assignment& assignment) {
   return gains;
 }
 
+AllocationResiduals allocation_residuals(const RraProblem& problem,
+                                         const Assignment& assignment,
+                                         const Vec& power) {
+  AllocationResiduals residuals;
+  if (assignment.size() != problem.num_rbs() ||
+      power.size() != problem.num_rbs()) {
+    residuals.assignment_valid = false;
+    return residuals;
+  }
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb) {
+    if (assignment[rb] >= problem.num_users()) {
+      residuals.assignment_valid = false;
+      return residuals;
+    }
+  }
+  double total = 0.0;
+  for (double p : power) {
+    if (!std::isfinite(p)) {
+      residuals.budget_excess = std::numeric_limits<double>::infinity();
+      residuals.negative_power = std::numeric_limits<double>::infinity();
+      return residuals;
+    }
+    total += p;
+    if (-p > residuals.negative_power) residuals.negative_power = -p;
+  }
+  if (total > problem.total_power)
+    residuals.budget_excess = total - problem.total_power;
+  return residuals;
+}
+
+Vec per_user_rates(const RraProblem& problem, const Assignment& assignment,
+                   const Vec& power) {
+  if (power.size() != problem.num_rbs())
+    throw std::invalid_argument("per_user_rates: power length mismatch");
+  const Vec gains = assigned_gains(problem, assignment);  // validates
+  Vec rates(problem.num_users(), 0.0);
+  for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)
+    rates[assignment[rb]] += std::log2(1.0 + power[rb] * gains[rb]);
+  return rates;
+}
+
 double relaxation_upper_bound(const RraProblem& problem) {
   Vec best_gain(problem.num_rbs(), 0.0);
   for (std::size_t rb = 0; rb < problem.num_rbs(); ++rb)

@@ -38,6 +38,12 @@ const std::vector<std::string>& site_registry() {
       "qos.exact.stall",        // slow path in the exact RRA/multi-RAT search
       "rrm.deadline",           // forced deadline expiry between RRM slots
       "stack.deadline",         // forced deadline expiry between stack phases
+      // serve.* sites model per-cell RAT outages in the allocation service.
+      // All three are *keyed* by the deterministic cell stamp (tick * cells
+      // + cell) so injection is independent of the pool thread schedule.
+      "serve.admm.outage",      // fail the serve.cell chain's ADMM head
+      "serve.waterfill.outage", // fail the water-filling fallback step
+      "serve.cache.drop",       // force a solution-cache miss for the cell
   };
   return kSites;
 }

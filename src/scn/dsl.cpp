@@ -1,0 +1,251 @@
+#include "rcr/scn/dsl.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "rcr/testkit/env.hpp"
+
+namespace rcr::scn {
+
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 0);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+FleetSpec& FleetSpec::cells(std::size_t lo, std::size_t hi) {
+  if (lo == 0 || hi < lo)
+    throw std::invalid_argument("FleetSpec::cells: bad range");
+  cells_.clear();
+  for (std::size_t v = lo; v <= hi; ++v) cells_.push_back(v);
+  return *this;
+}
+
+FleetSpec& FleetSpec::cells(std::initializer_list<std::size_t> values) {
+  cells_.assign(values);
+  return *this;
+}
+
+FleetSpec& FleetSpec::users_per_cell(
+    std::initializer_list<std::size_t> values) {
+  users_.assign(values);
+  return *this;
+}
+
+FleetSpec& FleetSpec::rbs(std::initializer_list<std::size_t> values) {
+  rbs_.assign(values);
+  return *this;
+}
+
+FleetSpec& FleetSpec::ticks(std::initializer_list<std::size_t> values) {
+  ticks_.assign(values);
+  return *this;
+}
+
+FleetSpec& FleetSpec::slices(std::initializer_list<SliceMix> mixes) {
+  slices_.assign(mixes);
+  return *this;
+}
+
+FleetSpec& FleetSpec::mobility(std::initializer_list<double> handover_rates) {
+  mobility_.assign(handover_rates);
+  return *this;
+}
+
+FleetSpec& FleetSpec::traffic(std::initializer_list<Traffic> patterns) {
+  traffic_.assign(patterns);
+  return *this;
+}
+
+FleetSpec& FleetSpec::rat_outage(
+    std::initializer_list<std::string> fragments) {
+  faults_.assign(fragments);
+  return *this;
+}
+
+FleetSpec& FleetSpec::seed(std::uint64_t fleet_seed) {
+  seed_ = fleet_seed;
+  return *this;
+}
+
+FleetSpec& FleetSpec::honor_env(bool on) {
+  honor_env_ = on;
+  return *this;
+}
+
+std::uint64_t FleetSpec::fleet_seed() const {
+  return honor_env_ ? env_fleet_seed().value_or(seed_) : seed_;
+}
+
+std::size_t FleetSpec::cardinality() const {
+  return cells_.size() * users_.size() * rbs_.size() * ticks_.size() *
+         slices_.size() * mobility_.size() * traffic_.size() * faults_.size();
+}
+
+std::vector<ScenarioSpec> FleetSpec::enumerate() const {
+  if (cells_.empty() || users_.empty() || rbs_.empty() || ticks_.empty() ||
+      slices_.empty() || mobility_.empty() || traffic_.empty() ||
+      faults_.empty())
+    throw std::invalid_argument("FleetSpec::enumerate: empty axis");
+  for (std::size_t v : cells_)
+    if (v == 0) throw std::invalid_argument("FleetSpec: zero cells");
+  for (std::size_t v : users_)
+    if (v == 0) throw std::invalid_argument("FleetSpec: zero users");
+  for (std::size_t v : rbs_)
+    if (v == 0) throw std::invalid_argument("FleetSpec: zero rbs");
+  for (std::size_t v : ticks_)
+    if (v == 0) throw std::invalid_argument("FleetSpec: zero ticks");
+  for (const SliceMix& mix : slices_)
+    if (mix.count() == 0)
+      throw std::invalid_argument("FleetSpec: empty slice mix");
+  for (double rate : mobility_)
+    if (!(rate >= 0.0 && rate <= 1.0))
+      throw std::invalid_argument("FleetSpec: mobility outside [0,1]");
+
+  const std::uint64_t fseed = fleet_seed();
+  const std::optional<std::size_t> only =
+      honor_env_ ? env_only_index() : std::nullopt;
+  const std::optional<std::size_t> cap =
+      honor_env_ ? env_fleet_cap() : std::nullopt;
+  const std::size_t total = cardinality();
+
+  // Stride sampling keeps a capped fleet spanning every axis rather than a
+  // prefix of the cartesian walk (the last axes vary fastest).
+  std::size_t stride = 1;
+  if (cap && *cap > 0 && *cap < total)
+    stride = (total + *cap - 1) / *cap;
+
+  std::vector<ScenarioSpec> fleet;
+  fleet.reserve(only ? 1 : (total / stride + 1));
+
+  // Canonical axis order, last axis fastest.
+  std::size_t index = 0;
+  for (std::size_t c : cells_)
+    for (std::size_t u : users_)
+      for (std::size_t r : rbs_)
+        for (std::size_t t : ticks_)
+          for (const SliceMix& mix : slices_)
+            for (double rate : mobility_)
+              for (Traffic pattern : traffic_)
+                for (const std::string& fragment : faults_) {
+                  const std::size_t i = index++;
+                  if (only) {
+                    if (i != *only) continue;
+                  } else if (i % stride != 0) {
+                    continue;
+                  }
+                  ScenarioSpec spec;
+                  spec.index = i;
+                  spec.seed = testkit::splitmix64(fseed + i);
+                  spec.cells = c;
+                  spec.users_per_cell = u;
+                  spec.rbs = r;
+                  spec.ticks = t;
+                  spec.slices = mix;
+                  spec.handover_rate = rate;
+                  spec.traffic = pattern;
+                  spec.faults = fragment;
+                  fleet.push_back(std::move(spec));
+                }
+  if (only && fleet.empty())
+    throw std::invalid_argument(
+        "RCR_SCN_ONLY index outside the fleet cardinality");
+  return fleet;
+}
+
+std::vector<ScenarioSpec> shrink(const ScenarioSpec& spec) {
+  std::vector<ScenarioSpec> simpler;
+  const auto push = [&](ScenarioSpec candidate) {
+    simpler.push_back(std::move(candidate));
+  };
+  // Halve-then-decrement per size axis, mirroring testkit::shrink_size.
+  const auto shrink_size = [&](std::size_t ScenarioSpec::*field,
+                               std::size_t floor_value) {
+    const std::size_t value = spec.*field;
+    if (value <= floor_value) return;
+    const std::size_t half = floor_value + (value - floor_value) / 2;
+    if (half != value) {
+      ScenarioSpec candidate = spec;
+      candidate.*field = half;
+      push(candidate);
+    }
+    if (value - 1 != half) {
+      ScenarioSpec candidate = spec;
+      candidate.*field = value - 1;
+      push(candidate);
+    }
+  };
+  shrink_size(&ScenarioSpec::cells, 1);
+  shrink_size(&ScenarioSpec::users_per_cell, 1);
+  shrink_size(&ScenarioSpec::rbs, 1);
+  shrink_size(&ScenarioSpec::ticks, 1);
+  if (spec.slices.count() > 1) {
+    ScenarioSpec candidate = spec;
+    candidate.slices = SliceMix{true, false, false};
+    push(candidate);
+  }
+  if (spec.handover_rate > 0.0) {
+    ScenarioSpec candidate = spec;
+    candidate.handover_rate = 0.0;
+    push(candidate);
+  }
+  if (!spec.faults.empty()) {
+    ScenarioSpec candidate = spec;
+    candidate.faults.clear();
+    push(candidate);
+  }
+  if (spec.traffic != Traffic::kStatic) {
+    ScenarioSpec candidate = spec;
+    candidate.traffic = Traffic::kStatic;
+    push(candidate);
+  }
+  return simpler;
+}
+
+FleetSpec conformance_fleet() {
+  return FleetSpec()
+      .cells(2, 8)
+      .users_per_cell({2, 3, 4})
+      .rbs({4, 6, 8})
+      .ticks({6})
+      .slices({{true, false, false},
+               {true, true, false},
+               {true, true, true},
+               {false, true, true}})
+      .mobility({0.0, 0.2})
+      .traffic({Traffic::kDiurnal, Traffic::kBursty})
+      .rat_outage({"", "sites=serve.*,rate=0.25"})
+      .seed(0x5c300001ull)
+      .honor_env();
+}
+
+std::optional<std::uint64_t> env_fleet_seed() {
+  return env_u64("RCR_SCN_SEED");
+}
+
+std::optional<std::size_t> env_only_index() {
+  const auto value = env_u64("RCR_SCN_ONLY");
+  if (!value) return std::nullopt;
+  return static_cast<std::size_t>(*value);
+}
+
+std::optional<std::size_t> env_fleet_cap() {
+  const auto value = env_u64("RCR_SCN_FLEET");
+  if (!value) return std::nullopt;
+  return static_cast<std::size_t>(*value);
+}
+
+std::string env_report_path() {
+  const char* raw = std::getenv("RCR_SCN_REPORT");
+  if (raw == nullptr || raw[0] == '\0') return "scn_report.json";
+  return raw;
+}
+
+}  // namespace rcr::scn

@@ -1,0 +1,378 @@
+#include "rcr/scn/grader.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "rcr/qos/channel.hpp"
+#include "rcr/robust/fault_injection.hpp"
+
+namespace rcr::scn {
+
+namespace {
+
+// A fault fragment rides the RCR_FAULTS spec grammar but must stay inside
+// the keyed serve.* sites: counter-keyed streams (any other module) and
+// per-site caps make injection order depend on the thread schedule, which
+// would break the byte-identical-report contract.
+void validate_fragment(const std::string& fragment) {
+  if (fragment.empty()) return;
+  if (fragment.find("sites=serve.") == std::string::npos)
+    throw std::invalid_argument(
+        "scenario fault fragment must target sites=serve.* (got \"" +
+        fragment + "\")");
+  if (fragment.find("max=") != std::string::npos)
+    throw std::invalid_argument(
+        "scenario fault fragment must not cap injections (max= makes the "
+        "fired-count schedule-dependent)");
+  if (fragment.find("seed=") != std::string::npos)
+    throw std::invalid_argument(
+        "scenario fault fragment must not pin seed= (the grader seeds the "
+        "spec per scenario)");
+}
+
+bool finite_nonnegative(const Vec& power) {
+  for (double p : power) {
+    if (!std::isfinite(p) || p < -1e-12) return false;
+  }
+  return true;
+}
+
+std::size_t count_failed_steps(const std::vector<std::string>& trail) {
+  std::size_t failed = 0;
+  for (const std::string& line : trail)
+    if (line.find("' failed") != std::string::npos) ++failed;
+  return failed;
+}
+
+void format_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kPass:
+      return "pass";
+    case Verdict::kDegraded:
+      return "degraded";
+    case Verdict::kFail:
+      return "fail";
+    case Verdict::kUnsound:
+      return "unsound";
+  }
+  return "unknown";
+}
+
+ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
+                               const GraderOptions& options) {
+  validate_fragment(spec.faults);
+  if (options.service.tick_deadline_s > 0.0)
+    throw std::invalid_argument(
+        "grade_scenario: armed wall-clock deadlines make verdicts "
+        "timing-dependent; grade with tick_deadline_s <= 0");
+
+  ScenarioVerdict v;
+  v.index = spec.index;
+  v.seed = spec.seed;
+
+  // Install the scenario's fault leg for the duration of the replay, seeded
+  // by the case seed so the injection stream is part of the scenario.
+  std::optional<robust::faults::ScopedFaults> faults;
+  if (!spec.faults.empty()) {
+    faults.emplace("seed=" + std::to_string(spec.seed) + "," + spec.faults);
+    if (!robust::faults::enabled())
+      throw std::invalid_argument("scenario fault fragment failed to parse: " +
+                                  spec.faults);
+  }
+
+  ScenarioWorkload workload(spec);
+  serve::AllocationService service(options.service, spec.cells);
+
+  std::size_t sla_met = 0;
+  std::size_t deadline_hits = 0;
+  const auto record = [&](const std::string& line) {
+    if (v.detail.empty()) v.detail = line;
+  };
+
+  for (std::size_t t = 0; t < spec.ticks; ++t) {
+    workload.advance(t);
+    const serve::TickReport report = service.tick(
+        t, [&workload](std::size_t c) -> const qos::RraProblem& {
+          return workload.cell(c);
+        });
+    v.cache_hits += report.cache_hits;
+    v.warm_accepted += report.warm_accepted;
+    v.degraded += report.degraded;
+    v.deadline_fills += report.deadline_fills;
+    if (t + 1 == spec.ticks) {
+      v.fleet_sum_rate = report.sum_rate;
+      v.solution_hash = report.solution_hash;
+    }
+
+    for (std::size_t c = 0; c < spec.cells; ++c) {
+      const serve::CellAllocation& alloc = service.allocation(c);
+      const qos::RraProblem& problem = workload.cell(c);
+      ++v.cell_ticks;
+      char where[64];
+      std::snprintf(where, sizeof(where), "tick %zu cell %zu: ", t, c);
+
+      // --- Degradation soundness -------------------------------------
+      bool sound = true;
+      if (!alloc.status.usable()) {
+        sound = false;
+        record(std::string(where) + "unusable status " +
+               alloc.status.to_string());
+      } else if (alloc.step.empty()) {
+        sound = false;
+        record(std::string(where) + "allocation carries no producing step");
+      } else if (!finite_nonnegative(alloc.power) ||
+                 !std::isfinite(alloc.sum_rate)) {
+        sound = false;
+        record(std::string(where) + "non-finite or negative allocation from "
+                                    "step '" + alloc.step + "'");
+      } else if (alloc.assignment.size() != problem.num_rbs()) {
+        sound = false;
+        record(std::string(where) + "assignment length mismatch");
+      } else if (alloc.step == "equal-power" &&
+                 count_failed_steps(alloc.status.trail) < 2) {
+        // The heuristic tail may only answer after both sound steps
+        // (admm, waterfill) failed on the record.
+        sound = false;
+        record(std::string(where) +
+               "heuristic equal-power answered without a recorded failure "
+               "of both sound steps");
+      } else if (alloc.step == "waterfill" &&
+                 count_failed_steps(alloc.status.trail) < 1) {
+        sound = false;
+        record(std::string(where) +
+               "waterfill answered without a recorded admm failure");
+      } else if (alloc.step != "admm" && alloc.step != "cache" &&
+                 alloc.status.trail.empty()) {
+        sound = false;
+        record(std::string(where) + "degraded step '" + alloc.step +
+               "' carries an empty degradation trail");
+      }
+      if (!sound) ++v.unsound_degradations;
+
+      // --- Feasibility residuals -------------------------------------
+      const qos::AllocationResiduals residuals =
+          qos::allocation_residuals(problem, alloc.assignment, alloc.power);
+      if (!residuals.assignment_valid) {
+        ++v.unsound_degradations;
+        record(std::string(where) + "assignment names an unknown user");
+      } else if (residuals.max_violation() > v.feasibility_residual) {
+        v.feasibility_residual = residuals.max_violation();
+        if (residuals.max_violation() > 1e-9)
+          record(std::string(where) + "feasibility residual " +
+                 std::to_string(residuals.max_violation()));
+      }
+
+      // --- Deadline hit-rate ----------------------------------------
+      if (alloc.step == "cache" || alloc.step == "admm") ++deadline_hits;
+
+      // --- Per-slice SLA ---------------------------------------------
+      // One check per (cell, tick, slice class) present: the slice's
+      // aggregate rate must meet floor x population (the service maximizes
+      // cell sum rate, so slice commitments -- not per-user fairness -- are
+      // the contract under grade).  mMTC's SLA is access: the cell answered
+      // through the chain rather than a deadline fill.
+      if (residuals.assignment_valid) {
+        const Vec rates =
+            qos::per_user_rates(problem, alloc.assignment, alloc.power);
+        double class_rate[3] = {0.0, 0.0, 0.0};
+        std::size_t class_users[3] = {0, 0, 0};
+        for (std::size_t u = 0; u < rates.size(); ++u) {
+          const std::size_t k =
+              static_cast<std::size_t>(workload.slice_of(c, u));
+          class_rate[k] += rates[u];
+          ++class_users[k];
+        }
+        for (std::size_t k = 0; k < 3; ++k) {
+          if (class_users[k] == 0) continue;
+          ++v.sla_checks;
+          const ServiceClass service_class = static_cast<ServiceClass>(k);
+          bool met;
+          if (service_class == ServiceClass::kMmtc) {
+            met = alloc.step != "deadline-fill";
+          } else {
+            met = class_rate[k] + 1e-12 >=
+                  sla_floor(options.sla, service_class) *
+                      static_cast<double>(class_users[k]);
+          }
+          if (met) {
+            ++sla_met;
+          } else if (v.detail.empty()) {
+            record(std::string(where) + "slice " +
+                   qos::to_string(service_class) +
+                   " below its aggregate SLA floor");
+          }
+        }
+      }
+    }
+  }
+
+  v.sla_satisfaction =
+      v.sla_checks == 0
+          ? 1.0
+          : static_cast<double>(sla_met) / static_cast<double>(v.sla_checks);
+  v.deadline_hit_rate =
+      v.cell_ticks == 0 ? 1.0
+                        : static_cast<double>(deadline_hits) /
+                              static_cast<double>(v.cell_ticks);
+
+  // --- Points -------------------------------------------------------
+  double points = 0.0;
+  if (v.feasibility_residual <= 1e-9)
+    points += kFeasibilityPoints;
+  else if (v.feasibility_residual <= 1e-6)
+    points += kFeasibilityPoints / 2.0;
+  points += kSlaPoints * v.sla_satisfaction;
+  points += kDeadlinePoints * v.deadline_hit_rate;
+  if (v.unsound_degradations == 0) points += kSoundnessPoints;
+  v.points = points;
+
+  // --- Verdict ------------------------------------------------------
+  if (v.unsound_degradations > 0)
+    v.verdict = Verdict::kUnsound;
+  else if (v.feasibility_residual > options.fail_residual ||
+           v.sla_satisfaction < options.fail_sla)
+    v.verdict = Verdict::kFail;
+  else if (v.feasibility_residual <= 1e-9 && v.sla_satisfaction >= 1.0 &&
+           v.deadline_hit_rate >= 1.0)
+    v.verdict = Verdict::kPass;
+  else
+    v.verdict = Verdict::kDegraded;
+  if (v.verdict == Verdict::kPass) v.detail.clear();
+  return v;
+}
+
+FleetReport grade_fleet(const std::vector<ScenarioSpec>& fleet,
+                        std::uint64_t fleet_seed,
+                        const GraderOptions& options) {
+  FleetReport report;
+  report.fleet_seed = fleet_seed;
+  report.verdicts.reserve(fleet.size());
+  double total_points = 0.0;
+  double total_sla = 0.0;
+  double min_points = fleet.empty() ? 0.0 : 101.0;
+  for (const ScenarioSpec& spec : fleet) {
+    ScenarioVerdict v = grade_scenario(spec, options);
+    switch (v.verdict) {
+      case Verdict::kPass:
+        ++report.passed;
+        break;
+      case Verdict::kDegraded:
+        ++report.degraded;
+        break;
+      case Verdict::kFail:
+        ++report.failed;
+        break;
+      case Verdict::kUnsound:
+        ++report.unsound;
+        break;
+    }
+    total_points += v.points;
+    total_sla += v.sla_satisfaction;
+    if (v.points < min_points) min_points = v.points;
+    report.verdicts.push_back(std::move(v));
+  }
+  if (!fleet.empty()) {
+    report.mean_points = total_points / static_cast<double>(fleet.size());
+    report.mean_sla = total_sla / static_cast<double>(fleet.size());
+    report.min_points = min_points;
+  }
+  return report;
+}
+
+std::string report_json(const FleetReport& report,
+                        const std::vector<ScenarioSpec>& fleet) {
+  if (fleet.size() != report.verdicts.size())
+    throw std::invalid_argument("report_json: fleet/verdict size mismatch");
+  std::string out;
+  out.reserve(256 + 256 * report.verdicts.size());
+  out += "{\n";
+  out += "  \"fleet_seed\": " + std::to_string(report.fleet_seed) + ",\n";
+  out += "  \"scenarios\": " + std::to_string(report.verdicts.size()) + ",\n";
+  out += "  \"verdicts\": {\"pass\": " + std::to_string(report.passed) +
+         ", \"degraded\": " + std::to_string(report.degraded) +
+         ", \"fail\": " + std::to_string(report.failed) +
+         ", \"unsound\": " + std::to_string(report.unsound) + "},\n";
+  out += "  \"mean_points\": ";
+  format_double(out, report.mean_points);
+  out += ",\n  \"mean_sla\": ";
+  format_double(out, report.mean_sla);
+  out += ",\n  \"min_points\": ";
+  format_double(out, report.min_points);
+  out += ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < report.verdicts.size(); ++i) {
+    const ScenarioVerdict& v = report.verdicts[i];
+    char head[192];
+    std::snprintf(head, sizeof(head),
+                  "    {\"index\": %zu, \"seed\": %llu, \"verdict\": \"%s\", "
+                  "\"points\": ",
+                  v.index, static_cast<unsigned long long>(v.seed),
+                  to_string(v.verdict));
+    out += head;
+    format_double(out, v.points);
+    out += ", \"spec\": ";
+    append_json_string(out, fleet[i].show());
+    out += ", \"feasibility_residual\": ";
+    format_double(out, v.feasibility_residual);
+    out += ", \"sla\": ";
+    format_double(out, v.sla_satisfaction);
+    out += ", \"deadline_hit_rate\": ";
+    format_double(out, v.deadline_hit_rate);
+    char tail[256];
+    std::snprintf(tail, sizeof(tail),
+                  ", \"unsound\": %zu, \"cell_ticks\": %zu, "
+                  "\"cache_hits\": %zu, \"warm_accepted\": %zu, "
+                  "\"degraded\": %zu, \"solution_hash\": \"%016llx\"",
+                  v.unsound_degradations, v.cell_ticks, v.cache_hits,
+                  v.warm_accepted, v.degraded,
+                  static_cast<unsigned long long>(v.solution_hash));
+    out += tail;
+    if (!v.detail.empty()) {
+      out += ", \"detail\": ";
+      append_json_string(out, v.detail);
+    }
+    out += i + 1 == report.verdicts.size() ? "}\n" : "},\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool write_report(const FleetReport& report,
+                  const std::vector<ScenarioSpec>& fleet,
+                  const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << report_json(report, fleet);
+  return static_cast<bool>(file);
+}
+
+}  // namespace rcr::scn

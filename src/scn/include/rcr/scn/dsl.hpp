@@ -1,0 +1,108 @@
+// The declarative fleet DSL (DESIGN.md §14): composable constraint builders
+// that enumerate a seeded, shrinkable cartesian fleet of scenarios.
+//
+//   FleetSpec fleet = FleetSpec()
+//       .cells(2, 8)                       // every value in 2..8
+//       .users_per_cell({2, 3, 4})
+//       .rbs({4, 6, 8})
+//       .slices({{true, false, false}, {true, true, true}})
+//       .mobility({0.0, 0.2})
+//       .traffic({Traffic::kDiurnal, Traffic::kBursty})
+//       .rat_outage({"", "sites=serve.*,rate=0.25"})
+//       .seed(0x5c30'0001);
+//   std::vector<ScenarioSpec> scenarios = fleet.enumerate();
+//
+// enumerate() walks the axes in declaration-independent canonical order
+// (cells, users, rbs, ticks, slices, mobility, traffic, faults — last axis
+// fastest) and stamps each spec with its fleet index and a
+// splitmix64-derived case seed.  Specs that opt in via honor_env() — the
+// committed conformance_fleet() does — additionally honor the environment
+// replay contract:
+//
+//   RCR_SCN_SEED=<u64>   override the fleet seed (the line a failure prints)
+//   RCR_SCN_ONLY=<idx>   enumerate exactly one scenario by fleet index
+//   RCR_SCN_FLEET=<n>    stride-sample the fleet down to <= n scenarios
+//                        (CI smoke: spans every axis, not just a prefix)
+//
+// Opt-in keeps the replay contract targeted: `RCR_SCN_ONLY=<idx> ctest -L
+// scn` pins one scenario of the conformance fleet without perturbing the
+// small ad-hoc fleets other tests in the same processes build.
+//
+// Shrinking mirrors rcr::testkit: shrink(spec) returns a finite,
+// deterministically ordered list of strictly simpler scenarios (fewer
+// cells/users/RBs/ticks, mobility and faults dropped, traffic flattened),
+// so a failing scenario can be walked down to a minimal reproducer.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <vector>
+
+#include "rcr/scn/scenario.hpp"
+
+namespace rcr::scn {
+
+class FleetSpec {
+ public:
+  /// Every cell count in [lo, hi] (inclusive).
+  FleetSpec& cells(std::size_t lo, std::size_t hi);
+  FleetSpec& cells(std::initializer_list<std::size_t> values);
+  FleetSpec& users_per_cell(std::initializer_list<std::size_t> values);
+  FleetSpec& rbs(std::initializer_list<std::size_t> values);
+  FleetSpec& ticks(std::initializer_list<std::size_t> values);
+  FleetSpec& slices(std::initializer_list<SliceMix> mixes);
+  /// Handover rates in [0, 1].
+  FleetSpec& mobility(std::initializer_list<double> handover_rates);
+  FleetSpec& traffic(std::initializer_list<Traffic> patterns);
+  /// RCR_FAULTS fragments ("" = fault-free leg).  Only keyed serve.* sites
+  /// keep parallel replays deterministic; the grader enforces the prefix.
+  FleetSpec& rat_outage(std::initializer_list<std::string> fragments);
+  FleetSpec& seed(std::uint64_t fleet_seed);
+  /// Honor the RCR_SCN_SEED / RCR_SCN_ONLY / RCR_SCN_FLEET replay contract
+  /// (off by default so replay lines target only the conformance fleet).
+  FleetSpec& honor_env(bool on = true);
+
+  std::uint64_t fleet_seed() const;  ///< After any RCR_SCN_SEED override.
+
+  /// Size of the full cartesian product (before RCR_SCN_ONLY/RCR_SCN_FLEET).
+  std::size_t cardinality() const;
+
+  /// Enumerate the fleet.  Deterministic: same axes + same fleet seed =>
+  /// identical specs, indices, and case seeds.  Throws std::invalid_argument
+  /// when any axis is empty or holds an invalid value.
+  std::vector<ScenarioSpec> enumerate() const;
+
+ private:
+  std::vector<std::size_t> cells_{2, 4};
+  std::vector<std::size_t> users_{2, 3};
+  std::vector<std::size_t> rbs_{4, 6};
+  std::vector<std::size_t> ticks_{6};
+  std::vector<SliceMix> slices_{{true, false, false}};
+  std::vector<double> mobility_{0.0};
+  std::vector<Traffic> traffic_{Traffic::kStatic};
+  std::vector<std::string> faults_{""};
+  std::uint64_t seed_ = 0x5c300001ull;
+  bool honor_env_ = false;
+};
+
+/// Strictly simpler scenarios, in fixed order: fewer cells, fewer users,
+/// fewer RBs, fewer ticks, mobility dropped, faults dropped, traffic
+/// flattened to kStatic.  Empty when the spec is minimal.  Candidates keep
+/// the spec's index/seed so a shrunk reproducer replays the same streams.
+std::vector<ScenarioSpec> shrink(const ScenarioSpec& spec);
+
+/// The conformance fleet the `ctest -L scn` suite and the bench run: spans
+/// cells 2..8, three populations, three bands, four slice mixes, two
+/// mobility levels, diurnal+bursty traffic, and a RAT-outage leg — 2016
+/// scenarios before any RCR_SCN_FLEET cap.
+FleetSpec conformance_fleet();
+
+// Environment replay contract (mirrors testkit/env.hpp).
+std::optional<std::uint64_t> env_fleet_seed();  ///< RCR_SCN_SEED
+std::optional<std::size_t> env_only_index();    ///< RCR_SCN_ONLY
+std::optional<std::size_t> env_fleet_cap();     ///< RCR_SCN_FLEET
+/// RCR_SCN_REPORT, or "scn_report.json" when unset.
+std::string env_report_path();
+
+}  // namespace rcr::scn

@@ -1,0 +1,135 @@
+// Declarative wireless scenarios for the conformance fleet (DESIGN.md §14).
+//
+// A ScenarioSpec is one point in the fleet's cartesian constraint space: a
+// cell count, a per-cell population, a slice mix (eMBB / URLLC / mMTC), a
+// mobility (handover) rate, a traffic pattern, and an optional RAT-outage
+// fault fragment routed through the RCR_FAULTS injector.  Specs are pure
+// data — the DSL (dsl.hpp) enumerates them, ScenarioWorkload materializes
+// the per-tick RraProblems, and the grader (grader.hpp) replays them
+// through rcr::serve and scores the verdicts.
+//
+// Determinism: everything a scenario generates is a pure function of the
+// spec (in particular spec.seed).  The replay contract mirrors
+// RCR_TESTKIT_SEED: a failing scenario prints one line,
+//   RCR_SCN_SEED=<fleet_seed> RCR_SCN_ONLY=<index> ctest -L scn
+// which re-enumerates exactly that scenario and re-grades it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/qos/channel.hpp"
+#include "rcr/qos/rra.hpp"
+#include "rcr/qos/slicing.hpp"
+
+namespace rcr::scn {
+
+using qos::RraProblem;
+using qos::ServiceClass;
+
+/// Per-tick population shape.
+enum class Traffic {
+  kStatic,   ///< Flat population: users_per_cell every tick.
+  kDiurnal,  ///< Raised-cosine curve between half and full population.
+  kBursty    ///< Half population with seeded bursts to full population.
+};
+
+const char* to_string(Traffic traffic);
+
+/// Which 5G service categories a scenario carries.  Users are tagged
+/// round-robin over the enabled classes in eMBB, URLLC, mMTC order.
+struct SliceMix {
+  bool embb = true;
+  bool urllc = false;
+  bool mmtc = false;
+
+  std::size_t count() const {
+    return (embb ? 1u : 0u) + (urllc ? 1u : 0u) + (mmtc ? 1u : 0u);
+  }
+  /// Enabled classes in canonical order; never empty for a valid spec.
+  std::vector<ServiceClass> active() const;
+  /// Compact rendering: "E", "EU", "EUM", "UM", ...
+  std::string show() const;
+};
+
+/// Per-slice SLA floors the grader scores against (bit/s/Hz).  The floors
+/// are deliberately modest: the serve power QP maximizes sum rate, so the
+/// floor separates "served at a useful rate" from "starved", not "optimal".
+struct SlaPolicy {
+  double embb_min_rate = 0.01;
+  double urllc_min_rate = 0.10;
+  // mMTC carries no rate floor; its SLA is access (no deadline-fill tick).
+};
+
+/// Rate floor the policy assigns to `service` (0 for mMTC).
+double sla_floor(const SlaPolicy& policy, ServiceClass service);
+
+/// One fully-specified scenario — a point of the fleet's cartesian space.
+struct ScenarioSpec {
+  std::size_t index = 0;     ///< Position in the enumerated fleet.
+  std::uint64_t seed = 0;    ///< Case seed (splitmix64 of fleet seed+index).
+  std::size_t cells = 2;
+  std::size_t users_per_cell = 2;  ///< Peak population per cell.
+  std::size_t rbs = 4;
+  std::size_t ticks = 6;
+  SliceMix slices;
+  double handover_rate = 0.0;  ///< Per-user per-tick geometry redraw prob.
+  Traffic traffic = Traffic::kStatic;
+  /// RCR_FAULTS fragment ("sites=serve.*,rate=0.25") seeded per scenario by
+  /// the grader, or empty for a fault-free run.  Restricted to keyed serve.*
+  /// sites so injection decisions stay thread-schedule independent.
+  std::string faults;
+
+  /// One-line rendering for reports and failure messages.
+  std::string show() const;
+  /// The printed replay contract: re-run exactly this scenario.
+  std::string replay_line(std::uint64_t fleet_seed) const;
+};
+
+/// Materializes a spec into per-tick RraProblems, one per cell: annulus
+/// user geometry + AR(1) block fading (as serve::DiurnalWorkload), plus the
+/// scenario's traffic curve, handover churn, and slice tagging.  Call
+/// advance(t) with consecutive ticks starting at 0, then read cell(c) and
+/// slice_of(c, u).
+class ScenarioWorkload {
+ public:
+  explicit ScenarioWorkload(const ScenarioSpec& spec);
+
+  void advance(std::size_t tick);
+
+  std::size_t num_cells() const { return cells_.size(); }
+  const RraProblem& cell(std::size_t c) const { return cells_[c].problem; }
+  /// Service class of user `u` in cell `c` at the current tick.
+  ServiceClass slice_of(std::size_t c, std::size_t u) const {
+    return cells_[c].slices[u];
+  }
+  /// Diurnal/bursty population target for cell c at tick t.
+  std::size_t target_users(std::size_t c, std::size_t tick) const;
+
+ private:
+  struct CellState {
+    num::Rng rng;
+    Vec distances;
+    num::Matrix fading;
+    std::vector<ServiceClass> slices;
+    RraProblem problem;
+
+    explicit CellState(std::uint64_t seed) : rng(seed) {}
+  };
+
+  void add_user(CellState& cell);
+  void remove_user(CellState& cell);
+  void refresh_fading(CellState& cell);
+  void handover(CellState& cell, std::size_t user);
+  void rebuild_problem(CellState& cell);
+
+  ScenarioSpec spec_;
+  SlaPolicy sla_;
+  qos::ChannelConfig channel_;
+  std::vector<CellState> cells_;
+  std::size_t next_tick_ = 0;
+};
+
+}  // namespace rcr::scn

@@ -1,0 +1,259 @@
+#include "rcr/scn/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rcr::scn {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr std::uint64_t kGoldenStride = 0x9E3779B97F4A7C15ull;
+// Fading coherence: cells refresh their fast fading every third tick,
+// staggered by cell index so refreshes spread across the fleet (and quiet
+// ticks leave the problem byte-identical for the serve cache).
+constexpr std::size_t kCoherenceTicks = 3;
+constexpr double kFadeBlend = 0.35;
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+// Deterministic per-(cell, tick) hash for the bursty traffic curve: a pure
+// function of the spec so target_users stays const and replayable.
+std::uint64_t mix64(std::uint64_t x) {
+  x += kGoldenStride;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(Traffic traffic) {
+  switch (traffic) {
+    case Traffic::kStatic:
+      return "static";
+    case Traffic::kDiurnal:
+      return "diurnal";
+    case Traffic::kBursty:
+      return "bursty";
+  }
+  return "unknown";
+}
+
+std::vector<ServiceClass> SliceMix::active() const {
+  std::vector<ServiceClass> classes;
+  if (embb) classes.push_back(ServiceClass::kEmbb);
+  if (urllc) classes.push_back(ServiceClass::kUrllc);
+  if (mmtc) classes.push_back(ServiceClass::kMmtc);
+  return classes;
+}
+
+std::string SliceMix::show() const {
+  std::string s;
+  if (embb) s += 'E';
+  if (urllc) s += 'U';
+  if (mmtc) s += 'M';
+  return s.empty() ? "-" : s;
+}
+
+double sla_floor(const SlaPolicy& policy, ServiceClass service) {
+  switch (service) {
+    case ServiceClass::kEmbb:
+      return policy.embb_min_rate;
+    case ServiceClass::kUrllc:
+      return policy.urllc_min_rate;
+    case ServiceClass::kMmtc:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::string ScenarioSpec::show() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "#%zu cells=%zu users=%zu rbs=%zu ticks=%zu slices=%s "
+                "ho=%.2f traffic=%s",
+                index, cells, users_per_cell, rbs, ticks,
+                slices.show().c_str(), handover_rate, to_string(traffic));
+  std::string line(buf);
+  if (!faults.empty()) line += " faults=\"" + faults + "\"";
+  return line;
+}
+
+std::string ScenarioSpec::replay_line(std::uint64_t fleet_seed) const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "RCR_SCN_SEED=%llu RCR_SCN_ONLY=%zu ctest -L scn",
+                static_cast<unsigned long long>(fleet_seed), index);
+  return buf;
+}
+
+ScenarioWorkload::ScenarioWorkload(const ScenarioSpec& spec) : spec_(spec) {
+  if (spec_.cells == 0 || spec_.users_per_cell == 0 || spec_.rbs == 0 ||
+      spec_.ticks == 0)
+    throw std::invalid_argument("ScenarioWorkload: empty scenario axis");
+  if (spec_.slices.count() == 0)
+    throw std::invalid_argument("ScenarioWorkload: empty slice mix");
+  if (!(spec_.handover_rate >= 0.0 && spec_.handover_rate <= 1.0))
+    throw std::invalid_argument(
+        "ScenarioWorkload: handover_rate outside [0,1]");
+
+  channel_.num_rbs = spec_.rbs;
+  channel_.seed = spec_.seed;
+
+  cells_.reserve(spec_.cells);
+  for (std::size_t c = 0; c < spec_.cells; ++c) {
+    cells_.emplace_back(spec_.seed + kGoldenStride * (c + 1));
+    CellState& cell = cells_.back();
+    const std::size_t start = target_users(c, 0);
+    for (std::size_t u = 0; u < start; ++u) add_user(cell);
+    rebuild_problem(cell);
+  }
+  next_tick_ = 1;
+}
+
+std::size_t ScenarioWorkload::target_users(std::size_t c,
+                                           std::size_t tick) const {
+  const std::size_t peak = spec_.users_per_cell;
+  const std::size_t base = peak > 1 ? (peak + 1) / 2 : 1;
+  switch (spec_.traffic) {
+    case Traffic::kStatic:
+      return peak;
+    case Traffic::kDiurnal: {
+      // Phase-shifted raised cosine between base and peak population.
+      const std::size_t period = std::max<std::size_t>(spec_.ticks, 2);
+      const double phase =
+          2.0 * kPi *
+          (static_cast<double>(tick % period) / static_cast<double>(period) +
+           static_cast<double>(c) / static_cast<double>(spec_.cells));
+      const double s = 0.5 * (1.0 - std::cos(phase));
+      return base + static_cast<std::size_t>(
+                        std::llround(static_cast<double>(peak - base) * s));
+    }
+    case Traffic::kBursty: {
+      // Seeded quarter-probability bursts from base to peak population.
+      const std::uint64_t h =
+          mix64(spec_.seed ^ (kGoldenStride * (c + 1)) ^
+                (0xD6E8FEB86659FD93ull * (tick + 1)));
+      return (h & 3u) == 0u ? peak : base;
+    }
+  }
+  return peak;
+}
+
+void ScenarioWorkload::add_user(CellState& cell) {
+  // Area-uniform draw in the annulus [min_distance, cell_radius].
+  const double rmin = channel_.min_distance_m;
+  const double rmax = channel_.cell_radius_m;
+  const double u = cell.rng.uniform();
+  const double d = std::sqrt(rmin * rmin + u * (rmax * rmax - rmin * rmin));
+  cell.distances.push_back(d);
+
+  const std::size_t rows = cell.fading.rows();
+  num::Matrix grown(rows + 1, spec_.rbs);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t rb = 0; rb < spec_.rbs; ++rb)
+      grown(i, rb) = cell.fading(i, rb);
+  // Unit-mean exponential fading power (|h|^2 for Rayleigh h).
+  for (std::size_t rb = 0; rb < spec_.rbs; ++rb)
+    grown(rows, rb) = cell.rng.exponential(1.0);
+  cell.fading = std::move(grown);
+}
+
+void ScenarioWorkload::remove_user(CellState& cell) {
+  const std::size_t n = cell.distances.size();
+  if (n == 0) return;
+  const std::size_t victim = static_cast<std::size_t>(
+      cell.rng.uniform_int(0, static_cast<int>(n) - 1));
+  cell.distances.erase(cell.distances.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+  num::Matrix shrunk(n - 1, spec_.rbs);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == victim) continue;
+    for (std::size_t rb = 0; rb < spec_.rbs; ++rb)
+      shrunk(out, rb) = cell.fading(i, rb);
+    ++out;
+  }
+  cell.fading = std::move(shrunk);
+}
+
+void ScenarioWorkload::refresh_fading(CellState& cell) {
+  for (std::size_t i = 0; i < cell.fading.rows(); ++i)
+    for (std::size_t rb = 0; rb < spec_.rbs; ++rb)
+      cell.fading(i, rb) = (1.0 - kFadeBlend) * cell.fading(i, rb) +
+                           kFadeBlend * cell.rng.exponential(1.0);
+}
+
+void ScenarioWorkload::handover(CellState& cell, std::size_t user) {
+  // A handed-over user rejoins at fresh geometry with fresh fading.
+  const double rmin = channel_.min_distance_m;
+  const double rmax = channel_.cell_radius_m;
+  const double u = cell.rng.uniform();
+  cell.distances[user] =
+      std::sqrt(rmin * rmin + u * (rmax * rmax - rmin * rmin));
+  for (std::size_t rb = 0; rb < spec_.rbs; ++rb)
+    cell.fading(user, rb) = cell.rng.exponential(1.0);
+}
+
+void ScenarioWorkload::rebuild_problem(CellState& cell) {
+  const std::size_t users = cell.distances.size();
+  const auto classes = spec_.slices.active();
+  cell.slices.resize(users);
+  for (std::size_t u = 0; u < users; ++u)
+    cell.slices[u] = classes[u % classes.size()];
+
+  const double ref = db_to_linear(channel_.reference_gain_db);
+  const double noise_w = db_to_linear(channel_.noise_power_dbm - 30.0);
+  cell.problem.gain.assign(users, spec_.rbs);
+  for (std::size_t u = 0; u < users; ++u) {
+    const double pathloss =
+        ref * std::pow(cell.distances[u], -channel_.pathloss_exponent);
+    for (std::size_t rb = 0; rb < spec_.rbs; ++rb)
+      cell.problem.gain(u, rb) = pathloss * cell.fading(u, rb) / noise_w;
+  }
+  cell.problem.total_power = 1.0;
+  cell.problem.min_rate.resize(users);
+  for (std::size_t u = 0; u < users; ++u)
+    cell.problem.min_rate[u] = sla_floor(sla_, cell.slices[u]);
+}
+
+void ScenarioWorkload::advance(std::size_t tick) {
+  if (tick == 0 && next_tick_ == 1) return;  // tick 0 built in the ctor
+  if (tick != next_tick_)
+    throw std::invalid_argument(
+        "ScenarioWorkload::advance: ticks must be consecutive");
+  ++next_tick_;
+
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    CellState& cell = cells_[c];
+    bool changed = false;
+
+    const std::size_t target = target_users(c, tick);
+    while (cell.distances.size() < target) {
+      add_user(cell);
+      changed = true;
+    }
+    while (cell.distances.size() > target) {
+      remove_user(cell);
+      changed = true;
+    }
+    if (spec_.handover_rate > 0.0) {
+      for (std::size_t u = 0; u < cell.distances.size(); ++u) {
+        if (cell.rng.bernoulli(spec_.handover_rate)) {
+          handover(cell, u);
+          changed = true;
+        }
+      }
+    }
+    // Stagger coherence expiry by cell so refreshes spread across ticks.
+    if ((tick + c) % kCoherenceTicks == 0) {
+      refresh_fading(cell);
+      changed = true;
+    }
+    if (changed) rebuild_problem(cell);
+  }
+}
+
+}  // namespace rcr::scn

@@ -9,10 +9,23 @@
 // a soak run produces bit-identical cache behavior for every RCR_THREADS
 // setting (ties broken by smaller key).
 //
+// Deterministic stamps alone are not enough under eviction pressure: with
+// in-place mutation, whether a concurrent get()'s stamp refresh lands
+// before or after a concurrent put()'s eviction scan decides the victim,
+// and a put can become visible to a racing get mid-phase -- both
+// schedule-dependent.  The *deferred two-phase mode* closes this:
+// begin_deferred() freezes the committed map (gets read it without
+// mutating, buffering their stamp refreshes; puts buffer inserts), and a
+// serial flush() applies the buffered ops sorted by stamp -- exactly the
+// order a serial run would have issued them.  The service brackets each
+// tick's parallel fan-out with begin_deferred()/flush(), making eviction
+// order and hit/miss outcomes bit-identical for every RCR_THREADS setting.
+//
 // Counters (armed registry only): rcr.serve.cache.hits / .misses /
 // .evictions / .insertions.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -55,8 +68,10 @@ class ShardedLruCache {
     if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
   }
 
-  /// Look up `key`; on a hit copies the value into `out`, refreshes the
-  /// entry's stamp to `stamp`, and returns true.
+  /// Look up `key`; on a hit copies the value into `out` and returns true.
+  /// Immediate mode refreshes the entry's stamp to `stamp` in place; in the
+  /// deferred window the committed map is read-only and the refresh is
+  /// buffered until flush().
   bool get(std::uint64_t key, std::uint64_t stamp, V& out) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -66,7 +81,10 @@ class ShardedLruCache {
       obs::counter_add("rcr.serve.cache.misses");
       return false;
     }
-    it->second.stamp = stamp;
+    if (deferred_)
+      shard.pending.push_back(PendingOp{stamp, key, false, V{}});
+    else
+      it->second.stamp = stamp;
     out = it->second.value;
     ++shard.hits;
     obs::counter_add("rcr.serve.cache.hits");
@@ -75,38 +93,58 @@ class ShardedLruCache {
 
   /// Insert or overwrite `key`.  When the shard is full the entry with the
   /// smallest stamp (oldest deterministic recency; ties to smaller key) is
-  /// evicted first.
+  /// evicted first.  In the deferred window the insert is buffered and
+  /// applied -- in stamp order -- at flush().
   void put(std::uint64_t key, std::uint64_t stamp, V value) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      it->second.stamp = stamp;
-      it->second.value = std::move(value);
+    if (deferred_) {
+      shard.pending.push_back(PendingOp{stamp, key, true, std::move(value)});
       return;
     }
-    if (shard.map.size() >= per_shard_capacity_) {
-      auto victim = shard.map.begin();
-      for (auto cur = shard.map.begin(); cur != shard.map.end(); ++cur) {
-        if (cur->second.stamp < victim->second.stamp ||
-            (cur->second.stamp == victim->second.stamp &&
-             cur->first < victim->first))
-          victim = cur;
-      }
-      shard.map.erase(victim);
-      ++shard.evictions;
-      obs::counter_add("rcr.serve.cache.evictions");
-    }
-    shard.map.emplace(key, Entry{stamp, std::move(value)});
-    ++shard.insertions;
-    obs::counter_add("rcr.serve.cache.insertions");
+    apply_put(shard, key, stamp, std::move(value));
   }
 
-  /// Drop every entry (statistics are retained).
+  /// Enter the deferred window: gets read the committed map without
+  /// mutating it, and every stamp refresh / insert is buffered.  Call from
+  /// the driver thread before fanning readers/writers across the pool.
+  void begin_deferred() { deferred_ = true; }
+
+  /// Leave the deferred window: per shard, apply the buffered ops sorted by
+  /// (stamp, key) -- the order a serial run would have issued them, so the
+  /// resulting map, stamps, and eviction victims are independent of which
+  /// thread buffered which op.  Call from the driver thread after the
+  /// parallel phase joined.  No-op when not in a deferred window.
+  void flush() {
+    if (!deferred_) return;
+    for (auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      std::sort(shard.pending.begin(), shard.pending.end(),
+                [](const PendingOp& a, const PendingOp& b) {
+                  return a.stamp != b.stamp ? a.stamp < b.stamp
+                                            : a.key < b.key;
+                });
+      for (PendingOp& op : shard.pending) {
+        if (op.insert) {
+          apply_put(shard, op.key, op.stamp, std::move(op.value));
+        } else {
+          auto it = shard.map.find(op.key);
+          if (it != shard.map.end()) it->second.stamp = op.stamp;
+        }
+      }
+      shard.pending.clear();
+    }
+    deferred_ = false;
+  }
+
+  /// Drop every entry and any buffered deferred ops (statistics are
+  /// retained).
   void clear() {
     for (auto& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard->mu);
       shard->map.clear();
+      shard->pending.clear();
     }
   }
 
@@ -131,14 +169,47 @@ class ShardedLruCache {
     std::uint64_t stamp = 0;
     V value{};
   };
+  struct PendingOp {
+    std::uint64_t stamp = 0;
+    std::uint64_t key = 0;
+    bool insert = false;  ///< false: stamp refresh from a deferred get.
+    V value{};
+  };
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::uint64_t, Entry> map;
+    std::vector<PendingOp> pending;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t insertions = 0;
   };
+
+  /// Insert/overwrite with LRU eviction; the shard mutex must be held.
+  void apply_put(Shard& shard, std::uint64_t key, std::uint64_t stamp,
+                 V value) {
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second.stamp = stamp;
+      it->second.value = std::move(value);
+      return;
+    }
+    if (shard.map.size() >= per_shard_capacity_) {
+      auto victim = shard.map.begin();
+      for (auto cur = shard.map.begin(); cur != shard.map.end(); ++cur) {
+        if (cur->second.stamp < victim->second.stamp ||
+            (cur->second.stamp == victim->second.stamp &&
+             cur->first < victim->first))
+          victim = cur;
+      }
+      shard.map.erase(victim);
+      ++shard.evictions;
+      obs::counter_add("rcr.serve.cache.evictions");
+    }
+    shard.map.emplace(key, Entry{stamp, std::move(value)});
+    ++shard.insertions;
+    obs::counter_add("rcr.serve.cache.insertions");
+  }
 
   Shard& shard_for(std::uint64_t key) {
     // Fibonacci mix so adjacent signatures spread across shards.
@@ -148,6 +219,9 @@ class ShardedLruCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t per_shard_capacity_ = 1;
+  /// Toggled only by the driver thread while no pool worker is inside the
+  /// cache (parallel_for dispatch/join provides the happens-before edge).
+  bool deferred_ = false;
 };
 
 }  // namespace rcr::serve

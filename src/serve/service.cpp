@@ -6,6 +6,7 @@
 
 #include "rcr/obs/obs.hpp"
 #include "rcr/robust/fallback.hpp"
+#include "rcr/robust/fault_injection.hpp"
 #include "rcr/rt/parallel.hpp"
 #include "rcr/rt/scratch_arena.hpp"
 
@@ -55,9 +56,14 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
                                              std::size_t cell,
                                              std::uint64_t stamp,
                                              const robust::Deadline& deadline) {
+  // Injection decisions are keyed by the deterministic cell stamp: cells
+  // solve on pool threads in schedule-dependent order, and a counter-keyed
+  // stream would make which cell degrades depend on that schedule.
+  namespace faults = robust::faults;
   CellAllocation alloc;
   const std::uint64_t sig = problem_signature(problem, config_.signature);
-  if (config_.cache_enabled && cache_.get(sig, stamp, alloc)) {
+  if (config_.cache_enabled && !faults::should_inject("serve.cache.drop", stamp) &&
+      cache_.get(sig, stamp, alloc)) {
     alloc.cache_hit = true;
     alloc.iterations = 0;
     alloc.step = "cache";
@@ -105,6 +111,12 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
       .add("admm", robust::Soundness::kRelaxation,
            [&]() -> robust::Result<CellAllocation> {
              robust::Result<CellAllocation> out;
+             if (faults::should_inject("serve.admm.outage", stamp)) {
+               out.status = robust::make_status(
+                   robust::StatusCode::kNumericalFailure,
+                   "injected serve.admm.outage");
+               return out;
+             }
              auto factor =
                  opt::try_prefactor_box_qp(p_mat, config_.admm_rho);
              if (!factor.status.ok()) {
@@ -136,6 +148,12 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
       .add("waterfill", robust::Soundness::kRelaxation,
            [&]() -> robust::Result<CellAllocation> {
              robust::Result<CellAllocation> out;
+             if (faults::should_inject("serve.waterfill.outage", stamp)) {
+               out.status = robust::make_status(
+                   robust::StatusCode::kNumericalFailure,
+                   "injected serve.waterfill.outage");
+               return out;
+             }
              out.value.assignment = assignment;
              out.value.power = qos::waterfill(gains, budget);
              return out;
@@ -179,6 +197,13 @@ TickReport AllocationService::tick(std::size_t tick_index,
           ? robust::Deadline::after_seconds(config_.tick_deadline_s)
           : robust::Deadline::unlimited();
 
+  // Two-phase cache protocol: the parallel fan-out reads the committed map
+  // and buffers its stamp refreshes / inserts; the serial flush applies
+  // them in stamp order.  Eviction victims and hit/miss outcomes are then
+  // bit-identical for every RCR_THREADS setting even under eviction
+  // pressure (in-place mutation would let a racing get's refresh land
+  // before or after a racing put's eviction scan).
+  if (config_.cache_enabled) cache_.begin_deferred();
   rt::parallel_for(
       0, cells, std::max<std::size_t>(1, config_.cells_per_chunk),
       [&](std::size_t c0, std::size_t c1) {
@@ -188,6 +213,7 @@ TickReport AllocationService::tick(std::size_t tick_index,
           current_[c] = solve_cell(problem_of(c), c, stamp, deadline);
         }
       });
+  if (config_.cache_enabled) cache_.flush();
 
   TickReport report;
   report.tick = tick_index;

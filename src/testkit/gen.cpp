@@ -165,6 +165,31 @@ Gen<double> gen_double(double lo, double hi) {
   return g;
 }
 
+Gen<double> gen_log_uniform(double lo, double hi) {
+  if (!(lo > 0.0) || !(lo <= hi))
+    throw std::invalid_argument("gen_log_uniform: need 0 < lo <= hi");
+  Gen<double> g;
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  g.sample = [log_lo, log_hi](num::Rng& rng) {
+    return std::exp(rng.uniform(log_lo, log_hi));
+  };
+  g.shrink = [lo, hi](const double& v) {
+    // Shrink toward lo in log space: each candidate halves the exponent
+    // distance, so descents terminate and stay inside [lo, hi].
+    std::vector<double> out;
+    if (v > lo) {
+      out.push_back(lo);
+      const double mid = std::exp(0.5 * (std::log(lo) + std::log(v)));
+      if (mid > lo && mid < v) out.push_back(mid);
+    }
+    (void)hi;
+    return out;
+  };
+  g.show = [](const double& v) { return show_double(v); };
+  return g;
+}
+
 Gen<std::size_t> gen_size(std::size_t lo, std::size_t hi) {
   Gen<std::size_t> g;
   g.sample = [lo, hi](num::Rng& rng) {

@@ -73,6 +73,14 @@ std::vector<num::Matrix> shrink_square_matrix(const num::Matrix& m,
 // Scalar and vector generators.
 
 Gen<double> gen_double(double lo, double hi);
+
+/// Log-uniform positive double: exp of a uniform draw over [ln lo, ln hi],
+/// so every decade in [lo, hi] is equally likely.  The natural generator for
+/// channel gains and other scale-free physical quantities (the serve
+/// signature quantizer buckets gains in log space; a uniform draw would
+/// almost never exercise the small-gain buckets).  Requires 0 < lo <= hi.
+Gen<double> gen_log_uniform(double lo, double hi);
+
 Gen<std::size_t> gen_size(std::size_t lo, std::size_t hi);
 Gen<Vec> gen_vec(std::size_t min_len, std::size_t max_len, double lo,
                  double hi);

@@ -25,6 +25,7 @@
 #include "rcr/rcr/stack.hpp"
 #include "rcr/robust/fault_injection.hpp"
 #include "rcr/robust/guards.hpp"
+#include "rcr/serve/service.hpp"
 #include "rcr/verify/bounds.hpp"
 #include "rcr/verify/verifier.hpp"
 
@@ -203,6 +204,29 @@ void run_robust_boxqp_workload() {
   }
 }
 
+void run_serve_workload() {
+  RCR_CHAOS_TRACE();
+  serve::WorkloadConfig wc;
+  wc.num_cells = 2;
+  wc.num_rbs = 5;
+  wc.min_users = 2;
+  wc.peak_users = 3;
+  wc.seed = 11;
+  serve::DiurnalWorkload wl(wc);
+  serve::AllocationService service(serve::ServiceConfig{}, wc.num_cells);
+  for (std::size_t t = 0; t < 3; ++t) {
+    wl.advance(t);
+    const serve::TickReport report = service.tick(t, wl);
+    EXPECT_EQ(report.cells, wc.num_cells);
+    for (std::size_t c = 0; c < wc.num_cells; ++c) {
+      const serve::CellAllocation& a = service.allocation(c);
+      EXPECT_TRUE(a.status.usable()) << a.status.to_string();
+      EXPECT_TRUE(robust::all_finite(a.power)) << a.status.to_string();
+      EXPECT_EQ(a.power.size(), wc.num_rbs);
+    }
+  }
+}
+
 // Routes each site to a workload that passes through it.
 void run_workload_for_site(const std::string& site) {
   if (site.rfind("admm.", 0) == 0 || site == "numerics.lu.singular") {
@@ -224,6 +248,8 @@ void run_workload_for_site(const std::string& site) {
     run_qos_workload();
   } else if (site.rfind("rrm.", 0) == 0) {
     run_rrm_workload();
+  } else if (site.rfind("serve.", 0) == 0) {
+    run_serve_workload();
   } else if (site.rfind("stack.", 0) == 0) {
     // The full stack is exercised by its own test below (expensive); here
     // the site's glob simply must not break the cheap workloads.

@@ -1,0 +1,264 @@
+// Fleet DSL semantics: cartesian enumeration order, seed derivation, the
+// RCR_SCN_* replay contract, axis validation, and scenario shrinking.
+#include "rcr/scn/dsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rcr/testkit/env.hpp"
+
+namespace rcr::scn {
+namespace {
+
+// Sets an environment variable for the current scope, restoring the prior
+// value (or unset state) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* prev = std::getenv(name);
+    if (prev != nullptr) previous_ = prev;
+    had_previous_ = prev != nullptr;
+    ::setenv(name, value.c_str(), 1);
+  }
+  /// Unset for the scope: shields a fixture from an outer replay env.
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* prev = std::getenv(name);
+    if (prev != nullptr) previous_ = prev;
+    had_previous_ = prev != nullptr;
+    ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_previous_)
+      ::setenv(name_, previous_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+TEST(FleetSpec, DefaultAxesEnumerateFullCartesianProduct) {
+  const FleetSpec spec;
+  // Defaults: cells {2,4}, users {2,3}, rbs {4,6}, one value elsewhere.
+  EXPECT_EQ(spec.cardinality(), 8u);
+  const std::vector<ScenarioSpec> fleet = spec.enumerate();
+  ASSERT_EQ(fleet.size(), 8u);
+  for (std::size_t i = 0; i < fleet.size(); ++i)
+    EXPECT_EQ(fleet[i].index, i);
+}
+
+TEST(FleetSpec, LastAxisVariesFastest) {
+  const std::vector<ScenarioSpec> fleet =
+      FleetSpec().cells({2, 3}).users_per_cell({2}).rbs({4, 6}).enumerate();
+  ASSERT_EQ(fleet.size(), 4u);
+  // Canonical order (cells, users, rbs, ...): rbs cycles before cells.
+  EXPECT_EQ(fleet[0].cells, 2u);
+  EXPECT_EQ(fleet[0].rbs, 4u);
+  EXPECT_EQ(fleet[1].cells, 2u);
+  EXPECT_EQ(fleet[1].rbs, 6u);
+  EXPECT_EQ(fleet[2].cells, 3u);
+  EXPECT_EQ(fleet[2].rbs, 4u);
+  EXPECT_EQ(fleet[3].cells, 3u);
+  EXPECT_EQ(fleet[3].rbs, 6u);
+}
+
+TEST(FleetSpec, CellsRangeBuilderIsInclusive) {
+  const FleetSpec spec = FleetSpec().cells(2, 8).users_per_cell({2}).rbs({4});
+  EXPECT_EQ(spec.cardinality(), 7u);
+  const std::vector<ScenarioSpec> fleet = spec.enumerate();
+  EXPECT_EQ(fleet.front().cells, 2u);
+  EXPECT_EQ(fleet.back().cells, 8u);
+}
+
+TEST(FleetSpec, CaseSeedsDeriveFromFleetSeedAndIndex) {
+  const FleetSpec spec = FleetSpec().seed(9001);
+  const std::vector<ScenarioSpec> fleet = spec.enumerate();
+  for (const ScenarioSpec& s : fleet)
+    EXPECT_EQ(s.seed, testkit::splitmix64(9001 + s.index));
+
+  // A different fleet seed re-seeds every case.
+  const std::vector<ScenarioSpec> other =
+      FleetSpec().seed(9002).enumerate();
+  for (std::size_t i = 0; i < fleet.size(); ++i)
+    EXPECT_NE(fleet[i].seed, other[i].seed);
+}
+
+TEST(FleetSpec, EnumerationIsDeterministic) {
+  const FleetSpec spec = conformance_fleet();
+  const std::vector<ScenarioSpec> a = spec.enumerate();
+  const std::vector<ScenarioSpec> b = spec.enumerate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].show(), b[i].show());
+  }
+}
+
+TEST(FleetSpec, EnvSeedOverridesProgrammaticSeed) {
+  const ScopedEnv scrub_only("RCR_SCN_ONLY");
+  const ScopedEnv scrub_cap("RCR_SCN_FLEET");
+  const ScopedEnv env("RCR_SCN_SEED", "424242");
+  const FleetSpec spec = FleetSpec().seed(7).honor_env();
+  EXPECT_EQ(spec.fleet_seed(), 424242u);
+  const std::vector<ScenarioSpec> fleet = spec.enumerate();
+  EXPECT_EQ(fleet[0].seed, testkit::splitmix64(424242));
+}
+
+TEST(FleetSpec, EnvOnlySelectsExactlyOneScenario) {
+  const ScopedEnv scrub_only("RCR_SCN_ONLY");
+  const ScopedEnv scrub_seed("RCR_SCN_SEED");
+  const ScopedEnv scrub_cap("RCR_SCN_FLEET");
+  const FleetSpec spec = FleetSpec().honor_env();
+  const std::vector<ScenarioSpec> full = spec.enumerate();
+  const ScopedEnv env("RCR_SCN_ONLY", "5");
+  const std::vector<ScenarioSpec> one = spec.enumerate();
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].index, 5u);
+  EXPECT_EQ(one[0].seed, full[5].seed);
+  EXPECT_EQ(one[0].show(), full[5].show());
+}
+
+TEST(FleetSpec, EnvOnlyOutOfRangeThrows) {
+  const ScopedEnv env("RCR_SCN_ONLY", "8");  // default cardinality is 8
+  EXPECT_THROW(FleetSpec().honor_env().enumerate(), std::invalid_argument);
+}
+
+TEST(FleetSpec, FixtureSpecsIgnoreTheReplayEnv) {
+  // Only opted-in specs (the conformance fleet) honor RCR_SCN_*: a replay
+  // line pinning scenario 1337 must not break the small ad-hoc fleets that
+  // other tests in the same process build.
+  const ScopedEnv seed("RCR_SCN_SEED", "424242");
+  const ScopedEnv only("RCR_SCN_ONLY", "1337");
+  const FleetSpec spec = FleetSpec().seed(7);
+  EXPECT_EQ(spec.fleet_seed(), 7u);
+  const std::vector<ScenarioSpec> fleet = spec.enumerate();
+  ASSERT_EQ(fleet.size(), 8u);
+  EXPECT_EQ(fleet[0].seed, testkit::splitmix64(7));
+}
+
+TEST(FleetSpec, EnvFleetCapStrideSamplesAcrossAxes) {
+  const ScopedEnv scrub_only("RCR_SCN_ONLY");
+  const ScopedEnv scrub_seed("RCR_SCN_SEED");
+  const ScopedEnv env("RCR_SCN_FLEET", "4");
+  const std::vector<ScenarioSpec> fleet = FleetSpec().honor_env().enumerate();
+  ASSERT_EQ(fleet.size(), 4u);  // stride 2 over cardinality 8
+  // Stride sampling spans the slowest axis instead of truncating to its
+  // first value.
+  std::set<std::size_t> cells_seen;
+  for (const ScenarioSpec& s : fleet) cells_seen.insert(s.cells);
+  EXPECT_EQ(cells_seen.size(), 2u);
+  // Indices are positions in the *full* product, so replay lines stay valid.
+  EXPECT_EQ(fleet[1].index, 2u);
+}
+
+TEST(FleetSpec, InvalidAxesThrow) {
+  EXPECT_THROW(FleetSpec().cells(0, 2), std::invalid_argument);
+  EXPECT_THROW(FleetSpec().cells(4, 2), std::invalid_argument);
+  EXPECT_THROW(FleetSpec().users_per_cell({0}).enumerate(),
+               std::invalid_argument);
+  EXPECT_THROW(FleetSpec().rbs({}).enumerate(), std::invalid_argument);
+  EXPECT_THROW(FleetSpec().mobility({1.5}).enumerate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FleetSpec().slices({SliceMix{false, false, false}}).enumerate(),
+      std::invalid_argument);
+}
+
+TEST(ConformanceFleet, ExceedsThousandScenariosAndCoversEveryAxis) {
+  // Coverage is a property of the full product; shield it from any outer
+  // replay env so the assertions hold under a replay line too.
+  const ScopedEnv scrub_only("RCR_SCN_ONLY");
+  const ScopedEnv scrub_seed("RCR_SCN_SEED");
+  const ScopedEnv scrub_cap("RCR_SCN_FLEET");
+  const FleetSpec spec = conformance_fleet();
+  EXPECT_GE(spec.cardinality(), 1000u);
+  const std::vector<ScenarioSpec> fleet = spec.enumerate();
+  EXPECT_EQ(fleet.size(), spec.cardinality());
+
+  std::set<std::size_t> cells_seen;
+  std::set<std::string> slices_seen;
+  std::set<int> traffic_seen;
+  bool saw_mobility = false, saw_faults = false;
+  for (const ScenarioSpec& s : fleet) {
+    cells_seen.insert(s.cells);
+    slices_seen.insert(s.slices.show());
+    traffic_seen.insert(static_cast<int>(s.traffic));
+    saw_mobility = saw_mobility || s.handover_rate > 0.0;
+    saw_faults = saw_faults || !s.faults.empty();
+  }
+  EXPECT_EQ(cells_seen.size(), 7u);  // 2..8
+  EXPECT_EQ(slices_seen.size(), 4u);
+  EXPECT_EQ(traffic_seen.size(), 2u);
+  EXPECT_TRUE(saw_mobility);
+  EXPECT_TRUE(saw_faults);
+}
+
+TEST(ScenarioSpec, ReplayLineNamesSeedAndIndex) {
+  ScenarioSpec spec;
+  spec.index = 17;
+  EXPECT_EQ(spec.replay_line(99),
+            "RCR_SCN_SEED=99 RCR_SCN_ONLY=17 ctest -L scn");
+}
+
+// Scalar complexity for shrink ordering: every candidate must be strictly
+// simpler under this measure, so greedy shrink descents terminate.
+std::size_t complexity(const ScenarioSpec& s) {
+  return s.cells + s.users_per_cell + s.rbs + s.ticks + s.slices.count() +
+         (s.handover_rate > 0.0 ? 1 : 0) + (s.faults.empty() ? 0 : 1) +
+         (s.traffic == Traffic::kStatic ? 0 : 1);
+}
+
+TEST(Shrink, CandidatesAreStrictlySimplerAndDescentTerminates) {
+  ScenarioSpec spec;
+  spec.cells = 8;
+  spec.users_per_cell = 4;
+  spec.rbs = 8;
+  spec.ticks = 6;
+  spec.slices = SliceMix{true, true, true};
+  spec.handover_rate = 0.2;
+  spec.traffic = Traffic::kBursty;
+  spec.faults = "sites=serve.*,rate=0.25";
+
+  ScenarioSpec current = spec;
+  std::size_t steps = 0;
+  for (;;) {
+    const std::vector<ScenarioSpec> candidates = shrink(current);
+    if (candidates.empty()) break;
+    for (const ScenarioSpec& c : candidates) {
+      EXPECT_LT(complexity(c), complexity(current)) << c.show();
+      // Shrunk reproducers keep the identity of the failing case.
+      EXPECT_EQ(c.index, spec.index);
+      EXPECT_EQ(c.seed, spec.seed);
+    }
+    current = candidates.front();  // greedy: always take the first
+    ASSERT_LT(++steps, 200u) << "shrink descent failed to terminate";
+  }
+  EXPECT_EQ(current.cells, 1u);
+  EXPECT_EQ(current.users_per_cell, 1u);
+  EXPECT_EQ(current.traffic, Traffic::kStatic);
+  EXPECT_TRUE(current.faults.empty());
+}
+
+TEST(Shrink, MinimalSpecHasNoCandidates) {
+  ScenarioSpec spec;
+  spec.cells = 1;
+  spec.users_per_cell = 1;
+  spec.rbs = 1;
+  spec.ticks = 1;
+  spec.slices = SliceMix{true, false, false};
+  spec.handover_rate = 0.0;
+  spec.traffic = Traffic::kStatic;
+  EXPECT_TRUE(shrink(spec).empty());
+}
+
+}  // namespace
+}  // namespace rcr::scn

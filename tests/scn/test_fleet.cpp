@@ -1,0 +1,123 @@
+// The conformance fleet gate (`ctest -L scn`): enumerate 1000+ scenarios,
+// grade them all through rcr::serve, demand zero unsound degradations, and
+// write the machine-readable scn_report.json.  Failures print a one-line
+// RCR_SCN_SEED/RCR_SCN_ONLY replay spec.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rcr/scn/dsl.hpp"
+#include "rcr/scn/grader.hpp"
+
+namespace rcr::scn {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* prev = std::getenv(name);
+    if (prev != nullptr) previous_ = prev;
+    had_previous_ = prev != nullptr;
+    ::setenv(name, value.c_str(), 1);
+  }
+  /// Unset for the scope: shields a fixture from an outer replay env.
+  explicit ScopedEnv(const char* name) : name_(name) {
+    const char* prev = std::getenv(name);
+    if (prev != nullptr) previous_ = prev;
+    had_previous_ = prev != nullptr;
+    ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_previous_)
+      ::setenv(name_, previous_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+// The headline conformance gate.  Honors the environment replay contract:
+//   RCR_SCN_SEED=<u64>   re-seed the whole fleet
+//   RCR_SCN_ONLY=<idx>   replay one scenario (the line a failure prints)
+//   RCR_SCN_FLEET=<n>    stride-sample down to n scenarios (CI smoke)
+//   RCR_SCN_REPORT=<p>   report path (default scn_report.json)
+TEST(ConformanceFleet, GradesEveryScenarioWithZeroUnsoundDegradations) {
+  const FleetSpec fleet_spec = conformance_fleet();
+  const std::uint64_t fleet_seed = fleet_spec.fleet_seed();
+  const std::vector<ScenarioSpec> fleet = fleet_spec.enumerate();
+
+  if (!env_only_index() && !env_fleet_cap()) {
+    ASSERT_GE(fleet.size(), 1000u)
+        << "conformance fleet shrank below the 1000-scenario floor";
+  }
+
+  const FleetReport report = grade_fleet(fleet, fleet_seed);
+
+  for (std::size_t i = 0; i < report.verdicts.size(); ++i) {
+    const ScenarioVerdict& v = report.verdicts[i];
+    if (v.verdict == Verdict::kUnsound || v.verdict == Verdict::kFail) {
+      ADD_FAILURE() << to_string(v.verdict) << " scenario "
+                    << fleet[i].show() << "\n  " << v.detail
+                    << "\n  replay: " << fleet[i].replay_line(fleet_seed);
+    }
+  }
+  EXPECT_EQ(report.unsound, 0u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.passed + report.degraded + report.failed + report.unsound,
+            fleet.size());
+  // Every scenario earns the full soundness + feasibility slices; the fleet
+  // mean has historically sat near 94 (degradations come from the injected
+  // RAT-outage leg).  Guard against silent rubric collapse with headroom.
+  EXPECT_GE(report.mean_points, 80.0);
+  EXPECT_GE(report.min_points, 50.0);
+
+  ASSERT_TRUE(write_report(report, fleet, env_report_path()))
+      << "failed to write " << env_report_path();
+}
+
+TEST(ConformanceFleet, SameSeedProducesByteIdenticalReport) {
+  // A 56-scenario stride sample keeps the double-grade cheap while still
+  // spanning every axis of the fleet.  An outer replay env must not shrink
+  // or re-seed this fixture.
+  const ScopedEnv scrub_only("RCR_SCN_ONLY");
+  const ScopedEnv scrub_seed("RCR_SCN_SEED");
+  const ScopedEnv cap("RCR_SCN_FLEET", "56");
+  const FleetSpec fleet_spec = conformance_fleet();
+  const std::uint64_t fleet_seed = fleet_spec.fleet_seed();
+  const std::vector<ScenarioSpec> fleet = fleet_spec.enumerate();
+  ASSERT_LE(fleet.size(), 56u);
+  ASSERT_GE(fleet.size(), 40u);
+
+  const std::string first = report_json(grade_fleet(fleet, fleet_seed), fleet);
+  const std::string second =
+      report_json(grade_fleet(fleet_spec.enumerate(), fleet_seed), fleet);
+  ASSERT_EQ(first, second)
+      << "same RCR_SCN_SEED must serialize to byte-identical scn_report.json";
+}
+
+TEST(ConformanceFleet, DifferentSeedChangesTheFleet) {
+  const ScopedEnv scrub_only("RCR_SCN_ONLY");
+  const ScopedEnv scrub_seed("RCR_SCN_SEED");
+  const ScopedEnv cap("RCR_SCN_FLEET", "8");
+  const std::vector<ScenarioSpec> fleet = conformance_fleet().enumerate();
+  const std::string a = report_json(grade_fleet(fleet, 1), fleet);
+
+  const ScopedEnv seed("RCR_SCN_SEED", "20260809");
+  const std::vector<ScenarioSpec> reseeded = conformance_fleet().enumerate();
+  ASSERT_EQ(reseeded.size(), fleet.size());
+  EXPECT_NE(reseeded[0].seed, fleet[0].seed);
+  const std::string b =
+      report_json(grade_fleet(reseeded, 20260809), reseeded);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rcr::scn

@@ -1,0 +1,172 @@
+// ScenarioWorkload semantics: determinism, traffic curves, slice tagging,
+// handover churn, and SLA floor wiring.
+#include "rcr/scn/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+
+namespace rcr::scn {
+namespace {
+
+ScenarioSpec base_spec() {
+  ScenarioSpec spec;
+  spec.index = 0;
+  spec.seed = 0xfeedbeef;
+  spec.cells = 3;
+  spec.users_per_cell = 4;
+  spec.rbs = 6;
+  spec.ticks = 8;
+  spec.slices = SliceMix{true, true, true};
+  return spec;
+}
+
+TEST(ScenarioWorkload, DeterministicAcrossInstances) {
+  const ScenarioSpec spec = base_spec();
+  ScenarioWorkload a(spec), b(spec);
+  for (std::size_t t = 0; t < spec.ticks; ++t) {
+    a.advance(t);
+    b.advance(t);
+    for (std::size_t c = 0; c < a.num_cells(); ++c) {
+      ASSERT_EQ(a.cell(c).num_users(), b.cell(c).num_users());
+      for (std::size_t u = 0; u < a.cell(c).num_users(); ++u) {
+        EXPECT_EQ(a.slice_of(c, u), b.slice_of(c, u));
+        for (std::size_t rb = 0; rb < a.cell(c).num_rbs(); ++rb)
+          ASSERT_EQ(a.cell(c).gain(u, rb), b.cell(c).gain(u, rb));
+      }
+    }
+  }
+}
+
+TEST(ScenarioWorkload, StaticTrafficKeepsPopulationFlat) {
+  ScenarioSpec spec = base_spec();
+  spec.traffic = Traffic::kStatic;
+  ScenarioWorkload wl(spec);
+  for (std::size_t t = 0; t < spec.ticks; ++t) {
+    wl.advance(t);
+    for (std::size_t c = 0; c < wl.num_cells(); ++c)
+      EXPECT_EQ(wl.cell(c).num_users(), spec.users_per_cell);
+  }
+}
+
+TEST(ScenarioWorkload, DiurnalPopulationSpansBaseToPeak) {
+  ScenarioSpec spec = base_spec();
+  spec.traffic = Traffic::kDiurnal;
+  ScenarioWorkload wl(spec);
+  std::set<std::size_t> seen;
+  for (std::size_t t = 0; t < spec.ticks; ++t)
+    seen.insert(wl.target_users(0, t));
+  const std::size_t base = (spec.users_per_cell + 1) / 2;
+  for (std::size_t target : seen) {
+    EXPECT_GE(target, base);
+    EXPECT_LE(target, spec.users_per_cell);
+  }
+  EXPECT_GT(seen.size(), 1u) << "diurnal curve never moved the population";
+  EXPECT_EQ(*seen.begin(), base);
+  EXPECT_EQ(*seen.rbegin(), spec.users_per_cell);
+}
+
+TEST(ScenarioWorkload, BurstyPopulationIsBimodal) {
+  ScenarioSpec spec = base_spec();
+  spec.traffic = Traffic::kBursty;
+  spec.ticks = 64;
+  ScenarioWorkload wl(spec);
+  const std::size_t base = (spec.users_per_cell + 1) / 2;
+  std::size_t bursts = 0;
+  for (std::size_t t = 0; t < spec.ticks; ++t) {
+    const std::size_t target = wl.target_users(1, t);
+    EXPECT_TRUE(target == base || target == spec.users_per_cell);
+    if (target == spec.users_per_cell) ++bursts;
+  }
+  // ~1/4 burst probability over 64 ticks: expect at least a few of each.
+  EXPECT_GT(bursts, 0u);
+  EXPECT_LT(bursts, spec.ticks);
+}
+
+TEST(ScenarioWorkload, SliceTaggingIsRoundRobinInCanonicalOrder) {
+  ScenarioSpec spec = base_spec();
+  spec.slices = SliceMix{true, true, true};
+  spec.traffic = Traffic::kStatic;
+  ScenarioWorkload wl(spec);
+  wl.advance(0);
+  EXPECT_EQ(wl.slice_of(0, 0), ServiceClass::kEmbb);
+  EXPECT_EQ(wl.slice_of(0, 1), ServiceClass::kUrllc);
+  EXPECT_EQ(wl.slice_of(0, 2), ServiceClass::kMmtc);
+  EXPECT_EQ(wl.slice_of(0, 3), ServiceClass::kEmbb);
+}
+
+TEST(ScenarioWorkload, MinRateFloorsFollowSlicePolicy) {
+  ScenarioSpec spec = base_spec();
+  spec.traffic = Traffic::kStatic;
+  ScenarioWorkload wl(spec);
+  wl.advance(0);
+  const SlaPolicy policy;
+  const RraProblem& problem = wl.cell(0);
+  for (std::size_t u = 0; u < problem.num_users(); ++u)
+    EXPECT_EQ(problem.min_rate[u], sla_floor(policy, wl.slice_of(0, u)));
+  // mMTC carries no rate floor.
+  EXPECT_EQ(sla_floor(policy, ServiceClass::kMmtc), 0.0);
+  EXPECT_GT(sla_floor(policy, ServiceClass::kUrllc),
+            sla_floor(policy, ServiceClass::kEmbb));
+}
+
+TEST(ScenarioWorkload, HandoverChurnsGeometryDeterministically) {
+  ScenarioSpec still = base_spec();
+  still.traffic = Traffic::kStatic;
+  ScenarioSpec mobile = still;
+  mobile.handover_rate = 1.0;  // every user hands over every tick
+
+  ScenarioWorkload a(still), b(mobile), b2(mobile);
+  bool diverged = false;
+  for (std::size_t t = 0; t < still.ticks; ++t) {
+    a.advance(t);
+    b.advance(t);
+    b2.advance(t);
+    for (std::size_t c = 0; c < a.num_cells(); ++c) {
+      ASSERT_EQ(b.cell(c).num_users(), b2.cell(c).num_users());
+      for (std::size_t u = 0; u < b.cell(c).num_users(); ++u)
+        for (std::size_t rb = 0; rb < b.cell(c).num_rbs(); ++rb) {
+          ASSERT_EQ(b.cell(c).gain(u, rb), b2.cell(c).gain(u, rb));
+          if (t > 0 && b.cell(c).gain(u, rb) != a.cell(c).gain(u, rb))
+            diverged = true;
+        }
+    }
+  }
+  EXPECT_TRUE(diverged) << "full mobility never changed a channel";
+}
+
+TEST(ScenarioWorkload, InvalidSpecsThrow) {
+  ScenarioSpec spec = base_spec();
+  spec.cells = 0;
+  EXPECT_THROW(ScenarioWorkload{spec}, std::invalid_argument);
+  spec = base_spec();
+  spec.handover_rate = 2.0;
+  EXPECT_THROW(ScenarioWorkload{spec}, std::invalid_argument);
+  spec = base_spec();
+  spec.slices = SliceMix{false, false, false};
+  EXPECT_THROW(ScenarioWorkload{spec}, std::invalid_argument);
+
+  ScenarioWorkload wl(base_spec());
+  wl.advance(0);
+  EXPECT_THROW(wl.advance(3), std::invalid_argument);  // non-consecutive
+}
+
+TEST(SliceMix, ShowAndActiveAreCanonical) {
+  EXPECT_EQ((SliceMix{true, false, false}).show(), "E");
+  EXPECT_EQ((SliceMix{true, true, true}).show(), "EUM");
+  EXPECT_EQ((SliceMix{false, true, true}).show(), "UM");
+  const auto active = SliceMix{false, true, true}.active();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], ServiceClass::kUrllc);
+  EXPECT_EQ(active[1], ServiceClass::kMmtc);
+}
+
+TEST(Traffic, ToStringNamesAllPatterns) {
+  EXPECT_STREQ(to_string(Traffic::kStatic), "static");
+  EXPECT_STREQ(to_string(Traffic::kDiurnal), "diurnal");
+  EXPECT_STREQ(to_string(Traffic::kBursty), "bursty");
+}
+
+}  // namespace
+}  // namespace rcr::scn

@@ -72,6 +72,74 @@ TEST(ShardedLruCache, StampTiesBreakBySmallerKey) {
   EXPECT_TRUE(cache.get(9, 4, out));
 }
 
+TEST(ShardedLruCache, DeferredOpsApplyInStampOrderAtFlush) {
+  // Committed: {k1@1, k2@2} in a full capacity-2 shard.  In the deferred
+  // window a get of k1 (stamp 10) is buffered AFTER a put of k3 (stamp 5)
+  // in call order -- but flush applies ops in STAMP order, exactly as a
+  // serial run would have issued them: insert k3@5 evicts k1 (min stamp 1),
+  // then the k1@10 refresh finds nothing and is a no-op.
+  ShardedLruCache<int> cache(2, 1);
+  cache.put(1, 1, 11);
+  cache.put(2, 2, 22);
+
+  cache.begin_deferred();
+  int out = 0;
+  ASSERT_TRUE(cache.get(1, 10, out));  // buffered refresh, call order first
+  cache.put(3, 5, 33);                 // buffered insert, smaller stamp
+  cache.flush();
+
+  EXPECT_FALSE(cache.get(1, 20, out)) << "k1 must be the eviction victim";
+  EXPECT_TRUE(cache.get(2, 21, out));
+  EXPECT_TRUE(cache.get(3, 22, out));
+  EXPECT_EQ(out, 33);
+}
+
+TEST(ShardedLruCache, DeferredRefreshBeforeInsertProtectsTheEntry) {
+  // Same shape, but the refresh stamp precedes the insert stamp: flush
+  // applies k1@3 first, so the insert at stamp 5 evicts k2 (now oldest).
+  ShardedLruCache<int> cache(2, 1);
+  cache.put(1, 1, 11);
+  cache.put(2, 2, 22);
+
+  cache.begin_deferred();
+  int out = 0;
+  ASSERT_TRUE(cache.get(1, 3, out));
+  cache.put(3, 5, 33);
+  cache.flush();
+
+  EXPECT_TRUE(cache.get(1, 20, out));
+  EXPECT_FALSE(cache.get(2, 21, out)) << "k2 must be the eviction victim";
+  EXPECT_TRUE(cache.get(3, 22, out));
+}
+
+TEST(ShardedLruCache, DeferredWindowReadsTheCommittedMapOnly) {
+  ShardedLruCache<int> cache(4, 1);
+  cache.put(1, 0, 11);
+
+  cache.begin_deferred();
+  int out = 0;
+  cache.put(2, 1, 22);
+  // A racing reader must see the frozen pre-window map regardless of
+  // schedule: the buffered insert is invisible until flush.
+  EXPECT_FALSE(cache.get(2, 2, out));
+  EXPECT_TRUE(cache.get(1, 3, out));
+  EXPECT_EQ(cache.stats().size, 1u);
+  cache.flush();
+
+  EXPECT_TRUE(cache.get(2, 4, out));
+  EXPECT_EQ(out, 22);
+  EXPECT_EQ(cache.stats().size, 2u);
+}
+
+TEST(ShardedLruCache, FlushOutsideDeferredWindowIsANoOp) {
+  ShardedLruCache<int> cache(4, 1);
+  cache.put(1, 0, 11);
+  cache.flush();
+  int out = 0;
+  EXPECT_TRUE(cache.get(1, 1, out));
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
 TEST(ShardedLruCache, ShardCountRoundsUpToPowerOfTwo) {
   ShardedLruCache<int> cache(100, 5);
   EXPECT_EQ(cache.num_shards(), 8u);
@@ -89,7 +157,9 @@ TEST(ShardedLruCache, ConcurrentPutsAndGetsStayConsistent) {
         const std::uint64_t key = t * kKeysPerThread + i;
         cache.put(key, key, key * 3);
         std::uint64_t out = 0;
-        if (cache.get(key, key + 1, out)) EXPECT_EQ(out, key * 3);
+        if (cache.get(key, key + 1, out)) {
+          EXPECT_EQ(out, key * 3);
+        }
       }
     });
   }

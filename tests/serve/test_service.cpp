@@ -213,6 +213,50 @@ TEST(AllocationService, SolutionHashBitExactSerialVsParallel) {
   EXPECT_EQ(serial_hashes, parallel_hashes);
 }
 
+TEST(AllocationService, CacheEvictionOrderBitExactSerialVsParallel) {
+  // Eviction pressure: 8 cells funnel into a single-shard capacity-4 cache,
+  // so every tick evicts.  Which entry survives decides later hits, so any
+  // schedule dependence in the eviction order (a racing get's stamp refresh
+  // vs a racing put's victim scan) shows up as diverging hit counts or
+  // solution hashes.  The deferred two-phase protocol makes both runs
+  // bit-identical.
+  WorkloadConfig wc = small_workload();
+  wc.num_cells = 8;
+  ServiceConfig sc;
+  sc.cache_capacity = 4;
+  sc.cache_shards = 1;
+
+  struct TickTrace {
+    std::uint64_t hash;
+    std::size_t hits;
+    bool operator==(const TickTrace&) const = default;
+  };
+  const auto run = [&]() {
+    std::vector<TickTrace> trace;
+    DiurnalWorkload wl(wc);
+    AllocationService service(sc, wc.num_cells);
+    for (std::size_t t = 0; t < 24; ++t) {
+      wl.advance(t);
+      const TickReport r = service.tick(t, wl);
+      trace.push_back(TickTrace{r.solution_hash, r.cache_hits});
+    }
+    const CacheStats s = service.cache_stats();
+    EXPECT_GT(s.evictions, 0u) << "fixture lost its eviction pressure";
+    EXPECT_GT(s.hits, 0u);
+    trace.push_back(TickTrace{s.evictions, s.hits});
+    trace.push_back(TickTrace{s.insertions, s.misses});
+    return trace;
+  };
+
+  std::vector<TickTrace> serial_trace;
+  {
+    rt::ForceSerialGuard serial;
+    serial_trace = run();
+  }
+  const std::vector<TickTrace> parallel_trace = run();
+  EXPECT_EQ(serial_trace, parallel_trace);
+}
+
 TEST(AllocationService, ExpiredDeadlineStillAnswersEveryCell) {
   const WorkloadConfig wc = small_workload();
   DiurnalWorkload wl(wc);

@@ -1,0 +1,177 @@
+// Telemetry coverage for warm-start rejection: feeding a corrupted or
+// wrong-dimension warm state into admm_box_qp / solve_sdp /
+// solve_qcqp_barrier must (a) run bit-identical to the cold path and
+// (b) tick rcr.warm.rejected{solver=admm|sdp|qcqp} exactly once per
+// rejected solve -- never the accepted counter, and vice versa.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "rcr/numerics/rng.hpp"
+#include "rcr/obs/metrics.hpp"
+#include "rcr/opt/admm.hpp"
+#include "rcr/opt/qcqp.hpp"
+#include "rcr/opt/sdp.hpp"
+
+namespace rcr::opt {
+namespace {
+
+double solver_counter(const std::string& name, const std::string& solver) {
+  for (const obs::MetricSample& s : obs::metrics_snapshot())
+    if (s.name == name && s.label_value == solver) return s.value;
+  return 0.0;
+}
+
+double rejected(const std::string& solver) {
+  return solver_counter("rcr.warm.rejected", solver);
+}
+
+double accepted(const std::string& solver) {
+  return solver_counter("rcr.warm.accepted", solver);
+}
+
+Matrix random_spd(std::size_t n, num::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += a(k, i) * a(k, j);
+      p(i, j) = acc + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  return p;
+}
+
+TEST(WarmRejectCounters, AdmmCorruptStatesTickRejectedAndStayCold) {
+  obs::ScopedMetrics metrics;
+  num::Rng rng(31);
+  const std::size_t n = 6;
+  const Matrix p = random_spd(n, rng);
+  const Vec q = rng.normal_vec(n);
+  const Vec lo(n, -1.0), hi(n, 1.0);
+  AdmmOptions options;
+  const BoxQpFactor factor = prefactor_box_qp(p, options.rho);
+
+  const AdmmResult cold = admm_box_qp(p, factor, q, lo, hi, options);
+  EXPECT_EQ(rejected("admm"), 0.0);
+
+  AdmmWarmState wrong_size;
+  wrong_size.z.assign(n + 1, 0.0);
+  wrong_size.u.assign(n + 1, 0.0);
+  AdmmWarmState nan_state;
+  nan_state.z.assign(n, 0.0);
+  nan_state.u.assign(n, 0.0);
+  nan_state.z[1] = std::numeric_limits<double>::quiet_NaN();
+  AdmmWarmState inf_state;
+  inf_state.z.assign(n, 0.0);
+  inf_state.u.assign(n, 0.0);
+  inf_state.u[0] = std::numeric_limits<double>::infinity();
+
+  double expected = 0.0;
+  for (AdmmWarmState* bad : {&wrong_size, &nan_state, &inf_state}) {
+    const AdmmResult r = admm_box_qp(p, factor, q, lo, hi, options, bad);
+    EXPECT_EQ(r.warm_use, WarmUse::kRejected);
+    EXPECT_EQ(r.iterations, cold.iterations);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(r.x[i], cold.x[i]);
+    EXPECT_EQ(rejected("admm"), ++expected);
+  }
+  EXPECT_EQ(accepted("admm"), 0.0)
+      << "a rejected warm state must never count as accepted";
+}
+
+TEST(WarmRejectCounters, SdpCorruptStatesTickRejectedAndStayCold) {
+  obs::ScopedMetrics metrics;
+  num::Rng rng(32);
+  const std::size_t n = 4;
+  Sdp sdp;
+  sdp.c = random_spd(n, rng);
+  sdp.a_eq.push_back(Matrix::identity(n));
+  sdp.b_eq = {1.0};
+  SdpOptions options;
+
+  SdpWorkspace ws_cold;
+  const SdpResult cold = solve_sdp(sdp, options, ws_cold);
+  EXPECT_EQ(rejected("sdp"), 0.0);
+
+  SdpWarmState wrong_size;
+  wrong_size.z.assign(n, 0.0);  // dim_y is n*n
+  wrong_size.u.assign(n, 0.0);
+  SdpWarmState nan_state;
+  nan_state.z.assign(n * n, 0.0);
+  nan_state.u.assign(n * n, 0.0);
+  nan_state.u[2] = std::numeric_limits<double>::quiet_NaN();
+
+  double expected = 0.0;
+  for (SdpWarmState* bad : {&wrong_size, &nan_state}) {
+    SdpWorkspace ws;
+    const SdpResult r = solve_sdp(sdp, options, ws, bad);
+    EXPECT_EQ(r.warm_use, WarmUse::kRejected);
+    EXPECT_EQ(r.iterations, cold.iterations);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(r.x(i, j), cold.x(i, j));
+    EXPECT_EQ(rejected("sdp"), ++expected);
+  }
+  EXPECT_EQ(accepted("sdp"), 0.0);
+}
+
+TEST(WarmRejectCounters, QcqpCorruptStatesTickRejectedAndStayCold) {
+  obs::ScopedMetrics metrics;
+  Qcqp problem;
+  problem.objective.p = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+  problem.objective.q = {-2.0, -2.0};
+  QuadraticForm ball;
+  ball.p = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+  ball.q = {0.0, 0.0};
+  ball.r = -1.0;
+  problem.constraints.push_back(ball);
+  BarrierOptions options;
+
+  const QcqpResult cold = solve_qcqp_barrier(problem);
+  EXPECT_EQ(rejected("qcqp"), 0.0);
+
+  BarrierWarmState wrong_size;
+  wrong_size.x = {0.0, 0.0, 0.0};
+  wrong_size.t = 10.0;
+  BarrierWarmState infeasible;
+  infeasible.x = {2.0, 2.0};  // outside the unit ball
+  infeasible.t = 100.0;
+  BarrierWarmState nan_state;
+  nan_state.x = {std::numeric_limits<double>::quiet_NaN(), 0.0};
+  nan_state.t = 10.0;
+
+  double expected = 0.0;
+  for (BarrierWarmState* bad : {&wrong_size, &infeasible, &nan_state}) {
+    const QcqpResult r = solve_qcqp_barrier(problem, options, bad);
+    EXPECT_EQ(r.warm_use, WarmUse::kRejected);
+    EXPECT_EQ(r.newton_iterations, cold.newton_iterations);
+    for (std::size_t i = 0; i < cold.x.size(); ++i)
+      ASSERT_EQ(r.x[i], cold.x[i]);
+    EXPECT_EQ(rejected("qcqp"), ++expected);
+  }
+  EXPECT_EQ(accepted("qcqp"), 0.0);
+}
+
+TEST(WarmRejectCounters, AcceptedWarmStatesTickTheOtherCounter) {
+  obs::ScopedMetrics metrics;
+  num::Rng rng(33);
+  const std::size_t n = 5;
+  const Matrix p = random_spd(n, rng);
+  const Vec q = rng.normal_vec(n);
+  const Vec lo(n, -1.0), hi(n, 1.0);
+  AdmmOptions options;
+  const BoxQpFactor factor = prefactor_box_qp(p, options.rho);
+
+  AdmmWarmState warm;
+  admm_box_qp(p, factor, q, lo, hi, options, &warm);  // cold, writes back
+  EXPECT_EQ(accepted("admm"), 0.0);
+  admm_box_qp(p, factor, q, lo, hi, options, &warm);  // resumes
+  EXPECT_EQ(accepted("admm"), 1.0);
+  EXPECT_EQ(rejected("admm"), 0.0);
+}
+
+}  // namespace
+}  // namespace rcr::opt
