@@ -3,12 +3,15 @@
 // Enumerates the declarative conformance fleet and replays every scenario
 // through the verdict grader (AllocationService underneath), measuring
 // grading throughput rather than solver quality: scenarios/s, p50/p99 grade
-// latency, and the verdict distribution.  Writes BENCH_perf_scn.json.
+// latency, and the verdict distribution -- both counts and ratios (the
+// pass_ratio is the CI drift gate against tests/scn/scn_baseline.json).
+// The overload fleet (admission control + breakers + watchdog armed) is
+// graded as a second block of the same BENCH_perf_scn.json.
 //
-// RCR_BENCH_SMOKE=1 stride-samples the fleet down to ~96 scenarios for CI
+// RCR_BENCH_SMOKE=1 stride-samples each fleet down to ~96 scenarios for CI
 // smoke jobs; RCR_SCN_SEED/RCR_SCN_FLEET keep their usual meaning.  The run
-// fails (exit 2) if any scenario grades unsound -- the bench doubles as a
-// cheap conformance gate on perf hardware.
+// fails (exit 2) if any scenario in either fleet grades unsound -- the bench
+// doubles as a cheap conformance gate on perf hardware.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -36,13 +39,24 @@ double percentile(std::vector<double> samples, double p) {
   return samples[std::min(idx, samples.size() - 1)];
 }
 
-}  // namespace
+struct FleetRun {
+  std::string name;
+  std::uint64_t fleet_seed = 0;
+  std::size_t scenarios = 0;
+  std::size_t cell_ticks = 0;
+  std::size_t counts[4] = {0, 0, 0, 0};  // pass, degraded, fail, unsound
+  double scenarios_per_s = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double mean_points = 0.0;
+  std::vector<std::string> unsound_replays;
+};
 
-int main() {
-  const bool smoke = rcr::bench::smoke_mode();
-
-  const FleetSpec fleet_spec = rcr::scn::conformance_fleet();
-  const std::uint64_t fleet_seed = fleet_spec.fleet_seed();
+FleetRun grade(const std::string& name, const FleetSpec& fleet_spec,
+               bool smoke) {
+  FleetRun run;
+  run.name = name;
+  run.fleet_seed = fleet_spec.fleet_seed();
   std::vector<ScenarioSpec> fleet = fleet_spec.enumerate();
   if (smoke && fleet.size() > 96) {
     // Stride-sample so the smoke fleet still spans every axis.
@@ -52,18 +66,16 @@ int main() {
       sampled.push_back(fleet[i]);
     fleet.swap(sampled);
   }
+  run.scenarios = fleet.size();
 
-  std::printf("=== scenario fleet (threads=%zu%s): %zu scenarios, seed %llu ===\n\n",
-              rcr::rt::global_threads(), smoke ? ", smoke" : "", fleet.size(),
-              static_cast<unsigned long long>(fleet_seed));
+  std::printf("=== %s fleet (threads=%zu%s): %zu scenarios, seed %llu ===\n\n",
+              name.c_str(), rcr::rt::global_threads(), smoke ? ", smoke" : "",
+              fleet.size(), static_cast<unsigned long long>(run.fleet_seed));
 
   const GraderOptions options;
-  std::size_t counts[4] = {0, 0, 0, 0};  // pass, degraded, fail, unsound
   std::vector<double> grade_us;
   grade_us.reserve(fleet.size());
   double total_points = 0.0;
-  std::size_t cell_ticks = 0;
-  std::vector<std::string> unsound_replays;
 
   const auto t0 = std::chrono::steady_clock::now();
   for (const ScenarioSpec& spec : fleet) {
@@ -72,50 +84,88 @@ int main() {
     const auto s1 = std::chrono::steady_clock::now();
     grade_us.push_back(
         std::chrono::duration<double, std::micro>(s1 - s0).count());
-    ++counts[static_cast<std::size_t>(v.verdict)];
+    ++run.counts[static_cast<std::size_t>(v.verdict)];
     total_points += v.points;
-    cell_ticks += v.cell_ticks;
+    run.cell_ticks += v.cell_ticks;
     if (v.verdict == Verdict::kUnsound)
-      unsound_replays.push_back(spec.replay_line(fleet_seed));
+      run.unsound_replays.push_back(spec.replay_line(run.fleet_seed));
   }
   const double total_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const double scenarios_per_s =
+  run.scenarios_per_s =
       total_s > 0.0 ? static_cast<double>(fleet.size()) / total_s : 0.0;
-  const double p50 = percentile(grade_us, 0.50);
-  const double p99 = percentile(grade_us, 0.99);
-  const double mean_points =
+  run.p50 = percentile(grade_us, 0.50);
+  run.p99 = percentile(grade_us, 0.99);
+  run.mean_points =
       fleet.empty() ? 0.0 : total_points / static_cast<double>(fleet.size());
 
   std::printf("%12s %12s %12s %12s\n", "scenarios/s", "p50(us)", "p99(us)",
               "cell-ticks");
-  std::printf("%12.1f %12.1f %12.1f %12zu\n\n", scenarios_per_s, p50, p99,
-              cell_ticks);
+  std::printf("%12.1f %12.1f %12.1f %12zu\n\n", run.scenarios_per_s, run.p50,
+              run.p99, run.cell_ticks);
   std::printf("verdicts: pass=%zu degraded=%zu fail=%zu unsound=%zu "
               "(mean points %.1f)\n",
-              counts[0], counts[1], counts[2], counts[3], mean_points);
-  for (const std::string& replay : unsound_replays)
+              run.counts[0], run.counts[1], run.counts[2], run.counts[3],
+              run.mean_points);
+  for (const std::string& replay : run.unsound_replays)
     std::printf("UNSOUND: %s\n", replay.c_str());
+  std::printf("\n");
+  return run;
+}
 
-  char buf[512];
+std::string run_json(const FleetRun& r) {
+  const double n = r.scenarios > 0 ? static_cast<double>(r.scenarios) : 1.0;
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"bench\":\"scenario_fleet\",\"threads\":%zu,\"smoke\":%d,"
-      "\"fleet_seed\":%llu,\"scenarios\":%zu,\"cell_ticks\":%zu,"
-      "\"scenarios_per_s\":%.1f,\"grade_p50_us\":%.1f,\"grade_p99_us\":%.1f,"
-      "\"mean_points\":%.2f,\"verdicts\":{\"pass\":%zu,\"degraded\":%zu,"
-      "\"fail\":%zu,\"unsound\":%zu}}",
-      rcr::rt::global_threads(), smoke ? 1 : 0,
-      static_cast<unsigned long long>(fleet_seed), fleet.size(), cell_ticks,
-      scenarios_per_s, p50, p99, mean_points, counts[0], counts[1], counts[2],
-      counts[3]);
+      "{\"fleet\":\"%s\",\"fleet_seed\":%llu,\"scenarios\":%zu,"
+      "\"cell_ticks\":%zu,\"scenarios_per_s\":%.1f,\"grade_p50_us\":%.1f,"
+      "\"grade_p99_us\":%.1f,\"mean_points\":%.2f,"
+      "\"verdicts\":{\"pass\":%zu,\"degraded\":%zu,\"fail\":%zu,"
+      "\"unsound\":%zu},"
+      "\"ratios\":{\"pass\":%.4f,\"degraded\":%.4f,\"fail\":%.4f,"
+      "\"unsound\":%.4f}}",
+      r.name.c_str(), static_cast<unsigned long long>(r.fleet_seed),
+      r.scenarios, r.cell_ticks, r.scenarios_per_s, r.p50, r.p99,
+      r.mean_points, r.counts[0], r.counts[1], r.counts[2], r.counts[3],
+      static_cast<double>(r.counts[0]) / n,
+      static_cast<double>(r.counts[1]) / n,
+      static_cast<double>(r.counts[2]) / n,
+      static_cast<double>(r.counts[3]) / n);
+  return buf;
+}
 
-  std::printf("\n%s\n", buf);
+}  // namespace
+
+int main() {
+  const bool smoke = rcr::bench::smoke_mode();
+
+  const FleetRun conformance =
+      grade("conformance", rcr::scn::conformance_fleet(), smoke);
+  const FleetRun overload = grade("overload", rcr::scn::overload_fleet(), smoke);
+
+  // Top-level pass_ratio/unsound keep the conformance fleet as the drift
+  // gate's subject; the overload fleet rides along as a second block.
+  const double n = conformance.scenarios > 0
+                       ? static_cast<double>(conformance.scenarios)
+                       : 1.0;
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"bench\":\"scenario_fleet\",\"threads\":%zu,\"smoke\":%d,"
+                "\"pass_ratio\":%.4f,\"unsound\":%zu,\"fleets\":[",
+                rcr::rt::global_threads(), smoke ? 1 : 0,
+                static_cast<double>(conformance.counts[0]) / n,
+                conformance.counts[3] + overload.counts[3]);
+  const std::string json =
+      std::string(head) + run_json(conformance) + "," + run_json(overload) +
+      "]}";
+
+  std::printf("%s\n", json.c_str());
   std::FILE* f = std::fopen("BENCH_perf_scn.json", "w");
   if (f == nullptr) return 1;
-  std::fprintf(f, "%s\n", buf);
+  std::fprintf(f, "%s\n", json.c_str());
   std::fclose(f);
-  return counts[3] == 0 ? 0 : 2;
+  return conformance.counts[3] == 0 && overload.counts[3] == 0 ? 0 : 2;
 }

@@ -44,6 +44,12 @@ const std::vector<std::string>& site_registry() {
       "serve.admm.outage",      // fail the serve.cell chain's ADMM head
       "serve.waterfill.outage", // fail the water-filling fallback step
       "serve.cache.drop",       // force a solution-cache miss for the cell
+      // Overload-control sites (also stamp-keyed).  They only have an
+      // effect when the owning feature (admission / breakers / watchdog)
+      // is enabled in the ServiceConfig.
+      "serve.admit.shed",       // shed an admitted cell in the tick plan
+      "serve.breaker.trip",     // fail the ADMM step to exercise breakers
+      "serve.solve.corrupt",    // poison solve output to trip the watchdog
   };
   return kSites;
 }

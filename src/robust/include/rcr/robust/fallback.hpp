@@ -36,6 +36,9 @@ template <typename T>
 class FallbackChain {
  public:
   using StepFn = std::function<Result<T>()>;
+  /// Pre-run gate: nullptr/absent = always run; otherwise return nullptr to
+  /// run the step or a static-ish reason string ("breaker open") to skip it.
+  using GateFn = std::function<const char*()>;
 
   /// `name` labels this chain in metrics/traces
   /// (rcr.fallback.degraded{chain=name}); it must have static storage
@@ -46,7 +49,18 @@ class FallbackChain {
 
   /// Append a step.  Steps run in insertion order.
   FallbackChain& add(std::string name, Soundness soundness, StepFn run) {
-    steps_.push_back({std::move(name), soundness, std::move(run)});
+    steps_.push_back({std::move(name), soundness, nullptr, std::move(run)});
+    return *this;
+  }
+
+  /// Append a gated step: `gate` is consulted before each run, and a
+  /// non-null reason skips the step without executing it (no attempt, no
+  /// degradation counter -- a skip is a policy decision, not a failure).
+  /// Circuit breakers plug in here.
+  FallbackChain& add_gated(std::string name, Soundness soundness, GateFn gate,
+                           StepFn run) {
+    steps_.push_back({std::move(name), soundness, std::move(gate),
+                      std::move(run)});
     return *this;
   }
 
@@ -85,6 +99,16 @@ class FallbackChain {
       if (deadline.expired()) {
         out.status.note("deadline expired before step '" + step.name + "'");
         break;
+      }
+      if (step.gate) {
+        if (const char* reason = step.gate()) {
+          // Skipped, not failed: no attempt, no degradation counter.  The
+          // trail still records the decision so graders can audit it.
+          out.status.note("step '" + step.name + "' skipped (" +
+                          std::string(reason) + ")");
+          obs::counter_add("rcr.fallback.skipped", "chain", name_);
+          continue;
+        }
       }
       ++out.attempts;
       Result<T> r = step.run();
@@ -131,6 +155,7 @@ class FallbackChain {
   struct Step {
     std::string name;
     Soundness soundness;
+    GateFn gate;  ///< Optional; non-null reason skips the step.
     StepFn run;
   };
   const char* name_;

@@ -70,6 +70,11 @@ FleetSpec& FleetSpec::rat_outage(
   return *this;
 }
 
+FleetSpec& FleetSpec::overload(std::initializer_list<OverloadLeg> legs) {
+  overload_.assign(legs);
+  return *this;
+}
+
 FleetSpec& FleetSpec::seed(std::uint64_t fleet_seed) {
   seed_ = fleet_seed;
   return *this;
@@ -86,13 +91,14 @@ std::uint64_t FleetSpec::fleet_seed() const {
 
 std::size_t FleetSpec::cardinality() const {
   return cells_.size() * users_.size() * rbs_.size() * ticks_.size() *
-         slices_.size() * mobility_.size() * traffic_.size() * faults_.size();
+         slices_.size() * mobility_.size() * traffic_.size() *
+         faults_.size() * overload_.size();
 }
 
 std::vector<ScenarioSpec> FleetSpec::enumerate() const {
   if (cells_.empty() || users_.empty() || rbs_.empty() || ticks_.empty() ||
       slices_.empty() || mobility_.empty() || traffic_.empty() ||
-      faults_.empty())
+      faults_.empty() || overload_.empty())
     throw std::invalid_argument("FleetSpec::enumerate: empty axis");
   for (std::size_t v : cells_)
     if (v == 0) throw std::invalid_argument("FleetSpec: zero cells");
@@ -134,26 +140,28 @@ std::vector<ScenarioSpec> FleetSpec::enumerate() const {
           for (const SliceMix& mix : slices_)
             for (double rate : mobility_)
               for (Traffic pattern : traffic_)
-                for (const std::string& fragment : faults_) {
-                  const std::size_t i = index++;
-                  if (only) {
-                    if (i != *only) continue;
-                  } else if (i % stride != 0) {
-                    continue;
+                for (const std::string& fragment : faults_)
+                  for (OverloadLeg leg : overload_) {
+                    const std::size_t i = index++;
+                    if (only) {
+                      if (i != *only) continue;
+                    } else if (i % stride != 0) {
+                      continue;
+                    }
+                    ScenarioSpec spec;
+                    spec.index = i;
+                    spec.seed = testkit::splitmix64(fseed + i);
+                    spec.cells = c;
+                    spec.users_per_cell = u;
+                    spec.rbs = r;
+                    spec.ticks = t;
+                    spec.slices = mix;
+                    spec.handover_rate = rate;
+                    spec.traffic = pattern;
+                    spec.faults = fragment;
+                    spec.overload = leg;
+                    fleet.push_back(std::move(spec));
                   }
-                  ScenarioSpec spec;
-                  spec.index = i;
-                  spec.seed = testkit::splitmix64(fseed + i);
-                  spec.cells = c;
-                  spec.users_per_cell = u;
-                  spec.rbs = r;
-                  spec.ticks = t;
-                  spec.slices = mix;
-                  spec.handover_rate = rate;
-                  spec.traffic = pattern;
-                  spec.faults = fragment;
-                  fleet.push_back(std::move(spec));
-                }
   if (only && fleet.empty())
     throw std::invalid_argument(
         "RCR_SCN_ONLY index outside the fleet cardinality");
@@ -206,6 +214,11 @@ std::vector<ScenarioSpec> shrink(const ScenarioSpec& spec) {
     candidate.traffic = Traffic::kStatic;
     push(candidate);
   }
+  if (spec.overload != OverloadLeg::kNone) {
+    ScenarioSpec candidate = spec;
+    candidate.overload = OverloadLeg::kNone;
+    push(candidate);
+  }
   return simpler;
 }
 
@@ -223,6 +236,22 @@ FleetSpec conformance_fleet() {
       .traffic({Traffic::kDiurnal, Traffic::kBursty})
       .rat_outage({"", "sites=serve.*,rate=0.25"})
       .seed(0x5c300001ull)
+      .honor_env();
+}
+
+FleetSpec overload_fleet() {
+  return FleetSpec()
+      .cells({2, 4, 6})
+      .users_per_cell({2, 3})
+      .rbs({4, 6})
+      .ticks({9})
+      .slices({{true, true, false}, {true, true, true}})
+      .mobility({0.0})
+      .traffic({Traffic::kStatic, Traffic::kBursty})
+      .rat_outage({"", "sites=serve.*,rate=0.4"})
+      .overload({OverloadLeg::kBaseline, OverloadLeg::kLoadSpike,
+                 OverloadLeg::kBrownout})
+      .seed(0x5c300002ull)
       .honor_env();
 }
 

@@ -1,5 +1,6 @@
 #include "rcr/scn/grader.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -39,11 +40,29 @@ bool finite_nonnegative(const Vec& power) {
   return true;
 }
 
+// Failed *or gated-off* steps both count as "the sound step did not answer
+// on the record": a circuit-breaker skip is as auditable a reason for the
+// chain to fall through as a failure.
 std::size_t count_failed_steps(const std::vector<std::string>& trail) {
   std::size_t failed = 0;
   for (const std::string& line : trail)
-    if (line.find("' failed") != std::string::npos) ++failed;
+    if (line.find("' failed") != std::string::npos ||
+        line.find("' skipped") != std::string::npos)
+      ++failed;
   return failed;
+}
+
+bool trail_contains(const std::vector<std::string>& trail,
+                    const char* needle) {
+  for (const std::string& line : trail)
+    if (line.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+/// Steps served from the overload layer's last-known-good path rather than
+/// a live solve this tick.
+bool is_snapshot_step(const std::string& step) {
+  return step == "snapshot" || step == "shed-fill" || step == "quarantine";
 }
 
 void format_double(std::string& out, double value) {
@@ -73,6 +92,18 @@ void append_json_string(std::string& out, const std::string& s) {
 }
 
 }  // namespace
+
+bool priority_inversion(const std::vector<std::size_t>& ranks,
+                        const std::vector<bool>& fresh,
+                        const std::vector<bool>& involuntary) {
+  const std::size_t n = ranks.size();
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!involuntary[a]) continue;
+    for (std::size_t b = 0; b < n; ++b)
+      if (fresh[b] && ranks[a] < ranks[b]) return true;
+  }
+  return false;
+}
 
 const char* to_string(Verdict verdict) {
   switch (verdict) {
@@ -111,10 +142,48 @@ ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
   }
 
   ScenarioWorkload workload(spec);
-  serve::AllocationService service(options.service, spec.cells);
+
+  // Overload legs arm the serve overload layer on top of the caller's
+  // service shape.  kBaseline keeps the layer off: it is the no-overload
+  // reference the spike/brownout legs are scored against, on the same
+  // cell-sliced workload.
+  serve::ServiceConfig service_config = options.service;
+  if (spec.overload == OverloadLeg::kLoadSpike ||
+      spec.overload == OverloadLeg::kBrownout) {
+    service_config.admission.enabled = true;
+    service_config.admission.max_solves_per_tick =
+        std::max<std::size_t>(1, spec.cells / 2);
+    service_config.admission.max_stale_ticks = 4;
+    service_config.admission.cell_slices.clear();
+    for (std::size_t c = 0; c < spec.cells; ++c)
+      service_config.admission.cell_slices.push_back(workload.cell_class(c));
+    service_config.breaker.enabled = true;
+    service_config.watchdog.enabled = true;
+    if (spec.overload == OverloadLeg::kBrownout) {
+      // Aggressive thresholds so the fault leg actually exercises the
+      // state machine within a short scenario.  latency_budget_us stays 0:
+      // pressure comes only from deterministic degradation signals.
+      service_config.brownout.enabled = true;
+      service_config.brownout.enter_brownout = 0.25;
+      service_config.brownout.enter_shed = 0.9;
+      service_config.brownout.enter_ticks = 1;
+      service_config.brownout.exit_ticks = 2;
+    }
+  }
+  serve::AllocationService service(service_config, spec.cells);
+
+  const bool overload_leg = spec.overload != OverloadLeg::kNone;
+  std::vector<std::size_t> ranks(spec.cells, 1);
+  if (overload_leg)
+    for (std::size_t c = 0; c < spec.cells; ++c)
+      ranks[c] = serve::priority_rank(workload.cell_class(c));
 
   std::size_t sla_met = 0;
   std::size_t deadline_hits = 0;
+  std::size_t sla_met_by_class[3] = {0, 0, 0};
+  std::size_t sla_checks_by_class[3] = {0, 0, 0};
+  std::size_t fresh_by_class[3] = {0, 0, 0};
+  std::size_t ticks_by_class[3] = {0, 0, 0};
   const auto record = [&](const std::string& line) {
     if (v.detail.empty()) v.detail = line;
   };
@@ -171,6 +240,13 @@ ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
         sound = false;
         record(std::string(where) +
                "waterfill answered without a recorded admm failure");
+      } else if (is_snapshot_step(alloc.step) &&
+                 !trail_contains(alloc.status.trail, "degraded:")) {
+        // Overload snapshot service must audit itself: an explicit
+        // degraded:stale/shed/quarantined trail marker.
+        sound = false;
+        record(std::string(where) + "snapshot-served step '" + alloc.step +
+               "' carries no degraded: trail marker");
       } else if (alloc.step != "admm" && alloc.step != "cache" &&
                  alloc.status.trail.empty()) {
         sound = false;
@@ -195,6 +271,14 @@ ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
       // --- Deadline hit-rate ----------------------------------------
       if (alloc.step == "cache" || alloc.step == "admm") ++deadline_hits;
 
+      // --- Overload freshness ---------------------------------------
+      if (overload_leg) {
+        const std::size_t k =
+            static_cast<std::size_t>(workload.cell_class(c));
+        ++ticks_by_class[k];
+        if (!is_snapshot_step(alloc.step)) ++fresh_by_class[k];
+      }
+
       // --- Per-slice SLA ---------------------------------------------
       // One check per (cell, tick, slice class) present: the slice's
       // aggregate rate must meet floor x population (the service maximizes
@@ -215,10 +299,13 @@ ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
         for (std::size_t k = 0; k < 3; ++k) {
           if (class_users[k] == 0) continue;
           ++v.sla_checks;
+          ++sla_checks_by_class[k];
           const ServiceClass service_class = static_cast<ServiceClass>(k);
           bool met;
           if (service_class == ServiceClass::kMmtc) {
-            met = alloc.step != "deadline-fill";
+            // mMTC's SLA is access: the cell answered at all, not dropped
+            // by a deadline fill or an admission shed.
+            met = alloc.step != "deadline-fill" && alloc.step != "shed-fill";
           } else {
             met = class_rate[k] + 1e-12 >=
                   sla_floor(options.sla, service_class) *
@@ -226,6 +313,7 @@ ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
           }
           if (met) {
             ++sla_met;
+            ++sla_met_by_class[k];
           } else if (v.detail.empty()) {
             record(std::string(where) + "slice " +
                    qos::to_string(service_class) +
@@ -234,12 +322,43 @@ ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
         }
       }
     }
+
+    // --- Priority inversion (overload legs grade it unsound) ---------
+    if (overload_leg) {
+      std::vector<bool> fresh(spec.cells, false);
+      std::vector<bool> involuntary(spec.cells, false);
+      for (std::size_t c = 0; c < spec.cells; ++c) {
+        const serve::CellAllocation& alloc = service.allocation(c);
+        fresh[c] = !is_snapshot_step(alloc.step);
+        // Quarantines (watchdog, fault-driven) and injected sheds are not
+        // admission *policy*; only voluntary defer/shed can invert.
+        involuntary[c] =
+            (alloc.step == "snapshot" || alloc.step == "shed-fill") &&
+            !trail_contains(alloc.status.trail, "injected");
+      }
+      if (priority_inversion(ranks, fresh, involuntary)) {
+        ++v.unsound_degradations;
+        char where[64];
+        std::snprintf(where, sizeof(where), "tick %zu: ", t);
+        record(std::string(where) +
+               "priority inversion: a higher-priority cell was served "
+               "stale while a lower-priority cell was served fresh");
+      }
+    }
   }
 
   v.sla_satisfaction =
       v.sla_checks == 0
           ? 1.0
           : static_cast<double>(sla_met) / static_cast<double>(v.sla_checks);
+  for (std::size_t k = 0; k < 3; ++k) {
+    if (sla_checks_by_class[k] > 0)
+      v.sla_by_class[k] = static_cast<double>(sla_met_by_class[k]) /
+                          static_cast<double>(sla_checks_by_class[k]);
+    if (ticks_by_class[k] > 0)
+      v.fresh_by_class[k] = static_cast<double>(fresh_by_class[k]) /
+                            static_cast<double>(ticks_by_class[k]);
+  }
   v.deadline_hit_rate =
       v.cell_ticks == 0 ? 1.0
                         : static_cast<double>(deadline_hits) /
@@ -347,6 +466,17 @@ std::string report_json(const FleetReport& report,
     format_double(out, v.sla_satisfaction);
     out += ", \"deadline_hit_rate\": ";
     format_double(out, v.deadline_hit_rate);
+    out += ", \"sla_by_class\": [";
+    for (std::size_t k = 0; k < 3; ++k) {
+      if (k > 0) out += ", ";
+      format_double(out, v.sla_by_class[k]);
+    }
+    out += "], \"fresh_by_class\": [";
+    for (std::size_t k = 0; k < 3; ++k) {
+      if (k > 0) out += ", ";
+      format_double(out, v.fresh_by_class[k]);
+    }
+    out += "]";
     char tail[256];
     std::snprintf(tail, sizeof(tail),
                   ", \"unsound\": %zu, \"cell_ticks\": %zu, "

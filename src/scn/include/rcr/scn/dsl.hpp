@@ -13,8 +13,8 @@
 //   std::vector<ScenarioSpec> scenarios = fleet.enumerate();
 //
 // enumerate() walks the axes in declaration-independent canonical order
-// (cells, users, rbs, ticks, slices, mobility, traffic, faults — last axis
-// fastest) and stamps each spec with its fleet index and a
+// (cells, users, rbs, ticks, slices, mobility, traffic, faults, overload —
+// last axis fastest) and stamps each spec with its fleet index and a
 // splitmix64-derived case seed.  Specs that opt in via honor_env() — the
 // committed conformance_fleet() does — additionally honor the environment
 // replay contract:
@@ -58,6 +58,8 @@ class FleetSpec {
   /// RCR_FAULTS fragments ("" = fault-free leg).  Only keyed serve.* sites
   /// keep parallel replays deterministic; the grader enforces the prefix.
   FleetSpec& rat_outage(std::initializer_list<std::string> fragments);
+  /// Overload legs (kNone default keeps existing fleets byte-identical).
+  FleetSpec& overload(std::initializer_list<OverloadLeg> legs);
   FleetSpec& seed(std::uint64_t fleet_seed);
   /// Honor the RCR_SCN_SEED / RCR_SCN_ONLY / RCR_SCN_FLEET replay contract
   /// (off by default so replay lines target only the conformance fleet).
@@ -82,6 +84,7 @@ class FleetSpec {
   std::vector<double> mobility_{0.0};
   std::vector<Traffic> traffic_{Traffic::kStatic};
   std::vector<std::string> faults_{""};
+  std::vector<OverloadLeg> overload_{OverloadLeg::kNone};
   std::uint64_t seed_ = 0x5c300001ull;
   bool honor_env_ = false;
 };
@@ -97,6 +100,12 @@ std::vector<ScenarioSpec> shrink(const ScenarioSpec& spec);
 /// mobility levels, diurnal+bursty traffic, and a RAT-outage leg — 2016
 /// scenarios before any RCR_SCN_FLEET cap.
 FleetSpec conformance_fleet();
+
+/// The overload fleet (DESIGN.md §15): cell-sliced scenarios crossing a
+/// baseline leg against 4x load-spike and brownout legs, with and without
+/// a serve.* fault storm — 288 scenarios graded with admission control,
+/// breakers, and the watchdog armed.  Priority inversion grades unsound.
+FleetSpec overload_fleet();
 
 // Environment replay contract (mirrors testkit/env.hpp).
 std::optional<std::uint64_t> env_fleet_seed();  ///< RCR_SCN_SEED

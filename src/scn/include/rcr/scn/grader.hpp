@@ -66,6 +66,14 @@ struct ScenarioVerdict {
   double fleet_sum_rate = 0.0;  ///< Final-tick fleet sum rate.
   std::uint64_t solution_hash = 0;  ///< Final tick's determinism witness.
 
+  /// Per-class breakdowns, indexed by ServiceClass order (eMBB, URLLC,
+  /// mMTC); 1.0 when the class is absent.  sla_by_class is the fraction of
+  /// that class's commitments met; fresh_by_class is the fraction of its
+  /// cell-ticks served fresh (not from a snapshot/shed/quarantine path) and
+  /// is only meaningful on overload legs.
+  double sla_by_class[3] = {1.0, 1.0, 1.0};
+  double fresh_by_class[3] = {1.0, 1.0, 1.0};
+
   std::string detail;  ///< Empty on kPass; first failure line otherwise.
 };
 
@@ -80,10 +88,22 @@ struct GraderOptions {
   double fail_sla = 0.25;
 };
 
+/// Overload scoring: true when some cell A was involuntarily served stale
+/// (deferred/shed by admission *policy*, not an injected fault) while a
+/// strictly lower-priority cell B was served fresh in the same tick --
+/// admission inverted the slice priority order, which grades kUnsound.
+/// `ranks` are priority_rank values (lower = higher priority).
+bool priority_inversion(const std::vector<std::size_t>& ranks,
+                        const std::vector<bool>& fresh,
+                        const std::vector<bool>& involuntary);
+
 /// Replay `spec` through an AllocationService and score it.  Installs the
 /// spec's fault fragment (seeded by spec.seed) for the duration of the
 /// replay; throws std::invalid_argument when the fragment names non-serve
 /// sites (counter-keyed streams would make parallel replays nondeterministic).
+/// A spec with overload != kNone derives the serve overload layer
+/// (admission control, breakers, watchdog, and -- on the brownout leg --
+/// the brownout controller) on top of options.service.
 ScenarioVerdict grade_scenario(const ScenarioSpec& spec,
                                const GraderOptions& options = {});
 

@@ -38,6 +38,23 @@ enum class Traffic {
 
 const char* to_string(Traffic traffic);
 
+/// Overload legs for the admission-control/brownout fleets.  A non-kNone
+/// leg switches user tagging from round-robin to *cell-sliced* (every user
+/// of cell c carries the class classes[c % classes.size()]) so admission
+/// priority is observable per cell, and arms the serve overload layer in
+/// the grader's derived ServiceConfig.
+enum class OverloadLeg {
+  kNone,       ///< Plain scenario; overload layer disabled (default).
+  kBaseline,   ///< Cell-sliced tagging, overload layer still disabled --
+               ///< the no-overload reference the spike leg is scored against.
+  kLoadSpike,  ///< 4x population spike over the middle third of the ticks,
+               ///< admission control + breakers + watchdog armed.
+  kBrownout    ///< Same workload as kBaseline with the brownout state
+               ///< machine armed on aggressive thresholds.
+};
+
+const char* to_string(OverloadLeg leg);
+
 /// Which 5G service categories a scenario carries.  Users are tagged
 /// round-robin over the enabled classes in eMBB, URLLC, mMTC order.
 struct SliceMix {
@@ -81,6 +98,7 @@ struct ScenarioSpec {
   /// the grader, or empty for a fault-free run.  Restricted to keyed serve.*
   /// sites so injection decisions stay thread-schedule independent.
   std::string faults;
+  OverloadLeg overload = OverloadLeg::kNone;
 
   /// One-line rendering for reports and failure messages.
   std::string show() const;
@@ -105,6 +123,9 @@ class ScenarioWorkload {
   ServiceClass slice_of(std::size_t c, std::size_t u) const {
     return cells_[c].slices[u];
   }
+  /// The cell's slice under cell-sliced tagging (overload != kNone); the
+  /// grader feeds this into AdmissionConfig::cell_slices.
+  ServiceClass cell_class(std::size_t c) const;
   /// Diurnal/bursty population target for cell c at tick t.
   std::size_t target_users(std::size_t c, std::size_t tick) const;
 
@@ -123,7 +144,7 @@ class ScenarioWorkload {
   void remove_user(CellState& cell);
   void refresh_fading(CellState& cell);
   void handover(CellState& cell, std::size_t user);
-  void rebuild_problem(CellState& cell);
+  void rebuild_problem(CellState& cell, std::size_t c);
 
   ScenarioSpec spec_;
   SlaPolicy sla_;

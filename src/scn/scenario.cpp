@@ -41,6 +41,20 @@ const char* to_string(Traffic traffic) {
   return "unknown";
 }
 
+const char* to_string(OverloadLeg leg) {
+  switch (leg) {
+    case OverloadLeg::kNone:
+      return "none";
+    case OverloadLeg::kBaseline:
+      return "baseline";
+    case OverloadLeg::kLoadSpike:
+      return "load-spike";
+    case OverloadLeg::kBrownout:
+      return "brownout";
+  }
+  return "none";
+}
+
 std::vector<ServiceClass> SliceMix::active() const {
   std::vector<ServiceClass> classes;
   if (embb) classes.push_back(ServiceClass::kEmbb);
@@ -78,6 +92,8 @@ std::string ScenarioSpec::show() const {
                 slices.show().c_str(), handover_rate, to_string(traffic));
   std::string line(buf);
   if (!faults.empty()) line += " faults=\"" + faults + "\"";
+  if (overload != OverloadLeg::kNone)
+    line += std::string(" overload=") + to_string(overload);
   return line;
 }
 
@@ -108,14 +124,21 @@ ScenarioWorkload::ScenarioWorkload(const ScenarioSpec& spec) : spec_(spec) {
     CellState& cell = cells_.back();
     const std::size_t start = target_users(c, 0);
     for (std::size_t u = 0; u < start; ++u) add_user(cell);
-    rebuild_problem(cell);
+    rebuild_problem(cell, c);
   }
   next_tick_ = 1;
 }
 
 std::size_t ScenarioWorkload::target_users(std::size_t c,
                                            std::size_t tick) const {
-  const std::size_t peak = spec_.users_per_cell;
+  // The load-spike overload leg quadruples the population over the middle
+  // third of the run -- the "4x load spike" the admission controller must
+  // survive without priority inversion.
+  std::size_t boost = 1;
+  if (spec_.overload == OverloadLeg::kLoadSpike &&
+      tick >= spec_.ticks / 3 && tick < (2 * spec_.ticks) / 3)
+    boost = 4;
+  const std::size_t peak = spec_.users_per_cell * boost;
   const std::size_t base = peak > 1 ? (peak + 1) / 2 : 1;
   switch (spec_.traffic) {
     case Traffic::kStatic:
@@ -197,12 +220,22 @@ void ScenarioWorkload::handover(CellState& cell, std::size_t user) {
     cell.fading(user, rb) = cell.rng.exponential(1.0);
 }
 
-void ScenarioWorkload::rebuild_problem(CellState& cell) {
+ServiceClass ScenarioWorkload::cell_class(std::size_t c) const {
+  const auto classes = spec_.slices.active();
+  return classes[c % classes.size()];
+}
+
+void ScenarioWorkload::rebuild_problem(CellState& cell, std::size_t c) {
   const std::size_t users = cell.distances.size();
   const auto classes = spec_.slices.active();
   cell.slices.resize(users);
+  // Overload legs slice by *cell* so per-cell admission priority maps onto
+  // a single service class; plain scenarios mix classes round-robin within
+  // each cell.
   for (std::size_t u = 0; u < users; ++u)
-    cell.slices[u] = classes[u % classes.size()];
+    cell.slices[u] = spec_.overload == OverloadLeg::kNone
+                         ? classes[u % classes.size()]
+                         : classes[c % classes.size()];
 
   const double ref = db_to_linear(channel_.reference_gain_db);
   const double noise_w = db_to_linear(channel_.noise_power_dbm - 30.0);
@@ -252,7 +285,7 @@ void ScenarioWorkload::advance(std::size_t tick) {
       refresh_fading(cell);
       changed = true;
     }
-    if (changed) rebuild_problem(cell);
+    if (changed) rebuild_problem(cell, c);
   }
 }
 

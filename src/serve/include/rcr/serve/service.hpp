@@ -30,6 +30,7 @@
 #include "rcr/qos/rra.hpp"
 #include "rcr/robust/status.hpp"
 #include "rcr/serve/cache.hpp"
+#include "rcr/serve/overload.hpp"
 #include "rcr/serve/signature.hpp"
 #include "rcr/serve/workload.hpp"
 
@@ -55,6 +56,12 @@ struct ServiceConfig {
   double budget_penalty = 1.0;
   /// parallel_for grain: cells per chunk.
   std::size_t cells_per_chunk = 1;
+  /// Overload-control layer (DESIGN.md §15); every piece defaults off, so a
+  /// default-configured service behaves exactly as before this layer existed.
+  AdmissionConfig admission;
+  BrownoutConfig brownout;
+  BreakerConfig breaker;
+  WatchdogConfig watchdog;
 };
 
 /// One cell's allocation for the current tick.
@@ -67,7 +74,9 @@ struct CellAllocation {
   bool cache_hit = false;
   std::string step;            ///< Producing step: "cache", "admm",
                                ///< "waterfill", "equal-power",
-                               ///< "deadline-fill".
+                               ///< "deadline-fill", or one of the
+                               ///< snapshot-served overload steps
+                               ///< "snapshot", "shed-fill", "quarantine".
   robust::Status status;
 };
 
@@ -83,6 +92,12 @@ struct TickReport {
   std::size_t total_iterations = 0; ///< ADMM iterations across solves.
   double sum_rate = 0.0;            ///< Fleet sum rate this tick.
   double tick_seconds = 0.0;
+  // Overload-control accounting (all zero when the layer is off).
+  std::size_t admitted = 0;     ///< Cells admitted to the solve chain.
+  std::size_t deferred = 0;     ///< Cells served stale from snapshot.
+  std::size_t shed = 0;         ///< Cells shed (budget/staleness/injection).
+  std::size_t quarantined = 0;  ///< Cells in a watchdog quarantine window.
+  int brownout_state = 0;       ///< BrownoutState at the start of the tick.
   /// FNV-1a over every cell's (assignment, power) in ascending cell order:
   /// the cross-thread determinism witness.
   std::uint64_t solution_hash = 0;
@@ -119,15 +134,41 @@ class AllocationService {
   /// Drop all cached solutions (statistics retained).
   void clear_cache() { cache_.clear(); }
 
+  /// The brownout state machine (advances once per tick when enabled).
+  const BrownoutController& brownout() const { return brownout_; }
+
  private:
+  /// Per-cell overload state: the last-known-good snapshot the cell serves
+  /// from while deferred/shed/quarantined, plus its breakers.  Mutated only
+  /// by the cell's own pool task or the serial tick boundary.
+  struct CellRuntime {
+    qos::Assignment snapshot_assignment;
+    Vec snapshot_power;
+    bool has_snapshot = false;
+    std::uint64_t last_fresh_tick = 0;  ///< Tick of the last fresh answer.
+    std::uint64_t quarantine_until = 0;
+    CircuitBreaker admm_breaker;
+    CircuitBreaker waterfill_breaker;
+    std::uint64_t watchdog_trips = 0;
+  };
+
   CellAllocation solve_cell(const RraProblem& problem, std::size_t cell,
-                            std::uint64_t stamp,
+                            std::uint64_t tick, std::uint64_t stamp,
                             const robust::Deadline& deadline);
+  /// Serve a non-admitted cell from its snapshot (or an equal-power
+  /// rebuild when the snapshot no longer matches the problem shape).
+  CellAllocation serve_from_snapshot(const RraProblem& problem,
+                                     std::size_t cell, std::uint64_t tick,
+                                     AdmitDecision reason, bool injected);
+  AdmissionPlan build_plan(std::uint64_t tick, bool full_shed,
+                           BrownoutState state) const;
 
   ServiceConfig config_;
   ShardedLruCache<CellAllocation> cache_;
   std::vector<opt::AdmmWarmState> warm_;
   std::vector<CellAllocation> current_;
+  std::vector<CellRuntime> runtime_;
+  BrownoutController brownout_;
 };
 
 }  // namespace rcr::serve

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "rcr/obs/obs.hpp"
@@ -43,7 +44,9 @@ AllocationService::AllocationService(const ServiceConfig& config,
     : config_(config),
       cache_(config.cache_capacity, config.cache_shards),
       warm_(num_cells),
-      current_(num_cells) {
+      current_(num_cells),
+      runtime_(num_cells),
+      brownout_(config.brownout) {
   if (num_cells == 0)
     throw std::invalid_argument("AllocationService: zero cells");
 }
@@ -54,6 +57,7 @@ void AllocationService::reset_warm_states() {
 
 CellAllocation AllocationService::solve_cell(const RraProblem& problem,
                                              std::size_t cell,
+                                             std::uint64_t tick,
                                              std::uint64_t stamp,
                                              const robust::Deadline& deadline) {
   // Injection decisions are keyed by the deterministic cell stamp: cells
@@ -106,15 +110,42 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
   opt::AdmmWarmState* warm =
       config_.warm_start ? &warm_[cell] : nullptr;
 
+  // Brownout cheapens the head: a BROWNOUT tick caps ADMM iterations, a
+  // SHED tick gates the head off entirely.  The state only mutates at the
+  // serial tick boundary, so this read is stable across the fan-out.
+  const BrownoutState bstate = brownout_.state();
+  std::size_t max_iterations = config_.admm_max_iterations;
+  if (config_.brownout.enabled && bstate == BrownoutState::kBrownout)
+    max_iterations = std::max<std::size_t>(
+        8, static_cast<std::size_t>(
+               static_cast<double>(max_iterations) *
+               config_.brownout.brownout_iteration_factor));
+
+  CellRuntime& rtc = runtime_[cell];
   robust::FallbackChain<CellAllocation> chain("serve.cell");
   chain
-      .add("admm", robust::Soundness::kRelaxation,
-           [&]() -> robust::Result<CellAllocation> {
+      .add_gated(
+          "admm", robust::Soundness::kRelaxation,
+          [&]() -> const char* {
+            if (config_.brownout.enabled && bstate == BrownoutState::kShed)
+              return "brownout shed";
+            if (config_.breaker.enabled && rtc.admm_breaker.blocked(tick))
+              return "breaker open";
+            return nullptr;
+          },
+          [&]() -> robust::Result<CellAllocation> {
              robust::Result<CellAllocation> out;
              if (faults::should_inject("serve.admm.outage", stamp)) {
                out.status = robust::make_status(
                    robust::StatusCode::kNumericalFailure,
                    "injected serve.admm.outage");
+               return out;
+             }
+             if (config_.breaker.enabled &&
+                 faults::should_inject("serve.breaker.trip", stamp)) {
+               out.status = robust::make_status(
+                   robust::StatusCode::kNumericalFailure,
+                   "injected serve.breaker.trip");
                return out;
              }
              auto factor =
@@ -126,7 +157,7 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
              opt::AdmmOptions aopts;
              aopts.rho = config_.admm_rho;
              aopts.tolerance = config_.admm_tolerance;
-             aopts.max_iterations = config_.admm_max_iterations;
+             aopts.max_iterations = max_iterations;
              aopts.budget.deadline = deadline;
              aopts.budget.check_stride = 16;
              opt::AdmmResult r = opt::admm_box_qp(p_mat, factor.value, q, lo,
@@ -145,8 +176,15 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
              out.status = r.status;
              return out;
            })
-      .add("waterfill", robust::Soundness::kRelaxation,
-           [&]() -> robust::Result<CellAllocation> {
+      .add_gated(
+          "waterfill", robust::Soundness::kRelaxation,
+          [&]() -> const char* {
+            if (config_.breaker.enabled &&
+                rtc.waterfill_breaker.blocked(tick))
+              return "breaker open";
+            return nullptr;
+          },
+          [&]() -> robust::Result<CellAllocation> {
              robust::Result<CellAllocation> out;
              if (faults::should_inject("serve.waterfill.outage", stamp)) {
                out.status = robust::make_status(
@@ -167,6 +205,28 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
            });
 
   robust::ChainOutcome<CellAllocation> outcome = chain.run(deadline);
+
+  if (config_.breaker.enabled) {
+    // Advance the breakers from what actually happened.  This runtime state
+    // belongs to this cell's pool task alone, so no synchronization is
+    // needed and the evolution is schedule-independent.
+    const auto stage_failed = [&](const char* stage) {
+      const std::string needle =
+          std::string("step '") + stage + "' failed";
+      for (const std::string& line : outcome.status.trail)
+        if (line.find(needle) != std::string::npos) return true;
+      return false;
+    };
+    const auto advance = [&](CircuitBreaker& breaker, const char* stage) {
+      if (outcome.step == stage)
+        breaker.record_success(config_.breaker, tick);
+      else if (stage_failed(stage))
+        breaker.record_failure(config_.breaker, tick);
+      // Skipped (gated) stages record nothing: the open window just ages.
+    };
+    advance(rtc.admm_breaker, "admm");
+    advance(rtc.waterfill_breaker, "waterfill");
+  }
   if (outcome.status.code == robust::StatusCode::kFallbackExhausted) {
     // Deadline fired before any step could run: every cell still gets an
     // answer -- the zero-information equal split.
@@ -181,10 +241,107 @@ CellAllocation AllocationService::solve_cell(const RraProblem& problem,
     alloc.step = outcome.step;
     alloc.status = outcome.status;
   }
+  if (config_.watchdog.enabled &&
+      faults::should_inject("serve.solve.corrupt", stamp)) {
+    // Poison the solve output so the watchdog has something real to catch.
+    alloc.power[0] = std::numeric_limits<double>::quiet_NaN();
+    alloc.status.note("injected serve.solve.corrupt");
+  }
   alloc.sum_rate = sum_rate_of(gains, alloc.power);
 
-  if (config_.cache_enabled) cache_.put(sig, stamp, alloc);
+  // Never cache a corrupted answer: a NaN anywhere in the power vector
+  // surfaces as a NaN sum rate, and the watchdog (not the cache) owns it.
+  if (config_.cache_enabled && std::isfinite(alloc.sum_rate))
+    cache_.put(sig, stamp, alloc);
   return alloc;
+}
+
+CellAllocation AllocationService::serve_from_snapshot(
+    const RraProblem& problem, std::size_t cell, std::uint64_t tick,
+    AdmitDecision reason, bool injected) {
+  const CellRuntime& rtc = runtime_[cell];
+  const std::size_t n = problem.num_rbs();
+  const double budget = problem.total_power;
+
+  CellAllocation alloc;
+  // A stale snapshot may predate a population change; only replay it when
+  // its shape still matches the current problem.
+  bool snapshot_ok =
+      rtc.has_snapshot && rtc.snapshot_assignment.size() == n;
+  if (snapshot_ok)
+    for (std::size_t user : rtc.snapshot_assignment)
+      if (user >= problem.num_users()) {
+        snapshot_ok = false;
+        break;
+      }
+  if (snapshot_ok) {
+    alloc.assignment = rtc.snapshot_assignment;
+    alloc.power = rtc.snapshot_power;
+  } else {
+    alloc.assignment = qos::best_gain_assignment(problem);
+    alloc.power.assign(n, budget / static_cast<double>(n));
+  }
+  rescale_to_budget(alloc.power, budget);
+  alloc.sum_rate =
+      sum_rate_of(qos::assigned_gains(problem, alloc.assignment), alloc.power);
+
+  const std::uint64_t age =
+      tick >= rtc.last_fresh_tick ? tick - rtc.last_fresh_tick : 0;
+  alloc.status.code = robust::StatusCode::kDegraded;
+  switch (reason) {
+    case AdmitDecision::kDefer:
+      alloc.step = "snapshot";
+      alloc.status.detail = "deferred by admission control";
+      alloc.status.note("degraded:stale (age " + std::to_string(age) +
+                        " ticks)");
+      break;
+    case AdmitDecision::kShed:
+      alloc.step = "shed-fill";
+      alloc.status.detail = "shed by admission control";
+      alloc.status.note(injected
+                            ? "degraded:shed (injected serve.admit.shed)"
+                            : "degraded:shed (age " + std::to_string(age) +
+                                  " ticks)");
+      break;
+    case AdmitDecision::kQuarantine:
+      alloc.step = "quarantine";
+      alloc.status.detail = "watchdog quarantine";
+      alloc.status.note("degraded:quarantined (until tick " +
+                        std::to_string(rtc.quarantine_until) + ")");
+      break;
+    case AdmitDecision::kAdmit:
+      break;
+  }
+  return alloc;
+}
+
+AdmissionPlan AllocationService::build_plan(std::uint64_t tick,
+                                            bool full_shed,
+                                            BrownoutState state) const {
+  const std::size_t cells = runtime_.size();
+  std::vector<CellGate> gates(cells);
+  const auto& slices = config_.admission.cell_slices;
+  for (std::size_t c = 0; c < cells; ++c) {
+    gates[c].rank =
+        slices.empty() ? 1 : priority_rank(slices[c % slices.size()]);
+    gates[c].staleness = tick >= runtime_[c].last_fresh_tick
+                             ? tick - runtime_[c].last_fresh_tick
+                             : 0;
+    gates[c].quarantined =
+        config_.watchdog.enabled && tick < runtime_[c].quarantine_until;
+  }
+
+  AdmissionInputs in;
+  in.tick = tick;
+  in.budget = config_.admission.max_solves_per_tick;
+  if (config_.brownout.enabled && state == BrownoutState::kBrownout &&
+      in.budget > 0)
+    in.budget = std::max<std::size_t>(1, in.budget / 2);
+  in.max_stale_ticks = config_.admission.max_stale_ticks;
+  in.admission_enabled = config_.admission.enabled;
+  in.shed_lowest = config_.brownout.enabled && state == BrownoutState::kShed;
+  in.full_shed = full_shed;
+  return plan_admission(gates, in);
 }
 
 TickReport AllocationService::tick(std::size_t tick_index,
@@ -192,10 +349,22 @@ TickReport AllocationService::tick(std::size_t tick_index,
   obs::Span span("serve.tick");
   const auto t_start = std::chrono::steady_clock::now();
   const std::size_t cells = warm_.size();
+  const std::uint64_t tick = static_cast<std::uint64_t>(tick_index);
+  const BrownoutState bstate = brownout_.state();
+
+  double deadline_s = config_.tick_deadline_s;
+  if (config_.brownout.enabled && bstate != BrownoutState::kNormal &&
+      deadline_s > 0.0)
+    deadline_s *= config_.brownout.brownout_deadline_factor;
   const robust::Deadline deadline =
-      config_.tick_deadline_s > 0.0
-          ? robust::Deadline::after_seconds(config_.tick_deadline_s)
-          : robust::Deadline::unlimited();
+      deadline_s > 0.0 ? robust::Deadline::after_seconds(deadline_s)
+                       : robust::Deadline::unlimited();
+
+  // A deadline that is already gone at the tick boundary means no solver
+  // can possibly finish: shed the whole tick up front and serve every cell
+  // from its snapshot instead of racing the clock cell by cell.
+  const bool full_shed = !deadline.is_unlimited() && deadline.expired();
+  AdmissionPlan plan = build_plan(tick, full_shed, bstate);
 
   // Two-phase cache protocol: the parallel fan-out reads the committed map
   // and buffers its stamp refreshes / inserts; the serial flush applies
@@ -208,9 +377,13 @@ TickReport AllocationService::tick(std::size_t tick_index,
       0, cells, std::max<std::size_t>(1, config_.cells_per_chunk),
       [&](std::size_t c0, std::size_t c1) {
         for (std::size_t c = c0; c < c1; ++c) {
-          const std::uint64_t stamp =
-              static_cast<std::uint64_t>(tick_index) * cells + c;
-          current_[c] = solve_cell(problem_of(c), c, stamp, deadline);
+          const std::uint64_t stamp = tick * cells + c;
+          if (plan.decisions[c] == AdmitDecision::kAdmit)
+            current_[c] = solve_cell(problem_of(c), c, tick, stamp, deadline);
+          else
+            current_[c] = serve_from_snapshot(problem_of(c), c, tick,
+                                              plan.decisions[c],
+                                              plan.injected[c]);
         }
       });
   if (config_.cache_enabled) cache_.flush();
@@ -218,19 +391,67 @@ TickReport AllocationService::tick(std::size_t tick_index,
   TickReport report;
   report.tick = tick_index;
   report.cells = cells;
+  report.brownout_state = static_cast<int>(bstate);
   report.solution_hash = 1469598103934665603ull;  // FNV offset basis
   // Serial pass in ascending cell order: the report (and in particular the
   // solution hash) is independent of which threads solved which cells.
+  // All CellRuntime bookkeeping (watchdog quarantine, snapshots, freshness)
+  // also lands here, in cell order, for the same reason.
+  std::size_t chain_cells = 0;
+  std::size_t chain_steps = 0;
   for (std::size_t c = 0; c < cells; ++c) {
+    if (config_.watchdog.enabled &&
+        plan.decisions[c] == AdmitDecision::kAdmit) {
+      bool finite = std::isfinite(current_[c].sum_rate);
+      for (double p : current_[c].power)
+        if (!std::isfinite(p)) finite = false;
+      if (!finite) {
+        // Unsound solve output: quarantine the cell and fall back to its
+        // last-known-good snapshot right now.
+        runtime_[c].quarantine_until =
+            tick + 1 + config_.watchdog.quarantine_ticks;
+        ++runtime_[c].watchdog_trips;
+        obs::counter_add("rcr.watchdog.trips");
+        plan.decisions[c] = AdmitDecision::kQuarantine;
+        --plan.admitted;
+        ++plan.quarantined;
+        current_[c] = serve_from_snapshot(problem_of(c), c, tick,
+                                          AdmitDecision::kQuarantine, false);
+      }
+    }
     const CellAllocation& a = current_[c];
-    if (a.cache_hit) {
-      ++report.cache_hits;
+    if (plan.decisions[c] == AdmitDecision::kAdmit) {
+      if (a.cache_hit) {
+        ++report.cache_hits;
+      } else {
+        ++report.solves;
+        report.total_iterations += a.iterations;
+        if (a.warm_use == opt::WarmUse::kAccepted) ++report.warm_accepted;
+        if (a.step != "admm" && a.step != "cache") ++report.degraded;
+        if (a.step == "deadline-fill") ++report.deadline_fills;
+      }
+      // Fallback-depth proxy for the brownout controller: one clean head
+      // answer is depth 1, every failed or gated step adds one.
+      if (!a.cache_hit) {
+        ++chain_cells;
+        std::size_t depth = 1;
+        for (const std::string& line : a.status.trail)
+          if (line.find("' failed") != std::string::npos ||
+              line.find("' skipped") != std::string::npos)
+            ++depth;
+        chain_steps += depth;
+      }
+      // Freshness bookkeeping: any chain or cache answer refreshes the
+      // staleness clock; only finite non-fill answers refresh the
+      // last-known-good snapshot.
+      runtime_[c].last_fresh_tick = tick;
+      if (a.step != "deadline-fill") {
+        runtime_[c].snapshot_assignment = a.assignment;
+        runtime_[c].snapshot_power = a.power;
+        runtime_[c].has_snapshot = true;
+      }
     } else {
-      ++report.solves;
-      report.total_iterations += a.iterations;
-      if (a.warm_use == opt::WarmUse::kAccepted) ++report.warm_accepted;
-      if (a.step != "admm" && a.step != "cache") ++report.degraded;
-      if (a.step == "deadline-fill") ++report.deadline_fills;
+      ++report.degraded;
     }
     report.sum_rate += a.sum_rate;
     report.solution_hash = fnv1a_bytes(
@@ -240,6 +461,10 @@ TickReport AllocationService::tick(std::size_t tick_index,
         fnv1a_bytes(a.power.data(), a.power.size() * sizeof(double),
                     report.solution_hash);
   }
+  report.admitted = plan.admitted;
+  report.deferred = plan.deferred;
+  report.shed = plan.shed;
+  report.quarantined = plan.quarantined;
   report.tick_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     t_start)
@@ -248,6 +473,13 @@ TickReport AllocationService::tick(std::size_t tick_index,
   obs::counter_add("rcr.serve.ticks");
   obs::counter_add("rcr.serve.solves", report.solves);
   obs::counter_add("rcr.serve.iterations", report.total_iterations);
+  if (report.admitted > 0)
+    obs::counter_add("rcr.admit.admitted", report.admitted);
+  if (report.deferred > 0)
+    obs::counter_add("rcr.admit.deferred", report.deferred);
+  if (report.shed > 0) obs::counter_add("rcr.admit.shed", report.shed);
+  if (report.quarantined > 0)
+    obs::counter_add("rcr.serve.quarantined", report.quarantined);
   obs::gauge_set("rcr.serve.fleet_cells", static_cast<double>(cells));
   obs::gauge_set("rcr.serve.last_sum_rate", report.sum_rate);
   obs::histogram_observe("rcr.serve.tick_us",
@@ -255,6 +487,21 @@ TickReport AllocationService::tick(std::size_t tick_index,
   span.attr("cells", static_cast<double>(cells));
   span.attr("cache_hits", static_cast<double>(report.cache_hits));
   span.attr("iterations", static_cast<double>(report.total_iterations));
+
+  if (config_.brownout.enabled) {
+    const double degraded_fraction =
+        cells > 0 ? static_cast<double>(report.degraded) /
+                        static_cast<double>(cells)
+                  : 0.0;
+    const double mean_depth =
+        chain_cells > 0 ? static_cast<double>(chain_steps) /
+                              static_cast<double>(chain_cells)
+                        : 1.0;
+    brownout_.observe(degraded_fraction, mean_depth,
+                      report.tick_seconds * 1e6);
+    obs::gauge_set("rcr.brownout.state",
+                   static_cast<double>(static_cast<int>(brownout_.state())));
+  }
   return report;
 }
 

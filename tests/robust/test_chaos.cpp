@@ -227,6 +227,44 @@ void run_serve_workload() {
   }
 }
 
+void run_serve_overload_workload() {
+  // The overload-control sites are inert under the default config; this
+  // workload arms admission, breakers, and the watchdog so serve.admit.*,
+  // serve.breaker.*, and serve.solve.* actually guard live code paths.
+  RCR_CHAOS_TRACE();
+  serve::WorkloadConfig wc;
+  wc.num_cells = 3;
+  wc.num_rbs = 5;
+  wc.min_users = 2;
+  wc.peak_users = 3;
+  wc.seed = 11;
+  serve::ServiceConfig sc;
+  sc.admission.enabled = true;
+  sc.admission.max_solves_per_tick = 2;
+  sc.admission.cell_slices = {qos::ServiceClass::kUrllc,
+                              qos::ServiceClass::kEmbb,
+                              qos::ServiceClass::kMmtc};
+  sc.breaker.enabled = true;
+  sc.breaker.failure_threshold = 2;
+  sc.breaker.open_ticks = 2;
+  sc.watchdog.enabled = true;
+  sc.watchdog.quarantine_ticks = 2;
+  serve::DiurnalWorkload wl(wc);
+  serve::AllocationService service(sc, wc.num_cells);
+  for (std::size_t t = 0; t < 4; ++t) {
+    wl.advance(t);
+    const serve::TickReport report = service.tick(t, wl);
+    EXPECT_EQ(report.cells, wc.num_cells);
+    for (std::size_t c = 0; c < wc.num_cells; ++c) {
+      const serve::CellAllocation& a = service.allocation(c);
+      EXPECT_TRUE(a.status.usable()) << a.status.to_string();
+      EXPECT_TRUE(robust::all_finite(a.power)) << a.status.to_string();
+      EXPECT_TRUE(std::isfinite(a.sum_rate)) << a.status.to_string();
+      EXPECT_EQ(a.power.size(), wc.num_rbs);
+    }
+  }
+}
+
 // Routes each site to a workload that passes through it.
 void run_workload_for_site(const std::string& site) {
   if (site.rfind("admm.", 0) == 0 || site == "numerics.lu.singular") {
@@ -248,6 +286,10 @@ void run_workload_for_site(const std::string& site) {
     run_qos_workload();
   } else if (site.rfind("rrm.", 0) == 0) {
     run_rrm_workload();
+  } else if (site.rfind("serve.admit.", 0) == 0 ||
+             site.rfind("serve.breaker.", 0) == 0 ||
+             site.rfind("serve.solve.", 0) == 0) {
+    run_serve_overload_workload();
   } else if (site.rfind("serve.", 0) == 0) {
     run_serve_workload();
   } else if (site.rfind("stack.", 0) == 0) {
@@ -287,6 +329,9 @@ TEST(Chaos, InjectionsActuallyFireAtCoreSites) {
       {"pso.deadline", &run_pso_workload},
       {"verify.crown.nan", &run_verify_workload},
       {"rrm.deadline", &run_rrm_workload},
+      {"serve.admit.shed", &run_serve_overload_workload},
+      {"serve.breaker.trip", &run_serve_overload_workload},
+      {"serve.solve.corrupt", &run_serve_overload_workload},
   };
   for (const auto& [site, workload] : wired) {
     SCOPED_TRACE(std::string("site: ") + site);

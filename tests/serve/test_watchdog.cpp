@@ -1,0 +1,194 @@
+// Solve-output watchdog: NaN-poisoned answers are quarantined and served
+// from the last-known-good snapshot, corrupted results never enter the
+// warm cache, and quarantined cells recover after the window drains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rcr/obs/obs.hpp"
+#include "rcr/robust/fault_injection.hpp"
+#include "rcr/rt/parallel.hpp"
+#include "rcr/serve/overload.hpp"
+#include "rcr/serve/service.hpp"
+
+namespace rcr::serve {
+namespace {
+
+WorkloadConfig watchdog_workload() {
+  WorkloadConfig wc;
+  wc.num_cells = 3;
+  wc.num_rbs = 6;
+  wc.min_users = 2;
+  wc.peak_users = 3;
+  wc.period_ticks = 16;
+  wc.coherence_ticks = 4;
+  wc.seed = 555;
+  return wc;
+}
+
+ServiceConfig watchdog_config() {
+  ServiceConfig sc;
+  sc.watchdog.enabled = true;
+  sc.watchdog.quarantine_ticks = 2;
+  return sc;
+}
+
+bool all_finite(const CellAllocation& alloc) {
+  if (!std::isfinite(alloc.sum_rate)) return false;
+  for (double p : alloc.power)
+    if (!std::isfinite(p)) return false;
+  return true;
+}
+
+bool trail_has(const robust::Status& status, const char* needle) {
+  for (const std::string& line : status.trail)
+    if (line.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(Watchdog, CorruptStormQuarantinesEveryCellYetServesFinite) {
+  const WorkloadConfig wc = watchdog_workload();
+  ServiceConfig sc = watchdog_config();
+  sc.cache_enabled = false;
+
+  robust::faults::ScopedFaults scope(
+      "seed=3,rate=1,sites=serve.solve.corrupt");
+  obs::ScopedMetrics metrics;
+  DiurnalWorkload wl(wc);
+  AllocationService service(sc, wc.num_cells);
+
+  std::size_t quarantine_steps = 0;
+  for (std::size_t t = 0; t < 6; ++t) {
+    wl.advance(t);
+    const TickReport r = service.tick(t, wl);
+    EXPECT_EQ(r.quarantined + r.admitted, wc.num_cells) << "tick " << t;
+    for (std::size_t c = 0; c < wc.num_cells; ++c) {
+      const CellAllocation& a = service.allocation(c);
+      EXPECT_TRUE(all_finite(a))
+          << "cell " << c << " tick " << t << " leaked a NaN";
+      EXPECT_TRUE(a.status.usable());
+      if (a.step == "quarantine") {
+        ++quarantine_steps;
+        EXPECT_TRUE(trail_has(a.status, "degraded:quarantined"));
+        EXPECT_EQ(a.status.code, robust::StatusCode::kDegraded);
+      }
+    }
+  }
+  EXPECT_GT(quarantine_steps, 0u);
+
+  double trips = 0.0, quarantined = 0.0;
+  for (const obs::MetricSample& s : obs::metrics_snapshot()) {
+    if (s.name == "rcr.watchdog.trips") trips += s.value;
+    if (s.name == "rcr.serve.quarantined") quarantined += s.value;
+  }
+  EXPECT_GT(trips, 0.0);
+  EXPECT_GT(quarantined, 0.0);
+}
+
+TEST(Watchdog, CorruptedAnswersNeverEnterTheCache) {
+  const WorkloadConfig wc = watchdog_workload();
+  ServiceConfig sc = watchdog_config();
+  sc.cache_enabled = true;
+
+  robust::faults::ScopedFaults scope(
+      "seed=3,rate=1,sites=serve.solve.corrupt");
+  DiurnalWorkload wl(wc);
+  AllocationService service(sc, wc.num_cells);
+  std::size_t cache_hits = 0;
+  for (std::size_t t = 0; t < 6; ++t) {
+    wl.advance(t);
+    cache_hits += service.tick(t, wl).cache_hits;
+    for (std::size_t c = 0; c < wc.num_cells; ++c)
+      EXPECT_TRUE(all_finite(service.allocation(c)));
+  }
+  EXPECT_EQ(cache_hits, 0u)
+      << "a NaN-poisoned allocation was served from the cache";
+}
+
+TEST(Watchdog, QuarantinedCellsRecoverAfterTheWindow) {
+  const WorkloadConfig wc = watchdog_workload();
+  ServiceConfig sc = watchdog_config();
+  sc.cache_enabled = false;
+
+  DiurnalWorkload wl(wc);
+  AllocationService service(sc, wc.num_cells);
+  {
+    // One poisoned tick, then the storm lifts.
+    robust::faults::ScopedFaults scope(
+        "seed=3,rate=1,sites=serve.solve.corrupt");
+    wl.advance(0);
+    const TickReport r = service.tick(0, wl);
+    EXPECT_EQ(r.quarantined, wc.num_cells);
+  }
+  // Quarantine holds for quarantine_ticks, then clean solves resume.
+  for (std::size_t t = 1; t <= sc.watchdog.quarantine_ticks; ++t) {
+    wl.advance(t);
+    service.tick(t, wl);
+    for (std::size_t c = 0; c < wc.num_cells; ++c)
+      EXPECT_EQ(service.allocation(c).step, "quarantine")
+          << "cell " << c << " tick " << t;
+  }
+  const std::size_t after = sc.watchdog.quarantine_ticks + 1;
+  wl.advance(after);
+  const TickReport r = service.tick(after, wl);
+  EXPECT_EQ(r.quarantined, 0u);
+  for (std::size_t c = 0; c < wc.num_cells; ++c) {
+    EXPECT_NE(service.allocation(c).step, "quarantine") << "cell " << c;
+    EXPECT_TRUE(all_finite(service.allocation(c)));
+  }
+}
+
+TEST(Watchdog, DisabledWatchdogMeansTheSiteNeverFires) {
+  const WorkloadConfig wc = watchdog_workload();
+  ServiceConfig sc;  // watchdog off: serve.solve.corrupt must be inert
+  sc.cache_enabled = false;
+
+  robust::faults::ScopedFaults scope(
+      "seed=3,rate=1,sites=serve.solve.corrupt");
+  DiurnalWorkload wl(wc);
+  AllocationService service(sc, wc.num_cells);
+  for (std::size_t t = 0; t < 3; ++t) {
+    wl.advance(t);
+    const TickReport r = service.tick(t, wl);
+    EXPECT_EQ(r.quarantined, 0u);
+    for (std::size_t c = 0; c < wc.num_cells; ++c)
+      EXPECT_TRUE(all_finite(service.allocation(c)));
+  }
+  EXPECT_EQ(robust::faults::injection_count("serve.solve.corrupt"), 0u);
+}
+
+TEST(Watchdog, QuarantineBitExactSerialVsParallel) {
+  const WorkloadConfig wc = watchdog_workload();
+  ServiceConfig sc = watchdog_config();
+  sc.cache_enabled = false;
+
+  const auto run = [&]() {
+    robust::faults::ScopedFaults scope(
+        "seed=3,rate=0.5,sites=serve.solve.corrupt");
+    DiurnalWorkload wl(wc);
+    AllocationService service(sc, wc.num_cells);
+    std::vector<std::string> trace;
+    for (std::size_t t = 0; t < 10; ++t) {
+      wl.advance(t);
+      const TickReport r = service.tick(t, wl);
+      trace.push_back(std::to_string(r.solution_hash) + ":" +
+                      std::to_string(r.quarantined));
+      for (std::size_t c = 0; c < wc.num_cells; ++c)
+        trace.push_back(service.allocation(c).step);
+    }
+    return trace;
+  };
+
+  std::vector<std::string> serial_trace;
+  {
+    rt::ForceSerialGuard serial;
+    serial_trace = run();
+  }
+  EXPECT_EQ(serial_trace, run());
+}
+
+}  // namespace
+}  // namespace rcr::serve
