@@ -1,0 +1,144 @@
+#include "rcr/learn/artifact.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rcr::learn {
+
+namespace {
+
+struct BlockRef {
+  const char* name;
+  const Vec* vec;
+};
+
+std::vector<BlockRef> blocks_of(const WarmStartPredictor& p) {
+  return {{"w1", &p.mlp.w1},         {"b1", &p.mlp.b1},
+          {"w2", &p.mlp.w2},         {"b2", &p.mlp.b2},
+          {"w3", &p.mlp.w3},         {"b3", &p.mlp.b3},
+          {"log_rho", &p.unrolled.log_rho}, {"alpha", &p.unrolled.alpha}};
+}
+
+void fnv_accumulate(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int b = 0; b < 8; ++b) {
+    h ^= (bits >> (8 * b)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+}
+
+robust::Result<WarmStartPredictor> fail(const std::string& detail) {
+  robust::Result<WarmStartPredictor> out;
+  out.status = robust::make_status(robust::StatusCode::kNumericalFailure,
+                                   "learn artifact: " + detail);
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t predictor_hash(const WarmStartPredictor& p) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const BlockRef& b : blocks_of(p))
+    for (double v : *b.vec) fnv_accumulate(h, v);
+  return h;
+}
+
+void save_predictor(const WarmStartPredictor& p, const std::string& path) {
+  if (!p.shape_ok())
+    throw std::runtime_error("save_predictor: malformed predictor");
+  std::ostringstream out;
+  out << "RCRLEARN v" << kArtifactVersion << "\n";
+  out << "meta " << p.mlp.hidden << " " << p.unrolled.steps() << "\n";
+  char buf[40];
+  for (const BlockRef& b : blocks_of(p)) {
+    out << "block " << b.name << " " << b.vec->size() << "\n";
+    for (double v : *b.vec) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out << buf << "\n";
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, predictor_hash(p));
+  out << "hash " << buf << "\n";
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("save_predictor: cannot open " + path);
+  f << out.str();
+  if (!f.good())
+    throw std::runtime_error("save_predictor: write failed for " + path);
+}
+
+robust::Result<WarmStartPredictor> load_predictor(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return fail("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(f, line) || line != "RCRLEARN v1")
+    return fail("bad or unsupported header '" + line + "'");
+  std::size_t hidden = 0, steps = 0;
+  if (!std::getline(f, line) ||
+      std::sscanf(line.c_str(), "meta %zu %zu", &hidden, &steps) != 2)
+    return fail("bad meta line");
+  if (hidden == 0 || hidden > kMaxHidden) return fail("hidden out of range");
+
+  robust::Result<WarmStartPredictor> out;
+  WarmStartPredictor& p = out.value;
+  p.version = kArtifactVersion;
+  p.mlp.hidden = hidden;
+  p.mlp.w1.resize(hidden * kFeatures);
+  p.mlp.b1.resize(hidden);
+  p.mlp.w2.resize(hidden * hidden);
+  p.mlp.b2.resize(hidden);
+  p.mlp.w3.resize(hidden);
+  p.mlp.b3.resize(1);
+  p.unrolled.log_rho.resize(steps);
+  p.unrolled.alpha.resize(steps);
+
+  for (const BlockRef& b : blocks_of(p)) {
+    char name[32];
+    std::size_t count = 0;
+    if (!std::getline(f, line) ||
+        std::sscanf(line.c_str(), "block %31s %zu", name, &count) != 2)
+      return fail(std::string("missing block header for '") + b.name + "'");
+    if (std::strcmp(name, b.name) != 0)
+      return fail(std::string("expected block '") + b.name + "', got '" +
+                  name + "'");
+    if (count != b.vec->size())
+      return fail(std::string("block '") + b.name + "' size mismatch");
+    Vec& vec = *const_cast<Vec*>(b.vec);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!std::getline(f, line))
+        return fail(std::string("truncated block '") + b.name + "'");
+      char* end = nullptr;
+      const double v = std::strtod(line.c_str(), &end);
+      if (end == line.c_str())
+        return fail(std::string("unparseable value in '") + b.name + "'");
+      if (!std::isfinite(v))
+        return fail(std::string("non-finite value in '") + b.name + "'");
+      vec[i] = v;
+    }
+  }
+
+  std::uint64_t stored = 0;
+  if (!std::getline(f, line) ||
+      std::sscanf(line.c_str(), "hash %" SCNx64, &stored) != 1)
+    return fail("missing hash line");
+  const std::uint64_t actual = predictor_hash(p);
+  if (stored != actual) {
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "hash mismatch (stored %016" PRIx64 ", actual %016" PRIx64
+                  ")",
+                  stored, actual);
+    return fail(msg);
+  }
+  if (!p.shape_ok()) return fail("shape check failed after load");
+  return out;
+}
+
+}  // namespace rcr::learn

@@ -1,0 +1,61 @@
+// Unsupervised training for the warm-start predictor.
+//
+// No labels: the loss is the QP objective itself (Wang et al.,
+// arXiv:2407.03668's projection-based unsupervised recipe).  Because the box
+// projection is the final layer, every training iterate is feasible and the
+// "constraint violation penalty" reduces to the clamp's zero gradient
+// outside the active box -- the network only learns to move mass where
+// moving mass is legal.
+//
+// Two stages:
+//   A. MLP correction head: minibatch Adam on an rcr::nn::Sequential that
+//      mirrors MlpWeights exactly (Dense/ReLU/Dense/ReLU/Dense/Tanh, one
+//      batch row per RB).  Gradient of f(clamp(d_unc + p0 * out)) w.r.t.
+//      out, masked by the active set, feeds Sequential::backward.
+//   B. Unrolled-ADMM knobs (2K scalars): L-BFGS with numerical gradients on
+//      the mean post-refinement projected-gradient residual.  The parameter
+//      count is tiny, so numerical differentiation is cheap and exact
+//      enough.
+//
+// Everything is single-threaded and seeded: the same (dataset, config) pair
+// reproduces the same predictor bit-for-bit, which is what lets the golden
+// artifact be regenerated deterministically under RCR_REGEN_GOLDEN.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rcr/learn/predictor.hpp"
+
+namespace rcr::learn {
+
+struct TrainConfig {
+  std::size_t hidden = 16;          ///< MLP hidden width.
+  std::size_t unrolled_steps = 4;   ///< K.
+  double rho = 1.0;                 ///< Initial / serve-side ADMM penalty.
+  std::size_t epochs = 30;          ///< Stage-A passes over the dataset.
+  std::size_t batch_problems = 8;   ///< Problems per stage-A minibatch.
+  double learning_rate = 3e-3;      ///< Stage-A Adam step.
+  std::size_t lbfgs_iterations = 40;  ///< Stage-B budget (0 disables B).
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< Init + shuffle stream.
+};
+
+struct TrainReport {
+  std::size_t problems = 0;
+  double initial_loss = 0.0;   ///< Mean normalized objective, epoch 0 start.
+  double final_loss = 0.0;     ///< Same after stage A.
+  double initial_residual = 0.0;  ///< Mean pg_residual of zero-MLP predict.
+  double final_residual = 0.0;    ///< Mean pg_residual of trained predict.
+};
+
+/// Mean projected-gradient residual of the full predict pipeline over the
+/// dataset (the stage-B objective and the headline eval metric).
+double mean_pg_residual(const std::vector<PowerQpData>& dataset,
+                        const WarmStartPredictor& p, double rho);
+
+/// Train on `dataset` (throws std::invalid_argument when empty).
+WarmStartPredictor train_predictor(const std::vector<PowerQpData>& dataset,
+                                   const TrainConfig& config,
+                                   TrainReport* report = nullptr);
+
+}  // namespace rcr::learn

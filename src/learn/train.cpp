@@ -1,0 +1,234 @@
+#include "rcr/learn/train.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "rcr/learn/project.hpp"
+#include "rcr/nn/layers_basic.hpp"
+#include "rcr/nn/network.hpp"
+#include "rcr/numerics/rng.hpp"
+#include "rcr/opt/lbfgs.hpp"
+
+namespace rcr::learn {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Weight-independent per-problem precomputation for stage A.
+struct ProblemPrep {
+  Vec d_unc;
+  Vec features;    // n x kFeatures, row-major.
+  double inv_ref;  // 1 / (|f(clamp(d_unc))| + 1): loss normalizer.
+};
+
+ProblemPrep prepare(const PowerQpData& data) {
+  const PowerQp qp = data.view();
+  ProblemPrep prep;
+  prep.d_unc.resize(qp.n);
+  unconstrained_minimizer(qp, prep.d_unc.data());
+  const FeatureScales scales = feature_scales(qp, prep.d_unc.data());
+  prep.features.resize(qp.n * kFeatures);
+  for (std::size_t i = 0; i < qp.n; ++i)
+    fill_features(qp, scales, prep.d_unc.data(), i,
+                  prep.features.data() + i * kFeatures);
+  Vec ref = prep.d_unc;
+  project_box(ref.data(), qp.lo, qp.hi, qp.n);
+  prep.inv_ref = 1.0 / (std::abs(qp_objective(qp, ref.data())) + 1.0);
+  return prep;
+}
+
+// Loss of one problem given the MLP outputs for its rows, and the gradient
+// of that loss w.r.t. each output (masked by the clamp's active set).
+double problem_loss_and_grad(const PowerQp& qp, const ProblemPrep& prep,
+                             const double* out, double* grad_out) {
+  Vec z(qp.n);
+  std::vector<bool> interior(qp.n);
+  for (std::size_t i = 0; i < qp.n; ++i) {
+    const double raw = prep.d_unc[i] + qp.p0 * out[i];
+    z[i] = std::clamp(raw, qp.lo[i], qp.hi[i]);
+    interior[i] = raw > qp.lo[i] && raw < qp.hi[i];
+  }
+  const double loss = qp_objective(qp, z.data()) * prep.inv_ref;
+  if (grad_out) {
+    double total = 0.0;
+    for (double v : z) total += v;
+    const double coupling = 2.0 * qp.lambda * total;
+    for (std::size_t i = 0; i < qp.n; ++i) {
+      const double df =
+          qp.curv[i] * z[i] + qp.slope[i] + coupling;  // df/dz_i
+      grad_out[i] = interior[i] ? df * qp.p0 * prep.inv_ref : 0.0;
+    }
+  }
+  return loss;
+}
+
+// Copy the Sequential's parameter blocks into the flat inference struct.
+// Block order is the layer order: Dense exposes weight then bias.
+void sync_weights(nn::Sequential& net, MlpWeights& w) {
+  const std::vector<nn::ParamRef> params = net.params();
+  std::array<Vec*, 6> dst = {&w.w1, &w.b1, &w.w2, &w.b2, &w.w3, &w.b3};
+  if (params.size() != dst.size())
+    throw std::runtime_error("sync_weights: unexpected block count");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (params[i].value->size() != dst[i]->size())
+      throw std::runtime_error("sync_weights: block size mismatch");
+    *dst[i] = *params[i].value;
+  }
+}
+
+}  // namespace
+
+double mean_pg_residual(const std::vector<PowerQpData>& dataset,
+                        const WarmStartPredictor& p, double rho) {
+  if (dataset.empty()) return 0.0;
+  double sum = 0.0;
+  Vec z, u, scratch, cold;
+  for (const PowerQpData& data : dataset) {
+    const PowerQp qp = data.view();
+    z.resize(qp.n);
+    u.resize(qp.n);
+    scratch.resize(2 * qp.n);
+    predict_warm_start(qp, p, rho, z.data(), u.data(), scratch.data());
+    // Normalize by the cold start's residual (z = 0 is the exact solver's
+    // cold initialization) so problems of different scales weigh equally
+    // and the metric reads as "fraction of the cold residual remaining".
+    cold.assign(qp.n, 0.0);
+    const double denom = pg_residual(qp, cold.data()) + 1e-300;
+    sum += pg_residual(qp, z.data()) / denom;
+  }
+  return sum / static_cast<double>(dataset.size());
+}
+
+WarmStartPredictor train_predictor(const std::vector<PowerQpData>& dataset,
+                                   const TrainConfig& config,
+                                   TrainReport* report) {
+  if (dataset.empty())
+    throw std::invalid_argument("train_predictor: empty dataset");
+  if (config.hidden == 0 || config.hidden > kMaxHidden)
+    throw std::invalid_argument("train_predictor: bad hidden width");
+
+  std::vector<ProblemPrep> prep;
+  prep.reserve(dataset.size());
+  for (const PowerQpData& d : dataset) prep.push_back(prepare(d));
+
+  num::Rng rng(config.seed);
+  nn::Sequential net;
+  net.emplace<nn::Dense>(kFeatures, config.hidden, rng);
+  net.emplace<nn::Relu>();
+  net.emplace<nn::Dense>(config.hidden, config.hidden, rng);
+  net.emplace<nn::Relu>();
+  net.emplace<nn::Dense>(config.hidden, 1, rng);
+  net.emplace<nn::Tanh>();
+  nn::Adam adam(config.learning_rate);
+
+  const auto dataset_loss = [&]() {
+    double sum = 0.0;
+    for (std::size_t p = 0; p < dataset.size(); ++p) {
+      const PowerQp qp = dataset[p].view();
+      nn::Tensor x({qp.n, kFeatures}, prep[p].features);
+      nn::Tensor out = net.forward(x, /*training=*/false);
+      sum += problem_loss_and_grad(qp, prep[p], out.data().data(), nullptr);
+    }
+    return sum / static_cast<double>(dataset.size());
+  };
+
+  TrainReport local;
+  TrainReport& rep = report ? *report : local;
+  rep.problems = dataset.size();
+  rep.initial_loss = dataset_loss();
+
+  // Stage A: minibatch Adam on the per-RB correction head.
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::uint64_t shuffle_state = config.seed ^ 0xa5a5a5a5a5a5a5a5ull;
+  const std::size_t batch =
+      std::max<std::size_t>(1, config.batch_problems);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[splitmix64(shuffle_state) % i]);
+    for (std::size_t start = 0; start < order.size(); start += batch) {
+      const std::size_t stop = std::min(start + batch, order.size());
+      std::size_t rows = 0;
+      for (std::size_t b = start; b < stop; ++b)
+        rows += dataset[order[b]].n;
+      nn::Tensor x({rows, kFeatures});
+      std::size_t row = 0;
+      for (std::size_t b = start; b < stop; ++b) {
+        const ProblemPrep& pp = prep[order[b]];
+        std::copy(pp.features.begin(), pp.features.end(),
+                  x.data().begin() + static_cast<long>(row * kFeatures));
+        row += dataset[order[b]].n;
+      }
+      nn::Tensor out = net.forward(x, /*training=*/true);
+      nn::Tensor grad({rows, 1});
+      row = 0;
+      const double inv_batch = 1.0 / static_cast<double>(stop - start);
+      for (std::size_t b = start; b < stop; ++b) {
+        const PowerQp qp = dataset[order[b]].view();
+        problem_loss_and_grad(qp, prep[order[b]],
+                              out.data().data() + row,
+                              grad.data().data() + row);
+        row += qp.n;
+      }
+      for (double& g : grad.data()) g *= inv_batch;
+      net.zero_grad();
+      net.backward(grad);
+      adam.step(net.params());
+    }
+  }
+  rep.final_loss = dataset_loss();
+
+  WarmStartPredictor p;
+  p.version = 1;
+  p.mlp.hidden = config.hidden;
+  p.mlp.w1.resize(config.hidden * kFeatures);
+  p.mlp.b1.resize(config.hidden);
+  p.mlp.w2.resize(config.hidden * config.hidden);
+  p.mlp.b2.resize(config.hidden);
+  p.mlp.w3.resize(config.hidden);
+  p.mlp.b3.resize(1);
+  sync_weights(net, p.mlp);
+  p.unrolled = UnrolledParams::plain(config.unrolled_steps, config.rho);
+
+  {
+    WarmStartPredictor baseline =
+        zero_predictor(config.hidden, config.unrolled_steps, config.rho);
+    rep.initial_residual =
+        mean_pg_residual(dataset, baseline, config.rho);
+  }
+
+  // Stage B: tune the 2K unrolled knobs on the end-to-end residual.
+  if (config.unrolled_steps > 0 && config.lbfgs_iterations > 0) {
+    const auto value = [&](const Vec& flat) {
+      WarmStartPredictor cand = p;
+      cand.unrolled = UnrolledParams::unpack(flat);
+      return mean_pg_residual(dataset, cand, config.rho);
+    };
+    opt::MinimizeOptions mopts;
+    mopts.max_iterations = config.lbfgs_iterations;
+    mopts.gradient_tolerance = 1e-10;
+    opt::MinimizeResult r = opt::lbfgs(
+        opt::with_numerical_gradient(value, 1e-5), p.unrolled.pack(), mopts);
+    const UnrolledParams tuned = UnrolledParams::unpack(r.x);
+    // Keep the tuned knobs only if they actually helped (L-BFGS can stall
+    // on this nonsmooth surface; plain ADMM steps are the safe fallback).
+    if (mean_pg_residual(dataset, {1, p.mlp, tuned}, config.rho) <
+        mean_pg_residual(dataset, p, config.rho))
+      p.unrolled = tuned;
+  }
+
+  rep.final_residual = mean_pg_residual(dataset, p, config.rho);
+  return p;
+}
+
+}  // namespace rcr::learn

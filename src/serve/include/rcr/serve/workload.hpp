@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rcr/learn/qp.hpp"
 #include "rcr/numerics/rng.hpp"
 #include "rcr/qos/channel.hpp"
 #include "rcr/qos/rra.hpp"
@@ -90,5 +91,15 @@ class DiurnalWorkload {
   std::vector<CellState> cells_;
   std::size_t next_tick_ = 0;
 };
+
+/// Sample the per-cell power QPs a serve run would solve over the first
+/// `ticks` ticks of a DiurnalWorkload(config): best-gain assignment +
+/// Taylor coefficients, built exactly the way solve_cell builds them.
+/// This is the training/eval dataset for the learned warm-start head --
+/// generated here so the trainer sees the serving distribution without
+/// depending on the service itself.
+std::vector<learn::PowerQpData> sample_power_qps(const WorkloadConfig& config,
+                                                 std::size_t ticks,
+                                                 double budget_penalty = 1.0);
 
 }  // namespace rcr::serve

@@ -142,4 +142,23 @@ void DiurnalWorkload::advance(std::size_t tick) {
   }
 }
 
+std::vector<learn::PowerQpData> sample_power_qps(const WorkloadConfig& config,
+                                                 std::size_t ticks,
+                                                 double budget_penalty) {
+  DiurnalWorkload workload(config);
+  std::vector<learn::PowerQpData> dataset;
+  dataset.reserve(ticks * config.num_cells);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    workload.advance(t);
+    for (std::size_t c = 0; c < workload.num_cells(); ++c) {
+      const RraProblem& problem = workload.cell(c);
+      const qos::Assignment assignment = qos::best_gain_assignment(problem);
+      const Vec gains = qos::assigned_gains(problem, assignment);
+      dataset.push_back(
+          learn::make_power_qp(gains, problem.total_power, budget_penalty));
+    }
+  }
+  return dataset;
+}
+
 }  // namespace rcr::serve

@@ -1,0 +1,130 @@
+// Chaos leg for the learned warm-start head (ISSUE satellite 3).
+//
+// The gated fault site `learn.head.corrupt` poisons every learned
+// prediction with NaN before the warm-start contract sees it.  Under a
+// full-rate storm the contract must reject every prediction (ticking
+// rcr.warm.rejected{solver=learn}), fall through to the exact chain, and
+// serve answers bit-identical to a service with the head disabled -- the
+// learned head can degrade *performance*, never *answers*.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rcr/learn/predictor.hpp"
+#include "rcr/obs/metrics.hpp"
+#include "rcr/robust/fault_injection.hpp"
+#include "rcr/serve/service.hpp"
+#include "rcr/serve/workload.hpp"
+
+namespace rcr::learn {
+namespace {
+
+constexpr const char* kSite = "learn.head.corrupt";
+
+double solver_counter(const std::string& name, const std::string& solver) {
+  for (const obs::MetricSample& s : obs::metrics_snapshot())
+    if (s.name == name && s.label_value == solver) return s.value;
+  return 0.0;
+}
+
+serve::WorkloadConfig chaos_workload() {
+  serve::WorkloadConfig wc;
+  wc.num_cells = 4;
+  wc.seed = 1337;
+  return wc;
+}
+
+std::vector<std::uint64_t> run_ticks(serve::AllocationService& service,
+                                     std::size_t ticks,
+                                     std::size_t* learned_starts = nullptr) {
+  serve::DiurnalWorkload wl(chaos_workload());
+  std::vector<std::uint64_t> hashes;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    wl.advance(t);
+    const serve::TickReport report = service.tick(t, wl);
+    hashes.push_back(report.solution_hash);
+    if (learned_starts != nullptr) *learned_starts += report.learned_starts;
+  }
+  return hashes;
+}
+
+TEST(LearnChaos, SiteIsRegistered) {
+  const std::vector<std::string>& sites =
+      robust::faults::registered_sites();
+  bool found = false;
+  for (const std::string& s : sites) found = found || s == kSite;
+  EXPECT_TRUE(found) << kSite << " missing from the fault registry";
+}
+
+TEST(LearnChaos, FullRateStormRejectsEveryPredictionAndPreservesAnswers) {
+  obs::ScopedMetrics metrics;
+
+  // Reference: the head-off service over the identical workload.
+  serve::ServiceConfig off_cfg;
+  serve::AllocationService off(off_cfg, chaos_workload().num_cells);
+  const std::vector<std::uint64_t> clean = run_ticks(off, 8);
+
+  serve::ServiceConfig on_cfg;
+  on_cfg.learned.enabled = true;
+  serve::AllocationService on(on_cfg, chaos_workload().num_cells);
+  ASSERT_TRUE(on.arm_learned_head(random_predictor(8, 3, on_cfg.admm_rho,
+                                                   20260809)));
+
+  std::size_t learned_starts = 0;
+  std::vector<std::uint64_t> stormed;
+  {
+    robust::faults::ScopedFaults scope(
+        std::string("seed=7,rate=1,sites=") + kSite);
+    stormed = run_ticks(on, 8, &learned_starts);
+    EXPECT_GT(robust::faults::injection_count(kSite), 0u);
+  }
+
+  // Every corrupted prediction bounced off the contract: no learned start
+  // ever reached the solver, so the served bits match the head-off run.
+  EXPECT_EQ(learned_starts, 0u);
+  EXPECT_GT(solver_counter("rcr.warm.rejected", "learn"), 0.0);
+  ASSERT_EQ(stormed.size(), clean.size());
+  for (std::size_t t = 0; t < clean.size(); ++t)
+    EXPECT_EQ(stormed[t], clean[t]) << "tick " << t;
+
+  // Every allocation still finished usable with finite power.
+  for (std::size_t c = 0; c < chaos_workload().num_cells; ++c) {
+    const serve::CellAllocation& a = on.allocation(c);
+    EXPECT_TRUE(a.status.usable()) << "cell " << c;
+    for (double p : a.power) EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST(LearnChaos, PartialStormOnlyDegradesCorruptedCells) {
+  obs::ScopedMetrics metrics;
+  serve::ServiceConfig sc;
+  sc.learned.enabled = true;
+  serve::AllocationService service(sc, chaos_workload().num_cells);
+  ASSERT_TRUE(
+      service.arm_learned_head(random_predictor(8, 3, sc.admm_rho, 7)));
+
+  robust::faults::ScopedFaults scope(
+      std::string("seed=11,rate=0.5,sites=") + kSite);
+  run_ticks(service, 12);
+  const std::uint64_t injected = robust::faults::injection_count(kSite);
+  EXPECT_GT(injected, 0u);
+  // Rejections account one-for-one for injections: the contract catches
+  // exactly the corrupted predictions, no more, no fewer.
+  EXPECT_EQ(solver_counter("rcr.warm.rejected", "learn"),
+            static_cast<double>(injected));
+}
+
+TEST(LearnChaos, UnarmedHeadNeverReachesTheFaultSite) {
+  // With the head off (default config) the site has no callers: a
+  // full-rate storm must record zero injections.
+  robust::faults::ScopedFaults scope(
+      std::string("seed=3,rate=1,sites=") + kSite);
+  serve::ServiceConfig sc;  // learned.enabled defaults to false
+  serve::AllocationService service(sc, chaos_workload().num_cells);
+  run_ticks(service, 4);
+  EXPECT_EQ(robust::faults::injection_count(kSite), 0u);
+}
+
+}  // namespace
+}  // namespace rcr::learn
